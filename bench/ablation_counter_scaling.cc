@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Section VII-B's complexity claims as an ablation: the exhaustive
+ * counter's runtime grows as N^{T_L} (linear for mp with T_L = 1,
+ * quadratic for sb with T_L = 2, cubic for podwr001 with T_L = 3)
+ * while the heuristic counter stays linear everywhere. The fitted
+ * growth exponent between successive N values makes the asymptotics
+ * visible directly.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    banner("Ablation: outcome-counter scaling in N and T_L",
+           scaledIterations(4000));
+
+    struct Case
+    {
+        const char *name;
+        std::vector<std::int64_t> ladder;
+    };
+    const std::vector<Case> cases = {
+        {"mp", {10000, 40000, 160000}},     // T_L = 1
+        {"sb", {1000, 2000, 4000, 8000}},   // T_L = 2
+        {"podwr001", {100, 200, 400, 800}}, // T_L = 3
+    };
+
+    for (const auto &c : cases) {
+        const auto &entry = litmus::findTest(c.name);
+        const litmus::Test &test = entry.test;
+        const core::PerpetualTest perpetual = core::convert(test);
+        const auto outcomes = core::buildPerpetualOutcomes(
+            test, {test.target});
+        const core::ExhaustiveCounter exhaustive(test, outcomes);
+        const core::HeuristicCounter heuristic(test, outcomes);
+
+        std::printf("--- %s (T_L = %d) ---\n", c.name,
+                    test.numLoadThreads());
+        stats::Table table({"N", "exhaustive", "heuristic",
+                            "exh growth", "heur growth"});
+
+        double prev_exh = 0, prev_heur = 0;
+        std::int64_t prev_n = 0;
+        for (const std::int64_t base : c.ladder) {
+            const std::int64_t n = scaledIterations(base);
+
+            sim::MachineConfig machine_config;
+            machine_config.seed = baseSeed();
+            sim::Machine machine(perpetual.programs,
+                                 test.numLocations(), machine_config);
+            sim::RunResult run;
+            machine.runFree(n, 0, run);
+
+            WallTimer timer;
+            exhaustive.count(n, run.bufs);
+            const double exh_seconds = timer.elapsedSeconds();
+            timer.restart();
+            heuristic.count(n, run.bufs);
+            const double heur_seconds = timer.elapsedSeconds();
+
+            // Growth exponent between successive ladder points:
+            // log(t2/t1) / log(n2/n1); ~T_L for COUNT, ~1 for COUNTH.
+            std::string exh_growth = "-", heur_growth = "-";
+            if (prev_n > 0 && prev_exh > 0 && exh_seconds > 0)
+                exh_growth = format(
+                    "%.2f", std::log(exh_seconds / prev_exh) /
+                                std::log(static_cast<double>(n) /
+                                         static_cast<double>(prev_n)));
+            if (prev_n > 0 && prev_heur > 0 && heur_seconds > 0)
+                heur_growth = format(
+                    "%.2f", std::log(heur_seconds / prev_heur) /
+                                std::log(static_cast<double>(n) /
+                                         static_cast<double>(prev_n)));
+
+            table.addRow(
+                {stats::formatCount(static_cast<std::uint64_t>(n)),
+                 format("%.3f ms", exh_seconds * 1e3),
+                 format("%.3f ms", heur_seconds * 1e3), exh_growth,
+                 heur_growth});
+            prev_exh = exh_seconds;
+            prev_heur = heur_seconds;
+            prev_n = n;
+        }
+        std::printf("%sexpected growth exponents: exhaustive ~%d, "
+                    "heuristic ~1\n\n",
+                    table.toString().c_str(), test.numLoadThreads());
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Section I claim: for litmus7's default `user` mode on the sb test,
+ * synchronization overhead never falls below 85% of total execution
+ * time, across iteration counts. This ablation measures the phase
+ * split of every mode to show where the time goes — the motivation
+ * for removing per-iteration synchronization.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    banner("Ablation: synchronization overhead share (sb)",
+           scaledIterations(100000));
+    const auto &sb = litmus::findTest("sb").test;
+
+    std::printf("litmus7 user mode, varying iteration counts:\n");
+    stats::Table by_iters({"iterations", "sync", "test", "count",
+                           "sync share"});
+    bool claim_holds = true;
+    for (const std::int64_t base : {1000, 10000, 100000}) {
+        const std::int64_t iterations = scaledIterations(base);
+        litmus7::Litmus7Config config;
+        config.mode = runtime::SyncMode::User;
+        config.seed = baseSeed();
+        const auto result = litmus7::runLitmus7(sb, iterations,
+                                                {sb.target}, config);
+        const double share =
+            static_cast<double>(result.timing.phaseNs("sync")) /
+            static_cast<double>(result.timing.totalNs());
+        claim_holds = claim_holds && share >= 0.85;
+        by_iters.addRow(
+            {stats::formatCount(static_cast<std::uint64_t>(iterations)),
+             formatDuration(result.timing.phaseNs("sync")),
+             formatDuration(result.timing.phaseNs("test")),
+             formatDuration(result.timing.phaseNs("count")),
+             format("%.1f%%", 100.0 * share)});
+    }
+    std::printf("%s\n", by_iters.toString().c_str());
+    std::printf("claim 'sync overhead >= 85%% in user mode': %s\n\n",
+                claim_holds ? "holds" : "VIOLATED");
+
+    std::printf("all modes at 10k iterations:\n");
+    stats::Table by_mode({"mode", "sync", "test", "count",
+                          "sync share"});
+    const std::int64_t iterations = scaledIterations(10000);
+    for (const auto mode : runtime::allSyncModes()) {
+        litmus7::Litmus7Config config;
+        config.mode = mode;
+        config.seed = baseSeed();
+        const auto result = litmus7::runLitmus7(sb, iterations,
+                                                {sb.target}, config);
+        const double share =
+            static_cast<double>(result.timing.phaseNs("sync")) /
+            static_cast<double>(result.timing.totalNs());
+        by_mode.addRow({runtime::syncModeName(mode),
+                        formatDuration(result.timing.phaseNs("sync")),
+                        formatDuration(result.timing.phaseNs("test")),
+                        formatDuration(result.timing.phaseNs("count")),
+                        format("%.1f%%", 100.0 * share)});
+    }
+    std::printf("%s", by_mode.toString().c_str());
+
+    // PerpLE for contrast: one launch sync, then execution + counting.
+    const auto perple = runPerple(sb, iterations,
+                                  /*run_exhaustive=*/false);
+    std::printf("\nPerpLE-heuristic at the same scale: exec %s + "
+                "count %s, no per-iteration synchronization at all\n",
+                formatDuration(perple.timing.phaseNs("exec")).c_str(),
+                formatDuration(
+                    perple.timing.phaseNs("count-heuristic"))
+                    .c_str());
+    return claim_holds ? 0 : 1;
+}

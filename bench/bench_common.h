@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared plumbing for the evaluation benches.
+ *
+ * Every bench binary reproduces one table or figure of the paper and
+ * runs standalone with paper-scale defaults. Environment knobs:
+ *
+ *   PERPLE_ITERS_SCALE  multiply every iteration count (default 1.0;
+ *                       use 0.1 for a quick pass, 10 for a long one)
+ *   PERPLE_BACKEND      "sim" (default, deterministic) or "native"
+ *                       (real threads; reproduces the paper on a
+ *                       multicore host)
+ *   PERPLE_SEED         base RNG seed (default 1)
+ */
+
+#ifndef PERPLE_BENCH_COMMON_H
+#define PERPLE_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "perple/perple.h"
+
+namespace perple::bench
+{
+
+/** Scale @p base by PERPLE_ITERS_SCALE, minimum 10. */
+inline std::int64_t
+scaledIterations(std::int64_t base)
+{
+    double scale = 1.0;
+    if (const char *env = std::getenv("PERPLE_ITERS_SCALE"))
+        scale = std::atof(env);
+    if (scale <= 0.0)
+        scale = 1.0;
+    const auto scaled =
+        static_cast<std::int64_t>(static_cast<double>(base) * scale);
+    return scaled < 10 ? 10 : scaled;
+}
+
+/** Backend selected by PERPLE_BACKEND. */
+inline bool
+useNativeBackend()
+{
+    const char *env = std::getenv("PERPLE_BACKEND");
+    return env != nullptr && std::string(env) == "native";
+}
+
+/** Base seed from PERPLE_SEED. */
+inline std::uint64_t
+baseSeed()
+{
+    if (const char *env = std::getenv("PERPLE_SEED"))
+        return static_cast<std::uint64_t>(std::atoll(env));
+    return 1;
+}
+
+/** One method's result on one test: target count and wall seconds. */
+struct MethodResult
+{
+    std::uint64_t targetCount = 0;
+    double seconds = 0.0;
+
+    double
+    rate() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(targetCount) / seconds
+            : 0.0;
+    }
+};
+
+/** Run PerpLE (heuristic and optionally exhaustive) on @p test. */
+inline core::HarnessResult
+runPerple(const litmus::Test &test, std::int64_t iterations,
+          bool run_exhaustive, std::int64_t exhaustive_cap = 0)
+{
+    const core::PerpetualTest perpetual = core::convert(test);
+    core::HarnessConfig config;
+    config.backend = useNativeBackend() ? core::Backend::Native
+                                        : core::Backend::Simulator;
+    config.seed = baseSeed();
+    config.runExhaustive = run_exhaustive;
+    config.exhaustiveCap = exhaustive_cap;
+    return core::runPerpetual(perpetual, iterations, {test.target},
+                              config);
+}
+
+/** Run litmus7 in @p mode on @p test's target outcome. */
+inline MethodResult
+runLitmus7Mode(const litmus::Test &test, std::int64_t iterations,
+               runtime::SyncMode mode)
+{
+    litmus7::Litmus7Config config;
+    config.mode = mode;
+    config.backend = useNativeBackend() ? litmus7::Backend::Native
+                                        : litmus7::Backend::Simulator;
+    config.seed = baseSeed();
+    const auto result =
+        litmus7::runLitmus7(test, iterations, {test.target}, config);
+    return {result.counts[0], result.totalSeconds()};
+}
+
+/** Standard bench banner. */
+inline void
+banner(const char *what, std::int64_t iterations)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("backend: %s, iterations: %lld, seed: %llu\n\n",
+                useNativeBackend() ? "native" : "simulator",
+                static_cast<long long>(iterations),
+                static_cast<unsigned long long>(baseSeed()));
+}
+
+} // namespace perple::bench
+
+#endif // PERPLE_BENCH_COMMON_H

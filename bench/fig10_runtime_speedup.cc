@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 10: runtime speedups relative to litmus7 `user` mode (= 1.0)
+ * for every test of the perpetual litmus suite at 10k iterations.
+ * All runtimes include test execution plus outcome counting.
+ *
+ * Expected shape (paper Section VII-B): PerpLE-heuristic is always
+ * fastest — geometric-mean speedups of ~8.89x over user, ~8.85x over
+ * userfence, ~17.56x over timebase, ~161x over pthread and ~2.52x
+ * over none; the exhaustive counter erodes the speedup quadratically
+ * (cubically for T_L = 3), with a heuristic-over-exhaustive geomean
+ * around 305x.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    const std::int64_t iterations = scaledIterations(10000);
+    banner("Figure 10: runtime speedup over litmus7 user mode",
+           iterations);
+
+    stats::Table table({"test", "perple-exh", "perple-heur", "user",
+                        "userfence", "pthread", "timebase", "none"});
+
+    std::vector<double> speedup_heur_over_exh;
+    std::map<std::string, std::vector<double>> speedup_heur_over_mode;
+
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const litmus::Test &test = entry.test;
+        const bool cap_needed = test.numLoadThreads() >= 3;
+
+        const auto perple = runPerple(
+            test, iterations, /*run_exhaustive=*/true,
+            cap_needed ? std::min<std::int64_t>(iterations, 400) : 0);
+        const double exh_seconds = perple.exhaustiveSeconds();
+        const double heur_seconds = perple.heuristicSeconds();
+
+        std::map<std::string, double> mode_seconds;
+        for (const auto mode : runtime::allSyncModes())
+            mode_seconds[runtime::syncModeName(mode)] =
+                runLitmus7Mode(test, iterations, mode).seconds;
+
+        const double user_seconds = mode_seconds["user"];
+        table.addRow({test.name,
+                      stats::formatNumber(user_seconds / exh_seconds),
+                      stats::formatNumber(user_seconds / heur_seconds),
+                      "1.00",
+                      stats::formatNumber(user_seconds /
+                                          mode_seconds["userfence"]),
+                      stats::formatNumber(user_seconds /
+                                          mode_seconds["pthread"]),
+                      stats::formatNumber(user_seconds /
+                                          mode_seconds["timebase"]),
+                      stats::formatNumber(user_seconds /
+                                          mode_seconds["none"])});
+
+        speedup_heur_over_exh.push_back(exh_seconds / heur_seconds);
+        for (const auto &[mode_name, seconds] : mode_seconds)
+            speedup_heur_over_mode[mode_name].push_back(seconds /
+                                                        heur_seconds);
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("(cells are speedups vs litmus7 user on that test; "
+                "higher is better)\n\n");
+
+    std::printf("geomean speedup of PerpLE-heuristic over:\n");
+    for (const auto &[mode_name, values] : speedup_heur_over_mode)
+        std::printf("  litmus7 %-10s %7.2fx\n", mode_name.c_str(),
+                    stats::geometricMean(values));
+    std::printf("  PerpLE-exhaustive %7.2fx (exhaustive capped for "
+                "T_L=3 tests)\n",
+                stats::geometricMean(speedup_heur_over_exh));
+    std::printf("\npaper reference: user 8.89x, userfence 8.85x, "
+                "timebase 17.56x, pthread 161.35x, none 2.52x, "
+                "exhaustive 305x\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12: probability density of the thread-execution skew (in
+ * iterations) between the two threads of the perpetual sb test over
+ * 100k iterations. Skew is decoded from loaded sequence values using
+ * the same insight as the heuristic counter (Section VI-B.5).
+ *
+ * Expected shape: a wide distribution (threads run far ahead/behind)
+ * that is denser around zero.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    const std::int64_t iterations = scaledIterations(100000);
+    banner("Figure 12: thread skew PDF (perpetual sb)", iterations);
+
+    const auto &entry = litmus::findTest("sb");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+
+    core::HarnessConfig config;
+    config.backend = useNativeBackend() ? core::Backend::Native
+                                        : core::Backend::Simulator;
+    config.seed = baseSeed();
+    config.runExhaustive = false;
+    config.runHeuristic = false;
+    const auto result = core::runPerpetual(
+        perpetual, iterations, {entry.test.target}, config);
+
+    const stats::Histogram skew =
+        core::measureSkew(perpetual, result.run, iterations);
+
+    std::printf("samples: %llu, mean %.2f, stddev %.2f, "
+                "range [%lld, %lld]\n\n",
+                static_cast<unsigned long long>(skew.count()),
+                skew.mean(), skew.stddev(),
+                static_cast<long long>(skew.min()),
+                static_cast<long long>(skew.max()));
+
+    stats::Table table({"skew (iterations)", "density", "plot"});
+    const auto pdf = skew.binned(31);
+    double max_density = 0.0;
+    for (const auto &[center, density] : pdf)
+        max_density = std::max(max_density, density);
+    for (const auto &[center, density] : pdf) {
+        const int width = max_density > 0
+            ? static_cast<int>(44.0 * density / max_density)
+            : 0;
+        table.addRow({format("%.1f", center),
+                      format("%.3e", density),
+                      std::string(static_cast<std::size_t>(width),
+                                  '#')});
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    // The Figure-12 shape checks: support on both sides of zero and
+    // more mass in the central third than in the tails.
+    double central = 0.0, tails = 0.0;
+    const double lo = static_cast<double>(skew.min());
+    const double hi = static_cast<double>(skew.max());
+    const double third = (hi - lo) / 3.0;
+    for (const auto &[sample, weight] : skew.samples()) {
+        const auto s = static_cast<double>(sample);
+        if (s >= lo + third && s <= hi - third)
+            central += static_cast<double>(weight);
+        else
+            tails += static_cast<double>(weight);
+    }
+    std::printf("central-third mass: %.1f%%  (paper: denser around "
+                "0)\nboth signs covered: %s\n",
+                100.0 * central / (central + tails),
+                (skew.min() < 0 && skew.max() > 0) ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Section VI-B.4 / VII-D: heuristic outcome counter accuracy.
+ *
+ * For the target outcome of every suite test, the exhaustive and the
+ * heuristic counter run on the *same* in-memory results; the heuristic
+ * is accurate when it finds the target iff the exhaustive counter does
+ * (not necessarily the same number of times). The paper reports
+ * perfect accuracy.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    const std::int64_t iterations = scaledIterations(2000);
+    banner("Heuristic accuracy (Section VII-D)", iterations);
+
+    stats::Table table({"test", "exhaustive", "heuristic", "agree"});
+    int disagreements = 0;
+
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const litmus::Test &test = entry.test;
+        const bool cap_needed = test.numLoadThreads() >= 3;
+        const auto result = runPerple(
+            test, iterations, /*run_exhaustive=*/true,
+            cap_needed ? std::min<std::int64_t>(iterations, 300) : 0);
+        const auto exh = (*result.exhaustive)[0];
+        const auto heur = (*result.heuristic)[0];
+        const bool agree = (exh > 0) == (heur > 0);
+        if (!agree)
+            ++disagreements;
+        table.addRow({test.name, stats::formatCount(exh),
+                      stats::formatCount(heur),
+                      agree ? "yes" : "NO"});
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("disagreements: %d / %zu (paper: 0 — perfect "
+                "accuracy)\n",
+                disagreements, litmus::perpetualSuite().size());
+    return disagreements == 0 ? 0 : 1;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the PerpLE building blocks:
+ * frame-evaluation throughput of the exhaustive counter, pivot
+ * throughput of the heuristic counter, simulator step rate, test
+ * conversion and outcome conversion costs, and the native runner.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "perple/perple.h"
+
+namespace
+{
+
+using namespace perple;
+
+/** Simulator bufs for a converted test, cached per test name. */
+const sim::RunResult &
+cachedRun(const std::string &name, std::int64_t iterations)
+{
+    static std::map<std::string, sim::RunResult> cache;
+    const std::string key =
+        name + "/" + std::to_string(iterations);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const auto perpetual = core::convert(litmus::findTest(name).test);
+        sim::MachineConfig config;
+        config.seed = 7;
+        sim::Machine machine(perpetual.programs,
+                             perpetual.original.numLocations(), config);
+        sim::RunResult run;
+        machine.runFree(iterations, 0, run);
+        it = cache.emplace(key, std::move(run)).first;
+    }
+    return it->second;
+}
+
+void
+BM_ExhaustiveCounterFrames(benchmark::State &state)
+{
+    const auto &test = litmus::findTest("sb").test;
+    const auto outcomes = core::buildPerpetualOutcomes(
+        test, litmus::enumerateRegisterOutcomes(test));
+    const core::ExhaustiveCounter counter(test, outcomes);
+    const std::int64_t n = state.range(0);
+    const auto &run = cachedRun("sb", n);
+
+    for (auto _ : state) {
+        auto counts = counter.count(n, run.bufs);
+        benchmark::DoNotOptimize(counts);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+    state.counters["frames"] = static_cast<double>(n) *
+                               static_cast<double>(n);
+}
+BENCHMARK(BM_ExhaustiveCounterFrames)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_HeuristicCounterPivots(benchmark::State &state)
+{
+    const auto &test = litmus::findTest("sb").test;
+    const auto outcomes = core::buildPerpetualOutcomes(
+        test, litmus::enumerateRegisterOutcomes(test));
+    const core::HeuristicCounter counter(test, outcomes);
+    const std::int64_t n = state.range(0);
+    const auto &run = cachedRun("sb", n);
+
+    for (auto _ : state) {
+        auto counts = counter.count(n, run.bufs);
+        benchmark::DoNotOptimize(counts);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HeuristicCounterPivots)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(1048576);
+
+void
+BM_SimulatorSteps(benchmark::State &state)
+{
+    const auto perpetual = core::convert(litmus::findTest("sb").test);
+    const std::int64_t n = state.range(0);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::MachineConfig config;
+        config.seed = 7;
+        sim::Machine machine(perpetual.programs, 2, config);
+        sim::RunResult run;
+        machine.runFree(n, 0, run);
+        instructions = run.stats.instructions;
+        benchmark::DoNotOptimize(run);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_SimulatorSteps)->Arg(4096)->Arg(65536);
+
+void
+BM_TestConversion(benchmark::State &state)
+{
+    const auto &test = litmus::findTest("podwr001").test;
+    for (auto _ : state) {
+        auto perpetual = core::convert(test);
+        benchmark::DoNotOptimize(perpetual);
+    }
+}
+BENCHMARK(BM_TestConversion);
+
+void
+BM_OutcomeConversion(benchmark::State &state)
+{
+    const auto &test = litmus::findTest("iriw").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(test);
+    for (auto _ : state) {
+        auto perpetual = core::buildPerpetualOutcomes(test, outcomes);
+        benchmark::DoNotOptimize(perpetual);
+    }
+    state.counters["outcomes"] =
+        static_cast<double>(outcomes.size());
+}
+BENCHMARK(BM_OutcomeConversion);
+
+void
+BM_ModelCheckTso(benchmark::State &state)
+{
+    const auto &test = litmus::findTest("iriw").test;
+    for (auto _ : state) {
+        auto finals = model::enumerateFinalStates(
+            test, model::MemoryModel::TSO);
+        benchmark::DoNotOptimize(finals);
+    }
+}
+BENCHMARK(BM_ModelCheckTso);
+
+void
+BM_NativePerpetualRun(benchmark::State &state)
+{
+    const auto perpetual = core::convert(litmus::findTest("sb").test);
+    runtime::NativeConfig config;
+    config.mode = runtime::SyncMode::None;
+    config.perIterationInstances = false;
+    const std::int64_t n = state.range(0);
+    for (auto _ : state) {
+        auto result = runtime::runNative(perpetual.programs, 2, n,
+                                         config);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NativePerpetualRun)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

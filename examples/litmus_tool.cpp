@@ -1,0 +1,268 @@
+/**
+ * @file
+ * A litmus7-style command-line front end over the whole library: run
+ * any built-in or user-supplied litmus test with either engine, any
+ * synchronization mode and either backend, and print the outcome
+ * histogram.
+ *
+ * Usage:
+ *   litmus_tool list
+ *   litmus_tool show <test|file.litmus>
+ *   litmus_tool run  <test|file.litmus> [options]
+ *
+ * Options for `run`:
+ *   -n <iters>       iterations (default 10000)
+ *   -e perple|litmus7  engine (default perple)
+ *   -m <mode>        litmus7 sync mode: user userfence pthread
+ *                    timebase none (default user)
+ *   -b sim|native    backend (default sim)
+ *   -s <seed>        RNG seed (default 1)
+ *   --exhaustive     also run the exhaustive counter (perple engine)
+ *   --spec tso|pso   classify the target against this model
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "perple/perple.h"
+
+namespace
+{
+
+using namespace perple;
+
+litmus::Test
+loadTest(const std::string &spec)
+{
+    namespace fs = std::filesystem;
+    if (fs::exists(spec)) {
+        std::ifstream stream(spec);
+        std::ostringstream text;
+        text << stream.rdbuf();
+        litmus::Test test = litmus::parseTest(text.str());
+        litmus::validateOrThrow(test);
+        return test;
+    }
+    return litmus::findTest(spec).test;
+}
+
+int
+cmdList()
+{
+    stats::Table table({"test", "[T,T_L]", "TSO verdict",
+                        "convertible"});
+    for (const auto &entry : litmus::extendedCorpus()) {
+        table.addRow(
+            {entry.test.name,
+             format("[%d,%d]", entry.test.numThreads(),
+                    entry.test.numLoadThreads()),
+             entry.expected == litmus::TsoVerdict::Allowed
+                 ? "allowed"
+                 : "forbidden",
+             entry.convertible ? "yes" : "no"});
+    }
+    std::printf("%s", table.toString().c_str());
+    return 0;
+}
+
+int
+cmdShow(const std::string &spec)
+{
+    const litmus::Test test = loadTest(spec);
+    std::printf("%s\n", litmus::writeTest(test).c_str());
+    std::string reason;
+    if (core::isConvertible(test, {test.target}, reason)) {
+        const auto perpetual = core::convert(test);
+        const auto po =
+            core::buildPerpetualOutcome(test, test.target);
+        std::printf("perpetual target outcome: %s\n",
+                    po.describe(test).c_str());
+        const core::HeuristicCounter planner(
+            test, {po});
+        std::printf("heuristic plan: %s\n",
+                    planner.describePlan(0).c_str());
+    } else {
+        std::printf("not convertible: %s\n", reason.c_str());
+    }
+    for (const auto model :
+         {model::MemoryModel::SC, model::MemoryModel::TSO,
+          model::MemoryModel::PSO}) {
+        std::printf("target under %-3s: %s\n",
+                    model::memoryModelName(model),
+                    model::allows(test, test.target, model)
+                        ? "allowed"
+                        : "forbidden");
+    }
+    return 0;
+}
+
+int
+cmdRun(const litmus::Test &test, std::int64_t iterations,
+       const std::string &engine, runtime::SyncMode mode, bool native,
+       std::uint64_t seed, bool exhaustive,
+       model::MemoryModel spec_model)
+{
+    // Outcomes of interest: everything, target first.
+    std::vector<litmus::Outcome> outcomes = {test.target};
+    std::string reason;
+    const bool convertible =
+        core::isConvertible(test, {test.target}, reason);
+    if (test.numLoadThreads() > 0) {
+        for (const auto &o : litmus::enumerateRegisterOutcomes(test))
+            if (!(o == test.target))
+                outcomes.push_back(o);
+    }
+    const bool target_forbidden =
+        !model::allows(test, test.target, spec_model);
+
+    std::vector<std::uint64_t> counts;
+    double seconds = 0;
+    std::string engine_label;
+
+    if (engine == "perple") {
+        if (!convertible) {
+            std::fprintf(stderr,
+                         "test is not convertible (%s); rerun with "
+                         "-e litmus7\n",
+                         reason.c_str());
+            return 1;
+        }
+        const auto perpetual = core::convert(test);
+        core::HarnessConfig config;
+        config.backend = native ? core::Backend::Native
+                                : core::Backend::Simulator;
+        config.seed = seed;
+        config.runExhaustive = exhaustive;
+        config.countMode = core::CountMode::Independent;
+        if (exhaustive && test.numLoadThreads() >= 3)
+            config.exhaustiveCap = 400;
+        const auto result = core::runPerpetual(perpetual, iterations,
+                                               outcomes, config);
+        counts = *result.heuristic;
+        seconds = result.heuristicSeconds();
+        engine_label = "perple-heuristic";
+        if (exhaustive) {
+            std::printf("exhaustive counts (first %lld iterations):",
+                        static_cast<long long>(
+                            result.exhaustiveIterations));
+            for (const auto c : *result.exhaustive)
+                std::printf(" %llu",
+                            static_cast<unsigned long long>(c));
+            std::printf("\n");
+        }
+    } else {
+        litmus7::Litmus7Config config;
+        config.mode = mode;
+        config.backend = native ? litmus7::Backend::Native
+                                : litmus7::Backend::Simulator;
+        config.seed = seed;
+        const auto result =
+            litmus7::runLitmus7(test, iterations, outcomes, config);
+        counts = result.counts;
+        seconds = result.totalSeconds();
+        engine_label = "litmus7-" + runtime::syncModeName(mode);
+    }
+
+    std::printf("%s, %lld iterations, %.3f s\n", engine_label.c_str(),
+                static_cast<long long>(iterations), seconds);
+    stats::Table table({"outcome", "", "count"});
+    for (std::size_t o = 0; o < outcomes.size(); ++o) {
+        const bool is_target = outcomes[o] == test.target;
+        table.addRow({outcomes[o].toString(test),
+                      is_target ? (target_forbidden
+                                       ? "<-target (forbidden)"
+                                       : "<-target (allowed)")
+                                : "",
+                      stats::formatCount(counts[o])});
+    }
+    std::printf("%s", table.toString().c_str());
+
+    if (target_forbidden && counts[0] > 0) {
+        std::printf("\nWARNING: forbidden target observed %llu "
+                    "times — specification violation!\n",
+                    static_cast<unsigned long long>(counts[0]));
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace perple;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: litmus_tool list | show <test> | run "
+                     "<test> [options]\n");
+        return 2;
+    }
+    const std::string command = argv[1];
+
+    try {
+        if (command == "list")
+            return cmdList();
+        if (command == "show") {
+            if (argc < 3) {
+                std::fprintf(stderr, "show needs a test name\n");
+                return 2;
+            }
+            return cmdShow(argv[2]);
+        }
+        if (command != "run" || argc < 3) {
+            std::fprintf(stderr, "unknown command '%s'\n",
+                         command.c_str());
+            return 2;
+        }
+
+        const litmus::Test test = loadTest(argv[2]);
+        std::int64_t iterations = 10000;
+        std::string engine = "perple";
+        runtime::SyncMode mode = runtime::SyncMode::User;
+        bool native = false;
+        std::uint64_t seed = 1;
+        bool exhaustive = false;
+        model::MemoryModel spec_model = model::MemoryModel::TSO;
+
+        for (int i = 3; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto next = [&]() -> std::string {
+                checkUser(i + 1 < argc,
+                          "option " + arg + " needs a value");
+                return argv[++i];
+            };
+            if (arg == "-n")
+                iterations = std::atoll(next().c_str());
+            else if (arg == "-e")
+                engine = next();
+            else if (arg == "-m")
+                mode = runtime::syncModeFromName(next());
+            else if (arg == "-b")
+                native = next() == "native";
+            else if (arg == "-s")
+                seed = static_cast<std::uint64_t>(
+                    std::atoll(next().c_str()));
+            else if (arg == "--exhaustive")
+                exhaustive = true;
+            else if (arg == "--spec")
+                spec_model = next() == "pso" ? model::MemoryModel::PSO
+                                             : model::MemoryModel::TSO;
+            else
+                fatal("unknown option '" + arg + "'");
+        }
+        checkUser(engine == "perple" || engine == "litmus7",
+                  "engine must be perple or litmus7");
+        return cmdRun(test, iterations, engine, mode, native, seed,
+                      exhaustive, spec_model);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The PerpLE Converter as a command-line tool (paper Section V-A):
+ * given a litmus test — by suite name or as a litmus7-format file —
+ * emit the Converter's outputs into a directory:
+ *
+ *   <name>_thread<t>.s   per-thread perpetual loop, x86-64 assembly
+ *   <name>_count.c       exhaustive outcome counter (Algorithm 1)
+ *   <name>_count_h.c     heuristic outcome counter (Algorithm 2)
+ *   <name>_params.txt    t0_reads .. t{T-1}_reads buf-sizing params
+ *   <name>.litmus        the original test, normalized
+ *
+ * Usage: perple_codegen <test-name | file.litmus> [output-dir]
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "perple/perple.h"
+
+namespace
+{
+
+perple::litmus::Test
+loadTest(const std::string &spec)
+{
+    namespace fs = std::filesystem;
+    if (fs::exists(spec)) {
+        std::ifstream stream(spec);
+        std::ostringstream text;
+        text << stream.rdbuf();
+        return perple::litmus::parseTest(text.str());
+    }
+    return perple::litmus::findTest(spec).test;
+}
+
+void
+writeFile(const std::filesystem::path &path, const std::string &text)
+{
+    std::ofstream(path) << text;
+    std::printf("  wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace perple;
+    namespace fs = std::filesystem;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: perple_codegen <test-name|file.litmus> "
+                     "[output-dir]\n");
+        return 2;
+    }
+    const std::string spec = argv[1];
+    const fs::path out_dir = argc > 2 ? argv[2] : "perple_out";
+
+    try {
+        const litmus::Test test = loadTest(spec);
+        litmus::validateOrThrow(test);
+
+        // Outcomes of interest: all register outcomes, target first
+        // (so counts[0] is the target tally).
+        std::vector<litmus::Outcome> outcomes = {test.target};
+        for (const auto &o : litmus::enumerateRegisterOutcomes(test))
+            if (!(o == test.target))
+                outcomes.push_back(o);
+
+        std::string reason;
+        if (!core::isConvertible(test, outcomes, reason)) {
+            std::fprintf(stderr,
+                         "test '%s' is not convertible: %s\n"
+                         "run it with the litmus7 baseline instead "
+                         "(Section VII-G).\n",
+                         test.name.c_str(), reason.c_str());
+            return 1;
+        }
+
+        const core::PerpetualTest perpetual = core::convert(test);
+        const std::string name = core::identifierFor(test.name);
+
+        fs::create_directories(out_dir);
+        std::printf("converting '%s' (T=%d, T_L=%d):\n",
+                    test.name.c_str(), test.numThreads(),
+                    test.numLoadThreads());
+
+        for (litmus::ThreadId t = 0; t < test.numThreads(); ++t)
+            writeFile(out_dir / (name + "_thread" +
+                                 std::to_string(t) + ".s"),
+                      core::emitThreadAssembly(perpetual, t));
+        writeFile(out_dir / (name + "_count.c"),
+                  core::emitExhaustiveCounterC(perpetual, outcomes));
+        writeFile(out_dir / (name + "_count_h.c"),
+                  core::emitHeuristicCounterC(perpetual, outcomes));
+        writeFile(out_dir / (name + "_params.txt"),
+                  core::emitReadsParams(perpetual));
+        writeFile(out_dir / (name + ".litmus"),
+                  litmus::writeTest(test));
+
+        std::printf("done: %zu outcomes of interest, stride(s):",
+                    outcomes.size());
+        for (litmus::LocationId loc = 0; loc < test.numLocations();
+             ++loc)
+            std::printf(" k_%s=%d", test.locations[static_cast<
+                            std::size_t>(loc)].c_str(),
+                        perpetual.strides[static_cast<std::size_t>(
+                            loc)]);
+        std::printf("\n");
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,18 @@
+#include "common/error.h"
+
+namespace perple
+{
+
+void
+fatal(const std::string &message)
+{
+    throw UserError(message);
+}
+
+void
+panic(const std::string &message)
+{
+    throw InternalError("internal error: " + message);
+}
+
+} // namespace perple

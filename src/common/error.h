@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error handling primitives shared by every PerpLE module.
+ *
+ * Two failure classes are distinguished, following the usual
+ * simulator-codebase convention:
+ *
+ *  - UserError: the input (a litmus test, an outcome specification, a
+ *    configuration value) is invalid. These are raised with fatal() and
+ *    are expected to be caught and reported by tools.
+ *  - InternalError: an invariant of PerpLE itself was violated. These are
+ *    raised with panic() and indicate a bug in this library.
+ */
+
+#ifndef PERPLE_COMMON_ERROR_H
+#define PERPLE_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace perple
+{
+
+/** Base class for all exceptions thrown by PerpLE. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** The caller supplied invalid input; the library itself is fine. */
+class UserError : public Error
+{
+  public:
+    explicit UserError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/** A PerpLE invariant was violated; this indicates a library bug. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/**
+ * Raise a UserError for a condition caused by bad input.
+ *
+ * @param message Human-readable description of what the caller got wrong.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Raise an InternalError for a condition that should be impossible.
+ *
+ * @param message Human-readable description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+/** Raise a UserError with @p message unless @p condition holds. */
+inline void
+checkUser(bool condition, const std::string &message)
+{
+    if (!condition)
+        fatal(message);
+}
+
+/** Raise an InternalError with @p message unless @p condition holds. */
+inline void
+checkInternal(bool condition, const std::string &message)
+{
+    if (!condition)
+        panic(message);
+}
+
+} // namespace perple
+
+#endif // PERPLE_COMMON_ERROR_H

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace perple
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Info;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+debug(const std::string &message)
+{
+    if (g_level <= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", message.c_str());
+}
+
+void
+inform(const std::string &message)
+{
+    if (g_level <= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+warn(const std::string &message)
+{
+    if (g_level <= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+} // namespace perple

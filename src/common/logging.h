@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Console status messages (inform / warn), gem5-style.
+ *
+ * These never stop execution; they only keep the user informed. Verbosity
+ * is controlled globally so tests can silence the library.
+ */
+
+#ifndef PERPLE_COMMON_LOGGING_H
+#define PERPLE_COMMON_LOGGING_H
+
+#include <string>
+
+namespace perple
+{
+
+/** Log severities, lowest to highest. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Silent,
+};
+
+/** Set the minimum severity that is printed (default: Info). */
+void setLogLevel(LogLevel level);
+
+/** Current minimum printed severity. */
+LogLevel logLevel();
+
+/** Print a debugging message to stderr when verbosity allows. */
+void debug(const std::string &message);
+
+/** Print an informational status message to stderr. */
+void inform(const std::string &message);
+
+/** Print a warning to stderr. */
+void warn(const std::string &message);
+
+} // namespace perple
+
+#endif // PERPLE_COMMON_LOGGING_H

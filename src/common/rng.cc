@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace perple
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for state expansion from a user seed. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+    // xoshiro requires a nonzero state; splitmix64 cannot produce four
+    // zero outputs in a row, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    checkInternal(bound != 0, "Rng::nextBelow bound must be nonzero");
+    // Lemire's multiply-shift method with rejection of the biased zone.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    checkInternal(lo <= hi, "Rng::nextInRange requires lo <= hi");
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+    const std::uint64_t draw = (span == 0) ? next() : nextBelow(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5a5a5a5a5ULL);
+}
+
+} // namespace perple

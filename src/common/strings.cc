@@ -1,0 +1,94 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace perple
+{
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed <= 0)
+        return {};
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &text, char delimiter, bool keep_empty)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t pos = text.find(delimiter, start);
+        const std::size_t end = (pos == std::string::npos) ? text.size()
+                                                           : pos;
+        std::string field = trim(text.substr(start, end - start));
+        if (keep_empty || !field.empty())
+            fields.push_back(std::move(field));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return fields;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &separator)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0)
+            out += separator;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace perple

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string utilities used by the parser, writers and reporters.
+ *
+ * GCC 12 ships no usable std::format, so format() below provides the few
+ * printf-style conveniences PerpLE needs without pulling in a dependency.
+ */
+
+#ifndef PERPLE_COMMON_STRINGS_H
+#define PERPLE_COMMON_STRINGS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace perple
+{
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style counterpart of format(). */
+std::string vformat(const char *fmt, std::va_list args);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/**
+ * Split @p text on @p delimiter.
+ *
+ * @param text Input text.
+ * @param delimiter Single separator character.
+ * @param keep_empty Whether empty fields are preserved.
+ * @return The list of fields, each already trimmed of whitespace.
+ */
+std::vector<std::string> split(const std::string &text, char delimiter,
+                               bool keep_empty = false);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Join the items of @p parts with @p separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &separator);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+} // namespace perple
+
+#endif // PERPLE_COMMON_STRINGS_H

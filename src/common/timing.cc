@@ -1,0 +1,55 @@
+#include "common/timing.h"
+
+#include "common/strings.h"
+
+namespace perple
+{
+
+void
+PhaseTimer::start(const std::string &phase)
+{
+    stop();
+    current_ = phase;
+    running_ = true;
+    timer_.restart();
+}
+
+void
+PhaseTimer::stop()
+{
+    if (!running_)
+        return;
+    phases_[current_] += timer_.elapsedNs();
+    running_ = false;
+}
+
+std::int64_t
+PhaseTimer::phaseNs(const std::string &phase) const
+{
+    const auto it = phases_.find(phase);
+    return it == phases_.end() ? 0 : it->second;
+}
+
+std::int64_t
+PhaseTimer::totalNs() const
+{
+    std::int64_t total = 0;
+    for (const auto &[name, ns] : phases_)
+        total += ns;
+    return total;
+}
+
+std::string
+formatDuration(std::int64_t ns)
+{
+    const double abs_ns = static_cast<double>(ns < 0 ? -ns : ns);
+    if (abs_ns < 1e3)
+        return format("%lld ns", static_cast<long long>(ns));
+    if (abs_ns < 1e6)
+        return format("%.2f us", static_cast<double>(ns) / 1e3);
+    if (abs_ns < 1e9)
+        return format("%.2f ms", static_cast<double>(ns) / 1e6);
+    return format("%.3f s", static_cast<double>(ns) / 1e9);
+}
+
+} // namespace perple

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the harnesses and benches.
+ *
+ * Every experiment in the paper reports a runtime that is split into
+ * phases (synchronization, test execution, outcome counting), so the
+ * benches here use PhaseTimer to attribute time the same way.
+ */
+
+#ifndef PERPLE_COMMON_TIMING_H
+#define PERPLE_COMMON_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace perple
+{
+
+/** Monotonic stopwatch measuring elapsed nanoseconds. */
+class WallTimer
+{
+  public:
+    /** Construct and start immediately. */
+    WallTimer() { restart(); }
+
+    /** Reset the origin to now. */
+    void restart() { start_ = Clock::now(); }
+
+    /** Nanoseconds since construction or the last restart(). */
+    std::int64_t
+    elapsedNs() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+    /** Seconds since construction or the last restart(). */
+    double
+    elapsedSeconds() const
+    {
+        return static_cast<double>(elapsedNs()) * 1e-9;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Accumulates named phase durations.
+ *
+ * Usage: call start("sync"), do work, call stop(). Phases may be entered
+ * repeatedly; durations accumulate.
+ */
+class PhaseTimer
+{
+  public:
+    /** Begin attributing time to @p phase. Implicitly ends any open one. */
+    void start(const std::string &phase);
+
+    /** Stop the currently open phase, if any. */
+    void stop();
+
+    /** Accumulated nanoseconds attributed to @p phase (0 if unknown). */
+    std::int64_t phaseNs(const std::string &phase) const;
+
+    /** Accumulated seconds attributed to @p phase. */
+    double
+    phaseSeconds(const std::string &phase) const
+    {
+        return static_cast<double>(phaseNs(phase)) * 1e-9;
+    }
+
+    /** Sum of all phase durations in nanoseconds. */
+    std::int64_t totalNs() const;
+
+    /** All accumulated phases keyed by name. */
+    const std::map<std::string, std::int64_t> &phases() const
+    {
+        return phases_;
+    }
+
+  private:
+    std::map<std::string, std::int64_t> phases_;
+    std::string current_;
+    WallTimer timer_;
+    bool running_ = false;
+};
+
+/** Render a nanosecond duration as a human-readable string. */
+std::string formatDuration(std::int64_t ns);
+
+} // namespace perple
+
+#endif // PERPLE_COMMON_TIMING_H

@@ -1,0 +1,187 @@
+#include "generate/generator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/outcome.h"
+#include "litmus/validator.h"
+
+namespace perple::generate
+{
+
+using litmus::Instruction;
+using litmus::LocationId;
+using litmus::Outcome;
+using litmus::Test;
+using litmus::ThreadId;
+using litmus::TsoVerdict;
+using litmus::Value;
+
+namespace
+{
+
+const char *kRegisterNames[] = {"EAX", "EBX", "ECX", "EDX"};
+const char *kLocationNames[] = {"x", "y", "z", "w"};
+
+} // namespace
+
+std::optional<Test>
+generateCandidate(const GeneratorConfig &config, Rng &rng)
+{
+    checkUser(config.minThreads >= 2 &&
+                  config.maxThreads >= config.minThreads,
+              "generator needs at least two threads");
+    checkUser(config.maxLocations >= 2 && config.maxLocations <= 4,
+              "generator supports 2..4 locations");
+    checkUser(config.maxOpsPerThread >= 1 &&
+              config.maxOpsPerThread <= 4,
+              "generator supports 1..4 memory ops per thread");
+
+    const int num_threads = static_cast<int>(rng.nextInRange(
+        config.minThreads, config.maxThreads));
+    const int num_locations =
+        static_cast<int>(rng.nextInRange(2, config.maxLocations));
+
+    Test test;
+    test.doc = "generated";
+    for (int loc = 0; loc < num_locations; ++loc)
+        test.locations.push_back(kLocationNames[loc]);
+
+    // Next constant to store per location (uniqueness + positivity).
+    std::vector<Value> next_value(
+        static_cast<std::size_t>(num_locations), 1);
+    std::vector<int> stores_per_location(
+        static_cast<std::size_t>(num_locations), 0);
+
+    for (int t = 0; t < num_threads; ++t) {
+        litmus::Thread thread;
+        const int num_ops = static_cast<int>(
+            rng.nextInRange(1, config.maxOpsPerThread));
+        int loads = 0;
+        for (int i = 0; i < num_ops; ++i) {
+            const auto loc = static_cast<LocationId>(
+                rng.nextBelow(static_cast<std::uint64_t>(
+                    num_locations)));
+            const bool can_store =
+                stores_per_location[static_cast<std::size_t>(loc)] <
+                config.maxStoredValuesPerLocation;
+            const bool store = can_store && loads >= 4
+                ? true
+                : (can_store ? rng.nextBool(0.5) : false);
+            if (store) {
+                thread.instructions.push_back(Instruction::makeStore(
+                    loc,
+                    next_value[static_cast<std::size_t>(loc)]++));
+                ++stores_per_location[static_cast<std::size_t>(loc)];
+            } else {
+                if (loads >= 4)
+                    continue; // Out of register names.
+                thread.registerNames.push_back(
+                    kRegisterNames[loads]);
+                thread.instructions.push_back(Instruction::makeLoad(
+                    loc, static_cast<litmus::RegisterId>(loads)));
+                ++loads;
+            }
+            if (i + 1 < num_ops &&
+                rng.nextBool(config.fenceProbability))
+                thread.instructions.push_back(
+                    Instruction::makeFence());
+        }
+        if (thread.instructions.empty())
+            return std::nullopt;
+        test.threads.push_back(std::move(thread));
+    }
+
+    // Degenerate shapes: no loads anywhere (no outcomes to pick), or a
+    // location loaded but never stored combined with nothing else is
+    // fine — the validator rules out the rest.
+    int total_loads = 0, total_stores = 0;
+    for (const auto &thread : test.threads) {
+        total_loads += thread.numLoads();
+        total_stores += thread.numStores();
+    }
+    if (total_loads == 0 || total_stores == 0)
+        return std::nullopt;
+
+    if (!litmus::validate(test).ok())
+        return std::nullopt;
+    return test;
+}
+
+std::vector<GeneratedTest>
+generateSuite(int count, const GeneratorConfig &config,
+              std::uint64_t seed)
+{
+    checkUser(count > 0, "generateSuite needs a positive count");
+    Rng rng(seed);
+    std::vector<GeneratedTest> suite;
+
+    int attempts = 0;
+    const int max_attempts = count * 200;
+    while (static_cast<int>(suite.size()) < count &&
+           attempts++ < max_attempts) {
+        auto candidate = generateCandidate(config, rng);
+        if (!candidate)
+            continue;
+        Test test = std::move(*candidate);
+
+        auto outcomes = litmus::enumerateRegisterOutcomes(test);
+        if (outcomes.size() > config.maxOutcomes)
+            continue;
+
+        // Classify and pick an informative target: SC-forbidden,
+        // preferring TSO-allowed ("relaxed") over TSO-forbidden
+        // ("safe"). Shuffle so ties break randomly.
+        rng.shuffle(outcomes);
+        const auto sc_states =
+            model::enumerateFinalStates(test, model::MemoryModel::SC);
+        const auto tso_states =
+            model::enumerateFinalStates(test, model::MemoryModel::TSO);
+        const auto satisfied = [](const auto &states,
+                                  const Outcome &outcome) {
+            for (const auto &state : states)
+                if (state.satisfies(outcome))
+                    return true;
+            return false;
+        };
+
+        const Outcome *relaxed = nullptr;
+        const Outcome *safe = nullptr;
+        for (const auto &outcome : outcomes) {
+            if (satisfied(sc_states, outcome))
+                continue; // Not informative.
+            if (satisfied(tso_states, outcome)) {
+                if (!relaxed)
+                    relaxed = &outcome;
+            } else if (!safe) {
+                safe = &outcome;
+            }
+            if (relaxed)
+                break;
+        }
+        const Outcome *target = relaxed ? relaxed : safe;
+        if (!target)
+            continue; // No informative outcome; discard.
+
+        GeneratedTest generated;
+        test.target = *target;
+        test.name = format("gen%llu-%zu",
+                           static_cast<unsigned long long>(seed),
+                           suite.size());
+        generated.tsoVerdict = relaxed ? TsoVerdict::Allowed
+                                       : TsoVerdict::Forbidden;
+        generated.psoVerdict =
+            model::allows(test, test.target, model::MemoryModel::PSO)
+                ? TsoVerdict::Allowed
+                : TsoVerdict::Forbidden;
+        generated.test = std::move(test);
+        suite.push_back(std::move(generated));
+    }
+    checkUser(static_cast<int>(suite.size()) == count,
+              "generator failed to produce enough informative tests; "
+              "loosen the configuration");
+    return suite;
+}
+
+} // namespace perple::generate

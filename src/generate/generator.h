@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Random litmus-test generation with model-checked target selection —
+ * PerpLE's substitute for the diy test generator the paper's corpus
+ * came from (Section VIII: "The Converter tool in PerpLE extends such
+ * [litmus test generation] tools by converting newly generated litmus
+ * tests to their perpetual counterpart").
+ *
+ * Generation is enumerate-and-classify rather than cycle-directed:
+ * random well-formed bodies are produced, every register outcome is
+ * classified by the operational model checkers, and the target is
+ * chosen to be *informative* (forbidden under SC, so observing it
+ * proves a relaxation) — preferring TSO-allowed targets ("relaxed"
+ * tests that a TSO machine should expose) and falling back to
+ * TSO-forbidden ones ("safe" tests that flag broken hardware).
+ * Candidates with no informative outcome are discarded. This is
+ * tractable because litmus tests are tiny.
+ */
+
+#ifndef PERPLE_GENERATE_GENERATOR_H
+#define PERPLE_GENERATE_GENERATOR_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "litmus/registry.h"
+#include "litmus/test.h"
+#include "model/operational.h"
+
+namespace perple::generate
+{
+
+/** Shape constraints for generated tests. */
+struct GeneratorConfig
+{
+    int minThreads = 2;
+    int maxThreads = 3;
+    int maxLocations = 3;
+
+    /** Maximum memory operations per thread (fences extra). */
+    int maxOpsPerThread = 3;
+
+    /** Probability of inserting an MFENCE between two ops. */
+    double fenceProbability = 0.15;
+
+    /** Distinct constants allowed per location (k_mem bound). */
+    int maxStoredValuesPerLocation = 2;
+
+    /** Cap on enumerated outcomes per candidate (cost bound). */
+    std::size_t maxOutcomes = 256;
+};
+
+/** One generated test with its model-checked metadata. */
+struct GeneratedTest
+{
+    litmus::Test test;
+
+    /** Target verdict under x86-TSO (always SC-forbidden). */
+    litmus::TsoVerdict tsoVerdict = litmus::TsoVerdict::Forbidden;
+
+    /** Target verdict under PSO. */
+    litmus::TsoVerdict psoVerdict = litmus::TsoVerdict::Forbidden;
+};
+
+/**
+ * Generate one random well-formed candidate body (no target chosen).
+ *
+ * @param config Shape constraints.
+ * @param[in,out] rng Randomness source.
+ * @return A validated test with an empty target, or nullopt when the
+ *         draw produced a degenerate shape (caller retries).
+ */
+std::optional<litmus::Test>
+generateCandidate(const GeneratorConfig &config, Rng &rng);
+
+/**
+ * Generate @p count tests with informative, model-checked targets.
+ *
+ * Deterministic in @p seed. Names are "gen<seed>-<index>".
+ *
+ * @param count Number of tests to produce.
+ * @param config Shape constraints.
+ * @param seed RNG seed.
+ */
+std::vector<GeneratedTest> generateSuite(int count,
+                                         const GeneratorConfig &config,
+                                         std::uint64_t seed);
+
+} // namespace perple::generate
+
+#endif // PERPLE_GENERATE_GENERATOR_H

@@ -1,0 +1,133 @@
+#include "litmus/builder.h"
+
+#include "common/error.h"
+
+namespace perple::litmus
+{
+
+TestBuilder::TestBuilder(std::string name)
+{
+    test_.name = std::move(name);
+}
+
+TestBuilder &
+TestBuilder::doc(std::string text)
+{
+    test_.doc = std::move(text);
+    return *this;
+}
+
+TestBuilder &
+TestBuilder::thread()
+{
+    test_.threads.emplace_back();
+    return *this;
+}
+
+LocationId
+TestBuilder::locationIdFor(const std::string &location)
+{
+    const LocationId existing = test_.locationId(location);
+    if (existing >= 0)
+        return existing;
+    test_.locations.push_back(location);
+    return static_cast<LocationId>(test_.locations.size() - 1);
+}
+
+RegisterId
+TestBuilder::registerIdFor(ThreadId thread, const std::string &reg)
+{
+    const RegisterId existing = test_.registerId(thread, reg);
+    if (existing >= 0)
+        return existing;
+    auto &names =
+        test_.threads[static_cast<std::size_t>(thread)].registerNames;
+    names.push_back(reg);
+    return static_cast<RegisterId>(names.size() - 1);
+}
+
+TestBuilder &
+TestBuilder::store(const std::string &location, Value value)
+{
+    checkUser(!test_.threads.empty(),
+              "TestBuilder: call thread() before adding instructions");
+    test_.threads.back().instructions.push_back(
+        Instruction::makeStore(locationIdFor(location), value));
+    return *this;
+}
+
+TestBuilder &
+TestBuilder::load(const std::string &reg, const std::string &location)
+{
+    checkUser(!test_.threads.empty(),
+              "TestBuilder: call thread() before adding instructions");
+    const auto thread =
+        static_cast<ThreadId>(test_.threads.size() - 1);
+    test_.threads.back().instructions.push_back(Instruction::makeLoad(
+        locationIdFor(location), registerIdFor(thread, reg)));
+    return *this;
+}
+
+TestBuilder &
+TestBuilder::rmw(const std::string &reg, const std::string &location,
+                 Value value)
+{
+    checkUser(!test_.threads.empty(),
+              "TestBuilder: call thread() before adding instructions");
+    const auto thread =
+        static_cast<ThreadId>(test_.threads.size() - 1);
+    test_.threads.back().instructions.push_back(Instruction::makeRmw(
+        locationIdFor(location), value, registerIdFor(thread, reg)));
+    return *this;
+}
+
+TestBuilder &
+TestBuilder::fence()
+{
+    checkUser(!test_.threads.empty(),
+              "TestBuilder: call thread() before adding instructions");
+    test_.threads.back().instructions.push_back(Instruction::makeFence());
+    return *this;
+}
+
+TestBuilder &
+TestBuilder::target(std::vector<RegCond> conditions)
+{
+    reg_conditions_ = std::move(conditions);
+    return *this;
+}
+
+TestBuilder &
+TestBuilder::memoryTarget(std::vector<MemCond> conditions)
+{
+    mem_conditions_ = std::move(conditions);
+    return *this;
+}
+
+Test
+TestBuilder::build()
+{
+    Outcome outcome;
+    for (const auto &cond : reg_conditions_) {
+        checkUser(cond.thread >= 0 && cond.thread < test_.numThreads(),
+                  "TestBuilder: target condition names a missing thread "
+                  "in " + test_.name);
+        const RegisterId reg = test_.registerId(cond.thread, cond.reg);
+        checkUser(reg >= 0,
+                  "TestBuilder: target condition names unknown register " +
+                      cond.reg + " in " + test_.name);
+        outcome.conditions.push_back(
+            Condition::onRegister(cond.thread, reg, cond.value));
+    }
+    for (const auto &cond : mem_conditions_) {
+        const LocationId loc = test_.locationId(cond.loc);
+        checkUser(loc >= 0,
+                  "TestBuilder: memory condition names unknown location " +
+                      cond.loc + " in " + test_.name);
+        outcome.conditions.push_back(Condition::onMemory(loc, cond.value));
+    }
+    test_.target = std::move(outcome);
+    return std::move(test_);
+}
+
+} // namespace perple::litmus

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fluent construction of litmus tests.
+ *
+ * The registry and the unit tests build tests programmatically; this
+ * builder keeps those definitions close to the paper's notation:
+ *
+ * @code
+ * Test sb = TestBuilder("sb")
+ *     .thread().store("x", 1).load("EAX", "y")
+ *     .thread().store("y", 1).load("EAX", "x")
+ *     .target({{0, "EAX", 0}, {1, "EAX", 0}})
+ *     .build();
+ * @endcode
+ */
+
+#ifndef PERPLE_LITMUS_BUILDER_H
+#define PERPLE_LITMUS_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+
+namespace perple::litmus
+{
+
+/** Builder for Test objects; see file comment for usage. */
+class TestBuilder
+{
+  public:
+    /** Reference to a register condition in target() clauses. */
+    struct RegCond
+    {
+        ThreadId thread;
+        std::string reg;
+        Value value;
+    };
+
+    /** Reference to a final-memory condition in memoryTarget(). */
+    struct MemCond
+    {
+        std::string loc;
+        Value value;
+    };
+
+    /** Start a test named @p name. */
+    explicit TestBuilder(std::string name);
+
+    /** Set the one-line description. */
+    TestBuilder &doc(std::string text);
+
+    /** Begin the next thread; instructions below attach to it. */
+    TestBuilder &thread();
+
+    /** Append a store of @p value to @p location in the current thread. */
+    TestBuilder &store(const std::string &location, Value value);
+
+    /** Append a load of @p location into @p reg in the current thread. */
+    TestBuilder &load(const std::string &reg, const std::string &location);
+
+    /**
+     * Append an atomic exchange in the current thread: store @p value
+     * to @p location, loading the previous value into @p reg.
+     */
+    TestBuilder &rmw(const std::string &reg, const std::string &location,
+                     Value value);
+
+    /** Append an MFENCE in the current thread. */
+    TestBuilder &fence();
+
+    /** Set the target outcome from register conditions. */
+    TestBuilder &target(std::vector<RegCond> conditions);
+
+    /** Append final-memory conditions to the target outcome. */
+    TestBuilder &memoryTarget(std::vector<MemCond> conditions);
+
+    /** Finish; validates nothing beyond structural consistency. */
+    Test build();
+
+  private:
+    LocationId locationIdFor(const std::string &location);
+    RegisterId registerIdFor(ThreadId thread, const std::string &reg);
+
+    Test test_;
+    std::vector<RegCond> reg_conditions_;
+    std::vector<MemCond> mem_conditions_;
+};
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_BUILDER_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A single litmus-test instruction.
+ *
+ * Litmus tests combine three operation kinds: stores of (positive) integer
+ * constants to shared locations, loads of shared locations into per-thread
+ * registers, and full memory fences (MFENCE on x86). This mirrors the test
+ * language accepted by litmus7 for the TSO corpus used in the paper.
+ */
+
+#ifndef PERPLE_LITMUS_INSTRUCTION_H
+#define PERPLE_LITMUS_INSTRUCTION_H
+
+#include "litmus/types.h"
+
+namespace perple::litmus
+{
+
+/** Operation kinds appearing in litmus tests. */
+enum class OpKind
+{
+    Store, ///< [loc] <- value
+    Load,  ///< reg <- [loc]
+    Fence, ///< MFENCE
+    Rmw,   ///< XCHG: atomically reg <- [loc], [loc] <- value.
+           ///< x86 XCHG with memory is implicitly locked: it acts as
+           ///< a full fence and its load/store pair is atomic.
+};
+
+/** One instruction of one litmus-test thread. */
+struct Instruction
+{
+    OpKind kind = OpKind::Fence;
+    LocationId loc = -1;  ///< Valid for Store and Load.
+    Value value = 0;      ///< Valid for Store; the constant stored.
+    RegisterId reg = -1;  ///< Valid for Load; the destination register.
+
+    /** Build a store of @p stored_value to @p location. */
+    static Instruction
+    makeStore(LocationId location, Value stored_value)
+    {
+        Instruction instr;
+        instr.kind = OpKind::Store;
+        instr.loc = location;
+        instr.value = stored_value;
+        return instr;
+    }
+
+    /** Build a load of @p location into @p dest_register. */
+    static Instruction
+    makeLoad(LocationId location, RegisterId dest_register)
+    {
+        Instruction instr;
+        instr.kind = OpKind::Load;
+        instr.loc = location;
+        instr.reg = dest_register;
+        return instr;
+    }
+
+    /** Build a full memory fence. */
+    static Instruction
+    makeFence()
+    {
+        return Instruction{};
+    }
+
+    /**
+     * Build an atomic exchange: store @p stored_value to @p location
+     * and load the previous value into @p dest_register, atomically
+     * and with full-fence ordering (x86 locked-instruction
+     * semantics).
+     */
+    static Instruction
+    makeRmw(LocationId location, Value stored_value,
+            RegisterId dest_register)
+    {
+        Instruction instr;
+        instr.kind = OpKind::Rmw;
+        instr.loc = location;
+        instr.value = stored_value;
+        instr.reg = dest_register;
+        return instr;
+    }
+
+    bool isStore() const { return kind == OpKind::Store; }
+    bool isLoad() const { return kind == OpKind::Load; }
+    bool isFence() const { return kind == OpKind::Fence; }
+    bool isRmw() const { return kind == OpKind::Rmw; }
+
+    /** True when the instruction fills a register (Load or Rmw). */
+    bool
+    readsRegister() const
+    {
+        return kind == OpKind::Load || kind == OpKind::Rmw;
+    }
+
+    /** True when the instruction writes memory (Store or Rmw). */
+    bool
+    writesMemory() const
+    {
+        return kind == OpKind::Store || kind == OpKind::Rmw;
+    }
+
+    /** True when the instruction orders like MFENCE (Fence or Rmw). */
+    bool
+    ordersLikeFence() const
+    {
+        return kind == OpKind::Fence || kind == OpKind::Rmw;
+    }
+
+    bool
+    operator==(const Instruction &other) const
+    {
+        if (kind != other.kind)
+            return false;
+        switch (kind) {
+          case OpKind::Store:
+            return loc == other.loc && value == other.value;
+          case OpKind::Load:
+            return loc == other.loc && reg == other.reg;
+          case OpKind::Fence:
+            return true;
+          case OpKind::Rmw:
+            return loc == other.loc && value == other.value &&
+                   reg == other.reg;
+        }
+        return false;
+    }
+};
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_INSTRUCTION_H

@@ -1,0 +1,122 @@
+#include "litmus/outcome.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/test.h"
+
+namespace perple::litmus
+{
+
+bool
+Outcome::hasMemoryCondition() const
+{
+    for (const auto &cond : conditions)
+        if (cond.kind == Condition::Kind::Memory)
+            return true;
+    return false;
+}
+
+std::string
+Outcome::toString(const Test &test) const
+{
+    std::vector<std::string> parts;
+    for (const auto &cond : conditions) {
+        if (cond.kind == Condition::Kind::Register) {
+            const auto &thread =
+                test.threads[static_cast<std::size_t>(cond.thread)];
+            parts.push_back(format(
+                "%d:%s=%lld", cond.thread,
+                thread.registerNames[static_cast<std::size_t>(cond.reg)]
+                    .c_str(),
+                static_cast<long long>(cond.value)));
+        } else {
+            parts.push_back(format(
+                "%s=%lld",
+                test.locations[static_cast<std::size_t>(cond.loc)].c_str(),
+                static_cast<long long>(cond.value)));
+        }
+    }
+    return join(parts, " /\\ ");
+}
+
+std::string
+Outcome::label(const Test &test) const
+{
+    std::string out;
+    for (const auto &cond : conditions) {
+        if (cond.kind == Condition::Kind::Register) {
+            out += format("%lld", static_cast<long long>(cond.value));
+        } else {
+            out += format(
+                "[%s]=%lld",
+                test.locations[static_cast<std::size_t>(cond.loc)].c_str(),
+                static_cast<long long>(cond.value));
+        }
+    }
+    return out;
+}
+
+std::vector<Outcome>
+enumerateRegisterOutcomes(const Test &test)
+{
+    // Collect (thread, reg, candidate values) for every loaded register
+    // in (thread, register) order.
+    struct Slot
+    {
+        ThreadId thread;
+        RegisterId reg;
+        std::vector<Value> candidates;
+    };
+    std::vector<Slot> slots;
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &thread = test.threads[static_cast<std::size_t>(t)];
+        const auto num_regs =
+            static_cast<RegisterId>(thread.registerNames.size());
+        for (RegisterId r = 0; r < num_regs; ++r) {
+            const int load_index = test.loadIndexForRegister(t, r);
+            if (load_index < 0)
+                continue;
+            const auto loc =
+                thread.instructions[static_cast<std::size_t>(load_index)]
+                    .loc;
+            Slot slot;
+            slot.thread = t;
+            slot.reg = r;
+            slot.candidates.push_back(0);
+            for (const Value v : test.storedValues(loc))
+                slot.candidates.push_back(v);
+            slots.push_back(std::move(slot));
+        }
+    }
+
+    checkUser(!slots.empty(),
+              "cannot enumerate outcomes of a test with no loads: " +
+                  test.name);
+
+    // Cartesian product via an odometer over slot candidate indices.
+    std::vector<std::size_t> odometer(slots.size(), 0);
+    std::vector<Outcome> outcomes;
+    while (true) {
+        Outcome outcome;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            outcome.conditions.push_back(Condition::onRegister(
+                slots[i].thread, slots[i].reg,
+                slots[i].candidates[odometer[i]]));
+        }
+        outcomes.push_back(std::move(outcome));
+
+        // Advance the rightmost digit (so the first slot varies slowest,
+        // matching litmus7's display order).
+        std::size_t digit = slots.size();
+        while (digit > 0) {
+            --digit;
+            if (++odometer[digit] < slots[digit].candidates.size())
+                break;
+            odometer[digit] = 0;
+            if (digit == 0)
+                return outcomes;
+        }
+    }
+}
+
+} // namespace perple::litmus

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Litmus-test outcomes: conjunctions of final-state conditions.
+ *
+ * An outcome is what litmus7 calls the body of an `exists (...)` clause: a
+ * conjunction of equalities over final register values and, optionally,
+ * final shared-memory values. Outcomes with memory conditions cannot be
+ * converted to perpetual form (paper Section V-C), because a perpetual run
+ * only inspects shared memory after all iterations complete.
+ */
+
+#ifndef PERPLE_LITMUS_OUTCOME_H
+#define PERPLE_LITMUS_OUTCOME_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/types.h"
+
+namespace perple::litmus
+{
+
+class Test;
+
+/** One equality inside an outcome. */
+struct Condition
+{
+    /** What the left-hand side of the equality refers to. */
+    enum class Kind
+    {
+        Register, ///< thread:reg = value
+        Memory,   ///< [loc] = value (final shared-memory state)
+    };
+
+    Kind kind = Kind::Register;
+    ThreadId thread = -1; ///< Valid for Register conditions.
+    RegisterId reg = -1;  ///< Valid for Register conditions.
+    LocationId loc = -1;  ///< Valid for Memory conditions.
+    Value value = 0;      ///< The required final value.
+
+    /** Build a `thread:reg = value` condition. */
+    static Condition
+    onRegister(ThreadId thread, RegisterId reg, Value value)
+    {
+        Condition c;
+        c.kind = Kind::Register;
+        c.thread = thread;
+        c.reg = reg;
+        c.value = value;
+        return c;
+    }
+
+    /** Build a `[loc] = value` final-memory condition. */
+    static Condition
+    onMemory(LocationId loc, Value value)
+    {
+        Condition c;
+        c.kind = Kind::Memory;
+        c.loc = loc;
+        c.value = value;
+        return c;
+    }
+
+    bool
+    operator==(const Condition &other) const
+    {
+        return kind == other.kind && thread == other.thread &&
+               reg == other.reg && loc == other.loc && value == other.value;
+    }
+};
+
+/** A conjunction of Conditions; empty means "always true". */
+struct Outcome
+{
+    std::vector<Condition> conditions;
+
+    /** True if any condition constrains final shared memory. */
+    bool hasMemoryCondition() const;
+
+    /** True if there are no conditions at all. */
+    bool empty() const { return conditions.empty(); }
+
+    /**
+     * Render in litmus7 style, e.g. "0:EAX=0 /\\ 1:EAX=0".
+     *
+     * @param test The owning test, for register and location names.
+     */
+    std::string toString(const Test &test) const;
+
+    /**
+     * Compact label of the register values in thread/register order,
+     * e.g. "00" for the sb target outcome, as used in the paper's
+     * Figure 13 axis labels. Memory conditions are rendered as
+     * "[loc]=v" suffixes.
+     */
+    std::string label(const Test &test) const;
+
+    bool
+    operator==(const Outcome &other) const
+    {
+        return conditions == other.conditions;
+    }
+};
+
+/**
+ * Enumerate every syntactically possible register outcome of @p test.
+ *
+ * Each register loaded by the test can end up holding 0 (the initial
+ * value of every location) or any constant stored to the loaded location
+ * by any thread. The enumeration is the cartesian product over registers
+ * in (thread, register) order, with the value order (0 first, then stored
+ * constants ascending) matching litmus7's display convention.
+ *
+ * @param test The test whose outcomes to enumerate.
+ * @return All combinations, one Outcome per combination.
+ */
+std::vector<Outcome> enumerateRegisterOutcomes(const Test &test);
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_OUTCOME_H

@@ -1,0 +1,397 @@
+#include "litmus/parser.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::litmus
+{
+
+namespace
+{
+
+/** Raise a parse error with a consistent prefix. */
+[[noreturn]] void
+parseError(const std::string &message)
+{
+    fatal("litmus parse error: " + message);
+}
+
+/** Parse a (possibly negative) integer; error on trailing junk. */
+Value
+parseValue(const std::string &text)
+{
+    const std::string t = trim(text);
+    if (t.empty())
+        parseError("expected an integer, got an empty string");
+    char *end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0')
+        parseError("malformed integer '" + t + "'");
+    return static_cast<Value>(v);
+}
+
+/** True for identifier characters in location/register names. */
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '+' || c == '.';
+}
+
+/** Split the body rows into per-thread cells on '|' with ';' stripped. */
+std::vector<std::vector<std::string>>
+splitRows(const std::vector<std::string> &lines)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (const auto &line : lines) {
+        std::string body = trim(line);
+        if (!body.empty() && body.back() == ';')
+            body.pop_back();
+        rows.push_back(split(body, '|', /*keep_empty=*/true));
+    }
+    return rows;
+}
+
+struct PendingLoad
+{
+    ThreadId thread;
+    std::string reg;
+    std::string loc;
+};
+
+/** Per-parse mutable state threaded through the instruction parser. */
+struct ParserState
+{
+    Test test;
+
+    /** Register initializations "t:REG=v" (XCHG store operands). */
+    std::map<std::pair<ThreadId, std::string>, Value> registerInits;
+
+    // Register name -> id bookkeeping happens via the test itself.
+    LocationId
+    locationIdFor(const std::string &name)
+    {
+        const LocationId existing = test.locationId(name);
+        if (existing >= 0)
+            return existing;
+        test.locations.push_back(name);
+        return static_cast<LocationId>(test.locations.size() - 1);
+    }
+
+    RegisterId
+    registerIdFor(ThreadId thread, const std::string &name)
+    {
+        const RegisterId existing = test.registerId(thread, name);
+        if (existing >= 0)
+            return existing;
+        auto &names =
+            test.threads[static_cast<std::size_t>(thread)].registerNames;
+        names.push_back(name);
+        return static_cast<RegisterId>(names.size() - 1);
+    }
+};
+
+/** Parse one instruction cell into the given thread. */
+void
+parseInstruction(ParserState &state, ThreadId thread,
+                 const std::string &cell)
+{
+    const std::string text = trim(cell);
+    if (text.empty())
+        return; // Ragged columns: shorter threads have empty cells.
+
+    const std::string lower = toLower(text);
+    if (lower == "mfence") {
+        state.test.threads[static_cast<std::size_t>(thread)]
+            .instructions.push_back(Instruction::makeFence());
+        return;
+    }
+
+    if (startsWith(lower, "xchg")) {
+        // XCHG REG,[loc] (either operand order): the stored value is
+        // the register's initial value from the init block, matching
+        // litmus7's convention for locked exchanges.
+        const std::string operands = trim(text.substr(4));
+        const auto comma = operands.find(',');
+        if (comma == std::string::npos)
+            parseError("XCHG needs two operands in '" + text + "'");
+        std::string a = trim(operands.substr(0, comma));
+        std::string b = trim(operands.substr(comma + 1));
+        if (!a.empty() && a.front() == '[')
+            std::swap(a, b); // Normalize to REG,[loc].
+        if (b.empty() || b.front() != '[' || b.back() != ']')
+            parseError("XCHG must reference memory once in '" + text +
+                       "'");
+        const std::string loc = trim(b.substr(1, b.size() - 2));
+        for (const char c : a)
+            if (!isIdentChar(c))
+                parseError("bad register name '" + a + "'");
+        const auto init =
+            state.registerInits.find({thread, a});
+        if (init == state.registerInits.end())
+            parseError("XCHG register " + a +
+                       " needs an initial value in the init block "
+                       "(e.g. \"" + std::to_string(thread) + ":" + a +
+                       "=1;\")");
+        state.test.threads[static_cast<std::size_t>(thread)]
+            .instructions.push_back(Instruction::makeRmw(
+                state.locationIdFor(loc), init->second,
+                state.registerIdFor(thread, a)));
+        return;
+    }
+
+    if (!startsWith(lower, "mov"))
+        parseError("unsupported instruction '" + text + "'");
+
+    const std::string operands = trim(text.substr(3));
+    const auto comma = operands.find(',');
+    if (comma == std::string::npos)
+        parseError("MOV needs two operands in '" + text + "'");
+    const std::string dst = trim(operands.substr(0, comma));
+    const std::string src = trim(operands.substr(comma + 1));
+
+    auto &instructions =
+        state.test.threads[static_cast<std::size_t>(thread)].instructions;
+
+    if (!dst.empty() && dst.front() == '[') {
+        // Store: MOV [loc],$imm
+        if (dst.back() != ']')
+            parseError("unterminated memory operand in '" + text + "'");
+        const std::string loc = trim(dst.substr(1, dst.size() - 2));
+        std::string imm = src;
+        if (!imm.empty() && imm.front() == '$')
+            imm.erase(imm.begin());
+        instructions.push_back(Instruction::makeStore(
+            state.locationIdFor(loc), parseValue(imm)));
+        return;
+    }
+
+    if (!src.empty() && src.front() == '[') {
+        // Load: MOV REG,[loc]
+        if (src.back() != ']')
+            parseError("unterminated memory operand in '" + text + "'");
+        const std::string loc = trim(src.substr(1, src.size() - 2));
+        for (const char c : dst)
+            if (!isIdentChar(c))
+                parseError("bad register name '" + dst + "'");
+        instructions.push_back(Instruction::makeLoad(
+            state.locationIdFor(loc),
+            state.registerIdFor(thread, dst)));
+        return;
+    }
+
+    parseError("MOV must reference memory exactly once in '" + text +
+               "'");
+}
+
+/** Parse one condition atom: "0:EAX=0" or "x=1". */
+Condition
+parseConditionAtom(const Test &test, const std::string &atom)
+{
+    const auto eq = atom.find('=');
+    if (eq == std::string::npos)
+        parseError("condition atom '" + atom + "' is missing '='");
+    const std::string lhs = trim(atom.substr(0, eq));
+    const Value value = parseValue(atom.substr(eq + 1));
+
+    const auto colon = lhs.find(':');
+    if (colon != std::string::npos) {
+        const std::string thread_text = trim(lhs.substr(0, colon));
+        const std::string reg_name = trim(lhs.substr(colon + 1));
+        char *end = nullptr;
+        const long thread_long =
+            std::strtol(thread_text.c_str(), &end, 10);
+        if (end == thread_text.c_str() || *end != '\0')
+            parseError("bad thread id in condition '" + atom + "'");
+        const auto thread = static_cast<ThreadId>(thread_long);
+        if (thread < 0 || thread >= test.numThreads())
+            parseError("condition thread out of range in '" + atom + "'");
+        const RegisterId reg = test.registerId(thread, reg_name);
+        if (reg < 0)
+            parseError("unknown register '" + reg_name +
+                       "' for thread " + thread_text);
+        return Condition::onRegister(thread, reg, value);
+    }
+
+    std::string loc_name = lhs;
+    if (loc_name.size() >= 2 && loc_name.front() == '[' &&
+        loc_name.back() == ']')
+        loc_name = trim(loc_name.substr(1, loc_name.size() - 2));
+    const LocationId loc = test.locationId(loc_name);
+    if (loc < 0)
+        parseError("unknown location '" + loc_name + "' in condition");
+    return Condition::onMemory(loc, value);
+}
+
+} // namespace
+
+Outcome
+parseOutcome(const Test &test, const std::string &text)
+{
+    std::string body = trim(text);
+    if (!body.empty() && body.front() == '(' && body.back() == ')')
+        body = trim(body.substr(1, body.size() - 2));
+
+    Outcome outcome;
+    std::size_t start = 0;
+    while (start < body.size()) {
+        const std::size_t sep = body.find("/\\", start);
+        const std::size_t end =
+            (sep == std::string::npos) ? body.size() : sep;
+        const std::string atom = trim(body.substr(start, end - start));
+        if (!atom.empty())
+            outcome.conditions.push_back(parseConditionAtom(test, atom));
+        if (sep == std::string::npos)
+            break;
+        start = sep + 2;
+    }
+    return outcome;
+}
+
+Test
+parseTest(const std::string &text)
+{
+    std::vector<std::string> lines;
+    {
+        std::istringstream stream(text);
+        std::string line;
+        while (std::getline(stream, line)) {
+            const std::string t = trim(line);
+            if (!t.empty())
+                lines.push_back(t);
+        }
+    }
+    if (lines.empty())
+        parseError("empty input");
+
+    std::size_t cursor = 0;
+    ParserState state;
+
+    // Header: "X86 <name>".
+    {
+        const auto fields = split(lines[cursor], ' ');
+        if (fields.size() < 2 || toLower(fields[0]) != "x86")
+            parseError("expected header 'X86 <name>', got '" +
+                       lines[cursor] + "'");
+        state.test.name = fields[1];
+        ++cursor;
+    }
+
+    // Optional quoted documentation line(s).
+    while (cursor < lines.size() && lines[cursor].front() == '"') {
+        std::string doc = lines[cursor];
+        if (doc.size() >= 2 && doc.back() == '"')
+            doc = doc.substr(1, doc.size() - 2);
+        if (!state.test.doc.empty())
+            state.test.doc += " ";
+        state.test.doc += doc;
+        ++cursor;
+    }
+
+    // Initial-state block "{ x=0; y=0; }", possibly spanning lines.
+    if (cursor < lines.size() && lines[cursor].front() == '{') {
+        std::string block;
+        while (cursor < lines.size()) {
+            block += lines[cursor];
+            const bool closed =
+                lines[cursor].find('}') != std::string::npos;
+            ++cursor;
+            if (closed)
+                break;
+        }
+        const auto open = block.find('{');
+        const auto close = block.find('}');
+        if (close == std::string::npos)
+            parseError("unterminated initial-state block");
+        const std::string inner =
+            block.substr(open + 1, close - open - 1);
+        for (const auto &assignment : split(inner, ';')) {
+            const auto eq = assignment.find('=');
+            if (eq == std::string::npos)
+                parseError("bad initial assignment '" + assignment + "'");
+            const std::string lhs = trim(assignment.substr(0, eq));
+            const Value v = parseValue(assignment.substr(eq + 1));
+            const auto colon = lhs.find(':');
+            if (colon != std::string::npos) {
+                // Register initialization: "t:REG=v" (XCHG operand).
+                char *end = nullptr;
+                const long thread_long =
+                    std::strtol(lhs.c_str(), &end, 10);
+                if (end == lhs.c_str() || *end != ':')
+                    parseError("bad register init '" + assignment +
+                               "'");
+                state.registerInits[{static_cast<ThreadId>(thread_long),
+                                     trim(lhs.substr(colon + 1))}] = v;
+                continue;
+            }
+            if (v != 0)
+                parseError("only zero initial values are supported "
+                           "(location '" + lhs + "')");
+            state.locationIdFor(lhs);
+        }
+    }
+
+    // Thread header row: "P0 | P1 ;".
+    if (cursor >= lines.size())
+        parseError("missing thread header row");
+    std::vector<std::string> headers;
+    {
+        std::string header = lines[cursor];
+        if (!header.empty() && header.back() == ';')
+            header.pop_back();
+        headers = split(header, '|');
+        for (std::size_t i = 0; i < headers.size(); ++i) {
+            const std::string expected = format("P%zu", i);
+            if (toLower(headers[i]) != toLower(expected))
+                parseError("expected thread header '" + expected +
+                           "', got '" + headers[i] + "'");
+            state.test.threads.emplace_back();
+        }
+        ++cursor;
+    }
+
+    // Instruction rows until the exists clause.
+    std::vector<std::string> body_lines;
+    while (cursor < lines.size() &&
+           !startsWith(toLower(lines[cursor]), "exists") &&
+           !startsWith(toLower(lines[cursor]), "~exists") &&
+           !startsWith(toLower(lines[cursor]), "forall") &&
+           !startsWith(toLower(lines[cursor]), "locations")) {
+        body_lines.push_back(lines[cursor]);
+        ++cursor;
+    }
+    for (const auto &row : splitRows(body_lines)) {
+        if (row.size() > state.test.threads.size())
+            parseError("instruction row has more cells than threads");
+        for (std::size_t t = 0; t < row.size(); ++t)
+            parseInstruction(state, static_cast<ThreadId>(t), row[t]);
+    }
+
+    // Skip an optional "locations [...]" directive.
+    if (cursor < lines.size() &&
+        startsWith(toLower(lines[cursor]), "locations"))
+        ++cursor;
+
+    // Final condition: join the remaining lines.
+    if (cursor >= lines.size())
+        parseError("missing exists clause");
+    std::string clause;
+    for (; cursor < lines.size(); ++cursor) {
+        if (!clause.empty())
+            clause += " ";
+        clause += lines[cursor];
+    }
+    const std::string lower_clause = toLower(clause);
+    if (!startsWith(lower_clause, "exists"))
+        parseError("only 'exists' conditions are supported, got '" +
+                   clause + "'");
+    state.test.target = parseOutcome(state.test, trim(clause.substr(6)));
+
+    return std::move(state.test);
+}
+
+} // namespace perple::litmus

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parser for the litmus7 x86 test format.
+ *
+ * Accepted grammar (the subset the TSO corpus uses):
+ *
+ * @code
+ * X86 sb
+ * "Store buffering"
+ * { x=0; y=0; }
+ *  P0          | P1          ;
+ *  MOV [x],$1  | MOV [y],$1  ;
+ *  MOV EAX,[y] | MOV EAX,[x] ;
+ * exists (0:EAX=0 /\ 1:EAX=0)
+ * @endcode
+ *
+ * Instructions: `MOV [loc],$imm` (store), `MOV REG,[loc]` (load),
+ * `MFENCE`. Condition atoms: `thread:REG=value` and `loc=value`
+ * (final-memory). Initial values must be 0, matching the corpus.
+ */
+
+#ifndef PERPLE_LITMUS_PARSER_H
+#define PERPLE_LITMUS_PARSER_H
+
+#include <string>
+
+#include "litmus/test.h"
+
+namespace perple::litmus
+{
+
+/**
+ * Parse a litmus7-format test.
+ *
+ * @param text Complete test source.
+ * @return The parsed test, with `target` set from the exists clause.
+ * @throws UserError on any syntax or consistency problem.
+ */
+Test parseTest(const std::string &text);
+
+/**
+ * Parse just an outcome ("0:EAX=0 /\\ 1:EAX=1") against @p test.
+ *
+ * @param test Test providing register and location names.
+ * @param text Outcome text, with or without surrounding parentheses.
+ */
+Outcome parseOutcome(const Test &test, const std::string &text);
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_PARSER_H

@@ -1,0 +1,144 @@
+#include "litmus/test.h"
+
+#include <algorithm>
+#include <set>
+
+namespace perple::litmus
+{
+
+int
+Thread::numLoads() const
+{
+    int count = 0;
+    for (const auto &instr : instructions)
+        if (instr.readsRegister())
+            ++count;
+    return count;
+}
+
+int
+Thread::numStores() const
+{
+    int count = 0;
+    for (const auto &instr : instructions)
+        if (instr.writesMemory())
+            ++count;
+    return count;
+}
+
+int
+Thread::loadSlotForRegister(RegisterId reg) const
+{
+    int slot = 0;
+    for (const auto &instr : instructions) {
+        if (!instr.readsRegister())
+            continue;
+        if (instr.reg == reg)
+            return slot;
+        ++slot;
+    }
+    return -1;
+}
+
+int
+Test::numLoadThreads() const
+{
+    return static_cast<int>(loadThreads().size());
+}
+
+std::vector<ThreadId>
+Test::loadThreads() const
+{
+    std::vector<ThreadId> ids;
+    for (ThreadId t = 0; t < numThreads(); ++t)
+        if (threads[static_cast<std::size_t>(t)].numLoads() > 0)
+            ids.push_back(t);
+    return ids;
+}
+
+LocationId
+Test::locationId(const std::string &location_name) const
+{
+    for (std::size_t i = 0; i < locations.size(); ++i)
+        if (locations[i] == location_name)
+            return static_cast<LocationId>(i);
+    return -1;
+}
+
+RegisterId
+Test::registerId(ThreadId thread, const std::string &register_name) const
+{
+    if (thread < 0 || thread >= numThreads())
+        return -1;
+    const auto &names = threads[static_cast<std::size_t>(thread)]
+                            .registerNames;
+    for (std::size_t i = 0; i < names.size(); ++i)
+        if (names[i] == register_name)
+            return static_cast<RegisterId>(i);
+    return -1;
+}
+
+std::vector<Value>
+Test::storedValues(LocationId loc) const
+{
+    std::set<Value> values;
+    for (const auto &thread : threads)
+        for (const auto &instr : thread.instructions)
+            if (instr.writesMemory() && instr.loc == loc)
+                values.insert(instr.value);
+    return {values.begin(), values.end()};
+}
+
+int
+Test::strideFor(LocationId loc) const
+{
+    return static_cast<int>(storedValues(loc).size());
+}
+
+bool
+Test::findStoreOf(LocationId loc, Value value, ThreadId &thread,
+                  int &index) const
+{
+    for (ThreadId t = 0; t < numThreads(); ++t) {
+        const auto &instrs =
+            threads[static_cast<std::size_t>(t)].instructions;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].writesMemory() && instrs[i].loc == loc &&
+                instrs[i].value == value) {
+                thread = t;
+                index = static_cast<int>(i);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::pair<ThreadId, int>>
+Test::storesTo(LocationId loc) const
+{
+    std::vector<std::pair<ThreadId, int>> stores;
+    for (ThreadId t = 0; t < numThreads(); ++t) {
+        const auto &instrs =
+            threads[static_cast<std::size_t>(t)].instructions;
+        for (std::size_t i = 0; i < instrs.size(); ++i)
+            if (instrs[i].writesMemory() && instrs[i].loc == loc)
+                stores.emplace_back(t, static_cast<int>(i));
+    }
+    return stores;
+}
+
+int
+Test::loadIndexForRegister(ThreadId thread, RegisterId reg) const
+{
+    if (thread < 0 || thread >= numThreads())
+        return -1;
+    const auto &instrs =
+        threads[static_cast<std::size_t>(thread)].instructions;
+    for (std::size_t i = 0; i < instrs.size(); ++i)
+        if (instrs[i].readsRegister() && instrs[i].reg == reg)
+            return static_cast<int>(i);
+    return -1;
+}
+
+} // namespace perple::litmus

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The litmus-test IR: threads of instructions over named shared locations,
+ * plus a designated target outcome.
+ *
+ * Terminology follows the paper: T is the number of threads, T_L the
+ * number of threads that perform at least one load (only those threads
+ * contribute a `buf` array and a frame dimension to perpetual analysis).
+ */
+
+#ifndef PERPLE_LITMUS_TEST_H
+#define PERPLE_LITMUS_TEST_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/instruction.h"
+#include "litmus/outcome.h"
+#include "litmus/types.h"
+
+namespace perple::litmus
+{
+
+/** One thread of a litmus test. */
+struct Thread
+{
+    /** Instructions in program order. */
+    std::vector<Instruction> instructions;
+
+    /** Register names; index is the RegisterId. */
+    std::vector<std::string> registerNames;
+
+    /** Number of load instructions in this thread (r_t in the paper). */
+    int numLoads() const;
+
+    /** Number of store instructions in this thread. */
+    int numStores() const;
+
+    /**
+     * Index of this thread's @p nth load among its loads, i.e. the
+     * position of that load's value within one iteration's buf stripe.
+     * Returns -1 when the register is never loaded.
+     */
+    int loadSlotForRegister(RegisterId reg) const;
+};
+
+/**
+ * A complete litmus test.
+ *
+ * All shared locations start at 0, matching the corpus used in the paper.
+ */
+class Test
+{
+  public:
+    /** Short identifier, e.g. "sb". */
+    std::string name;
+
+    /** One-line human description. */
+    std::string doc;
+
+    /** Location names; index is the LocationId. */
+    std::vector<std::string> locations;
+
+    /** Test threads in id order. */
+    std::vector<Thread> threads;
+
+    /**
+     * The target outcome (paper Section II-B.1): the most informative
+     * outcome, typically the one distinguishing the model under test.
+     */
+    Outcome target;
+
+    /** Number of threads, T. */
+    int numThreads() const { return static_cast<int>(threads.size()); }
+
+    /** Number of load-performing threads, T_L. */
+    int numLoadThreads() const;
+
+    /** Ids of the load-performing threads, ascending. */
+    std::vector<ThreadId> loadThreads() const;
+
+    /** Number of shared locations. */
+    int numLocations() const { return static_cast<int>(locations.size()); }
+
+    /** Look up a location id by name; -1 if absent. */
+    LocationId locationId(const std::string &location_name) const;
+
+    /** Look up a register id in @p thread by name; -1 if absent. */
+    RegisterId registerId(ThreadId thread,
+                          const std::string &register_name) const;
+
+    /**
+     * Distinct constants stored to @p loc across all threads, ascending.
+     * The size of this set is k_loc, the sequence stride used by the
+     * perpetual conversion (paper Section III-B).
+     */
+    std::vector<Value> storedValues(LocationId loc) const;
+
+    /** k_loc: number of distinct constants stored to @p loc. */
+    int strideFor(LocationId loc) const;
+
+    /**
+     * The unique store instruction writing @p value to @p loc.
+     *
+     * @param loc Target location.
+     * @param value Stored constant; must be written by exactly one store
+     *        (the validator enforces this for suite tests).
+     * @param[out] thread Thread owning the store.
+     * @param[out] index Instruction index within that thread.
+     * @return True if found.
+     */
+    bool findStoreOf(LocationId loc, Value value, ThreadId &thread,
+                     int &index) const;
+
+    /** All (thread, instruction-index) pairs of stores to @p loc. */
+    std::vector<std::pair<ThreadId, int>> storesTo(LocationId loc) const;
+
+    /**
+     * The unique load instruction of @p thread targeting register
+     * @p reg; -1 when the register is never loaded.
+     */
+    int loadIndexForRegister(ThreadId thread, RegisterId reg) const;
+};
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_TEST_H

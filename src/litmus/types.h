@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental identifier types for the litmus-test IR.
+ */
+
+#ifndef PERPLE_LITMUS_TYPES_H
+#define PERPLE_LITMUS_TYPES_H
+
+#include <cstdint>
+
+namespace perple::litmus
+{
+
+/** Index of a shared memory location within a Test. */
+using LocationId = int;
+
+/** Index of a register within one thread of a Test. */
+using RegisterId = int;
+
+/** Index of a thread within a Test. */
+using ThreadId = int;
+
+/**
+ * A value stored to or loaded from shared memory.
+ *
+ * Original litmus tests use small positive constants; perpetual tests map
+ * those onto arithmetic sequences, so 64 bits of headroom are required for
+ * large iteration counts.
+ */
+using Value = std::int64_t;
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_TYPES_H

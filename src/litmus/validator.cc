@@ -1,0 +1,193 @@
+#include "litmus/validator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::litmus
+{
+
+namespace
+{
+
+void
+validateStructure(const Test &test, ValidationResult &result)
+{
+    if (test.numThreads() < 2)
+        result.problems.push_back("a litmus test needs at least 2 threads");
+
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &thread = test.threads[static_cast<std::size_t>(t)];
+        if (thread.instructions.empty()) {
+            result.problems.push_back(
+                format("thread %d has no instructions", t));
+            continue;
+        }
+        bool has_memory_op = false;
+        for (const auto &instr : thread.instructions) {
+            if (!instr.isFence())
+                has_memory_op = true;
+            if (!instr.isFence() &&
+                (instr.loc < 0 || instr.loc >= test.numLocations())) {
+                result.problems.push_back(format(
+                    "thread %d references out-of-range location %d", t,
+                    instr.loc));
+            }
+        }
+        if (!has_memory_op)
+            result.problems.push_back(
+                format("thread %d performs no memory operation", t));
+    }
+}
+
+void
+validateStores(const Test &test, ValidationResult &result)
+{
+    std::map<std::pair<LocationId, Value>, int> store_counts;
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &thread = test.threads[static_cast<std::size_t>(t)];
+        for (const auto &instr : thread.instructions) {
+            if (!instr.writesMemory())
+                continue;
+            if (instr.value <= 0) {
+                result.problems.push_back(format(
+                    "thread %d stores non-positive constant %lld; 0 is "
+                    "reserved for initial values",
+                    t, static_cast<long long>(instr.value)));
+            }
+            ++store_counts[{instr.loc, instr.value}];
+        }
+    }
+    for (const auto &[key, count] : store_counts) {
+        if (count > 1) {
+            result.problems.push_back(format(
+                "constant %lld is stored to location '%s' by %d stores; "
+                "stored constants must be unique per location",
+                static_cast<long long>(key.second),
+                test.locations[static_cast<std::size_t>(key.first)]
+                    .c_str(),
+                count));
+        }
+    }
+}
+
+void
+validateRegisters(const Test &test, ValidationResult &result)
+{
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &thread = test.threads[static_cast<std::size_t>(t)];
+        std::map<RegisterId, int> load_counts;
+        for (const auto &instr : thread.instructions)
+            if (instr.readsRegister())
+                ++load_counts[instr.reg];
+        const auto num_regs =
+            static_cast<RegisterId>(thread.registerNames.size());
+        for (RegisterId r = 0; r < num_regs; ++r) {
+            const auto it = load_counts.find(r);
+            const int count = it == load_counts.end() ? 0 : it->second;
+            if (count != 1) {
+                result.problems.push_back(format(
+                    "register %s of thread %d is the destination of %d "
+                    "loads; exactly 1 is required",
+                    thread.registerNames[static_cast<std::size_t>(r)]
+                        .c_str(),
+                    t, count));
+            }
+        }
+        for (const auto &instr : thread.instructions) {
+            if (instr.readsRegister() &&
+                (instr.reg < 0 || instr.reg >= num_regs)) {
+                result.problems.push_back(format(
+                    "thread %d loads into out-of-range register %d", t,
+                    instr.reg));
+            }
+        }
+    }
+}
+
+void
+validateTarget(const Test &test, ValidationResult &result)
+{
+    for (const auto &cond : test.target.conditions) {
+        if (cond.kind == Condition::Kind::Register) {
+            if (cond.thread < 0 || cond.thread >= test.numThreads()) {
+                result.problems.push_back(format(
+                    "target condition references missing thread %d",
+                    cond.thread));
+                continue;
+            }
+            const int load_index =
+                test.loadIndexForRegister(cond.thread, cond.reg);
+            if (load_index < 0) {
+                result.problems.push_back(format(
+                    "target condition references register %d of thread "
+                    "%d, which is never loaded",
+                    cond.reg, cond.thread));
+                continue;
+            }
+            if (cond.value == 0)
+                continue;
+            const auto loc =
+                test.threads[static_cast<std::size_t>(cond.thread)]
+                    .instructions[static_cast<std::size_t>(load_index)]
+                    .loc;
+            const auto stored = test.storedValues(loc);
+            if (std::find(stored.begin(), stored.end(), cond.value) ==
+                stored.end()) {
+                result.problems.push_back(format(
+                    "target condition requires value %lld in a register "
+                    "loaded from '%s', but no store writes that value",
+                    static_cast<long long>(cond.value),
+                    test.locations[static_cast<std::size_t>(loc)]
+                        .c_str()));
+            }
+        } else {
+            if (cond.loc < 0 || cond.loc >= test.numLocations()) {
+                result.problems.push_back(format(
+                    "target memory condition references missing location "
+                    "%d",
+                    cond.loc));
+                continue;
+            }
+            if (cond.value == 0)
+                continue;
+            const auto stored = test.storedValues(cond.loc);
+            if (std::find(stored.begin(), stored.end(), cond.value) ==
+                stored.end()) {
+                result.problems.push_back(format(
+                    "target memory condition requires value %lld at "
+                    "'%s', but no store writes that value",
+                    static_cast<long long>(cond.value),
+                    test.locations[static_cast<std::size_t>(cond.loc)]
+                        .c_str()));
+            }
+        }
+    }
+}
+
+} // namespace
+
+ValidationResult
+validate(const Test &test)
+{
+    ValidationResult result;
+    validateStructure(test, result);
+    validateStores(test, result);
+    validateRegisters(test, result);
+    validateTarget(test, result);
+    return result;
+}
+
+void
+validateOrThrow(const Test &test)
+{
+    const ValidationResult result = validate(test);
+    if (!result.ok())
+        fatal("invalid litmus test '" + test.name +
+              "': " + result.problems.front());
+}
+
+} // namespace perple::litmus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Structural validation of litmus tests.
+ *
+ * The validator enforces the well-formedness rules that both the
+ * perpetual conversion (paper Section III-B) and unambiguous outcome
+ * analysis rely on. A test that fails validation is rejected before any
+ * tool runs it.
+ */
+
+#ifndef PERPLE_LITMUS_VALIDATOR_H
+#define PERPLE_LITMUS_VALIDATOR_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+
+namespace perple::litmus
+{
+
+/** Result of validating one test. */
+struct ValidationResult
+{
+    /** Human-readable problems; empty means the test is well formed. */
+    std::vector<std::string> problems;
+
+    bool ok() const { return problems.empty(); }
+};
+
+/**
+ * Validate @p test.
+ *
+ * Checks performed:
+ *  - at least two threads, each nonempty;
+ *  - every thread performs at least one memory operation;
+ *  - stored constants are positive (0 is reserved for initial values);
+ *  - no two stores write the same constant to the same location
+ *    (uniqueness makes loaded values attributable to a single store,
+ *    which outcome analysis and the conversion both require);
+ *  - every register is the destination of exactly one load;
+ *  - target conditions reference existing threads/registers/locations;
+ *  - target register values are 0 or a constant actually stored to the
+ *    loaded location; memory values are 0 or stored to that location.
+ *
+ * @param test Test to validate.
+ * @return The list of problems found.
+ */
+ValidationResult validate(const Test &test);
+
+/** Validate @p test and raise UserError on the first problem. */
+void validateOrThrow(const Test &test);
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_VALIDATOR_H

@@ -1,0 +1,117 @@
+#include "litmus/writer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace perple::litmus
+{
+
+std::string
+instructionToString(const Test &test, ThreadId thread,
+                    const Instruction &instr)
+{
+    switch (instr.kind) {
+      case OpKind::Store:
+        return format(
+            "MOV [%s],$%lld",
+            test.locations[static_cast<std::size_t>(instr.loc)].c_str(),
+            static_cast<long long>(instr.value));
+      case OpKind::Load:
+        return format(
+            "MOV %s,[%s]",
+            test.threads[static_cast<std::size_t>(thread)]
+                .registerNames[static_cast<std::size_t>(instr.reg)]
+                .c_str(),
+            test.locations[static_cast<std::size_t>(instr.loc)].c_str());
+      case OpKind::Fence:
+        return "MFENCE";
+      case OpKind::Rmw:
+        return format(
+            "XCHG %s,[%s]",
+            test.threads[static_cast<std::size_t>(thread)]
+                .registerNames[static_cast<std::size_t>(instr.reg)]
+                .c_str(),
+            test.locations[static_cast<std::size_t>(instr.loc)].c_str());
+    }
+    return "";
+}
+
+std::string
+writeTest(const Test &test)
+{
+    std::string out = "X86 " + test.name + "\n";
+    if (!test.doc.empty())
+        out += "\"" + test.doc + "\"\n";
+
+    // Initial state: every location starts at zero; XCHG registers
+    // carry their stored operand as an initial value.
+    {
+        std::vector<std::string> inits;
+        for (const auto &loc : test.locations)
+            inits.push_back(loc + "=0;");
+        for (ThreadId t = 0; t < test.numThreads(); ++t) {
+            const auto &thread =
+                test.threads[static_cast<std::size_t>(t)];
+            for (const auto &instr : thread.instructions) {
+                if (!instr.isRmw())
+                    continue;
+                inits.push_back(format(
+                    "%d:%s=%lld;", t,
+                    thread.registerNames[static_cast<std::size_t>(
+                        instr.reg)].c_str(),
+                    static_cast<long long>(instr.value)));
+            }
+        }
+        out += "{ " + join(inits, " ") + " }\n";
+    }
+
+    // Render each thread's instructions, then lay the columns out.
+    std::vector<std::vector<std::string>> columns;
+    std::size_t max_rows = 0;
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        std::vector<std::string> column;
+        for (const auto &instr :
+             test.threads[static_cast<std::size_t>(t)].instructions)
+            column.push_back(instructionToString(test, t, instr));
+        max_rows = std::max(max_rows, column.size());
+        columns.push_back(std::move(column));
+    }
+
+    std::vector<std::size_t> widths;
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        std::size_t width = format("P%d", t).size();
+        for (const auto &cell : columns[static_cast<std::size_t>(t)])
+            width = std::max(width, cell.size());
+        widths.push_back(width);
+    }
+
+    const auto emitRow = [&](const std::vector<std::string> &cells) {
+        std::string row = " ";
+        for (std::size_t t = 0; t < cells.size(); ++t) {
+            std::string cell = cells[t];
+            cell.resize(widths[t], ' ');
+            row += cell;
+            row += (t + 1 == cells.size()) ? " ;" : " | ";
+        }
+        return row + "\n";
+    };
+
+    {
+        std::vector<std::string> headers;
+        for (ThreadId t = 0; t < test.numThreads(); ++t)
+            headers.push_back(format("P%d", t));
+        out += emitRow(headers);
+    }
+    for (std::size_t row = 0; row < max_rows; ++row) {
+        std::vector<std::string> cells;
+        for (const auto &column : columns)
+            cells.push_back(row < column.size() ? column[row] : "");
+        out += emitRow(cells);
+    }
+
+    out += "exists (" + test.target.toString(test) + ")\n";
+    return out;
+}
+
+} // namespace perple::litmus

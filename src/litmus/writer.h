@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Emit litmus tests back into the litmus7 x86 text format.
+ *
+ * writeTest(parseTest(text)) round-trips modulo whitespace; the unit
+ * tests rely on parseTest(writeTest(t)) == t.
+ */
+
+#ifndef PERPLE_LITMUS_WRITER_H
+#define PERPLE_LITMUS_WRITER_H
+
+#include <string>
+
+#include "litmus/test.h"
+
+namespace perple::litmus
+{
+
+/** Render a single instruction as x86 litmus7 text. */
+std::string instructionToString(const Test &test, ThreadId thread,
+                                const Instruction &instr);
+
+/** Render the whole test in litmus7 format. */
+std::string writeTest(const Test &test);
+
+} // namespace perple::litmus
+
+#endif // PERPLE_LITMUS_WRITER_H

@@ -1,0 +1,49 @@
+#include "litmus7/cost_model.h"
+
+#include "common/error.h"
+
+namespace perple::litmus7
+{
+
+SyncCost
+syncCostFor(runtime::SyncMode mode)
+{
+    using runtime::SyncMode;
+    // Calibration rationale (paper Section VII-B / Figure 10):
+    //  - pthread is by far the slowest (161x slower than PerpLE) and
+    //    also the loosest (kernel wakeup jitter), so it both burns the
+    //    most time and aligns threads worst;
+    //  - timebase aligns best (releases pinned to a counter tick) but
+    //    waiting for the next tick costs about twice a user barrier;
+    //  - user and userfence are nearly identical in cost;
+    //  - none burns only the per-iteration bookkeeping of the
+    //    iterative harness (no barrier), leaving PerpLE ~2.5x faster.
+    // Release-skew means are calibrated against Figures 9 and 11:
+    // timebase aligns threads within the reordering window (it can
+    // even marginally beat PerpLE-heuristic per iteration, Section
+    // VII-A), user/userfence land ~3 orders of magnitude below, and
+    // pthread's kernel wakeups another order below that.
+    switch (mode) {
+      case SyncMode::User:
+        return {10000.0, 1200};
+      case SyncMode::UserFence:
+        return {8000.0, 1190};
+      case SyncMode::Pthread:
+        return {80000.0, 23800};
+      case SyncMode::Timebase:
+        return {18.0, 2500};
+      case SyncMode::None:
+        return {0.0, 245};
+    }
+    panic("unreachable sync mode");
+}
+
+void
+burnSpinUnits(std::uint64_t units)
+{
+    static volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < units; ++i)
+        sink = sink + 1;
+}
+
+} // namespace perple::litmus7

@@ -1,0 +1,221 @@
+#include "litmus7/runner.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "litmus7/cost_model.h"
+#include "runtime/native_runner.h"
+#include "sim/machine.h"
+
+namespace perple::litmus7
+{
+
+namespace
+{
+
+using litmus::Condition;
+using litmus::Outcome;
+using litmus::Test;
+using litmus::Value;
+
+/** An outcome pre-resolved to buf offsets for fast tallying. */
+struct CompiledOutcome
+{
+    struct RegCheck
+    {
+        std::size_t thread;
+        std::int64_t loadsPerIteration;
+        std::int64_t slot;
+        Value value;
+    };
+    struct MemCheck
+    {
+        std::int64_t loc;
+        Value value;
+    };
+    std::vector<RegCheck> regChecks;
+    std::vector<MemCheck> memChecks;
+};
+
+CompiledOutcome
+compileOutcome(const Test &test, const Outcome &outcome)
+{
+    CompiledOutcome compiled;
+    for (const auto &cond : outcome.conditions) {
+        if (cond.kind == Condition::Kind::Register) {
+            const auto &thread =
+                test.threads[static_cast<std::size_t>(cond.thread)];
+            const int slot = thread.loadSlotForRegister(cond.reg);
+            checkUser(slot >= 0,
+                      "outcome references register never loaded in "
+                      "test '" + test.name + "'");
+            compiled.regChecks.push_back(
+                {static_cast<std::size_t>(cond.thread),
+                 thread.numLoads(), slot, cond.value});
+        } else {
+            compiled.memChecks.push_back({cond.loc, cond.value});
+        }
+    }
+    return compiled;
+}
+
+/**
+ * Tally one chunk of iterations against the compiled outcomes.
+ *
+ * @param compiled Outcomes of interest.
+ * @param result Backend run result for this chunk (chunk-local bufs,
+ *        per-instance memory).
+ * @param count Iterations in the chunk.
+ * @param num_locations Locations per instance.
+ * @param[in,out] counts Per-outcome tallies.
+ * @param[in,out] unmatched Iterations matching no outcome of interest.
+ */
+void
+tallyChunk(const std::vector<CompiledOutcome> &compiled,
+           const sim::RunResult &result, std::int64_t count,
+           int num_locations, std::vector<std::uint64_t> &counts,
+           std::uint64_t &unmatched)
+{
+    for (std::int64_t n = 0; n < count; ++n) {
+        bool matched = false;
+        for (std::size_t o = 0; o < compiled.size() && !matched; ++o) {
+            const CompiledOutcome &outcome = compiled[o];
+            bool ok = true;
+            for (const auto &check : outcome.regChecks) {
+                const Value v = result.bufs[check.thread]
+                    [static_cast<std::size_t>(
+                        check.loadsPerIteration * n + check.slot)];
+                if (v != check.value) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                for (const auto &check : outcome.memChecks) {
+                    const Value v = result.memory[static_cast<std::size_t>(
+                        n * num_locations + check.loc)];
+                    if (v != check.value) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (ok) {
+                ++counts[o];
+                matched = true;
+            }
+        }
+        if (!matched)
+            ++unmatched;
+    }
+}
+
+Litmus7Result
+runOnSimulator(const Test &test, std::int64_t iterations,
+               const std::vector<CompiledOutcome> &compiled,
+               const Litmus7Config &config)
+{
+    Litmus7Result result;
+    result.counts.assign(compiled.size(), 0);
+    result.iterations = iterations;
+
+    sim::MachineConfig machine_config = config.machine;
+    machine_config.seed = config.seed;
+    machine_config.addressMode = sim::AddressMode::PerIteration;
+    machine_config.chunkSize = config.chunkSize;
+    sim::Machine machine =
+        sim::Machine::forOriginalTest(test, machine_config);
+
+    const SyncCost cost = syncCostFor(config.mode);
+
+    std::int64_t start = 0;
+    while (start < iterations) {
+        const std::int64_t count =
+            std::min<std::int64_t>(config.chunkSize, iterations - start);
+
+        result.timing.start("test");
+        sim::RunResult chunk;
+        if (config.mode == runtime::SyncMode::None)
+            machine.runFree(count, start, chunk);
+        else
+            machine.runLockstep(count, start,
+                                cost.releaseSkewMeanTicks, chunk);
+        result.timing.stop();
+
+        // The synchronization work a real barrier would burn; `none`
+        // only pays the iterative harness bookkeeping.
+        result.timing.start("sync");
+        burnSpinUnits(cost.spinUnitsPerIteration *
+                      static_cast<std::uint64_t>(count));
+        result.timing.stop();
+
+        result.timing.start("count");
+        tallyChunk(compiled, chunk, count, test.numLocations(),
+                   result.counts, result.unmatched);
+        result.timing.stop();
+
+        machine.resetMemory();
+        start += count;
+    }
+    return result;
+}
+
+Litmus7Result
+runOnNative(const Test &test, std::int64_t iterations,
+            const std::vector<CompiledOutcome> &compiled,
+            const Litmus7Config &config)
+{
+    Litmus7Result result;
+    result.counts.assign(compiled.size(), 0);
+    result.iterations = iterations;
+
+    std::vector<sim::SimProgram> programs;
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t)
+        programs.push_back(sim::compileOriginalThread(test, t));
+
+    runtime::NativeConfig native;
+    native.mode = config.mode;
+    native.perIterationInstances = true;
+    native.chunkSize = config.chunkSize;
+
+    std::int64_t start = 0;
+    while (start < iterations) {
+        const std::int64_t count =
+            std::min<std::int64_t>(config.chunkSize, iterations - start);
+
+        // Real barriers: synchronization time is inseparable from test
+        // time here, so both land in the "test" phase (documented).
+        result.timing.start("test");
+        const sim::RunResult chunk = runtime::runNative(
+            programs, test.numLocations(), count, native);
+        result.timing.stop();
+
+        result.timing.start("count");
+        tallyChunk(compiled, chunk, count, test.numLocations(),
+                   result.counts, result.unmatched);
+        result.timing.stop();
+
+        start += count;
+    }
+    return result;
+}
+
+} // namespace
+
+Litmus7Result
+runLitmus7(const litmus::Test &test, std::int64_t iterations,
+           const std::vector<litmus::Outcome> &outcomes,
+           const Litmus7Config &config)
+{
+    checkUser(iterations > 0, "litmus7 run needs positive iterations");
+    std::vector<CompiledOutcome> compiled;
+    compiled.reserve(outcomes.size());
+    for (const auto &outcome : outcomes)
+        compiled.push_back(compileOutcome(test, outcome));
+
+    if (config.backend == Backend::Simulator)
+        return runOnSimulator(test, iterations, compiled, config);
+    return runOnNative(test, iterations, compiled, config);
+}
+
+} // namespace perple::litmus7

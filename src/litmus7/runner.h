@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The litmus7-style baseline: iterative litmus testing with
+ * per-iteration synchronization.
+ *
+ * This reimplements the run loop of the diy suite's litmus7 tool as the
+ * paper uses it: N iterations of the original test, each iteration on
+ * its own location instance, threads synchronized before every iteration
+ * by one of the five modes (`none` synchronizes only at chunk
+ * boundaries), and the outcome of iteration n determined by comparing
+ * iteration n's registers across threads — same-index association only,
+ * which is exactly the limitation perpetual tests remove (Section VI-A).
+ */
+
+#ifndef PERPLE_LITMUS7_RUNNER_H
+#define PERPLE_LITMUS7_RUNNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timing.h"
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+#include "runtime/barrier.h"
+#include "sim/config.h"
+
+namespace perple::litmus7
+{
+
+/** Which substrate executes the test threads. */
+enum class Backend
+{
+    Simulator, ///< The timed TSO machine (deterministic, seeded).
+    Native,    ///< Real std::thread + inline-asm execution.
+};
+
+/** Configuration of one litmus7-style run. */
+struct Litmus7Config
+{
+    runtime::SyncMode mode = runtime::SyncMode::User;
+    Backend backend = Backend::Simulator;
+    std::uint64_t seed = 1;
+
+    /** Location instances kept in flight (litmus7's size-of-test). */
+    std::int64_t chunkSize = 4096;
+
+    /** Simulator knobs (addressMode/chunkSize/seed are overridden). */
+    sim::MachineConfig machine;
+};
+
+/** Tallied results of a run. */
+struct Litmus7Result
+{
+    /** Occurrences of each outcome of interest, aligned with input. */
+    std::vector<std::uint64_t> counts;
+
+    /** Iterations whose outcome matched no outcome of interest. */
+    std::uint64_t unmatched = 0;
+
+    /** Iterations executed. */
+    std::int64_t iterations = 0;
+
+    /** Wall time split into "sync", "test" and "count" phases. */
+    PhaseTimer timing;
+
+    /** Total wall seconds across all phases. */
+    double
+    totalSeconds() const
+    {
+        return static_cast<double>(timing.totalNs()) * 1e-9;
+    }
+};
+
+/**
+ * Run @p test for @p iterations iterations and tally the outcomes of
+ * interest.
+ *
+ * Each iteration is evaluated in isolation (litmus7 semantics): its
+ * registers come from that iteration's loads and its final memory from
+ * that iteration's location instance. At most one outcome of interest
+ * is counted per iteration, first match in list order.
+ *
+ * @param test The original litmus test (validated).
+ * @param iterations N.
+ * @param outcomes Outcomes of interest (may include memory conditions).
+ * @param config Run configuration.
+ */
+Litmus7Result runLitmus7(const litmus::Test &test,
+                         std::int64_t iterations,
+                         const std::vector<litmus::Outcome> &outcomes,
+                         const Litmus7Config &config);
+
+} // namespace perple::litmus7
+
+#endif // PERPLE_LITMUS7_RUNNER_H

@@ -1,0 +1,112 @@
+#include "model/axiomatic.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/hbgraph.h"
+
+namespace perple::model
+{
+
+namespace
+{
+
+/**
+ * Atomicity side condition for locked read-modify-writes: for every
+ * Rmw whose register the outcome constrains, the store it read from
+ * must be its immediate predecessor in the location's write
+ * serialization (or the Rmw's store must be first when it read the
+ * initial value) — no other store may intervene between an XCHG's
+ * load and its store.
+ */
+bool
+rmwAtomicityHolds(const litmus::Test &test,
+                  const litmus::Outcome &outcome,
+                  const std::vector<std::vector<OpRef>> &ws_orders)
+{
+    for (const auto &cond : outcome.conditions) {
+        if (cond.kind != litmus::Condition::Kind::Register)
+            continue;
+        const int index =
+            test.loadIndexForRegister(cond.thread, cond.reg);
+        if (index < 0)
+            continue;
+        const auto &instr =
+            test.threads[static_cast<std::size_t>(cond.thread)]
+                .instructions[static_cast<std::size_t>(index)];
+        if (!instr.isRmw())
+            continue;
+
+        const auto &order =
+            ws_orders[static_cast<std::size_t>(instr.loc)];
+        const OpRef own{cond.thread, index};
+        const auto own_pos =
+            std::find(order.begin(), order.end(), own);
+        checkInternal(own_pos != order.end(),
+                      "Rmw store missing from its ws order");
+
+        if (cond.value == 0) {
+            // Read the initial value: the Rmw's store must be first.
+            if (own_pos != order.begin())
+                return false;
+            continue;
+        }
+        litmus::ThreadId src_thread = -1;
+        int src_index = -1;
+        if (!test.findStoreOf(instr.loc, cond.value, src_thread,
+                              src_index))
+            return false;
+        if (own_pos == order.begin())
+            return false;
+        const OpRef source{src_thread, src_index};
+        if (!(*(std::prev(own_pos)) == source))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+allowsAxiomatic(const litmus::Test &test, const litmus::Outcome &outcome,
+                MemoryModel model)
+{
+    checkUser(!outcome.hasMemoryCondition(),
+              "the axiomatic checker only handles register conditions; "
+              "use the operational checker for final-memory outcomes");
+
+    const auto all_kinds = std::vector<EdgeKind>{
+        EdgeKind::Po, EdgeKind::Rf, EdgeKind::Ws, EdgeKind::Fr};
+
+    for (const auto &ws : enumerateWsOrders(test)) {
+        if (!rmwAtomicityHolds(test, outcome, ws))
+            continue;
+        const HbGraph graph(test, outcome, ws);
+
+        if (model == MemoryModel::SC) {
+            if (graph.acyclic(all_kinds))
+                return true;
+            continue;
+        }
+
+        // TSO / PSO: uniproc (SC per location) ...
+        HbGraph::AcyclicSpec uniproc;
+        uniproc.kinds = all_kinds;
+        uniproc.poSameLocationOnly = true;
+        if (!graph.acyclic(uniproc))
+            continue;
+
+        // ... and the global-happens-before condition; PSO
+        // additionally drops unfenced store->store program order.
+        HbGraph::AcyclicSpec ghb;
+        ghb.kinds = all_kinds;
+        ghb.excludeWrPo = true;
+        ghb.excludeWwPo = model == MemoryModel::PSO;
+        ghb.externalRfOnly = true;
+        if (graph.acyclic(ghb))
+            return true;
+    }
+    return false;
+}
+
+} // namespace perple::model

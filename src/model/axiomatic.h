@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Axiomatic memory-model checks over happens-before graphs.
+ *
+ * This is the second, independent oracle (the first is the operational
+ * enumerator in operational.h); the unit tests cross-validate the two on
+ * the whole corpus. The formulations are the standard ones:
+ *
+ *  - SC: some per-location total store order (ws) exists such that
+ *    po | rf | ws | fr is acyclic;
+ *  - x86-TSO (herd's x86tso.cat shape): some ws exists such that
+ *      (a) uniproc: po-loc | rf | ws | fr is acyclic, and
+ *      (b) ghb: ppo | implied-fence | rfe | ws | fr is acyclic, where
+ *          ppo = po minus store->load pairs and implied-fence restores
+ *          store->load pairs separated by MFENCE.
+ */
+
+#ifndef PERPLE_MODEL_AXIOMATIC_H
+#define PERPLE_MODEL_AXIOMATIC_H
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+#include "model/operational.h"
+
+namespace perple::model
+{
+
+/**
+ * True iff @p outcome is allowed for @p test under @p model by the
+ * axiomatic formulation.
+ *
+ * Only register conditions participate (memory conditions require
+ * final-state reasoning; use the operational checker for those).
+ *
+ * @param test The test; must be validated.
+ * @param outcome Register-condition outcome.
+ * @param model SC or TSO.
+ */
+bool allowsAxiomatic(const litmus::Test &test,
+                     const litmus::Outcome &outcome, MemoryModel model);
+
+} // namespace perple::model
+
+#endif // PERPLE_MODEL_AXIOMATIC_H

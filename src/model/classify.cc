@@ -1,0 +1,26 @@
+#include "model/classify.h"
+
+namespace perple::model
+{
+
+litmus::TsoVerdict
+classifyTargetTso(const litmus::Test &test)
+{
+    return classifyTarget(test, MemoryModel::TSO);
+}
+
+litmus::TsoVerdict
+classifyTarget(const litmus::Test &test, MemoryModel model)
+{
+    return allows(test, test.target, model)
+               ? litmus::TsoVerdict::Allowed
+               : litmus::TsoVerdict::Forbidden;
+}
+
+bool
+targetDistinguishesFromSc(const litmus::Test &test)
+{
+    return !allows(test, test.target, MemoryModel::SC);
+}
+
+} // namespace perple::model

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Convenience classification of litmus-test target outcomes.
+ */
+
+#ifndef PERPLE_MODEL_CLASSIFY_H
+#define PERPLE_MODEL_CLASSIFY_H
+
+#include "litmus/registry.h"
+#include "litmus/test.h"
+#include "model/operational.h"
+
+namespace perple::model
+{
+
+/**
+ * Classify the target outcome of @p test under x86-TSO using the
+ * operational enumerator (PerpLE's herd substitute; see Table II).
+ */
+litmus::TsoVerdict classifyTargetTso(const litmus::Test &test);
+
+/** Classify the target outcome of @p test under any supported model. */
+litmus::TsoVerdict classifyTarget(const litmus::Test &test,
+                                  MemoryModel model);
+
+/**
+ * True iff the target outcome of @p test is informative: forbidden
+ * under SC, i.e. only reachable through a genuine TSO relaxation
+ * (Section II-B: "it cannot occur under SC by simply interleaving").
+ */
+bool targetDistinguishesFromSc(const litmus::Test &test);
+
+} // namespace perple::model
+
+#endif // PERPLE_MODEL_CLASSIFY_H

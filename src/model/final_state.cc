@@ -1,0 +1,41 @@
+#include "model/final_state.h"
+
+#include "common/strings.h"
+
+namespace perple::model
+{
+
+bool
+FinalState::satisfies(const litmus::Outcome &outcome) const
+{
+    for (const auto &cond : outcome.conditions) {
+        if (cond.kind == litmus::Condition::Kind::Register) {
+            const auto &thread_regs =
+                regs[static_cast<std::size_t>(cond.thread)];
+            if (thread_regs[static_cast<std::size_t>(cond.reg)] !=
+                cond.value)
+                return false;
+        } else {
+            if (memory[static_cast<std::size_t>(cond.loc)] != cond.value)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::string
+FinalState::key() const
+{
+    std::string out = "r:";
+    for (const auto &thread_regs : regs) {
+        for (const auto v : thread_regs)
+            out += format("%lld,", static_cast<long long>(v));
+        out += ";";
+    }
+    out += "m:";
+    for (const auto v : memory)
+        out += format("%lld,", static_cast<long long>(v));
+    return out;
+}
+
+} // namespace perple::model

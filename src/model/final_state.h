@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Final states of single-iteration litmus-test executions.
+ */
+
+#ifndef PERPLE_MODEL_FINAL_STATE_H
+#define PERPLE_MODEL_FINAL_STATE_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+
+namespace perple::model
+{
+
+/**
+ * The observable result of one complete execution: every register of
+ * every thread plus final shared memory (after all buffers drained).
+ */
+struct FinalState
+{
+    /** regs[t][r] is the final value of register r of thread t. */
+    std::vector<std::vector<litmus::Value>> regs;
+
+    /** memory[loc] is the final value of each shared location. */
+    std::vector<litmus::Value> memory;
+
+    /** True if this state satisfies every condition of @p outcome. */
+    bool satisfies(const litmus::Outcome &outcome) const;
+
+    /** Canonical serialization, used for dedup and as a map key. */
+    std::string key() const;
+
+    bool
+    operator==(const FinalState &other) const
+    {
+        return regs == other.regs && memory == other.memory;
+    }
+
+    bool
+    operator<(const FinalState &other) const
+    {
+        if (regs != other.regs)
+            return regs < other.regs;
+        return memory < other.memory;
+    }
+};
+
+} // namespace perple::model
+
+#endif // PERPLE_MODEL_FINAL_STATE_H

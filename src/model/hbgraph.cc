@@ -1,0 +1,273 @@
+#include "model/hbgraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/writer.h"
+
+namespace perple::model
+{
+
+using litmus::Instruction;
+using litmus::LocationId;
+using litmus::OpKind;
+using litmus::Test;
+using litmus::ThreadId;
+
+namespace
+{
+
+const Instruction &
+instructionAt(const Test &test, OpRef op)
+{
+    return test.threads[static_cast<std::size_t>(op.thread)]
+        .instructions[static_cast<std::size_t>(op.index)];
+}
+
+} // namespace
+
+HbGraph::HbGraph(const litmus::Test &test,
+                 const litmus::Outcome &outcome,
+                 const std::vector<std::vector<OpRef>> &ws_orders)
+    : test_(test)
+{
+    // Vertices: every memory operation, in (thread, index) order.
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &instructions =
+            test.threads[static_cast<std::size_t>(t)].instructions;
+        for (std::size_t i = 0; i < instructions.size(); ++i)
+            if (!instructions[i].isFence())
+                vertices_.push_back({t, static_cast<int>(i)});
+    }
+
+    // po: all ordered pairs of memory operations within a thread, so
+    // that selectively dropping store->load pairs (the TSO relaxation)
+    // preserves the remaining transitive orderings.
+    for (std::size_t a = 0; a < vertices_.size(); ++a) {
+        for (std::size_t b = a + 1; b < vertices_.size(); ++b) {
+            if (vertices_[a].thread != vertices_[b].thread)
+                continue;
+            edges_.push_back({vertices_[a], vertices_[b], EdgeKind::Po});
+        }
+    }
+
+    // ws: chain each location's assumed total store order.
+    for (const auto &order : ws_orders)
+        for (std::size_t i = 0; i + 1 < order.size(); ++i)
+            edges_.push_back({order[i], order[i + 1], EdgeKind::Ws});
+
+    // rf and fr, derived from the outcome's register conditions.
+    for (const auto &cond : outcome.conditions) {
+        if (cond.kind != litmus::Condition::Kind::Register)
+            continue;
+        const int load_index =
+            test.loadIndexForRegister(cond.thread, cond.reg);
+        checkUser(load_index >= 0,
+                  "outcome condition references a register that is "
+                  "never loaded");
+        const OpRef load{cond.thread, load_index};
+        const LocationId loc = instructionAt(test, load).loc;
+
+        if (cond.value == 0) {
+            // Reading the initial value: the load is fr-before every
+            // store to the location. An Rmw's read precedes its own
+            // write by construction, so no self-edge is generated.
+            for (const auto &[store_thread, store_index] :
+                 test.storesTo(loc)) {
+                const OpRef store{store_thread, store_index};
+                if (store == load)
+                    continue;
+                edges_.push_back({load, store, EdgeKind::Fr});
+            }
+            continue;
+        }
+
+        ThreadId store_thread = -1;
+        int store_index = -1;
+        checkUser(test.findStoreOf(loc, cond.value, store_thread,
+                                   store_index),
+                  "outcome condition value has no matching store");
+        const OpRef store{store_thread, store_index};
+        edges_.push_back({store, load, EdgeKind::Rf});
+
+        // fr: the load is before every store that ws-follows the one
+        // it read.
+        const auto uloc = static_cast<std::size_t>(loc);
+        if (uloc < ws_orders.size()) {
+            const auto &order = ws_orders[uloc];
+            const auto it =
+                std::find(order.begin(), order.end(), store);
+            if (it != order.end()) {
+                for (auto later = std::next(it); later != order.end();
+                     ++later) {
+                    if (*later == load) // Rmw self-edge; see above.
+                        continue;
+                    edges_.push_back({load, *later, EdgeKind::Fr});
+                }
+            }
+        }
+    }
+}
+
+std::vector<HbEdge>
+HbGraph::edgesOfKind(EdgeKind kind) const
+{
+    std::vector<HbEdge> out;
+    for (const auto &edge : edges_)
+        if (edge.kind == kind)
+            out.push_back(edge);
+    return out;
+}
+
+bool
+HbGraph::hasFenceBetween(OpRef from, OpRef to) const
+{
+    if (from.thread != to.thread)
+        return false;
+    const auto &instructions =
+        test_.threads[static_cast<std::size_t>(from.thread)]
+            .instructions;
+    for (int i = from.index + 1; i < to.index; ++i)
+        if (instructions[static_cast<std::size_t>(i)].ordersLikeFence())
+            return true;
+    return false;
+}
+
+bool
+HbGraph::acyclic(const AcyclicSpec &spec) const
+{
+    std::map<OpRef, std::size_t> index;
+    for (std::size_t i = 0; i < vertices_.size(); ++i)
+        index[vertices_[i]] = i;
+
+    std::vector<std::vector<std::size_t>> adjacency(vertices_.size());
+    for (const auto &edge : edges_) {
+        if (std::find(spec.kinds.begin(), spec.kinds.end(), edge.kind) ==
+            spec.kinds.end())
+            continue;
+        const auto &from = instructionAt(test_, edge.from);
+        const auto &to = instructionAt(test_, edge.to);
+        if (edge.kind == EdgeKind::Po) {
+            if (spec.excludeWrPo && from.isStore() && to.isLoad() &&
+                !hasFenceBetween(edge.from, edge.to))
+                continue;
+            if (spec.excludeWwPo && from.isStore() && to.isStore() &&
+                from.loc != to.loc &&
+                !hasFenceBetween(edge.from, edge.to))
+                continue;
+            if (spec.poSameLocationOnly && from.loc != to.loc)
+                continue;
+        }
+        // Internal rf is excluded from the global order because store
+        // forwarding satisfies the load before the store commits —
+        // but a locked Rmw reads straight from memory (its buffer is
+        // drained), so rf into an Rmw is always globally ordered.
+        if (edge.kind == EdgeKind::Rf && spec.externalRfOnly &&
+            edge.from.thread == edge.to.thread && !to.isRmw())
+            continue;
+        adjacency[index.at(edge.from)].push_back(index.at(edge.to));
+    }
+
+    // Iterative three-color DFS.
+    enum class Color { White, Gray, Black };
+    std::vector<Color> color(vertices_.size(), Color::White);
+    for (std::size_t root = 0; root < vertices_.size(); ++root) {
+        if (color[root] != Color::White)
+            continue;
+        std::vector<std::pair<std::size_t, std::size_t>> stack;
+        stack.emplace_back(root, 0);
+        color[root] = Color::Gray;
+        while (!stack.empty()) {
+            auto &[node, next_child] = stack.back();
+            if (next_child < adjacency[node].size()) {
+                const std::size_t child = adjacency[node][next_child++];
+                if (color[child] == Color::Gray)
+                    return false;
+                if (color[child] == Color::White) {
+                    color[child] = Color::Gray;
+                    stack.emplace_back(child, 0);
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+HbGraph::toDot() const
+{
+    std::string out = "digraph hb {\n";
+    const auto nodeName = [&](OpRef op) {
+        return format("t%d_i%d", op.thread, op.index);
+    };
+    for (const auto &v : vertices_) {
+        const auto &instr = instructionAt(test_, v);
+        out += format(
+            "  %s [label=\"%s\"];\n", nodeName(v).c_str(),
+            litmus::instructionToString(test_, v.thread, instr).c_str());
+    }
+    const auto kindName = [](EdgeKind kind) {
+        switch (kind) {
+          case EdgeKind::Po: return "po";
+          case EdgeKind::Rf: return "rf";
+          case EdgeKind::Ws: return "ws";
+          case EdgeKind::Fr: return "fr";
+        }
+        return "?";
+    };
+    for (const auto &edge : edges_) {
+        out += format("  %s -> %s [label=\"%s\"];\n",
+                      nodeName(edge.from).c_str(),
+                      nodeName(edge.to).c_str(), kindName(edge.kind));
+    }
+    out += "}\n";
+    return out;
+}
+
+std::vector<std::vector<std::vector<OpRef>>>
+enumerateWsOrders(const litmus::Test &test)
+{
+    // Per location, all permutations of its stores.
+    std::vector<std::vector<std::vector<OpRef>>> per_location;
+    for (LocationId loc = 0; loc < test.numLocations(); ++loc) {
+        std::vector<OpRef> stores;
+        for (const auto &[thread, index] : test.storesTo(loc))
+            stores.push_back({thread, index});
+        std::sort(stores.begin(), stores.end());
+        std::vector<std::vector<OpRef>> permutations;
+        do {
+            permutations.push_back(stores);
+        } while (std::next_permutation(stores.begin(), stores.end()));
+        per_location.push_back(std::move(permutations));
+    }
+
+    // Cartesian product across locations.
+    std::vector<std::vector<std::vector<OpRef>>> result;
+    std::vector<std::size_t> odometer(per_location.size(), 0);
+    while (true) {
+        std::vector<std::vector<OpRef>> combo;
+        for (std::size_t loc = 0; loc < per_location.size(); ++loc)
+            combo.push_back(per_location[loc][odometer[loc]]);
+        result.push_back(std::move(combo));
+
+        std::size_t digit = per_location.size();
+        bool advanced = false;
+        while (digit > 0) {
+            --digit;
+            if (++odometer[digit] < per_location[digit].size()) {
+                advanced = true;
+                break;
+            }
+            odometer[digit] = 0;
+        }
+        if (!advanced)
+            return result;
+    }
+}
+
+} // namespace perple::model

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Happens-before graphs over litmus-test memory operations.
+ *
+ * Vertices are the memory operations (stores and loads) of one iteration
+ * of a test; edges carry the four relation kinds of Section II-B.2:
+ * program order (po), read-from (rf), write serialization (ws) and
+ * from-read (fr). The graph is the object the paper's Converter reasons
+ * about when mapping outcomes to perpetual outcomes, and the axiomatic
+ * checker evaluates acyclicity conditions over it.
+ */
+
+#ifndef PERPLE_MODEL_HBGRAPH_H
+#define PERPLE_MODEL_HBGRAPH_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+
+namespace perple::model
+{
+
+/** Identifies one memory operation of the test. */
+struct OpRef
+{
+    litmus::ThreadId thread = -1;
+    int index = -1; ///< Instruction index within the thread.
+
+    bool
+    operator==(const OpRef &other) const
+    {
+        return thread == other.thread && index == other.index;
+    }
+
+    bool
+    operator<(const OpRef &other) const
+    {
+        if (thread != other.thread)
+            return thread < other.thread;
+        return index < other.index;
+    }
+};
+
+/** Happens-before edge kinds. */
+enum class EdgeKind
+{
+    Po, ///< Program order within a thread.
+    Rf, ///< Store to the load reading its value.
+    Ws, ///< Write serialization between same-location stores.
+    Fr, ///< Load to a store ws-after the store it read.
+};
+
+/** One happens-before edge. */
+struct HbEdge
+{
+    OpRef from;
+    OpRef to;
+    EdgeKind kind;
+};
+
+/**
+ * A happens-before graph for one candidate execution.
+ *
+ * The rf component is derived from an outcome (each constrained
+ * register's value identifies its writer; value 0 identifies the
+ * initializing store, which is not a vertex, so reading 0 contributes fr
+ * edges to every store of the location instead of an rf edge). The ws
+ * component must be supplied as a total order per location.
+ */
+class HbGraph
+{
+  public:
+    /**
+     * Build the graph for @p test under @p outcome and @p ws_orders.
+     *
+     * @param test The test; must be validated.
+     * @param outcome Register conditions to witness; loads without a
+     *        condition contribute no rf/fr edges.
+     * @param ws_orders For each location, the assumed total store order
+     *        as a sequence of OpRefs (may be empty for single-store or
+     *        store-free locations).
+     */
+    HbGraph(const litmus::Test &test, const litmus::Outcome &outcome,
+            const std::vector<std::vector<OpRef>> &ws_orders);
+
+    /** All edges, in insertion order. */
+    const std::vector<HbEdge> &edges() const { return edges_; }
+
+    /** Edges of one kind. */
+    std::vector<HbEdge> edgesOfKind(EdgeKind kind) const;
+
+    /** Which edges participate in an acyclicity check. */
+    struct AcyclicSpec
+    {
+        /** Edge kinds to include. */
+        std::vector<EdgeKind> kinds;
+
+        /**
+         * Drop po edges from a store to a load (the TSO W->R
+         * relaxation) unless an MFENCE separates them.
+         */
+        bool excludeWrPo = false;
+
+        /**
+         * Drop po edges between stores to *different* locations (the
+         * additional PSO W->W relaxation) unless an MFENCE separates
+         * them; same-location store pairs stay ordered (coherence).
+         */
+        bool excludeWwPo = false;
+
+        /** Keep only po edges between same-location operations. */
+        bool poSameLocationOnly = false;
+
+        /** Keep only rf edges that cross threads (rfe). */
+        bool externalRfOnly = false;
+    };
+
+    /** True iff the subgraph selected by @p spec is acyclic. */
+    bool acyclic(const AcyclicSpec &spec) const;
+
+    /** Convenience overload including @p kinds with default filters. */
+    bool
+    acyclic(const std::vector<EdgeKind> &kinds) const
+    {
+        return acyclic(AcyclicSpec{kinds, false, false, false});
+    }
+
+    /** Graphviz dot rendering, for documentation and debugging. */
+    std::string toDot() const;
+
+  private:
+    bool hasFenceBetween(OpRef from, OpRef to) const;
+
+    const litmus::Test &test_;
+    std::vector<OpRef> vertices_;
+    std::vector<HbEdge> edges_;
+};
+
+/**
+ * Enumerate all per-location total store orders of @p test.
+ *
+ * The result is the cartesian product over locations of the
+ * permutations of that location's stores; each element is indexed by
+ * LocationId and usable as HbGraph's ws_orders argument.
+ */
+std::vector<std::vector<std::vector<OpRef>>>
+enumerateWsOrders(const litmus::Test &test);
+
+} // namespace perple::model
+
+#endif // PERPLE_MODEL_HBGRAPH_H

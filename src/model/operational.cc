@@ -1,0 +1,287 @@
+#include "model/operational.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::model
+{
+
+namespace
+{
+
+using litmus::Instruction;
+using litmus::LocationId;
+using litmus::OpKind;
+using litmus::Test;
+using litmus::ThreadId;
+using litmus::Value;
+
+/** One buffered store awaiting drain. */
+struct BufferedStore
+{
+    LocationId loc;
+    Value value;
+
+    bool
+    operator==(const BufferedStore &other) const
+    {
+        return loc == other.loc && value == other.value;
+    }
+};
+
+/** Complete machine state during enumeration. */
+struct MachineState
+{
+    std::vector<int> pc;
+    std::vector<std::deque<BufferedStore>> buffers;
+    std::vector<Value> memory;
+    std::vector<std::vector<Value>> regs;
+
+    std::string
+    key() const
+    {
+        std::string out;
+        for (std::size_t t = 0; t < pc.size(); ++t) {
+            out += format("p%d|", pc[t]);
+            for (const auto &entry : buffers[t])
+                out += format("b%d=%lld|", entry.loc,
+                              static_cast<long long>(entry.value));
+            out += ";";
+        }
+        for (const auto v : memory)
+            out += format("m%lld|", static_cast<long long>(v));
+        for (const auto &thread_regs : regs)
+            for (const auto v : thread_regs)
+                out += format("r%lld|", static_cast<long long>(v));
+        return out;
+    }
+};
+
+/** DFS enumeration context. */
+class Enumerator
+{
+  public:
+    Enumerator(const Test &test, MemoryModel model)
+        : test_(test), model_(model)
+    {}
+
+    std::vector<FinalState>
+    run()
+    {
+        MachineState initial;
+        const auto num_threads =
+            static_cast<std::size_t>(test_.numThreads());
+        initial.pc.assign(num_threads, 0);
+        initial.buffers.assign(num_threads, {});
+        initial.memory.assign(
+            static_cast<std::size_t>(test_.numLocations()), 0);
+        initial.regs.resize(num_threads);
+        for (std::size_t t = 0; t < num_threads; ++t)
+            initial.regs[t].assign(test_.threads[t].registerNames.size(),
+                                   0);
+        explore(initial);
+
+        std::vector<FinalState> result(finals_.begin(), finals_.end());
+        return result;
+    }
+
+  private:
+    bool
+    done(const MachineState &state) const
+    {
+        for (std::size_t t = 0; t < state.pc.size(); ++t) {
+            if (state.pc[t] <
+                static_cast<int>(test_.threads[t].instructions.size()))
+                return false;
+            if (!state.buffers[t].empty())
+                return false;
+        }
+        return true;
+    }
+
+    void
+    explore(const MachineState &state)
+    {
+        if (!visited_.insert(state.key()).second)
+            return;
+
+        if (done(state)) {
+            FinalState fs;
+            fs.regs = state.regs;
+            fs.memory = state.memory;
+            finals_.insert(std::move(fs));
+            return;
+        }
+
+        for (ThreadId t = 0; t < test_.numThreads(); ++t) {
+            stepInstruction(state, t);
+            if (model_ != MemoryModel::SC)
+                stepDrain(state, t);
+        }
+    }
+
+    /** Try to execute the next instruction of thread @p t. */
+    void
+    stepInstruction(const MachineState &state, ThreadId t)
+    {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto &instructions = test_.threads[ut].instructions;
+        const int pc = state.pc[ut];
+        if (pc >= static_cast<int>(instructions.size()))
+            return;
+        const Instruction &instr =
+            instructions[static_cast<std::size_t>(pc)];
+
+        MachineState next = state;
+        next.pc[ut] = pc + 1;
+
+        switch (instr.kind) {
+          case OpKind::Store:
+            if (model_ != MemoryModel::SC) {
+                next.buffers[ut].push_back({instr.loc, instr.value});
+            } else {
+                next.memory[static_cast<std::size_t>(instr.loc)] =
+                    instr.value;
+            }
+            break;
+          case OpKind::Load: {
+            Value loaded =
+                state.memory[static_cast<std::size_t>(instr.loc)];
+            if (model_ != MemoryModel::SC) {
+                // Forward from the newest matching buffered store.
+                const auto &buffer = state.buffers[ut];
+                for (auto it = buffer.rbegin(); it != buffer.rend();
+                     ++it) {
+                    if (it->loc == instr.loc) {
+                        loaded = it->value;
+                        break;
+                    }
+                }
+            }
+            next.regs[ut][static_cast<std::size_t>(instr.reg)] = loaded;
+            break;
+          }
+          case OpKind::Fence:
+            // MFENCE can only retire once the own buffer is empty; the
+            // drain transitions below make progress toward that.
+            if (model_ != MemoryModel::SC &&
+                !state.buffers[ut].empty())
+                return;
+            break;
+          case OpKind::Rmw:
+            // Locked instruction: drains the own buffer first (full
+            // fence), then the read-modify-write is a single atomic
+            // global action.
+            if (model_ != MemoryModel::SC &&
+                !state.buffers[ut].empty())
+                return;
+            next.regs[ut][static_cast<std::size_t>(instr.reg)] =
+                state.memory[static_cast<std::size_t>(instr.loc)];
+            next.memory[static_cast<std::size_t>(instr.loc)] =
+                instr.value;
+            break;
+        }
+        explore(next);
+    }
+
+    /**
+     * Try to drain a buffered store of thread @p t: the oldest under
+     * TSO (FIFO), any entry under PSO — except that entries to the
+     * same location stay FIFO among themselves (per-location
+     * coherence: a thread's same-location stores cannot overtake each
+     * other even in PSO).
+     */
+    void
+    stepDrain(const MachineState &state, ThreadId t)
+    {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto &buffer = state.buffers[ut];
+        if (buffer.empty())
+            return;
+
+        const std::size_t candidates =
+            model_ == MemoryModel::PSO ? buffer.size() : 1;
+        for (std::size_t i = 0; i < candidates; ++i) {
+            // PSO: only the first buffered store to its location may
+            // drain (same-location FIFO).
+            bool first_to_location = true;
+            for (std::size_t j = 0; j < i; ++j) {
+                if (buffer[j].loc == buffer[i].loc) {
+                    first_to_location = false;
+                    break;
+                }
+            }
+            if (!first_to_location)
+                continue;
+            MachineState next = state;
+            const BufferedStore entry = next.buffers[ut]
+                [static_cast<std::deque<BufferedStore>::size_type>(i)];
+            next.buffers[ut].erase(
+                next.buffers[ut].begin() +
+                static_cast<std::deque<BufferedStore>::difference_type>(
+                    i));
+            next.memory[static_cast<std::size_t>(entry.loc)] =
+                entry.value;
+            explore(next);
+        }
+    }
+
+    const Test &test_;
+    MemoryModel model_;
+    std::set<std::string> visited_;
+    std::set<FinalState> finals_;
+};
+
+} // namespace
+
+const char *
+memoryModelName(MemoryModel model)
+{
+    switch (model) {
+      case MemoryModel::SC: return "SC";
+      case MemoryModel::TSO: return "TSO";
+      case MemoryModel::PSO: return "PSO";
+    }
+    return "?";
+}
+
+std::vector<FinalState>
+enumerateFinalStates(const litmus::Test &test, MemoryModel model)
+{
+    Enumerator enumerator(test, model);
+    return enumerator.run();
+}
+
+bool
+allows(const litmus::Test &test, const litmus::Outcome &outcome,
+       MemoryModel model)
+{
+    for (const auto &fs : enumerateFinalStates(test, model))
+        if (fs.satisfies(outcome))
+            return true;
+    return false;
+}
+
+std::vector<litmus::Outcome>
+allowedRegisterOutcomes(const litmus::Test &test, MemoryModel model)
+{
+    const auto finals = enumerateFinalStates(test, model);
+    std::vector<litmus::Outcome> allowed;
+    for (const auto &outcome : litmus::enumerateRegisterOutcomes(test)) {
+        for (const auto &fs : finals) {
+            if (fs.satisfies(outcome)) {
+                allowed.push_back(outcome);
+                break;
+            }
+        }
+    }
+    return allowed;
+}
+
+} // namespace perple::model

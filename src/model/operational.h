@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Operational model checking of litmus tests under SC and x86-TSO.
+ *
+ * This is PerpLE's substitute for the herd simulator used in the paper to
+ * classify target outcomes (Table II): an exhaustive enumeration of every
+ * interleaving of one test iteration under an abstract machine.
+ *
+ * The TSO machine is the x86-TSO abstract machine of Owens, Sarkar and
+ * Sewell: one FIFO store buffer per hardware thread, loads forward from
+ * the newest matching buffered store of the own thread before reading
+ * memory, MFENCE blocks until the own buffer has drained, and buffered
+ * stores drain to memory one at a time at nondeterministic points. The SC
+ * machine is the same without store buffers.
+ */
+
+#ifndef PERPLE_MODEL_OPERATIONAL_H
+#define PERPLE_MODEL_OPERATIONAL_H
+
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+#include "model/final_state.h"
+
+namespace perple::model
+{
+
+/** Memory model selector for the operational enumerator. */
+enum class MemoryModel
+{
+    /** Sequential consistency: no store buffers. */
+    SC,
+
+    /**
+     * x86-TSO: per-thread FIFO store buffers with forwarding; only the
+     * W->R program order is relaxed.
+     */
+    TSO,
+
+    /**
+     * SPARC-style Partial Store Order: like TSO but store buffers
+     * drain out of order, additionally relaxing W->W program order
+     * (the paper's conclusion: perpetual litmus tests apply to weaker
+     * models as well; PSO is the first step down from TSO).
+     */
+    PSO,
+};
+
+/** Human-readable model name ("SC", "TSO", "PSO"). */
+const char *memoryModelName(MemoryModel model);
+
+/**
+ * Enumerate every reachable final state of one iteration of @p test.
+ *
+ * @param test The litmus test; must be validated.
+ * @param model SC or TSO.
+ * @return All distinct final states, sorted.
+ */
+std::vector<FinalState> enumerateFinalStates(const litmus::Test &test,
+                                             MemoryModel model);
+
+/**
+ * True iff some reachable final state satisfies @p outcome.
+ *
+ * @param test The litmus test.
+ * @param outcome Outcome to check; may include memory conditions.
+ * @param model SC or TSO.
+ */
+bool allows(const litmus::Test &test, const litmus::Outcome &outcome,
+            MemoryModel model);
+
+/**
+ * All syntactically possible register outcomes of @p test that are
+ * reachable under @p model (the "observable" outcomes of Section II-B).
+ */
+std::vector<litmus::Outcome>
+allowedRegisterOutcomes(const litmus::Test &test, MemoryModel model);
+
+} // namespace perple::model
+
+#endif // PERPLE_MODEL_OPERATIONAL_H

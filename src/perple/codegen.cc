@@ -1,0 +1,440 @@
+#include "perple/codegen.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/writer.h"
+#include "perple/counters.h"
+#include "perple/perpetual_outcome.h"
+
+namespace perple::core
+{
+
+using litmus::Outcome;
+using litmus::ThreadId;
+
+std::string
+identifierFor(const std::string &test_name)
+{
+    std::string out;
+    for (const char c : test_name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += c;
+        else
+            out += '_';
+    }
+    if (out.empty() ||
+        std::isdigit(static_cast<unsigned char>(out.front())))
+        out.insert(out.begin(), 't');
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Assembly emission
+// ---------------------------------------------------------------------
+
+std::string
+emitThreadAssembly(const PerpetualTest &perpetual, ThreadId thread)
+{
+    const litmus::Test &test = perpetual.original;
+    checkUser(thread >= 0 && thread < test.numThreads(),
+              "thread id out of range");
+
+    const std::string name = identifierFor(test.name);
+    const std::string fn = format("%s_thread%d", name.c_str(), thread);
+    const sim::SimProgram &program =
+        perpetual.programs[static_cast<std::size_t>(thread)];
+    const int r_t = program.loadsPerIteration;
+
+    std::string out;
+    out += format("/* PerpLE perpetual test '%s', thread %d.\n",
+                  test.name.c_str(), thread);
+    out += " *\n";
+    out += format(" * void %s(int64_t n_iterations, int64_t *buf,\n",
+                  fn.c_str());
+    out += " *                int64_t *shared);\n";
+    out += " * rdi = n_iterations, rsi = buf cursor, rdx = shared\n";
+    out += " * memory base; each shared location is padded to its own\n";
+    out += " * 64-byte cache line. r8 holds the iteration index n.\n";
+    out += " */\n";
+    out += "    .text\n";
+    out += format("    .globl  %s\n", fn.c_str());
+    out += format("    .type   %s, @function\n", fn.c_str());
+    out += format("%s:\n", fn.c_str());
+    out += "    testq   %rdi, %rdi\n";
+    out += format("    je      .L%s_done\n", fn.c_str());
+    out += "    xorq    %r8, %r8                /* n = 0 */\n";
+    out += format(".L%s_loop:\n", fn.c_str());
+
+    for (std::size_t i = 0; i < program.ops.size(); ++i) {
+        const sim::SimOp &op = program.ops[i];
+        switch (op.kind) {
+          case litmus::OpKind::Store: {
+            const auto &loc_name =
+                test.locations[static_cast<std::size_t>(op.loc)];
+            out += format(
+                "    /* (i_%d%zu): [%s] <- %lld*n + %lld */\n", thread,
+                i, loc_name.c_str(),
+                static_cast<long long>(op.value.stride),
+                static_cast<long long>(op.value.offset));
+            if (op.value.stride == 1) {
+                out += format("    leaq    %lld(%%r8), %%rax\n",
+                              static_cast<long long>(op.value.offset));
+            } else {
+                out += format("    imulq   $%lld, %%r8, %%rax\n",
+                              static_cast<long long>(op.value.stride));
+                out += format("    addq    $%lld, %%rax\n",
+                              static_cast<long long>(op.value.offset));
+            }
+            out += format("    movq    %%rax, %d(%%rdx)\n",
+                          op.loc * 64);
+            break;
+          }
+          case litmus::OpKind::Load: {
+            const auto &loc_name =
+                test.locations[static_cast<std::size_t>(op.loc)];
+            out += format("    /* (i_%d%zu): reg <- [%s], buf slot %d "
+                          "*/\n",
+                          thread, i, loc_name.c_str(), op.slot);
+            out += format("    movq    %d(%%rdx), %%rcx\n",
+                          op.loc * 64);
+            out += format("    movq    %%rcx, %d(%%rsi)\n",
+                          op.slot * 8);
+            break;
+          }
+          case litmus::OpKind::Fence:
+            out += format("    /* (i_%d%zu): MFENCE */\n", thread, i);
+            out += "    mfence\n";
+            break;
+          case litmus::OpKind::Rmw: {
+            const auto &loc_name =
+                test.locations[static_cast<std::size_t>(op.loc)];
+            out += format(
+                "    /* (i_%d%zu): XCHG [%s] <- %lld*n + %lld, old "
+                "value to buf slot %d */\n",
+                thread, i, loc_name.c_str(),
+                static_cast<long long>(op.value.stride),
+                static_cast<long long>(op.value.offset), op.slot);
+            if (op.value.stride == 1) {
+                out += format("    leaq    %lld(%%r8), %%rax\n",
+                              static_cast<long long>(op.value.offset));
+            } else {
+                out += format("    imulq   $%lld, %%r8, %%rax\n",
+                              static_cast<long long>(op.value.stride));
+                out += format("    addq    $%lld, %%rax\n",
+                              static_cast<long long>(op.value.offset));
+            }
+            out += format("    xchgq   %%rax, %d(%%rdx)\n",
+                          op.loc * 64);
+            out += format("    movq    %%rax, %d(%%rsi)\n",
+                          op.slot * 8);
+            break;
+          }
+        }
+    }
+
+    out += "    /* iteration end: advance buf cursor and n */\n";
+    if (r_t > 0)
+        out += format("    addq    $%d, %%rsi\n", r_t * 8);
+    out += "    incq    %r8\n";
+    out += "    cmpq    %rdi, %r8\n";
+    out += format("    jb      .L%s_loop\n", fn.c_str());
+    out += format(".L%s_done:\n", fn.c_str());
+    out += "    ret\n";
+    out += format("    .size   %s, .-%s\n", fn.c_str(), fn.c_str());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// C counter emission
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** "n_0" / "q_2" for an atom's index variable. */
+std::string
+indexVarName(const Atom &atom)
+{
+    return format("%s_%d", atom.indexIsFrame ? "n" : "q",
+                  atom.indexThread);
+}
+
+/** "buf_0[1 * n_0 + 0]" for a buf access with index variable @p var. */
+std::string
+bufExpr(const BufAccess &access, const std::string &var)
+{
+    return format("buf_%d[%d * %s + %d]", access.thread,
+                  access.loadsPerIteration, var.c_str(), access.slot);
+}
+
+/** The shared helper functions and header of every generated file. */
+std::string
+filePrologue(const litmus::Test &test, const char *which)
+{
+    std::string out;
+    out += format("/* PerpLE %s outcome counter for test '%s'.\n",
+                  which, test.name.c_str());
+    out += " * Generated by the PerpLE Converter (Section V-A); do\n";
+    out += " * not edit. Original test:\n *\n";
+    for (const auto &line : split(litmus::writeTest(test), '\n'))
+        out += " *   " + line + "\n";
+    out += " */\n";
+    out += "#include <stdint.h>\n\n";
+    // Guarded so the exhaustive and heuristic files can be compiled
+    // together in one translation unit.
+    out += "#ifndef PERPLE_DIV_HELPERS\n";
+    out += "#define PERPLE_DIV_HELPERS\n";
+    out += "static int64_t pl_floor_div(int64_t a, int64_t b)\n";
+    out += "{\n";
+    out += "    return a >= 0 ? a / b : -((-a + b - 1) / b);\n";
+    out += "}\n\n";
+    out += "static int64_t pl_ceil_div(int64_t a, int64_t b)\n";
+    out += "{\n";
+    out += "    return a > 0 ? (a + b - 1) / b : -((-a) / b);\n";
+    out += "}\n";
+    out += "#endif /* PERPLE_DIV_HELPERS */\n\n";
+    return out;
+}
+
+/** Parameter list "(int64_t N, int64_t n_0, ..., const int64_t ...)" */
+std::string
+poutParams(const std::vector<ThreadId> &frame_threads,
+           bool pivot_only, ThreadId pivot)
+{
+    std::string params = "int64_t N";
+    if (pivot_only) {
+        params += format(", int64_t n_%d", pivot);
+    } else {
+        for (const ThreadId t : frame_threads)
+            params += format(", int64_t n_%d", t);
+    }
+    for (const ThreadId t : frame_threads)
+        params += format(", const int64_t *buf_%d", t);
+    return params;
+}
+
+/**
+ * Emit the body lines checking @p outcome's atoms, skipping conditions
+ * in @p consumed. Existential bounds are declared and the final return
+ * verifies them.
+ */
+std::string
+emitAtomChecks(const PerpetualOutcome &outcome,
+               const std::vector<int> &consumed)
+{
+    std::string body;
+    for (const ThreadId q : outcome.existentialThreads)
+        body += format("    int64_t q_%d_lo = 0, q_%d_hi = N - 1;\n", q,
+                       q);
+    body += "    int64_t v;\n";
+
+    for (const Atom &atom : outcome.atoms) {
+        if (std::find(consumed.begin(), consumed.end(),
+                      atom.conditionIndex) != consumed.end())
+            continue;
+        const std::string frame_var =
+            format("n_%d", atom.value.thread);
+        body += format("    v = %s;\n",
+                       bufExpr(atom.value, frame_var).c_str());
+        const long long k = atom.stride;
+        const long long c = atom.offset;
+        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
+            if (atom.checkResidue)
+                body += format("    if (v < %lld || (v - %lld) %% %lld "
+                               "!= 0) return 0;\n",
+                               c, c, k);
+            if (atom.indexIsFrame) {
+                body += format("    if (!(v >= %lld * %s + %lld)) "
+                               "return 0;\n",
+                               k, indexVarName(atom).c_str(), c);
+            } else {
+                body += format(
+                    "    { int64_t ub = pl_floor_div(v - %lld, %lld); "
+                    "if (ub < q_%d_hi) q_%d_hi = ub; }\n",
+                    c, k, atom.indexThread, atom.indexThread);
+            }
+        } else {
+            if (atom.indexIsFrame) {
+                body += format("    if (!(v <= %lld * %s + %lld)) "
+                               "return 0;\n",
+                               k, indexVarName(atom).c_str(), c - 1);
+            } else {
+                body += format(
+                    "    { int64_t lb = pl_ceil_div(v - %lld, %lld); "
+                    "if (lb > q_%d_lo) q_%d_lo = lb; }\n",
+                    c - 1, k, atom.indexThread, atom.indexThread);
+            }
+        }
+    }
+
+    std::string ret = "    return 1";
+    for (const ThreadId q : outcome.existentialThreads)
+        ret += format(" && q_%d_lo <= q_%d_hi", q, q);
+    body += ret + ";\n";
+    return body;
+}
+
+} // namespace
+
+std::string
+emitExhaustiveCounterC(const PerpetualTest &perpetual,
+                       const std::vector<Outcome> &outcomes)
+{
+    const litmus::Test &test = perpetual.original;
+    const std::string name = identifierFor(test.name);
+    const auto perpetual_outcomes =
+        buildPerpetualOutcomes(test, outcomes);
+    const auto frame_threads = test.loadThreads();
+
+    std::string out = filePrologue(test, "exhaustive");
+
+    for (std::size_t o = 0; o < perpetual_outcomes.size(); ++o) {
+        const PerpetualOutcome &po = perpetual_outcomes[o];
+        out += format("/* p_out_%zu: original outcome %s\n", o,
+                      po.originalText.c_str());
+        out += format(" * perpetual: %s */\n",
+                      po.describe(test).c_str());
+        out += format("static int p_out_%zu(%s)\n", o,
+                      poutParams(frame_threads, false, -1).c_str());
+        out += "{\n    (void)N;\n";
+        out += emitAtomChecks(po, {});
+        out += "}\n\n";
+    }
+
+    // COUNT (Algorithm 1).
+    out += format("void %s_count(int64_t N", name.c_str());
+    for (const ThreadId t : frame_threads)
+        out += format(", const int64_t *buf_%d", t);
+    out += ", uint64_t *counts)\n{\n";
+    std::string indent = "    ";
+    for (const ThreadId t : frame_threads) {
+        out += indent +
+               format("for (int64_t n_%d = 0; n_%d < N; n_%d++) {\n", t,
+                      t, t);
+        indent += "    ";
+    }
+    for (std::size_t o = 0; o < perpetual_outcomes.size(); ++o) {
+        std::string args = "N";
+        for (const ThreadId t : frame_threads)
+            args += format(", n_%d", t);
+        for (const ThreadId t : frame_threads)
+            args += format(", buf_%d", t);
+        out += indent +
+               format("%sif (p_out_%zu(%s)) counts[%zu]++;\n",
+                      o == 0 ? "" : "else ", o, args.c_str(), o);
+    }
+    for (std::size_t d = 0; d < frame_threads.size(); ++d) {
+        indent.resize(indent.size() - 4);
+        out += indent + "}\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+emitHeuristicCounterC(const PerpetualTest &perpetual,
+                      const std::vector<Outcome> &outcomes)
+{
+    const litmus::Test &test = perpetual.original;
+    const std::string name = identifierFor(test.name);
+    auto perpetual_outcomes = buildPerpetualOutcomes(test, outcomes);
+    const auto frame_threads = test.loadThreads();
+    const HeuristicCounter planner(test, perpetual_outcomes);
+
+    std::string out = filePrologue(test, "heuristic");
+
+    for (std::size_t o = 0; o < perpetual_outcomes.size(); ++o) {
+        const PerpetualOutcome &po = planner.outcomes()[o];
+        const ThreadId pivot = planner.pivotThread(o);
+        out += format("/* p_out_h_%zu: original outcome %s\n", o,
+                      po.originalText.c_str());
+        out += format(" * %s */\n", planner.describePlan(o).c_str());
+        out += format("static int p_out_h_%zu(%s)\n", o,
+                      poutParams(frame_threads, true, pivot).c_str());
+        out += "{\n";
+
+        // Resolve the remaining frame indices from loaded values.
+        for (const ResolutionStep &step : planner.planSteps(o)) {
+            out += format("    int64_t n_%d;\n", step.targetThread);
+            if (step.fallback) {
+                out += format("    n_%d = n_%d; /* fallback */\n",
+                              step.targetThread, pivot);
+            } else {
+                const std::string src = bufExpr(
+                    step.source, format("n_%d", step.sourceThread));
+                out += format("    { int64_t val = %s;\n", src.c_str());
+                if (step.rfDecode) {
+                    out += format(
+                        "      int64_t d = val - %lld;\n"
+                        "      if (d < 0 || d %% %lld != 0) return 0;\n"
+                        "      n_%d = d / %lld; }\n",
+                        static_cast<long long>(step.offset),
+                        static_cast<long long>(step.stride),
+                        step.targetThread,
+                        static_cast<long long>(step.stride));
+                } else {
+                    out += format("      if (val == 0) { n_%d = 0; }\n",
+                                  step.targetThread);
+                    out += format("      else { n_%d = -1;\n",
+                                  step.targetThread);
+                    for (const auto a : step.frOffsets) {
+                        out += format(
+                            "        if (n_%d < 0 && val >= %lld && "
+                            "(val - %lld) %% %lld == 0) n_%d = (val - "
+                            "%lld) / %lld + 1;\n",
+                            step.targetThread,
+                            static_cast<long long>(a),
+                            static_cast<long long>(a),
+                            static_cast<long long>(step.stride),
+                            step.targetThread,
+                            static_cast<long long>(a),
+                            static_cast<long long>(step.stride));
+                    }
+                    out += format("        if (n_%d < 0) return 0; "
+                                  "}\n    }\n",
+                                  step.targetThread);
+                }
+                if (step.rfDecode) {
+                    // Closing brace already emitted above.
+                }
+            }
+            out += format("    if (n_%d < 0 || n_%d >= N) return 0;\n",
+                          step.targetThread, step.targetThread);
+        }
+
+        out += emitAtomChecks(po, planner.consumedConditions(o));
+        out += "}\n\n";
+    }
+
+    // COUNTH (Algorithm 2). The loop variable is passed to each
+    // p_out_h as that outcome's pivot index.
+    out += format("void %s_count_h(int64_t N", name.c_str());
+    for (const ThreadId t : frame_threads)
+        out += format(", const int64_t *buf_%d", t);
+    out += ", uint64_t *counts)\n{\n";
+    out += "    for (int64_t n = 0; n < N; n++) {\n";
+    for (std::size_t o = 0; o < perpetual_outcomes.size(); ++o) {
+        std::string args = "N, n";
+        for (const ThreadId t : frame_threads)
+            args += format(", buf_%d", t);
+        out += format("        %sif (p_out_h_%zu(%s)) counts[%zu]++;\n",
+                      o == 0 ? "" : "else ", o, args.c_str(), o);
+    }
+    out += "    }\n}\n";
+    return out;
+}
+
+std::string
+emitReadsParams(const PerpetualTest &perpetual)
+{
+    std::string out;
+    for (std::size_t t = 0; t < perpetual.loadsPerIteration.size(); ++t)
+        out += format("t%zu_reads = %d\n", t,
+                      perpetual.loadsPerIteration[t]);
+    return out;
+}
+
+} // namespace perple::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Emission of the PerpLE Converter's file outputs (Section V-A):
+ *
+ *  - one x86-64 assembly file per test thread, containing that thread's
+ *    perpetual loop body (arithmetic-sequence stores, buf logging);
+ *  - a C file with the exhaustive outcome counter (COUNT, Algorithm 1)
+ *    specialized to the outcomes of interest;
+ *  - a C file with the heuristic outcome counter (COUNTH, Algorithm 2);
+ *  - a parameters file with t0_reads .. t{T-1}_reads, the loads per
+ *    iteration of each thread, which the Harness uses to size the buf
+ *    arrays.
+ *
+ * The generated C is self-contained and compilable; the unit tests
+ * compile it with the host compiler and check it agrees with the
+ * in-library counters.
+ */
+
+#ifndef PERPLE_CORE_CODEGEN_H
+#define PERPLE_CORE_CODEGEN_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "perple/converter.h"
+
+namespace perple::core
+{
+
+/** Sanitize a test name into a C/asm identifier ("mp+fences" -> ...). */
+std::string identifierFor(const std::string &test_name);
+
+/**
+ * Emit the x86-64 (AT&T syntax) perpetual loop of one thread.
+ *
+ * The function's C signature is
+ * `void <name>_thread<t>(int64_t n_iterations, int64_t *buf,
+ *  int64_t *shared)` with each shared location padded to its own cache
+ * line (64-byte stride).
+ *
+ * @param perpetual The converted test.
+ * @param thread Which thread.
+ */
+std::string emitThreadAssembly(const PerpetualTest &perpetual,
+                               litmus::ThreadId thread);
+
+/**
+ * Emit the C source of the exhaustive outcome counter for
+ * @p outcomes.
+ *
+ * Generated entry point:
+ * `void <name>_count(int64_t N, const int64_t *buf_0, ...,
+ *  uint64_t *counts)` (one buf per load-performing thread, counts
+ * sized to the outcome list).
+ */
+std::string emitExhaustiveCounterC(
+    const PerpetualTest &perpetual,
+    const std::vector<litmus::Outcome> &outcomes);
+
+/** Emit the C source of the heuristic outcome counter (COUNTH). */
+std::string emitHeuristicCounterC(
+    const PerpetualTest &perpetual,
+    const std::vector<litmus::Outcome> &outcomes);
+
+/** Emit the t0_reads .. t{T-1}_reads parameters file. */
+std::string emitReadsParams(const PerpetualTest &perpetual);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_CODEGEN_H

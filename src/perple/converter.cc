@@ -1,0 +1,64 @@
+#include "perple/converter.h"
+
+#include "common/error.h"
+#include "litmus/validator.h"
+
+namespace perple::core
+{
+
+bool
+isConvertible(const litmus::Test &test,
+              const std::vector<litmus::Outcome> &outcomes,
+              std::string &reason)
+{
+    if (test.numLoadThreads() == 0) {
+        reason = "no thread performs a load, so there are no frames to "
+                 "analyze";
+        return false;
+    }
+    for (const auto &outcome : outcomes) {
+        if (outcome.hasMemoryCondition()) {
+            reason = "outcome '" + outcome.toString(test) +
+                     "' inspects final shared memory, which a perpetual "
+                     "run cannot observe per iteration";
+            return false;
+        }
+    }
+    reason.clear();
+    return true;
+}
+
+PerpetualTest
+convert(const litmus::Test &test)
+{
+    litmus::validateOrThrow(test);
+    std::string reason;
+    if (!isConvertible(test, {test.target}, reason))
+        fatal("test '" + test.name + "' is not convertible: " + reason);
+
+    PerpetualTest perpetual;
+    perpetual.original = test;
+    perpetual.frameThreads = test.loadThreads();
+
+    for (litmus::LocationId loc = 0; loc < test.numLocations(); ++loc)
+        perpetual.strides.push_back(test.strideFor(loc));
+
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+        // Start from the constant-store body, then widen each store's
+        // operand into its arithmetic sequence: k_mem * n_t + a.
+        sim::SimProgram program = sim::compileOriginalThread(test, t);
+        for (auto &op : program.ops) {
+            if (op.kind != litmus::OpKind::Store &&
+                op.kind != litmus::OpKind::Rmw)
+                continue;
+            op.value.stride =
+                perpetual.strides[static_cast<std::size_t>(op.loc)];
+        }
+        perpetual.loadsPerIteration.push_back(
+            program.loadsPerIteration);
+        perpetual.programs.push_back(std::move(program));
+    }
+    return perpetual;
+}
+
+} // namespace perple::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The PerpLE Converter: litmus tests -> perpetual litmus tests.
+ *
+ * Following Section III-B (Table I), every store of a positive constant
+ * `a` to location `mem` becomes a store of the arithmetic-sequence
+ * element `k_mem * n_t + a`, where `k_mem` is the number of distinct
+ * constants stored to `mem` across all threads and `n_t` the storing
+ * thread's iteration index. Loads and fences are unchanged, per-thread
+ * buf logging is kept, per-iteration zeroing and the per-iteration
+ * barrier are removed.
+ */
+
+#ifndef PERPLE_CORE_CONVERTER_H
+#define PERPLE_CORE_CONVERTER_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+#include "sim/program.h"
+
+namespace perple::core
+{
+
+/** A converted, executable perpetual litmus test. */
+struct PerpetualTest
+{
+    /** The original test (conditions, names, structure). */
+    litmus::Test original;
+
+    /** Affine-store loop bodies, one per thread. */
+    std::vector<sim::SimProgram> programs;
+
+    /** k_mem per location (sequence stride). */
+    std::vector<int> strides;
+
+    /** Load-performing threads, ascending (the frame dimensions). */
+    std::vector<litmus::ThreadId> frameThreads;
+
+    /** Loads per iteration (r_t) for every thread. */
+    std::vector<int> loadsPerIteration;
+};
+
+/**
+ * Check whether @p test with @p outcomes of interest is convertible.
+ *
+ * A test is not convertible when any outcome of interest constrains a
+ * final shared-memory value (perpetual runs can only inspect shared
+ * memory after all iterations, Section V-C), or when it has no
+ * load-performing thread (there would be no frames to analyze).
+ *
+ * @param test The candidate test (validated).
+ * @param outcomes Outcomes of interest.
+ * @param[out] reason Human-readable explanation when not convertible.
+ * @return True when convertible.
+ */
+bool isConvertible(const litmus::Test &test,
+                   const std::vector<litmus::Outcome> &outcomes,
+                   std::string &reason);
+
+/**
+ * Convert @p test to its perpetual counterpart.
+ *
+ * @param test The original test; must be validated and convertible
+ *        with respect to its target outcome.
+ * @return The converted test.
+ * @throws UserError when the test is not convertible.
+ */
+PerpetualTest convert(const litmus::Test &test);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_CONVERTER_H

@@ -1,0 +1,520 @@
+#include "perple/counters.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::core
+{
+
+using litmus::ThreadId;
+using litmus::Value;
+
+namespace
+{
+
+std::int64_t
+floorDiv(std::int64_t a, std::int64_t b)
+{
+    // b > 0 always (sequence strides).
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return a > 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+/** At most this many existential store-only threads per outcome. */
+constexpr std::size_t kMaxExistential = 8;
+
+/**
+ * Evaluate the atoms of @p outcome under the frame assignment
+ * @p idx_by_thread (index -1 for threads without one), skipping atoms
+ * whose condition is in @p consumed_mask.
+ *
+ * @param outcome The perpetual outcome.
+ * @param idx_by_thread Iteration index per thread id.
+ * @param iterations N (bounds existential indices).
+ * @param bufs Raw buf pointers per thread.
+ * @param consumed_mask Bit c set: skip atoms of condition c.
+ */
+bool
+evalAtoms(const PerpetualOutcome &outcome,
+          const std::int64_t *idx_by_thread, std::int64_t iterations,
+          const Value *const *bufs, std::uint32_t consumed_mask)
+{
+    std::int64_t lo[kMaxExistential];
+    std::int64_t hi[kMaxExistential];
+    const std::size_t num_existential =
+        outcome.existentialThreads.size();
+    for (std::size_t e = 0; e < num_existential; ++e) {
+        lo[e] = 0;
+        hi[e] = iterations - 1;
+    }
+
+    for (const Atom &atom : outcome.atoms) {
+        if (consumed_mask &
+            (1u << static_cast<unsigned>(atom.conditionIndex)))
+            continue;
+
+        const BufAccess &access = atom.value;
+        const std::int64_t n =
+            idx_by_thread[static_cast<std::size_t>(access.thread)];
+        const Value val =
+            bufs[access.thread][access.loadsPerIteration * n +
+                                access.slot];
+
+        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
+            if (atom.checkResidue &&
+                (val < atom.offset ||
+                 (val - atom.offset) % atom.stride != 0))
+                return false;
+            if (atom.indexIsFrame) {
+                const std::int64_t idx = idx_by_thread[
+                    static_cast<std::size_t>(atom.indexThread)];
+                if (val < atom.stride * idx + atom.offset)
+                    return false;
+            } else {
+                const auto it = std::find(
+                    outcome.existentialThreads.begin(),
+                    outcome.existentialThreads.end(), atom.indexThread);
+                const auto e = static_cast<std::size_t>(
+                    it - outcome.existentialThreads.begin());
+                hi[e] = std::min(
+                    hi[e], floorDiv(val - atom.offset, atom.stride));
+            }
+        } else { // ReadsBefore: val <= stride * idx + offset - 1.
+            if (atom.indexIsFrame) {
+                const std::int64_t idx = idx_by_thread[
+                    static_cast<std::size_t>(atom.indexThread)];
+                if (val > atom.stride * idx + atom.offset - 1)
+                    return false;
+            } else {
+                const auto it = std::find(
+                    outcome.existentialThreads.begin(),
+                    outcome.existentialThreads.end(), atom.indexThread);
+                const auto e = static_cast<std::size_t>(
+                    it - outcome.existentialThreads.begin());
+                lo[e] = std::max(
+                    lo[e], ceilDiv(val - atom.offset + 1, atom.stride));
+            }
+        }
+    }
+
+    for (std::size_t e = 0; e < num_existential; ++e)
+        if (lo[e] > hi[e])
+            return false;
+    return true;
+}
+
+/** Collect raw buf pointers (empty threads map to nullptr). */
+std::vector<const Value *>
+rawBufs(const std::vector<std::vector<Value>> &bufs)
+{
+    std::vector<const Value *> raw(bufs.size());
+    for (std::size_t t = 0; t < bufs.size(); ++t)
+        raw[t] = bufs[t].empty() ? nullptr : bufs[t].data();
+    return raw;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ExhaustiveCounter
+// ---------------------------------------------------------------------
+
+ExhaustiveCounter::ExhaustiveCounter(
+    const litmus::Test &test, std::vector<PerpetualOutcome> outcomes)
+    : frameThreads_(test.loadThreads()), outcomes_(std::move(outcomes))
+{
+    checkUser(!frameThreads_.empty(),
+              "a perpetual test needs at least one load thread");
+    for (const auto &outcome : outcomes_) {
+        checkUser(outcome.existentialThreads.size() <= kMaxExistential,
+                  "too many store-only threads in one outcome");
+        checkUser(outcome.numConditions <= 32,
+                  "too many conditions in one outcome");
+    }
+}
+
+Counts
+ExhaustiveCounter::count(
+    std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs, CountMode mode) const
+{
+    checkUser(iterations > 0, "COUNT needs a positive iteration count");
+    Counts counts(outcomes_.size(), 0);
+    const auto raw = rawBufs(bufs);
+
+    // Frame odometer over the load threads (Algorithm 1's nested
+    // loops, for any T_L).
+    const std::size_t dims = frameThreads_.size();
+    std::vector<std::int64_t> frame(dims, 0);
+    std::vector<std::int64_t> idx_by_thread(bufs.size(), -1);
+
+    while (true) {
+        for (std::size_t d = 0; d < dims; ++d)
+            idx_by_thread[static_cast<std::size_t>(frameThreads_[d])] =
+                frame[d];
+
+        for (std::size_t o = 0; o < outcomes_.size(); ++o) {
+            if (evalAtoms(outcomes_[o], idx_by_thread.data(),
+                          iterations, raw.data(), 0)) {
+                ++counts[o];
+                // Algorithm 1: at most one outcome per frame.
+                if (mode == CountMode::FirstMatch)
+                    break;
+            }
+        }
+
+        // Advance the odometer, last dimension fastest.
+        std::size_t d = dims;
+        bool advanced = false;
+        while (d > 0) {
+            --d;
+            if (++frame[d] < iterations) {
+                advanced = true;
+                break;
+            }
+            frame[d] = 0;
+        }
+        if (!advanced)
+            return counts;
+    }
+}
+
+std::optional<std::vector<std::int64_t>>
+ExhaustiveCounter::findFirstFrame(
+    std::size_t outcome_index, std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs) const
+{
+    checkUser(outcome_index < outcomes_.size(),
+              "outcome index out of range");
+    const std::size_t dims = frameThreads_.size();
+    std::vector<std::int64_t> frame(dims, 0);
+    while (true) {
+        if (evaluate(outcome_index, frame, iterations, bufs))
+            return frame;
+        std::size_t d = dims;
+        bool advanced = false;
+        while (d > 0) {
+            --d;
+            if (++frame[d] < iterations) {
+                advanced = true;
+                break;
+            }
+            frame[d] = 0;
+        }
+        if (!advanced)
+            return std::nullopt;
+    }
+}
+
+bool
+ExhaustiveCounter::evaluate(
+    std::size_t outcome_index, const std::vector<std::int64_t> &frame,
+    std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs) const
+{
+    checkUser(outcome_index < outcomes_.size(),
+              "outcome index out of range");
+    checkUser(frame.size() == frameThreads_.size(),
+              "frame arity does not match the test's load threads");
+    const auto raw = rawBufs(bufs);
+    std::vector<std::int64_t> idx_by_thread(bufs.size(), -1);
+    for (std::size_t d = 0; d < frame.size(); ++d)
+        idx_by_thread[static_cast<std::size_t>(frameThreads_[d])] =
+            frame[d];
+    return evalAtoms(outcomes_[outcome_index], idx_by_thread.data(),
+                     iterations, raw.data(), 0);
+}
+
+// ---------------------------------------------------------------------
+// HeuristicCounter
+// ---------------------------------------------------------------------
+
+HeuristicCounter::HeuristicCounter(
+    const litmus::Test &test, std::vector<PerpetualOutcome> outcomes)
+    : test_(&test),
+      frameThreads_(test.loadThreads()),
+      outcomes_(std::move(outcomes))
+{
+    checkUser(!frameThreads_.empty(),
+              "a perpetual test needs at least one load thread");
+
+    for (const auto &outcome : outcomes_) {
+        checkUser(outcome.numConditions <= 32,
+                  "too many conditions in one outcome");
+
+        // Group atoms by condition for substitution planning.
+        std::vector<std::vector<const Atom *>> by_condition(
+            static_cast<std::size_t>(outcome.numConditions));
+        for (const Atom &atom : outcome.atoms)
+            by_condition[static_cast<std::size_t>(atom.conditionIndex)]
+                .push_back(&atom);
+
+        // Try each frame thread as pivot; keep the plan resolving the
+        // most threads without the fallback.
+        Plan best;
+        std::size_t best_resolved = 0;
+        for (const ThreadId pivot : frameThreads_) {
+            Plan plan;
+            plan.pivot = pivot;
+            std::vector<ThreadId> resolved = {pivot};
+            std::vector<bool> consumed(by_condition.size(), false);
+
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (std::size_t c = 0;
+                     c < by_condition.size() && !progress; ++c) {
+                    if (consumed[c] || by_condition[c].empty())
+                        continue;
+                    const Atom *first = by_condition[c].front();
+                    const ThreadId load_thread = first->value.thread;
+                    if (std::find(resolved.begin(), resolved.end(),
+                                  load_thread) == resolved.end())
+                        continue;
+                    // Find an unresolved frame thread among the
+                    // condition's index threads.
+                    for (const Atom *atom : by_condition[c]) {
+                        if (!atom->indexIsFrame)
+                            continue;
+                        if (std::find(resolved.begin(), resolved.end(),
+                                      atom->indexThread) !=
+                            resolved.end())
+                            continue;
+                        ResolutionStep step;
+                        step.targetThread = atom->indexThread;
+                        step.conditionIndex = static_cast<int>(c);
+                        step.source = first->value;
+                        step.sourceThread = load_thread;
+                        step.stride = atom->stride;
+                        if (first->kind == Atom::Kind::ReadsAtOrAfter) {
+                            step.rfDecode = true;
+                            step.offset = first->offset;
+                        } else {
+                            step.rfDecode = false;
+                            for (const Atom *sibling : by_condition[c])
+                                if (sibling->indexThread ==
+                                    atom->indexThread)
+                                    step.frOffsets.push_back(
+                                        sibling->offset);
+                        }
+                        plan.steps.push_back(std::move(step));
+                        plan.consumedConditions.push_back(
+                            static_cast<int>(c));
+                        consumed[c] = true;
+                        resolved.push_back(atom->indexThread);
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+
+            const std::size_t resolved_count = resolved.size();
+            if (resolved_count > best_resolved ||
+                best.pivot < 0) {
+                // Fallback: remaining frame threads track the pivot.
+                for (const ThreadId t : frameThreads_) {
+                    if (std::find(resolved.begin(), resolved.end(),
+                                  t) != resolved.end())
+                        continue;
+                    ResolutionStep step;
+                    step.targetThread = t;
+                    step.fallback = true;
+                    plan.steps.push_back(std::move(step));
+                }
+                best = std::move(plan);
+                best_resolved = resolved_count;
+            }
+            if (best_resolved == frameThreads_.size())
+                break;
+        }
+        plans_.push_back(std::move(best));
+    }
+}
+
+ThreadId
+HeuristicCounter::pivotThread(std::size_t outcome_index) const
+{
+    checkUser(outcome_index < plans_.size(),
+              "outcome index out of range");
+    return plans_[outcome_index].pivot;
+}
+
+const std::vector<ResolutionStep> &
+HeuristicCounter::planSteps(std::size_t outcome_index) const
+{
+    checkUser(outcome_index < plans_.size(),
+              "outcome index out of range");
+    return plans_[outcome_index].steps;
+}
+
+const std::vector<int> &
+HeuristicCounter::consumedConditions(std::size_t outcome_index) const
+{
+    checkUser(outcome_index < plans_.size(),
+              "outcome index out of range");
+    return plans_[outcome_index].consumedConditions;
+}
+
+bool
+HeuristicCounter::usedFallback() const
+{
+    for (const auto &plan : plans_)
+        for (const auto &step : plan.steps)
+            if (step.fallback)
+                return true;
+    return false;
+}
+
+std::string
+HeuristicCounter::describePlan(std::size_t outcome_index) const
+{
+    checkUser(outcome_index < plans_.size(),
+              "outcome index out of range");
+    const Plan &plan = plans_[outcome_index];
+    std::string out =
+        format("pivot: n_%d; ", plan.pivot);
+    if (plan.steps.empty())
+        return out + "no substitutions needed";
+    std::vector<std::string> parts;
+    for (const auto &step : plan.steps) {
+        if (step.fallback) {
+            parts.push_back(format("n_%d := n_%d (fallback)",
+                                   step.targetThread, plan.pivot));
+            continue;
+        }
+        const std::string src = format(
+            "buf_%d[%d*n_%d + %d]", step.source.thread,
+            step.source.loadsPerIteration, step.sourceThread,
+            step.source.slot);
+        if (step.rfDecode) {
+            parts.push_back(format(
+                "n_%d := (%s - %lld) / %lld (rf decode)",
+                step.targetThread, src.c_str(),
+                static_cast<long long>(step.offset),
+                static_cast<long long>(step.stride)));
+        } else {
+            parts.push_back(format(
+                "n_%d := writer(%s) + 1 (fr decode)",
+                step.targetThread, src.c_str()));
+        }
+    }
+    return out + join(parts, "; ");
+}
+
+bool
+HeuristicCounter::evaluateAt(
+    std::size_t o, std::int64_t n, std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs,
+    const Value *const *raw,
+    std::vector<std::int64_t> &frame_scratch) const
+{
+    const Plan &plan = plans_[o];
+    const PerpetualOutcome &outcome = outcomes_[o];
+
+    std::fill(frame_scratch.begin(), frame_scratch.end(), -1);
+    frame_scratch[static_cast<std::size_t>(plan.pivot)] = n;
+
+    for (const auto &step : plan.steps) {
+        std::int64_t idx;
+        if (step.fallback) {
+            idx = n;
+        } else {
+            const std::int64_t src_n = frame_scratch[
+                static_cast<std::size_t>(step.sourceThread)];
+            const Value val =
+                bufs[static_cast<std::size_t>(step.source.thread)]
+                    [static_cast<std::size_t>(
+                        step.source.loadsPerIteration * src_n +
+                        step.source.slot)];
+            if (step.rfDecode) {
+                const std::int64_t d = val - step.offset;
+                if (d < 0 || d % step.stride != 0)
+                    return false;
+                idx = d / step.stride;
+            } else if (val == 0) {
+                // Reading the initial value: the writer precedes the
+                // target thread's very first store.
+                idx = 0;
+            } else {
+                idx = -1;
+                for (const std::int64_t a : step.frOffsets) {
+                    const std::int64_t d = val - a;
+                    if (d >= 0 && d % step.stride == 0) {
+                        idx = d / step.stride + 1;
+                        break;
+                    }
+                }
+                if (idx < 0)
+                    return false;
+            }
+        }
+        if (idx < 0 || idx >= iterations)
+            return false;
+        frame_scratch[static_cast<std::size_t>(step.targetThread)] =
+            idx;
+    }
+
+    std::uint32_t consumed_mask = 0;
+    for (const int c : plan.consumedConditions)
+        consumed_mask |= 1u << static_cast<unsigned>(c);
+
+    return evalAtoms(outcome, frame_scratch.data(), iterations, raw,
+                     consumed_mask);
+}
+
+std::optional<std::vector<std::int64_t>>
+HeuristicCounter::findFirstFrame(
+    std::size_t outcome_index, std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs) const
+{
+    checkUser(outcome_index < outcomes_.size(),
+              "outcome index out of range");
+    checkUser(iterations > 0, "need a positive iteration count");
+    std::vector<std::int64_t> frame_scratch(bufs.size(), -1);
+    const auto raw = rawBufs(bufs);
+    for (std::int64_t n = 0; n < iterations; ++n) {
+        if (!evaluateAt(outcome_index, n, iterations, bufs, raw.data(),
+                        frame_scratch))
+            continue;
+        std::vector<std::int64_t> frame;
+        frame.reserve(frameThreads_.size());
+        for (const ThreadId t : frameThreads_)
+            frame.push_back(
+                frame_scratch[static_cast<std::size_t>(t)]);
+        return frame;
+    }
+    return std::nullopt;
+}
+
+Counts
+HeuristicCounter::count(
+    std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs, CountMode mode) const
+{
+    checkUser(iterations > 0, "COUNTH needs a positive iteration count");
+    Counts counts(outcomes_.size(), 0);
+    std::vector<std::int64_t> frame_scratch(bufs.size(), -1);
+    const auto raw = rawBufs(bufs);
+
+    for (std::int64_t n = 0; n < iterations; ++n) {
+        for (std::size_t o = 0; o < outcomes_.size(); ++o) {
+            if (evaluateAt(o, n, iterations, bufs, raw.data(),
+                           frame_scratch)) {
+                ++counts[o];
+                // Algorithm 2: first match per pivot iteration.
+                if (mode == CountMode::FirstMatch)
+                    break;
+            }
+        }
+    }
+    return counts;
+}
+
+} // namespace perple::core

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The exhaustive and heuristic outcome counters (Sections IV-A, IV-B).
+ *
+ * Both counters take the buf arrays of a finished perpetual run and
+ * return how many times each perpetual outcome of interest occurred.
+ *
+ * ExhaustiveCounter is Algorithm 1: it enumerates all N^{T_L} frames
+ * (one iteration index per load-performing thread) and counts at most
+ * one outcome per frame, first match in list order.
+ *
+ * HeuristicCounter is Algorithm 2: it loops over the pivot thread's N
+ * iterations only, deriving every other frame index from the loaded
+ * values themselves (the paper's step-5 substitution: a loaded value
+ * identifies the iteration that stored it, so the frame containing that
+ * iteration is the one most likely to exhibit interleaving). Frame
+ * threads not reachable through any substitution chain fall back to the
+ * pivot index (documented in DESIGN.md; the Table II suite only needs
+ * the fallback for rfi015-style shapes where load threads communicate
+ * exclusively through store-only threads).
+ */
+
+#ifndef PERPLE_CORE_COUNTERS_H
+#define PERPLE_CORE_COUNTERS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+#include "perple/perpetual_outcome.h"
+#include "sim/result.h"
+
+namespace perple::core
+{
+
+/** Counts per outcome of interest, aligned with the input list. */
+using Counts = std::vector<std::uint64_t>;
+
+/** How multiple outcomes of interest share a frame. */
+enum class CountMode
+{
+    /**
+     * Algorithms 1 and 2: an else-if chain counts at most one outcome
+     * per frame / pivot iteration, first match in list order.
+     */
+    FirstMatch,
+
+    /**
+     * Every outcome is evaluated on every frame independently (the
+     * paper's Figure 13 convention: "PerpLE heuristic samples 1k
+     * frames per outcome").
+     */
+    Independent,
+};
+
+/** Algorithm 1: examine every frame. */
+class ExhaustiveCounter
+{
+  public:
+    /**
+     * @param test The original test (frame structure).
+     * @param outcomes Perpetual outcomes of interest, in match order.
+     */
+    ExhaustiveCounter(const litmus::Test &test,
+                      std::vector<PerpetualOutcome> outcomes);
+
+    /**
+     * Count occurrences over all frames of an N-iteration run.
+     *
+     * @param iterations N.
+     * @param bufs Buf arrays (paper layout; see sim::RunResult).
+     * @param mode Frame-sharing semantics.
+     * @return Occurrences per outcome.
+     */
+    Counts count(std::int64_t iterations,
+                 const std::vector<std::vector<litmus::Value>> &bufs,
+                 CountMode mode = CountMode::FirstMatch) const;
+
+    /**
+     * Find the first frame (odometer order) satisfying outcome
+     * @p outcome_index, for witness extraction.
+     *
+     * @return Frame indices in frameThreads order, or nullopt.
+     */
+    std::optional<std::vector<std::int64_t>>
+    findFirstFrame(std::size_t outcome_index, std::int64_t iterations,
+                   const std::vector<std::vector<litmus::Value>> &bufs)
+        const;
+
+    /**
+     * Evaluate one outcome on one explicit frame (exposed for tests
+     * and for the brute-force oracle).
+     *
+     * @param outcome_index Which outcome of interest.
+     * @param frame One iteration index per frame thread, in
+     *        frameThreads order.
+     * @param iterations N (bounds the existential indices).
+     * @param bufs Buf arrays.
+     */
+    bool evaluate(std::size_t outcome_index,
+                  const std::vector<std::int64_t> &frame,
+                  std::int64_t iterations,
+                  const std::vector<std::vector<litmus::Value>> &bufs)
+        const;
+
+    const std::vector<PerpetualOutcome> &
+    outcomes() const
+    {
+        return outcomes_;
+    }
+
+  private:
+    std::vector<litmus::ThreadId> frameThreads_;
+    std::vector<PerpetualOutcome> outcomes_;
+};
+
+/** One step of a heuristic resolution plan. */
+struct ResolutionStep
+{
+    /** Frame thread whose index this step derives. */
+    litmus::ThreadId targetThread = -1;
+
+    /** Condition index consumed by the substitution, -1 for fallback. */
+    int conditionIndex = -1;
+
+    /** Buf access whose loaded value is decoded. */
+    BufAccess source;
+
+    /** Thread owning `source` (must already be resolved). */
+    litmus::ThreadId sourceThread = -1;
+
+    /** rf decode (idx = (VAL - offset) / stride) vs fr decode. */
+    bool rfDecode = false;
+
+    /** Sequence stride of the decoded location. */
+    std::int64_t stride = 1;
+
+    /** rf decode: the condition value v. */
+    std::int64_t offset = 0;
+
+    /**
+     * fr decode: (stored constant) candidates of the target thread's
+     * stores to the location, for residue matching.
+     */
+    std::vector<std::int64_t> frOffsets;
+
+    /** True when this step is the pivot-index fallback. */
+    bool fallback = false;
+};
+
+/** Algorithm 2: one candidate frame per pivot iteration. */
+class HeuristicCounter
+{
+  public:
+    /**
+     * Build the per-outcome resolution plans.
+     *
+     * @param test The original test.
+     * @param outcomes Perpetual outcomes of interest, in match order.
+     */
+    HeuristicCounter(const litmus::Test &test,
+                     std::vector<PerpetualOutcome> outcomes);
+
+    /** Count occurrences; linear in @p iterations. */
+    Counts count(std::int64_t iterations,
+                 const std::vector<std::vector<litmus::Value>> &bufs,
+                 CountMode mode = CountMode::FirstMatch) const;
+
+    /**
+     * Find the first pivot iteration whose resolved frame satisfies
+     * outcome @p outcome_index, for witness extraction.
+     *
+     * @return Frame indices in frameThreads order, or nullopt.
+     */
+    std::optional<std::vector<std::int64_t>>
+    findFirstFrame(std::size_t outcome_index, std::int64_t iterations,
+                   const std::vector<std::vector<litmus::Value>> &bufs)
+        const;
+
+    /** The pivot thread chosen for @p outcome_index. */
+    litmus::ThreadId pivotThread(std::size_t outcome_index) const;
+
+    /** True when any plan needed the pivot-index fallback. */
+    bool usedFallback() const;
+
+    /**
+     * Human-readable plan description (used by the code generator and
+     * for documentation, mirroring Figure 8's step-5 rows).
+     */
+    std::string describePlan(std::size_t outcome_index) const;
+
+    /** Resolution steps of @p outcome_index's plan, in order. */
+    const std::vector<ResolutionStep> &
+    planSteps(std::size_t outcome_index) const;
+
+    /** Conditions consumed by substitutions for @p outcome_index. */
+    const std::vector<int> &
+    consumedConditions(std::size_t outcome_index) const;
+
+    const std::vector<PerpetualOutcome> &
+    outcomes() const
+    {
+        return outcomes_;
+    }
+
+  private:
+    struct Plan
+    {
+        litmus::ThreadId pivot = -1;
+        std::vector<ResolutionStep> steps;
+        std::vector<int> consumedConditions;
+    };
+
+    /** Evaluate outcome @p o at pivot iteration @p n. */
+    bool evaluateAt(std::size_t o, std::int64_t n,
+                    std::int64_t iterations,
+                    const std::vector<std::vector<litmus::Value>> &bufs,
+                    const litmus::Value *const *raw,
+                    std::vector<std::int64_t> &frame_scratch) const;
+
+    const litmus::Test *test_;
+    std::vector<litmus::ThreadId> frameThreads_;
+    std::vector<PerpetualOutcome> outcomes_;
+    std::vector<Plan> plans_;
+};
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_COUNTERS_H

@@ -1,0 +1,185 @@
+#include "perple/fast_counter.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace perple::core
+{
+
+using litmus::ThreadId;
+using litmus::Value;
+
+namespace
+{
+
+std::int64_t
+floorDiv(std::int64_t a, std::int64_t b)
+{
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return a > 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+/** Fenwick tree over [0, n) supporting point add / prefix sum. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+    void
+    add(std::size_t index, std::int64_t delta)
+    {
+        for (std::size_t i = index + 1; i < tree_.size(); i += i & -i)
+            tree_[i] += delta;
+    }
+
+    /** Sum over [0, index]. */
+    std::int64_t
+    prefix(std::int64_t index) const
+    {
+        if (index < 0)
+            return 0;
+        std::int64_t sum = 0;
+        for (std::size_t i = std::min<std::size_t>(
+                 static_cast<std::size_t>(index) + 1,
+                 tree_.size() - 1);
+             i > 0; i -= i & -i)
+            sum += tree_[i];
+        return sum;
+    }
+
+  private:
+    std::vector<std::int64_t> tree_;
+};
+
+/** An index's constraint summary for one side of the frame. */
+struct SideConstraint
+{
+    bool valid = true;         ///< Self atoms + residues hold.
+    std::int64_t lo = 0;       ///< Partner-index lower bound.
+    std::int64_t hi = 0;       ///< Partner-index upper bound.
+};
+
+/**
+ * Evaluate all atoms whose loaded value lives on thread @p self for
+ * index @p n: self-indexed atoms and residues become validity, atoms
+ * indexing the partner thread tighten [lo, hi].
+ */
+SideConstraint
+constrain(const PerpetualOutcome &outcome, ThreadId self,
+          std::int64_t n, std::int64_t iterations,
+          const std::vector<std::vector<Value>> &bufs)
+{
+    SideConstraint c;
+    c.lo = 0;
+    c.hi = iterations - 1;
+    for (const Atom &atom : outcome.atoms) {
+        if (atom.value.thread != self)
+            continue;
+        const Value val =
+            bufs[static_cast<std::size_t>(self)][static_cast<
+                std::size_t>(atom.value.loadsPerIteration * n +
+                             atom.value.slot)];
+        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
+            if (atom.checkResidue &&
+                (val < atom.offset ||
+                 (val - atom.offset) % atom.stride != 0)) {
+                c.valid = false;
+                return c;
+            }
+            if (atom.indexThread == self) {
+                if (val < atom.stride * n + atom.offset) {
+                    c.valid = false;
+                    return c;
+                }
+            } else {
+                c.hi = std::min(
+                    c.hi, floorDiv(val - atom.offset, atom.stride));
+            }
+        } else {
+            if (atom.indexThread == self) {
+                if (val > atom.stride * n + atom.offset - 1) {
+                    c.valid = false;
+                    return c;
+                }
+            } else {
+                c.lo = std::max(
+                    c.lo, ceilDiv(val - atom.offset + 1, atom.stride));
+            }
+        }
+    }
+    c.lo = std::max<std::int64_t>(c.lo, 0);
+    c.hi = std::min(c.hi, iterations - 1);
+    if (c.lo > c.hi)
+        c.valid = false;
+    return c;
+}
+
+} // namespace
+
+bool
+FastExhaustiveCounter::isApplicable(const litmus::Test &test,
+                                    const PerpetualOutcome &outcome)
+{
+    return test.numLoadThreads() == 2 &&
+           outcome.existentialThreads.empty();
+}
+
+FastExhaustiveCounter::FastExhaustiveCounter(const litmus::Test &test,
+                                             PerpetualOutcome outcome)
+    : outcome_(std::move(outcome))
+{
+    checkUser(isApplicable(test, outcome_),
+              "FastExhaustiveCounter needs exactly two frame threads "
+              "and no store-only index variables");
+    threadA_ = outcome_.frameThreads[0];
+    threadB_ = outcome_.frameThreads[1];
+}
+
+std::uint64_t
+FastExhaustiveCounter::count(
+    std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs) const
+{
+    checkUser(iterations > 0, "need a positive iteration count");
+    const auto n_sz = static_cast<std::size_t>(iterations);
+
+    // For each B index m: when (in terms of the swept A index) is it
+    // active? J(m) = [lo, hi] from B's atoms.
+    std::vector<std::vector<std::int64_t>> activate(n_sz);
+    std::vector<std::vector<std::int64_t>> deactivate(n_sz);
+    for (std::int64_t m = 0; m < iterations; ++m) {
+        const SideConstraint j =
+            constrain(outcome_, threadB_, m, iterations, bufs);
+        if (!j.valid)
+            continue;
+        activate[static_cast<std::size_t>(j.lo)].push_back(m);
+        if (j.hi + 1 < iterations)
+            deactivate[static_cast<std::size_t>(j.hi + 1)].push_back(m);
+    }
+
+    Fenwick active(n_sz);
+    std::uint64_t total = 0;
+    for (std::int64_t n = 0; n < iterations; ++n) {
+        for (const std::int64_t m : activate[static_cast<std::size_t>(n)])
+            active.add(static_cast<std::size_t>(m), 1);
+        for (const std::int64_t m :
+             deactivate[static_cast<std::size_t>(n)])
+            active.add(static_cast<std::size_t>(m), -1);
+
+        const SideConstraint i =
+            constrain(outcome_, threadA_, n, iterations, bufs);
+        if (!i.valid)
+            continue;
+        total += static_cast<std::uint64_t>(active.prefix(i.hi) -
+                                            active.prefix(i.lo - 1));
+    }
+    return total;
+}
+
+} // namespace perple::core

@@ -1,0 +1,73 @@
+#include "perple/harness.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "perple/perpetual_outcome.h"
+#include "runtime/native_runner.h"
+#include "sim/machine.h"
+
+namespace perple::core
+{
+
+HarnessResult
+runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
+             const std::vector<litmus::Outcome> &outcomes,
+             const HarnessConfig &config)
+{
+    checkUser(iterations > 0,
+              "perpetual run needs a positive iteration count");
+
+    HarnessResult result;
+    result.iterations = iterations;
+
+    // --- Test execution: one launch sync, then free-running. ---
+    result.timing.start("exec");
+    if (config.backend == Backend::Simulator) {
+        sim::MachineConfig machine_config = config.machine;
+        machine_config.seed = config.seed;
+        machine_config.addressMode = sim::AddressMode::Shared;
+        sim::Machine machine(perpetual.programs,
+                             perpetual.original.numLocations(),
+                             machine_config);
+        machine.runFree(iterations, 0, result.run);
+    } else {
+        runtime::NativeConfig native;
+        native.mode = runtime::SyncMode::None;
+        native.perIterationInstances = false;
+        result.run = runtime::runNative(
+            perpetual.programs, perpetual.original.numLocations(),
+            iterations, native);
+    }
+    result.timing.stop();
+
+    // --- Outcome conversion (cheap; once per set of outcomes). ---
+    auto perpetual_outcomes =
+        buildPerpetualOutcomes(perpetual.original, outcomes);
+
+    // --- Counting. ---
+    if (config.runExhaustive) {
+        const std::int64_t cap =
+            config.exhaustiveCap > 0
+                ? std::min(config.exhaustiveCap, iterations)
+                : iterations;
+        result.exhaustiveIterations = cap;
+        ExhaustiveCounter counter(perpetual.original,
+                                  perpetual_outcomes);
+        result.timing.start("count-exhaustive");
+        result.exhaustive =
+            counter.count(cap, result.run.bufs, config.countMode);
+        result.timing.stop();
+    }
+    if (config.runHeuristic) {
+        HeuristicCounter counter(perpetual.original,
+                                 perpetual_outcomes);
+        result.timing.start("count-heuristic");
+        result.heuristic = counter.count(iterations, result.run.bufs,
+                                         config.countMode);
+        result.timing.stop();
+    }
+    return result;
+}
+
+} // namespace perple::core

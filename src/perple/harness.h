@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The PerpLE Harness (Section V-B): run a perpetual litmus test for N
+ * iterations (one launch synchronization, none afterwards) and count
+ * the perpetual outcomes of interest with the exhaustive and/or the
+ * heuristic outcome counter.
+ */
+
+#ifndef PERPLE_CORE_HARNESS_H
+#define PERPLE_CORE_HARNESS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/timing.h"
+#include "litmus/outcome.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "sim/config.h"
+#include "sim/result.h"
+
+namespace perple::core
+{
+
+/** Which substrate executes the perpetual test threads. */
+enum class Backend
+{
+    Simulator, ///< The timed TSO machine (deterministic, seeded).
+    Native,    ///< Real std::thread + inline-asm execution.
+};
+
+/** Harness configuration. */
+struct HarnessConfig
+{
+    Backend backend = Backend::Simulator;
+    std::uint64_t seed = 1;
+
+    /** Run the exhaustive counter (O(N^{T_L}))? */
+    bool runExhaustive = true;
+
+    /** Run the heuristic counter (O(N))? */
+    bool runHeuristic = true;
+
+    /**
+     * Iteration cap for the exhaustive counter; when N exceeds the cap
+     * the exhaustive counter only examines the first `cap` iterations
+     * of each thread (0 = no cap). Keeps T_L = 3 tests tractable.
+     */
+    std::int64_t exhaustiveCap = 0;
+
+    /** Frame-sharing semantics for both counters. */
+    CountMode countMode = CountMode::FirstMatch;
+
+    /** Simulator knobs (seed/addressMode are overridden). */
+    sim::MachineConfig machine;
+};
+
+/** Harness results. */
+struct HarnessResult
+{
+    std::int64_t iterations = 0;
+
+    /** Per-outcome counts; present when the counter ran. */
+    std::optional<Counts> exhaustive;
+    std::optional<Counts> heuristic;
+
+    /** Iterations actually examined by the exhaustive counter. */
+    std::int64_t exhaustiveIterations = 0;
+
+    /** Raw run artifact (bufs, memory, stats) for further analysis. */
+    sim::RunResult run;
+
+    /**
+     * Wall time split into "exec" (test execution), "count-exhaustive"
+     * and "count-heuristic" phases.
+     */
+    PhaseTimer timing;
+
+    /** Wall seconds of execution plus heuristic counting (the
+     *  PerpLE-heuristic runtime the paper reports). */
+    double
+    heuristicSeconds() const
+    {
+        return (static_cast<double>(timing.phaseNs("exec")) +
+                static_cast<double>(timing.phaseNs("count-heuristic"))) *
+               1e-9;
+    }
+
+    /** Wall seconds of execution plus exhaustive counting. */
+    double
+    exhaustiveSeconds() const
+    {
+        return (static_cast<double>(timing.phaseNs("exec")) +
+                static_cast<double>(
+                    timing.phaseNs("count-exhaustive"))) *
+               1e-9;
+    }
+};
+
+/**
+ * Run @p perpetual for @p iterations iterations and count @p outcomes.
+ *
+ * @param perpetual A converted test (Converter output).
+ * @param iterations N.
+ * @param outcomes Outcomes of interest (register conditions; converted
+ *        internally via buildPerpetualOutcomes).
+ * @param config Harness configuration.
+ */
+HarnessResult runPerpetual(const PerpetualTest &perpetual,
+                           std::int64_t iterations,
+                           const std::vector<litmus::Outcome> &outcomes,
+                           const HarnessConfig &config);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_HARNESS_H

@@ -1,0 +1,176 @@
+#include "perple/perpetual_outcome.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::core
+{
+
+using litmus::Condition;
+using litmus::LocationId;
+using litmus::Outcome;
+using litmus::Test;
+using litmus::ThreadId;
+using litmus::Value;
+
+namespace
+{
+
+/** True when @p thread performs at least one load in @p test. */
+bool
+isLoadThread(const Test &test, ThreadId thread)
+{
+    return test.threads[static_cast<std::size_t>(thread)].numLoads() > 0;
+}
+
+/** Render a buf access like "buf_0[n_0]" / "buf_1[2*n_1 + 1]". */
+std::string
+bufAccessText(const BufAccess &access)
+{
+    if (access.loadsPerIteration == 1)
+        return format("buf_%d[n_%d]", access.thread, access.thread);
+    return format("buf_%d[%d*n_%d + %d]", access.thread,
+                  access.loadsPerIteration, access.thread, access.slot);
+}
+
+/** Render "k*idx + c" with idx named after its thread. */
+std::string
+sequenceText(const Atom &atom, std::int64_t offset_delta)
+{
+    const std::int64_t c = atom.offset + offset_delta;
+    const char *var = atom.indexIsFrame ? "n" : "q";
+    std::string idx = format("%s_%d", var, atom.indexThread);
+    std::string out;
+    if (atom.stride == 1)
+        out = idx;
+    else
+        out = format("%lld*%s", static_cast<long long>(atom.stride),
+                     idx.c_str());
+    if (c > 0)
+        out += format(" + %lld", static_cast<long long>(c));
+    else if (c < 0)
+        out += format(" - %lld", static_cast<long long>(-c));
+    return out;
+}
+
+} // namespace
+
+std::string
+PerpetualOutcome::describe(const Test &) const
+{
+    std::vector<std::string> parts;
+    for (const auto &atom : atoms) {
+        const std::string lhs = bufAccessText(atom.value);
+        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
+            parts.push_back(lhs + " >= " + sequenceText(atom, 0));
+        } else {
+            parts.push_back(lhs + " <= " + sequenceText(atom, -1));
+        }
+    }
+    return join(parts, " && ");
+}
+
+PerpetualOutcome
+buildPerpetualOutcome(const Test &test, const Outcome &outcome)
+{
+    checkUser(!outcome.hasMemoryCondition(),
+              "outcome '" + outcome.toString(test) +
+                  "' has final-memory conditions and cannot be made "
+                  "perpetual (Section V-C)");
+
+    PerpetualOutcome perpetual;
+    perpetual.originalText = outcome.toString(test);
+    perpetual.label = outcome.label(test);
+    perpetual.frameThreads = test.loadThreads();
+    perpetual.numConditions =
+        static_cast<int>(outcome.conditions.size());
+
+    std::set<ThreadId> existential;
+
+    for (std::size_t c = 0; c < outcome.conditions.size(); ++c) {
+        const Condition &cond = outcome.conditions[c];
+        checkInternal(cond.kind == Condition::Kind::Register,
+                      "memory condition survived the convertibility "
+                      "check");
+
+        const int load_index =
+            test.loadIndexForRegister(cond.thread, cond.reg);
+        checkUser(load_index >= 0,
+                  "condition register is never loaded");
+        const auto &thread =
+            test.threads[static_cast<std::size_t>(cond.thread)];
+        const LocationId loc =
+            thread.instructions[static_cast<std::size_t>(load_index)]
+                .loc;
+        const std::int64_t k = test.strideFor(loc);
+
+        BufAccess access;
+        access.thread = cond.thread;
+        access.loadsPerIteration = thread.numLoads();
+        access.slot = thread.loadSlotForRegister(cond.reg);
+
+        if (cond.value != 0) {
+            // Step 1/3/4 for an rf edge: the unique store of this value.
+            ThreadId store_thread = -1;
+            int store_index = -1;
+            checkUser(test.findStoreOf(loc, cond.value, store_thread,
+                                       store_index),
+                      "condition value has no matching store");
+            Atom atom;
+            atom.kind = Atom::Kind::ReadsAtOrAfter;
+            atom.value = access;
+            atom.indexThread = store_thread;
+            atom.indexIsFrame = isLoadThread(test, store_thread);
+            atom.stride = k;
+            atom.offset = cond.value;
+            atom.checkResidue = k > 1;
+            atom.conditionIndex = static_cast<int>(c);
+            if (!atom.indexIsFrame)
+                existential.insert(store_thread);
+            perpetual.atoms.push_back(atom);
+        } else {
+            // Step 1/3/4 for fr edges: older than every store to loc.
+            // A location nothing stores to always reads 0: the
+            // condition is trivially true and contributes no atoms.
+            const auto stores = test.storesTo(loc);
+            for (const auto &[store_thread, store_index] : stores) {
+                const auto &store_instr =
+                    test.threads[static_cast<std::size_t>(store_thread)]
+                        .instructions[static_cast<std::size_t>(
+                            store_index)];
+                Atom atom;
+                atom.kind = Atom::Kind::ReadsBefore;
+                atom.value = access;
+                atom.indexThread = store_thread;
+                atom.indexIsFrame = isLoadThread(test, store_thread);
+                atom.stride = k;
+                atom.offset = store_instr.value;
+                atom.checkResidue = false;
+                atom.conditionIndex = static_cast<int>(c);
+                if (!atom.indexIsFrame)
+                    existential.insert(store_thread);
+                perpetual.atoms.push_back(atom);
+            }
+        }
+    }
+
+    perpetual.existentialThreads.assign(existential.begin(),
+                                        existential.end());
+    return perpetual;
+}
+
+std::vector<PerpetualOutcome>
+buildPerpetualOutcomes(const Test &test,
+                       const std::vector<Outcome> &outcomes)
+{
+    std::vector<PerpetualOutcome> result;
+    result.reserve(outcomes.size());
+    for (const auto &outcome : outcomes)
+        result.push_back(buildPerpetualOutcome(test, outcome));
+    return result;
+}
+
+} // namespace perple::core

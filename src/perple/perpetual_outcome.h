@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Perpetual outcomes: litmus outcomes mapped onto frames.
+ *
+ * This implements the 4-step outcome-conversion procedure of Section
+ * IV-A, generalized from the paper's worked sb example to the whole
+ * corpus. Each register condition `reg == v` of the original outcome,
+ * where `reg` is loaded from location `mem` with stride `k = k_mem`,
+ * becomes one or more *atoms* over symbolic iteration indices:
+ *
+ *  - v != 0 (an rf edge from the unique store S of v, owned by thread
+ *    w): the load may return any sequence element at or after the one
+ *    S writes in iteration idx_w, i.e.
+ *        VAL >= k * idx_w + v   with   VAL ≡ v (mod k);
+ *  - v == 0 (fr edges to every store S_j of constant a_j to mem, owned
+ *    by thread w_j): the load returns something older than each frame
+ *    store, i.e. for all j
+ *        VAL <= k * idx_{w_j} + a_j - 1.
+ *
+ * Indices of load-performing threads are *frame variables* (enumerated
+ * by the counters); indices of store-only threads are *existential
+ * variables* — a frame satisfies the outcome iff some in-range value of
+ * each existential index satisfies its interval constraints. For the sb
+ * test this reduces to exactly the four p_out functions of Figure 6; for
+ * mp-style tests (T_L = 1) the existential elimination reproduces the
+ * store-thread substitution discussed in Section IV-B.
+ */
+
+#ifndef PERPLE_CORE_PERPETUAL_OUTCOME_H
+#define PERPLE_CORE_PERPETUAL_OUTCOME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+
+namespace perple::core
+{
+
+/** A reference to one buf entry: bufs[thread][r_thread * n + slot]. */
+struct BufAccess
+{
+    litmus::ThreadId thread = -1;
+
+    /** Loads per iteration of that thread (r_t). */
+    int loadsPerIteration = 0;
+
+    /** The load's position within the iteration stripe. */
+    int slot = -1;
+};
+
+/** One inequality (plus optional congruence) over iteration indices. */
+struct Atom
+{
+    /** Direction of the inequality. */
+    enum class Kind
+    {
+        /** rf: VAL >= k * idx + offset (and VAL ≡ offset mod k). */
+        ReadsAtOrAfter,
+
+        /** fr: VAL <= k * idx + offset - 1. */
+        ReadsBefore,
+    };
+
+    Kind kind = Kind::ReadsAtOrAfter;
+
+    /** The loaded value this atom constrains. */
+    BufAccess value;
+
+    /** Thread owning the index variable idx. */
+    litmus::ThreadId indexThread = -1;
+
+    /** True when idx is a frame variable (load-performing thread). */
+    bool indexIsFrame = false;
+
+    /** Sequence stride of the load's location (k_mem >= 1). */
+    std::int64_t stride = 1;
+
+    /** Sequence offset (the original stored constant). */
+    std::int64_t offset = 0;
+
+    /** Congruence check (rf atoms only). */
+    bool checkResidue = false;
+
+    /** Index of the original condition this atom derives from. */
+    int conditionIndex = -1;
+};
+
+/** The perpetual form of one outcome of interest. */
+struct PerpetualOutcome
+{
+    /** Human-readable original form (e.g. "0:EAX=0 /\\ 1:EAX=0"). */
+    std::string originalText;
+
+    /** Compact register-value label ("00"), for Figure 13 axes. */
+    std::string label;
+
+    /** All atoms of the conjunction. */
+    std::vector<Atom> atoms;
+
+    /** Frame threads (load-performing), ascending; shared per test. */
+    std::vector<litmus::ThreadId> frameThreads;
+
+    /** Store-only threads with existential indices, ascending. */
+    std::vector<litmus::ThreadId> existentialThreads;
+
+    /** Number of original conditions (atom conditionIndex range). */
+    int numConditions = 0;
+
+    /** Pretty inequality rendering in the style of Figure 6, step 4. */
+    std::string describe(const litmus::Test &test) const;
+};
+
+/**
+ * Build the perpetual form of @p outcome for @p test (Section IV-A).
+ *
+ * @param test The original test (validated, convertible).
+ * @param outcome A register-condition outcome.
+ * @return The perpetual outcome.
+ * @throws UserError for memory conditions or unmatched values.
+ */
+PerpetualOutcome buildPerpetualOutcome(const litmus::Test &test,
+                                       const litmus::Outcome &outcome);
+
+/** Build perpetual forms for several outcomes of interest at once. */
+std::vector<PerpetualOutcome>
+buildPerpetualOutcomes(const litmus::Test &test,
+                       const std::vector<litmus::Outcome> &outcomes);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_PERPETUAL_OUTCOME_H

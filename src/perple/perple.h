@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Umbrella header: the whole PerpLE public API.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ * @code
+ * const auto &entry = perple::litmus::findTest("sb");
+ * auto perpetual = perple::core::convert(entry.test);
+ * perple::core::HarnessConfig config;
+ * auto result = perple::core::runPerpetual(
+ *     perpetual, 10000, {entry.test.target}, config);
+ * @endcode
+ */
+
+#ifndef PERPLE_CORE_PERPLE_H
+#define PERPLE_CORE_PERPLE_H
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timing.h"
+#include "generate/generator.h"
+#include "litmus/builder.h"
+#include "litmus/outcome.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "litmus/test.h"
+#include "litmus/validator.h"
+#include "litmus/writer.h"
+#include "litmus7/runner.h"
+#include "model/axiomatic.h"
+#include "model/classify.h"
+#include "model/hbgraph.h"
+#include "model/operational.h"
+#include "perple/codegen.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/fast_counter.h"
+#include "perple/harness.h"
+#include "perple/perpetual_outcome.h"
+#include "perple/skew.h"
+#include "perple/witness.h"
+#include "runtime/barrier.h"
+#include "runtime/native_runner.h"
+#include "sim/machine.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+#endif // PERPLE_CORE_PERPLE_H

@@ -1,0 +1,71 @@
+#include "perple/skew.h"
+
+#include "common/error.h"
+
+namespace perple::core
+{
+
+stats::Histogram
+measureSkew(const PerpetualTest &perpetual, const sim::RunResult &run,
+            std::int64_t iterations)
+{
+    const litmus::Test &test = perpetual.original;
+    stats::Histogram histogram;
+
+    // Writer lookup: for each location, the stores (thread, constant).
+    struct StoreInfo
+    {
+        litmus::ThreadId thread;
+        litmus::Value offset;
+    };
+    std::vector<std::vector<StoreInfo>> stores_by_loc(
+        static_cast<std::size_t>(test.numLocations()));
+    for (litmus::LocationId loc = 0; loc < test.numLocations(); ++loc)
+        for (const auto &[thread, index] : test.storesTo(loc))
+            stores_by_loc[static_cast<std::size_t>(loc)].push_back(
+                {thread,
+                 test.threads[static_cast<std::size_t>(thread)]
+                     .instructions[static_cast<std::size_t>(index)]
+                     .value});
+
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto &thread = test.threads[ut];
+        const auto r_t = static_cast<std::int64_t>(thread.numLoads());
+        if (r_t == 0)
+            continue;
+
+        // Map load slots to their locations.
+        std::vector<litmus::LocationId> slot_loc;
+        for (const auto &instr : thread.instructions)
+            if (instr.readsRegister())
+                slot_loc.push_back(instr.loc);
+
+        const auto &buf = run.bufs[ut];
+        for (std::int64_t n = 0; n < iterations; ++n) {
+            for (std::int64_t slot = 0; slot < r_t; ++slot) {
+                const litmus::Value val =
+                    buf[static_cast<std::size_t>(r_t * n + slot)];
+                if (val == 0)
+                    continue; // Initial value: no writer iteration.
+                const auto loc = slot_loc[static_cast<std::size_t>(
+                    slot)];
+                const std::int64_t k =
+                    perpetual.strides[static_cast<std::size_t>(loc)];
+                for (const StoreInfo &store :
+                     stores_by_loc[static_cast<std::size_t>(loc)]) {
+                    const std::int64_t d = val - store.offset;
+                    if (d < 0 || d % k != 0)
+                        continue;
+                    if (store.thread == t)
+                        break; // Own forwarding: no skew signal.
+                    histogram.add(n - d / k);
+                    break;
+                }
+            }
+        }
+    }
+    return histogram;
+}
+
+} // namespace perple::core

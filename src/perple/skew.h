@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Thread-skew measurement (Sections VI-B.5, VII-E / Figure 12).
+ *
+ * Because perpetual stores are arithmetic-sequence elements, a value
+ * loaded by thread t in iteration n uniquely identifies the iteration m
+ * of the storing thread s that produced it; n - m is the skew between t
+ * and s around that moment. This module decodes every cross-thread load
+ * of a finished perpetual run into a skew sample.
+ */
+
+#ifndef PERPLE_CORE_SKEW_H
+#define PERPLE_CORE_SKEW_H
+
+#include "perple/converter.h"
+#include "sim/result.h"
+#include "stats/histogram.h"
+
+namespace perple::core
+{
+
+/**
+ * Decode the thread-skew distribution of a perpetual run.
+ *
+ * Only loads whose value was stored by a *different* thread contribute
+ * (same-thread forwarding carries no skew information); loads that
+ * returned an initial 0 are skipped (the storing iteration is
+ * undefined).
+ *
+ * @param perpetual The converted test that produced @p run.
+ * @param run The finished run (bufs in paper layout).
+ * @param iterations N.
+ * @return Histogram of (reader iteration - writer iteration).
+ */
+stats::Histogram measureSkew(const PerpetualTest &perpetual,
+                             const sim::RunResult &run,
+                             std::int64_t iterations);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_SKEW_H

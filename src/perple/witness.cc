@@ -1,0 +1,132 @@
+#include "perple/witness.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::core
+{
+
+using litmus::LocationId;
+using litmus::ThreadId;
+using litmus::Value;
+
+bool
+decodeWriter(const PerpetualTest &perpetual, LocationId loc,
+             Value value, ThreadId &thread, std::int64_t &iteration)
+{
+    if (value == 0)
+        return false;
+    const litmus::Test &test = perpetual.original;
+    const std::int64_t k =
+        perpetual.strides[static_cast<std::size_t>(loc)];
+    for (const auto &[store_thread, store_index] : test.storesTo(loc)) {
+        const Value offset =
+            test.threads[static_cast<std::size_t>(store_thread)]
+                .instructions[static_cast<std::size_t>(store_index)]
+                .value;
+        const Value d = value - offset;
+        if (d >= 0 && d % k == 0) {
+            thread = store_thread;
+            iteration = d / k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+explainFrame(const PerpetualTest &perpetual,
+             const PerpetualOutcome &outcome,
+             const std::vector<std::int64_t> &frame,
+             const sim::RunResult &run)
+{
+    const litmus::Test &test = perpetual.original;
+    checkUser(frame.size() == outcome.frameThreads.size(),
+              "frame arity does not match the outcome");
+
+    std::string out = "witness for outcome " + outcome.originalText +
+                      "\n  frame:";
+    std::vector<std::int64_t> idx_by_thread(
+        static_cast<std::size_t>(test.numThreads()), -1);
+    for (std::size_t d = 0; d < frame.size(); ++d) {
+        const ThreadId t = outcome.frameThreads[d];
+        idx_by_thread[static_cast<std::size_t>(t)] = frame[d];
+        out += format(" n_%d = %lld", t,
+                      static_cast<long long>(frame[d]));
+    }
+    out += "\n";
+
+    for (const Atom &atom : outcome.atoms) {
+        const BufAccess &access = atom.value;
+        const std::int64_t n =
+            idx_by_thread[static_cast<std::size_t>(access.thread)];
+        const Value val =
+            run.bufs[static_cast<std::size_t>(access.thread)]
+                [static_cast<std::size_t>(
+                    access.loadsPerIteration * n + access.slot)];
+
+        // Which load / location this atom constrains.
+        LocationId loc = -1;
+        int slot = 0;
+        for (const auto &instr :
+             test.threads[static_cast<std::size_t>(access.thread)]
+                 .instructions) {
+            if (!instr.readsRegister())
+                continue;
+            if (slot++ == access.slot) {
+                loc = instr.loc;
+                break;
+            }
+        }
+        const std::string &loc_name =
+            test.locations[static_cast<std::size_t>(loc)];
+
+        ThreadId writer = -1;
+        std::int64_t writer_iter = -1;
+        std::string provenance;
+        if (decodeWriter(perpetual, loc, val, writer, writer_iter)) {
+            provenance = format(
+                "written by thread %d in iteration %lld", writer,
+                static_cast<long long>(writer_iter));
+        } else {
+            provenance = "the initial value";
+        }
+
+        const std::string idx_text = format(
+            "%s_%d%s", atom.indexIsFrame ? "n" : "q",
+            atom.indexThread,
+            atom.indexIsFrame
+                ? format(" = %lld",
+                         static_cast<long long>(idx_by_thread[
+                             static_cast<std::size_t>(
+                                 atom.indexThread)]))
+                      .c_str()
+                : "");
+
+        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
+            out += format(
+                "  thread %d iteration %lld loaded [%s] = %lld (%s): "
+                "rf — at or after the frame store of %s "
+                "(sequence %lld*idx + %lld)\n",
+                access.thread, static_cast<long long>(n),
+                loc_name.c_str(), static_cast<long long>(val),
+                provenance.c_str(), idx_text.c_str(),
+                static_cast<long long>(atom.stride),
+                static_cast<long long>(atom.offset));
+        } else {
+            out += format(
+                "  thread %d iteration %lld loaded [%s] = %lld (%s): "
+                "fr — older than the frame store of %s "
+                "(sequence %lld*idx + %lld)\n",
+                access.thread, static_cast<long long>(n),
+                loc_name.c_str(), static_cast<long long>(val),
+                provenance.c_str(), idx_text.c_str(),
+                static_cast<long long>(atom.stride),
+                static_cast<long long>(atom.offset));
+        }
+    }
+    out += "  perpetual form: " + outcome.describe(test) + "\n";
+    return out;
+}
+
+} // namespace perple::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Witness extraction: explain *why* a frame satisfied a perpetual
+ * outcome, in the paper's happens-before vocabulary.
+ *
+ * When a conformance campaign counts a forbidden target outcome, the
+ * raw tally is not actionable; an engineer needs the concrete frame,
+ * the loaded values, which iteration of which thread wrote each value
+ * (decodable thanks to the arithmetic sequences, Section III-B), and
+ * the rf/fr relations that the outcome's inequalities assert. This
+ * module renders exactly that.
+ */
+
+#ifndef PERPLE_CORE_WITNESS_H
+#define PERPLE_CORE_WITNESS_H
+
+#include <string>
+#include <vector>
+
+#include "perple/converter.h"
+#include "perple/perpetual_outcome.h"
+#include "sim/result.h"
+
+namespace perple::core
+{
+
+/**
+ * Render a human-readable explanation of @p frame satisfying
+ * @p outcome.
+ *
+ * @param perpetual The converted test that produced @p run.
+ * @param outcome The perpetual outcome the frame satisfies.
+ * @param frame One iteration index per frame thread, in
+ *        outcome.frameThreads order (as returned by
+ *        findFirstFrame()).
+ * @param run The finished run (bufs in paper layout).
+ * @return Multi-line explanation text.
+ */
+std::string explainFrame(const PerpetualTest &perpetual,
+                         const PerpetualOutcome &outcome,
+                         const std::vector<std::int64_t> &frame,
+                         const sim::RunResult &run);
+
+/**
+ * Identify the writer of @p value at @p loc: which thread's store
+ * instruction and which iteration produced it.
+ *
+ * @param perpetual The converted test (strides, store inventory).
+ * @param loc The loaded location.
+ * @param value The loaded value.
+ * @param[out] thread Writer thread.
+ * @param[out] iteration Writer iteration.
+ * @return False for value 0 (the initial value) or non-sequence
+ *         values.
+ */
+bool decodeWriter(const PerpetualTest &perpetual,
+                  litmus::LocationId loc, litmus::Value value,
+                  litmus::ThreadId &thread, std::int64_t &iteration);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_WITNESS_H

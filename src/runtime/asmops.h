@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Low-level memory operations for the native backend.
+ *
+ * On x86-64 these compile to plain MOV / MFENCE / RDTSC, matching the
+ * instruction sequences the PerpLE Converter emits in its assembly
+ * output (Section V-A). On other ISAs they fall back to relaxed C++
+ * atomics plus a seq_cst fence, which preserves correctness but not the
+ * exact instruction shapes.
+ */
+
+#ifndef PERPLE_RUNTIME_ASMOPS_H
+#define PERPLE_RUNTIME_ASMOPS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace perple::runtime
+{
+
+#if defined(__x86_64__)
+
+/** Plain 64-bit store (x86 MOV to memory). */
+inline void
+asmStore(volatile std::int64_t *addr, std::int64_t value)
+{
+    asm volatile("movq %1, %0" : "=m"(*addr) : "r"(value) : "memory");
+}
+
+/** Plain 64-bit load (x86 MOV from memory). */
+inline std::int64_t
+asmLoad(const volatile std::int64_t *addr)
+{
+    std::int64_t value;
+    asm volatile("movq %1, %0" : "=r"(value) : "m"(*addr) : "memory");
+    return value;
+}
+
+/** Full memory fence (x86 MFENCE). */
+inline void
+asmFence()
+{
+    asm volatile("mfence" ::: "memory");
+}
+
+/**
+ * Atomic exchange (x86 XCHG with memory, implicitly locked): stores
+ * @p value and returns the previous content.
+ */
+inline std::int64_t
+asmXchg(volatile std::int64_t *addr, std::int64_t value)
+{
+    std::int64_t old = value;
+    asm volatile("xchgq %0, %1"
+                 : "+r"(old), "+m"(*addr)
+                 :
+                 : "memory");
+    return old;
+}
+
+/** Timestamp counter (x86 RDTSC); the litmus7 timebase. */
+inline std::uint64_t
+readTimebase()
+{
+    std::uint32_t lo, hi;
+    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/** Spin-wait hint (x86 PAUSE). */
+inline void
+cpuRelax()
+{
+    asm volatile("pause" ::: "memory");
+}
+
+#else // !__x86_64__
+
+inline void
+asmStore(volatile std::int64_t *addr, std::int64_t value)
+{
+    reinterpret_cast<std::atomic<std::int64_t> *>(
+        const_cast<std::int64_t *>(addr))
+        ->store(value, std::memory_order_relaxed);
+}
+
+inline std::int64_t
+asmLoad(const volatile std::int64_t *addr)
+{
+    return reinterpret_cast<const std::atomic<std::int64_t> *>(
+               const_cast<const std::int64_t *>(addr))
+        ->load(std::memory_order_relaxed);
+}
+
+inline void
+asmFence()
+{
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+inline std::int64_t
+asmXchg(volatile std::int64_t *addr, std::int64_t value)
+{
+    return reinterpret_cast<std::atomic<std::int64_t> *>(
+               const_cast<std::int64_t *>(addr))
+        ->exchange(value, std::memory_order_seq_cst);
+}
+
+inline std::uint64_t
+readTimebase()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+inline void
+cpuRelax()
+{
+}
+
+#endif // __x86_64__
+
+} // namespace perple::runtime
+
+#endif // PERPLE_RUNTIME_ASMOPS_H

@@ -1,0 +1,187 @@
+#include "runtime/barrier.h"
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "runtime/asmops.h"
+
+namespace perple::runtime
+{
+
+std::string
+syncModeName(SyncMode mode)
+{
+    switch (mode) {
+      case SyncMode::User: return "user";
+      case SyncMode::UserFence: return "userfence";
+      case SyncMode::Pthread: return "pthread";
+      case SyncMode::Timebase: return "timebase";
+      case SyncMode::None: return "none";
+    }
+    return "?";
+}
+
+SyncMode
+syncModeFromName(const std::string &name)
+{
+    for (const SyncMode mode : allSyncModes())
+        if (syncModeName(mode) == name)
+            return mode;
+    fatal("unknown synchronization mode '" + name + "'");
+}
+
+const std::vector<SyncMode> &
+allSyncModes()
+{
+    static const std::vector<SyncMode> modes = {
+        SyncMode::User, SyncMode::UserFence, SyncMode::Pthread,
+        SyncMode::Timebase, SyncMode::None};
+    return modes;
+}
+
+namespace
+{
+
+/**
+ * Spin with PAUSE, yielding to the scheduler periodically so polling
+ * barriers stay live even when test threads outnumber cores (litmus7
+ * relies on having a core per thread; we do not).
+ */
+class SpinWaiter
+{
+  public:
+    void
+    spin()
+    {
+        cpuRelax();
+        if (++spins_ % 256 == 0)
+            std::this_thread::yield();
+    }
+
+  private:
+    unsigned spins_ = 0;
+};
+
+/** Sense-reversing polling barrier (litmus7 `user`). */
+class SpinBarrier : public Barrier
+{
+  public:
+    SpinBarrier(int num_threads, bool fence_on_release)
+        : numThreads_(num_threads), fenceOnRelease_(fence_on_release)
+    {}
+
+    void
+    wait(int) override
+    {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            numThreads_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            if (fenceOnRelease_)
+                asmFence();
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            SpinWaiter waiter;
+            while (sense_.load(std::memory_order_acquire) != my_sense)
+                waiter.spin();
+        }
+        if (fenceOnRelease_)
+            asmFence();
+    }
+
+  private:
+    const int numThreads_;
+    const bool fenceOnRelease_;
+    std::atomic<int> arrived_{0};
+    std::atomic<bool> sense_{false};
+};
+
+/** pthread_barrier_t wrapper (litmus7 `pthread`). */
+class PthreadBarrier : public Barrier
+{
+  public:
+    explicit PthreadBarrier(int num_threads)
+    {
+        checkInternal(pthread_barrier_init(
+                          &barrier_, nullptr,
+                          static_cast<unsigned>(num_threads)) == 0,
+                      "pthread_barrier_init failed");
+    }
+
+    ~PthreadBarrier() override { pthread_barrier_destroy(&barrier_); }
+
+    PthreadBarrier(const PthreadBarrier &) = delete;
+    PthreadBarrier &operator=(const PthreadBarrier &) = delete;
+
+    void
+    wait(int) override
+    {
+        pthread_barrier_wait(&barrier_);
+    }
+
+  private:
+    pthread_barrier_t barrier_;
+};
+
+/**
+ * Timebase barrier (litmus7 `timebase`): spin rendezvous, then every
+ * thread waits until the next multiple of the timebase interval, so all
+ * threads resume within one counter read of each other.
+ */
+class TimebaseBarrier : public Barrier
+{
+  public:
+    TimebaseBarrier(int num_threads, std::uint64_t interval)
+        : spin_(num_threads, /*fence_on_release=*/false),
+          interval_(interval)
+    {}
+
+    void
+    wait(int thread) override
+    {
+        spin_.wait(thread);
+        const std::uint64_t now = readTimebase();
+        const std::uint64_t deadline =
+            (now / interval_ + 1) * interval_;
+        SpinWaiter waiter;
+        while (readTimebase() < deadline)
+            waiter.spin();
+    }
+
+  private:
+    SpinBarrier spin_;
+    const std::uint64_t interval_;
+};
+
+/** SyncMode::None: no synchronization. */
+class NullBarrier : public Barrier
+{
+  public:
+    void wait(int) override {}
+};
+
+} // namespace
+
+std::unique_ptr<Barrier>
+makeBarrier(SyncMode mode, int num_threads,
+            std::uint64_t timebase_interval)
+{
+    checkUser(num_threads > 0, "barrier needs at least one thread");
+    switch (mode) {
+      case SyncMode::User:
+        return std::make_unique<SpinBarrier>(num_threads, false);
+      case SyncMode::UserFence:
+        return std::make_unique<SpinBarrier>(num_threads, true);
+      case SyncMode::Pthread:
+        return std::make_unique<PthreadBarrier>(num_threads);
+      case SyncMode::Timebase:
+        return std::make_unique<TimebaseBarrier>(num_threads,
+                                                 timebase_interval);
+      case SyncMode::None:
+        return std::make_unique<NullBarrier>();
+    }
+    panic("unreachable sync mode");
+}
+
+} // namespace perple::runtime

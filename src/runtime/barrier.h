@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The five litmus7 thread-synchronization modes (Section VI-A).
+ *
+ *  - User: polling sense-reversing spin barrier (litmus7's default).
+ *  - UserFence: the spin barrier plus MFENCEs to accelerate write
+ *    propagation around the release.
+ *  - Pthread: pthread_barrier_t (heavyweight, kernel futex wakeups).
+ *  - Timebase: after a spin rendezvous, every thread waits until the
+ *    next multiple of a timebase interval, so releases are aligned to
+ *    the architecture's timestamp counter.
+ *  - None: no per-iteration synchronization at all.
+ */
+
+#ifndef PERPLE_RUNTIME_BARRIER_H
+#define PERPLE_RUNTIME_BARRIER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <pthread.h>
+#include <string>
+#include <vector>
+
+namespace perple::runtime
+{
+
+/** litmus7 synchronization modes. */
+enum class SyncMode
+{
+    User,
+    UserFence,
+    Pthread,
+    Timebase,
+    None,
+};
+
+/** litmus7's command-line name of @p mode ("user", "none", ...). */
+std::string syncModeName(SyncMode mode);
+
+/** Parse a litmus7 mode name; throws UserError on unknown names. */
+SyncMode syncModeFromName(const std::string &name);
+
+/** All modes, in the paper's listing order. */
+const std::vector<SyncMode> &allSyncModes();
+
+/** Abstract per-iteration barrier. */
+class Barrier
+{
+  public:
+    virtual ~Barrier() = default;
+
+    /**
+     * Block until all participants arrive (no-op for SyncMode::None).
+     *
+     * @param thread Calling thread's id (0-based).
+     */
+    virtual void wait(int thread) = 0;
+};
+
+/**
+ * Build the barrier implementing @p mode for @p num_threads.
+ *
+ * @param mode Synchronization mode.
+ * @param num_threads Number of participating threads.
+ * @param timebase_interval Tick interval for Timebase mode.
+ */
+std::unique_ptr<Barrier> makeBarrier(SyncMode mode, int num_threads,
+                                     std::uint64_t timebase_interval =
+                                         2048);
+
+} // namespace perple::runtime
+
+#endif // PERPLE_RUNTIME_BARRIER_H

@@ -1,0 +1,114 @@
+#include "runtime/native_runner.h"
+
+#include <thread>
+
+#include "common/error.h"
+#include "common/timing.h"
+#include "runtime/asmops.h"
+#include "runtime/shmem.h"
+
+namespace perple::runtime
+{
+
+sim::RunResult
+runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
+          std::int64_t iterations, const NativeConfig &config)
+{
+    checkUser(!programs.empty(), "runNative needs at least one thread");
+    checkUser(iterations > 0, "runNative needs a positive iteration "
+                              "count");
+
+    const int num_threads = static_cast<int>(programs.size());
+    const std::int64_t instances =
+        config.perIterationInstances
+            ? std::min<std::int64_t>(config.chunkSize, iterations)
+            : 1;
+
+    SharedMemory memory(instances, num_locations);
+
+    sim::RunResult result;
+    result.bufs.resize(programs.size());
+    for (std::size_t t = 0; t < programs.size(); ++t)
+        result.bufs[t].resize(static_cast<std::size_t>(
+            programs[t].loadsPerIteration * iterations));
+
+    auto iteration_barrier =
+        makeBarrier(config.mode, num_threads, config.timebaseInterval);
+    // Chunk boundaries and launch always synchronize via a pthread
+    // barrier, independent of the per-iteration mode.
+    auto chunk_barrier = makeBarrier(SyncMode::Pthread, num_threads);
+
+    const auto worker = [&](int thread_id) {
+        const auto ut = static_cast<std::size_t>(thread_id);
+        const sim::SimProgram &program = programs[ut];
+        const auto r_t =
+            static_cast<std::int64_t>(program.loadsPerIteration);
+        auto *buf = result.bufs[ut].data();
+
+        chunk_barrier->wait(thread_id); // Launch synchronization.
+
+        for (std::int64_t n = 0; n < iterations; ++n) {
+            if (config.perIterationInstances && n > 0 &&
+                n % instances == 0) {
+                // Instances wrap: rendezvous, zero, rendezvous.
+                chunk_barrier->wait(thread_id);
+                if (thread_id == 0)
+                    memory.reset();
+                chunk_barrier->wait(thread_id);
+            }
+            iteration_barrier->wait(thread_id);
+
+            const std::int64_t instance =
+                config.perIterationInstances ? n % instances : 0;
+            for (const sim::SimOp &op : program.ops) {
+                switch (op.kind) {
+                  case litmus::OpKind::Store:
+                    asmStore(memory.cell(instance, op.loc),
+                             op.value.eval(n));
+                    break;
+                  case litmus::OpKind::Load:
+                    buf[r_t * n + op.slot] =
+                        asmLoad(memory.cell(instance, op.loc));
+                    break;
+                  case litmus::OpKind::Fence:
+                    asmFence();
+                    break;
+                  case litmus::OpKind::Rmw:
+                    buf[r_t * n + op.slot] =
+                        asmXchg(memory.cell(instance, op.loc),
+                                op.value.eval(n));
+                    break;
+                }
+            }
+        }
+    };
+
+    WallTimer timer;
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(programs.size());
+        for (int t = 0; t < num_threads; ++t)
+            threads.emplace_back(worker, t);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    result.memory.resize(static_cast<std::size_t>(instances) *
+                         static_cast<std::size_t>(num_locations));
+    for (std::int64_t k = 0; k < instances; ++k)
+        for (int loc = 0; loc < num_locations; ++loc)
+            result.memory[static_cast<std::size_t>(
+                k * num_locations + loc)] =
+                asmLoad(memory.cell(k, loc));
+
+    std::uint64_t ops_per_iteration = 0;
+    for (const auto &program : programs)
+        ops_per_iteration += program.ops.size();
+    result.stats.instructions =
+        ops_per_iteration * static_cast<std::uint64_t>(iterations);
+    result.stats.finalTick =
+        static_cast<std::uint64_t>(timer.elapsedNs());
+    return result;
+}
+
+} // namespace perple::runtime

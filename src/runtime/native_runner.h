@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Native (real-thread) execution of litmus and perpetual programs.
+ *
+ * This is the backend the paper actually ran on: one std::thread per
+ * test thread issuing plain MOV loads/stores (inline asm) against
+ * cache-line padded shared memory, synchronized by one of the litmus7
+ * barrier modes or free-running for perpetual tests. It produces the
+ * same RunResult artifact as the simulator, so every analysis (outcome
+ * counting, skew, tallying) works on either backend unchanged.
+ *
+ * On a single-core host the threads time-slice and hardware store-buffer
+ * reorderings essentially never surface; the simulator backend is the
+ * default for experiments there (see DESIGN.md). This backend exists so
+ * the same binaries reproduce the paper on a real multicore.
+ */
+
+#ifndef PERPLE_RUNTIME_NATIVE_RUNNER_H
+#define PERPLE_RUNTIME_NATIVE_RUNNER_H
+
+#include <cstdint>
+
+#include "runtime/barrier.h"
+#include "sim/program.h"
+#include "sim/result.h"
+
+namespace perple::runtime
+{
+
+/** Configuration of a native run. */
+struct NativeConfig
+{
+    /** Per-iteration synchronization mode (None for perpetual runs). */
+    SyncMode mode = SyncMode::None;
+
+    /**
+     * Location layout: true allocates one location instance per
+     * in-flight iteration (litmus7 layout, reused modulo chunkSize and
+     * zeroed between chunks); false uses a single shared instance for
+     * the whole run (perpetual layout).
+     */
+    bool perIterationInstances = true;
+
+    /** In-flight instances in the litmus7 layout. */
+    std::int64_t chunkSize = 1024;
+
+    /** Timebase barrier interval (ticks). */
+    std::uint64_t timebaseInterval = 2048;
+};
+
+/**
+ * Execute @p programs natively for @p iterations iterations per thread.
+ *
+ * With a synchronizing mode, every iteration begins at a barrier; with
+ * SyncMode::None, threads synchronize only at chunk boundaries (for
+ * memory reuse) in the litmus7 layout, or only at launch in the
+ * perpetual layout.
+ *
+ * @param programs One loop body per thread (constant-store bodies for
+ *        classic tests, affine bodies for perpetual tests).
+ * @param num_locations Shared locations per instance.
+ * @param iterations Iterations per thread (N).
+ * @param config Run configuration.
+ * @return bufs (paper layout), final memory of instance 0 in the
+ *         perpetual layout / per-instance memory of the final chunk in
+ *         the litmus7 layout, and run statistics.
+ */
+sim::RunResult runNative(const std::vector<sim::SimProgram> &programs,
+                         int num_locations, std::int64_t iterations,
+                         const NativeConfig &config);
+
+} // namespace perple::runtime
+
+#endif // PERPLE_RUNTIME_NATIVE_RUNNER_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cache-line padded shared-memory arrays for the native backend.
+ *
+ * Each shared location occupies its own cache line so that test threads
+ * only communicate through the locations the litmus test names, not
+ * through false sharing.
+ */
+
+#ifndef PERPLE_RUNTIME_SHMEM_H
+#define PERPLE_RUNTIME_SHMEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace perple::runtime
+{
+
+/** One shared location on its own cache line. */
+struct alignas(64) PaddedCell
+{
+    volatile std::int64_t value = 0;
+    char padding[64 - sizeof(std::int64_t)] = {};
+};
+
+static_assert(sizeof(PaddedCell) == 64, "PaddedCell must fill one line");
+
+/**
+ * A 2-D array of padded cells: `instances` rows of `locations` cells.
+ *
+ * Instance 0 is the only row in perpetual (shared) layouts; litmus7
+ * layouts use one row per in-flight iteration.
+ */
+class SharedMemory
+{
+  public:
+    /**
+     * Allocate and zero the array.
+     *
+     * @param instances Number of location sets.
+     * @param locations Locations per set.
+     */
+    SharedMemory(std::int64_t instances, int locations)
+        : locations_(locations),
+          cells_(static_cast<std::size_t>(instances) *
+                 static_cast<std::size_t>(locations))
+    {}
+
+    /** Cell for @p loc of @p instance. */
+    volatile std::int64_t *
+    cell(std::int64_t instance, int loc)
+    {
+        return &cells_[static_cast<std::size_t>(instance) *
+                           static_cast<std::size_t>(locations_) +
+                       static_cast<std::size_t>(loc)]
+                    .value;
+    }
+
+    /** Zero every cell (only call while no test thread is running). */
+    void
+    reset()
+    {
+        for (auto &cell_ref : cells_)
+            cell_ref.value = 0;
+    }
+
+    std::int64_t
+    instances() const
+    {
+        return static_cast<std::int64_t>(cells_.size()) / locations_;
+    }
+
+    int locations() const { return locations_; }
+
+  private:
+    int locations_;
+    std::vector<PaddedCell> cells_;
+};
+
+} // namespace perple::runtime
+
+#endif // PERPLE_RUNTIME_SHMEM_H

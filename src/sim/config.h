@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Configuration of the timed TSO machine simulator.
+ *
+ * The simulator substitutes for the paper's 32-CPU x86 Xeon testbed on
+ * hosts where hardware reorderings cannot manifest (see DESIGN.md). Its
+ * knobs model the mechanisms that produce relaxed outcomes on real
+ * hardware: store-buffer drain latency (the window in which a store is
+ * locally visible but globally invisible), instruction latency jitter
+ * and occasional thread stalls (OS scheduling noise producing thread
+ * skew, Section VI-B.5).
+ *
+ * Bug-injection flags turn the machine into a *non*-TSO machine so the
+ * test suite can demonstrate that PerpLE detects real violations.
+ */
+
+#ifndef PERPLE_SIM_CONFIG_H
+#define PERPLE_SIM_CONFIG_H
+
+#include <cstdint>
+
+namespace perple::sim
+{
+
+/** How shared locations map to simulated memory. */
+enum class AddressMode
+{
+    /**
+     * One shared instance of every location for the whole run, never
+     * reset: the perpetual-litmus-test layout (paper Section III-B).
+     */
+    Shared,
+
+    /**
+     * One instance of every location per iteration (reused modulo the
+     * chunk size and zeroed between chunks): litmus7's layout, where
+     * iteration n of every thread operates on instance n.
+     */
+    PerIteration,
+};
+
+/** All simulator knobs; defaults model a plausible x86 multicore. */
+struct MachineConfig
+{
+    /** RNG seed; every run is reproducible from it. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Store-buffer entries per thread; a full buffer blocks stores.
+     * Sized like a real Xeon's (~42-56 entries) so that store-dense
+     * loop bodies do not saturate it — saturation would separate
+     * consecutive same-address stores and re-open the intermediate-
+     * value window their coalesced drain closes.
+     */
+    int storeBufferCapacity = 64;
+
+    /** Base latency of every instruction, in ticks. */
+    int opLatency = 1;
+
+    /**
+     * Mean additional delay before a buffered store drains to memory.
+     * This is the reordering window: loads executed while a store is
+     * still buffered read stale memory (or forward locally).
+     */
+    int drainLatencyMean = 8;
+
+    /**
+     * Probability that a thread stalls after completing an op,
+     * modelling timer interrupts / migrations. The default matches
+     * realistic interrupt rates relative to litmus iteration rates
+     * (~one per 10^5-10^6 iterations): long stalls open windows in
+     * which the frame abstraction can mis-attribute same-location
+     * coherence patterns, so the rate must stay low for the paper's
+     * no-false-positive property to hold at its 10k-iteration scale
+     * (see DESIGN.md). Short-range thread skew comes from the
+     * per-instruction latency jitter instead.
+     */
+    double stallProbability = 1e-7;
+
+    /** Mean stall duration in ticks (exponential). */
+    int stallMeanTicks = 2000;
+
+    /**
+     * Probability that a load which does NOT forward from the own
+     * store buffer misses the cache and completes late (reading the
+     * memory state at completion time). Misses let a load observe
+     * stores drained during the delay — how sb's "both read 1"
+     * outcome arises on real hardware. Forwarded loads never miss,
+     * which preserves the same-location no-false-positive behaviour
+     * (see DESIGN.md).
+     */
+    double loadMissProbability = 0.01;
+
+    /** Mean extra load latency on a miss, in ticks (exponential). */
+    int loadMissLatencyMean = 25;
+
+    /** Location-instance layout. */
+    AddressMode addressMode = AddressMode::Shared;
+
+    /**
+     * Instances allocated in PerIteration mode; iteration n uses
+     * instance n % chunkSize and the harness zeroes memory between
+     * chunks (litmus7's size-of-test/number-of-runs split).
+     */
+    std::int64_t chunkSize = 4096;
+
+    // --- Bug injection (defaults: a correct x86-TSO machine) ---
+
+    /**
+     * False: store buffers drain out of order across locations while
+     * staying FIFO per location — exactly a PSO machine (relaxes
+     * W->W program order, preserves coherence). A TSO conformance
+     * campaign must flag it; a PSO campaign must pass it.
+     */
+    bool fifoStoreBuffers = true;
+
+    /** False: MFENCE retires without draining the buffer. */
+    bool fenceDrainsBuffer = true;
+
+    /** False: loads skip the own buffer (breaks same-loc forwarding). */
+    bool storeForwarding = true;
+};
+
+} // namespace perple::sim
+
+#endif // PERPLE_SIM_CONFIG_H

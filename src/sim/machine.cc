@@ -1,0 +1,381 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace perple::sim
+{
+
+using litmus::OpKind;
+using litmus::Value;
+
+Machine::Machine(std::vector<SimProgram> programs, int num_locations,
+                 MachineConfig config)
+    : programs_(std::move(programs)),
+      numLocations_(num_locations),
+      config_(config),
+      rng_(config.seed)
+{
+    checkUser(!programs_.empty(), "Machine needs at least one thread");
+    checkUser(numLocations_ > 0, "Machine needs at least one location");
+    checkUser(config_.storeBufferCapacity > 0,
+              "store buffer capacity must be positive");
+    checkUser(config_.chunkSize > 0, "chunk size must be positive");
+
+    threads_.resize(programs_.size());
+    const std::size_t instances =
+        config_.addressMode == AddressMode::Shared
+            ? 1
+            : static_cast<std::size_t>(config_.chunkSize);
+    memory_.assign(instances * static_cast<std::size_t>(numLocations_),
+                   0);
+}
+
+Machine
+Machine::forOriginalTest(const litmus::Test &test,
+                         const MachineConfig &config)
+{
+    std::vector<SimProgram> programs;
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t)
+        programs.push_back(compileOriginalThread(test, t));
+    return Machine(std::move(programs), test.numLocations(), config);
+}
+
+std::int64_t
+Machine::addressFor(litmus::LocationId loc, std::int64_t iteration) const
+{
+    if (config_.addressMode == AddressMode::Shared)
+        return loc;
+    return (iteration % config_.chunkSize) * numLocations_ + loc;
+}
+
+std::uint64_t
+Machine::drawExp(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    const double u = rng_.nextDouble();
+    return static_cast<std::uint64_t>(-std::log1p(-u) * mean);
+}
+
+std::uint64_t
+Machine::drawDrainLatency()
+{
+    // Minimum of 2 extra ticks: a buffered store can never become
+    // globally visible before the storing thread executes its next
+    // instruction, so back-to-back store->load pairs always forward
+    // (as on real x86, where a drain takes far longer than one cycle).
+    return 2 + drawExp(static_cast<double>(config_.drainLatencyMean));
+}
+
+void
+Machine::flushDue(std::uint64_t now)
+{
+    while (true) {
+        // Locate the due entry with the smallest drain time. With FIFO
+        // buffers only fronts are candidates (drain times are monotone
+        // per thread); with the injected non-FIFO bug, any entry may
+        // drain first.
+        std::size_t best_thread = threads_.size();
+        std::size_t best_pos = 0;
+        std::uint64_t best_time = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t t = 0; t < threads_.size(); ++t) {
+            const auto &buffer = threads_[t].buffer;
+            if (buffer.empty())
+                continue;
+            if (config_.fifoStoreBuffers) {
+                if (buffer.front().drainTime <= now &&
+                    buffer.front().drainTime < best_time) {
+                    best_time = buffer.front().drainTime;
+                    best_thread = t;
+                    best_pos = 0;
+                }
+            } else {
+                // Non-FIFO (PSO-style) buffers: any entry may drain
+                // first, except that same-location entries stay FIFO
+                // among themselves (per-location coherence holds even
+                // under PSO).
+                for (std::size_t i = 0; i < buffer.size(); ++i) {
+                    if (buffer[i].drainTime > now ||
+                        buffer[i].drainTime >= best_time)
+                        continue;
+                    bool first_to_location = true;
+                    for (std::size_t j = 0; j < i; ++j) {
+                        if (buffer[j].addr == buffer[i].addr) {
+                            first_to_location = false;
+                            break;
+                        }
+                    }
+                    if (!first_to_location)
+                        continue;
+                    best_time = buffer[i].drainTime;
+                    best_thread = t;
+                    best_pos = i;
+                }
+            }
+        }
+        if (best_thread == threads_.size())
+            return;
+        auto &buffer = threads_[best_thread].buffer;
+        const BufferEntry entry =
+            buffer[static_cast<std::deque<BufferEntry>::size_type>(
+                best_pos)];
+        buffer.erase(buffer.begin() +
+                     static_cast<std::deque<BufferEntry>::difference_type>(
+                         best_pos));
+        memory_[static_cast<std::size_t>(entry.addr)] = entry.value;
+        ++stats_.drains;
+
+        // Back-to-back stores to the same address drain while the
+        // core still owns the cache line, so remote readers never
+        // observe the intermediate value (real x86 line-ownership
+        // behaviour). Only directly consecutive program-order stores
+        // qualify — stores from later iterations drain in their own
+        // windows, staying available for forwarding until then.
+        if (config_.fifoStoreBuffers) {
+            std::uint64_t prev_seq = entry.opSeq;
+            while (!buffer.empty() &&
+                   buffer.front().addr == entry.addr &&
+                   buffer.front().opSeq == prev_seq + 1) {
+                prev_seq = buffer.front().opSeq;
+                memory_[static_cast<std::size_t>(
+                    buffer.front().addr)] = buffer.front().value;
+                buffer.pop_front();
+                ++stats_.drains;
+            }
+        }
+    }
+}
+
+void
+Machine::drainAll()
+{
+    flushDue(std::numeric_limits<std::uint64_t>::max());
+}
+
+void
+Machine::resetMemory()
+{
+    std::fill(memory_.begin(), memory_.end(), 0);
+}
+
+bool
+Machine::stepThread(std::size_t t, RunResult &result)
+{
+    ThreadState &thread = threads_[t];
+    const SimProgram &program = programs_[t];
+    const std::uint64_t now = thread.readyTime;
+    const SimOp &op = program.ops[thread.pc];
+
+    switch (op.kind) {
+      case OpKind::Store: {
+        if (static_cast<int>(thread.buffer.size()) >=
+            config_.storeBufferCapacity) {
+            // Back-pressure: wait for the earliest drain.
+            std::uint64_t earliest = thread.buffer.front().drainTime;
+            for (const auto &entry : thread.buffer)
+                earliest = std::min(earliest, entry.drainTime);
+            thread.readyTime = std::max(earliest, now + 1);
+            return false;
+        }
+        BufferEntry entry;
+        entry.addr = addressFor(op.loc, thread.iteration);
+        entry.value = op.value.eval(thread.iteration);
+        entry.opSeq = thread.opCounter;
+        entry.drainTime = now +
+                          static_cast<std::uint64_t>(config_.opLatency) +
+                          drawDrainLatency();
+        if (config_.fifoStoreBuffers && !thread.buffer.empty())
+            entry.drainTime = std::max(
+                entry.drainTime, thread.buffer.back().drainTime + 1);
+        thread.buffer.push_back(entry);
+        break;
+      }
+      case OpKind::Load: {
+        const std::int64_t addr = addressFor(op.loc, thread.iteration);
+
+        // Forwarding: the newest matching entry of the own buffer.
+        bool forwarded = false;
+        Value loaded = 0;
+        if (config_.storeForwarding) {
+            for (auto it = thread.buffer.rbegin();
+                 it != thread.buffer.rend(); ++it) {
+                if (it->addr == addr) {
+                    loaded = it->value;
+                    forwarded = true;
+                    break;
+                }
+            }
+        }
+        if (!forwarded) {
+            // A non-forwarded load may miss the cache and complete
+            // late, observing stores drained in the meantime. The
+            // thread is re-queued so every other event up to the
+            // completion time is simulated first (event order stays
+            // causally consistent).
+            if (thread.missPending) {
+                thread.missPending = false;
+            } else if (rng_.nextBool(config_.loadMissProbability)) {
+                thread.missPending = true;
+                thread.readyTime =
+                    now + 1 +
+                    drawExp(static_cast<double>(
+                        config_.loadMissLatencyMean));
+                return false;
+            }
+            loaded = memory_[static_cast<std::size_t>(addr)];
+        }
+
+        // Consecutive loads of the same location execute back to back
+        // against one memory snapshot: the line sits in L1 after the
+        // first load and a remote invalidation cannot slip in between
+        // (real-hardware locality; keeps same-line load pairs from
+        // observing intermediate coherence states).
+        result.bufs[t].push_back(loaded);
+        while (thread.pc + 1 < program.ops.size()) {
+            const SimOp &next = program.ops[thread.pc + 1];
+            if (next.kind != OpKind::Load || next.loc != op.loc)
+                break;
+            result.bufs[t].push_back(loaded);
+            ++thread.pc;
+            ++stats_.instructions;
+        }
+        break;
+      }
+      case OpKind::Fence: {
+        if (config_.fenceDrainsBuffer && !thread.buffer.empty()) {
+            std::uint64_t latest = 0;
+            for (const auto &entry : thread.buffer)
+                latest = std::max(latest, entry.drainTime);
+            thread.readyTime = std::max(latest, now + 1);
+            return false;
+        }
+        break;
+      }
+      case OpKind::Rmw: {
+        // Locked instruction: full-fence semantics (own buffer must
+        // drain first, even on machines with a broken MFENCE — the
+        // lock prefix is a separate mechanism), then one atomic
+        // global read-modify-write.
+        if (!thread.buffer.empty()) {
+            std::uint64_t latest = 0;
+            for (const auto &entry : thread.buffer)
+                latest = std::max(latest, entry.drainTime);
+            thread.readyTime = std::max(latest, now + 1);
+            return false;
+        }
+        const std::int64_t addr = addressFor(op.loc, thread.iteration);
+        result.bufs[t].push_back(
+            memory_[static_cast<std::size_t>(addr)]);
+        memory_[static_cast<std::size_t>(addr)] =
+            op.value.eval(thread.iteration);
+        break;
+      }
+    }
+
+    ++stats_.instructions;
+    ++thread.opCounter;
+    thread.readyTime =
+        now + static_cast<std::uint64_t>(config_.opLatency) +
+        (rng_.nextBool(0.3) ? 1 : 0);
+    if (rng_.nextBool(config_.stallProbability)) {
+        thread.readyTime +=
+            drawExp(static_cast<double>(config_.stallMeanTicks));
+        ++stats_.stalls;
+    }
+
+    if (++thread.pc == program.ops.size()) {
+        thread.pc = 0;
+        ++thread.iteration;
+        --thread.iterationsLeft;
+    }
+    return true;
+}
+
+void
+Machine::runSegment(RunResult &result)
+{
+    std::vector<std::size_t> minima;
+    while (true) {
+        // Pick the runnable thread with the smallest ready time,
+        // breaking ties uniformly at random.
+        minima.clear();
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t t = 0; t < threads_.size(); ++t) {
+            if (threads_[t].iterationsLeft <= 0)
+                continue;
+            if (threads_[t].readyTime < best) {
+                best = threads_[t].readyTime;
+                minima.clear();
+                minima.push_back(t);
+            } else if (threads_[t].readyTime == best) {
+                minima.push_back(t);
+            }
+        }
+        if (minima.empty())
+            break;
+        const std::size_t chosen =
+            minima.size() == 1
+                ? minima[0]
+                : minima[rng_.nextBelow(minima.size())];
+        flushDue(best);
+        stepThread(chosen, result);
+        stats_.finalTick = std::max(stats_.finalTick, best);
+    }
+}
+
+void
+Machine::runFree(std::int64_t iterations, std::int64_t first_iteration,
+                 RunResult &result)
+{
+    checkUser(iterations > 0, "runFree needs a positive iteration count");
+    if (result.bufs.empty())
+        result.bufs.resize(programs_.size());
+
+    const std::uint64_t start = stats_.finalTick;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+        threads_[t].iteration = first_iteration;
+        threads_[t].pc = 0;
+        threads_[t].missPending = false;
+        threads_[t].iterationsLeft = iterations;
+        // Launch jitter: threads are released once, not in lockstep.
+        threads_[t].readyTime =
+            start + drawExp(2.0 * config_.opLatency);
+    }
+    runSegment(result);
+    drainAll();
+    result.memory = memory_;
+    result.stats = stats_;
+}
+
+void
+Machine::runLockstep(std::int64_t iterations,
+                     std::int64_t first_iteration,
+                     double release_skew_mean, RunResult &result)
+{
+    checkUser(iterations > 0,
+              "runLockstep needs a positive iteration count");
+    if (result.bufs.empty())
+        result.bufs.resize(programs_.size());
+
+    for (std::int64_t n = 0; n < iterations; ++n) {
+        const std::uint64_t release = stats_.finalTick;
+        for (std::size_t t = 0; t < threads_.size(); ++t) {
+            threads_[t].iteration = first_iteration + n;
+            threads_[t].pc = 0;
+            threads_[t].missPending = false;
+            threads_[t].iterationsLeft = 1;
+            threads_[t].readyTime = release + drawExp(release_skew_mean);
+        }
+        runSegment(result);
+        // The barrier wait is long enough for buffers to drain.
+        drainAll();
+    }
+    result.memory = memory_;
+    result.stats = stats_;
+}
+
+} // namespace perple::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The timed x86-TSO machine simulator.
+ *
+ * Each thread executes its SimProgram in a loop. Events are processed in
+ * virtual-time order: the runnable thread with the smallest ready time
+ * steps next, and before any step every buffered store whose drain
+ * deadline has passed is flushed to memory (per-thread FIFO unless bug
+ * injection disables it). Loads forward from the newest matching entry
+ * of the own buffer, MFENCE blocks until the own buffer is empty, and a
+ * full buffer back-pressures stores — the operational x86-TSO machine of
+ * Owens et al., extended with latencies so that thread skew and
+ * reordering windows arise the way they do on real hardware.
+ *
+ * Two run shapes cover every harness in PerpLE:
+ *  - runFree(): one launch synchronization, then all threads run their
+ *    iterations without further synchronization (perpetual tests, and
+ *    litmus7's `none` mode within a chunk);
+ *  - runLockstep(): a barrier before every iteration, with per-thread
+ *    exponential release skew modelling barrier wake-up jitter (litmus7
+ *    `user`/`userfence`/`pthread`/`timebase` modes).
+ */
+
+#ifndef PERPLE_SIM_MACHINE_H
+#define PERPLE_SIM_MACHINE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "litmus/test.h"
+#include "sim/config.h"
+#include "sim/program.h"
+#include "sim/result.h"
+
+namespace perple::sim
+{
+
+/** The simulator; one instance per test run. */
+class Machine
+{
+  public:
+    /**
+     * Build a machine executing @p programs (one per thread).
+     *
+     * @param programs Thread loop bodies.
+     * @param num_locations Shared locations per instance.
+     * @param config Simulator knobs.
+     */
+    Machine(std::vector<SimProgram> programs, int num_locations,
+            MachineConfig config);
+
+    /** Convenience: compile the original (constant-store) test. */
+    static Machine forOriginalTest(const litmus::Test &test,
+                                   const MachineConfig &config);
+
+    /**
+     * Run @p iterations iterations per thread with a single launch
+     * synchronization, appending loaded values to the result bufs.
+     *
+     * @param iterations Iterations per thread (N).
+     * @param first_iteration Index of the first iteration (affects
+     *        affine store operands and PerIteration addressing); lets
+     *        chunked harnesses stitch several calls into one logical
+     *        run.
+     * @param[in,out] result Accumulates bufs and stats across calls;
+     *        bufs are appended in iteration order.
+     */
+    void runFree(std::int64_t iterations, std::int64_t first_iteration,
+                 RunResult &result);
+
+    /**
+     * Run @p iterations iterations with a barrier before each one.
+     *
+     * @param iterations Iterations per thread.
+     * @param first_iteration See runFree().
+     * @param release_skew_mean Mean of the exponential per-thread delay
+     *        between barrier release and the thread's first op, in
+     *        ticks; models the quality of the synchronization mode.
+     * @param[in,out] result Accumulates bufs and stats.
+     */
+    void runLockstep(std::int64_t iterations,
+                     std::int64_t first_iteration,
+                     double release_skew_mean, RunResult &result);
+
+    /** Zero all memory instances (between litmus7 chunks). */
+    void resetMemory();
+
+    /** Flush every buffered store to memory immediately. */
+    void drainAll();
+
+    /** Copy of current memory (for end-of-run inspection). */
+    const std::vector<litmus::Value> &memory() const { return memory_; }
+
+    /** Loads per iteration of thread @p t. */
+    int
+    loadsPerIteration(int t) const
+    {
+        return programs_[static_cast<std::size_t>(t)].loadsPerIteration;
+    }
+
+    int numThreads() const
+    {
+        return static_cast<int>(programs_.size());
+    }
+
+  private:
+    struct BufferEntry
+    {
+        std::int64_t addr;
+        litmus::Value value;
+        std::uint64_t drainTime;
+
+        /** Thread-local op sequence number of the issuing store. */
+        std::uint64_t opSeq;
+    };
+
+    struct ThreadState
+    {
+        std::int64_t iteration = 0;
+        std::size_t pc = 0;
+        std::uint64_t readyTime = 0;
+        std::deque<BufferEntry> buffer;
+        std::int64_t iterationsLeft = 0;
+
+        /** A cache-missed load is waiting to complete. */
+        bool missPending = false;
+
+        /** Executed-op counter (tags buffer entries for coalescing). */
+        std::uint64_t opCounter = 0;
+    };
+
+    /** Map (location, iteration) to a flat memory address. */
+    std::int64_t addressFor(litmus::LocationId loc,
+                            std::int64_t iteration) const;
+
+    /** Flush all drains due at or before @p now. */
+    void flushDue(std::uint64_t now);
+
+    /** Execute one op of thread @p t; returns false when blocked. */
+    bool stepThread(std::size_t t, RunResult &result);
+
+    /** Run until every thread finished its assigned iterations. */
+    void runSegment(RunResult &result);
+
+    std::uint64_t drawDrainLatency();
+    std::uint64_t drawExp(double mean);
+
+    std::vector<SimProgram> programs_;
+    int numLocations_;
+    MachineConfig config_;
+    Rng rng_;
+    std::vector<ThreadState> threads_;
+    std::vector<litmus::Value> memory_;
+    RunStats stats_;
+};
+
+} // namespace perple::sim
+
+#endif // PERPLE_SIM_MACHINE_H

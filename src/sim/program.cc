@@ -1,0 +1,39 @@
+#include "sim/program.h"
+
+namespace perple::sim
+{
+
+SimProgram
+compileOriginalThread(const litmus::Test &test, litmus::ThreadId thread)
+{
+    SimProgram program;
+    const auto &instructions =
+        test.threads[static_cast<std::size_t>(thread)].instructions;
+    int slot = 0;
+    for (const auto &instr : instructions) {
+        SimOp op;
+        op.kind = instr.kind;
+        switch (instr.kind) {
+          case litmus::OpKind::Store:
+            op.loc = instr.loc;
+            op.value = Operand{0, instr.value};
+            break;
+          case litmus::OpKind::Load:
+            op.loc = instr.loc;
+            op.slot = slot++;
+            break;
+          case litmus::OpKind::Fence:
+            break;
+          case litmus::OpKind::Rmw:
+            op.loc = instr.loc;
+            op.value = Operand{0, instr.value};
+            op.slot = slot++;
+            break;
+        }
+        program.ops.push_back(op);
+    }
+    program.loadsPerIteration = slot;
+    return program;
+}
+
+} // namespace perple::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Executable thread programs for the TSO machine simulator.
+ *
+ * A SimProgram is one thread's loop body. Store operands are affine in
+ * the thread's iteration index (stride * n + offset), which represents
+ * both original litmus tests (stride 0) and perpetual litmus tests
+ * (stride k_mem, offset a; see paper Section III-B) with one type.
+ */
+
+#ifndef PERPLE_SIM_PROGRAM_H
+#define PERPLE_SIM_PROGRAM_H
+
+#include <vector>
+
+#include "litmus/test.h"
+
+namespace perple::sim
+{
+
+/** Value computed per iteration: stride * n + offset. */
+struct Operand
+{
+    litmus::Value stride = 0;
+    litmus::Value offset = 0;
+
+    litmus::Value
+    eval(std::int64_t iteration) const
+    {
+        return stride * iteration + offset;
+    }
+};
+
+/** One simulator operation. */
+struct SimOp
+{
+    litmus::OpKind kind = litmus::OpKind::Fence;
+    litmus::LocationId loc = -1; ///< Store/Load.
+    Operand value;               ///< Store operand.
+    int slot = -1;               ///< Load: index among this thread's
+                                 ///< loads (buf stripe position).
+};
+
+/** One thread's loop body. */
+struct SimProgram
+{
+    std::vector<SimOp> ops;
+
+    /** Loads per iteration (r_t); sizes the thread's buf stripe. */
+    int loadsPerIteration = 0;
+};
+
+/**
+ * Compile thread @p thread of @p test into a SimProgram that stores the
+ * original constants (stride 0), i.e. the classic litmus-test body.
+ */
+SimProgram compileOriginalThread(const litmus::Test &test,
+                                 litmus::ThreadId thread);
+
+} // namespace perple::sim
+
+#endif // PERPLE_SIM_PROGRAM_H

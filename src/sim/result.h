@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Result types shared by the simulator and the native runtime.
+ *
+ * Both backends produce the same artifact — the per-thread buf arrays of
+ * the paper (Section III-B) plus final memory — so the analysis layers
+ * (outcome counters, skew analysis, litmus7 tallying) are backend
+ * agnostic.
+ */
+
+#ifndef PERPLE_SIM_RESULT_H
+#define PERPLE_SIM_RESULT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "litmus/types.h"
+
+namespace perple::sim
+{
+
+/** Aggregate statistics of one run. */
+struct RunStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t finalTick = 0;
+};
+
+/**
+ * Results of a run.
+ *
+ * bufs[t] holds, for load-performing thread t, r_t values per iteration:
+ * the value loaded into slot i of iteration n sits at
+ * bufs[t][r_t * n + i] (the paper's buf layout, Section III-B). Threads
+ * without loads have empty bufs.
+ */
+struct RunResult
+{
+    std::vector<std::vector<litmus::Value>> bufs;
+
+    /**
+     * Final memory. Shared addressing: one value per location.
+     * Per-iteration addressing: one instance of every location per
+     * chunk slot, location loc of instance k at
+     * k * numLocations + loc (all stores drained/visible).
+     */
+    std::vector<litmus::Value> memory;
+
+    RunStats stats;
+};
+
+} // namespace perple::sim
+
+#endif // PERPLE_SIM_RESULT_H

@@ -1,0 +1,101 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace perple::stats
+{
+
+void
+Histogram::add(std::int64_t sample, std::uint64_t weight)
+{
+    bins_[sample] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::at(std::int64_t sample) const
+{
+    const auto it = bins_.find(sample);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+std::int64_t
+Histogram::min() const
+{
+    checkUser(total_ > 0, "empty histogram has no min");
+    return bins_.begin()->first;
+}
+
+std::int64_t
+Histogram::max() const
+{
+    checkUser(total_ > 0, "empty histogram has no max");
+    return bins_.rbegin()->first;
+}
+
+double
+Histogram::mean() const
+{
+    checkUser(total_ > 0, "empty histogram has no mean");
+    double sum = 0;
+    for (const auto &[sample, weight] : bins_)
+        sum += static_cast<double>(sample) *
+               static_cast<double>(weight);
+    return sum / static_cast<double>(total_);
+}
+
+double
+Histogram::stddev() const
+{
+    const double mu = mean();
+    double sum = 0;
+    for (const auto &[sample, weight] : bins_) {
+        const double d = static_cast<double>(sample) - mu;
+        sum += d * d * static_cast<double>(weight);
+    }
+    return std::sqrt(sum / static_cast<double>(total_));
+}
+
+double
+Histogram::density(std::int64_t sample) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(at(sample)) /
+           static_cast<double>(total_);
+}
+
+std::vector<std::pair<double, double>>
+Histogram::binned(int num_bins) const
+{
+    checkUser(num_bins > 0, "need a positive bin count");
+    checkUser(total_ > 0, "cannot bin an empty histogram");
+
+    const double lo = static_cast<double>(min());
+    const double hi = static_cast<double>(max());
+    const double width = (hi - lo) / num_bins;
+    std::vector<std::pair<double, double>> out(
+        static_cast<std::size_t>(num_bins));
+    for (int b = 0; b < num_bins; ++b)
+        out[static_cast<std::size_t>(b)] = {lo + width * (b + 0.5), 0.0};
+    if (width <= 0.0) {
+        // Degenerate support: all mass in one bin.
+        out[0] = {lo, 1.0};
+        return out;
+    }
+    for (const auto &[sample, weight] : bins_) {
+        int b = static_cast<int>((static_cast<double>(sample) - lo) /
+                                 width);
+        if (b == num_bins)
+            --b;
+        out[static_cast<std::size_t>(b)].second +=
+            static_cast<double>(weight);
+    }
+    for (auto &[center, mass] : out)
+        mass /= static_cast<double>(total_) * width;
+    return out;
+}
+
+} // namespace perple::stats

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Integer histograms and probability density estimates.
+ *
+ * Used for the thread-skew distribution of Figure 12 and for outcome
+ * tallies.
+ */
+
+#ifndef PERPLE_STATS_HISTOGRAM_H
+#define PERPLE_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace perple::stats
+{
+
+/** Sparse histogram over signed integer samples. */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void add(std::int64_t sample, std::uint64_t weight = 1);
+
+    /** Total recorded weight. */
+    std::uint64_t count() const { return total_; }
+
+    /** Weight recorded at exactly @p sample. */
+    std::uint64_t at(std::int64_t sample) const;
+
+    /** Smallest recorded sample; requires count() > 0. */
+    std::int64_t min() const;
+
+    /** Largest recorded sample; requires count() > 0. */
+    std::int64_t max() const;
+
+    /** Weighted mean of the samples; requires count() > 0. */
+    double mean() const;
+
+    /** Weighted standard deviation; requires count() > 0. */
+    double stddev() const;
+
+    /** Fraction of weight at @p sample. */
+    double density(std::int64_t sample) const;
+
+    /**
+     * Re-bin into @p num_bins equal-width bins across [min, max].
+     *
+     * @return (bin center, probability density) pairs; density
+     *         integrates to ~1 over the support.
+     */
+    std::vector<std::pair<double, double>> binned(int num_bins) const;
+
+    /** All (sample, weight) pairs, ascending. */
+    const std::map<std::int64_t, std::uint64_t> &
+    samples() const
+    {
+        return bins_;
+    }
+
+  private:
+    std::map<std::int64_t, std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace perple::stats
+
+#endif // PERPLE_STATS_HISTOGRAM_H

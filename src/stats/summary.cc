@@ -1,0 +1,53 @@
+#include "stats/summary.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace perple::stats
+{
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    checkUser(!values.empty(), "geometric mean of an empty set");
+    double log_sum = 0;
+    for (const double v : values) {
+        checkUser(v > 0, "geometric mean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    checkUser(!values.empty(), "arithmetic mean of an empty set");
+    double sum = 0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+meanOfRatiosOmittingZeroBaseline(const std::vector<double> &numerators,
+                                 const std::vector<double> &denominators,
+                                 int &omitted)
+{
+    checkUser(numerators.size() == denominators.size(),
+              "ratio inputs must have equal length");
+    std::vector<double> ratios;
+    omitted = 0;
+    for (std::size_t i = 0; i < numerators.size(); ++i) {
+        if (denominators[i] == 0.0) {
+            ++omitted;
+            continue;
+        }
+        ratios.push_back(numerators[i] / denominators[i]);
+    }
+    if (ratios.empty())
+        return 0.0;
+    return arithmeticMean(ratios);
+}
+
+} // namespace perple::stats

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Aggregation helpers used by the evaluation benches.
+ *
+ * The paper reports geometric-mean speedups (Figure 10) and arithmetic
+ * means of per-test detection-rate ratios (Figure 11, with zero-baseline
+ * cases omitted); these helpers implement exactly those conventions.
+ */
+
+#ifndef PERPLE_STATS_SUMMARY_H
+#define PERPLE_STATS_SUMMARY_H
+
+#include <vector>
+
+namespace perple::stats
+{
+
+/** Geometric mean of positive values; requires a nonempty input. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; requires a nonempty input. */
+double arithmeticMean(const std::vector<double> &values);
+
+/**
+ * Mean of ratios a[i] / b[i], omitting pairs with b[i] == 0 (the
+ * paper's convention for detection-rate improvements, Section VII-C).
+ *
+ * @param numerators a.
+ * @param denominators b (same length).
+ * @param[out] omitted Number of zero-denominator pairs skipped.
+ * @return Arithmetic mean of the surviving ratios, or 0 if none.
+ */
+double meanOfRatiosOmittingZeroBaseline(
+    const std::vector<double> &numerators,
+    const std::vector<double> &denominators, int &omitted);
+
+} // namespace perple::stats
+
+#endif // PERPLE_STATS_SUMMARY_H

@@ -1,0 +1,121 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::stats
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    checkUser(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    checkUser(row.size() == headers_.size(),
+              "table row width does not match the header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto emit = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string cell = row[c];
+            if (c == 0) {
+                cell.resize(widths[c], ' '); // Left-align names.
+            } else {
+                cell.insert(0, widths[c] - cell.size(), ' ');
+            }
+            line += cell;
+            if (c + 1 != row.size())
+                line += "  ";
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c], '-');
+        if (c + 1 != widths.size())
+            rule += "  ";
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += emit(row);
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    const auto emit = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0)
+                line += ",";
+            line += row[c];
+        }
+        return line + "\n";
+    };
+    std::string out = emit(headers_);
+    for (const auto &row : rows_)
+        out += emit(row);
+    return out;
+}
+
+std::string
+formatNumber(double value)
+{
+    if (value == 0.0)
+        return "0";
+    const double magnitude = std::fabs(value);
+    if (magnitude >= 1e7 || magnitude < 1e-3)
+        return format("%.3g", value);
+    if (magnitude >= 100)
+        return format("%.0f", value);
+    if (magnitude >= 1)
+        return format("%.2f", value);
+    return format("%.4f", value);
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = format("%llu",
+                                static_cast<unsigned long long>(value));
+    std::string out;
+    int since_group = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_group == 3) {
+            out += ',';
+            since_group = 0;
+        }
+        out += *it;
+        ++since_group;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace perple::stats

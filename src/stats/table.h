@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width console tables and CSV emission for the benches.
+ *
+ * Every bench prints its rows through this printer so the outputs in
+ * bench_output.txt / EXPERIMENTS.md share one format.
+ */
+
+#ifndef PERPLE_STATS_TABLE_H
+#define PERPLE_STATS_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perple::stats
+{
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /** Create with @p headers as the first row. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns (first column left, rest right). */
+    std::string toString() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double compactly ("12.3", "4.56e+07", "0"). */
+std::string formatNumber(double value);
+
+/** Format a count with thousands grouping ("1,234,567"). */
+std::string formatCount(std::uint64_t value);
+
+} // namespace perple::stats
+
+#endif // PERPLE_STATS_TABLE_H

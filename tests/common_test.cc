@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for src/common: error handling, RNG, strings, timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/timing.h"
+
+namespace perple
+{
+namespace
+{
+
+// --------------------------- error ----------------------------------
+
+TEST(ErrorTest, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("bad input"), UserError);
+}
+
+TEST(ErrorTest, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("broken invariant"), InternalError);
+}
+
+TEST(ErrorTest, PanicMessageIsPrefixed)
+{
+    try {
+        panic("xyz");
+        FAIL() << "panic must throw";
+    } catch (const InternalError &e) {
+        EXPECT_NE(std::string(e.what()).find("internal error"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("xyz"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, ChecksPassOnTrue)
+{
+    EXPECT_NO_THROW(checkUser(true, "nope"));
+    EXPECT_NO_THROW(checkInternal(true, "nope"));
+}
+
+TEST(ErrorTest, ChecksThrowOnFalse)
+{
+    EXPECT_THROW(checkUser(false, "u"), UserError);
+    EXPECT_THROW(checkInternal(false, "i"), InternalError);
+}
+
+TEST(ErrorTest, UserErrorIsAnError)
+{
+    EXPECT_THROW(fatal("x"), Error);
+    EXPECT_THROW(panic("x"), Error);
+}
+
+// ---------------------------- rng -----------------------------------
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() != b.next())
+            ++differences;
+    EXPECT_GT(differences, 60);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.nextBelow(kBuckets)];
+    const double expected = static_cast<double>(kDraws) / kBuckets;
+    for (const int c : counts)
+        EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(RngTest, NextInRangeInclusive)
+{
+    Rng rng(17);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, NextBoolExtremes)
+{
+    Rng rng(21);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(RngTest, NextBoolProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        hits += rng.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream)
+{
+    Rng a(31);
+    Rng b = a.split();
+    // Continuing `a` must not replay `b`'s outputs.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ShuffleIsAPermutation)
+{
+    Rng rng(37);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(v, shuffled);
+}
+
+// --------------------------- strings --------------------------------
+
+TEST(StringsTest, FormatBasics)
+{
+    EXPECT_EQ(format("x=%d", 42), "x=42");
+    EXPECT_EQ(format("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(StringsTest, TrimRemovesEdgesOnly)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, SplitDropsEmptyFieldsByDefault)
+{
+    const auto fields = split("a, ,b,,c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFieldsWhenAsked)
+{
+    const auto fields = split("a||b", '|', /*keep_empty=*/true);
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[1], "");
+}
+
+TEST(StringsTest, SplitTrimsFields)
+{
+    const auto fields = split("  a  ;  b  ", ';');
+    ASSERT_EQ(fields.size(), 2u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+}
+
+TEST(StringsTest, StartsWith)
+{
+    EXPECT_TRUE(startsWith("exists (x)", "exists"));
+    EXPECT_FALSE(startsWith("exist", "exists"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(StringsTest, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, ToLower)
+{
+    EXPECT_EQ(toLower("MFENCE"), "mfence");
+    EXPECT_EQ(toLower("MiXeD123"), "mixed123");
+}
+
+// --------------------------- timing ---------------------------------
+
+TEST(TimingTest, WallTimerAdvances)
+{
+    WallTimer timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GT(timer.elapsedNs(), 1000000);
+    EXPECT_GT(timer.elapsedSeconds(), 0.0);
+}
+
+TEST(TimingTest, PhaseTimerAccumulates)
+{
+    PhaseTimer timer;
+    timer.start("a");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    timer.start("b");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    timer.stop();
+    timer.start("a");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    timer.stop();
+
+    EXPECT_GT(timer.phaseNs("a"), 2000000);
+    EXPECT_GT(timer.phaseNs("b"), 1000000);
+    EXPECT_EQ(timer.phaseNs("missing"), 0);
+    EXPECT_EQ(timer.totalNs(),
+              timer.phaseNs("a") + timer.phaseNs("b"));
+}
+
+TEST(TimingTest, StopWithoutStartIsHarmless)
+{
+    PhaseTimer timer;
+    EXPECT_NO_THROW(timer.stop());
+    EXPECT_EQ(timer.totalNs(), 0);
+}
+
+TEST(TimingTest, FormatDuration)
+{
+    EXPECT_EQ(formatDuration(500), "500 ns");
+    EXPECT_EQ(formatDuration(1500), "1.50 us");
+    EXPECT_EQ(formatDuration(2500000), "2.50 ms");
+    EXPECT_EQ(formatDuration(3000000000LL), "3.000 s");
+}
+
+// --------------------------- logging --------------------------------
+
+TEST(LoggingTest, LevelRoundTrips)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    EXPECT_NO_THROW(inform("hidden"));
+    EXPECT_NO_THROW(warn("hidden"));
+    EXPECT_NO_THROW(debug("hidden"));
+    setLogLevel(original);
+}
+
+} // namespace
+} // namespace perple

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the PerpLE Converter (Section III-B / Table I): arithmetic
+ * sequence strides, convertibility checks, program shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+
+namespace perple::core
+{
+namespace
+{
+
+TEST(ConverterTest, SbConversionMatchesFigure4)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const PerpetualTest perpetual = convert(sb);
+
+    // k_x = k_y = 1: stores become n + 1 (Figure 4).
+    EXPECT_EQ(perpetual.strides, (std::vector<int>{1, 1}));
+    ASSERT_EQ(perpetual.programs.size(), 2u);
+    const auto &store = perpetual.programs[0].ops[0];
+    EXPECT_EQ(store.kind, litmus::OpKind::Store);
+    EXPECT_EQ(store.value.stride, 1);
+    EXPECT_EQ(store.value.offset, 1);
+    // The load is unchanged (Table I).
+    EXPECT_EQ(perpetual.programs[0].ops[1].kind, litmus::OpKind::Load);
+}
+
+TEST(ConverterTest, StridesCountDistinctConstantsPerLocation)
+{
+    const auto &rfi013 = litmus::findTest("rfi013").test;
+    const PerpetualTest perpetual = convert(rfi013);
+    const auto loc_x =
+        static_cast<std::size_t>(rfi013.locationId("x"));
+    const auto loc_y =
+        static_cast<std::size_t>(rfi013.locationId("y"));
+    EXPECT_EQ(perpetual.strides[loc_x], 2);
+    EXPECT_EQ(perpetual.strides[loc_y], 1);
+
+    // Store of constant 2 to x becomes 2n + 2.
+    const auto &second_store = perpetual.programs[0].ops[1];
+    EXPECT_EQ(second_store.value.stride, 2);
+    EXPECT_EQ(second_store.value.offset, 2);
+}
+
+TEST(ConverterTest, FencesSurviveConversion)
+{
+    const auto &amd5 = litmus::findTest("amd5").test;
+    const PerpetualTest perpetual = convert(amd5);
+    EXPECT_EQ(perpetual.programs[0].ops[1].kind,
+              litmus::OpKind::Fence);
+}
+
+TEST(ConverterTest, FrameThreadsAreLoadThreads)
+{
+    const auto &mp = litmus::findTest("mp").test;
+    const PerpetualTest perpetual = convert(mp);
+    EXPECT_EQ(perpetual.frameThreads,
+              (std::vector<litmus::ThreadId>{1}));
+    EXPECT_EQ(perpetual.loadsPerIteration, (std::vector<int>{0, 2}));
+}
+
+TEST(ConverterTest, WholeSuiteConverts)
+{
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const PerpetualTest perpetual = convert(entry.test);
+        EXPECT_EQ(perpetual.programs.size(),
+                  static_cast<std::size_t>(entry.test.numThreads()))
+            << entry.test.name;
+        // Every store operand must carry the location's stride.
+        for (const auto &program : perpetual.programs) {
+            for (const auto &op : program.ops) {
+                if (op.kind != litmus::OpKind::Store)
+                    continue;
+                EXPECT_EQ(op.value.stride,
+                          perpetual.strides[static_cast<std::size_t>(
+                              op.loc)])
+                    << entry.test.name;
+            }
+        }
+    }
+}
+
+TEST(ConverterTest, IsConvertibleAcceptsRegisterOutcomes)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    std::string reason;
+    EXPECT_TRUE(isConvertible(sb, {sb.target}, reason));
+    EXPECT_TRUE(reason.empty());
+}
+
+TEST(ConverterTest, IsConvertibleRejectsMemoryOutcomes)
+{
+    const auto &variant = litmus::findTest("sb+final").test;
+    std::string reason;
+    EXPECT_FALSE(isConvertible(variant, {variant.target}, reason));
+    EXPECT_NE(reason.find("shared memory"), std::string::npos);
+}
+
+TEST(ConverterTest, IsConvertibleRejectsLoadFreeTests)
+{
+    const auto &ww = litmus::findTest("w+w").test;
+    std::string reason;
+    EXPECT_FALSE(isConvertible(ww, {}, reason));
+    EXPECT_NE(reason.find("no frames"), std::string::npos);
+}
+
+TEST(ConverterTest, ConvertThrowsOnNonConvertible)
+{
+    const auto &variant = litmus::findTest("sb+final").test;
+    EXPECT_THROW(convert(variant), UserError);
+}
+
+TEST(ConverterTest, ConvertValidatesInput)
+{
+    litmus::Test broken = litmus::findTest("sb").test;
+    broken.threads[0].instructions[0].value = -1;
+    EXPECT_THROW(convert(broken), UserError);
+}
+
+} // namespace
+} // namespace perple::core

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the exhaustive (Algorithm 1) and heuristic (Algorithm 2)
+ * outcome counters: hand-computed lockstep fixtures, a brute-force
+ * frame oracle, heuristic-plan structure, the paper's
+ * heuristic-accuracy property across the suite, and no-false-positive
+ * properties for forbidden targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "litmus/builder.h"
+#include "litmus/outcome.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/perpetual_outcome.h"
+#include "sim/machine.h"
+
+namespace perple::core
+{
+namespace
+{
+
+using litmus::SuiteEntry;
+using litmus::Value;
+
+/**
+ * Build the bufs of a perfectly synchronized perpetual sb run where
+ * every iteration produced the given classic outcome.
+ *
+ * @param iterations N.
+ * @param reg0 Classic value of 0:EAX (0 or 1): 0 maps to "previous
+ *        partner value" (n), 1 maps to "partner's current" (n + 1).
+ * @param reg1 Same for 1:EAX.
+ */
+std::vector<std::vector<Value>>
+lockstepSbBufs(std::int64_t iterations, int reg0, int reg1)
+{
+    std::vector<std::vector<Value>> bufs(2);
+    for (std::int64_t n = 0; n < iterations; ++n) {
+        bufs[0].push_back(reg0 == 0 ? n : n + 1);
+        bufs[1].push_back(reg1 == 0 ? n : n + 1);
+    }
+    return bufs;
+}
+
+std::vector<PerpetualOutcome>
+sbOutcomes()
+{
+    const auto &sb = litmus::findTest("sb").test;
+    return buildPerpetualOutcomes(
+        sb, litmus::enumerateRegisterOutcomes(sb));
+}
+
+// ------------------------ exhaustive counter ------------------------
+
+TEST(ExhaustiveCounterTest, LockstepTargetRun)
+{
+    // Every iteration was a (0,0) target occurrence in lockstep: the
+    // diagonal frames must all satisfy p_out_0; in fact every frame
+    // (n, m) with buf_0[n] = n <= m and buf_1[m] = m <= n only holds
+    // on the diagonal... together with off-diagonal frames satisfying
+    // outcomes 1 and 2 instead.
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    const std::int64_t n_iters = 20;
+    const auto counts =
+        counter.count(n_iters, lockstepSbBufs(n_iters, 0, 0));
+
+    // Diagonal: outcome 0. Above-diagonal (n < m): buf_0[n]=n<=m and
+    // buf_1[m]=m>=n+1 -> outcome 1. Below: outcome 2. Outcome 3 never.
+    EXPECT_EQ(counts[0], 20u);
+    EXPECT_EQ(counts[1], 190u);
+    EXPECT_EQ(counts[2], 190u);
+    EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(ExhaustiveCounterTest, LockstepScRun)
+{
+    // Classic SC run where thread 1 always saw thread 0's store:
+    // buf_0[n] = n (read 0), buf_1[m] = m + 1 (read 1).
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    const std::int64_t n_iters = 10;
+    const auto counts =
+        counter.count(n_iters, lockstepSbBufs(n_iters, 0, 1));
+
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    EXPECT_EQ(total, 100u); // Every frame matches exactly one outcome.
+    EXPECT_EQ(counts[3], 0u);
+    // The target outcome needs buf_1[m] = m + 1 <= n strictly below
+    // the diagonal AND buf_0[n] = n <= m: impossible.
+    EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(ExhaustiveCounterTest, EvaluateSingleFrames)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    const auto bufs = lockstepSbBufs(10, 0, 0);
+
+    EXPECT_TRUE(counter.evaluate(0, {3, 3}, 10, bufs));  // Diagonal.
+    EXPECT_FALSE(counter.evaluate(0, {3, 2}, 10, bufs)); // Below.
+    EXPECT_TRUE(counter.evaluate(2, {3, 2}, 10, bufs));
+    EXPECT_TRUE(counter.evaluate(1, {2, 3}, 10, bufs));
+    EXPECT_FALSE(counter.evaluate(3, {2, 3}, 10, bufs));
+}
+
+TEST(ExhaustiveCounterTest, EvaluateValidatesArity)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    const auto bufs = lockstepSbBufs(4, 0, 0);
+    EXPECT_THROW(counter.evaluate(0, {1}, 4, bufs), UserError);
+    EXPECT_THROW(counter.evaluate(9, {1, 1}, 4, bufs), UserError);
+}
+
+TEST(ExhaustiveCounterTest, FirstMatchCountsAtMostOnePerFrame)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    const std::int64_t n_iters = 16;
+    const auto counts =
+        counter.count(n_iters, lockstepSbBufs(n_iters, 0, 0));
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    EXPECT_LE(total, static_cast<std::uint64_t>(n_iters * n_iters));
+}
+
+TEST(ExhaustiveCounterTest, IndependentModeCountsEveryOutcome)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    const auto bufs = lockstepSbBufs(12, 0, 0);
+    const auto first = counter.count(12, bufs, CountMode::FirstMatch);
+    const auto indep = counter.count(12, bufs, CountMode::Independent);
+    for (std::size_t o = 0; o < first.size(); ++o)
+        EXPECT_GE(indep[o], first[o]);
+}
+
+// ----------------------- brute-force oracle -------------------------
+
+TEST(ExhaustiveCounterTest, AgreesWithBruteForceOracleOnRandomBufs)
+{
+    // Random (well-formed) buf contents: count() must agree with a
+    // direct loop over frames calling evaluate().
+    const auto &sb = litmus::findTest("sb").test;
+    const ExhaustiveCounter counter(sb, sbOutcomes());
+    Rng rng(2024);
+
+    for (int round = 0; round < 10; ++round) {
+        const std::int64_t n_iters = 12;
+        std::vector<std::vector<Value>> bufs(2);
+        for (auto &buf : bufs)
+            for (std::int64_t i = 0; i < n_iters; ++i)
+                buf.push_back(
+                    rng.nextInRange(0, n_iters)); // Sequence values.
+
+        const auto counts = counter.count(n_iters, bufs);
+
+        Counts oracle(4, 0);
+        for (std::int64_t a = 0; a < n_iters; ++a) {
+            for (std::int64_t b = 0; b < n_iters; ++b) {
+                for (std::size_t o = 0; o < 4; ++o) {
+                    if (counter.evaluate(o, {a, b}, n_iters, bufs)) {
+                        ++oracle[o];
+                        break;
+                    }
+                }
+            }
+        }
+        EXPECT_EQ(counts, oracle) << "round " << round;
+    }
+}
+
+// ------------------------ heuristic counter -------------------------
+
+TEST(HeuristicCounterTest, SbPlansMatchFigure8)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const HeuristicCounter counter(sb, sbOutcomes());
+
+    EXPECT_FALSE(counter.usedFallback());
+    for (std::size_t o = 0; o < 4; ++o) {
+        EXPECT_EQ(counter.pivotThread(o), 0) << "outcome " << o;
+        ASSERT_EQ(counter.planSteps(o).size(), 1u) << "outcome " << o;
+        const ResolutionStep &step = counter.planSteps(o)[0];
+        EXPECT_EQ(step.targetThread, 1);
+        EXPECT_EQ(step.sourceThread, 0);
+        EXPECT_FALSE(step.fallback);
+        // One condition is consumed by the substitution (Figure 8's
+        // red rows).
+        EXPECT_EQ(counter.consumedConditions(o).size(), 1u);
+    }
+    // Outcomes 0/1 decode via fr (m = buf_0[n]); 2/3 via rf
+    // (m = buf_0[n] - 1).
+    EXPECT_FALSE(counter.planSteps(0)[0].rfDecode);
+    EXPECT_FALSE(counter.planSteps(1)[0].rfDecode);
+    EXPECT_TRUE(counter.planSteps(2)[0].rfDecode);
+    EXPECT_TRUE(counter.planSteps(3)[0].rfDecode);
+}
+
+TEST(HeuristicCounterTest, LockstepTargetRunFindsTargetEverywhere)
+{
+    // In the lockstep (0,0) fixture, p_out_h_0 = buf_1[buf_0[n]] <= n
+    // with buf_0[n] = n and buf_1[n] = n: true for every n.
+    const auto &sb = litmus::findTest("sb").test;
+    const HeuristicCounter counter(sb, sbOutcomes());
+    const auto counts = counter.count(20, lockstepSbBufs(20, 0, 0));
+    EXPECT_EQ(counts[0], 20u);
+}
+
+TEST(HeuristicCounterTest, OutOfRangeDecodeIsRejectedSafely)
+{
+    // Buf values far outside the sequence range must not crash or
+    // count; they decode to out-of-range partner indices.
+    const auto &sb = litmus::findTest("sb").test;
+    const HeuristicCounter counter(sb, sbOutcomes());
+    std::vector<std::vector<Value>> bufs(2);
+    for (int i = 0; i < 8; ++i) {
+        bufs[0].push_back(1000000);
+        bufs[1].push_back(1000000);
+    }
+    const auto counts = counter.count(8, bufs);
+    for (const auto c : counts)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(HeuristicCounterTest, MpPlanNeedsNoSteps)
+{
+    // T_L = 1: the pivot is the only frame thread; the store thread is
+    // handled existentially.
+    const auto &mp = litmus::findTest("mp").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(mp);
+    const HeuristicCounter counter(
+        mp, buildPerpetualOutcomes(mp, outcomes));
+    for (std::size_t o = 0; o < outcomes.size(); ++o)
+        EXPECT_TRUE(counter.planSteps(o).empty());
+    EXPECT_FALSE(counter.usedFallback());
+}
+
+TEST(HeuristicCounterTest, Rfi015PlannerPicksTheWorkingPivot)
+{
+    // With pivot T0, T2's index cannot be decoded (T0 only reads from
+    // itself and the store-only thread); the planner must instead
+    // pick T2, whose x load decodes T0's index, avoiding the
+    // fallback.
+    const auto &rfi015 = litmus::findTest("rfi015").test;
+    const HeuristicCounter counter(
+        rfi015,
+        buildPerpetualOutcomes(rfi015, {rfi015.target}));
+    EXPECT_FALSE(counter.usedFallback());
+    EXPECT_EQ(counter.pivotThread(0), 2);
+}
+
+TEST(HeuristicCounterTest, FallbackWhenNoChainExists)
+{
+    // A test whose two load threads read only the store-only thread's
+    // locations: no substitution chain can link their frame indices.
+    const auto test = litmus::TestBuilder("unlinked")
+        .thread().store("x", 1).store("y", 1)
+        .thread().load("EAX", "x")
+        .thread().load("EAX", "y")
+        .target({{1, "EAX", 1}, {2, "EAX", 0}})
+        .build();
+    const HeuristicCounter counter(
+        test, buildPerpetualOutcomes(test, {test.target}));
+    EXPECT_TRUE(counter.usedFallback());
+}
+
+TEST(HeuristicCounterTest, Podwr001ResolvesTransitively)
+{
+    // Three frame threads chained through two substitutions, no
+    // fallback (T0 reads y from T1; T1 reads z from T2).
+    const auto &podwr001 = litmus::findTest("podwr001").test;
+    const HeuristicCounter counter(
+        podwr001,
+        buildPerpetualOutcomes(podwr001, {podwr001.target}));
+    EXPECT_FALSE(counter.usedFallback());
+    EXPECT_EQ(counter.planSteps(0).size(), 2u);
+}
+
+TEST(HeuristicCounterTest, DescribePlanMentionsDecodes)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const HeuristicCounter counter(sb, sbOutcomes());
+    const std::string plan = counter.describePlan(0);
+    EXPECT_NE(plan.find("pivot: n_0"), std::string::npos);
+    EXPECT_NE(plan.find("fr decode"), std::string::npos);
+    EXPECT_NE(counter.describePlan(2).find("rf decode"),
+              std::string::npos);
+}
+
+// ------------- paper properties across the whole suite --------------
+
+class SuiteCounterTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{
+  protected:
+    /** Run the perpetual test on the simulator and return bufs. */
+    static std::vector<std::vector<Value>>
+    simulate(const PerpetualTest &perpetual, std::int64_t iterations,
+             std::uint64_t seed)
+    {
+        sim::MachineConfig config;
+        config.seed = seed;
+        sim::Machine machine(perpetual.programs,
+                             perpetual.original.numLocations(), config);
+        sim::RunResult run;
+        machine.runFree(iterations, 0, run);
+        return run.bufs;
+    }
+};
+
+TEST_P(SuiteCounterTest, HeuristicNeverExceedsExhaustiveForTarget)
+{
+    // With a single outcome of interest, every heuristic hit is one
+    // frame that the exhaustive counter also examines.
+    const SuiteEntry &entry = *GetParam();
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto outcomes =
+        buildPerpetualOutcomes(entry.test, {entry.test.target});
+    const std::int64_t n_iters =
+        entry.test.numLoadThreads() >= 3 ? 60 : 300;
+    const auto bufs = simulate(perpetual, n_iters, 555);
+
+    const auto exhaustive =
+        ExhaustiveCounter(entry.test, outcomes).count(n_iters, bufs);
+    const auto heuristic =
+        HeuristicCounter(entry.test, outcomes).count(n_iters, bufs);
+    EXPECT_LE(heuristic[0], exhaustive[0]) << entry.test.name;
+}
+
+TEST_P(SuiteCounterTest, HeuristicAccuracyMatchesPaper)
+{
+    // Section VII-D: whenever the exhaustive counter finds the target,
+    // the heuristic finds it too (not necessarily as often) — and for
+    // forbidden targets neither may fire (no false positives, Fig. 9).
+    const SuiteEntry &entry = *GetParam();
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto outcomes =
+        buildPerpetualOutcomes(entry.test, {entry.test.target});
+    const std::int64_t n_iters =
+        entry.test.numLoadThreads() >= 3 ? 80 : 400;
+
+    const ExhaustiveCounter exhaustive(entry.test, outcomes);
+    const HeuristicCounter heuristic(entry.test, outcomes);
+
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+        const auto bufs = simulate(perpetual, n_iters, seed);
+        const auto exh = exhaustive.count(n_iters, bufs);
+        const auto heur = heuristic.count(n_iters, bufs);
+
+        if (entry.expected == litmus::TsoVerdict::Forbidden) {
+            EXPECT_EQ(exh[0], 0u)
+                << entry.test.name << " seed " << seed
+                << ": exhaustive false positive";
+            EXPECT_EQ(heur[0], 0u)
+                << entry.test.name << " seed " << seed
+                << ": heuristic false positive";
+        } else if (exh[0] > 0) {
+            EXPECT_GT(heur[0], 0u)
+                << entry.test.name << " seed " << seed
+                << ": heuristic missed a target the exhaustive "
+                   "counter found";
+        }
+    }
+}
+
+std::vector<const SuiteEntry *>
+suitePointers()
+{
+    std::vector<const SuiteEntry *> out;
+    for (const auto &entry : litmus::perpetualSuite())
+        out.push_back(&entry);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SuiteCounterTest, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const SuiteEntry *> &param_info) {
+        std::string name = param_info.param->test.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace perple::core

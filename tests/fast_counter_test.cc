@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the O(N log N) exact exhaustive counter: applicability,
+ * exact agreement with the brute-force Algorithm-1 counter across
+ * suite tests, seeds and iteration counts, and edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/fast_counter.h"
+#include "sim/machine.h"
+
+namespace perple::core
+{
+namespace
+{
+
+using litmus::Value;
+
+std::vector<std::vector<Value>>
+simulate(const std::string &name, std::int64_t iterations,
+         std::uint64_t seed)
+{
+    const auto perpetual = convert(litmus::findTest(name).test);
+    sim::MachineConfig config;
+    config.seed = seed;
+    sim::Machine machine(perpetual.programs,
+                         perpetual.original.numLocations(), config);
+    sim::RunResult run;
+    machine.runFree(iterations, 0, run);
+    return run.bufs;
+}
+
+TEST(FastCounterTest, Applicability)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto sb_outcome =
+        buildPerpetualOutcome(sb, sb.target);
+    EXPECT_TRUE(FastExhaustiveCounter::isApplicable(sb, sb_outcome));
+
+    // mp: one frame thread plus an existential store thread.
+    const auto &mp = litmus::findTest("mp").test;
+    const auto mp_outcome = buildPerpetualOutcome(mp, mp.target);
+    EXPECT_FALSE(FastExhaustiveCounter::isApplicable(mp, mp_outcome));
+    EXPECT_THROW(FastExhaustiveCounter(mp, mp_outcome), UserError);
+
+    // podwr001: three frame threads.
+    const auto &p3 = litmus::findTest("podwr001").test;
+    EXPECT_FALSE(FastExhaustiveCounter::isApplicable(
+        p3, buildPerpetualOutcome(p3, p3.target)));
+
+    // rfi015: two frame threads but an existential middle thread.
+    const auto &rfi015 = litmus::findTest("rfi015").test;
+    EXPECT_FALSE(FastExhaustiveCounter::isApplicable(
+        rfi015, buildPerpetualOutcome(rfi015, rfi015.target)));
+}
+
+TEST(FastCounterTest, MatchesBruteForceOnSbAllOutcomes)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    const auto perpetual_outcomes = buildPerpetualOutcomes(sb, outcomes);
+    const ExhaustiveCounter brute(sb, perpetual_outcomes);
+
+    for (const std::uint64_t seed : {1ULL, 9ULL, 77ULL}) {
+        const auto bufs = simulate("sb", 300, seed);
+        const auto expected =
+            brute.count(300, bufs, CountMode::Independent);
+        for (std::size_t o = 0; o < perpetual_outcomes.size(); ++o) {
+            const FastExhaustiveCounter fast(sb,
+                                             perpetual_outcomes[o]);
+            EXPECT_EQ(fast.count(300, bufs), expected[o])
+                << "outcome " << o << " seed " << seed;
+        }
+    }
+}
+
+TEST(FastCounterTest, MatchesBruteForceAcrossApplicableSuite)
+{
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const auto outcome =
+            buildPerpetualOutcome(entry.test, entry.test.target);
+        if (!FastExhaustiveCounter::isApplicable(entry.test, outcome))
+            continue;
+        const auto perpetual = convert(entry.test);
+        sim::MachineConfig config;
+        config.seed = 23;
+        sim::Machine machine(perpetual.programs,
+                             entry.test.numLocations(), config);
+        sim::RunResult run;
+        machine.runFree(200, 0, run);
+
+        const ExhaustiveCounter brute(entry.test, {outcome});
+        const FastExhaustiveCounter fast(entry.test, outcome);
+        EXPECT_EQ(fast.count(200, run.bufs),
+                  brute.count(200, run.bufs,
+                              CountMode::Independent)[0])
+            << entry.test.name;
+    }
+}
+
+TEST(FastCounterTest, ScalesToMillionIterations)
+{
+    // The point of the extension: exact N^2-frame counts at a scale
+    // where the brute-force scan would need 10^12 evaluations.
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcome = buildPerpetualOutcome(sb, sb.target);
+    const FastExhaustiveCounter fast(sb, outcome);
+    const auto bufs = simulate("sb", 1000000, 5);
+    const std::uint64_t count = fast.count(1000000, bufs);
+    EXPECT_GT(count, 0u);
+}
+
+TEST(FastCounterTest, RejectsZeroIterations)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const FastExhaustiveCounter fast(
+        sb, buildPerpetualOutcome(sb, sb.target));
+    EXPECT_THROW(fast.count(0, {}), UserError);
+}
+
+} // namespace
+} // namespace perple::core

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the litmus-test generator, plus generator-driven fuzzing
+ * of the whole pipeline: freshly generated tests must round-trip
+ * through the parser, agree between the operational and axiomatic
+ * model checkers, convert cleanly, and never produce false positives
+ * for TSO-forbidden targets on the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "generate/generator.h"
+#include "litmus/parser.h"
+#include "litmus/validator.h"
+#include "litmus/writer.h"
+#include "model/axiomatic.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+
+namespace perple::generate
+{
+namespace
+{
+
+GeneratorConfig
+defaultConfig()
+{
+    return GeneratorConfig{};
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed)
+{
+    const auto a = generateSuite(5, defaultConfig(), 42);
+    const auto b = generateSuite(5, defaultConfig(), 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(litmus::writeTest(a[i].test),
+                  litmus::writeTest(b[i].test));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer)
+{
+    const auto a = generateSuite(5, defaultConfig(), 1);
+    const auto b = generateSuite(5, defaultConfig(), 2);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (litmus::writeTest(a[i].test).substr(10) ==
+            litmus::writeTest(b[i].test).substr(10))
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(GeneratorTest, AllGeneratedTestsValidate)
+{
+    for (const auto &g : generateSuite(20, defaultConfig(), 7)) {
+        const auto result = litmus::validate(g.test);
+        EXPECT_TRUE(result.ok())
+            << g.test.name << ": "
+            << (result.problems.empty() ? "" : result.problems[0]);
+    }
+}
+
+TEST(GeneratorTest, ShapeRespectsConfig)
+{
+    GeneratorConfig config;
+    config.minThreads = 2;
+    config.maxThreads = 4;
+    config.maxOpsPerThread = 2;
+    for (const auto &g : generateSuite(15, config, 9)) {
+        EXPECT_GE(g.test.numThreads(), 2);
+        EXPECT_LE(g.test.numThreads(), 4);
+        for (const auto &thread : g.test.threads) {
+            EXPECT_LE(thread.numLoads() + thread.numStores(), 2)
+                << g.test.name;
+        }
+    }
+}
+
+TEST(GeneratorTest, TargetsAreInformative)
+{
+    // Every generated target is SC-forbidden (Section II-B's notion of
+    // a target outcome) and its stored verdicts are accurate.
+    for (const auto &g : generateSuite(20, defaultConfig(), 11)) {
+        EXPECT_FALSE(model::allows(g.test, g.test.target,
+                                   model::MemoryModel::SC))
+            << g.test.name;
+        const bool tso = model::allows(g.test, g.test.target,
+                                       model::MemoryModel::TSO);
+        EXPECT_EQ(tso, g.tsoVerdict == litmus::TsoVerdict::Allowed)
+            << g.test.name;
+        const bool pso = model::allows(g.test, g.test.target,
+                                       model::MemoryModel::PSO);
+        EXPECT_EQ(pso, g.psoVerdict == litmus::TsoVerdict::Allowed)
+            << g.test.name;
+    }
+}
+
+TEST(GeneratorTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &g : generateSuite(20, defaultConfig(), 13))
+        EXPECT_TRUE(names.insert(g.test.name).second);
+}
+
+TEST(GeneratorTest, RejectsBadConfig)
+{
+    GeneratorConfig config;
+    config.minThreads = 1;
+    EXPECT_THROW(generateSuite(1, config, 1), UserError);
+}
+
+// ------------------------- fuzz pipelines ---------------------------
+
+TEST(GeneratorFuzzTest, ParserRoundTripsGeneratedTests)
+{
+    for (const auto &g : generateSuite(25, defaultConfig(), 21)) {
+        const litmus::Test reparsed =
+            litmus::parseTest(litmus::writeTest(g.test));
+        EXPECT_EQ(reparsed.target, g.test.target) << g.test.name;
+        EXPECT_EQ(reparsed.numThreads(), g.test.numThreads());
+    }
+}
+
+TEST(GeneratorFuzzTest, OraclesAgreeOnGeneratedTests)
+{
+    // The strongest model-layer fuzz: operational == axiomatic on
+    // every outcome of every generated test, under all three models.
+    for (const auto &g : generateSuite(20, defaultConfig(), 23)) {
+        for (const auto &outcome :
+             litmus::enumerateRegisterOutcomes(g.test)) {
+            for (const auto model :
+                 {model::MemoryModel::SC, model::MemoryModel::TSO,
+                  model::MemoryModel::PSO}) {
+                EXPECT_EQ(model::allows(g.test, outcome, model),
+                          model::allowsAxiomatic(g.test, outcome,
+                                                 model))
+                    << g.test.name << " "
+                    << outcome.toString(g.test) << " "
+                    << model::memoryModelName(model);
+            }
+        }
+    }
+}
+
+TEST(GeneratorFuzzTest, ConversionAndCountersOnGeneratedTests)
+{
+    // Generated tests flow through the full PerpLE pipeline:
+    // convertible, counters run, heuristic <= exhaustive for the
+    // target, and TSO-forbidden targets are never counted.
+    for (const auto &g : generateSuite(15, defaultConfig(), 29)) {
+        std::string reason;
+        ASSERT_TRUE(
+            core::isConvertible(g.test, {g.test.target}, reason))
+            << g.test.name << ": " << reason;
+        const core::PerpetualTest perpetual = core::convert(g.test);
+
+        core::HarnessConfig config;
+        config.seed = 5;
+        config.exhaustiveCap = g.test.numLoadThreads() >= 3 ? 120 : 0;
+        const auto result = core::runPerpetual(
+            perpetual, 1500, {g.test.target}, config);
+        const auto exh = (*result.exhaustive)[0];
+        const auto heur = (*result.heuristic)[0];
+
+        if (g.tsoVerdict == litmus::TsoVerdict::Forbidden) {
+            EXPECT_EQ(heur, 0u)
+                << g.test.name << ": heuristic false positive on\n"
+                << litmus::writeTest(g.test);
+            if (result.exhaustiveIterations == 1500) {
+                EXPECT_EQ(exh, 0u)
+                    << g.test.name
+                    << ": exhaustive false positive on\n"
+                    << litmus::writeTest(g.test);
+            }
+        } else if (exh > 0 &&
+                   result.exhaustiveIterations == 1500) {
+            // Single-outcome interest: every heuristic hit is a frame
+            // the exhaustive counter also inspects.
+            EXPECT_LE(heur, exh) << g.test.name;
+        }
+    }
+}
+
+TEST(GeneratorFuzzTest, GeneratedRelaxedTargetsAreObservable)
+{
+    // TSO-allowed targets should actually surface on the simulator,
+    // demonstrating the generator produces useful relaxed tests.
+    int relaxed = 0, observed = 0;
+    for (const auto &g : generateSuite(15, defaultConfig(), 37)) {
+        if (g.tsoVerdict != litmus::TsoVerdict::Allowed)
+            continue;
+        ++relaxed;
+        const core::PerpetualTest perpetual = core::convert(g.test);
+        core::HarnessConfig config;
+        config.seed = 5;
+        config.runExhaustive = false;
+        const auto result = core::runPerpetual(
+            perpetual, 4000, {g.test.target}, config);
+        if ((*result.heuristic)[0] > 0)
+            ++observed;
+    }
+    if (relaxed > 0) {
+        EXPECT_GT(observed, 0);
+    }
+}
+
+} // namespace
+} // namespace perple::generate

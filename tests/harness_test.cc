@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the PerpLE Harness (Section V-B) and the thread-skew
+ * analysis (Figure 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/harness.h"
+#include "perple/skew.h"
+
+namespace perple::core
+{
+namespace
+{
+
+HarnessConfig
+simConfig(std::uint64_t seed = 42)
+{
+    HarnessConfig config;
+    config.backend = Backend::Simulator;
+    config.seed = seed;
+    return config;
+}
+
+TEST(HarnessTest, RunsBothCounters)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto result = runPerpetual(perpetual, 500,
+                                     {entry.test.target}, simConfig());
+
+    ASSERT_TRUE(result.exhaustive.has_value());
+    ASSERT_TRUE(result.heuristic.has_value());
+    EXPECT_EQ(result.exhaustive->size(), 1u);
+    EXPECT_EQ(result.iterations, 500);
+    EXPECT_EQ(result.exhaustiveIterations, 500);
+    EXPECT_GT(result.timing.phaseNs("exec"), 0);
+    EXPECT_GT(result.timing.phaseNs("count-exhaustive"), 0);
+    EXPECT_GT(result.timing.phaseNs("count-heuristic"), 0);
+    EXPECT_GT(result.heuristicSeconds(), 0.0);
+    EXPECT_GT(result.exhaustiveSeconds(), 0.0);
+}
+
+TEST(HarnessTest, CountersCanBeDisabled)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.runExhaustive = false;
+    const auto result =
+        runPerpetual(perpetual, 200, {entry.test.target}, config);
+    EXPECT_FALSE(result.exhaustive.has_value());
+    EXPECT_TRUE(result.heuristic.has_value());
+    EXPECT_EQ(result.timing.phaseNs("count-exhaustive"), 0);
+}
+
+TEST(HarnessTest, ExhaustiveCapLimitsFrameSpace)
+{
+    const auto &entry = litmus::findTest("podwr001");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.exhaustiveCap = 50;
+    const auto result =
+        runPerpetual(perpetual, 400, {entry.test.target}, config);
+    EXPECT_EQ(result.exhaustiveIterations, 50);
+    // The heuristic still covers the full run.
+    EXPECT_TRUE(result.heuristic.has_value());
+}
+
+TEST(HarnessTest, DeterministicUnderSeed)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto a = runPerpetual(perpetual, 300, {entry.test.target},
+                                simConfig(7));
+    const auto b = runPerpetual(perpetual, 300, {entry.test.target},
+                                simConfig(7));
+    EXPECT_EQ(*a.exhaustive, *b.exhaustive);
+    EXPECT_EQ(*a.heuristic, *b.heuristic);
+    EXPECT_EQ(a.run.bufs, b.run.bufs);
+}
+
+TEST(HarnessTest, BufValuesAreSequenceMembers)
+{
+    // Perpetual sb: every x/y value is in {0} U {n + 1}.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const std::int64_t n_iters = 400;
+    const auto result = runPerpetual(perpetual, n_iters,
+                                     {entry.test.target}, simConfig());
+    for (const auto &buf : result.run.bufs)
+        for (const auto v : buf) {
+            EXPECT_GE(v, 0);
+            EXPECT_LE(v, n_iters);
+        }
+}
+
+TEST(HarnessTest, SharedMemoryIsNeverReset)
+{
+    // Final memory of a perpetual run holds late sequence members,
+    // not zeroes (the conversion removed per-iteration zeroing).
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto result = runPerpetual(perpetual, 100,
+                                     {entry.test.target}, simConfig());
+    EXPECT_EQ(result.run.memory[0], 100); // Last store: n=99 -> 100.
+    EXPECT_EQ(result.run.memory[1], 100);
+}
+
+TEST(HarnessTest, NativeBackendSmokes)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config;
+    config.backend = Backend::Native;
+    const auto result =
+        runPerpetual(perpetual, 200, {entry.test.target}, config);
+    EXPECT_TRUE(result.exhaustive.has_value());
+    EXPECT_EQ(result.run.bufs[0].size(), 200u);
+}
+
+TEST(HarnessTest, RejectsZeroIterations)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    EXPECT_THROW(
+        runPerpetual(perpetual, 0, {entry.test.target}, simConfig()),
+        UserError);
+}
+
+// ------------------------------ skew --------------------------------
+
+TEST(SkewTest, HandBuiltRunHasKnownSkew)
+{
+    // sb bufs where thread 0 always reads the value of thread 1's
+    // iteration n - 3 (skew +3) and thread 1 reads thread 0's
+    // iteration n - 5 (skew +5). Values: stored by iteration m is
+    // m + 1.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    sim::RunResult run;
+    run.bufs.resize(2);
+    const std::int64_t n_iters = 50;
+    for (std::int64_t n = 0; n < n_iters; ++n) {
+        run.bufs[0].push_back(n >= 3 ? (n - 3) + 1 : 0);
+        run.bufs[1].push_back(n >= 5 ? (n - 5) + 1 : 0);
+    }
+    const auto histogram = measureSkew(perpetual, run, n_iters);
+    // 47 samples at +3 and 45 at +5 (zero reads are skipped).
+    EXPECT_EQ(histogram.count(), 47u + 45u);
+    EXPECT_EQ(histogram.at(3), 47u);
+    EXPECT_EQ(histogram.at(5), 45u);
+    EXPECT_EQ(histogram.at(0), 0u);
+}
+
+TEST(SkewTest, OwnForwardedReadsCarryNoSkew)
+{
+    // iwp24: the same-location loads forward the own store; only the
+    // cross-thread loads contribute samples.
+    const auto &entry = litmus::findTest("iwp24");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.runExhaustive = false;
+    const std::int64_t n_iters = 300;
+    const auto result = runPerpetual(perpetual, n_iters,
+                                     {entry.test.target}, config);
+    const auto histogram =
+        measureSkew(perpetual, result.run, n_iters);
+    // At most one cross-thread sample per thread per iteration.
+    EXPECT_LE(histogram.count(), 2u * n_iters);
+    EXPECT_GT(histogram.count(), 0u);
+}
+
+TEST(SkewTest, SimulatedSkewIsCenteredAndSpread)
+{
+    // Figure 12's shape: wide distribution, denser around zero.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig(2024);
+    config.runExhaustive = false;
+    const std::int64_t n_iters = 20000;
+    const auto result = runPerpetual(perpetual, n_iters,
+                                     {entry.test.target}, config);
+    const auto histogram =
+        measureSkew(perpetual, result.run, n_iters);
+    ASSERT_GT(histogram.count(), 10000u);
+    EXPECT_LT(std::abs(histogram.mean()), 30.0);
+    EXPECT_GT(histogram.stddev(), 3.0);
+    EXPECT_LT(histogram.min(), 0);
+    EXPECT_GT(histogram.max(), 0);
+}
+
+} // namespace
+} // namespace perple::core

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * End-to-end integration tests: the full PerpLE workflow of Figure 3
+ * (convert -> run -> count), the buggy-machine detection story that
+ * motivates consistency testing, the PerpLE-vs-litmus7 comparison
+ * properties behind Figures 9 and 11, and the Section VII-G corpus
+ * routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/registry.h"
+#include "litmus7/runner.h"
+#include "model/classify.h"
+#include "perple/converter.h"
+#include "perple/harness.h"
+
+namespace perple
+{
+namespace
+{
+
+using litmus::SuiteEntry;
+using litmus::TsoVerdict;
+
+core::HarnessConfig
+perpleConfig(std::uint64_t seed = 1)
+{
+    core::HarnessConfig config;
+    config.backend = core::Backend::Simulator;
+    config.seed = seed;
+    config.runExhaustive = false; // Evaluation default (Section VII-B).
+    return config;
+}
+
+TEST(IntegrationTest, Figure3WorkflowOnSb)
+{
+    // Convert, run 10k iterations, count: the target outcome must be
+    // observed (it is allowed on x86-TSO) many times.
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config = perpleConfig();
+    config.runExhaustive = true;
+    const auto result = core::runPerpetual(perpetual, 10000,
+                                           {entry.test.target}, config);
+    EXPECT_GT((*result.exhaustive)[0], 1000u);
+    EXPECT_GT((*result.heuristic)[0], 100u);
+}
+
+TEST(IntegrationTest, PerpleFindsAllAllowedTargets)
+{
+    // Figure 9's headline: PerpLE exposes the target outcome of every
+    // allowed test (litmus7 misses several at this scale).
+    for (const auto &entry : litmus::perpetualSuite()) {
+        if (entry.expected != TsoVerdict::Allowed)
+            continue;
+        const auto perpetual = core::convert(entry.test);
+        const auto result = core::runPerpetual(
+            perpetual, 10000, {entry.test.target}, perpleConfig(31));
+        EXPECT_GT((*result.heuristic)[0], 0u) << entry.test.name;
+    }
+}
+
+TEST(IntegrationTest, PerpleNeverReportsForbiddenTargets)
+{
+    // Figure 9's no-false-positive property at evaluation scale.
+    for (const auto &entry : litmus::perpetualSuite()) {
+        if (entry.expected != TsoVerdict::Forbidden)
+            continue;
+        const auto perpetual = core::convert(entry.test);
+        const auto result = core::runPerpetual(
+            perpetual, 5000, {entry.test.target}, perpleConfig(31));
+        EXPECT_EQ((*result.heuristic)[0], 0u) << entry.test.name;
+    }
+}
+
+TEST(IntegrationTest, PerpleDetectsMoreTargetsThanLitmus7)
+{
+    // Figure 9's comparison on sb at 10k iterations: PerpLE heuristic
+    // beats every litmus7 mode.
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    const auto perple_result = core::runPerpetual(
+        perpetual, 10000, {entry.test.target}, perpleConfig(5));
+    const auto perple_count = (*perple_result.heuristic)[0];
+
+    for (const auto mode : runtime::allSyncModes()) {
+        litmus7::Litmus7Config config;
+        config.mode = mode;
+        config.seed = 5;
+        const auto baseline = litmus7::runLitmus7(
+            entry.test, 10000, {entry.test.target}, config);
+        EXPECT_GT(perple_count, baseline.counts[0])
+            << runtime::syncModeName(mode);
+    }
+}
+
+TEST(IntegrationTest, BuggyMachineIsCaughtByPerpLE)
+{
+    // The purpose of the tool: a machine whose store buffers drain
+    // out of order violates TSO; running the forbidden-target mp test
+    // perpetually must expose the violation.
+    const auto &entry = litmus::findTest("mp");
+    ASSERT_EQ(entry.expected, TsoVerdict::Forbidden);
+    const auto perpetual = core::convert(entry.test);
+
+    core::HarnessConfig config = perpleConfig(13);
+    config.machine.fifoStoreBuffers = false; // Injected hardware bug.
+    const auto result = core::runPerpetual(perpetual, 20000,
+                                           {entry.test.target}, config);
+    EXPECT_GT((*result.heuristic)[0], 0u)
+        << "the TSO violation went undetected";
+
+    // Control: the correct machine stays clean.
+    config.machine.fifoStoreBuffers = true;
+    const auto clean = core::runPerpetual(perpetual, 20000,
+                                          {entry.test.target}, config);
+    EXPECT_EQ((*clean.heuristic)[0], 0u);
+}
+
+TEST(IntegrationTest, BrokenFenceIsCaughtByPerpLE)
+{
+    const auto &entry = litmus::findTest("amd5");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config = perpleConfig(17);
+    config.machine.fenceDrainsBuffer = false; // Injected bug.
+    const auto result = core::runPerpetual(perpetual, 20000,
+                                           {entry.test.target}, config);
+    EXPECT_GT((*result.heuristic)[0], 0u);
+}
+
+TEST(IntegrationTest, DetectionRateBeatsLitmus7User)
+{
+    // Figure 11's metric on sb: target occurrences per second, PerpLE
+    // heuristic vs litmus7 user mode, same iteration count.
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    const std::int64_t n_iters = 20000;
+
+    const auto perple_result = core::runPerpetual(
+        perpetual, n_iters, {entry.test.target}, perpleConfig(23));
+    const double perple_rate =
+        static_cast<double>((*perple_result.heuristic)[0]) /
+        perple_result.heuristicSeconds();
+
+    litmus7::Litmus7Config config;
+    config.mode = runtime::SyncMode::User;
+    config.seed = 23;
+    const auto baseline = litmus7::runLitmus7(
+        entry.test, n_iters, {entry.test.target}, config);
+    const double baseline_rate =
+        static_cast<double>(baseline.counts[0]) /
+        baseline.totalSeconds();
+
+    EXPECT_GT(perple_rate, 100.0 * baseline_rate);
+}
+
+TEST(IntegrationTest, Section7GRouting)
+{
+    // The combined flow: convertible tests go to PerpLE, the rest to
+    // litmus7; every corpus entry is handled by exactly one path.
+    int converted = 0, fallback = 0;
+    for (const auto &entry : litmus::extendedCorpus()) {
+        std::string reason;
+        if (core::isConvertible(entry.test, {entry.test.target},
+                                reason)) {
+            EXPECT_TRUE(entry.convertible) << entry.test.name;
+            ++converted;
+        } else {
+            EXPECT_FALSE(entry.convertible) << entry.test.name;
+            EXPECT_FALSE(reason.empty());
+            litmus7::Litmus7Config config;
+            config.mode = runtime::SyncMode::User;
+            const auto result = litmus7::runLitmus7(
+                entry.test, 50, {entry.test.target}, config);
+            EXPECT_EQ(result.iterations, 50) << entry.test.name;
+            ++fallback;
+        }
+    }
+    // 34 suite tests + 3 XCHG extension tests.
+    EXPECT_EQ(converted, 37);
+    EXPECT_GE(fallback, 37);
+}
+
+TEST(IntegrationTest, ClassifierAgreesWithRegistryOnVariants)
+{
+    // The +final variants keep their base verdicts (single-writer
+    // pinning; see registry.cc).
+    for (const char *name : {"sb+final", "mp+final", "iriw+final"}) {
+        const auto &entry = litmus::findTest(name);
+        EXPECT_EQ(model::classifyTargetTso(entry.test), entry.expected)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace perple

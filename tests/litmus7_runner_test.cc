@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the litmus7-style baseline runner: tally semantics, phase
+ * accounting, all five synchronization modes on both backends, and
+ * memory-condition (non-convertible test) handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/outcome.h"
+#include "litmus/registry.h"
+#include "litmus7/cost_model.h"
+#include "litmus7/runner.h"
+#include "model/operational.h"
+
+namespace perple::litmus7
+{
+namespace
+{
+
+Litmus7Config
+simConfig(runtime::SyncMode mode, std::uint64_t seed = 1)
+{
+    Litmus7Config config;
+    config.mode = mode;
+    config.backend = Backend::Simulator;
+    config.seed = seed;
+    return config;
+}
+
+TEST(CostModelTest, EveryModeHasParameters)
+{
+    for (const auto mode : runtime::allSyncModes()) {
+        const SyncCost cost = syncCostFor(mode);
+        EXPECT_GT(cost.spinUnitsPerIteration, 0u)
+            << runtime::syncModeName(mode);
+    }
+    // `none` has no barrier: zero release skew and the lowest cost.
+    EXPECT_EQ(syncCostFor(runtime::SyncMode::None).releaseSkewMeanTicks,
+              0.0);
+    EXPECT_LT(syncCostFor(runtime::SyncMode::None).spinUnitsPerIteration,
+              syncCostFor(runtime::SyncMode::User)
+                  .spinUnitsPerIteration);
+    EXPECT_GT(syncCostFor(runtime::SyncMode::Pthread)
+                  .spinUnitsPerIteration,
+              syncCostFor(runtime::SyncMode::User)
+                  .spinUnitsPerIteration);
+}
+
+TEST(CostModelTest, BurnSpinUnitsIsCallable)
+{
+    burnSpinUnits(0);
+    burnSpinUnits(1000);
+    SUCCEED();
+}
+
+TEST(Litmus7RunnerTest, AllOutcomesTallyToIterationCount)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    const auto result = runLitmus7(
+        sb, 1000, outcomes, simConfig(runtime::SyncMode::User));
+
+    std::uint64_t total = result.unmatched;
+    for (const auto c : result.counts)
+        total += c;
+    EXPECT_EQ(total, 1000u);
+    EXPECT_EQ(result.unmatched, 0u); // The enumeration is complete.
+    EXPECT_EQ(result.iterations, 1000);
+}
+
+TEST(Litmus7RunnerTest, TargetOnlyInterestLeavesUnmatched)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto result = runLitmus7(
+        sb, 1000, {sb.target}, simConfig(runtime::SyncMode::User));
+    EXPECT_EQ(result.counts[0] + result.unmatched, 1000u);
+    EXPECT_GT(result.unmatched, 0u);
+}
+
+TEST(Litmus7RunnerTest, PhasesAreAccounted)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto result = runLitmus7(
+        sb, 2000, {sb.target}, simConfig(runtime::SyncMode::User));
+    EXPECT_GT(result.timing.phaseNs("sync"), 0);
+    EXPECT_GT(result.timing.phaseNs("test"), 0);
+    EXPECT_GT(result.timing.phaseNs("count"), 0);
+    EXPECT_GT(result.totalSeconds(), 0.0);
+}
+
+TEST(Litmus7RunnerTest, UserModeSyncDominatesRuntime)
+{
+    // The paper's Section I claim: user-mode synchronization overhead
+    // never falls below 85% of total runtime on sb.
+    const auto &sb = litmus::findTest("sb").test;
+    const auto result = runLitmus7(
+        sb, 5000, {sb.target}, simConfig(runtime::SyncMode::User));
+    const double sync_fraction =
+        static_cast<double>(result.timing.phaseNs("sync")) /
+        static_cast<double>(result.timing.totalNs());
+    EXPECT_GT(sync_fraction, 0.85);
+}
+
+TEST(Litmus7RunnerTest, DeterministicUnderSeed)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    const auto a = runLitmus7(sb, 500, outcomes,
+                              simConfig(runtime::SyncMode::None, 9));
+    const auto b = runLitmus7(sb, 500, outcomes,
+                              simConfig(runtime::SyncMode::None, 9));
+    EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Litmus7RunnerTest, EveryModeRunsOnSimulator)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    for (const auto mode : runtime::allSyncModes()) {
+        const auto result =
+            runLitmus7(sb, 300, outcomes, simConfig(mode));
+        std::uint64_t total = result.unmatched;
+        for (const auto c : result.counts)
+            total += c;
+        EXPECT_EQ(total, 300u) << runtime::syncModeName(mode);
+    }
+}
+
+TEST(Litmus7RunnerTest, NoForbiddenOutcomesOnCorrectMachine)
+{
+    // The baseline must not report TSO-forbidden outcomes either.
+    for (const char *name : {"mp", "amd5", "lb", "safe006"}) {
+        const auto &entry = litmus::findTest(name);
+        for (const auto mode : runtime::allSyncModes()) {
+            const auto result = runLitmus7(entry.test, 500,
+                                           {entry.test.target},
+                                           simConfig(mode));
+            EXPECT_EQ(result.counts[0], 0u)
+                << name << " under " << runtime::syncModeName(mode);
+        }
+    }
+}
+
+TEST(Litmus7RunnerTest, TimebaseFindsTargetsMoreOftenThanPthread)
+{
+    // The mode ordering of Figure 9: tighter synchronization exposes
+    // relaxed outcomes more often.
+    const auto &sb = litmus::findTest("sb").test;
+    const auto timebase =
+        runLitmus7(sb, 20000, {sb.target},
+                   simConfig(runtime::SyncMode::Timebase));
+    const auto pthread_mode =
+        runLitmus7(sb, 20000, {sb.target},
+                   simConfig(runtime::SyncMode::Pthread));
+    EXPECT_GT(timebase.counts[0], pthread_mode.counts[0]);
+}
+
+TEST(Litmus7RunnerTest, MemoryConditionsAreTallied)
+{
+    // 2+2w: target checks final memory per iteration. On a correct
+    // machine it never occurs; the benign w+w race does.
+    const auto &w2 = litmus::findTest("2+2w").test;
+    auto result = runLitmus7(w2, 400, {w2.target},
+                             simConfig(runtime::SyncMode::User));
+    EXPECT_EQ(result.counts[0], 0u);
+
+    const auto &ww = litmus::findTest("w+w").test;
+    result = runLitmus7(ww, 400, {ww.target},
+                        simConfig(runtime::SyncMode::User));
+    EXPECT_GT(result.counts[0], 0u);
+}
+
+TEST(Litmus7RunnerTest, ChunkingMatchesUnchunkedCounts)
+{
+    // Tiny chunks must not change totals (only memory reuse).
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    Litmus7Config config = simConfig(runtime::SyncMode::User, 3);
+    config.chunkSize = 7; // Deliberately awkward.
+    const auto result = runLitmus7(sb, 100, outcomes, config);
+    std::uint64_t total = result.unmatched;
+    for (const auto c : result.counts)
+        total += c;
+    EXPECT_EQ(total, 100u);
+}
+
+TEST(Litmus7RunnerTest, NativeBackendSmokes)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    Litmus7Config config;
+    config.mode = runtime::SyncMode::User;
+    config.backend = Backend::Native;
+    config.chunkSize = 64;
+    const auto result = runLitmus7(sb, 200, outcomes, config);
+    std::uint64_t total = result.unmatched;
+    for (const auto c : result.counts)
+        total += c;
+    EXPECT_EQ(total, 200u);
+}
+
+TEST(Litmus7RunnerTest, RejectsZeroIterations)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    EXPECT_THROW(runLitmus7(sb, 0, {sb.target},
+                            simConfig(runtime::SyncMode::User)),
+                 UserError);
+}
+
+} // namespace
+} // namespace perple::litmus7

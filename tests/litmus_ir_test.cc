@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the litmus IR: instructions, tests, outcomes, builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/builder.h"
+#include "litmus/outcome.h"
+#include "litmus/registry.h"
+#include "litmus/test.h"
+
+namespace perple::litmus
+{
+namespace
+{
+
+// gtest fixtures inject ::testing::Test into class scope; alias the
+// litmus IR type so unqualified uses resolve correctly.
+using LTest = Test;
+
+LTest
+makeSb()
+{
+    return TestBuilder("sb")
+        .doc("store buffering")
+        .thread().store("x", 1).load("EAX", "y")
+        .thread().store("y", 1).load("EAX", "x")
+        .target({{0, "EAX", 0}, {1, "EAX", 0}})
+        .build();
+}
+
+// ------------------------- instruction ------------------------------
+
+TEST(InstructionTest, Factories)
+{
+    const auto store = Instruction::makeStore(2, 7);
+    EXPECT_TRUE(store.isStore());
+    EXPECT_EQ(store.loc, 2);
+    EXPECT_EQ(store.value, 7);
+
+    const auto load = Instruction::makeLoad(1, 0);
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_EQ(load.loc, 1);
+    EXPECT_EQ(load.reg, 0);
+
+    const auto fence = Instruction::makeFence();
+    EXPECT_TRUE(fence.isFence());
+}
+
+TEST(InstructionTest, Equality)
+{
+    EXPECT_EQ(Instruction::makeStore(0, 1), Instruction::makeStore(0, 1));
+    EXPECT_FALSE(Instruction::makeStore(0, 1) ==
+                 Instruction::makeStore(0, 2));
+    EXPECT_FALSE(Instruction::makeStore(0, 1) ==
+                 Instruction::makeLoad(0, 0));
+    EXPECT_EQ(Instruction::makeFence(), Instruction::makeFence());
+}
+
+// ---------------------------- thread --------------------------------
+
+TEST(ThreadTest, LoadAndStoreCounts)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.threads[0].numLoads(), 1);
+    EXPECT_EQ(sb.threads[0].numStores(), 1);
+}
+
+TEST(ThreadTest, LoadSlotForRegister)
+{
+    const LTest t = TestBuilder("t")
+        .thread().load("EAX", "x").store("y", 1).load("EBX", "z")
+        .thread().store("x", 1)
+        .target({})
+        .build();
+    EXPECT_EQ(t.threads[0].loadSlotForRegister(0), 0);
+    EXPECT_EQ(t.threads[0].loadSlotForRegister(1), 1);
+    EXPECT_EQ(t.threads[0].loadSlotForRegister(9), -1);
+}
+
+// ----------------------------- test ---------------------------------
+
+TEST(TestIrTest, ThreadAndLocationAccounting)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.numThreads(), 2);
+    EXPECT_EQ(sb.numLoadThreads(), 2);
+    EXPECT_EQ(sb.numLocations(), 2);
+    EXPECT_EQ(sb.loadThreads(), (std::vector<ThreadId>{0, 1}));
+}
+
+TEST(TestIrTest, StoreOnlyThreadsAreNotLoadThreads)
+{
+    const auto &mp = findTest("mp").test;
+    EXPECT_EQ(mp.numThreads(), 2);
+    EXPECT_EQ(mp.numLoadThreads(), 1);
+    EXPECT_EQ(mp.loadThreads(), (std::vector<ThreadId>{1}));
+}
+
+TEST(TestIrTest, LocationLookup)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.locationId("x"), 0);
+    EXPECT_EQ(sb.locationId("y"), 1);
+    EXPECT_EQ(sb.locationId("zzz"), -1);
+}
+
+TEST(TestIrTest, RegisterLookup)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.registerId(0, "EAX"), 0);
+    EXPECT_EQ(sb.registerId(0, "EBX"), -1);
+    EXPECT_EQ(sb.registerId(5, "EAX"), -1);
+}
+
+TEST(TestIrTest, StoredValuesAndStride)
+{
+    const auto &rfi013 = findTest("rfi013").test;
+    const LocationId loc_x = rfi013.locationId("x");
+    EXPECT_EQ(rfi013.storedValues(loc_x),
+              (std::vector<Value>{1, 2}));
+    EXPECT_EQ(rfi013.strideFor(loc_x), 2);
+    const LocationId loc_y = rfi013.locationId("y");
+    EXPECT_EQ(rfi013.strideFor(loc_y), 1);
+}
+
+TEST(TestIrTest, FindStoreOf)
+{
+    const LTest sb = makeSb();
+    ThreadId thread = -1;
+    int index = -1;
+    ASSERT_TRUE(sb.findStoreOf(sb.locationId("y"), 1, thread, index));
+    EXPECT_EQ(thread, 1);
+    EXPECT_EQ(index, 0);
+    EXPECT_FALSE(sb.findStoreOf(sb.locationId("y"), 9, thread, index));
+}
+
+TEST(TestIrTest, StoresTo)
+{
+    const auto &safe006 = findTest("safe006").test;
+    const auto stores =
+        safe006.storesTo(safe006.locationId("x"));
+    EXPECT_EQ(stores.size(), 2u); // One store per thread.
+}
+
+TEST(TestIrTest, LoadIndexForRegister)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.loadIndexForRegister(0, 0), 1);
+    EXPECT_EQ(sb.loadIndexForRegister(0, 5), -1);
+}
+
+// --------------------------- outcomes -------------------------------
+
+TEST(OutcomeTest, MemoryConditionDetection)
+{
+    Outcome reg_only;
+    reg_only.conditions.push_back(Condition::onRegister(0, 0, 1));
+    EXPECT_FALSE(reg_only.hasMemoryCondition());
+
+    Outcome with_memory = reg_only;
+    with_memory.conditions.push_back(Condition::onMemory(0, 1));
+    EXPECT_TRUE(with_memory.hasMemoryCondition());
+}
+
+TEST(OutcomeTest, ToStringMatchesLitmus7Style)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.target.toString(sb), "0:EAX=0 /\\ 1:EAX=0");
+}
+
+TEST(OutcomeTest, Label)
+{
+    const LTest sb = makeSb();
+    EXPECT_EQ(sb.target.label(sb), "00");
+}
+
+TEST(OutcomeTest, EnumerateSbHasFourOutcomes)
+{
+    const LTest sb = makeSb();
+    const auto outcomes = enumerateRegisterOutcomes(sb);
+    ASSERT_EQ(outcomes.size(), 4u);
+    // litmus7 display order: first register varies slowest.
+    EXPECT_EQ(outcomes[0].label(sb), "00");
+    EXPECT_EQ(outcomes[1].label(sb), "01");
+    EXPECT_EQ(outcomes[2].label(sb), "10");
+    EXPECT_EQ(outcomes[3].label(sb), "11");
+}
+
+TEST(OutcomeTest, EnumeratePodwr001HasEightOutcomes)
+{
+    const auto &entry = findTest("podwr001");
+    EXPECT_EQ(enumerateRegisterOutcomes(entry.test).size(), 8u);
+}
+
+TEST(OutcomeTest, EnumerateRespectsPerLocationValues)
+{
+    // rfi013 stores two values to x, so a register loaded from x has
+    // three candidates (0, 1, 2).
+    const auto &entry = findTest("rfi013");
+    const auto outcomes = enumerateRegisterOutcomes(entry.test);
+    // Registers: P0 loads x (3 candidates) and y (2); P1 loads x (3).
+    EXPECT_EQ(outcomes.size(), 3u * 2u * 3u);
+}
+
+TEST(OutcomeTest, EnumerateTargetIsIncluded)
+{
+    for (const char *name : {"sb", "lb", "iriw", "podwr001"}) {
+        const auto &entry = findTest(name);
+        const auto outcomes = enumerateRegisterOutcomes(entry.test);
+        bool found = false;
+        for (const auto &o : outcomes)
+            found |= (o == entry.test.target);
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+TEST(OutcomeTest, EnumerateRejectsLoadFreeTests)
+{
+    const LTest t = TestBuilder("w+w")
+        .thread().store("x", 1)
+        .thread().store("x", 2)
+        .memoryTarget({{"x", 1}})
+        .build();
+    EXPECT_THROW(enumerateRegisterOutcomes(t), UserError);
+}
+
+// --------------------------- builder --------------------------------
+
+TEST(BuilderTest, InstructionBeforeThreadThrows)
+{
+    TestBuilder builder("bad");
+    EXPECT_THROW(builder.store("x", 1), UserError);
+}
+
+TEST(BuilderTest, UnknownTargetRegisterThrows)
+{
+    EXPECT_THROW(TestBuilder("bad")
+                     .thread().store("x", 1)
+                     .thread().load("EAX", "x")
+                     .target({{1, "NOPE", 0}})
+                     .build(),
+                 UserError);
+}
+
+TEST(BuilderTest, UnknownTargetThreadThrows)
+{
+    EXPECT_THROW(TestBuilder("bad")
+                     .thread().store("x", 1)
+                     .thread().load("EAX", "x")
+                     .target({{7, "EAX", 0}})
+                     .build(),
+                 UserError);
+}
+
+TEST(BuilderTest, UnknownMemoryLocationThrows)
+{
+    EXPECT_THROW(TestBuilder("bad")
+                     .thread().store("x", 1)
+                     .thread().load("EAX", "x")
+                     .memoryTarget({{"nope", 0}})
+                     .build(),
+                 UserError);
+}
+
+TEST(BuilderTest, LocationsDeduplicated)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 1).load("EAX", "x")
+        .thread().load("EBX", "x")
+        .target({})
+        .build();
+    EXPECT_EQ(t.numLocations(), 1);
+}
+
+} // namespace
+} // namespace perple::litmus

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the litmus7-format parser and writer, including a
+ * round-trip property over the whole built-in corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "litmus/writer.h"
+
+namespace perple::litmus
+{
+namespace
+{
+
+// gtest fixtures inject ::testing::Test into class scope; alias the
+// litmus IR type so unqualified uses resolve correctly.
+using LTest = Test;
+
+const char *kSbSource = R"(X86 sb
+"Store buffering"
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0)
+)";
+
+TEST(ParserTest, ParsesSb)
+{
+    const LTest test = parseTest(kSbSource);
+    EXPECT_EQ(test.name, "sb");
+    EXPECT_EQ(test.doc, "Store buffering");
+    EXPECT_EQ(test.numThreads(), 2);
+    EXPECT_EQ(test.numLocations(), 2);
+    ASSERT_EQ(test.threads[0].instructions.size(), 2u);
+    EXPECT_TRUE(test.threads[0].instructions[0].isStore());
+    EXPECT_EQ(test.threads[0].instructions[0].value, 1);
+    EXPECT_TRUE(test.threads[0].instructions[1].isLoad());
+    ASSERT_EQ(test.target.conditions.size(), 2u);
+    EXPECT_EQ(test.target.conditions[0].thread, 0);
+    EXPECT_EQ(test.target.conditions[0].value, 0);
+}
+
+TEST(ParserTest, ParsesMfence)
+{
+    const LTest test = parseTest(R"(X86 amd5
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MFENCE      | MFENCE      ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0)
+)");
+    EXPECT_TRUE(test.threads[0].instructions[1].isFence());
+    EXPECT_TRUE(test.threads[1].instructions[1].isFence());
+}
+
+TEST(ParserTest, ParsesRaggedColumns)
+{
+    const LTest test = parseTest(R"(X86 mp
+{ x=0; y=0; }
+ P0         | P1          ;
+ MOV [x],$1 | MOV EAX,[y] ;
+ MOV [y],$1 | MOV EBX,[x] ;
+            | MFENCE      ;
+exists (1:EAX=1 /\ 1:EBX=0)
+)");
+    EXPECT_EQ(test.threads[0].instructions.size(), 2u);
+    EXPECT_EQ(test.threads[1].instructions.size(), 3u);
+}
+
+TEST(ParserTest, ParsesMemoryCondition)
+{
+    const LTest test = parseTest(R"(X86 2+2w
+{ x=0; y=0; }
+ P0         | P1         ;
+ MOV [x],$1 | MOV [y],$1 ;
+ MOV [y],$2 | MOV [x],$2 ;
+exists (x=1 /\ y=1)
+)");
+    ASSERT_EQ(test.target.conditions.size(), 2u);
+    EXPECT_EQ(test.target.conditions[0].kind, Condition::Kind::Memory);
+    EXPECT_TRUE(test.target.hasMemoryCondition());
+}
+
+TEST(ParserTest, ParsesBracketedMemoryCondition)
+{
+    const LTest test = parseTest(R"(X86 t
+{ x=0; }
+ P0         | P1         ;
+ MOV [x],$1 | MOV [x],$2 ;
+exists ([x]=1)
+)");
+    EXPECT_EQ(test.target.conditions[0].kind, Condition::Kind::Memory);
+    EXPECT_EQ(test.target.conditions[0].value, 1);
+}
+
+TEST(ParserTest, MultiLineExistsClause)
+{
+    const LTest test = parseTest(R"(X86 t
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\
+        1:EAX=0)
+)");
+    EXPECT_EQ(test.target.conditions.size(), 2u);
+}
+
+TEST(ParserTest, SkipsLocationsDirective)
+{
+    const LTest test = parseTest(R"(X86 t
+{ x=0; y=0; }
+ P0          | P1          ;
+ MOV [x],$1  | MOV [y],$1  ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+locations [x; y;]
+exists (0:EAX=0)
+)");
+    EXPECT_EQ(test.target.conditions.size(), 1u);
+}
+
+// Error cases.
+
+TEST(ParserTest, RejectsWrongArchitecture)
+{
+    EXPECT_THROW(parseTest("PPC t\n P0 ;\n MOV [x],$1 ;\nexists (x=1)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsEmptyInput)
+{
+    EXPECT_THROW(parseTest(""), UserError);
+    EXPECT_THROW(parseTest("   \n  \n"), UserError);
+}
+
+TEST(ParserTest, RejectsNonZeroInitialValue)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=1; }
+ P0 | P1 ;
+ MOV [x],$1 | MOV EAX,[x] ;
+exists (1:EAX=0)
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsUnknownInstruction)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P1 ;
+ XCHG [x],EAX | MOV EAX,[x] ;
+exists (1:EAX=0)
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsRegisterToRegisterMov)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P1 ;
+ MOV EAX,EBX | MOV EAX,[x] ;
+exists (1:EAX=0)
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsMissingExists)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P1 ;
+ MOV [x],$1 | MOV EAX,[x] ;
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsUnknownRegisterInCondition)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P1 ;
+ MOV [x],$1 | MOV EAX,[x] ;
+exists (1:ZZZ=0)
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsConditionThreadOutOfRange)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P1 ;
+ MOV [x],$1 | MOV EAX,[x] ;
+exists (7:EAX=0)
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsUnknownLocationInCondition)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P1 ;
+ MOV [x],$1 | MOV EAX,[x] ;
+exists (zz=0)
+)"),
+                 UserError);
+}
+
+TEST(ParserTest, RejectsBadThreadHeaders)
+{
+    EXPECT_THROW(parseTest(R"(X86 t
+{ x=0; }
+ P0 | P7 ;
+ MOV [x],$1 | MOV EAX,[x] ;
+exists (1:EAX=0)
+)"),
+                 UserError);
+}
+
+// parseOutcome.
+
+TEST(ParseOutcomeTest, WithAndWithoutParentheses)
+{
+    const LTest sb = parseTest(kSbSource);
+    const Outcome a = parseOutcome(sb, "(0:EAX=1 /\\ 1:EAX=0)");
+    const Outcome b = parseOutcome(sb, "0:EAX=1 /\\ 1:EAX=0");
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.conditions.size(), 2u);
+    EXPECT_EQ(a.conditions[0].value, 1);
+}
+
+TEST(ParseOutcomeTest, SingleCondition)
+{
+    const LTest sb = parseTest(kSbSource);
+    const Outcome o = parseOutcome(sb, "1:EAX=1");
+    ASSERT_EQ(o.conditions.size(), 1u);
+    EXPECT_EQ(o.conditions[0].thread, 1);
+}
+
+// Round-trip property over the whole corpus.
+
+class RoundTripTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+TEST_P(RoundTripTest, WriteThenParseIsIdentity)
+{
+    const LTest &original = GetParam()->test;
+    const std::string text = writeTest(original);
+    const LTest reparsed = parseTest(text);
+
+    EXPECT_EQ(reparsed.name, original.name);
+    EXPECT_EQ(reparsed.locations, original.locations);
+    ASSERT_EQ(reparsed.numThreads(), original.numThreads());
+    for (ThreadId t = 0; t < original.numThreads(); ++t) {
+        const auto ut = static_cast<std::size_t>(t);
+        EXPECT_EQ(reparsed.threads[ut].instructions,
+                  original.threads[ut].instructions)
+            << "thread " << t;
+        EXPECT_EQ(reparsed.threads[ut].registerNames,
+                  original.threads[ut].registerNames);
+    }
+    EXPECT_EQ(reparsed.target, original.target);
+}
+
+std::vector<const SuiteEntry *>
+corpusPointers()
+{
+    std::vector<const SuiteEntry *> out;
+    for (const auto &entry : extendedCorpus())
+        out.push_back(&entry);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest, ::testing::ValuesIn(corpusPointers()),
+    [](const ::testing::TestParamInfo<const SuiteEntry *> &param_info) {
+        std::string name = param_info.param->test.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace perple::litmus

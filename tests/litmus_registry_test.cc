@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests pinning the built-in corpus to Table II of the paper: suite
+ * size, group sizes, [T, T_L] signatures, convertibility flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+
+namespace perple::litmus
+{
+namespace
+{
+
+TEST(RegistryTest, SuiteHas34Tests)
+{
+    EXPECT_EQ(perpetualSuite().size(), 34u);
+}
+
+TEST(RegistryTest, GroupSizesMatchTableII)
+{
+    int allowed = 0, forbidden = 0;
+    for (const auto &entry : perpetualSuite()) {
+        if (entry.expected == TsoVerdict::Allowed)
+            ++allowed;
+        else
+            ++forbidden;
+    }
+    EXPECT_EQ(allowed, 12);
+    EXPECT_EQ(forbidden, 22);
+}
+
+TEST(RegistryTest, TableIINamesPresent)
+{
+    const std::set<std::string> expected = {
+        // Allowed group.
+        "amd3", "iwp23b", "iwp24", "n1", "podwr000", "podwr001",
+        "rfi009", "rfi013", "rfi015", "rfi017", "rwc-unfenced", "sb",
+        // Forbidden group.
+        "amd10", "amd5", "amd5+staleld", "co-iriw", "iriw", "lb", "mp",
+        "mp+staleld", "mp+fences", "n4", "n5", "rwc-fenced", "safe006",
+        "safe007", "safe012", "safe018", "safe022", "safe024",
+        "safe027", "safe028", "safe036", "wrc"};
+    std::set<std::string> actual;
+    for (const auto &entry : perpetualSuite())
+        actual.insert(entry.test.name);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(RegistryTest, NamesUniqueAcrossExtendedCorpus)
+{
+    std::set<std::string> names;
+    for (const auto &entry : extendedCorpus())
+        EXPECT_TRUE(names.insert(entry.test.name).second)
+            << "duplicate name " << entry.test.name;
+}
+
+TEST(RegistryTest, SuiteTestsAreAllConvertible)
+{
+    for (const auto &entry : perpetualSuite()) {
+        EXPECT_TRUE(entry.convertible) << entry.test.name;
+        EXPECT_FALSE(entry.test.target.hasMemoryCondition())
+            << entry.test.name;
+    }
+}
+
+TEST(RegistryTest, ExtendedCorpusHasNonConvertibleTests)
+{
+    int non_convertible = 0;
+    for (const auto &entry : extendedCorpus())
+        if (!entry.convertible)
+            ++non_convertible;
+    // 34 final-memory variants plus the handcrafted extras.
+    EXPECT_GE(non_convertible, 34 + 3);
+}
+
+TEST(RegistryTest, FinalMemoryVariantsMirrorBaseTests)
+{
+    const auto &corpus = extendedCorpus();
+    for (const auto &entry : perpetualSuite()) {
+        const std::string variant_name = entry.test.name + "+final";
+        const auto &variant = findTest(variant_name);
+        EXPECT_FALSE(variant.convertible);
+        EXPECT_TRUE(variant.test.target.hasMemoryCondition());
+        EXPECT_EQ(variant.test.numThreads(), entry.test.numThreads());
+        // The variant keeps all register conditions of the base.
+        EXPECT_GT(variant.test.target.conditions.size(),
+                  entry.test.target.conditions.size());
+    }
+    (void)corpus;
+}
+
+class SignatureTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+TEST_P(SignatureTest, ThreadCountsMatchTableII)
+{
+    const SuiteEntry &entry = *GetParam();
+    EXPECT_EQ(entry.test.numThreads(), entry.paperThreads);
+    EXPECT_EQ(entry.test.numLoadThreads(), entry.paperLoadThreads);
+}
+
+TEST_P(SignatureTest, TargetIsNonEmpty)
+{
+    EXPECT_FALSE(GetParam()->test.target.empty());
+}
+
+std::vector<const SuiteEntry *>
+suitePointers()
+{
+    std::vector<const SuiteEntry *> out;
+    for (const auto &entry : perpetualSuite())
+        out.push_back(&entry);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SignatureTest, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const SuiteEntry *> &param_info) {
+        std::string name = param_info.param->test.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(RegistryTest, FindTestByName)
+{
+    EXPECT_EQ(findTest("sb").test.name, "sb");
+    EXPECT_EQ(findTest("mp+fences").test.name, "mp+fences");
+}
+
+TEST(RegistryTest, FindTestUnknownThrows)
+{
+    EXPECT_THROW(findTest("does-not-exist"), UserError);
+}
+
+TEST(RegistryTest, SuiteOrderMatchesTableII)
+{
+    // Allowed group first (alphabetical within the table's layout),
+    // then the forbidden group.
+    const auto &suite = perpetualSuite();
+    EXPECT_EQ(suite.front().test.name, "amd3");
+    EXPECT_EQ(suite[11].test.name, "sb");
+    EXPECT_EQ(suite[12].test.name, "amd10");
+    EXPECT_EQ(suite.back().test.name, "wrc");
+}
+
+} // namespace
+} // namespace perple::litmus

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the litmus-test validator: every rule, violated one at a
+ * time, plus the corpus-wide "everything validates" property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/builder.h"
+#include "litmus/registry.h"
+#include "litmus/validator.h"
+
+namespace perple::litmus
+{
+namespace
+{
+
+// gtest fixtures inject ::testing::Test into class scope; alias the
+// litmus IR type so unqualified uses resolve correctly.
+using LTest = Test;
+
+TEST(ValidatorTest, WellFormedTestPasses)
+{
+    const LTest sb = TestBuilder("sb")
+        .thread().store("x", 1).load("EAX", "y")
+        .thread().store("y", 1).load("EAX", "x")
+        .target({{0, "EAX", 0}, {1, "EAX", 0}})
+        .build();
+    EXPECT_TRUE(validate(sb).ok());
+    EXPECT_NO_THROW(validateOrThrow(sb));
+}
+
+TEST(ValidatorTest, WholeCorpusValidates)
+{
+    for (const auto &entry : extendedCorpus()) {
+        const auto result = validate(entry.test);
+        EXPECT_TRUE(result.ok())
+            << entry.test.name << ": "
+            << (result.problems.empty() ? "" : result.problems.front());
+    }
+}
+
+TEST(ValidatorTest, RejectsSingleThread)
+{
+    LTest t = TestBuilder("one")
+        .thread().store("x", 1)
+        .target({})
+        .build();
+    // Builder allows it; the validator must not.
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsEmptyThread)
+{
+    LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread()
+        .target({})
+        .build();
+    t.threads.push_back(Thread{});
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsFenceOnlyThread)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().fence()
+        .target({})
+        .build();
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsZeroStoredConstant)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 0)
+        .thread().load("EAX", "x")
+        .target({})
+        .build();
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsNegativeStoredConstant)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", -2)
+        .thread().load("EAX", "x")
+        .target({})
+        .build();
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsDuplicateStoredConstantPerLocation)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().store("x", 1).load("EAX", "x")
+        .target({})
+        .build();
+    const auto result = validate(t);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.problems.front().find("unique"),
+              std::string::npos);
+}
+
+TEST(ValidatorTest, AllowsSameConstantOnDifferentLocations)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 1).load("EAX", "y")
+        .thread().store("y", 1).load("EAX", "x")
+        .target({})
+        .build();
+    EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsDoubleLoadIntoRegister)
+{
+    LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x")
+        .target({})
+        .build();
+    t.threads[1].instructions.push_back(Instruction::makeLoad(0, 0));
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsTargetOnUnloadedRegister)
+{
+    LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x")
+        .target({{1, "EAX", 0}})
+        .build();
+    // Point the condition at a register id with no load.
+    t.target.conditions[0].reg = 5;
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsTargetValueNeverStored)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x")
+        .target({{1, "EAX", 9}})
+        .build();
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, AcceptsTargetValueZero)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x")
+        .target({{1, "EAX", 0}})
+        .build();
+    EXPECT_TRUE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsMemoryTargetValueNeverStored)
+{
+    LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x")
+        .memoryTarget({{"x", 1}})
+        .build();
+    t.target.conditions[0].value = 5;
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, RejectsMemoryTargetOnMissingLocation)
+{
+    LTest t = TestBuilder("t")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x")
+        .memoryTarget({{"x", 1}})
+        .build();
+    t.target.conditions[0].loc = 9;
+    EXPECT_FALSE(validate(t).ok());
+}
+
+TEST(ValidatorTest, ReportsMultipleProblemsAtOnce)
+{
+    LTest t = TestBuilder("t")
+        .thread().store("x", 0) // Non-positive constant ...
+        .thread().fence()       // ... and a fence-only thread.
+        .target({})
+        .build();
+    EXPECT_GE(validate(t).problems.size(), 2u);
+}
+
+TEST(ValidatorTest, ValidateOrThrowRaisesUserError)
+{
+    const LTest t = TestBuilder("t")
+        .thread().store("x", 0)
+        .thread().load("EAX", "x")
+        .target({})
+        .build();
+    EXPECT_THROW(validateOrThrow(t), UserError);
+}
+
+} // namespace
+} // namespace perple::litmus

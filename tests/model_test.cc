@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the memory-model oracles: the SC/TSO operational
+ * enumerators, the happens-before graphs and the axiomatic checker,
+ * including the full operational-vs-axiomatic cross-validation over
+ * every register outcome of every suite test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/error.h"
+#include "litmus/builder.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "model/axiomatic.h"
+#include "model/classify.h"
+#include "model/hbgraph.h"
+#include "model/operational.h"
+
+namespace perple::model
+{
+namespace
+{
+
+using litmus::Outcome;
+using litmus::SuiteEntry;
+using litmus::TestBuilder;
+
+// gtest fixtures inject ::testing::Test into class scope; alias the
+// litmus IR type so unqualified uses resolve correctly.
+using LTest = litmus::Test;
+using litmus::TsoVerdict;
+
+Outcome
+outcomeOf(const LTest &test, const std::string &text)
+{
+    return litmus::parseOutcome(test, text);
+}
+
+// ----------------------- operational: SC ----------------------------
+
+TEST(OperationalScTest, SbHasThreeOutcomes)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    const auto outcomes = allowedRegisterOutcomes(sb, MemoryModel::SC);
+    // Under SC the (0,0) outcome is impossible; the other three occur.
+    EXPECT_EQ(outcomes.size(), 3u);
+    for (const auto &o : outcomes)
+        EXPECT_FALSE(o == sb.target);
+}
+
+TEST(OperationalScTest, ScForbidsSbTarget)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    EXPECT_FALSE(allows(sb, sb.target, MemoryModel::SC));
+}
+
+TEST(OperationalScTest, ScAllowsInterleavings)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    EXPECT_TRUE(allows(sb, outcomeOf(sb, "0:EAX=0 /\\ 1:EAX=1"),
+                       MemoryModel::SC));
+    EXPECT_TRUE(allows(sb, outcomeOf(sb, "0:EAX=1 /\\ 1:EAX=1"),
+                       MemoryModel::SC));
+}
+
+// ----------------------- operational: TSO ---------------------------
+
+TEST(OperationalTsoTest, TsoAllowsSbTarget)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    EXPECT_TRUE(allows(sb, sb.target, MemoryModel::TSO));
+}
+
+TEST(OperationalTsoTest, TsoForbidsLbTarget)
+{
+    const LTest &lb = litmus::findTest("lb").test;
+    EXPECT_FALSE(allows(lb, lb.target, MemoryModel::TSO));
+}
+
+TEST(OperationalTsoTest, StoreForwardingIsVisible)
+{
+    // iwp24: both threads read the own store early and the other
+    // thread's store late — only possible with forwarding.
+    const LTest &iwp24 = litmus::findTest("iwp24").test;
+    EXPECT_TRUE(allows(iwp24, iwp24.target, MemoryModel::TSO));
+    EXPECT_FALSE(allows(iwp24, iwp24.target, MemoryModel::SC));
+}
+
+TEST(OperationalTsoTest, CoherenceIsPreserved)
+{
+    // A same-location reload can never travel backwards.
+    const LTest t = TestBuilder("corr")
+        .thread().store("x", 1)
+        .thread().load("EAX", "x").load("EBX", "x")
+        .target({{1, "EAX", 1}, {1, "EBX", 0}})
+        .build();
+    EXPECT_FALSE(allows(t, t.target, MemoryModel::TSO));
+}
+
+TEST(OperationalTsoTest, MfenceRestoresOrder)
+{
+    const LTest &amd5 = litmus::findTest("amd5").test;
+    EXPECT_FALSE(allows(amd5, amd5.target, MemoryModel::TSO));
+}
+
+TEST(OperationalTsoTest, FinalMemoryStates)
+{
+    const LTest &ww = litmus::findTest("w+w").test;
+    const auto finals = enumerateFinalStates(ww, MemoryModel::TSO);
+    // Two stores to x: final memory is 1 or 2.
+    ASSERT_EQ(finals.size(), 2u);
+    EXPECT_TRUE(allows(ww, ww.target, MemoryModel::TSO));
+}
+
+TEST(OperationalTsoTest, TwoPlusTwoWForbidden)
+{
+    const LTest &t = litmus::findTest("2+2w").test;
+    EXPECT_FALSE(allows(t, t.target, MemoryModel::TSO));
+}
+
+// ----------------------- operational: PSO ---------------------------
+
+TEST(OperationalPsoTest, PsoAllowsMpTarget)
+{
+    // mp's violation needs W->W reordering, which PSO permits.
+    const LTest &mp = litmus::findTest("mp").test;
+    EXPECT_TRUE(allows(mp, mp.target, MemoryModel::PSO));
+    EXPECT_FALSE(allows(mp, mp.target, MemoryModel::TSO));
+}
+
+TEST(OperationalPsoTest, MfenceRestoresOrderUnderPso)
+{
+    const LTest &mp_fences = litmus::findTest("mp+fences").test;
+    EXPECT_FALSE(allows(mp_fences, mp_fences.target,
+                        MemoryModel::PSO));
+}
+
+TEST(OperationalPsoTest, PsoStillForbidsLoadBuffering)
+{
+    // PSO keeps R->R and R->W program order, so lb stays forbidden.
+    const LTest &lb = litmus::findTest("lb").test;
+    EXPECT_FALSE(allows(lb, lb.target, MemoryModel::PSO));
+}
+
+TEST(OperationalPsoTest, PsoKeepsPerLocationCoherence)
+{
+    // A same-location stale reload (mp+staleld) is a coherence
+    // violation and stays forbidden even under PSO; safe022's stale
+    // read, by contrast, becomes reachable because the flag store may
+    // overtake the payload stores (W->W reordering).
+    const LTest &staleld = litmus::findTest("mp+staleld").test;
+    EXPECT_FALSE(allows(staleld, staleld.target, MemoryModel::PSO));
+
+    const LTest &safe022 = litmus::findTest("safe022").test;
+    EXPECT_TRUE(allows(safe022, safe022.target, MemoryModel::PSO));
+}
+
+TEST(OperationalPsoTest, TwoPlusTwoWAllowedUnderPso)
+{
+    // The 2+2W write cycle only needs W->W reordering.
+    const LTest &t = litmus::findTest("2+2w").test;
+    EXPECT_TRUE(allows(t, t.target, MemoryModel::PSO));
+    EXPECT_FALSE(allows(t, t.target, MemoryModel::TSO));
+}
+
+TEST(OperationalPsoTest, ModelNames)
+{
+    EXPECT_STREQ(memoryModelName(MemoryModel::SC), "SC");
+    EXPECT_STREQ(memoryModelName(MemoryModel::TSO), "TSO");
+    EXPECT_STREQ(memoryModelName(MemoryModel::PSO), "PSO");
+}
+
+// SC-included-in-TSO property over the whole suite.
+
+class ScSubsetOfTsoTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+TEST_P(ScSubsetOfTsoTest, EveryScOutcomeIsTsoReachable)
+{
+    const LTest &test = GetParam()->test;
+    const auto sc = enumerateFinalStates(test, MemoryModel::SC);
+    const auto tso = enumerateFinalStates(test, MemoryModel::TSO);
+    EXPECT_GE(tso.size(), sc.size());
+    for (const auto &state : sc) {
+        const bool present =
+            std::find(tso.begin(), tso.end(), state) != tso.end();
+        EXPECT_TRUE(present) << test.name << ": SC state missing "
+                             << state.key();
+    }
+}
+
+TEST_P(ScSubsetOfTsoTest, EveryTsoOutcomeIsPsoReachable)
+{
+    // The model hierarchy: SC is contained in TSO, TSO in PSO.
+    const LTest &test = GetParam()->test;
+    const auto tso = enumerateFinalStates(test, MemoryModel::TSO);
+    const auto pso = enumerateFinalStates(test, MemoryModel::PSO);
+    EXPECT_GE(pso.size(), tso.size());
+    for (const auto &state : tso) {
+        const bool present =
+            std::find(pso.begin(), pso.end(), state) != pso.end();
+        EXPECT_TRUE(present) << test.name << ": TSO state missing "
+                             << state.key();
+    }
+}
+
+// Classification of every suite test matches Table II.
+
+class ClassificationTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+TEST_P(ClassificationTest, MatchesTableII)
+{
+    const SuiteEntry &entry = *GetParam();
+    EXPECT_EQ(classifyTargetTso(entry.test), entry.expected)
+        << entry.test.name;
+}
+
+TEST_P(ClassificationTest, TargetIsInformative)
+{
+    // Every suite target must be SC-forbidden (Section II-B: target
+    // outcomes distinguish consistency models).
+    EXPECT_TRUE(targetDistinguishesFromSc(GetParam()->test))
+        << GetParam()->test.name;
+}
+
+// Operational vs axiomatic cross-validation: every register outcome of
+// every suite test gets the same verdict from the two independent
+// formulations, under both SC and TSO.
+
+class CrossValidationTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+TEST_P(CrossValidationTest, AxiomaticAgreesWithOperational)
+{
+    const LTest &test = GetParam()->test;
+    for (const auto &outcome :
+         litmus::enumerateRegisterOutcomes(test)) {
+        for (const MemoryModel model :
+             {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+            const bool operational = allows(test, outcome, model);
+            const bool axiomatic =
+                allowsAxiomatic(test, outcome, model);
+            EXPECT_EQ(operational, axiomatic)
+                << test.name << " outcome "
+                << outcome.toString(test) << " model "
+                << memoryModelName(model);
+        }
+    }
+}
+
+std::vector<const SuiteEntry *>
+suitePointers()
+{
+    std::vector<const SuiteEntry *> out;
+    for (const auto &entry : litmus::perpetualSuite())
+        out.push_back(&entry);
+    return out;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<const SuiteEntry *> &info)
+{
+    std::string name = info.param->test.name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ScSubsetOfTsoTest,
+                         ::testing::ValuesIn(suitePointers()),
+                         paramName);
+INSTANTIATE_TEST_SUITE_P(Suite, ClassificationTest,
+                         ::testing::ValuesIn(suitePointers()),
+                         paramName);
+INSTANTIATE_TEST_SUITE_P(Suite, CrossValidationTest,
+                         ::testing::ValuesIn(suitePointers()),
+                         paramName);
+
+// --------------------------- hb graphs ------------------------------
+
+TEST(HbGraphTest, SbTargetEdges)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    const auto ws = enumerateWsOrders(sb);
+    ASSERT_EQ(ws.size(), 1u); // One store per location.
+    const HbGraph graph(sb, sb.target, ws[0]);
+
+    // 4 memory ops -> 2 po edges (one per thread), 2 fr edges (both
+    // loads read 0), no rf, no ws.
+    EXPECT_EQ(graph.edgesOfKind(EdgeKind::Po).size(), 2u);
+    EXPECT_EQ(graph.edgesOfKind(EdgeKind::Fr).size(), 2u);
+    EXPECT_EQ(graph.edgesOfKind(EdgeKind::Rf).size(), 0u);
+    EXPECT_EQ(graph.edgesOfKind(EdgeKind::Ws).size(), 0u);
+}
+
+TEST(HbGraphTest, SbTargetCyclicUnderScAcyclicUnderPpo)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    const auto ws = enumerateWsOrders(sb);
+    const HbGraph graph(sb, sb.target, ws[0]);
+    const std::vector<EdgeKind> all = {EdgeKind::Po, EdgeKind::Rf,
+                                       EdgeKind::Ws, EdgeKind::Fr};
+
+    EXPECT_FALSE(graph.acyclic(all)); // The classic sb cycle.
+
+    HbGraph::AcyclicSpec ppo;
+    ppo.kinds = all;
+    ppo.excludeWrPo = true;
+    EXPECT_TRUE(graph.acyclic(ppo)); // TSO drops the W->R edges.
+}
+
+TEST(HbGraphTest, FenceReinstatesWrEdge)
+{
+    const LTest &amd5 = litmus::findTest("amd5").test;
+    const auto ws = enumerateWsOrders(amd5);
+    const HbGraph graph(amd5, amd5.target, ws[0]);
+    HbGraph::AcyclicSpec ppo;
+    ppo.kinds = {EdgeKind::Po, EdgeKind::Rf, EdgeKind::Ws,
+                 EdgeKind::Fr};
+    ppo.excludeWrPo = true;
+    // MFENCE between store and load keeps the W->R edge: still cyclic.
+    EXPECT_FALSE(graph.acyclic(ppo));
+}
+
+TEST(HbGraphTest, RfEdgesFollowOutcomeValues)
+{
+    const LTest &mp = litmus::findTest("mp").test;
+    const auto ws = enumerateWsOrders(mp);
+    const HbGraph graph(mp, mp.target, ws[0]);
+    // Target 1:EAX=1 (rf from the y store), 1:EBX=0 (fr to the x
+    // store).
+    EXPECT_EQ(graph.edgesOfKind(EdgeKind::Rf).size(), 1u);
+    EXPECT_EQ(graph.edgesOfKind(EdgeKind::Fr).size(), 1u);
+}
+
+TEST(HbGraphTest, WsOrderEnumeration)
+{
+    // co-iriw has two stores to x -> 2 permutations; no other stores.
+    const LTest &co = litmus::findTest("co-iriw").test;
+    EXPECT_EQ(enumerateWsOrders(co).size(), 2u);
+
+    // safe006: two stores each to x and y -> 4 combinations.
+    const LTest &s6 = litmus::findTest("safe006").test;
+    EXPECT_EQ(enumerateWsOrders(s6).size(), 4u);
+}
+
+TEST(HbGraphTest, DotOutputMentionsOps)
+{
+    const LTest &sb = litmus::findTest("sb").test;
+    const auto ws = enumerateWsOrders(sb);
+    const std::string dot = HbGraph(sb, sb.target, ws[0]).toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("MOV [x],$1"), std::string::npos);
+    EXPECT_NE(dot.find("fr"), std::string::npos);
+}
+
+TEST(AxiomaticTest, RejectsMemoryConditions)
+{
+    const LTest &t = litmus::findTest("2+2w").test;
+    EXPECT_THROW(allowsAxiomatic(t, t.target, MemoryModel::TSO),
+                 perple::UserError);
+}
+
+} // namespace
+} // namespace perple::model

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the outcome conversion of Section IV-A, pinned against the
+ * paper's worked examples: all four sb perpetual outcomes of Figure 6,
+ * the store-thread elimination for mp, and stride/residue handling for
+ * multi-constant locations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/outcome.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "perple/perpetual_outcome.h"
+
+namespace perple::core
+{
+namespace
+{
+
+using litmus::Outcome;
+
+TEST(PerpetualOutcomeTest, SbMatchesFigure6)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    ASSERT_EQ(outcomes.size(), 4u);
+
+    // The four rows of Figure 6, step 4.
+    const std::vector<std::string> expected = {
+        "buf_0[n_0] <= n_1 && buf_1[n_1] <= n_0",
+        "buf_0[n_0] <= n_1 && buf_1[n_1] >= n_0 + 1",
+        "buf_0[n_0] >= n_1 + 1 && buf_1[n_1] <= n_0",
+        "buf_0[n_0] >= n_1 + 1 && buf_1[n_1] >= n_0 + 1",
+    };
+    for (std::size_t o = 0; o < 4; ++o) {
+        const PerpetualOutcome po =
+            buildPerpetualOutcome(sb, outcomes[o]);
+        EXPECT_EQ(po.describe(sb), expected[o]) << "outcome " << o;
+        EXPECT_TRUE(po.existentialThreads.empty());
+        EXPECT_EQ(po.frameThreads,
+                  (std::vector<litmus::ThreadId>{0, 1}));
+    }
+}
+
+TEST(PerpetualOutcomeTest, SbAtomsCarryConditionIndices)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const PerpetualOutcome po = buildPerpetualOutcome(sb, sb.target);
+    ASSERT_EQ(po.atoms.size(), 2u);
+    EXPECT_EQ(po.atoms[0].conditionIndex, 0);
+    EXPECT_EQ(po.atoms[1].conditionIndex, 1);
+    EXPECT_EQ(po.numConditions, 2);
+}
+
+TEST(PerpetualOutcomeTest, RfAtomShape)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const Outcome o = litmus::parseOutcome(sb, "1:EAX=1");
+    const PerpetualOutcome po = buildPerpetualOutcome(sb, o);
+    ASSERT_EQ(po.atoms.size(), 1u);
+    const Atom &atom = po.atoms[0];
+    EXPECT_EQ(atom.kind, Atom::Kind::ReadsAtOrAfter);
+    EXPECT_EQ(atom.indexThread, 0); // x is stored by thread 0.
+    EXPECT_TRUE(atom.indexIsFrame);
+    EXPECT_EQ(atom.stride, 1);
+    EXPECT_EQ(atom.offset, 1);
+    EXPECT_FALSE(atom.checkResidue); // k == 1 needs no residue check.
+}
+
+TEST(PerpetualOutcomeTest, MpUsesExistentialStoreThread)
+{
+    const auto &mp = litmus::findTest("mp").test;
+    const PerpetualOutcome po = buildPerpetualOutcome(mp, mp.target);
+
+    // Target: 1:EAX=1 (rf on y) && 1:EBX=0 (fr on x); both index
+    // thread 0, which performs no loads.
+    EXPECT_EQ(po.frameThreads, (std::vector<litmus::ThreadId>{1}));
+    EXPECT_EQ(po.existentialThreads,
+              (std::vector<litmus::ThreadId>{0}));
+    ASSERT_EQ(po.atoms.size(), 2u);
+    EXPECT_EQ(po.atoms[0].kind, Atom::Kind::ReadsAtOrAfter);
+    EXPECT_FALSE(po.atoms[0].indexIsFrame);
+    EXPECT_EQ(po.atoms[1].kind, Atom::Kind::ReadsBefore);
+    EXPECT_EQ(po.describe(mp),
+              "buf_1[2*n_1 + 0] >= q_0 + 1 && "
+              "buf_1[2*n_1 + 1] <= q_0");
+}
+
+TEST(PerpetualOutcomeTest, ZeroConditionFansOutOverStores)
+{
+    // safe006: x is stored by both threads, so EAX=0 on a load of x
+    // produces one ReadsBefore atom per store.
+    const auto &safe006 = litmus::findTest("safe006").test;
+    const Outcome o = litmus::parseOutcome(safe006, "1:EAX=0");
+    const PerpetualOutcome po = buildPerpetualOutcome(safe006, o);
+    ASSERT_EQ(po.atoms.size(), 2u);
+    EXPECT_EQ(po.atoms[0].kind, Atom::Kind::ReadsBefore);
+    EXPECT_EQ(po.atoms[1].kind, Atom::Kind::ReadsBefore);
+    // Same condition index: both atoms belong to the one condition.
+    EXPECT_EQ(po.atoms[0].conditionIndex, po.atoms[1].conditionIndex);
+}
+
+TEST(PerpetualOutcomeTest, ResidueChecksForWideStrides)
+{
+    // rfi013: k_x = 2; reading x == 2 must check membership of the
+    // 2n + 2 sequence.
+    const auto &rfi013 = litmus::findTest("rfi013").test;
+    const Outcome o = litmus::parseOutcome(rfi013, "0:EAX=2");
+    const PerpetualOutcome po = buildPerpetualOutcome(rfi013, o);
+    ASSERT_EQ(po.atoms.size(), 1u);
+    EXPECT_EQ(po.atoms[0].stride, 2);
+    EXPECT_EQ(po.atoms[0].offset, 2);
+    EXPECT_TRUE(po.atoms[0].checkResidue);
+}
+
+TEST(PerpetualOutcomeTest, LabelsAndText)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const PerpetualOutcome po = buildPerpetualOutcome(sb, sb.target);
+    EXPECT_EQ(po.originalText, "0:EAX=0 /\\ 1:EAX=0");
+    EXPECT_EQ(po.label, "00");
+}
+
+TEST(PerpetualOutcomeTest, RejectsMemoryConditions)
+{
+    const auto &variant = litmus::findTest("sb+final").test;
+    EXPECT_THROW(buildPerpetualOutcome(variant, variant.target),
+                 UserError);
+}
+
+TEST(PerpetualOutcomeTest, BuildManyAtOnce)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(sb);
+    const auto perpetual = buildPerpetualOutcomes(sb, outcomes);
+    EXPECT_EQ(perpetual.size(), outcomes.size());
+}
+
+TEST(PerpetualOutcomeTest, WholeSuiteConvertsTargets)
+{
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const PerpetualOutcome po =
+            buildPerpetualOutcome(entry.test, entry.test.target);
+        EXPECT_FALSE(po.atoms.empty()) << entry.test.name;
+        EXPECT_EQ(po.frameThreads, entry.test.loadThreads())
+            << entry.test.name;
+        for (const Atom &atom : po.atoms) {
+            EXPECT_GE(atom.stride, 1) << entry.test.name;
+            EXPECT_GE(atom.offset, 1) << entry.test.name;
+            EXPECT_GE(atom.conditionIndex, 0) << entry.test.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace perple::core

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for atomic read-modify-write (XCHG) support across the whole
+ * pipeline: IR, parser/writer, model checkers (atomicity + implicit
+ * fence), simulator, native runtime, conversion, counters, codegen.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/builder.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "litmus/validator.h"
+#include "litmus/writer.h"
+#include "model/axiomatic.h"
+#include "model/classify.h"
+#include "model/operational.h"
+#include "perple/codegen.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+#include "runtime/native_runner.h"
+#include "sim/machine.h"
+
+namespace perple
+{
+namespace
+{
+
+// gtest fixtures inject ::testing::Test into class scope; alias the
+// litmus IR type so unqualified uses resolve correctly.
+using LTest = litmus::Test;
+using litmus::TestBuilder;
+using litmus::TsoVerdict;
+
+// ------------------------------ IR ----------------------------------
+
+TEST(RmwIrTest, InstructionProperties)
+{
+    const auto rmw = litmus::Instruction::makeRmw(1, 5, 0);
+    EXPECT_TRUE(rmw.isRmw());
+    EXPECT_TRUE(rmw.readsRegister());
+    EXPECT_TRUE(rmw.writesMemory());
+    EXPECT_TRUE(rmw.ordersLikeFence());
+    EXPECT_FALSE(rmw.isLoad());
+    EXPECT_FALSE(rmw.isStore());
+    EXPECT_EQ(rmw, litmus::Instruction::makeRmw(1, 5, 0));
+    EXPECT_FALSE(rmw == litmus::Instruction::makeRmw(1, 6, 0));
+}
+
+TEST(RmwIrTest, CountsAsLoadAndStore)
+{
+    const auto &entry = litmus::findTest("sb+xchgs");
+    const auto &t0 = entry.test.threads[0];
+    EXPECT_EQ(t0.numLoads(), 2);  // XCHG read + the MOV load.
+    EXPECT_EQ(t0.numStores(), 1); // The XCHG write.
+    EXPECT_EQ(t0.loadSlotForRegister(0), 0); // EAX is slot 0.
+    EXPECT_EQ(entry.test.strideFor(entry.test.locationId("x")), 1);
+}
+
+TEST(RmwIrTest, ValidatorAcceptsExtensionTests)
+{
+    for (const auto &entry : litmus::atomicExtensionTests())
+        EXPECT_TRUE(litmus::validate(entry.test).ok())
+            << entry.test.name;
+}
+
+TEST(RmwIrTest, ValidatorRejectsNonPositiveRmwValue)
+{
+    const LTest t = TestBuilder("bad")
+        .thread().rmw("EAX", "x", 0)
+        .thread().load("EAX", "x")
+        .target({})
+        .build();
+    EXPECT_FALSE(litmus::validate(t).ok());
+}
+
+// --------------------------- parse/write ----------------------------
+
+TEST(RmwParserTest, RoundTripsXchg)
+{
+    const auto &entry = litmus::findTest("sb+xchgs");
+    const std::string text = litmus::writeTest(entry.test);
+    EXPECT_NE(text.find("XCHG EAX,[x]"), std::string::npos);
+    EXPECT_NE(text.find("0:EAX=1;"), std::string::npos);
+
+    const LTest reparsed = litmus::parseTest(text);
+    EXPECT_EQ(reparsed.threads[0].instructions,
+              entry.test.threads[0].instructions);
+    EXPECT_EQ(reparsed.target, entry.test.target);
+}
+
+TEST(RmwParserTest, AcceptsEitherOperandOrder)
+{
+    const LTest t = litmus::parseTest(R"(X86 t
+{ x=0; 0:EAX=2; }
+ P0           | P1          ;
+ XCHG [x],EAX | MOV EAX,[x] ;
+exists (1:EAX=0)
+)");
+    EXPECT_TRUE(t.threads[0].instructions[0].isRmw());
+    EXPECT_EQ(t.threads[0].instructions[0].value, 2);
+}
+
+TEST(RmwParserTest, RejectsXchgWithoutInit)
+{
+    EXPECT_THROW(litmus::parseTest(R"(X86 t
+{ x=0; }
+ P0           | P1          ;
+ XCHG EAX,[x] | MOV EAX,[x] ;
+exists (1:EAX=0)
+)"),
+                 UserError);
+}
+
+// ------------------------------ model -------------------------------
+
+TEST(RmwModelTest, XchgActsAsFence)
+{
+    // sb with locked exchanges: the relaxed outcome disappears under
+    // TSO and even under PSO (locked ops order everything).
+    const auto &entry = litmus::findTest("sb+xchgs");
+    EXPECT_FALSE(model::allows(entry.test, entry.test.target,
+                               model::MemoryModel::TSO));
+    EXPECT_FALSE(model::allows(entry.test, entry.test.target,
+                               model::MemoryModel::PSO));
+}
+
+TEST(RmwModelTest, OneSidedXchgStillRelaxed)
+{
+    const auto &entry = litmus::findTest("sb+xchg+mov");
+    EXPECT_TRUE(model::allows(entry.test, entry.test.target,
+                              model::MemoryModel::TSO));
+    EXPECT_FALSE(model::allows(entry.test, entry.test.target,
+                               model::MemoryModel::SC));
+}
+
+TEST(RmwModelTest, AtomicityForbidsMutualReads)
+{
+    const auto &entry = litmus::findTest("xchg-atomicity");
+    for (const auto m :
+         {model::MemoryModel::SC, model::MemoryModel::TSO,
+          model::MemoryModel::PSO})
+        EXPECT_FALSE(model::allows(entry.test, entry.test.target, m))
+            << model::memoryModelName(m);
+    // One direction alone is fine: someone swaps first.
+    const auto one_way = litmus::parseOutcome(
+        entry.test, "0:EAX=0 /\\ 1:EAX=1");
+    EXPECT_TRUE(model::allows(entry.test, one_way,
+                              model::MemoryModel::TSO));
+}
+
+TEST(RmwModelTest, OraclesAgreeOnExtensionTests)
+{
+    for (const auto &entry : litmus::atomicExtensionTests()) {
+        for (const auto &outcome :
+             litmus::enumerateRegisterOutcomes(entry.test)) {
+            for (const auto m :
+                 {model::MemoryModel::SC, model::MemoryModel::TSO,
+                  model::MemoryModel::PSO}) {
+                EXPECT_EQ(model::allows(entry.test, outcome, m),
+                          model::allowsAxiomatic(entry.test, outcome,
+                                                 m))
+                    << entry.test.name << " "
+                    << outcome.toString(entry.test) << " "
+                    << model::memoryModelName(m);
+            }
+        }
+    }
+}
+
+TEST(RmwModelTest, ClassificationsMatchRegistry)
+{
+    for (const auto &entry : litmus::atomicExtensionTests())
+        EXPECT_EQ(model::classifyTargetTso(entry.test), entry.expected)
+            << entry.test.name;
+}
+
+// ------------------------- simulator / native -----------------------
+
+TEST(RmwMachineTest, SimulatorRespectsXchgFencing)
+{
+    // sb+xchgs on the simulator: the all-zero outcome never occurs,
+    // even in tight lockstep with long drain windows.
+    const auto &entry = litmus::findTest("sb+xchgs");
+    sim::MachineConfig config;
+    config.seed = 5;
+    config.drainLatencyMean = 25;
+    config.addressMode = sim::AddressMode::PerIteration;
+    sim::Machine machine =
+        sim::Machine::forOriginalTest(entry.test, config);
+    sim::RunResult run;
+    machine.runLockstep(500, 0, 0.5, run);
+    for (std::size_t n = 0; n < 500; ++n)
+        EXPECT_FALSE(run.bufs[0][2 * n + 1] == 0 &&
+                     run.bufs[1][2 * n + 1] == 0)
+            << "iteration " << n;
+}
+
+TEST(RmwMachineTest, SimulatorOutcomesInsideTsoEnvelope)
+{
+    for (const auto &entry : litmus::atomicExtensionTests()) {
+        const auto finals = model::enumerateFinalStates(
+            entry.test, model::MemoryModel::TSO);
+        sim::MachineConfig config;
+        config.seed = 17;
+        config.drainLatencyMean = 15;
+        config.addressMode = sim::AddressMode::PerIteration;
+        sim::Machine machine =
+            sim::Machine::forOriginalTest(entry.test, config);
+        sim::RunResult run;
+        machine.runLockstep(300, 0, 1.0, run);
+
+        for (std::size_t n = 0; n < 300; ++n) {
+            bool reachable = false;
+            for (const auto &fs : finals) {
+                bool match = true;
+                for (litmus::ThreadId t = 0;
+                     t < entry.test.numThreads() && match; ++t) {
+                    const auto ut = static_cast<std::size_t>(t);
+                    std::size_t slot = 0;
+                    for (const auto &instr :
+                         entry.test.threads[ut].instructions) {
+                        if (!instr.readsRegister())
+                            continue;
+                        const auto r_t = static_cast<std::size_t>(
+                            entry.test.threads[ut].numLoads());
+                        if (run.bufs[ut][r_t * n + slot] !=
+                            fs.regs[ut][static_cast<std::size_t>(
+                                instr.reg)]) {
+                            match = false;
+                            break;
+                        }
+                        ++slot;
+                    }
+                }
+                if (match) {
+                    reachable = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(reachable)
+                << entry.test.name << " iteration " << n;
+        }
+    }
+}
+
+TEST(RmwMachineTest, NativeXchgRuns)
+{
+    const auto &entry = litmus::findTest("sb+xchgs");
+    std::vector<sim::SimProgram> programs;
+    for (litmus::ThreadId t = 0; t < entry.test.numThreads(); ++t)
+        programs.push_back(sim::compileOriginalThread(entry.test, t));
+    runtime::NativeConfig config;
+    config.mode = runtime::SyncMode::User;
+    config.chunkSize = 32;
+    const auto result = runtime::runNative(
+        programs, entry.test.numLocations(), 100, config);
+    // XCHG reads land in buf; the values stay within the test's set.
+    for (const auto &buf : result.bufs)
+        for (const auto v : buf)
+            EXPECT_TRUE(v == 0 || v == 1) << v;
+}
+
+// ----------------------- perpetual pipeline -------------------------
+
+TEST(RmwPerpetualTest, ConversionWidensXchgOperand)
+{
+    const auto &entry = litmus::findTest("sb+xchgs");
+    const auto perpetual = core::convert(entry.test);
+    const auto &op = perpetual.programs[0].ops[0];
+    EXPECT_EQ(op.kind, litmus::OpKind::Rmw);
+    EXPECT_EQ(op.value.stride, 1);
+    EXPECT_EQ(op.value.offset, 1);
+    EXPECT_EQ(perpetual.loadsPerIteration, (std::vector<int>{2, 2}));
+}
+
+TEST(RmwPerpetualTest, NoFalsePositivesOnSimulator)
+{
+    for (const auto &entry : litmus::atomicExtensionTests()) {
+        if (entry.expected != TsoVerdict::Forbidden)
+            continue;
+        const auto perpetual = core::convert(entry.test);
+        core::HarnessConfig config;
+        config.seed = 7;
+        const auto result = core::runPerpetual(
+            perpetual, 3000, {entry.test.target}, config);
+        EXPECT_EQ((*result.exhaustive)[0], 0u) << entry.test.name;
+        EXPECT_EQ((*result.heuristic)[0], 0u) << entry.test.name;
+    }
+}
+
+TEST(RmwPerpetualTest, AllowedXchgTargetIsObserved)
+{
+    const auto &entry = litmus::findTest("sb+xchg+mov");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    config.seed = 7;
+    const auto result = core::runPerpetual(perpetual, 10000,
+                                           {entry.test.target}, config);
+    EXPECT_GT((*result.heuristic)[0], 0u);
+    EXPECT_LE((*result.heuristic)[0], (*result.exhaustive)[0]);
+}
+
+TEST(RmwPerpetualTest, PerpetualXchgValuesAreSequenceMembers)
+{
+    // Every XCHG read in a perpetual run returns 0 or a sequence
+    // member, and never the iteration's own stored value (the read
+    // precedes the write atomically).
+    const auto &entry = litmus::findTest("xchg-atomicity");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    config.seed = 11;
+    config.runExhaustive = false;
+    config.runHeuristic = false;
+    const std::int64_t n_iters = 2000;
+    const auto result = core::runPerpetual(perpetual, n_iters,
+                                           {entry.test.target}, config);
+    // k_x = 2: thread 0 stores 2n+1, thread 1 stores 2n+2.
+    for (std::int64_t n = 0; n < n_iters; ++n) {
+        EXPECT_NE(result.run.bufs[0][static_cast<std::size_t>(n)],
+                  2 * n + 1);
+        EXPECT_NE(result.run.bufs[1][static_cast<std::size_t>(n)],
+                  2 * n + 2);
+    }
+}
+
+TEST(RmwCodegenTest, AssemblyUsesLockedExchange)
+{
+    const auto perpetual =
+        core::convert(litmus::findTest("sb+xchgs").test);
+    const std::string asm0 = core::emitThreadAssembly(perpetual, 0);
+    EXPECT_NE(asm0.find("xchgq"), std::string::npos);
+    EXPECT_NE(asm0.find("XCHG [x] <- 1*n + 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace perple

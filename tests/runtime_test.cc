@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the native backend: asm ops, barriers (all five modes),
+ * padded shared memory and the native runner. On a single-core host
+ * these validate functional correctness; relaxed-outcome frequencies
+ * are covered by the simulator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "model/operational.h"
+#include "runtime/asmops.h"
+#include "runtime/barrier.h"
+#include "runtime/native_runner.h"
+#include "runtime/shmem.h"
+#include "sim/program.h"
+
+namespace perple::runtime
+{
+namespace
+{
+
+// ---------------------------- asm ops -------------------------------
+
+TEST(AsmOpsTest, StoreLoadRoundTrip)
+{
+    volatile std::int64_t cell = 0;
+    asmStore(&cell, 1234567890123LL);
+    EXPECT_EQ(asmLoad(&cell), 1234567890123LL);
+    asmStore(&cell, -7);
+    EXPECT_EQ(asmLoad(&cell), -7);
+}
+
+TEST(AsmOpsTest, FenceIsCallable)
+{
+    volatile std::int64_t cell = 0;
+    asmStore(&cell, 1);
+    asmFence();
+    EXPECT_EQ(asmLoad(&cell), 1);
+}
+
+TEST(AsmOpsTest, TimebaseAdvances)
+{
+    const std::uint64_t a = readTimebase();
+    volatile std::int64_t sink = 0;
+    for (int i = 0; i < 10000; ++i)
+        asmStore(&sink, i);
+    const std::uint64_t b = readTimebase();
+    EXPECT_GT(b, a);
+}
+
+// --------------------------- shared memory --------------------------
+
+TEST(SharedMemoryTest, CellsAreCacheLinePadded)
+{
+    SharedMemory memory(2, 3);
+    const auto *a = memory.cell(0, 0);
+    const auto *b = memory.cell(0, 1);
+    EXPECT_EQ(reinterpret_cast<const volatile char *>(b) -
+                  reinterpret_cast<const volatile char *>(a),
+              64);
+}
+
+TEST(SharedMemoryTest, Layout)
+{
+    SharedMemory memory(4, 2);
+    EXPECT_EQ(memory.instances(), 4);
+    EXPECT_EQ(memory.locations(), 2);
+    asmStore(memory.cell(3, 1), 42);
+    EXPECT_EQ(asmLoad(memory.cell(3, 1)), 42);
+    EXPECT_EQ(asmLoad(memory.cell(3, 0)), 0);
+}
+
+TEST(SharedMemoryTest, ResetZeroes)
+{
+    SharedMemory memory(2, 2);
+    asmStore(memory.cell(0, 0), 5);
+    asmStore(memory.cell(1, 1), 6);
+    memory.reset();
+    EXPECT_EQ(asmLoad(memory.cell(0, 0)), 0);
+    EXPECT_EQ(asmLoad(memory.cell(1, 1)), 0);
+}
+
+// ---------------------------- barriers ------------------------------
+
+TEST(BarrierTest, ModeNamesRoundTrip)
+{
+    for (const SyncMode mode : allSyncModes())
+        EXPECT_EQ(syncModeFromName(syncModeName(mode)), mode);
+    EXPECT_THROW(syncModeFromName("bogus"), perple::UserError);
+}
+
+TEST(BarrierTest, AllModesListed)
+{
+    EXPECT_EQ(allSyncModes().size(), 5u);
+}
+
+/**
+ * Lockstep invariant: with @p mode's barrier between phases, no thread
+ * may enter phase p+1 before every thread finished phase p.
+ */
+void
+exerciseBarrier(SyncMode mode)
+{
+    constexpr int kThreads = 3;
+    constexpr int kPhases = 12;
+    auto barrier = makeBarrier(mode, kThreads, /*timebase_interval=*/512);
+
+    std::atomic<int> in_phase[kPhases];
+    for (auto &counter : in_phase)
+        counter.store(0);
+    std::atomic<bool> violation{false};
+
+    const auto worker = [&](int id) {
+        for (int p = 0; p < kPhases; ++p) {
+            in_phase[p].fetch_add(1);
+            barrier->wait(id);
+            // After the barrier, everyone must have entered phase p.
+            if (in_phase[p].load() != kThreads)
+                violation.store(true);
+            barrier->wait(id);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (int id = 0; id < kThreads; ++id)
+        threads.emplace_back(worker, id);
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(violation.load()) << syncModeName(mode);
+}
+
+TEST(BarrierTest, UserBarrierSynchronizes)
+{
+    exerciseBarrier(SyncMode::User);
+}
+
+TEST(BarrierTest, UserFenceBarrierSynchronizes)
+{
+    exerciseBarrier(SyncMode::UserFence);
+}
+
+TEST(BarrierTest, PthreadBarrierSynchronizes)
+{
+    exerciseBarrier(SyncMode::Pthread);
+}
+
+TEST(BarrierTest, TimebaseBarrierSynchronizes)
+{
+    exerciseBarrier(SyncMode::Timebase);
+}
+
+TEST(BarrierTest, NoneBarrierNeverBlocks)
+{
+    auto barrier = makeBarrier(SyncMode::None, 4);
+    // A single thread calling repeatedly must not deadlock.
+    for (int i = 0; i < 100; ++i)
+        barrier->wait(0);
+    SUCCEED();
+}
+
+// -------------------------- native runner ---------------------------
+
+std::vector<sim::SimProgram>
+originalPrograms(const litmus::Test &test)
+{
+    std::vector<sim::SimProgram> programs;
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t)
+        programs.push_back(sim::compileOriginalThread(test, t));
+    return programs;
+}
+
+TEST(NativeRunnerTest, BufSizesAndLegalValues)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    NativeConfig config;
+    config.mode = SyncMode::User;
+    config.chunkSize = 64;
+    const auto result =
+        runNative(originalPrograms(sb), sb.numLocations(), 200, config);
+    ASSERT_EQ(result.bufs[0].size(), 200u);
+    ASSERT_EQ(result.bufs[1].size(), 200u);
+    for (const auto &buf : result.bufs)
+        for (const auto v : buf)
+            EXPECT_TRUE(v == 0 || v == 1) << v;
+}
+
+TEST(NativeRunnerTest, OutcomesStayInsideTsoEnvelope)
+{
+    // Every per-iteration outcome must be TSO-reachable (on any
+    // correct host, single- or multi-core).
+    const auto &sb = litmus::findTest("sb").test;
+    std::set<std::pair<litmus::Value, litmus::Value>> reachable;
+    for (const auto &fs : model::enumerateFinalStates(
+             sb, model::MemoryModel::TSO))
+        reachable.insert({fs.regs[0][0], fs.regs[1][0]});
+
+    NativeConfig config;
+    config.mode = SyncMode::User;
+    config.chunkSize = 128;
+    const auto result =
+        runNative(originalPrograms(sb), sb.numLocations(), 500, config);
+    for (std::size_t n = 0; n < 500; ++n)
+        EXPECT_TRUE(reachable.count(
+            {result.bufs[0][n], result.bufs[1][n]}))
+            << "iteration " << n;
+}
+
+TEST(NativeRunnerTest, AllModesRun)
+{
+    const auto &mp = litmus::findTest("mp").test;
+    for (const SyncMode mode : allSyncModes()) {
+        NativeConfig config;
+        config.mode = mode;
+        config.chunkSize = 32;
+        const auto result = runNative(originalPrograms(mp),
+                                      mp.numLocations(), 100, config);
+        EXPECT_EQ(result.bufs[1].size(), 200u) << syncModeName(mode);
+        EXPECT_GT(result.stats.instructions, 0u);
+    }
+}
+
+TEST(NativeRunnerTest, PerpetualLayoutProducesSequenceValues)
+{
+    // Affine stores in the shared layout: every loaded x value must be
+    // a member of the sequence {n + 1} U {0}.
+    const auto &sb = litmus::findTest("sb").test;
+    auto programs = originalPrograms(sb);
+    for (auto &program : programs)
+        for (auto &op : program.ops)
+            if (op.kind == litmus::OpKind::Store)
+                op.value.stride = 1;
+
+    NativeConfig config;
+    config.mode = SyncMode::None;
+    config.perIterationInstances = false;
+    const std::int64_t kIters = 300;
+    const auto result =
+        runNative(programs, sb.numLocations(), kIters, config);
+    for (const auto &buf : result.bufs)
+        for (const auto v : buf) {
+            EXPECT_GE(v, 0);
+            EXPECT_LE(v, kIters);
+        }
+    // Final memory holds the last iteration's stores.
+    EXPECT_EQ(result.memory[0], kIters);
+    EXPECT_EQ(result.memory[1], kIters);
+}
+
+TEST(NativeRunnerTest, RejectsBadArguments)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    NativeConfig config;
+    EXPECT_THROW(runNative({}, 1, 10, config), perple::UserError);
+    EXPECT_THROW(runNative(originalPrograms(sb), sb.numLocations(), 0,
+                           config),
+                 perple::UserError);
+}
+
+} // namespace
+} // namespace perple::runtime

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Machine-vs-model conformance: every register outcome the simulator
+ * produces for any suite test must be reachable in the operational
+ * x86-TSO model. This cross-validates the timed machine against the
+ * enumerator on the whole corpus (and is exactly the check a PerpLE
+ * user performs against real hardware).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "litmus/registry.h"
+#include "model/operational.h"
+#include "sim/machine.h"
+
+namespace perple::sim
+{
+namespace
+{
+
+using litmus::SuiteEntry;
+
+class ConformanceTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+/** Render iteration n's registers as a state key for set lookups. */
+std::string
+iterationKey(const litmus::Test &test, const RunResult &run,
+             std::size_t n)
+{
+    std::string key;
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto r_t =
+            static_cast<std::size_t>(test.threads[ut].numLoads());
+        for (std::size_t s = 0; s < r_t; ++s) {
+            key += std::to_string(run.bufs[ut][r_t * n + s]);
+            key += ",";
+        }
+        key += ";";
+    }
+    return key;
+}
+
+TEST_P(ConformanceTest, SimulatedOutcomesAreTsoReachable)
+{
+    const litmus::Test &test = GetParam()->test;
+
+    // Model side: all reachable register states.
+    std::set<std::string> reachable;
+    for (const auto &fs :
+         model::enumerateFinalStates(test, model::MemoryModel::TSO)) {
+        std::string key;
+        for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+            const auto ut = static_cast<std::size_t>(t);
+            const auto &thread = test.threads[ut];
+            // Only loaded registers, in load-slot order (matching
+            // iterationKey's buf layout).
+            for (const auto &instr : thread.instructions)
+                if (instr.isLoad()) {
+                    key += std::to_string(
+                        fs.regs[ut][static_cast<std::size_t>(
+                            instr.reg)]);
+                    key += ",";
+                }
+            key += ";";
+        }
+        reachable.insert(key);
+    }
+
+    // Machine side: tight lockstep with a generous reordering window
+    // maximizes the variety of outcomes.
+    MachineConfig config;
+    config.seed = 1234;
+    config.drainLatencyMean = 15;
+    config.stallProbability = 0.05;
+    config.addressMode = AddressMode::PerIteration;
+    Machine machine = Machine::forOriginalTest(test, config);
+    RunResult run;
+    machine.runLockstep(400, 0, 1.0, run);
+
+    for (std::size_t n = 0; n < 400; ++n) {
+        const std::string key = iterationKey(test, run, n);
+        EXPECT_TRUE(reachable.count(key))
+            << test.name << " iteration " << n
+            << " produced TSO-unreachable state " << key;
+    }
+}
+
+std::vector<const SuiteEntry *>
+suitePointers()
+{
+    std::vector<const SuiteEntry *> out;
+    for (const auto &entry : litmus::perpetualSuite())
+        out.push_back(&entry);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ConformanceTest, ::testing::ValuesIn(suitePointers()),
+    [](const ::testing::TestParamInfo<const SuiteEntry *> &param_info) {
+        std::string name = param_info.param->test.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(ConformanceFailureInjection, BuggyMachineEscapesTsoEnvelope)
+{
+    // Sanity-check that the conformance harness has teeth: a machine
+    // with non-FIFO buffers must produce TSO-unreachable states for
+    // mp within a reasonable number of iterations.
+    const litmus::Test &mp = litmus::findTest("mp").test;
+    std::set<std::string> reachable;
+    for (const auto &fs :
+         model::enumerateFinalStates(mp, model::MemoryModel::TSO)) {
+        std::string key;
+        key += std::to_string(fs.regs[1][0]) + "," +
+               std::to_string(fs.regs[1][1]) + ",;";
+        reachable.insert(key);
+    }
+
+    MachineConfig config;
+    config.seed = 77;
+    config.drainLatencyMean = 25;
+    config.fifoStoreBuffers = false;
+    config.addressMode = AddressMode::PerIteration;
+    Machine machine = Machine::forOriginalTest(mp, config);
+    RunResult run;
+    // Release skew comparable to the drain window so the reader's
+    // loads sample the out-of-order drain states.
+    machine.runLockstep(2000, 0, 30.0, run);
+
+    int escapes = 0;
+    for (std::size_t n = 0; n < 2000; ++n) {
+        const std::string key =
+            std::to_string(run.bufs[1][2 * n]) + "," +
+            std::to_string(run.bufs[1][2 * n + 1]) + ",;";
+        if (!reachable.count(key))
+            ++escapes;
+    }
+    EXPECT_GT(escapes, 0);
+}
+
+} // namespace
+} // namespace perple::sim

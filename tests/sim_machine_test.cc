@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the timed TSO machine simulator: determinism, TSO
+ * semantics (FIFO drain, forwarding, fences), addressing modes, and
+ * the bug-injection flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "sim/machine.h"
+
+namespace perple::sim
+{
+namespace
+{
+
+using litmus::OpKind;
+using litmus::Value;
+
+MachineConfig
+quietConfig(std::uint64_t seed = 1)
+{
+    MachineConfig config;
+    config.seed = seed;
+    config.stallProbability = 0.0;
+    return config;
+}
+
+/**
+ * Per-iteration outcome checks need litmus7's location layout: one
+ * instance per iteration, so iterations cannot read each other's
+ * stores (in Shared mode stale values from earlier iterations are
+ * expected and legal — that is the perpetual layout).
+ */
+MachineConfig
+lockstepConfig(std::uint64_t seed)
+{
+    MachineConfig config = quietConfig(seed);
+    config.addressMode = AddressMode::PerIteration;
+    return config;
+}
+
+/** Single thread: store then load the same location. */
+std::vector<SimProgram>
+storeLoadProgram(Value stride, Value offset)
+{
+    SimProgram p;
+    SimOp store;
+    store.kind = OpKind::Store;
+    store.loc = 0;
+    store.value = Operand{stride, offset};
+    SimOp load;
+    load.kind = OpKind::Load;
+    load.loc = 0;
+    load.slot = 0;
+    p.ops = {store, load};
+    p.loadsPerIteration = 1;
+    return {p, p}; // Machine requires >= 1 thread; give it two.
+}
+
+TEST(MachineTest, ForwardingReturnsOwnStore)
+{
+    Machine machine(storeLoadProgram(0, 7), 1, quietConfig());
+    RunResult result;
+    machine.runFree(10, 0, result);
+    for (const Value v : result.bufs[0])
+        EXPECT_EQ(v, 7); // Always sees the own store, never 0.
+}
+
+TEST(MachineTest, AffineOperandsFollowIterations)
+{
+    // Perpetual-style store: value = 3*n + 2, forwarded to the load.
+    // Use separate locations per thread to avoid cross-talk.
+    SimProgram p0;
+    p0.ops = {SimOp{OpKind::Store, 0, Operand{3, 2}, -1},
+              SimOp{OpKind::Load, 0, Operand{}, 0}};
+    p0.loadsPerIteration = 1;
+    SimProgram p1;
+    p1.ops = {SimOp{OpKind::Store, 1, Operand{1, 1}, -1}};
+    Machine machine({p0, p1}, 2, quietConfig());
+    RunResult result;
+    machine.runFree(5, 0, result);
+    ASSERT_EQ(result.bufs[0].size(), 5u);
+    for (std::int64_t n = 0; n < 5; ++n)
+        EXPECT_EQ(result.bufs[0][static_cast<std::size_t>(n)],
+                  3 * n + 2);
+}
+
+TEST(MachineTest, SameSeedIsDeterministic)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    RunResult a, b;
+    {
+        Machine machine = Machine::forOriginalTest(sb, quietConfig(99));
+        machine.runFree(500, 0, a);
+    }
+    {
+        Machine machine = Machine::forOriginalTest(sb, quietConfig(99));
+        machine.runFree(500, 0, b);
+    }
+    EXPECT_EQ(a.bufs, b.bufs);
+    EXPECT_EQ(a.memory, b.memory);
+}
+
+TEST(MachineTest, DifferentSeedsDiffer)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    RunResult a, b;
+    {
+        Machine machine = Machine::forOriginalTest(sb, quietConfig(1));
+        machine.runFree(500, 0, a);
+    }
+    {
+        Machine machine = Machine::forOriginalTest(sb, quietConfig(2));
+        machine.runFree(500, 0, b);
+    }
+    EXPECT_NE(a.bufs, b.bufs);
+}
+
+TEST(MachineTest, BufSizesMatchLoadCounts)
+{
+    const auto &iwp24 = litmus::findTest("iwp24").test;
+    Machine machine = Machine::forOriginalTest(iwp24, quietConfig());
+    RunResult result;
+    machine.runFree(100, 0, result);
+    EXPECT_EQ(result.bufs[0].size(), 200u); // 2 loads per iteration.
+    EXPECT_EQ(result.bufs[1].size(), 200u);
+}
+
+TEST(MachineTest, FinalMemoryIsDrained)
+{
+    // Shared mode, sb: after drainAll both locations hold the last
+    // iteration's constants (original test: always 1).
+    const auto &sb = litmus::findTest("sb").test;
+    Machine machine = Machine::forOriginalTest(sb, quietConfig());
+    RunResult result;
+    machine.runFree(50, 0, result);
+    EXPECT_EQ(result.memory.size(), 2u);
+    EXPECT_EQ(result.memory[0], 1);
+    EXPECT_EQ(result.memory[1], 1);
+}
+
+TEST(MachineTest, PerIterationInstancesIsolateIterations)
+{
+    // mp with per-iteration instances: each instance ends with
+    // x = 1, y = 1 once drained.
+    const auto &mp = litmus::findTest("mp").test;
+    MachineConfig config = quietConfig();
+    config.addressMode = AddressMode::PerIteration;
+    config.chunkSize = 16;
+    Machine machine = Machine::forOriginalTest(mp, config);
+    RunResult result;
+    machine.runFree(16, 0, result);
+    ASSERT_EQ(result.memory.size(), 32u);
+    for (std::size_t k = 0; k < 16; ++k) {
+        EXPECT_EQ(result.memory[2 * k + 0], 1) << "instance " << k;
+        EXPECT_EQ(result.memory[2 * k + 1], 1) << "instance " << k;
+    }
+}
+
+TEST(MachineTest, ResetMemoryZeroes)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    Machine machine = Machine::forOriginalTest(sb, quietConfig());
+    RunResult result;
+    machine.runFree(10, 0, result);
+    machine.resetMemory();
+    EXPECT_EQ(machine.memory()[0], 0);
+    EXPECT_EQ(machine.memory()[1], 0);
+}
+
+TEST(MachineTest, StatsAccumulate)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    Machine machine = Machine::forOriginalTest(sb, quietConfig());
+    RunResult result;
+    machine.runFree(100, 0, result);
+    EXPECT_EQ(result.stats.instructions, 400u); // 2 threads x 2 ops.
+    EXPECT_EQ(result.stats.drains, 200u);       // Every store drains.
+    EXPECT_GT(result.stats.finalTick, 0u);
+}
+
+TEST(MachineTest, LockstepRunsEachIterationTogether)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    Machine machine = Machine::forOriginalTest(sb, quietConfig());
+    RunResult result;
+    machine.runLockstep(200, 0, /*release_skew_mean=*/1.0, result);
+    EXPECT_EQ(result.bufs[0].size(), 200u);
+    EXPECT_EQ(result.bufs[1].size(), 200u);
+}
+
+TEST(MachineTest, TightLockstepExposesStoreBuffering)
+{
+    // With near-zero release skew and a generous drain window, the sb
+    // relaxed outcome (both loads return 0) must appear.
+    const auto &sb = litmus::findTest("sb").test;
+    MachineConfig config = lockstepConfig(5);
+    config.drainLatencyMean = 20;
+    Machine machine = Machine::forOriginalTest(sb, config);
+    RunResult result;
+    machine.runLockstep(300, 0, 0.5, result);
+    int relaxed = 0;
+    for (std::size_t n = 0; n < 300; ++n)
+        if (result.bufs[0][n] == 0 && result.bufs[1][n] == 0)
+            ++relaxed;
+    EXPECT_GT(relaxed, 0);
+}
+
+TEST(MachineTest, HugeReleaseSkewSerializesIterations)
+{
+    // With skew far above the drain window, iterations serialize and
+    // the relaxed outcome disappears; exactly one thread sees 0.
+    const auto &sb = litmus::findTest("sb").test;
+    MachineConfig config = lockstepConfig(5);
+    Machine machine = Machine::forOriginalTest(sb, config);
+    RunResult result;
+    machine.runLockstep(200, 0, 1e6, result);
+    for (std::size_t n = 0; n < 200; ++n)
+        EXPECT_FALSE(result.bufs[0][n] == 0 && result.bufs[1][n] == 0)
+            << "iteration " << n;
+}
+
+TEST(MachineTest, FenceOrdersSb)
+{
+    // amd5 (sb + MFENCE) must never produce the relaxed outcome on a
+    // correct machine, even in tight lockstep.
+    const auto &amd5 = litmus::findTest("amd5").test;
+    MachineConfig config = lockstepConfig(7);
+    config.drainLatencyMean = 30;
+    Machine machine = Machine::forOriginalTest(amd5, config);
+    RunResult result;
+    machine.runLockstep(500, 0, 0.5, result);
+    for (std::size_t n = 0; n < 500; ++n)
+        EXPECT_FALSE(result.bufs[0][n] == 0 && result.bufs[1][n] == 0)
+            << "iteration " << n;
+}
+
+TEST(MachineTest, BrokenFenceExposesAmd5Target)
+{
+    const auto &amd5 = litmus::findTest("amd5").test;
+    MachineConfig config = lockstepConfig(7);
+    config.drainLatencyMean = 30;
+    config.fenceDrainsBuffer = false; // Injected bug.
+    Machine machine = Machine::forOriginalTest(amd5, config);
+    RunResult result;
+    machine.runLockstep(500, 0, 0.5, result);
+    int violations = 0;
+    for (std::size_t n = 0; n < 500; ++n)
+        if (result.bufs[0][n] == 0 && result.bufs[1][n] == 0)
+            ++violations;
+    EXPECT_GT(violations, 0);
+}
+
+TEST(MachineTest, FifoBuffersPreserveMp)
+{
+    // mp on a correct machine: (EAX, EBX) = (1, 0) never occurs.
+    const auto &mp = litmus::findTest("mp").test;
+    MachineConfig config = lockstepConfig(11);
+    config.drainLatencyMean = 25;
+    Machine machine = Machine::forOriginalTest(mp, config);
+    RunResult result;
+    machine.runLockstep(500, 0, 0.5, result);
+    for (std::size_t n = 0; n < 500; ++n)
+        EXPECT_FALSE(result.bufs[1][2 * n] == 1 &&
+                     result.bufs[1][2 * n + 1] == 0)
+            << "iteration " << n;
+}
+
+TEST(MachineTest, NonFifoBuffersBreakMp)
+{
+    const auto &mp = litmus::findTest("mp").test;
+    MachineConfig config = lockstepConfig(11);
+    config.drainLatencyMean = 25;
+    config.fifoStoreBuffers = false; // Injected bug.
+    Machine machine = Machine::forOriginalTest(mp, config);
+    RunResult result;
+    machine.runLockstep(2000, 0, 0.5, result);
+    int violations = 0;
+    for (std::size_t n = 0; n < 2000; ++n)
+        if (result.bufs[1][2 * n] == 1 && result.bufs[1][2 * n + 1] == 0)
+            ++violations;
+    EXPECT_GT(violations, 0);
+}
+
+TEST(MachineTest, DisabledForwardingBreaksCoherence)
+{
+    // Without forwarding a thread can miss its own buffered store.
+    Machine machine(storeLoadProgram(0, 7), 1, [] {
+        MachineConfig config = quietConfig(3);
+        config.storeForwarding = false;
+        config.drainLatencyMean = 20;
+        return config;
+    }());
+    RunResult result;
+    machine.runFree(200, 0, result);
+    int misses = 0;
+    for (const Value v : result.bufs[0])
+        if (v != 7)
+            ++misses;
+    EXPECT_GT(misses, 0);
+}
+
+TEST(MachineTest, ChunkedRunsStitchIterationIndices)
+{
+    // Two runFree calls with first_iteration offsets behave like one
+    // long perpetual run for affine operands.
+    SimProgram p0;
+    p0.ops = {SimOp{OpKind::Store, 0, Operand{1, 1}, -1},
+              SimOp{OpKind::Load, 0, Operand{}, 0}};
+    p0.loadsPerIteration = 1;
+    SimProgram p1;
+    p1.ops = {SimOp{OpKind::Store, 1, Operand{1, 1}, -1}};
+    Machine machine({p0, p1}, 2, quietConfig());
+    RunResult result;
+    machine.runFree(10, 0, result);
+    machine.runFree(10, 10, result);
+    ASSERT_EQ(result.bufs[0].size(), 20u);
+    for (std::int64_t n = 0; n < 20; ++n)
+        EXPECT_EQ(result.bufs[0][static_cast<std::size_t>(n)], n + 1);
+}
+
+TEST(MachineTest, RejectsBadConfiguration)
+{
+    const auto &sb = litmus::findTest("sb").test;
+    MachineConfig bad = quietConfig();
+    bad.storeBufferCapacity = 0;
+    EXPECT_THROW(Machine::forOriginalTest(sb, bad), UserError);
+
+    Machine machine = Machine::forOriginalTest(sb, quietConfig());
+    RunResult result;
+    EXPECT_THROW(machine.runFree(0, 0, result), UserError);
+    EXPECT_THROW(machine.runLockstep(0, 0, 1.0, result), UserError);
+}
+
+TEST(MachineTest, StoreBufferBackpressure)
+{
+    // A thread issuing many stores back to back must not lose any:
+    // with capacity 2 the buffer blocks until drains free slots.
+    SimProgram p0;
+    for (int i = 0; i < 16; ++i)
+        p0.ops.push_back(
+            SimOp{OpKind::Store, 0, Operand{16, i + 1}, -1});
+    SimProgram p1;
+    p1.ops = {SimOp{OpKind::Load, 0, Operand{}, 0}};
+    p1.loadsPerIteration = 1;
+    MachineConfig config = quietConfig();
+    config.storeBufferCapacity = 2;
+    config.drainLatencyMean = 10;
+    Machine machine({p0, p1}, 1, config);
+    RunResult result;
+    machine.runFree(3, 0, result);
+    // After draining, memory holds the last store of iteration 2.
+    EXPECT_EQ(result.memory[0], 16 * 2 + 16);
+}
+
+} // namespace
+} // namespace perple::sim

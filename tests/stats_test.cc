@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for src/stats: histograms, aggregation, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace perple::stats
+{
+namespace
+{
+
+// -------------------------- histogram -------------------------------
+
+TEST(HistogramTest, CountsAndBounds)
+{
+    Histogram h;
+    h.add(-5);
+    h.add(0);
+    h.add(0);
+    h.add(7, 3);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.min(), -5);
+    EXPECT_EQ(h.max(), 7);
+    EXPECT_EQ(h.at(0), 2u);
+    EXPECT_EQ(h.at(7), 3u);
+    EXPECT_EQ(h.at(99), 0u);
+}
+
+TEST(HistogramTest, MeanAndStddev)
+{
+    Histogram h;
+    h.add(1);
+    h.add(3);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 1.0);
+}
+
+TEST(HistogramTest, WeightedMean)
+{
+    Histogram h;
+    h.add(0, 3);
+    h.add(4, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(HistogramTest, DensitySumsToOne)
+{
+    Histogram h;
+    for (int i = -10; i <= 10; ++i)
+        h.add(i, static_cast<std::uint64_t>(1 + std::abs(i)));
+    double total = 0;
+    for (const auto &[sample, weight] : h.samples())
+        total += h.density(sample);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BinnedDensityIntegratesToOne)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.add(i % 50);
+    const auto bins = h.binned(10);
+    ASSERT_EQ(bins.size(), 10u);
+    double integral = 0;
+    const double width = bins[1].first - bins[0].first;
+    for (const auto &[center, density] : bins)
+        integral += density * width;
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, BinnedDegenerateSupport)
+{
+    Histogram h;
+    h.add(5, 10);
+    const auto bins = h.binned(4);
+    EXPECT_DOUBLE_EQ(bins[0].second, 1.0);
+}
+
+TEST(HistogramTest, EmptyHistogramThrows)
+{
+    Histogram h;
+    EXPECT_THROW(h.min(), UserError);
+    EXPECT_THROW(h.max(), UserError);
+    EXPECT_THROW(h.mean(), UserError);
+    EXPECT_THROW(h.binned(4), UserError);
+    EXPECT_EQ(h.density(0), 0.0);
+}
+
+// --------------------------- summary --------------------------------
+
+TEST(SummaryTest, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({5.0}), 5.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(SummaryTest, GeometricMeanRejectsNonPositive)
+{
+    EXPECT_THROW(geometricMean({1.0, 0.0}), UserError);
+    EXPECT_THROW(geometricMean({}), UserError);
+}
+
+TEST(SummaryTest, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_THROW(arithmeticMean({}), UserError);
+}
+
+TEST(SummaryTest, MeanOfRatiosOmitsZeroBaselines)
+{
+    int omitted = -1;
+    const double mean = meanOfRatiosOmittingZeroBaseline(
+        {10.0, 20.0, 5.0}, {1.0, 0.0, 1.0}, omitted);
+    EXPECT_EQ(omitted, 1);
+    EXPECT_DOUBLE_EQ(mean, 7.5);
+}
+
+TEST(SummaryTest, MeanOfRatiosAllZeroBaselines)
+{
+    int omitted = -1;
+    const double mean = meanOfRatiosOmittingZeroBaseline(
+        {1.0, 2.0}, {0.0, 0.0}, omitted);
+    EXPECT_EQ(omitted, 2);
+    EXPECT_DOUBLE_EQ(mean, 0.0);
+}
+
+TEST(SummaryTest, MeanOfRatiosLengthMismatchThrows)
+{
+    int omitted;
+    EXPECT_THROW(
+        meanOfRatiosOmittingZeroBaseline({1.0}, {1.0, 2.0}, omitted),
+        UserError);
+}
+
+// ---------------------------- table ---------------------------------
+
+TEST(TableTest, AlignsColumns)
+{
+    Table t({"test", "count"});
+    t.addRow({"sb", "12"});
+    t.addRow({"podwr001", "3"});
+    const std::string text = t.toString();
+    EXPECT_NE(text.find("test"), std::string::npos);
+    EXPECT_NE(text.find("sb"), std::string::npos);
+    EXPECT_NE(text.find("podwr001"), std::string::npos);
+    // Separator rule present.
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowWidthMismatchThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), UserError);
+}
+
+TEST(TableTest, NumRows)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"x"});
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TableTest, FormatNumber)
+{
+    EXPECT_EQ(formatNumber(0.0), "0");
+    EXPECT_EQ(formatNumber(3.14159), "3.14");
+    EXPECT_EQ(formatNumber(123456.0), "123456");
+    EXPECT_EQ(formatNumber(0.25), "0.2500");
+    // Very large and very small switch to scientific.
+    EXPECT_NE(formatNumber(1e9).find("e"), std::string::npos);
+    EXPECT_NE(formatNumber(1e-6).find("e"), std::string::npos);
+}
+
+TEST(TableTest, FormatCount)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace perple::stats

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for witness extraction (findFirstFrame + explainFrame) and
+ * the PSO-machine conformance property: a non-FIFO machine's outcomes
+ * stay inside the PSO envelope while escaping the TSO one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "model/operational.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+#include "sim/machine.h"
+#include "perple/witness.h"
+
+namespace perple::core
+{
+namespace
+{
+
+using litmus::SuiteEntry;
+using litmus::Value;
+
+HarnessResult
+runSb(std::int64_t iterations)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config;
+    config.seed = 3;
+    config.runExhaustive = false;
+    return runPerpetual(perpetual, iterations, {entry.test.target},
+                        config);
+}
+
+TEST(WitnessTest, DecodeWriterIdentifiesStores)
+{
+    const auto &rfi013 = litmus::findTest("rfi013");
+    const PerpetualTest perpetual = convert(rfi013.test);
+    const auto loc_x = rfi013.test.locationId("x");
+
+    litmus::ThreadId thread = -1;
+    std::int64_t iteration = -1;
+    // k_x = 2: value 2n + 1 belongs to the first store (thread 0).
+    ASSERT_TRUE(decodeWriter(perpetual, loc_x, 2 * 7 + 1, thread,
+                             iteration));
+    EXPECT_EQ(thread, 0);
+    EXPECT_EQ(iteration, 7);
+    // Value 2n + 2 belongs to the second store (also thread 0).
+    ASSERT_TRUE(decodeWriter(perpetual, loc_x, 2 * 9 + 2, thread,
+                             iteration));
+    EXPECT_EQ(thread, 0);
+    EXPECT_EQ(iteration, 9);
+}
+
+TEST(WitnessTest, DecodeWriterRejectsInitialValue)
+{
+    const auto &sb = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(sb.test);
+    litmus::ThreadId thread;
+    std::int64_t iteration;
+    EXPECT_FALSE(decodeWriter(perpetual, 0, 0, thread, iteration));
+}
+
+TEST(WitnessTest, ExhaustiveFindFirstFrameMatchesEvaluate)
+{
+    const auto &sb = litmus::findTest("sb");
+    const auto result = runSb(500);
+    const auto outcomes =
+        buildPerpetualOutcomes(sb.test, {sb.test.target});
+    const ExhaustiveCounter counter(sb.test, outcomes);
+
+    const auto frame =
+        counter.findFirstFrame(0, 500, result.run.bufs);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(counter.evaluate(0, *frame, 500, result.run.bufs));
+}
+
+TEST(WitnessTest, HeuristicFindFirstFrameSatisfiesExhaustive)
+{
+    const auto &sb = litmus::findTest("sb");
+    const auto result = runSb(500);
+    const auto outcomes =
+        buildPerpetualOutcomes(sb.test, {sb.test.target});
+    const HeuristicCounter heuristic(sb.test, outcomes);
+    const ExhaustiveCounter exhaustive(sb.test, outcomes);
+
+    const auto frame =
+        heuristic.findFirstFrame(0, 500, result.run.bufs);
+    ASSERT_TRUE(frame.has_value());
+    // The heuristic's frame is a genuine frame: the exhaustive
+    // evaluator confirms it.
+    EXPECT_TRUE(exhaustive.evaluate(0, *frame, 500, result.run.bufs));
+}
+
+TEST(WitnessTest, FindFirstFrameReturnsNulloptWhenAbsent)
+{
+    // A forbidden target on a correct machine has no witness.
+    const auto &mp = litmus::findTest("mp");
+    const PerpetualTest perpetual = convert(mp.test);
+    HarnessConfig config;
+    config.seed = 3;
+    config.runExhaustive = false;
+    const auto result = runPerpetual(perpetual, 1000,
+                                     {mp.test.target}, config);
+    const auto outcomes =
+        buildPerpetualOutcomes(mp.test, {mp.test.target});
+    const HeuristicCounter counter(mp.test, outcomes);
+    EXPECT_FALSE(counter.findFirstFrame(0, 1000, result.run.bufs)
+                     .has_value());
+}
+
+TEST(WitnessTest, ExplainFrameMentionsTheEvidence)
+{
+    const auto &sb = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(sb.test);
+    const auto result = runSb(500);
+    const auto outcomes =
+        buildPerpetualOutcomes(sb.test, {sb.test.target});
+    const HeuristicCounter counter(sb.test, outcomes);
+    const auto frame =
+        counter.findFirstFrame(0, 500, result.run.bufs);
+    ASSERT_TRUE(frame.has_value());
+
+    const std::string text = explainFrame(
+        perpetual, counter.outcomes()[0], *frame, result.run);
+    EXPECT_NE(text.find("witness for outcome 0:EAX=0"),
+              std::string::npos);
+    EXPECT_NE(text.find("frame: n_0 ="), std::string::npos);
+    EXPECT_NE(text.find("fr — older than"), std::string::npos);
+    EXPECT_NE(text.find("perpetual form:"), std::string::npos);
+}
+
+TEST(WitnessTest, ExplainFrameValidatesArity)
+{
+    const auto &sb = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(sb.test);
+    const auto result = runSb(100);
+    const auto outcomes =
+        buildPerpetualOutcomes(sb.test, {sb.test.target});
+    EXPECT_THROW(
+        explainFrame(perpetual, outcomes[0], {1}, result.run),
+        UserError);
+}
+
+// ------------------- PSO machine vs PSO model -----------------------
+
+class PsoConformanceTest
+    : public ::testing::TestWithParam<const SuiteEntry *>
+{};
+
+TEST_P(PsoConformanceTest, NonFifoMachineStaysInsidePsoEnvelope)
+{
+    const litmus::Test &test = GetParam()->test;
+
+    std::set<std::string> reachable;
+    for (const auto &fs : model::enumerateFinalStates(
+             test, model::MemoryModel::PSO)) {
+        std::string key;
+        for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+            const auto ut = static_cast<std::size_t>(t);
+            for (const auto &instr :
+                 test.threads[ut].instructions)
+                if (instr.isLoad())
+                    key += std::to_string(
+                               fs.regs[ut][static_cast<std::size_t>(
+                                   instr.reg)]) +
+                           ",";
+            key += ";";
+        }
+        reachable.insert(key);
+    }
+
+    sim::MachineConfig config;
+    config.seed = 99;
+    config.drainLatencyMean = 15;
+    config.fifoStoreBuffers = false; // The PSO machine.
+    config.addressMode = sim::AddressMode::PerIteration;
+    sim::Machine machine = sim::Machine::forOriginalTest(test, config);
+    sim::RunResult run;
+    machine.runLockstep(300, 0, 1.0, run);
+
+    for (std::size_t n = 0; n < 300; ++n) {
+        std::string key;
+        for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+            const auto ut = static_cast<std::size_t>(t);
+            const auto r_t = static_cast<std::size_t>(
+                test.threads[ut].numLoads());
+            for (std::size_t s = 0; s < r_t; ++s)
+                key += std::to_string(run.bufs[ut][r_t * n + s]) +
+                       ",";
+            key += ";";
+        }
+        EXPECT_TRUE(reachable.count(key))
+            << test.name << " iteration " << n
+            << " produced PSO-unreachable state " << key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PsoConformanceTest,
+    ::testing::ValuesIn([] {
+        std::vector<const SuiteEntry *> out;
+        for (const auto &entry : litmus::perpetualSuite())
+            out.push_back(&entry);
+        return out;
+    }()),
+    [](const ::testing::TestParamInfo<const SuiteEntry *> &param_info) {
+        std::string name = param_info.param->test.name;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace perple::core
