@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter_scaling.dir/ablation_counter_scaling.cc.o"
+  "CMakeFiles/ablation_counter_scaling.dir/ablation_counter_scaling.cc.o.d"
+  "ablation_counter_scaling"
+  "ablation_counter_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_overhead.dir/ablation_sync_overhead.cc.o"
+  "CMakeFiles/ablation_sync_overhead.dir/ablation_sync_overhead.cc.o.d"
+  "ablation_sync_overhead"
+  "ablation_sync_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

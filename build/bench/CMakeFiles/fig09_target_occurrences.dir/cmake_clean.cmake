@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_target_occurrences.dir/fig09_target_occurrences.cc.o"
+  "CMakeFiles/fig09_target_occurrences.dir/fig09_target_occurrences.cc.o.d"
+  "fig09_target_occurrences"
+  "fig09_target_occurrences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_target_occurrences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

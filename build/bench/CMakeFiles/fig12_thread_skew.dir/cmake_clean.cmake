@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_thread_skew.dir/fig12_thread_skew.cc.o"
+  "CMakeFiles/fig12_thread_skew.dir/fig12_thread_skew.cc.o.d"
+  "fig12_thread_skew"
+  "fig12_thread_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_thread_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_outcome_variety.dir/fig13_outcome_variety.cc.o"
+  "CMakeFiles/fig13_outcome_variety.dir/fig13_outcome_variety.cc.o.d"
+  "fig13_outcome_variety"
+  "fig13_outcome_variety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_outcome_variety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

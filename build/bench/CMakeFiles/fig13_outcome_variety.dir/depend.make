@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_outcome_variety.
+# This may be replaced when dependencies are built.

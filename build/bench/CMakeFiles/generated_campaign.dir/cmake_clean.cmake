@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_campaign.dir/generated_campaign.cc.o"
+  "CMakeFiles/generated_campaign.dir/generated_campaign.cc.o.d"
+  "generated_campaign"
+  "generated_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

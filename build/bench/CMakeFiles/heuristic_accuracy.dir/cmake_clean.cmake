@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_accuracy.dir/heuristic_accuracy.cc.o"
+  "CMakeFiles/heuristic_accuracy.dir/heuristic_accuracy.cc.o.d"
+  "heuristic_accuracy"
+  "heuristic_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7g_overall_impact.dir/sec7g_overall_impact.cc.o"
+  "CMakeFiles/sec7g_overall_impact.dir/sec7g_overall_impact.cc.o.d"
+  "sec7g_overall_impact"
+  "sec7g_overall_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7g_overall_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

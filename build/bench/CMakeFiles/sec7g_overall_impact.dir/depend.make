@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7g_overall_impact.
+# This may be replaced when dependencies are built.

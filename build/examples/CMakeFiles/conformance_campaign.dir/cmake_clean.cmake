@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_campaign.dir/conformance_campaign.cpp.o"
+  "CMakeFiles/conformance_campaign.dir/conformance_campaign.cpp.o.d"
+  "conformance_campaign"
+  "conformance_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

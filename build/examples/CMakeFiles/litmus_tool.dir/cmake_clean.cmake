@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_tool.dir/litmus_tool.cpp.o"
+  "CMakeFiles/litmus_tool.dir/litmus_tool.cpp.o.d"
+  "litmus_tool"
+  "litmus_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

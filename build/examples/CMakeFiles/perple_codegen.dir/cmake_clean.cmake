@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_codegen.dir/perple_codegen.cpp.o"
+  "CMakeFiles/perple_codegen.dir/perple_codegen.cpp.o.d"
+  "perple_codegen"
+  "perple_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_validator_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_registry_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus7_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/converter_test[1]_include.cmake")
+include("/root/repo/build/tests/perpetual_outcome_test[1]_include.cmake")
+include("/root/repo/build/tests/counters_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/witness_test[1]_include.cmake")
+include("/root/repo/build/tests/rmw_test[1]_include.cmake")
+include("/root/repo/build/tests/fast_counter_test[1]_include.cmake")
