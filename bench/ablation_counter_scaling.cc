@@ -57,12 +57,15 @@ main()
                                  test.numLocations(), machine_config);
             sim::RunResult run;
             machine.runFree(n, 0, run);
+            // Raw buf pointers gathered once per run, reused by both
+            // counters (and by repeated counting at the same N).
+            const core::RawBufs raw(run.bufs);
 
             WallTimer timer;
-            exhaustive.count(n, run.bufs);
+            exhaustive.count(n, raw);
             const double exh_seconds = timer.elapsedSeconds();
             timer.restart();
-            heuristic.count(n, run.bufs);
+            heuristic.count(n, raw);
             const double heur_seconds = timer.elapsedSeconds();
 
             // Growth exponent between successive ladder points:

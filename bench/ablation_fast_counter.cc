@@ -43,6 +43,9 @@ main()
                              config);
         sim::RunResult run;
         machine.runFree(n, 0, run);
+        // Raw buf pointers gathered once per run for all counters.
+        const core::RawBufs raw(run.bufs);
+        const std::size_t threads = analysisThreads();
 
         // The brute-force scan is only affordable at small N.
         std::string brute_text = "(skipped)";
@@ -50,19 +53,20 @@ main()
         if (n <= 20000) {
             WallTimer timer;
             brute_count =
-                brute.count(n, run.bufs,
-                            core::CountMode::Independent)[0];
+                brute.count(n, raw, core::CountMode::Independent,
+                            threads)[0];
             brute_text = format("%.1f ms",
                                 timer.elapsedSeconds() * 1e3);
         }
 
         WallTimer timer;
-        const std::uint64_t fast_count = fast.count(n, run.bufs);
+        const std::uint64_t fast_count = fast.count(n, raw, threads);
         const double fast_seconds = timer.elapsedSeconds();
 
         timer.restart();
         const auto heur =
-            heuristic.count(n, run.bufs, core::CountMode::Independent);
+            heuristic.count(n, raw, core::CountMode::Independent,
+                            threads);
         const double heur_seconds = timer.elapsedSeconds();
 
         if (n <= 20000 && brute_count != fast_count) {

@@ -11,11 +11,18 @@
  *                       (real threads; reproduces the paper on a
  *                       multicore host)
  *   PERPLE_SEED         base RNG seed (default 1)
+ *   PERPLE_ANALYSIS_THREADS
+ *                       worker threads for the outcome counters
+ *                       (default 0 = hardware concurrency; 1 forces
+ *                       the serial reference path; counts are
+ *                       bit-identical either way)
  */
 
 #ifndef PERPLE_BENCH_COMMON_H
 #define PERPLE_BENCH_COMMON_H
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -56,6 +63,31 @@ baseSeed()
     return 1;
 }
 
+/** Counter worker threads from PERPLE_ANALYSIS_THREADS (default 0 =
+ *  hardware concurrency). */
+inline std::size_t
+analysisThreads()
+{
+    if (const char *env = std::getenv("PERPLE_ANALYSIS_THREADS"))
+        return static_cast<std::size_t>(std::atoll(env));
+    return 0;
+}
+
+/** Frame cap for the T_L = 3 exhaustive scans (Figures 9/10). The
+ *  scan examines cap^3 frames; the parallel analysis engine splits
+ *  them across the counter workers, so the affordable cap grows with
+ *  the cube root of the worker count at constant wall time (400 at
+ *  one worker, the paper-scale baseline). */
+inline std::int64_t
+exhaustiveCapT3(std::int64_t iterations)
+{
+    const std::size_t workers =
+        common::ThreadPool::resolveThreads(analysisThreads());
+    const auto cap = static_cast<std::int64_t>(
+        400.0 * std::cbrt(static_cast<double>(workers)));
+    return std::min<std::int64_t>(iterations, cap);
+}
+
 /** One method's result on one test: target count and wall seconds. */
 struct MethodResult
 {
@@ -83,6 +115,7 @@ runPerple(const litmus::Test &test, std::int64_t iterations,
     config.seed = baseSeed();
     config.runExhaustive = run_exhaustive;
     config.exhaustiveCap = exhaustive_cap;
+    config.analysisThreads = analysisThreads();
     return core::runPerpetual(perpetual, iterations, {test.target},
                               config);
 }

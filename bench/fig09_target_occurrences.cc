@@ -26,7 +26,7 @@ main()
 
     const std::int64_t iterations = scaledIterations(10000);
     const std::int64_t exhaustive_cap =
-        std::min<std::int64_t>(iterations, 400); // For T_L = 3 tests.
+        exhaustiveCapT3(iterations); // For T_L = 3 tests.
     banner("Figure 9: target outcome occurrences", iterations);
 
     stats::Table table({"test", "", "perple-exh", "perple-heur",

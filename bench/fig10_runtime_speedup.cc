@@ -36,7 +36,7 @@ main()
 
         const auto perple = runPerple(
             test, iterations, /*run_exhaustive=*/true,
-            cap_needed ? std::min<std::int64_t>(iterations, 400) : 0);
+            cap_needed ? exhaustiveCapT3(iterations) : 0);
         const double exh_seconds = perple.exhaustiveSeconds();
         const double heur_seconds = perple.heuristicSeconds();
 

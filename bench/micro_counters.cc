@@ -45,9 +45,11 @@ BM_ExhaustiveCounterFrames(benchmark::State &state)
     const core::ExhaustiveCounter counter(test, outcomes);
     const std::int64_t n = state.range(0);
     const auto &run = cachedRun("sb", n);
+    // Raw buf pointers gathered once per run, not once per count().
+    const core::RawBufs raw(run.bufs);
 
     for (auto _ : state) {
-        auto counts = counter.count(n, run.bufs);
+        auto counts = counter.count(n, raw);
         benchmark::DoNotOptimize(counts);
     }
     state.SetItemsProcessed(state.iterations() * n * n);
@@ -55,6 +57,33 @@ BM_ExhaustiveCounterFrames(benchmark::State &state)
                                static_cast<double>(n);
 }
 BENCHMARK(BM_ExhaustiveCounterFrames)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_ExhaustiveCounterFramesParallel(benchmark::State &state)
+{
+    const auto &test = litmus::findTest("sb").test;
+    const auto outcomes = core::buildPerpetualOutcomes(
+        test, litmus::enumerateRegisterOutcomes(test));
+    const core::ExhaustiveCounter counter(test, outcomes);
+    const std::int64_t n = 4096;
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    const auto &run = cachedRun("sb", n);
+    const core::RawBufs raw(run.bufs);
+
+    for (auto _ : state) {
+        auto counts = counter.count(n, raw, core::CountMode::FirstMatch,
+                                    threads);
+        benchmark::DoNotOptimize(counts);
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+    state.counters["threads"] = static_cast<double>(
+        perple::common::ThreadPool::resolveThreads(threads));
+}
+BENCHMARK(BM_ExhaustiveCounterFramesParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0); // 0 = hardware concurrency.
 
 void
 BM_HeuristicCounterPivots(benchmark::State &state)
@@ -65,9 +94,10 @@ BM_HeuristicCounterPivots(benchmark::State &state)
     const core::HeuristicCounter counter(test, outcomes);
     const std::int64_t n = state.range(0);
     const auto &run = cachedRun("sb", n);
+    const core::RawBufs raw(run.bufs);
 
     for (auto _ : state) {
-        auto counts = counter.count(n, run.bufs);
+        auto counts = counter.count(n, raw);
         benchmark::DoNotOptimize(counts);
     }
     state.SetItemsProcessed(state.iterations() * n);

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Thread-scaling microbench for the parallel outcome-analysis engine.
+ *
+ * Sweeps the analysisThreads knob over {1, 2, 4, hardware} for the
+ * three counters and reports wall time plus speedup over the serial
+ * reference path, so the perf trajectory of the analysis phase is
+ * tracked across PRs. Results are printed as a table and written to
+ * BENCH_parallel_scaling.json.
+ *
+ * Workloads (base values, scaled by PERPLE_ITERS_SCALE):
+ *  - exhaustive: sb at N = 2,000 and 8,000 (4M / 64M frames — the
+ *    N^2 scan dominates, which is where sharding pays off most);
+ *  - heuristic:  sb at N = 100,000 and 1,000,000 (one pivot pass);
+ *  - fast:       sb at N = 100,000 and 1,000,000 (interval build +
+ *    sharded Fenwick sweep).
+ *
+ * Counts are asserted identical across thread counts while timing —
+ * a mismatch fails the bench.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace
+{
+
+using namespace perple;
+using namespace perple::bench;
+
+struct Sample
+{
+    std::string counter;
+    std::int64_t iterations = 0;
+    std::size_t threads = 0;
+    double seconds = 0.0;
+    double speedup = 1.0;
+};
+
+std::vector<std::size_t>
+threadLadder()
+{
+    std::set<std::size_t> ladder = {
+        1, 2, 4, common::ThreadPool::hardwareThreads()};
+    return {ladder.begin(), ladder.end()};
+}
+
+/** Best-of-3 wall seconds of @p body (first call may warm the pool). */
+template <typename Fn>
+double
+timeBestOf3(const Fn &body)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        WallTimer timer;
+        body();
+        const double seconds = timer.elapsedSeconds();
+        if (rep == 0 || seconds < best)
+            best = seconds;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Micro: analysis-engine thread scaling (sb)",
+           scaledIterations(1000000));
+    std::printf("hardware threads: %zu\n\n",
+                common::ThreadPool::hardwareThreads());
+
+    const auto &sb = litmus::findTest("sb").test;
+    const auto perpetual = core::convert(sb);
+    const auto outcomes = core::buildPerpetualOutcomes(
+        sb, litmus::enumerateRegisterOutcomes(sb));
+    const core::ExhaustiveCounter exhaustive(sb, outcomes);
+    const core::HeuristicCounter heuristic(sb, outcomes);
+    const auto target = core::buildPerpetualOutcome(sb, sb.target);
+    const core::FastExhaustiveCounter fast(sb, target);
+
+    // One simulated run per N, shared across counters and thread
+    // counts; raw buf pointers gathered once per run.
+    const auto simulate = [&](std::int64_t n) {
+        sim::MachineConfig config;
+        config.seed = baseSeed();
+        sim::Machine machine(perpetual.programs, sb.numLocations(),
+                             config);
+        sim::RunResult run;
+        machine.runFree(n, 0, run);
+        return run;
+    };
+
+    std::vector<Sample> samples;
+    bool mismatch = false;
+
+    const auto sweep = [&](const char *counter_name, std::int64_t base,
+                           const auto &count_once) {
+        const std::int64_t n = scaledIterations(base);
+        const sim::RunResult run = simulate(n);
+        const core::RawBufs raw(run.bufs);
+
+        double serial_seconds = 0.0;
+        std::uint64_t serial_digest = 0;
+        for (const std::size_t threads : threadLadder()) {
+            std::uint64_t digest = 0;
+            const double seconds = timeBestOf3(
+                [&] { digest = count_once(n, raw, threads); });
+            if (threads == 1) {
+                serial_seconds = seconds;
+                serial_digest = digest;
+            } else if (digest != serial_digest) {
+                std::printf("COUNT MISMATCH: %s N=%lld threads=%zu\n",
+                            counter_name, static_cast<long long>(n),
+                            threads);
+                mismatch = true;
+            }
+            Sample sample;
+            sample.counter = counter_name;
+            sample.iterations = n;
+            sample.threads = threads;
+            sample.seconds = seconds;
+            sample.speedup =
+                seconds > 0.0 ? serial_seconds / seconds : 1.0;
+            samples.push_back(sample);
+        }
+    };
+
+    const auto digest_counts = [](const core::Counts &counts) {
+        std::uint64_t digest = 0;
+        for (const std::uint64_t c : counts)
+            digest = digest * 1000003u + c;
+        return digest;
+    };
+
+    for (const std::int64_t base : {2000LL, 8000LL})
+        sweep("exhaustive", base,
+              [&](std::int64_t n, const core::RawBufs &raw,
+                  std::size_t threads) {
+                  return digest_counts(exhaustive.count(
+                      n, raw, core::CountMode::FirstMatch, threads));
+              });
+    for (const std::int64_t base : {100000LL, 1000000LL})
+        sweep("heuristic", base,
+              [&](std::int64_t n, const core::RawBufs &raw,
+                  std::size_t threads) {
+                  return digest_counts(heuristic.count(
+                      n, raw, core::CountMode::FirstMatch, threads));
+              });
+    for (const std::int64_t base : {100000LL, 1000000LL})
+        sweep("fast", base,
+              [&](std::int64_t n, const core::RawBufs &raw,
+                  std::size_t threads) {
+                  return fast.count(n, raw, threads);
+              });
+
+    stats::Table table(
+        {"counter", "N", "threads", "wall", "speedup vs 1T"});
+    for (const Sample &sample : samples)
+        table.addRow(
+            {sample.counter,
+             stats::formatCount(
+                 static_cast<std::uint64_t>(sample.iterations)),
+             format("%zu", sample.threads),
+             format("%.2f ms", sample.seconds * 1e3),
+             format("%.2fx", sample.speedup)});
+    std::printf("%s\n", table.toString().c_str());
+
+    std::FILE *json = std::fopen("BENCH_parallel_scaling.json", "w");
+    if (json == nullptr) {
+        std::printf("cannot write BENCH_parallel_scaling.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"bench\": \"parallel_scaling\",\n"
+                 "  \"hardware_threads\": %zu,\n  \"results\": [\n",
+                 common::ThreadPool::hardwareThreads());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &sample = samples[i];
+        std::fprintf(
+            json,
+            "    {\"counter\": \"%s\", \"iterations\": %lld, "
+            "\"threads\": %zu, \"seconds\": %.6f, "
+            "\"speedup_vs_serial\": %.3f}%s\n",
+            sample.counter.c_str(),
+            static_cast<long long>(sample.iterations), sample.threads,
+            sample.seconds, sample.speedup,
+            i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_parallel_scaling.json\n");
+
+    return mismatch ? 1 : 0;
+}

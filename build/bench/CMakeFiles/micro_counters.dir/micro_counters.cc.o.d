@@ -186,10 +186,15 @@ bench/CMakeFiles/micro_counters.dir/micro_counters.cc.o: \
  /root/repo/src/perple/perple.h /root/repo/src/common/error.h \
  /root/repo/src/common/logging.h /root/repo/src/common/rng.h \
  /root/repo/src/common/strings.h /usr/include/c++/12/cstdarg \
- /root/repo/src/common/timing.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -204,26 +209,36 @@ bench/CMakeFiles/micro_counters.dir/micro_counters.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/common/timing.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/generate/generator.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/litmus/registry.h /root/repo/src/litmus/test.h \
- /root/repo/src/litmus/instruction.h /root/repo/src/litmus/types.h \
- /root/repo/src/litmus/outcome.h /root/repo/src/model/operational.h \
- /root/repo/src/model/final_state.h /root/repo/src/litmus/builder.h \
- /root/repo/src/litmus/parser.h /root/repo/src/litmus/validator.h \
- /root/repo/src/litmus/writer.h /root/repo/src/litmus7/runner.h \
- /root/repo/src/runtime/barrier.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/optional /root/repo/src/litmus/registry.h \
+ /root/repo/src/litmus/test.h /root/repo/src/litmus/instruction.h \
+ /root/repo/src/litmus/types.h /root/repo/src/litmus/outcome.h \
+ /root/repo/src/model/operational.h /root/repo/src/model/final_state.h \
+ /root/repo/src/litmus/builder.h /root/repo/src/litmus/parser.h \
+ /root/repo/src/litmus/validator.h /root/repo/src/litmus/writer.h \
+ /root/repo/src/litmus7/runner.h /root/repo/src/runtime/barrier.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
@@ -232,11 +247,10 @@ bench/CMakeFiles/micro_counters.dir/micro_counters.cc.o: \
  /root/repo/src/model/axiomatic.h /root/repo/src/model/classify.h \
  /root/repo/src/model/hbgraph.h /root/repo/src/perple/codegen.h \
  /root/repo/src/perple/converter.h /root/repo/src/sim/program.h \
- /root/repo/src/perple/counters.h \
+ /root/repo/src/perple/counters.h /root/repo/src/perple/compiled_atoms.h \
  /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h \
  /root/repo/src/perple/fast_counter.h /root/repo/src/perple/harness.h \
  /root/repo/src/perple/skew.h /root/repo/src/stats/histogram.h \
  /root/repo/src/perple/witness.h /root/repo/src/runtime/native_runner.h \
- /root/repo/src/sim/machine.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/stats/summary.h /root/repo/src/stats/table.h
+ /root/repo/src/sim/machine.h /root/repo/src/stats/summary.h \
+ /root/repo/src/stats/table.h

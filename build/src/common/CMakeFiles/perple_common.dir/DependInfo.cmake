@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/perple_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/perple_common.dir/logging.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/perple_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/perple_common.dir/rng.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/perple_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/perple_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/perple_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/perple_common.dir/thread_pool.cc.o.d"
   "/root/repo/src/common/timing.cc" "src/common/CMakeFiles/perple_common.dir/timing.cc.o" "gcc" "src/common/CMakeFiles/perple_common.dir/timing.cc.o.d"
   )
 

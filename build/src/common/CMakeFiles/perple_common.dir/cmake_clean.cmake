@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/perple_common.dir/rng.cc.o.d"
   "CMakeFiles/perple_common.dir/strings.cc.o"
   "CMakeFiles/perple_common.dir/strings.cc.o.d"
+  "CMakeFiles/perple_common.dir/thread_pool.cc.o"
+  "CMakeFiles/perple_common.dir/thread_pool.cc.o.d"
   "CMakeFiles/perple_common.dir/timing.cc.o"
   "CMakeFiles/perple_common.dir/timing.cc.o.d"
   "libperple_common.a"

@@ -144,4 +144,5 @@ src/perple/CMakeFiles/perple_core.dir/codegen.cc.o: \
  /root/repo/src/litmus/writer.h /root/repo/src/perple/counters.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/perple/compiled_atoms.h \
  /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h

@@ -177,8 +177,7 @@ src/perple/CMakeFiles/perple_core.dir/harness.cc.o: \
  /root/repo/src/litmus/types.h /root/repo/src/perple/converter.h \
  /root/repo/src/litmus/test.h /root/repo/src/litmus/instruction.h \
  /root/repo/src/sim/program.h /root/repo/src/perple/counters.h \
- /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h \
- /root/repo/src/sim/config.h /usr/include/c++/12/algorithm \
+ /root/repo/src/perple/compiled_atoms.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -189,8 +188,10 @@ src/perple/CMakeFiles/perple_core.dir/harness.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/error.h \
- /root/repo/src/runtime/native_runner.h /root/repo/src/runtime/barrier.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
+ /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h \
+ /root/repo/src/sim/config.h /root/repo/src/runtime/native_runner.h \
+ /root/repo/src/runtime/barrier.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \

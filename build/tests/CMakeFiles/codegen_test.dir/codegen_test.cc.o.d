@@ -303,7 +303,12 @@ tests/CMakeFiles/codegen_test.dir/codegen_test.cc.o: \
  /root/repo/src/litmus/types.h /root/repo/src/litmus/outcome.h \
  /root/repo/src/perple/codegen.h /root/repo/src/perple/converter.h \
  /root/repo/src/sim/program.h /root/repo/src/perple/counters.h \
- /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h \
- /root/repo/src/sim/machine.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/rng.h /root/repo/src/sim/config.h
+ /root/repo/src/perple/compiled_atoms.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/error.h /root/repo/src/perple/perpetual_outcome.h \
+ /root/repo/src/sim/result.h /root/repo/src/sim/machine.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/rng.h \
+ /root/repo/src/sim/config.h

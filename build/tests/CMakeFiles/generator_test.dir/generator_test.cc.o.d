@@ -301,7 +301,10 @@ tests/CMakeFiles/generator_test.dir/generator_test.cc.o: \
  /root/repo/src/litmus/parser.h /root/repo/src/litmus/validator.h \
  /root/repo/src/litmus/writer.h /root/repo/src/model/axiomatic.h \
  /root/repo/src/perple/converter.h /root/repo/src/sim/program.h \
- /root/repo/src/perple/counters.h \
+ /root/repo/src/perple/counters.h /root/repo/src/perple/compiled_atoms.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h \
  /root/repo/src/perple/harness.h /root/repo/src/common/timing.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \

@@ -300,6 +300,10 @@ tests/CMakeFiles/harness_test.dir/harness_test.cc.o: \
  /root/repo/src/perple/harness.h /root/repo/src/common/timing.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/perple/counters.h \
+ /root/repo/src/perple/compiled_atoms.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h \
  /root/repo/src/sim/config.h /root/repo/src/perple/skew.h \
  /root/repo/src/stats/histogram.h

@@ -302,5 +302,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cc.o: \
  /root/repo/src/model/classify.h /root/repo/src/model/operational.h \
  /root/repo/src/model/final_state.h /root/repo/src/perple/converter.h \
  /root/repo/src/sim/program.h /root/repo/src/perple/harness.h \
- /root/repo/src/perple/counters.h \
- /root/repo/src/perple/perpetual_outcome.h /root/repo/src/sim/result.h
+ /root/repo/src/perple/counters.h /root/repo/src/perple/compiled_atoms.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/error.h /root/repo/src/perple/perpetual_outcome.h \
+ /root/repo/src/sim/result.h

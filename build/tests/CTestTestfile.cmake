@@ -25,3 +25,4 @@ include("/root/repo/build/tests/generator_test[1]_include.cmake")
 include("/root/repo/build/tests/witness_test[1]_include.cmake")
 include("/root/repo/build/tests/rmw_test[1]_include.cmake")
 include("/root/repo/build/tests/fast_counter_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_counters_test[1]_include.cmake")

@@ -1,0 +1,153 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <map>
+#include <memory>
+
+#include "common/error.h"
+
+namespace perple::common
+{
+
+ThreadPool::ThreadPool(std::size_t threads) : num_threads_(threads)
+{
+    checkUser(threads >= 1, "a thread pool needs at least one thread");
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping_, queue drained.
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain, const RangeFn &fn)
+{
+    if (end <= begin)
+        return;
+    const std::int64_t total = end - begin;
+    const std::int64_t min_chunk = grain < 1 ? 1 : grain;
+    const auto max_chunks =
+        static_cast<std::size_t>((total + min_chunk - 1) / min_chunk);
+    const std::size_t chunks = std::min(num_threads_, max_chunks);
+
+    if (chunks <= 1) {
+        fn(0, begin, end);
+        return;
+    }
+
+    // One completion record per call; the pool itself can serve
+    // several concurrent parallelFor calls (tasks queue FIFO).
+    struct Job
+    {
+        std::mutex done_mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::exception_ptr error;
+    };
+    auto job = std::make_shared<Job>();
+    job->remaining = chunks - 1;
+
+    const auto chunk_bounds = [begin, total, chunks](std::size_t d) {
+        return begin + static_cast<std::int64_t>(
+                           (static_cast<__int128>(total) *
+                            static_cast<__int128>(d)) /
+                           static_cast<__int128>(chunks));
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t d = 1; d < chunks; ++d) {
+            tasks_.emplace_back([job, &fn, d, chunk_bounds] {
+                try {
+                    fn(d, chunk_bounds(d), chunk_bounds(d + 1));
+                } catch (...) {
+                    std::lock_guard<std::mutex> done_lock(
+                        job->done_mutex);
+                    if (!job->error)
+                        job->error = std::current_exception();
+                }
+                {
+                    std::lock_guard<std::mutex> done_lock(
+                        job->done_mutex);
+                    --job->remaining;
+                }
+                job->done.notify_one();
+            });
+        }
+    }
+    wake_.notify_all();
+
+    // The calling thread is shard 0.
+    std::exception_ptr own_error;
+    try {
+        fn(0, chunk_bounds(0), chunk_bounds(1));
+    } catch (...) {
+        own_error = std::current_exception();
+    }
+
+    std::unique_lock<std::mutex> done_lock(job->done_mutex);
+    job->done.wait(done_lock, [&job] { return job->remaining == 0; });
+    if (own_error)
+        std::rethrow_exception(own_error);
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t
+ThreadPool::resolveThreads(std::size_t requested)
+{
+    if (requested == 0)
+        return hardwareThreads();
+    return requested < kMaxThreads ? requested : kMaxThreads;
+}
+
+ThreadPool &
+ThreadPool::shared(std::size_t threads)
+{
+    const std::size_t n = resolveThreads(threads);
+    static std::mutex registry_mutex;
+    static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    std::unique_ptr<ThreadPool> &slot = pools[n];
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(n);
+    return *slot;
+}
+
+} // namespace perple::common

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A fixed-size thread pool with a blocking, range-sharding
+ * parallelFor, shared by the outcome-analysis engine.
+ *
+ * PerpLE's post-hoc counters examine frames that are completely
+ * independent of each other, so the analysis phase parallelizes by
+ * splitting an index range into contiguous chunks. The pool is created
+ * once and reused across count() calls (no per-call thread spawn); the
+ * calling thread executes the first chunk itself, so a pool of size 1
+ * never touches a worker thread and degenerates to the serial path.
+ */
+
+#ifndef PERPLE_COMMON_THREAD_POOL_H
+#define PERPLE_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace perple::common
+{
+
+/** A fixed-size pool executing sharded index-range jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total parallelism including the calling thread
+     *        (>= 1); the pool spawns threads - 1 workers.
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism of the pool (workers + calling thread). */
+    std::size_t
+    numThreads() const
+    {
+        return num_threads_;
+    }
+
+    /**
+     * A chunk body: @p shard is the chunk's index (stable and unique
+     * per call, < numThreads()), [@p begin, @p end) the contiguous
+     * index sub-range assigned to it.
+     */
+    using RangeFn = std::function<void(
+        std::size_t shard, std::int64_t begin, std::int64_t end)>;
+
+    /**
+     * Execute @p fn over [@p begin, @p end) split into at most
+     * numThreads() contiguous chunks of at least @p grain indices
+     * each; blocks until every chunk has finished. The calling thread
+     * runs chunk 0. The first exception thrown by any chunk is
+     * rethrown here (after all chunks have completed).
+     */
+    void parallelFor(std::int64_t begin, std::int64_t end,
+                     std::int64_t grain, const RangeFn &fn);
+
+    /**
+     * Upper bound on the parallelism a thread-count knob can request.
+     * A nonsense knob value (e.g. a negative environment variable
+     * cast to std::size_t) must not make pool construction attempt
+     * billions of threads.
+     */
+    static constexpr std::size_t kMaxThreads = 256;
+
+    /** std::thread::hardware_concurrency(), at least 1. */
+    static std::size_t hardwareThreads();
+
+    /** Map a thread-count knob: 0 = hardwareThreads(), otherwise the
+     *  requested count clamped to kMaxThreads. */
+    static std::size_t resolveThreads(std::size_t requested);
+
+    /**
+     * The process-wide pool of exactly @p threads total parallelism
+     * (0 = hardware concurrency). Pools are created lazily on first
+     * use and reused for the lifetime of the process.
+     */
+    static ThreadPool &shared(std::size_t threads);
+
+  private:
+    void workerLoop();
+
+    std::size_t num_threads_;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> tasks_;
+    bool stopping_ = false;
+};
+
+} // namespace perple::common
+
+#endif // PERPLE_COMMON_THREAD_POOL_H

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Compiled perpetual-outcome atoms: the counters' innermost loop.
+ *
+ * The symbolic Atom representation (perpetual_outcome.h) is convenient
+ * to build and print but expensive to evaluate: every atom resolves
+ * its existential-thread slot with a std::find, re-reads nested
+ * std::vector metadata, and re-tests a consumed-condition mask that is
+ * constant for a given counter. Both counters therefore *compile*
+ * their outcomes at construction time into a flat array of POD
+ * CompiledAtom records: the existential slot is a precomputed index,
+ * the consumed-condition skip is folded out (consumed atoms are simply
+ * not emitted), and the per-frame evaluation becomes a branch-light
+ * scan over contiguous structs. Buf base pointers are bound once per
+ * count() call through RawBufs (counters.h), not per frame.
+ *
+ * Evaluation is pure (no shared mutable state), which is what makes
+ * the frame scan embarrassingly parallel — see ThreadPool and the
+ * "Parallel outcome counting" section of DESIGN.md.
+ */
+
+#ifndef PERPLE_CORE_COMPILED_ATOMS_H
+#define PERPLE_CORE_COMPILED_ATOMS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "litmus/types.h"
+#include "perple/perpetual_outcome.h"
+
+namespace perple::core::detail
+{
+
+/** At most this many existential store-only threads per outcome. */
+constexpr std::size_t kMaxExistential = 8;
+
+/** Floor division for positive divisors. */
+inline std::int64_t
+floorDiv(std::int64_t a, std::int64_t b)
+{
+    // b > 0 always (sequence strides).
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+/** Ceiling division for positive divisors. */
+inline std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return a > 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+/** One atom, flattened for the innermost counter loop. */
+struct CompiledAtom
+{
+    /** Thread owning the loaded value (raw-buf / frame index). */
+    std::int32_t bufThread = -1;
+
+    /** Loads per iteration of bufThread (buf stride). */
+    std::int32_t loadsPerIteration = 0;
+
+    /** The load's slot within the iteration stripe (buf offset). */
+    std::int32_t slot = 0;
+
+    /** Frame thread of the index variable, or -1 when existential. */
+    std::int32_t frameThread = -1;
+
+    /** Existential lo/hi slot of the index variable, or -1. */
+    std::int32_t existSlot = -1;
+
+    /** True for rf (ReadsAtOrAfter), false for fr (ReadsBefore). */
+    bool readsAtOrAfter = true;
+
+    /** Congruence check (rf atoms only). */
+    bool checkResidue = false;
+
+    /** Sequence stride of the load's location. */
+    std::int64_t stride = 1;
+
+    /** Sequence offset (the original stored constant). */
+    std::int64_t offset = 0;
+};
+
+/** A compiled outcome: the atoms a counter actually evaluates. */
+struct CompiledOutcome
+{
+    std::vector<CompiledAtom> atoms;
+    std::size_t numExistential = 0;
+};
+
+/**
+ * Compile @p outcome, dropping atoms of conditions in @p skip_mask
+ * (the heuristic counter's substitution-consumed conditions; the
+ * exhaustive counter passes 0).
+ */
+inline CompiledOutcome
+compileOutcome(const PerpetualOutcome &outcome, std::uint32_t skip_mask)
+{
+    CompiledOutcome compiled;
+    compiled.numExistential = outcome.existentialThreads.size();
+    checkUser(compiled.numExistential <= kMaxExistential,
+              "too many store-only threads in one outcome");
+    compiled.atoms.reserve(outcome.atoms.size());
+    for (const Atom &atom : outcome.atoms) {
+        if (skip_mask &
+            (1u << static_cast<unsigned>(atom.conditionIndex)))
+            continue;
+        CompiledAtom flat;
+        flat.bufThread = atom.value.thread;
+        flat.loadsPerIteration =
+            static_cast<std::int32_t>(atom.value.loadsPerIteration);
+        flat.slot = static_cast<std::int32_t>(atom.value.slot);
+        flat.readsAtOrAfter = atom.kind == Atom::Kind::ReadsAtOrAfter;
+        flat.checkResidue = flat.readsAtOrAfter && atom.checkResidue;
+        flat.stride = atom.stride;
+        flat.offset = atom.offset;
+        if (atom.indexIsFrame) {
+            flat.frameThread = atom.indexThread;
+        } else {
+            const auto it = std::find(
+                outcome.existentialThreads.begin(),
+                outcome.existentialThreads.end(), atom.indexThread);
+            checkInternal(it != outcome.existentialThreads.end(),
+                          "existential atom index thread missing from "
+                          "the outcome's existential-thread list");
+            flat.existSlot = static_cast<std::int32_t>(
+                it - outcome.existentialThreads.begin());
+        }
+        compiled.atoms.push_back(flat);
+    }
+    return compiled;
+}
+
+/** Compile several outcomes with a shared skip mask. */
+inline std::vector<CompiledOutcome>
+compileOutcomes(const std::vector<PerpetualOutcome> &outcomes,
+                std::uint32_t skip_mask = 0)
+{
+    std::vector<CompiledOutcome> compiled;
+    compiled.reserve(outcomes.size());
+    for (const PerpetualOutcome &outcome : outcomes)
+        compiled.push_back(compileOutcome(outcome, skip_mask));
+    return compiled;
+}
+
+/**
+ * Evaluate a compiled outcome under the frame assignment
+ * @p idx_by_thread (index -1 for threads without one).
+ *
+ * @param outcome The compiled outcome.
+ * @param idx_by_thread Iteration index per thread id.
+ * @param iterations N (bounds existential indices).
+ * @param bufs Raw buf base pointers per thread (RawBufs::data()).
+ */
+inline bool
+evalCompiledAtoms(const CompiledOutcome &outcome,
+                  const std::int64_t *idx_by_thread,
+                  std::int64_t iterations,
+                  const litmus::Value *const *bufs)
+{
+    std::int64_t lo[kMaxExistential];
+    std::int64_t hi[kMaxExistential];
+    const std::size_t num_existential = outcome.numExistential;
+    for (std::size_t e = 0; e < num_existential; ++e) {
+        lo[e] = 0;
+        hi[e] = iterations - 1;
+    }
+
+    for (const CompiledAtom &atom : outcome.atoms) {
+        const auto value_thread =
+            static_cast<std::size_t>(atom.bufThread);
+        const std::int64_t n = idx_by_thread[value_thread];
+        const litmus::Value val =
+            bufs[value_thread][atom.loadsPerIteration * n + atom.slot];
+
+        if (atom.readsAtOrAfter) {
+            if (atom.checkResidue &&
+                (val < atom.offset ||
+                 (val - atom.offset) % atom.stride != 0))
+                return false;
+            if (atom.frameThread >= 0) {
+                const std::int64_t idx = idx_by_thread[
+                    static_cast<std::size_t>(atom.frameThread)];
+                if (val < atom.stride * idx + atom.offset)
+                    return false;
+            } else {
+                const auto e =
+                    static_cast<std::size_t>(atom.existSlot);
+                hi[e] = std::min(
+                    hi[e], floorDiv(val - atom.offset, atom.stride));
+            }
+        } else { // ReadsBefore: val <= stride * idx + offset - 1.
+            if (atom.frameThread >= 0) {
+                const std::int64_t idx = idx_by_thread[
+                    static_cast<std::size_t>(atom.frameThread)];
+                if (val > atom.stride * idx + atom.offset - 1)
+                    return false;
+            } else {
+                const auto e =
+                    static_cast<std::size_t>(atom.existSlot);
+                lo[e] = std::max(
+                    lo[e], ceilDiv(val - atom.offset + 1, atom.stride));
+            }
+        }
+    }
+
+    for (std::size_t e = 0; e < num_existential; ++e)
+        if (lo[e] > hi[e])
+            return false;
+    return true;
+}
+
+} // namespace perple::core::detail
+
+#endif // PERPLE_CORE_COMPILED_ATOMS_H

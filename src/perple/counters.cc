@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace perple::core
 {
@@ -14,110 +15,15 @@ using litmus::Value;
 namespace
 {
 
-std::int64_t
-floorDiv(std::int64_t a, std::int64_t b)
+/** Merge per-shard partial counts (shard order; sums commute). */
+Counts
+mergeCounts(const std::vector<Counts> &partial, std::size_t outcomes)
 {
-    // b > 0 always (sequence strides).
-    return a >= 0 ? a / b : -((-a + b - 1) / b);
-}
-
-std::int64_t
-ceilDiv(std::int64_t a, std::int64_t b)
-{
-    return a > 0 ? (a + b - 1) / b : -((-a) / b);
-}
-
-/** At most this many existential store-only threads per outcome. */
-constexpr std::size_t kMaxExistential = 8;
-
-/**
- * Evaluate the atoms of @p outcome under the frame assignment
- * @p idx_by_thread (index -1 for threads without one), skipping atoms
- * whose condition is in @p consumed_mask.
- *
- * @param outcome The perpetual outcome.
- * @param idx_by_thread Iteration index per thread id.
- * @param iterations N (bounds existential indices).
- * @param bufs Raw buf pointers per thread.
- * @param consumed_mask Bit c set: skip atoms of condition c.
- */
-bool
-evalAtoms(const PerpetualOutcome &outcome,
-          const std::int64_t *idx_by_thread, std::int64_t iterations,
-          const Value *const *bufs, std::uint32_t consumed_mask)
-{
-    std::int64_t lo[kMaxExistential];
-    std::int64_t hi[kMaxExistential];
-    const std::size_t num_existential =
-        outcome.existentialThreads.size();
-    for (std::size_t e = 0; e < num_existential; ++e) {
-        lo[e] = 0;
-        hi[e] = iterations - 1;
-    }
-
-    for (const Atom &atom : outcome.atoms) {
-        if (consumed_mask &
-            (1u << static_cast<unsigned>(atom.conditionIndex)))
-            continue;
-
-        const BufAccess &access = atom.value;
-        const std::int64_t n =
-            idx_by_thread[static_cast<std::size_t>(access.thread)];
-        const Value val =
-            bufs[access.thread][access.loadsPerIteration * n +
-                                access.slot];
-
-        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
-            if (atom.checkResidue &&
-                (val < atom.offset ||
-                 (val - atom.offset) % atom.stride != 0))
-                return false;
-            if (atom.indexIsFrame) {
-                const std::int64_t idx = idx_by_thread[
-                    static_cast<std::size_t>(atom.indexThread)];
-                if (val < atom.stride * idx + atom.offset)
-                    return false;
-            } else {
-                const auto it = std::find(
-                    outcome.existentialThreads.begin(),
-                    outcome.existentialThreads.end(), atom.indexThread);
-                const auto e = static_cast<std::size_t>(
-                    it - outcome.existentialThreads.begin());
-                hi[e] = std::min(
-                    hi[e], floorDiv(val - atom.offset, atom.stride));
-            }
-        } else { // ReadsBefore: val <= stride * idx + offset - 1.
-            if (atom.indexIsFrame) {
-                const std::int64_t idx = idx_by_thread[
-                    static_cast<std::size_t>(atom.indexThread)];
-                if (val > atom.stride * idx + atom.offset - 1)
-                    return false;
-            } else {
-                const auto it = std::find(
-                    outcome.existentialThreads.begin(),
-                    outcome.existentialThreads.end(), atom.indexThread);
-                const auto e = static_cast<std::size_t>(
-                    it - outcome.existentialThreads.begin());
-                lo[e] = std::max(
-                    lo[e], ceilDiv(val - atom.offset + 1, atom.stride));
-            }
-        }
-    }
-
-    for (std::size_t e = 0; e < num_existential; ++e)
-        if (lo[e] > hi[e])
-            return false;
-    return true;
-}
-
-/** Collect raw buf pointers (empty threads map to nullptr). */
-std::vector<const Value *>
-rawBufs(const std::vector<std::vector<Value>> &bufs)
-{
-    std::vector<const Value *> raw(bufs.size());
-    for (std::size_t t = 0; t < bufs.size(); ++t)
-        raw[t] = bufs[t].empty() ? nullptr : bufs[t].data();
-    return raw;
+    Counts counts(outcomes, 0);
+    for (const Counts &shard : partial)
+        for (std::size_t o = 0; o < outcomes; ++o)
+            counts[o] += shard[o];
+    return counts;
 }
 
 } // namespace
@@ -132,37 +38,42 @@ ExhaustiveCounter::ExhaustiveCounter(
 {
     checkUser(!frameThreads_.empty(),
               "a perpetual test needs at least one load thread");
-    for (const auto &outcome : outcomes_) {
-        checkUser(outcome.existentialThreads.size() <= kMaxExistential,
-                  "too many store-only threads in one outcome");
+    for (const auto &outcome : outcomes_)
         checkUser(outcome.numConditions <= 32,
                   "too many conditions in one outcome");
-    }
+    // Flatten every atom once: existential std::find resolved to a
+    // slot index, vector metadata folded into POD records.
+    compiled_ = detail::compileOutcomes(outcomes_);
 }
 
-Counts
-ExhaustiveCounter::count(
-    std::int64_t iterations,
-    const std::vector<std::vector<Value>> &bufs, CountMode mode) const
+void
+ExhaustiveCounter::countRange(std::int64_t outer_begin,
+                              std::int64_t outer_end,
+                              std::int64_t iterations,
+                              const RawBufs &bufs, CountMode mode,
+                              Counts &counts) const
 {
-    checkUser(iterations > 0, "COUNT needs a positive iteration count");
-    Counts counts(outcomes_.size(), 0);
-    const auto raw = rawBufs(bufs);
+    if (outer_end <= outer_begin)
+        return;
 
     // Frame odometer over the load threads (Algorithm 1's nested
-    // loops, for any T_L).
+    // loops, for any T_L); the outermost dimension is bounded by the
+    // shard's [outer_begin, outer_end), the inner ones by iterations.
     const std::size_t dims = frameThreads_.size();
     std::vector<std::int64_t> frame(dims, 0);
-    std::vector<std::int64_t> idx_by_thread(bufs.size(), -1);
+    frame[0] = outer_begin;
+    std::vector<std::int64_t> idx_by_thread(bufs.numThreads(), -1);
+    const Value *const *raw = bufs.data();
 
     while (true) {
         for (std::size_t d = 0; d < dims; ++d)
             idx_by_thread[static_cast<std::size_t>(frameThreads_[d])] =
                 frame[d];
 
-        for (std::size_t o = 0; o < outcomes_.size(); ++o) {
-            if (evalAtoms(outcomes_[o], idx_by_thread.data(),
-                          iterations, raw.data(), 0)) {
+        for (std::size_t o = 0; o < compiled_.size(); ++o) {
+            if (detail::evalCompiledAtoms(compiled_[o],
+                                          idx_by_thread.data(),
+                                          iterations, raw)) {
                 ++counts[o];
                 // Algorithm 1: at most one outcome per frame.
                 if (mode == CountMode::FirstMatch)
@@ -175,15 +86,55 @@ ExhaustiveCounter::count(
         bool advanced = false;
         while (d > 0) {
             --d;
-            if (++frame[d] < iterations) {
+            const std::int64_t limit =
+                d == 0 ? outer_end : iterations;
+            if (++frame[d] < limit) {
                 advanced = true;
                 break;
             }
             frame[d] = 0;
         }
-        if (!advanced)
-            return counts;
+        if (!advanced || frame[0] >= outer_end)
+            return;
     }
+}
+
+Counts
+ExhaustiveCounter::count(std::int64_t iterations, const RawBufs &bufs,
+                         CountMode mode, std::size_t threads) const
+{
+    checkUser(iterations > 0, "COUNT needs a positive iteration count");
+    const std::size_t workers =
+        common::ThreadPool::resolveThreads(threads);
+
+    if (workers <= 1) {
+        // Serial reference path: one shard covering every frame.
+        Counts counts(outcomes_.size(), 0);
+        countRange(0, iterations, iterations, bufs, mode, counts);
+        return counts;
+    }
+
+    common::ThreadPool &pool = common::ThreadPool::shared(workers);
+    std::vector<Counts> partial(pool.numThreads(),
+                                Counts(outcomes_.size(), 0));
+    // Each outermost index expands into N^{T_L - 1} frames, so a
+    // grain of one outer index is already coarse enough.
+    pool.parallelFor(
+        0, iterations, /*grain=*/1,
+        [&](std::size_t shard, std::int64_t begin, std::int64_t end) {
+            countRange(begin, end, iterations, bufs, mode,
+                       partial[shard]);
+        });
+    return mergeCounts(partial, outcomes_.size());
+}
+
+Counts
+ExhaustiveCounter::count(
+    std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs, CountMode mode,
+    std::size_t threads) const
+{
+    return count(iterations, RawBufs(bufs), mode, threads);
 }
 
 std::optional<std::vector<std::int64_t>>
@@ -193,10 +144,17 @@ ExhaustiveCounter::findFirstFrame(
 {
     checkUser(outcome_index < outcomes_.size(),
               "outcome index out of range");
+    const RawBufs raw(bufs);
     const std::size_t dims = frameThreads_.size();
     std::vector<std::int64_t> frame(dims, 0);
+    std::vector<std::int64_t> idx_by_thread(raw.numThreads(), -1);
     while (true) {
-        if (evaluate(outcome_index, frame, iterations, bufs))
+        for (std::size_t d = 0; d < dims; ++d)
+            idx_by_thread[static_cast<std::size_t>(frameThreads_[d])] =
+                frame[d];
+        if (detail::evalCompiledAtoms(compiled_[outcome_index],
+                                      idx_by_thread.data(), iterations,
+                                      raw.data()))
             return frame;
         std::size_t d = dims;
         bool advanced = false;
@@ -223,13 +181,14 @@ ExhaustiveCounter::evaluate(
               "outcome index out of range");
     checkUser(frame.size() == frameThreads_.size(),
               "frame arity does not match the test's load threads");
-    const auto raw = rawBufs(bufs);
-    std::vector<std::int64_t> idx_by_thread(bufs.size(), -1);
+    const RawBufs raw(bufs);
+    std::vector<std::int64_t> idx_by_thread(raw.numThreads(), -1);
     for (std::size_t d = 0; d < frame.size(); ++d)
         idx_by_thread[static_cast<std::size_t>(frameThreads_[d])] =
             frame[d];
-    return evalAtoms(outcomes_[outcome_index], idx_by_thread.data(),
-                     iterations, raw.data(), 0);
+    return detail::evalCompiledAtoms(compiled_[outcome_index],
+                                     idx_by_thread.data(), iterations,
+                                     raw.data());
 }
 
 // ---------------------------------------------------------------------
@@ -334,6 +293,14 @@ HeuristicCounter::HeuristicCounter(
             if (best_resolved == frameThreads_.size())
                 break;
         }
+
+        // Fold the consumed-condition skip out of the evaluated atom
+        // list once, instead of re-testing a mask per frame.
+        std::uint32_t consumed_mask = 0;
+        for (const int c : best.consumedConditions)
+            consumed_mask |= 1u << static_cast<unsigned>(c);
+        best.compiled = detail::compileOutcome(outcome, consumed_mask);
+
         plans_.push_back(std::move(best));
     }
 }
@@ -411,12 +378,10 @@ HeuristicCounter::describePlan(std::size_t outcome_index) const
 bool
 HeuristicCounter::evaluateAt(
     std::size_t o, std::int64_t n, std::int64_t iterations,
-    const std::vector<std::vector<Value>> &bufs,
     const Value *const *raw,
     std::vector<std::int64_t> &frame_scratch) const
 {
     const Plan &plan = plans_[o];
-    const PerpetualOutcome &outcome = outcomes_[o];
 
     std::fill(frame_scratch.begin(), frame_scratch.end(), -1);
     frame_scratch[static_cast<std::size_t>(plan.pivot)] = n;
@@ -429,10 +394,9 @@ HeuristicCounter::evaluateAt(
             const std::int64_t src_n = frame_scratch[
                 static_cast<std::size_t>(step.sourceThread)];
             const Value val =
-                bufs[static_cast<std::size_t>(step.source.thread)]
-                    [static_cast<std::size_t>(
-                        step.source.loadsPerIteration * src_n +
-                        step.source.slot)];
+                raw[static_cast<std::size_t>(step.source.thread)]
+                   [step.source.loadsPerIteration * src_n +
+                    step.source.slot];
             if (step.rfDecode) {
                 const std::int64_t d = val - step.offset;
                 if (d < 0 || d % step.stride != 0)
@@ -461,12 +425,9 @@ HeuristicCounter::evaluateAt(
             idx;
     }
 
-    std::uint32_t consumed_mask = 0;
-    for (const int c : plan.consumedConditions)
-        consumed_mask |= 1u << static_cast<unsigned>(c);
-
-    return evalAtoms(outcome, frame_scratch.data(), iterations, raw,
-                     consumed_mask);
+    return detail::evalCompiledAtoms(plan.compiled,
+                                     frame_scratch.data(), iterations,
+                                     raw);
 }
 
 std::optional<std::vector<std::int64_t>>
@@ -478,9 +439,9 @@ HeuristicCounter::findFirstFrame(
               "outcome index out of range");
     checkUser(iterations > 0, "need a positive iteration count");
     std::vector<std::int64_t> frame_scratch(bufs.size(), -1);
-    const auto raw = rawBufs(bufs);
+    const RawBufs raw(bufs);
     for (std::int64_t n = 0; n < iterations; ++n) {
-        if (!evaluateAt(outcome_index, n, iterations, bufs, raw.data(),
+        if (!evaluateAt(outcome_index, n, iterations, raw.data(),
                         frame_scratch))
             continue;
         std::vector<std::int64_t> frame;
@@ -494,27 +455,58 @@ HeuristicCounter::findFirstFrame(
 }
 
 Counts
-HeuristicCounter::count(
-    std::int64_t iterations,
-    const std::vector<std::vector<Value>> &bufs, CountMode mode) const
+HeuristicCounter::count(std::int64_t iterations, const RawBufs &bufs,
+                        CountMode mode, std::size_t threads) const
 {
     checkUser(iterations > 0, "COUNTH needs a positive iteration count");
-    Counts counts(outcomes_.size(), 0);
-    std::vector<std::int64_t> frame_scratch(bufs.size(), -1);
-    const auto raw = rawBufs(bufs);
+    const std::size_t workers =
+        common::ThreadPool::resolveThreads(threads);
+    const Value *const *raw = bufs.data();
 
-    for (std::int64_t n = 0; n < iterations; ++n) {
-        for (std::size_t o = 0; o < outcomes_.size(); ++o) {
-            if (evaluateAt(o, n, iterations, bufs, raw.data(),
-                           frame_scratch)) {
-                ++counts[o];
-                // Algorithm 2: first match per pivot iteration.
-                if (mode == CountMode::FirstMatch)
-                    break;
+    const auto count_pivots = [&](std::int64_t begin, std::int64_t end,
+                                  Counts &counts,
+                                  std::vector<std::int64_t> &scratch) {
+        for (std::int64_t n = begin; n < end; ++n) {
+            for (std::size_t o = 0; o < outcomes_.size(); ++o) {
+                if (evaluateAt(o, n, iterations, raw, scratch)) {
+                    ++counts[o];
+                    // Algorithm 2: first match per pivot iteration.
+                    if (mode == CountMode::FirstMatch)
+                        break;
+                }
             }
         }
+    };
+
+    if (workers <= 1) {
+        // Serial reference path.
+        Counts counts(outcomes_.size(), 0);
+        std::vector<std::int64_t> scratch(bufs.numThreads(), -1);
+        count_pivots(0, iterations, counts, scratch);
+        return counts;
     }
-    return counts;
+
+    common::ThreadPool &pool = common::ThreadPool::shared(workers);
+    std::vector<Counts> partial(pool.numThreads(),
+                                Counts(outcomes_.size(), 0));
+    std::vector<std::vector<std::int64_t>> scratch(
+        pool.numThreads(),
+        std::vector<std::int64_t>(bufs.numThreads(), -1));
+    pool.parallelFor(
+        0, iterations, /*grain=*/256,
+        [&](std::size_t shard, std::int64_t begin, std::int64_t end) {
+            count_pivots(begin, end, partial[shard], scratch[shard]);
+        });
+    return mergeCounts(partial, outcomes_.size());
+}
+
+Counts
+HeuristicCounter::count(
+    std::int64_t iterations,
+    const std::vector<std::vector<Value>> &bufs, CountMode mode,
+    std::size_t threads) const
+{
+    return count(iterations, RawBufs(bufs), mode, threads);
 }
 
 } // namespace perple::core

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "litmus/test.h"
+#include "perple/compiled_atoms.h"
 #include "perple/perpetual_outcome.h"
 #include "sim/result.h"
 
@@ -37,6 +38,39 @@ namespace perple::core
 
 /** Counts per outcome of interest, aligned with the input list. */
 using Counts = std::vector<std::uint64_t>;
+
+/**
+ * Raw buf base pointers of a finished run (empty threads map to
+ * nullptr). Collect once per run and reuse across repeated count() /
+ * findFirstFrame() calls instead of paying the pointer gather on
+ * every call.
+ */
+class RawBufs
+{
+  public:
+    explicit RawBufs(const std::vector<std::vector<litmus::Value>> &bufs)
+    {
+        raw_.reserve(bufs.size());
+        for (const auto &buf : bufs)
+            raw_.push_back(buf.empty() ? nullptr : buf.data());
+    }
+
+    const litmus::Value *const *
+    data() const
+    {
+        return raw_.data();
+    }
+
+    /** Number of threads (buf arrays) in the run. */
+    std::size_t
+    numThreads() const
+    {
+        return raw_.size();
+    }
+
+  private:
+    std::vector<const litmus::Value *> raw_;
+};
 
 /** How multiple outcomes of interest share a frame. */
 enum class CountMode
@@ -69,14 +103,28 @@ class ExhaustiveCounter
     /**
      * Count occurrences over all frames of an N-iteration run.
      *
+     * The frame scan shards the outermost frame-thread's index range
+     * over @p threads workers (ThreadPool::shared); each worker
+     * accumulates into a private Counts merged at the end, so the
+     * result is bit-identical to the serial path for every thread
+     * count and CountMode.
+     *
      * @param iterations N.
      * @param bufs Buf arrays (paper layout; see sim::RunResult).
      * @param mode Frame-sharing semantics.
+     * @param threads Analysis threads (0 = hardware concurrency,
+     *        1 = the serial reference path).
      * @return Occurrences per outcome.
      */
     Counts count(std::int64_t iterations,
                  const std::vector<std::vector<litmus::Value>> &bufs,
-                 CountMode mode = CountMode::FirstMatch) const;
+                 CountMode mode = CountMode::FirstMatch,
+                 std::size_t threads = 1) const;
+
+    /** As above over precollected raw buf pointers. */
+    Counts count(std::int64_t iterations, const RawBufs &bufs,
+                 CountMode mode = CountMode::FirstMatch,
+                 std::size_t threads = 1) const;
 
     /**
      * Find the first frame (odometer order) satisfying outcome
@@ -112,8 +160,16 @@ class ExhaustiveCounter
     }
 
   private:
+    /** Scan frames whose outermost index lies in [begin, end). */
+    void countRange(std::int64_t outer_begin, std::int64_t outer_end,
+                    std::int64_t iterations, const RawBufs &bufs,
+                    CountMode mode, Counts &counts) const;
+
     std::vector<litmus::ThreadId> frameThreads_;
     std::vector<PerpetualOutcome> outcomes_;
+
+    /** Flattened atoms per outcome (construction-time compiled). */
+    std::vector<detail::CompiledOutcome> compiled_;
 };
 
 /** One step of a heuristic resolution plan. */
@@ -163,10 +219,21 @@ class HeuristicCounter
     HeuristicCounter(const litmus::Test &test,
                      std::vector<PerpetualOutcome> outcomes);
 
-    /** Count occurrences; linear in @p iterations. */
+    /**
+     * Count occurrences; linear in @p iterations. The pivot-iteration
+     * range is sharded over @p threads workers with private partial
+     * counts (0 = hardware concurrency, 1 = serial reference path);
+     * results are bit-identical for every thread count.
+     */
     Counts count(std::int64_t iterations,
                  const std::vector<std::vector<litmus::Value>> &bufs,
-                 CountMode mode = CountMode::FirstMatch) const;
+                 CountMode mode = CountMode::FirstMatch,
+                 std::size_t threads = 1) const;
+
+    /** As above over precollected raw buf pointers. */
+    Counts count(std::int64_t iterations, const RawBufs &bufs,
+                 CountMode mode = CountMode::FirstMatch,
+                 std::size_t threads = 1) const;
 
     /**
      * Find the first pivot iteration whose resolved frame satisfies
@@ -211,12 +278,17 @@ class HeuristicCounter
         litmus::ThreadId pivot = -1;
         std::vector<ResolutionStep> steps;
         std::vector<int> consumedConditions;
+
+        /**
+         * The outcome's atoms minus the consumed conditions,
+         * flattened (the consumed-mask skip is folded out here).
+         */
+        detail::CompiledOutcome compiled;
     };
 
     /** Evaluate outcome @p o at pivot iteration @p n. */
     bool evaluateAt(std::size_t o, std::int64_t n,
                     std::int64_t iterations,
-                    const std::vector<std::vector<litmus::Value>> &bufs,
                     const litmus::Value *const *raw,
                     std::vector<std::int64_t> &frame_scratch) const;
 

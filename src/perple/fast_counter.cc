@@ -3,27 +3,19 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
+#include "perple/compiled_atoms.h"
 
 namespace perple::core
 {
 
+using detail::ceilDiv;
+using detail::floorDiv;
 using litmus::ThreadId;
 using litmus::Value;
 
 namespace
 {
-
-std::int64_t
-floorDiv(std::int64_t a, std::int64_t b)
-{
-    return a >= 0 ? a / b : -((-a + b - 1) / b);
-}
-
-std::int64_t
-ceilDiv(std::int64_t a, std::int64_t b)
-{
-    return a > 0 ? (a + b - 1) / b : -((-a) / b);
-}
 
 /** Fenwick tree over [0, n) supporting point add / prefix sum. */
 class Fenwick
@@ -57,69 +49,6 @@ class Fenwick
     std::vector<std::int64_t> tree_;
 };
 
-/** An index's constraint summary for one side of the frame. */
-struct SideConstraint
-{
-    bool valid = true;         ///< Self atoms + residues hold.
-    std::int64_t lo = 0;       ///< Partner-index lower bound.
-    std::int64_t hi = 0;       ///< Partner-index upper bound.
-};
-
-/**
- * Evaluate all atoms whose loaded value lives on thread @p self for
- * index @p n: self-indexed atoms and residues become validity, atoms
- * indexing the partner thread tighten [lo, hi].
- */
-SideConstraint
-constrain(const PerpetualOutcome &outcome, ThreadId self,
-          std::int64_t n, std::int64_t iterations,
-          const std::vector<std::vector<Value>> &bufs)
-{
-    SideConstraint c;
-    c.lo = 0;
-    c.hi = iterations - 1;
-    for (const Atom &atom : outcome.atoms) {
-        if (atom.value.thread != self)
-            continue;
-        const Value val =
-            bufs[static_cast<std::size_t>(self)][static_cast<
-                std::size_t>(atom.value.loadsPerIteration * n +
-                             atom.value.slot)];
-        if (atom.kind == Atom::Kind::ReadsAtOrAfter) {
-            if (atom.checkResidue &&
-                (val < atom.offset ||
-                 (val - atom.offset) % atom.stride != 0)) {
-                c.valid = false;
-                return c;
-            }
-            if (atom.indexThread == self) {
-                if (val < atom.stride * n + atom.offset) {
-                    c.valid = false;
-                    return c;
-                }
-            } else {
-                c.hi = std::min(
-                    c.hi, floorDiv(val - atom.offset, atom.stride));
-            }
-        } else {
-            if (atom.indexThread == self) {
-                if (val > atom.stride * n + atom.offset - 1) {
-                    c.valid = false;
-                    return c;
-                }
-            } else {
-                c.lo = std::max(
-                    c.lo, ceilDiv(val - atom.offset + 1, atom.stride));
-            }
-        }
-    }
-    c.lo = std::max<std::int64_t>(c.lo, 0);
-    c.hi = std::min(c.hi, iterations - 1);
-    if (c.lo > c.hi)
-        c.valid = false;
-    return c;
-}
-
 } // namespace
 
 bool
@@ -139,47 +68,188 @@ FastExhaustiveCounter::FastExhaustiveCounter(const litmus::Test &test,
               "and no store-only index variables");
     threadA_ = outcome_.frameThreads[0];
     threadB_ = outcome_.frameThreads[1];
+
+    // Split the atoms by the thread owning the loaded value once, so
+    // the per-index scans touch only their own flattened records.
+    for (const Atom &atom : outcome_.atoms) {
+        const ThreadId self = atom.value.thread;
+        checkInternal(self == threadA_ || self == threadB_,
+                      "fast-counter atom loads on a non-frame thread");
+        SideAtom flat;
+        flat.loadsPerIteration =
+            static_cast<std::int32_t>(atom.value.loadsPerIteration);
+        flat.slot = static_cast<std::int32_t>(atom.value.slot);
+        flat.readsAtOrAfter = atom.kind == Atom::Kind::ReadsAtOrAfter;
+        flat.checkResidue = flat.readsAtOrAfter && atom.checkResidue;
+        flat.indexSelf = atom.indexThread == self;
+        flat.stride = atom.stride;
+        flat.offset = atom.offset;
+        (self == threadA_ ? atomsA_ : atomsB_).push_back(flat);
+    }
+}
+
+FastExhaustiveCounter::SideConstraint
+FastExhaustiveCounter::constrain(const std::vector<SideAtom> &atoms,
+                                 const Value *buf, std::int64_t n,
+                                 std::int64_t iterations) const
+{
+    SideConstraint c;
+    c.lo = 0;
+    c.hi = iterations - 1;
+    for (const SideAtom &atom : atoms) {
+        const Value val =
+            buf[atom.loadsPerIteration * n + atom.slot];
+        if (atom.readsAtOrAfter) {
+            if (atom.checkResidue &&
+                (val < atom.offset ||
+                 (val - atom.offset) % atom.stride != 0)) {
+                c.valid = false;
+                return c;
+            }
+            if (atom.indexSelf) {
+                if (val < atom.stride * n + atom.offset) {
+                    c.valid = false;
+                    return c;
+                }
+            } else {
+                c.hi = std::min(
+                    c.hi, floorDiv(val - atom.offset, atom.stride));
+            }
+        } else {
+            if (atom.indexSelf) {
+                if (val > atom.stride * n + atom.offset - 1) {
+                    c.valid = false;
+                    return c;
+                }
+            } else {
+                c.lo = std::max(
+                    c.lo, ceilDiv(val - atom.offset + 1, atom.stride));
+            }
+        }
+    }
+    c.lo = std::max<std::int64_t>(c.lo, 0);
+    c.hi = std::min(c.hi, iterations - 1);
+    if (c.lo > c.hi)
+        c.valid = false;
+    return c;
+}
+
+std::uint64_t
+FastExhaustiveCounter::count(std::int64_t iterations,
+                             const RawBufs &bufs,
+                             std::size_t threads) const
+{
+    checkUser(iterations > 0, "need a positive iteration count");
+    const auto n_sz = static_cast<std::size_t>(iterations);
+    const std::size_t workers =
+        common::ThreadPool::resolveThreads(threads);
+    const Value *buf_a =
+        bufs.data()[static_cast<std::size_t>(threadA_)];
+    const Value *buf_b =
+        bufs.data()[static_cast<std::size_t>(threadB_)];
+
+    // Phase 1: for each B index m, the swept-index interval J(m) =
+    // [jlo, jhi] during which m is active (jlo > jhi: m invalid).
+    // Entries are written disjointly, so the phase shards freely.
+    std::vector<std::int64_t> jlo(n_sz, 1);
+    std::vector<std::int64_t> jhi(n_sz, 0);
+    const auto constrain_b = [&](std::int64_t begin,
+                                 std::int64_t end) {
+        for (std::int64_t m = begin; m < end; ++m) {
+            const SideConstraint j =
+                constrain(atomsB_, buf_b, m, iterations);
+            if (!j.valid)
+                continue;
+            jlo[static_cast<std::size_t>(m)] = j.lo;
+            jhi[static_cast<std::size_t>(m)] = j.hi;
+        }
+    };
+
+    // Phase 3 (per shard [begin, end) of the swept A range): seed a
+    // private Fenwick tree with the B indices active at `begin`, then
+    // replay activation/deactivation events position by position. The
+    // tree contents at every position n equal the serial sweep's, so
+    // the shard's partial sum contributes identical per-n terms.
+    const auto sweep =
+        [&](const std::vector<std::vector<std::int64_t>> &activate,
+            const std::vector<std::vector<std::int64_t>> &deactivate,
+            std::int64_t begin, std::int64_t end) -> std::uint64_t {
+        Fenwick active(n_sz);
+        for (std::int64_t m = 0; m < iterations; ++m) {
+            const auto m_sz = static_cast<std::size_t>(m);
+            if (jlo[m_sz] <= begin && begin <= jhi[m_sz])
+                active.add(m_sz, 1);
+        }
+        std::uint64_t total = 0;
+        for (std::int64_t n = begin; n < end; ++n) {
+            if (n > begin) {
+                for (const std::int64_t m :
+                     activate[static_cast<std::size_t>(n)])
+                    active.add(static_cast<std::size_t>(m), 1);
+                for (const std::int64_t m :
+                     deactivate[static_cast<std::size_t>(n)])
+                    active.add(static_cast<std::size_t>(m), -1);
+            }
+            const SideConstraint i =
+                constrain(atomsA_, buf_a, n, iterations);
+            if (!i.valid)
+                continue;
+            total += static_cast<std::uint64_t>(
+                active.prefix(i.hi) - active.prefix(i.lo - 1));
+        }
+        return total;
+    };
+
+    if (workers <= 1) {
+        constrain_b(0, iterations);
+    } else {
+        common::ThreadPool::shared(workers).parallelFor(
+            0, iterations, /*grain=*/1024,
+            [&](std::size_t, std::int64_t begin, std::int64_t end) {
+                constrain_b(begin, end);
+            });
+    }
+
+    // Phase 2: turn the intervals into per-position event lists the
+    // sweep shards replay (serial, linear, cheap).
+    std::vector<std::vector<std::int64_t>> activate(n_sz);
+    std::vector<std::vector<std::int64_t>> deactivate(n_sz);
+    for (std::int64_t m = 0; m < iterations; ++m) {
+        const auto m_sz = static_cast<std::size_t>(m);
+        if (jlo[m_sz] > jhi[m_sz])
+            continue;
+        activate[static_cast<std::size_t>(jlo[m_sz])].push_back(m);
+        if (jhi[m_sz] + 1 < iterations)
+            deactivate[static_cast<std::size_t>(jhi[m_sz] + 1)]
+                .push_back(m);
+    }
+
+    if (workers <= 1) {
+        // Serial reference path: one shard covering the whole sweep
+        // (the seed loop then plays the role of activate[0]).
+        return sweep(activate, deactivate, 0, iterations);
+    }
+
+    common::ThreadPool &pool = common::ThreadPool::shared(workers);
+    std::vector<std::uint64_t> partial(pool.numThreads(), 0);
+    pool.parallelFor(
+        0, iterations, /*grain=*/1024,
+        [&](std::size_t shard, std::int64_t begin, std::int64_t end) {
+            partial[shard] = sweep(activate, deactivate, begin, end);
+        });
+    std::uint64_t total = 0;
+    for (const std::uint64_t p : partial)
+        total += p;
+    return total;
 }
 
 std::uint64_t
 FastExhaustiveCounter::count(
     std::int64_t iterations,
-    const std::vector<std::vector<Value>> &bufs) const
+    const std::vector<std::vector<Value>> &bufs,
+    std::size_t threads) const
 {
-    checkUser(iterations > 0, "need a positive iteration count");
-    const auto n_sz = static_cast<std::size_t>(iterations);
-
-    // For each B index m: when (in terms of the swept A index) is it
-    // active? J(m) = [lo, hi] from B's atoms.
-    std::vector<std::vector<std::int64_t>> activate(n_sz);
-    std::vector<std::vector<std::int64_t>> deactivate(n_sz);
-    for (std::int64_t m = 0; m < iterations; ++m) {
-        const SideConstraint j =
-            constrain(outcome_, threadB_, m, iterations, bufs);
-        if (!j.valid)
-            continue;
-        activate[static_cast<std::size_t>(j.lo)].push_back(m);
-        if (j.hi + 1 < iterations)
-            deactivate[static_cast<std::size_t>(j.hi + 1)].push_back(m);
-    }
-
-    Fenwick active(n_sz);
-    std::uint64_t total = 0;
-    for (std::int64_t n = 0; n < iterations; ++n) {
-        for (const std::int64_t m : activate[static_cast<std::size_t>(n)])
-            active.add(static_cast<std::size_t>(m), 1);
-        for (const std::int64_t m :
-             deactivate[static_cast<std::size_t>(n)])
-            active.add(static_cast<std::size_t>(m), -1);
-
-        const SideConstraint i =
-            constrain(outcome_, threadA_, n, iterations, bufs);
-        if (!i.valid)
-            continue;
-        total += static_cast<std::uint64_t>(active.prefix(i.hi) -
-                                            active.prefix(i.lo - 1));
-    }
-    return total;
+    return count(iterations, RawBufs(bufs), threads);
 }
 
 } // namespace perple::core

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "litmus/test.h"
+#include "perple/counters.h"
 #include "perple/perpetual_outcome.h"
 
 namespace perple::core
@@ -56,17 +57,58 @@ class FastExhaustiveCounter
      * exactly the number Algorithm 1 reports for this outcome in
      * CountMode::Independent.
      *
+     * Parallelization (threads > 1 or 0 = hardware concurrency): the
+     * per-index interval construction shards over the tree thread's
+     * range, and the sweep shards over the swept thread's range with
+     * one Fenwick tree built per shard (seeded with the intervals
+     * active at the shard's start position). Every shard contributes
+     * the same per-index terms as the serial sweep, so the summed
+     * total is bit-identical for every thread count.
+     *
      * @param iterations N.
      * @param bufs Buf arrays (paper layout).
+     * @param threads Analysis threads (0 = hardware concurrency,
+     *        1 = the serial reference path).
      */
     std::uint64_t
     count(std::int64_t iterations,
-          const std::vector<std::vector<litmus::Value>> &bufs) const;
+          const std::vector<std::vector<litmus::Value>> &bufs,
+          std::size_t threads = 1) const;
+
+    /** As above over precollected raw buf pointers. */
+    std::uint64_t count(std::int64_t iterations, const RawBufs &bufs,
+                        std::size_t threads = 1) const;
 
   private:
+    /** One atom of a side, flattened for the per-index scan. */
+    struct SideAtom
+    {
+        std::int32_t loadsPerIteration = 0;
+        std::int32_t slot = 0;
+        bool readsAtOrAfter = true;
+        bool checkResidue = false;
+        bool indexSelf = false; ///< idx is this side's own index.
+        std::int64_t stride = 1;
+        std::int64_t offset = 0;
+    };
+
+    /** Valid + partner-interval summary for one side index. */
+    struct SideConstraint
+    {
+        bool valid = true;
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+    };
+
+    SideConstraint constrain(const std::vector<SideAtom> &atoms,
+                             const litmus::Value *buf, std::int64_t n,
+                             std::int64_t iterations) const;
+
     PerpetualOutcome outcome_;
     litmus::ThreadId threadA_ = -1; ///< First frame thread (swept).
     litmus::ThreadId threadB_ = -1; ///< Second frame thread (tree).
+    std::vector<SideAtom> atomsA_;  ///< Atoms loaded on threadA_.
+    std::vector<SideAtom> atomsB_;  ///< Atoms loaded on threadB_.
 };
 
 } // namespace perple::core

@@ -45,7 +45,8 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
     auto perpetual_outcomes =
         buildPerpetualOutcomes(perpetual.original, outcomes);
 
-    // --- Counting. ---
+    // --- Counting (raw buf pointers gathered once for both). ---
+    const RawBufs raw(result.run.bufs);
     if (config.runExhaustive) {
         const std::int64_t cap =
             config.exhaustiveCap > 0
@@ -55,16 +56,17 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
         ExhaustiveCounter counter(perpetual.original,
                                   perpetual_outcomes);
         result.timing.start("count-exhaustive");
-        result.exhaustive =
-            counter.count(cap, result.run.bufs, config.countMode);
+        result.exhaustive = counter.count(cap, raw, config.countMode,
+                                          config.analysisThreads);
         result.timing.stop();
     }
     if (config.runHeuristic) {
         HeuristicCounter counter(perpetual.original,
                                  perpetual_outcomes);
         result.timing.start("count-heuristic");
-        result.heuristic = counter.count(iterations, result.run.bufs,
-                                         config.countMode);
+        result.heuristic = counter.count(iterations, raw,
+                                         config.countMode,
+                                         config.analysisThreads);
         result.timing.stop();
     }
     return result;

@@ -52,6 +52,17 @@ struct HarnessConfig
     /** Frame-sharing semantics for both counters. */
     CountMode countMode = CountMode::FirstMatch;
 
+    /**
+     * Worker threads for the outcome counters: 0 = hardware
+     * concurrency, 1 = the serial reference path. Counts are
+     * bit-identical for every value (private per-shard partials,
+     * ordered merge), so this is purely a speed knob; the
+     * count-exhaustive / count-heuristic phases of HarnessResult
+     * still report honest wall time because the sharded count()
+     * blocks until every worker has finished.
+     */
+    std::size_t analysisThreads = 1;
+
     /** Simulator knobs (seed/addressMode are overridden). */
     sim::MachineConfig machine;
 };

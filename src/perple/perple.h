@@ -20,6 +20,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timing.h"
 #include "generate/generator.h"
 #include "litmus/builder.h"

@@ -1,11 +1,14 @@
 /**
  * @file
- * Unit tests for src/common: error handling, RNG, strings, timing.
+ * Unit tests for src/common: error handling, RNG, strings, timing,
+ * and the analysis thread pool.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -15,6 +18,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timing.h"
 
 namespace perple
@@ -292,6 +296,135 @@ TEST(TimingTest, FormatDuration)
     EXPECT_EQ(formatDuration(1500), "1.50 us");
     EXPECT_EQ(formatDuration(2500000), "2.50 ms");
     EXPECT_EQ(formatDuration(3000000000LL), "3.000 s");
+}
+
+// ------------------------- thread pool ------------------------------
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce)
+{
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        common::ThreadPool pool(threads);
+        EXPECT_EQ(pool.numThreads(), threads);
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallelFor(0, 1000, 1,
+                         [&](std::size_t, std::int64_t begin,
+                             std::int64_t end) {
+                             for (std::int64_t i = begin; i < end; ++i)
+                                 ++hits[static_cast<std::size_t>(i)];
+                         });
+        for (const auto &hit : hits)
+            EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ThreadPoolTest, ShardIndicesAreUniqueAndBounded)
+{
+    common::ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::size_t> shards;
+    pool.parallelFor(0, 4000, 1,
+                     [&](std::size_t shard, std::int64_t,
+                         std::int64_t) {
+                         std::lock_guard<std::mutex> lock(mutex);
+                         EXPECT_LT(shard, 4u);
+                         EXPECT_TRUE(shards.insert(shard).second);
+                     });
+    EXPECT_EQ(shards.size(), 4u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing)
+{
+    common::ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, 1,
+                     [&](std::size_t, std::int64_t, std::int64_t) {
+                         ++calls;
+                     });
+    pool.parallelFor(7, 3, 1,
+                     [&](std::size_t, std::int64_t, std::int64_t) {
+                         ++calls;
+                     });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLimitsShardCount)
+{
+    common::ThreadPool pool(8);
+    std::atomic<int> chunks{0};
+    // 10 indices at grain 4 -> at most 3 chunks despite 8 threads.
+    pool.parallelFor(0, 10, 4,
+                     [&](std::size_t, std::int64_t begin,
+                         std::int64_t end) {
+                         EXPECT_GE(end - begin, 1);
+                         ++chunks;
+                     });
+    EXPECT_LE(chunks.load(), 3);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls)
+{
+    common::ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool.parallelFor(0, 100, 1,
+                         [&](std::size_t, std::int64_t begin,
+                             std::int64_t end) {
+                             std::int64_t local = 0;
+                             for (std::int64_t i = begin; i < end; ++i)
+                                 local += i;
+                             sum += local;
+                         });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions)
+{
+    common::ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](std::size_t, std::int64_t begin,
+                             std::int64_t) {
+                             if (begin > 0)
+                                 fatal("worker failure");
+                         }),
+        UserError);
+    // The pool stays usable after an exception.
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 8, 1,
+                     [&](std::size_t, std::int64_t begin,
+                         std::int64_t end) {
+                         calls += static_cast<int>(end - begin);
+                     });
+    EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware)
+{
+    EXPECT_GE(common::ThreadPool::hardwareThreads(), 1u);
+    EXPECT_EQ(common::ThreadPool::resolveThreads(0),
+              common::ThreadPool::hardwareThreads());
+    EXPECT_EQ(common::ThreadPool::resolveThreads(3), 3u);
+    // A nonsense knob value (e.g. "-1" cast to std::size_t) must not
+    // make pool construction attempt billions of threads.
+    EXPECT_EQ(common::ThreadPool::resolveThreads(
+                  static_cast<std::size_t>(-1)),
+              common::ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsReused)
+{
+    common::ThreadPool &a = common::ThreadPool::shared(2);
+    common::ThreadPool &b = common::ThreadPool::shared(2);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.numThreads(), 2u);
+    EXPECT_EQ(common::ThreadPool::shared(0).numThreads(),
+              common::ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPoolTest, RejectsZeroThreadConstruction)
+{
+    EXPECT_THROW(common::ThreadPool(0), UserError);
 }
 
 // --------------------------- logging --------------------------------

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Determinism tests for the parallel outcome-analysis engine: over
+ * the whole Table II suite, several seeds and iteration counts, the
+ * exhaustive, heuristic and fast counters must report bit-identical
+ * counts for every analysisThreads value and both CountModes, and
+ * findFirstFrame must keep returning the first frame in odometer
+ * order after the compiled-atom specialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "litmus/outcome.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/fast_counter.h"
+#include "perple/harness.h"
+#include "sim/machine.h"
+
+namespace perple::core
+{
+namespace
+{
+
+using litmus::Value;
+
+/** Thread counts under test: serial, small pools, hardware. */
+std::vector<std::size_t>
+threadCounts()
+{
+    std::set<std::size_t> counts = {
+        1, 2, 4, common::ThreadPool::hardwareThreads()};
+    return {counts.begin(), counts.end()};
+}
+
+std::vector<std::vector<Value>>
+simulate(const litmus::Test &test, std::int64_t iterations,
+         std::uint64_t seed)
+{
+    const auto perpetual = convert(test);
+    sim::MachineConfig config;
+    config.seed = seed;
+    sim::Machine machine(perpetual.programs, test.numLocations(),
+                         config);
+    sim::RunResult run;
+    machine.runFree(iterations, 0, run);
+    return run.bufs;
+}
+
+/** Iteration counts sized to keep the N^{T_L} scans affordable. */
+std::vector<std::int64_t>
+iterationLadder(const litmus::Test &test)
+{
+    switch (test.numLoadThreads()) {
+    case 1:
+        return {97, 1500};
+    case 2:
+        return {64, 257};
+    default:
+        return {23, 48};
+    }
+}
+
+TEST(ParallelCountersTest, SuiteCountsAreThreadCountInvariant)
+{
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const litmus::Test &test = entry.test;
+        const auto outcomes = buildPerpetualOutcomes(
+            test, litmus::enumerateRegisterOutcomes(test));
+        const ExhaustiveCounter exhaustive(test, outcomes);
+        const HeuristicCounter heuristic(test, outcomes);
+
+        for (const std::uint64_t seed : {3ULL, 41ULL}) {
+            for (const std::int64_t n : iterationLadder(test)) {
+                const auto bufs = simulate(test, n, seed);
+                const RawBufs raw(bufs);
+                for (const CountMode mode :
+                     {CountMode::FirstMatch, CountMode::Independent}) {
+                    const Counts exh_serial =
+                        exhaustive.count(n, raw, mode, 1);
+                    const Counts heur_serial =
+                        heuristic.count(n, raw, mode, 1);
+                    for (const std::size_t threads : threadCounts()) {
+                        EXPECT_EQ(exhaustive.count(n, raw, mode,
+                                                   threads),
+                                  exh_serial)
+                            << test.name << " seed " << seed << " N "
+                            << n << " threads " << threads;
+                        EXPECT_EQ(heuristic.count(n, raw, mode,
+                                                  threads),
+                                  heur_serial)
+                            << test.name << " seed " << seed << " N "
+                            << n << " threads " << threads;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ParallelCountersTest, FastCounterIsThreadCountInvariant)
+{
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const litmus::Test &test = entry.test;
+        const auto outcome =
+            buildPerpetualOutcome(test, test.target);
+        if (!FastExhaustiveCounter::isApplicable(test, outcome))
+            continue;
+        const FastExhaustiveCounter fast(test, outcome);
+        const ExhaustiveCounter brute(test, {outcome});
+
+        for (const std::uint64_t seed : {3ULL, 41ULL}) {
+            for (const std::int64_t n : {257LL, 1000LL}) {
+                const auto bufs = simulate(test, n, seed);
+                const RawBufs raw(bufs);
+                const std::uint64_t serial = fast.count(n, raw, 1);
+                for (const std::size_t threads : threadCounts())
+                    EXPECT_EQ(fast.count(n, raw, threads), serial)
+                        << test.name << " seed " << seed << " N " << n
+                        << " threads " << threads;
+                // Still the exact Algorithm-1 Independent count.
+                if (n <= 300) {
+                    EXPECT_EQ(serial,
+                              brute.count(n, raw,
+                                          CountMode::Independent)[0])
+                        << test.name << " seed " << seed;
+                }
+            }
+        }
+    }
+}
+
+TEST(ParallelCountersTest, FindFirstFrameKeepsOdometerOrder)
+{
+    // The compiled-atom specialization must not disturb witness
+    // extraction: compare against a brute odometer scan that uses
+    // the public single-frame evaluate().
+    for (const char *name : {"sb", "mp", "podwr001", "rfi015"}) {
+        const litmus::Test &test = litmus::findTest(name).test;
+        const auto outcomes = buildPerpetualOutcomes(
+            test, litmus::enumerateRegisterOutcomes(test));
+        const ExhaustiveCounter counter(test, outcomes);
+        const std::int64_t n = 40;
+        const auto bufs = simulate(test, n, 11);
+
+        for (std::size_t o = 0; o < outcomes.size(); ++o) {
+            const auto found = counter.findFirstFrame(o, n, bufs);
+
+            // Brute reference: first satisfying frame in odometer
+            // order (last dimension fastest).
+            const auto dims =
+                static_cast<std::size_t>(test.numLoadThreads());
+            std::vector<std::int64_t> frame(dims, 0);
+            std::optional<std::vector<std::int64_t>> expected;
+            while (true) {
+                if (counter.evaluate(o, frame, n, bufs)) {
+                    expected = frame;
+                    break;
+                }
+                std::size_t d = dims;
+                bool advanced = false;
+                while (d > 0) {
+                    --d;
+                    if (++frame[d] < n) {
+                        advanced = true;
+                        break;
+                    }
+                    frame[d] = 0;
+                }
+                if (!advanced)
+                    break;
+            }
+
+            EXPECT_EQ(found, expected) << name << " outcome " << o;
+        }
+    }
+}
+
+TEST(ParallelCountersTest, HarnessThreadsKnobPreservesCounts)
+{
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = convert(entry.test);
+    std::optional<Counts> exh_serial, heur_serial;
+    for (const std::size_t threads : {1ULL, 2ULL, 4ULL, 0ULL}) {
+        HarnessConfig config;
+        config.seed = 5;
+        config.analysisThreads = threads;
+        const HarnessResult result = runPerpetual(
+            perpetual, 400, {entry.test.target}, config);
+        ASSERT_TRUE(result.exhaustive.has_value());
+        ASSERT_TRUE(result.heuristic.has_value());
+        if (!exh_serial) {
+            exh_serial = result.exhaustive;
+            heur_serial = result.heuristic;
+            continue;
+        }
+        EXPECT_EQ(result.exhaustive, exh_serial)
+            << "threads " << threads;
+        EXPECT_EQ(result.heuristic, heur_serial)
+            << "threads " << threads;
+    }
+}
+
+} // namespace
+} // namespace perple::core
