@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_common.dir/error.cc.o"
+  "CMakeFiles/perple_common.dir/error.cc.o.d"
+  "CMakeFiles/perple_common.dir/logging.cc.o"
+  "CMakeFiles/perple_common.dir/logging.cc.o.d"
+  "CMakeFiles/perple_common.dir/rng.cc.o"
+  "CMakeFiles/perple_common.dir/rng.cc.o.d"
+  "CMakeFiles/perple_common.dir/strings.cc.o"
+  "CMakeFiles/perple_common.dir/strings.cc.o.d"
+  "CMakeFiles/perple_common.dir/thread_pool.cc.o"
+  "CMakeFiles/perple_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/perple_common.dir/timing.cc.o"
+  "CMakeFiles/perple_common.dir/timing.cc.o.d"
+  "libperple_common.a"
+  "libperple_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_generate.dir/generator.cc.o"
+  "CMakeFiles/perple_generate.dir/generator.cc.o.d"
+  "libperple_generate.a"
+  "libperple_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

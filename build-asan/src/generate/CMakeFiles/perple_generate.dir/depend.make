@@ -1,0 +1,2 @@
+# Empty dependencies file for perple_generate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litmus/builder.cc" "src/litmus/CMakeFiles/perple_litmus.dir/builder.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/builder.cc.o.d"
+  "/root/repo/src/litmus/outcome.cc" "src/litmus/CMakeFiles/perple_litmus.dir/outcome.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/outcome.cc.o.d"
+  "/root/repo/src/litmus/parser.cc" "src/litmus/CMakeFiles/perple_litmus.dir/parser.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/parser.cc.o.d"
+  "/root/repo/src/litmus/registry.cc" "src/litmus/CMakeFiles/perple_litmus.dir/registry.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/registry.cc.o.d"
+  "/root/repo/src/litmus/test.cc" "src/litmus/CMakeFiles/perple_litmus.dir/test.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/test.cc.o.d"
+  "/root/repo/src/litmus/validator.cc" "src/litmus/CMakeFiles/perple_litmus.dir/validator.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/validator.cc.o.d"
+  "/root/repo/src/litmus/writer.cc" "src/litmus/CMakeFiles/perple_litmus.dir/writer.cc.o" "gcc" "src/litmus/CMakeFiles/perple_litmus.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/perple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

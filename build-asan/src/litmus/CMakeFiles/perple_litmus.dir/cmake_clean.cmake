@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_litmus.dir/builder.cc.o"
+  "CMakeFiles/perple_litmus.dir/builder.cc.o.d"
+  "CMakeFiles/perple_litmus.dir/outcome.cc.o"
+  "CMakeFiles/perple_litmus.dir/outcome.cc.o.d"
+  "CMakeFiles/perple_litmus.dir/parser.cc.o"
+  "CMakeFiles/perple_litmus.dir/parser.cc.o.d"
+  "CMakeFiles/perple_litmus.dir/registry.cc.o"
+  "CMakeFiles/perple_litmus.dir/registry.cc.o.d"
+  "CMakeFiles/perple_litmus.dir/test.cc.o"
+  "CMakeFiles/perple_litmus.dir/test.cc.o.d"
+  "CMakeFiles/perple_litmus.dir/validator.cc.o"
+  "CMakeFiles/perple_litmus.dir/validator.cc.o.d"
+  "CMakeFiles/perple_litmus.dir/writer.cc.o"
+  "CMakeFiles/perple_litmus.dir/writer.cc.o.d"
+  "libperple_litmus.a"
+  "libperple_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

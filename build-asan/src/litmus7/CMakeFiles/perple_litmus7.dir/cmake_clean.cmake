@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_litmus7.dir/cost_model.cc.o"
+  "CMakeFiles/perple_litmus7.dir/cost_model.cc.o.d"
+  "CMakeFiles/perple_litmus7.dir/runner.cc.o"
+  "CMakeFiles/perple_litmus7.dir/runner.cc.o.d"
+  "libperple_litmus7.a"
+  "libperple_litmus7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_litmus7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

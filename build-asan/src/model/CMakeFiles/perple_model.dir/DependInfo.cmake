@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/axiomatic.cc" "src/model/CMakeFiles/perple_model.dir/axiomatic.cc.o" "gcc" "src/model/CMakeFiles/perple_model.dir/axiomatic.cc.o.d"
+  "/root/repo/src/model/classify.cc" "src/model/CMakeFiles/perple_model.dir/classify.cc.o" "gcc" "src/model/CMakeFiles/perple_model.dir/classify.cc.o.d"
+  "/root/repo/src/model/final_state.cc" "src/model/CMakeFiles/perple_model.dir/final_state.cc.o" "gcc" "src/model/CMakeFiles/perple_model.dir/final_state.cc.o.d"
+  "/root/repo/src/model/hbgraph.cc" "src/model/CMakeFiles/perple_model.dir/hbgraph.cc.o" "gcc" "src/model/CMakeFiles/perple_model.dir/hbgraph.cc.o.d"
+  "/root/repo/src/model/operational.cc" "src/model/CMakeFiles/perple_model.dir/operational.cc.o" "gcc" "src/model/CMakeFiles/perple_model.dir/operational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/perple_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/litmus/CMakeFiles/perple_litmus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_model.dir/axiomatic.cc.o"
+  "CMakeFiles/perple_model.dir/axiomatic.cc.o.d"
+  "CMakeFiles/perple_model.dir/classify.cc.o"
+  "CMakeFiles/perple_model.dir/classify.cc.o.d"
+  "CMakeFiles/perple_model.dir/final_state.cc.o"
+  "CMakeFiles/perple_model.dir/final_state.cc.o.d"
+  "CMakeFiles/perple_model.dir/hbgraph.cc.o"
+  "CMakeFiles/perple_model.dir/hbgraph.cc.o.d"
+  "CMakeFiles/perple_model.dir/operational.cc.o"
+  "CMakeFiles/perple_model.dir/operational.cc.o.d"
+  "libperple_model.a"
+  "libperple_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

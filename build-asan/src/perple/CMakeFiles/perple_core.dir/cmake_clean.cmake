@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_core.dir/codegen.cc.o"
+  "CMakeFiles/perple_core.dir/codegen.cc.o.d"
+  "CMakeFiles/perple_core.dir/converter.cc.o"
+  "CMakeFiles/perple_core.dir/converter.cc.o.d"
+  "CMakeFiles/perple_core.dir/counters.cc.o"
+  "CMakeFiles/perple_core.dir/counters.cc.o.d"
+  "CMakeFiles/perple_core.dir/fast_counter.cc.o"
+  "CMakeFiles/perple_core.dir/fast_counter.cc.o.d"
+  "CMakeFiles/perple_core.dir/harness.cc.o"
+  "CMakeFiles/perple_core.dir/harness.cc.o.d"
+  "CMakeFiles/perple_core.dir/perpetual_outcome.cc.o"
+  "CMakeFiles/perple_core.dir/perpetual_outcome.cc.o.d"
+  "CMakeFiles/perple_core.dir/skew.cc.o"
+  "CMakeFiles/perple_core.dir/skew.cc.o.d"
+  "CMakeFiles/perple_core.dir/witness.cc.o"
+  "CMakeFiles/perple_core.dir/witness.cc.o.d"
+  "libperple_core.a"
+  "libperple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

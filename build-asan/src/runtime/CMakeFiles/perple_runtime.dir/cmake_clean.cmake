@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_runtime.dir/barrier.cc.o"
+  "CMakeFiles/perple_runtime.dir/barrier.cc.o.d"
+  "CMakeFiles/perple_runtime.dir/native_runner.cc.o"
+  "CMakeFiles/perple_runtime.dir/native_runner.cc.o.d"
+  "libperple_runtime.a"
+  "libperple_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

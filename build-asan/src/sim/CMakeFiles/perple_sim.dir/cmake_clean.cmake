@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_sim.dir/machine.cc.o"
+  "CMakeFiles/perple_sim.dir/machine.cc.o.d"
+  "CMakeFiles/perple_sim.dir/program.cc.o"
+  "CMakeFiles/perple_sim.dir/program.cc.o.d"
+  "libperple_sim.a"
+  "libperple_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perple_stats.dir/histogram.cc.o"
+  "CMakeFiles/perple_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/perple_stats.dir/summary.cc.o"
+  "CMakeFiles/perple_stats.dir/summary.cc.o.d"
+  "CMakeFiles/perple_stats.dir/table.cc.o"
+  "CMakeFiles/perple_stats.dir/table.cc.o.d"
+  "libperple_stats.a"
+  "libperple_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perple_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

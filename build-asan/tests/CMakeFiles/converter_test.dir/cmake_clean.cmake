@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converter_test.dir/converter_test.cc.o"
+  "CMakeFiles/converter_test.dir/converter_test.cc.o.d"
+  "converter_test"
+  "converter_test.pdb"
+  "converter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

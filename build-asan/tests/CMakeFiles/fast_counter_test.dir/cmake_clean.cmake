@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_counter_test.dir/fast_counter_test.cc.o"
+  "CMakeFiles/fast_counter_test.dir/fast_counter_test.cc.o.d"
+  "fast_counter_test"
+  "fast_counter_test.pdb"
+  "fast_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/harness_test.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/harness_test.dir/harness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/perple/CMakeFiles/perple_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/litmus7/CMakeFiles/perple_litmus7.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/perple_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/perple_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/generate/CMakeFiles/perple_generate.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/model/CMakeFiles/perple_model.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/litmus/CMakeFiles/perple_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/perple_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/perple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus7_runner_test.dir/litmus7_runner_test.cc.o"
+  "CMakeFiles/litmus7_runner_test.dir/litmus7_runner_test.cc.o.d"
+  "litmus7_runner_test"
+  "litmus7_runner_test.pdb"
+  "litmus7_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus7_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

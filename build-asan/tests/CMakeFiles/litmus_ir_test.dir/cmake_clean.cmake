@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_ir_test.dir/litmus_ir_test.cc.o"
+  "CMakeFiles/litmus_ir_test.dir/litmus_ir_test.cc.o.d"
+  "litmus_ir_test"
+  "litmus_ir_test.pdb"
+  "litmus_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_parser_test.dir/litmus_parser_test.cc.o"
+  "CMakeFiles/litmus_parser_test.dir/litmus_parser_test.cc.o.d"
+  "litmus_parser_test"
+  "litmus_parser_test.pdb"
+  "litmus_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

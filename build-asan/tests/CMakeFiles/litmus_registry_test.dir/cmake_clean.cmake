@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_registry_test.dir/litmus_registry_test.cc.o"
+  "CMakeFiles/litmus_registry_test.dir/litmus_registry_test.cc.o.d"
+  "litmus_registry_test"
+  "litmus_registry_test.pdb"
+  "litmus_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_validator_test.dir/litmus_validator_test.cc.o"
+  "CMakeFiles/litmus_validator_test.dir/litmus_validator_test.cc.o.d"
+  "litmus_validator_test"
+  "litmus_validator_test.pdb"
+  "litmus_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_counters_test.dir/parallel_counters_test.cc.o"
+  "CMakeFiles/parallel_counters_test.dir/parallel_counters_test.cc.o.d"
+  "parallel_counters_test"
+  "parallel_counters_test.pdb"
+  "parallel_counters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

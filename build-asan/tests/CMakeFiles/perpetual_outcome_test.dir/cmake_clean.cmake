@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpetual_outcome_test.dir/perpetual_outcome_test.cc.o"
+  "CMakeFiles/perpetual_outcome_test.dir/perpetual_outcome_test.cc.o.d"
+  "perpetual_outcome_test"
+  "perpetual_outcome_test.pdb"
+  "perpetual_outcome_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpetual_outcome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

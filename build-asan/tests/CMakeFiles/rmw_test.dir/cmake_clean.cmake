@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmw_test.dir/rmw_test.cc.o"
+  "CMakeFiles/rmw_test.dir/rmw_test.cc.o.d"
+  "rmw_test"
+  "rmw_test.pdb"
+  "rmw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

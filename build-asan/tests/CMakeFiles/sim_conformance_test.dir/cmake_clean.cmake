@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_conformance_test.dir/sim_conformance_test.cc.o"
+  "CMakeFiles/sim_conformance_test.dir/sim_conformance_test.cc.o.d"
+  "sim_conformance_test"
+  "sim_conformance_test.pdb"
+  "sim_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

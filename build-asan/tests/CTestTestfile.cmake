@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/litmus_ir_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/litmus_parser_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/litmus_validator_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/litmus_registry_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/model_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_conformance_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/litmus7_runner_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/converter_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/perpetual_outcome_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/counters_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/harness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/generator_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/witness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/rmw_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fast_counter_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/parallel_counters_test[1]_include.cmake")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perple/codegen.cc" "src/perple/CMakeFiles/perple_core.dir/codegen.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/codegen.cc.o.d"
+  "/root/repo/src/perple/converter.cc" "src/perple/CMakeFiles/perple_core.dir/converter.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/converter.cc.o.d"
+  "/root/repo/src/perple/counters.cc" "src/perple/CMakeFiles/perple_core.dir/counters.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/counters.cc.o.d"
+  "/root/repo/src/perple/fast_counter.cc" "src/perple/CMakeFiles/perple_core.dir/fast_counter.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/fast_counter.cc.o.d"
+  "/root/repo/src/perple/harness.cc" "src/perple/CMakeFiles/perple_core.dir/harness.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/harness.cc.o.d"
+  "/root/repo/src/perple/perpetual_outcome.cc" "src/perple/CMakeFiles/perple_core.dir/perpetual_outcome.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/perpetual_outcome.cc.o.d"
+  "/root/repo/src/perple/skew.cc" "src/perple/CMakeFiles/perple_core.dir/skew.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/skew.cc.o.d"
+  "/root/repo/src/perple/witness.cc" "src/perple/CMakeFiles/perple_core.dir/witness.cc.o" "gcc" "src/perple/CMakeFiles/perple_core.dir/witness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/perple_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/perple_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/perple_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/perple_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus7/CMakeFiles/perple_litmus7.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/perple_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

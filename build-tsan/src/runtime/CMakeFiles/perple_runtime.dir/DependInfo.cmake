@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/barrier.cc" "src/runtime/CMakeFiles/perple_runtime.dir/barrier.cc.o" "gcc" "src/runtime/CMakeFiles/perple_runtime.dir/barrier.cc.o.d"
+  "/root/repo/src/runtime/native_runner.cc" "src/runtime/CMakeFiles/perple_runtime.dir/native_runner.cc.o" "gcc" "src/runtime/CMakeFiles/perple_runtime.dir/native_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/perple_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/perple_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/perple_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rmw_test.cc" "tests/CMakeFiles/rmw_test.dir/rmw_test.cc.o" "gcc" "tests/CMakeFiles/rmw_test.dir/rmw_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/perple/CMakeFiles/perple_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus7/CMakeFiles/perple_litmus7.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/perple_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/perple_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/generate/CMakeFiles/perple_generate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/perple_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/litmus/CMakeFiles/perple_litmus.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/perple_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/perple_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/litmus_ir_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/litmus_parser_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/litmus_validator_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/litmus_registry_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/model_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_conformance_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/litmus7_runner_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/converter_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/perpetual_outcome_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/counters_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/harness_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/generator_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/witness_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rmw_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fast_counter_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_counters_test[1]_include.cmake")
