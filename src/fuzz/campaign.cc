@@ -1,0 +1,146 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timing.h"
+#include "litmus/writer.h"
+
+namespace perple::fuzz
+{
+
+std::uint64_t
+campaignSeed(std::uint64_t seed, int campaign)
+{
+    // splitmix64 over (master seed, index): nearby campaigns get
+    // unrelated generator streams, and campaign i can be regenerated
+    // alone via generateSuite(1, config, campaignSeed(seed, i)).
+    std::uint64_t z = seed +
+                      0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(campaign) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+/** Write the minimized reproducer; returns the path. */
+std::string
+writeReproducer(const CampaignConfig &config,
+                const CampaignFailure &failure, std::mutex &io_mutex)
+{
+    const std::string path =
+        config.reproducerDir +
+        format("/div-%s-c%05d.litmus",
+               checkName(failure.divergence.check), failure.campaign);
+    std::lock_guard<std::mutex> lock(io_mutex);
+    std::filesystem::create_directories(config.reproducerDir);
+    std::ofstream out(path);
+    out << litmus::writeTest(failure.shrunk);
+    return path;
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const CampaignConfig &config)
+{
+    checkUser(config.campaigns > 0,
+              "a campaign run needs a positive campaign count");
+
+    WallTimer timer;
+    CampaignReport report;
+    report.campaignsPlanned = config.campaigns;
+
+    // A *private* pool, never the shared registry: the parallel-
+    // identity oracle issues counter jobs to ThreadPool::shared() from
+    // inside each campaign, and blocking campaign chunks must not
+    // occupy the very workers those counter chunks need.
+    common::ThreadPool pool(
+        common::ThreadPool::resolveThreads(config.jobs));
+
+    std::vector<std::vector<CampaignFailure>> shard_failures(
+        pool.numThreads());
+    std::atomic<int> run{0}, generation_failures{0}, skipped{0};
+    std::mutex io_mutex;
+
+    pool.parallelFor(
+        0, config.campaigns, /*grain=*/1,
+        [&](std::size_t shard, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t c = begin; c < end; ++c) {
+                if (config.timeBudgetSeconds > 0 &&
+                    timer.elapsedSeconds() > config.timeBudgetSeconds) {
+                    skipped.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                const int campaign = static_cast<int>(c);
+                const std::uint64_t derived =
+                    campaignSeed(config.seed, campaign);
+
+                litmus::Test test;
+                try {
+                    test = generate::generateSuite(1, config.generator,
+                                                   derived)[0]
+                               .test;
+                } catch (const UserError &) {
+                    generation_failures.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+
+                const auto divergences =
+                    runChecks(test, config.oracle);
+                run.fetch_add(1, std::memory_order_relaxed);
+                if (divergences.empty())
+                    continue;
+
+                CampaignFailure failure;
+                failure.campaign = campaign;
+                failure.campaignSeed = derived;
+                failure.divergence = divergences.front();
+                failure.original = test;
+                if (config.shrink) {
+                    const Check check = failure.divergence.check;
+                    failure.shrunk = shrinkTest(
+                        test,
+                        [&](const litmus::Test &candidate) {
+                            return diverges(candidate, check,
+                                            config.oracle);
+                        },
+                        &failure.shrinkStats);
+                } else {
+                    failure.shrunk = test;
+                }
+                if (!config.reproducerDir.empty())
+                    failure.reproducerPath =
+                        writeReproducer(config, failure, io_mutex);
+                shard_failures[shard].push_back(std::move(failure));
+            }
+        });
+
+    for (auto &bucket : shard_failures)
+        report.failures.insert(
+            report.failures.end(),
+            std::make_move_iterator(bucket.begin()),
+            std::make_move_iterator(bucket.end()));
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const CampaignFailure &a, const CampaignFailure &b) {
+                  return a.campaign < b.campaign;
+              });
+
+    report.campaignsRun = run.load();
+    report.generationFailures = generation_failures.load();
+    report.skippedOnBudget = skipped.load();
+    report.seconds = timer.elapsedSeconds();
+    return report;
+}
+
+} // namespace perple::fuzz

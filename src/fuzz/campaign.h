@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Seeded differential-fuzzing campaigns.
+ *
+ * One campaign = generate one random litmus test (seed derived from
+ * the master seed and the campaign index, so campaign i is
+ * reproducible in isolation), run the five oracle-pair divergence
+ * checks on it, and — on any disagreement — delta-debug the test down
+ * to a minimal reproducer and emit it in litmus7 format. Campaigns are
+ * independent, so the driver shards them over a private thread pool;
+ * the report is merged in campaign order and is bit-identical for
+ * every job count.
+ */
+
+#ifndef PERPLE_FUZZ_CAMPAIGN_H
+#define PERPLE_FUZZ_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+#include "generate/generator.h"
+#include "litmus/test.h"
+
+namespace perple::fuzz
+{
+
+/** Campaign-driver configuration. */
+struct CampaignConfig
+{
+    /** Master seed; per-campaign seeds are derived from it. */
+    std::uint64_t seed = 1;
+
+    /** Number of campaigns to attempt. */
+    int campaigns = 100;
+
+    /**
+     * Wall-clock budget in seconds; campaigns not yet started when it
+     * expires are skipped (0 = unlimited). Budget-limited runs are the
+     * only non-deterministic mode.
+     */
+    double timeBudgetSeconds = 0;
+
+    /** Worker threads (0 = hardware concurrency, 1 = serial). */
+    std::size_t jobs = 1;
+
+    /** Shape constraints for the generated tests. */
+    generate::GeneratorConfig generator;
+
+    /** Oracle battery configuration. */
+    OracleConfig oracle;
+
+    /**
+     * Directory for minimized reproducers (created on first failure);
+     * empty = do not write files.
+     */
+    std::string reproducerDir;
+
+    /** Delta-debug failures down to minimal tests? */
+    bool shrink = true;
+};
+
+/** One divergence found by a campaign. */
+struct CampaignFailure
+{
+    /** Campaign index within the run. */
+    int campaign = -1;
+
+    /** The derived seed that regenerates `original`. */
+    std::uint64_t campaignSeed = 0;
+
+    /** The first divergence the oracle battery reported. */
+    Divergence divergence;
+
+    /** The generated test as the oracle battery saw it. */
+    litmus::Test original;
+
+    /** The minimized test (== original when shrinking is off). */
+    litmus::Test shrunk;
+
+    ShrinkStats shrinkStats;
+
+    /** Path of the written reproducer; empty when none was written. */
+    std::string reproducerPath;
+};
+
+/** Merged results of a campaign run. */
+struct CampaignReport
+{
+    int campaignsPlanned = 0;
+
+    /** Campaigns whose oracle battery actually ran. */
+    int campaignsRun = 0;
+
+    /** Campaigns where the generator produced no informative test. */
+    int generationFailures = 0;
+
+    /** Campaigns skipped because the time budget expired. */
+    int skippedOnBudget = 0;
+
+    /** Failures in campaign order. */
+    std::vector<CampaignFailure> failures;
+
+    double seconds = 0;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * The seed of campaign @p campaign under master seed @p seed
+ * (splitmix64 of the pair; exposed so a single campaign can be re-run
+ * in isolation).
+ */
+std::uint64_t campaignSeed(std::uint64_t seed, int campaign);
+
+/** Run @p config.campaigns campaigns; see file comment. */
+CampaignReport runCampaign(const CampaignConfig &config);
+
+} // namespace perple::fuzz
+
+#endif // PERPLE_FUZZ_CAMPAIGN_H

@@ -1,0 +1,386 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/outcome.h"
+#include "litmus/parser.h"
+#include "litmus/writer.h"
+#include "litmus7/runner.h"
+#include "model/axiomatic.h"
+#include "model/operational.h"
+#include "perple/converter.h"
+#include "perple/crosscheck.h"
+#include "sim/program.h"
+
+namespace perple::fuzz
+{
+
+using litmus::Outcome;
+using litmus::Test;
+
+const char *
+checkName(Check check)
+{
+    switch (check) {
+      case Check::ModelAgreement:
+        return "model-agreement";
+      case Check::SimulatorSoundness:
+        return "simulator-soundness";
+      case Check::HeuristicSubset:
+        return "heuristic-subset";
+      case Check::ParallelIdentity:
+        return "parallel-identity";
+      case Check::ConverterRoundTrip:
+        return "converter-round-trip";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** True when some final state of @p states satisfies @p outcome. */
+bool
+satisfiedByAny(const std::vector<model::FinalState> &states,
+               const Outcome &outcome)
+{
+    for (const auto &state : states)
+        if (state.satisfies(outcome))
+            return true;
+    return false;
+}
+
+/** Perpetual run length: the exhaustive scan is N^{T_L} frames. */
+std::int64_t
+iterationsFor(const Test &test, const OracleConfig &config)
+{
+    return test.numLoadThreads() >= 3 ? config.deepFrameIterations
+                                      : config.iterations;
+}
+
+/** Check 1: operational vs axiomatic, all models, all outcomes. */
+std::vector<Divergence>
+checkModelAgreement(const Test &test, const OracleConfig &config)
+{
+    std::vector<Divergence> divergences;
+    auto outcomes = litmus::enumerateRegisterOutcomes(test);
+    if (outcomes.size() > config.maxModelOutcomes)
+        outcomes.resize(config.maxModelOutcomes);
+
+    for (const auto model :
+         {model::MemoryModel::SC, model::MemoryModel::TSO,
+          model::MemoryModel::PSO}) {
+        const auto states = model::enumerateFinalStates(test, model);
+        for (const auto &outcome : outcomes) {
+            const bool operational = satisfiedByAny(states, outcome);
+            const bool axiomatic =
+                model::allowsAxiomatic(test, outcome, model);
+            if (operational == axiomatic)
+                continue;
+            divergences.push_back(
+                {Check::ModelAgreement,
+                 format("outcome '%s' under %s: operational says %s, "
+                        "axiomatic says %s",
+                        outcome.toString(test).c_str(),
+                        model::memoryModelName(model),
+                        operational ? "allowed" : "forbidden",
+                        axiomatic ? "allowed" : "forbidden")});
+        }
+    }
+    return divergences;
+}
+
+/** Check 2: simulator-observed outcomes ⊆ operational-TSO outcomes. */
+std::vector<Divergence>
+checkSimulatorSoundness(const Test &test, const OracleConfig &config)
+{
+    std::vector<Divergence> divergences;
+    const auto outcomes = litmus::enumerateRegisterOutcomes(test);
+    if (outcomes.empty())
+        return divergences;
+
+    // The full enumeration partitions the per-iteration outcome space,
+    // so FirstMatch tallying is exact and `unmatched` iterations can
+    // only mean a register held a value no store ever wrote.
+    litmus7::Litmus7Config l7;
+    l7.backend = litmus7::Backend::Simulator;
+    l7.seed = config.seed;
+    const auto result = litmus7::runLitmus7(
+        test, config.litmus7Iterations, outcomes, l7);
+
+    const auto tso_states =
+        model::enumerateFinalStates(test, model::MemoryModel::TSO);
+    for (std::size_t o = 0; o < outcomes.size(); ++o) {
+        if (result.counts[o] == 0 ||
+            satisfiedByAny(tso_states, outcomes[o]))
+            continue;
+        divergences.push_back(
+            {Check::SimulatorSoundness,
+             format("simulator produced TSO-forbidden outcome '%s' "
+                    "%llu times in %lld iterations",
+                    outcomes[o].toString(test).c_str(),
+                    static_cast<unsigned long long>(result.counts[o]),
+                    static_cast<long long>(result.iterations))});
+    }
+    if (result.unmatched > 0)
+        divergences.push_back(
+            {Check::SimulatorSoundness,
+             format("%llu iterations matched no enumerable register "
+                    "outcome (a register held a value no store wrote)",
+                    static_cast<unsigned long long>(result.unmatched))});
+    return divergences;
+}
+
+/** Check 3: COUNTH hits ⊆ COUNT hits under FirstMatch. */
+std::vector<Divergence>
+checkHeuristicSubset(const Test &test, const OracleConfig &config)
+{
+    std::vector<Divergence> divergences;
+    std::string reason;
+    if (test.target.empty() ||
+        !core::isConvertible(test, {test.target}, reason))
+        return divergences;
+
+    core::CrossCheckConfig cc;
+    cc.seed = config.seed;
+    cc.iterations = iterationsFor(test, config);
+    cc.mode = core::CountMode::FirstMatch;
+    cc.parallel = false;
+    const auto report =
+        core::crossCheckCounters(test, {test.target}, cc);
+
+    core::Counts heuristic = report.heuristicSerial;
+    if (config.corruptHeuristic)
+        config.corruptHeuristic(test, heuristic);
+
+    if (heuristic[0] > report.exhaustiveSerial[0])
+        divergences.push_back(
+            {Check::HeuristicSubset,
+             format("heuristic counted target '%s' %llu times but the "
+                    "uncapped exhaustive scan only %llu times over "
+                    "%lld iterations",
+                    test.target.toString(test).c_str(),
+                    static_cast<unsigned long long>(heuristic[0]),
+                    static_cast<unsigned long long>(
+                        report.exhaustiveSerial[0]),
+                    static_cast<long long>(report.iterations))});
+    return divergences;
+}
+
+/** Check 4: serial vs sharded-parallel counters, bit-identical. */
+std::vector<Divergence>
+checkParallelIdentity(const Test &test, const OracleConfig &config)
+{
+    std::vector<Divergence> divergences;
+    std::string reason;
+    if (!core::isConvertible(test, {test.target}, reason))
+        return divergences;
+
+    // Target first, then a few co-interest outcomes so the FirstMatch
+    // else-if chains actually have something to disambiguate.
+    std::vector<Outcome> outcomes;
+    if (!test.target.empty())
+        outcomes.push_back(test.target);
+    for (const auto &o : litmus::enumerateRegisterOutcomes(test)) {
+        if (outcomes.size() >= 1 + config.maxExtraOutcomes)
+            break;
+        if (!(o == test.target))
+            outcomes.push_back(o);
+    }
+    if (outcomes.empty())
+        return divergences;
+
+    for (const auto mode :
+         {core::CountMode::FirstMatch, core::CountMode::Independent}) {
+        core::CrossCheckConfig cc;
+        cc.seed = config.seed;
+        cc.iterations = iterationsFor(test, config);
+        cc.mode = mode;
+        cc.parallel = true;
+        cc.parallelThreads = config.parallelThreads;
+        const auto report = core::crossCheckCounters(test, outcomes, cc);
+        if (report.parallelIdentical())
+            continue;
+        for (std::size_t o = 0; o < outcomes.size(); ++o) {
+            if (report.exhaustiveSerial[o] ==
+                    report.exhaustiveParallel[o] &&
+                report.heuristicSerial[o] ==
+                    report.heuristicParallel[o])
+                continue;
+            divergences.push_back(
+                {Check::ParallelIdentity,
+                 format("outcome '%s' (%s): serial exh=%llu heur=%llu "
+                        "vs parallel exh=%llu heur=%llu",
+                        outcomes[o].toString(test).c_str(),
+                        mode == core::CountMode::FirstMatch
+                            ? "first-match"
+                            : "independent",
+                        static_cast<unsigned long long>(
+                            report.exhaustiveSerial[o]),
+                        static_cast<unsigned long long>(
+                            report.heuristicSerial[o]),
+                        static_cast<unsigned long long>(
+                            report.exhaustiveParallel[o]),
+                        static_cast<unsigned long long>(
+                            report.heuristicParallel[o]))});
+        }
+    }
+    return divergences;
+}
+
+/** Check 5: perpetual conversion decodes, writer round-trips. */
+std::vector<Divergence>
+checkConverterRoundTrip(const Test &test, const OracleConfig &config)
+{
+    (void)config;
+    std::vector<Divergence> divergences;
+
+    // Writer -> parser round-trip (the reproducer path depends on it).
+    try {
+        const Test reparsed = litmus::parseTest(litmus::writeTest(test));
+        if (!(reparsed == test))
+            divergences.push_back(
+                {Check::ConverterRoundTrip,
+                 "writeTest/parseTest round-trip changed the test"});
+    } catch (const Error &e) {
+        divergences.push_back(
+            {Check::ConverterRoundTrip,
+             format("writer output failed to reparse: %s", e.what())});
+        return divergences;
+    }
+
+    std::string reason;
+    if (!core::isConvertible(test, {test.target}, reason))
+        return divergences;
+    const core::PerpetualTest perpetual = core::convert(test);
+
+    if (perpetual.frameThreads != test.loadThreads())
+        divergences.push_back({Check::ConverterRoundTrip,
+                               "frame threads differ from the "
+                               "original's load-performing threads"});
+
+    for (litmus::LocationId loc = 0; loc < test.numLocations(); ++loc) {
+        if (perpetual.strides[static_cast<std::size_t>(loc)] ==
+            test.strideFor(loc))
+            continue;
+        divergences.push_back(
+            {Check::ConverterRoundTrip,
+             format("stride of '%s' is %d, expected k=%d",
+                    test.locations[static_cast<std::size_t>(loc)]
+                        .c_str(),
+                    perpetual.strides[static_cast<std::size_t>(loc)],
+                    test.strideFor(loc))});
+    }
+
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &thread = test.threads[static_cast<std::size_t>(t)];
+        const auto &program =
+            perpetual.programs[static_cast<std::size_t>(t)];
+        if (perpetual.loadsPerIteration[static_cast<std::size_t>(t)] !=
+            thread.numLoads())
+            divergences.push_back(
+                {Check::ConverterRoundTrip,
+                 format("thread %d: loadsPerIteration != r_t", t)});
+        if (program.ops.size() != thread.instructions.size()) {
+            divergences.push_back(
+                {Check::ConverterRoundTrip,
+                 format("thread %d: op count changed in conversion",
+                        t)});
+            continue;
+        }
+        for (std::size_t i = 0; i < program.ops.size(); ++i) {
+            const auto &instr = thread.instructions[i];
+            const auto &op = program.ops[i];
+            if (op.kind != instr.kind) {
+                divergences.push_back(
+                    {Check::ConverterRoundTrip,
+                     format("thread %d op %zu: kind changed", t, i)});
+                continue;
+            }
+            if (!instr.writesMemory())
+                continue;
+            // Decode iteration index and original constant back out of
+            // the arithmetic-sequence element k*n + a (Table I).
+            const std::int64_t k = op.value.stride;
+            if (k != test.strideFor(instr.loc) ||
+                op.value.offset != instr.value) {
+                divergences.push_back(
+                    {Check::ConverterRoundTrip,
+                     format("thread %d op %zu: sequence is %lld*n+%lld,"
+                            " expected %d*n+%lld",
+                            t, i, static_cast<long long>(k),
+                            static_cast<long long>(op.value.offset),
+                            test.strideFor(instr.loc),
+                            static_cast<long long>(instr.value))});
+                continue;
+            }
+            for (const std::int64_t n : {0, 1, 9}) {
+                const litmus::Value v = op.value.eval(n);
+                const litmus::Value a = ((v - 1) % k) + 1;
+                const std::int64_t decoded_n = (v - a) / k;
+                if (a == instr.value && decoded_n == n)
+                    continue;
+                divergences.push_back(
+                    {Check::ConverterRoundTrip,
+                     format("thread %d op %zu: value %lld decodes to "
+                            "(n=%lld, a=%lld), stored as (n=%lld, "
+                            "a=%lld)",
+                            t, i, static_cast<long long>(v),
+                            static_cast<long long>(decoded_n),
+                            static_cast<long long>(a),
+                            static_cast<long long>(n),
+                            static_cast<long long>(instr.value))});
+            }
+        }
+    }
+    return divergences;
+}
+
+} // namespace
+
+std::vector<Divergence>
+runCheck(const Test &test, Check check, const OracleConfig &config)
+{
+    // An oracle crashing on a generated test is itself a divergence
+    // worth shrinking, not a reason to abort the campaign.
+    try {
+        switch (check) {
+          case Check::ModelAgreement:
+            return checkModelAgreement(test, config);
+          case Check::SimulatorSoundness:
+            return checkSimulatorSoundness(test, config);
+          case Check::HeuristicSubset:
+            return checkHeuristicSubset(test, config);
+          case Check::ParallelIdentity:
+            return checkParallelIdentity(test, config);
+          case Check::ConverterRoundTrip:
+            return checkConverterRoundTrip(test, config);
+        }
+    } catch (const Error &e) {
+        return {{check, format("oracle threw: %s", e.what())}};
+    }
+    return {};
+}
+
+std::vector<Divergence>
+runChecks(const Test &test, const OracleConfig &config)
+{
+    std::vector<Divergence> divergences;
+    for (const Check check : kAllChecks) {
+        auto found = runCheck(test, check, config);
+        divergences.insert(divergences.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+    }
+    return divergences;
+}
+
+bool
+diverges(const Test &test, Check check, const OracleConfig &config)
+{
+    return !runCheck(test, check, config).empty();
+}
+
+} // namespace perple::fuzz

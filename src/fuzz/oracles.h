@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The differential-fuzzing oracle battery.
+ *
+ * PerpLE owns several independent answers to "which outcomes can this
+ * litmus test produce, and how often did they occur": the operational
+ * enumerator, the axiomatic checker, the timed TSO simulator, and two
+ * counter algorithms each with a serial and a sharded-parallel path.
+ * On any single test these answers are redundant — which is exactly
+ * what makes them a bug-finding machine on *generated* tests: every
+ * pairwise disagreement (a *divergence*) is a bug in one of the two
+ * sides. The five checks:
+ *
+ *  1. ModelAgreement — operational vs axiomatic allowed-outcome sets,
+ *     per enumerable register outcome, under SC, TSO and PSO.
+ *  2. SimulatorSoundness — every outcome the timed TSO simulator
+ *     produces in a litmus7-style run must be operational-TSO-allowed
+ *     (and every iteration must match some enumerated outcome).
+ *  3. HeuristicSubset — COUNTH hits ⊆ COUNT hits under FirstMatch:
+ *     with a single outcome of interest and an uncapped exhaustive
+ *     scan, the heuristic count never exceeds the exhaustive count.
+ *  4. ParallelIdentity — the sharded-parallel counters are
+ *     bit-identical to the serial reference paths, for both counters
+ *     and both CountModes.
+ *  5. ConverterRoundTrip — the perpetual conversion is invertible
+ *     (decoding iteration index and stored constant from any sequence
+ *     element recovers the original store) and the litmus7 writer
+ *     round-trips through the parser.
+ */
+
+#ifndef PERPLE_FUZZ_ORACLES_H
+#define PERPLE_FUZZ_ORACLES_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+#include "perple/counters.h"
+
+namespace perple::fuzz
+{
+
+/** The five oracle-pair divergence checks. */
+enum class Check
+{
+    ModelAgreement,
+    SimulatorSoundness,
+    HeuristicSubset,
+    ParallelIdentity,
+    ConverterRoundTrip,
+};
+
+/** All checks, in execution order. */
+inline constexpr Check kAllChecks[] = {
+    Check::ModelAgreement,     Check::SimulatorSoundness,
+    Check::HeuristicSubset,    Check::ParallelIdentity,
+    Check::ConverterRoundTrip,
+};
+
+/** Stable kebab-case name ("model-agreement", ...). */
+const char *checkName(Check check);
+
+/** Oracle configuration; defaults keep one test under ~100 ms. */
+struct OracleConfig
+{
+    /** Simulator / harness seed for checks 2-4. */
+    std::uint64_t seed = 1;
+
+    /** Perpetual run length when the test has T_L <= 2. */
+    std::int64_t iterations = 1000;
+
+    /**
+     * Perpetual run length when T_L >= 3 (the uncapped exhaustive
+     * scan is cubic in this).
+     */
+    std::int64_t deepFrameIterations = 100;
+
+    /** Iterations of the litmus7-style simulator soundness run. */
+    std::int64_t litmus7Iterations = 400;
+
+    /** Worker threads for the parallel-identity counts (0 = hw). */
+    std::size_t parallelThreads = 4;
+
+    /**
+     * Outcome-enumeration cap for ModelAgreement (axiomatic checking
+     * is the most expensive oracle; the deterministic prefix is
+     * checked). SimulatorSoundness always uses the full enumeration —
+     * it needs it to prove every iteration matched.
+     */
+    std::size_t maxModelOutcomes = 40;
+
+    /** Co-interest outcomes beside the target for ParallelIdentity. */
+    std::size_t maxExtraOutcomes = 4;
+
+    /**
+     * Test-only fault injection: corrupts the heuristic counts of the
+     * HeuristicSubset check before comparison, so the test suite can
+     * prove a broken counter is caught and shrunk. Never set outside
+     * tests.
+     */
+    std::function<void(const litmus::Test &, core::Counts &)>
+        corruptHeuristic;
+};
+
+/** One oracle-pair disagreement. */
+struct Divergence
+{
+    Check check = Check::ModelAgreement;
+
+    /** Human-readable explanation (outcome, model, counts, ...). */
+    std::string detail;
+};
+
+/**
+ * Run one divergence check on @p test.
+ *
+ * Checks that do not apply to the test's shape (e.g. HeuristicSubset
+ * on a test with an empty or inconvertible target) report no
+ * divergence. Deterministic in (@p test, @p config).
+ *
+ * @param test A validated test.
+ * @param check Which oracle pair to compare.
+ * @param config Oracle configuration.
+ * @return All divergences found by this check.
+ */
+std::vector<Divergence> runCheck(const litmus::Test &test, Check check,
+                                 const OracleConfig &config);
+
+/** Run all five checks in order; concatenation of runCheck results. */
+std::vector<Divergence> runChecks(const litmus::Test &test,
+                                  const OracleConfig &config);
+
+/**
+ * True iff @p check still reports at least one divergence on @p test —
+ * the shrinker's predicate.
+ */
+bool diverges(const litmus::Test &test, Check check,
+              const OracleConfig &config);
+
+} // namespace perple::fuzz
+
+#endif // PERPLE_FUZZ_ORACLES_H

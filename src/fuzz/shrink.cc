@@ -1,0 +1,78 @@
+#include "fuzz/shrink.h"
+
+#include <optional>
+
+#include "generate/mutation.h"
+
+namespace perple::fuzz
+{
+
+using litmus::Test;
+
+namespace
+{
+
+/** Try one candidate; accept it iff the divergence survives. */
+bool
+tryStep(Test &current, std::optional<Test> candidate,
+        const ShrinkPredicate &stillDiverges, ShrinkStats &stats)
+{
+    ++stats.attempted;
+    if (!candidate || !stillDiverges(*candidate))
+        return false;
+    current = std::move(*candidate);
+    ++stats.accepted;
+    return true;
+}
+
+} // namespace
+
+Test
+shrinkTest(const Test &test, const ShrinkPredicate &stillDiverges,
+           ShrinkStats *stats)
+{
+    Test current = test;
+    ShrinkStats local;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++local.rounds;
+
+        // Coarsest first: whole threads, descending so untried ids
+        // stay stable across an accepted drop.
+        for (litmus::ThreadId t = current.numThreads() - 1; t >= 0; --t)
+            if (tryStep(current, generate::dropThread(current, t),
+                        stillDiverges, local))
+                changed = true;
+
+        // Single instructions, fences included, innermost-last first.
+        // (An accepted drop shrinks the list by one, so descending
+        // indices stay valid; no reference into `current` is held
+        // across an acceptance.)
+        for (litmus::ThreadId t = current.numThreads() - 1; t >= 0;
+             --t) {
+            const int count = static_cast<int>(
+                current.threads[static_cast<std::size_t>(t)]
+                    .instructions.size());
+            for (int i = count - 1; i >= 0; --i)
+                if (tryStep(current,
+                            generate::dropInstruction(current, t, i),
+                            stillDiverges, local))
+                    changed = true;
+        }
+
+        // Finest: dense constants, no unused locations. Only a
+        // strictly-canonicalizing step is ever proposed, so acceptance
+        // cannot loop.
+        if (tryStep(current, generate::shrinkConstants(current),
+                    stillDiverges, local))
+            changed = true;
+    }
+
+    if (stats)
+        *stats = local;
+    return current;
+}
+
+} // namespace perple::fuzz

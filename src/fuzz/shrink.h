@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Delta-debugging test-case minimization for divergent litmus tests.
+ *
+ * Given a test on which some oracle pair disagrees, the shrinker walks
+ * a fixed reduction lattice — drop whole threads, drop single
+ * instructions (fences included), canonicalize constants and drop
+ * unused locations — re-validating and re-running the divergence
+ * predicate after every candidate step, and keeps a reduction only
+ * when the divergence survives. The scan order is fixed and the
+ * predicate is deterministic (seeded oracles), so shrinking the same
+ * test always yields the same minimal reproducer. Every accepted step
+ * strictly shrinks the test (fewer threads/instructions, or smaller
+ * constants/location set), so the greedy fixpoint terminates.
+ */
+
+#ifndef PERPLE_FUZZ_SHRINK_H
+#define PERPLE_FUZZ_SHRINK_H
+
+#include <functional>
+
+#include "litmus/test.h"
+
+namespace perple::fuzz
+{
+
+/**
+ * "Does the divergence still reproduce on this candidate?" — called on
+ * validated candidates only. Must be deterministic.
+ */
+using ShrinkPredicate = std::function<bool(const litmus::Test &)>;
+
+/** Bookkeeping of one shrink run. */
+struct ShrinkStats
+{
+    /** Full passes over the reduction lattice. */
+    int rounds = 0;
+
+    /** Candidate reductions generated (valid or not). */
+    int attempted = 0;
+
+    /** Reductions on which the divergence survived. */
+    int accepted = 0;
+};
+
+/**
+ * Minimize @p test while @p stillDiverges holds.
+ *
+ * @param test A validated test on which the predicate holds.
+ * @param stillDiverges The divergence predicate.
+ * @param[out] stats Optional run statistics.
+ * @return A minimal test (no single lattice step reduces it further)
+ *         on which the predicate still holds.
+ */
+litmus::Test shrinkTest(const litmus::Test &test,
+                        const ShrinkPredicate &stillDiverges,
+                        ShrinkStats *stats = nullptr);
+
+} // namespace perple::fuzz
+
+#endif // PERPLE_FUZZ_SHRINK_H

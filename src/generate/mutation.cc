@@ -1,0 +1,171 @@
+#include "generate/mutation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "litmus/validator.h"
+
+namespace perple::generate
+{
+
+using litmus::Condition;
+using litmus::LocationId;
+using litmus::RegisterId;
+using litmus::Test;
+using litmus::ThreadId;
+using litmus::Value;
+
+namespace
+{
+
+/** Validate-or-reject: the shared tail of every mutation. */
+std::optional<Test>
+accept(Test test)
+{
+    if (!litmus::validate(test).ok())
+        return std::nullopt;
+    return test;
+}
+
+} // namespace
+
+std::optional<Test>
+dropThread(const Test &test, ThreadId thread)
+{
+    if (thread < 0 || thread >= test.numThreads())
+        return std::nullopt;
+
+    Test reduced = test;
+    reduced.threads.erase(reduced.threads.begin() + thread);
+
+    std::vector<Condition> conditions;
+    for (Condition cond : reduced.target.conditions) {
+        if (cond.kind == Condition::Kind::Register) {
+            if (cond.thread == thread)
+                continue;
+            if (cond.thread > thread)
+                --cond.thread;
+        }
+        conditions.push_back(cond);
+    }
+    reduced.target.conditions = std::move(conditions);
+    return accept(std::move(reduced));
+}
+
+std::optional<Test>
+dropInstruction(const Test &test, ThreadId thread, int index)
+{
+    if (thread < 0 || thread >= test.numThreads())
+        return std::nullopt;
+    Test reduced = test;
+    auto &body = reduced.threads[static_cast<std::size_t>(thread)];
+    if (index < 0 ||
+        index >= static_cast<int>(body.instructions.size()))
+        return std::nullopt;
+
+    const litmus::Instruction dropped =
+        body.instructions[static_cast<std::size_t>(index)];
+    body.instructions.erase(body.instructions.begin() + index);
+
+    if (dropped.readsRegister()) {
+        // The register disappears with its unique defining load: shift
+        // higher register ids of this thread down, in the remaining
+        // instructions and in the target conditions.
+        body.registerNames.erase(body.registerNames.begin() +
+                                 dropped.reg);
+        for (auto &instr : body.instructions)
+            if (instr.readsRegister() && instr.reg > dropped.reg)
+                --instr.reg;
+        std::vector<Condition> conditions;
+        for (Condition cond : reduced.target.conditions) {
+            if (cond.kind == Condition::Kind::Register &&
+                cond.thread == thread) {
+                if (cond.reg == dropped.reg)
+                    continue;
+                if (cond.reg > dropped.reg)
+                    --cond.reg;
+            }
+            conditions.push_back(cond);
+        }
+        reduced.target.conditions = std::move(conditions);
+    }
+    return accept(std::move(reduced));
+}
+
+std::optional<Test>
+shrinkConstants(const Test &test)
+{
+    // Locations kept: referenced by an instruction or a memory
+    // condition (an unused location a condition still names would make
+    // the result unparseable once dropped).
+    std::vector<bool> used(static_cast<std::size_t>(test.numLocations()),
+                           false);
+    for (const auto &thread : test.threads)
+        for (const auto &instr : thread.instructions)
+            if (!instr.isFence())
+                used[static_cast<std::size_t>(instr.loc)] = true;
+    for (const auto &cond : test.target.conditions)
+        if (cond.kind == Condition::Kind::Memory)
+            used[static_cast<std::size_t>(cond.loc)] = true;
+
+    std::vector<LocationId> loc_map(
+        static_cast<std::size_t>(test.numLocations()), -1);
+    Test reduced = test;
+    reduced.locations.clear();
+    for (LocationId loc = 0; loc < test.numLocations(); ++loc) {
+        if (!used[static_cast<std::size_t>(loc)])
+            continue;
+        loc_map[static_cast<std::size_t>(loc)] =
+            static_cast<LocationId>(reduced.locations.size());
+        reduced.locations.push_back(
+            test.locations[static_cast<std::size_t>(loc)]);
+    }
+
+    // Dense renumbering 1..k per location, ascending original order.
+    std::vector<std::map<Value, Value>> value_map(
+        static_cast<std::size_t>(test.numLocations()));
+    for (LocationId loc = 0; loc < test.numLocations(); ++loc) {
+        Value next = 1;
+        for (const Value v : test.storedValues(loc))
+            value_map[static_cast<std::size_t>(loc)][v] = next++;
+    }
+
+    for (auto &thread : reduced.threads) {
+        for (auto &instr : thread.instructions) {
+            if (instr.isFence())
+                continue;
+            if (instr.writesMemory())
+                instr.value = value_map[static_cast<std::size_t>(
+                    instr.loc)][instr.value];
+            instr.loc = loc_map[static_cast<std::size_t>(instr.loc)];
+        }
+    }
+
+    for (auto &cond : reduced.target.conditions) {
+        if (cond.kind == Condition::Kind::Memory) {
+            if (cond.value != 0)
+                cond.value = value_map[static_cast<std::size_t>(
+                    cond.loc)][cond.value];
+            cond.loc = loc_map[static_cast<std::size_t>(cond.loc)];
+        } else if (cond.value != 0) {
+            // A register condition's value lives in the sequence of the
+            // location its unique defining load reads.
+            const int load =
+                test.loadIndexForRegister(cond.thread, cond.reg);
+            if (load < 0)
+                return std::nullopt; // Invalid input; nothing sane to do.
+            const LocationId loc =
+                test.threads[static_cast<std::size_t>(cond.thread)]
+                    .instructions[static_cast<std::size_t>(load)]
+                    .loc;
+            cond.value =
+                value_map[static_cast<std::size_t>(loc)][cond.value];
+        }
+    }
+
+    if (reduced == test)
+        return std::nullopt; // Already canonical: no progress.
+    return accept(std::move(reduced));
+}
+
+} // namespace perple::generate

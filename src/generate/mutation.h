@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shape mutations over litmus tests — the reduction moves of the
+ * differential fuzzer's test-case shrinker (src/fuzz/shrink.h).
+ *
+ * Every mutation returns a *smaller* well-formed test or nullopt. The
+ * hooks repair all cross-references the structural edit breaks (thread
+ * ids in outcome conditions, register ids after a load is removed,
+ * location ids after unused locations are dropped) and then run the
+ * full litmus validator; a mutation whose repaired result still fails
+ * validation — e.g. dropping the only store whose constant a target
+ * condition names — is rejected with nullopt rather than producing an
+ * ill-formed test. Callers therefore maintain the invariant "valid in,
+ * valid or nullopt out".
+ */
+
+#ifndef PERPLE_GENERATE_MUTATION_H
+#define PERPLE_GENERATE_MUTATION_H
+
+#include <optional>
+
+#include "litmus/test.h"
+
+namespace perple::generate
+{
+
+/**
+ * Remove thread @p thread from @p test.
+ *
+ * Target conditions on the dropped thread are removed; thread ids above
+ * @p thread shift down by one.
+ *
+ * @param test A validated test.
+ * @param thread Thread to drop.
+ * @return The reduced test, or nullopt when the result is invalid
+ *         (fewer than two threads left, or a surviving condition names
+ *         a constant only the dropped thread stored).
+ */
+std::optional<litmus::Test> dropThread(const litmus::Test &test,
+                                       litmus::ThreadId thread);
+
+/**
+ * Remove instruction @p index of thread @p thread from @p test.
+ *
+ * Dropping a load (or XCHG) also removes its destination register:
+ * conditions on that register are removed and higher register ids of
+ * the thread shift down.
+ *
+ * @param test A validated test.
+ * @param thread Owning thread.
+ * @param index Instruction index within the thread.
+ * @return The reduced test, or nullopt when the result is invalid
+ *         (thread left without a memory operation, orphaned condition
+ *         values, ...).
+ */
+std::optional<litmus::Test> dropInstruction(const litmus::Test &test,
+                                            litmus::ThreadId thread,
+                                            int index);
+
+/**
+ * Canonicalize values and locations: renumber the constants stored to
+ * each location densely to 1..k (preserving their relative order) and
+ * drop locations no instruction or memory condition references. All
+ * store operands and condition values are rewritten consistently.
+ *
+ * @param test A validated test.
+ * @return The canonicalized test, or nullopt when @p test is already
+ *         canonical (the mutation made no progress).
+ */
+std::optional<litmus::Test> shrinkConstants(const litmus::Test &test);
+
+} // namespace perple::generate
+
+#endif // PERPLE_GENERATE_MUTATION_H

@@ -128,6 +128,14 @@ Test::storesTo(LocationId loc) const
     return stores;
 }
 
+bool
+Test::operator==(const Test &other) const
+{
+    return name == other.name && doc == other.doc &&
+           locations == other.locations && threads == other.threads &&
+           target == other.target;
+}
+
 int
 Test::loadIndexForRegister(ThreadId thread, RegisterId reg) const
 {

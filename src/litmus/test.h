@@ -42,6 +42,14 @@ struct Thread
      * Returns -1 when the register is never loaded.
      */
     int loadSlotForRegister(RegisterId reg) const;
+
+    /** Structural equality: instructions and register names. */
+    bool
+    operator==(const Thread &other) const
+    {
+        return instructions == other.instructions &&
+               registerNames == other.registerNames;
+    }
 };
 
 /**
@@ -120,6 +128,13 @@ class Test
      * @p reg; -1 when the register is never loaded.
      */
     int loadIndexForRegister(ThreadId thread, RegisterId reg) const;
+
+    /**
+     * Structural equality over every field the writer serializes (name,
+     * doc, locations, threads, target); parseTest(writeTest(t)) == t is
+     * the round-trip property the fuzzer and the unit tests check.
+     */
+    bool operator==(const Test &other) const;
 };
 
 } // namespace perple::litmus

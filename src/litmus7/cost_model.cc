@@ -1,5 +1,6 @@
 #include "litmus7/cost_model.h"
 
+#include <atomic>
 #include "common/error.h"
 
 namespace perple::litmus7
@@ -41,9 +42,15 @@ syncCostFor(runtime::SyncMode mode)
 void
 burnSpinUnits(std::uint64_t units)
 {
-    static volatile std::uint64_t sink = 0;
+    // Relaxed atomic, not volatile: runs may execute concurrently
+    // (e.g. sharded fuzz campaigns), and a plain shared sink would be
+    // a data race. On x86 the relaxed load+store pair compiles to the
+    // same mov/mov as the volatile it replaces, keeping the
+    // calibrated spin-unit cost unchanged.
+    static std::atomic<std::uint64_t> sink{0};
     for (std::uint64_t i = 0; i < units; ++i)
-        sink = sink + 1;
+        sink.store(sink.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
 }
 
 } // namespace perple::litmus7

@@ -217,13 +217,14 @@ poutParams(const std::vector<ThreadId> &frame_threads,
 }
 
 /**
- * Emit the body lines checking @p outcome's atoms, skipping conditions
- * in @p consumed. Existential bounds are declared and the final return
+ * Emit the body lines checking @p outcome's atoms, skipping the ones
+ * flagged in @p skip (HeuristicCounter::skippedAtoms; empty = keep
+ * everything). Existential bounds are declared and the final return
  * verifies them.
  */
 std::string
 emitAtomChecks(const PerpetualOutcome &outcome,
-               const std::vector<int> &consumed)
+               const std::vector<bool> &skip)
 {
     std::string body;
     for (const ThreadId q : outcome.existentialThreads)
@@ -231,9 +232,9 @@ emitAtomChecks(const PerpetualOutcome &outcome,
                        q);
     body += "    int64_t v;\n";
 
-    for (const Atom &atom : outcome.atoms) {
-        if (std::find(consumed.begin(), consumed.end(),
-                      atom.conditionIndex) != consumed.end())
+    for (std::size_t i = 0; i < outcome.atoms.size(); ++i) {
+        const Atom &atom = outcome.atoms[i];
+        if (!skip.empty() && skip[i])
             continue;
         const std::string frame_var =
             format("n_%d", atom.value.thread);
@@ -405,7 +406,7 @@ emitHeuristicCounterC(const PerpetualTest &perpetual,
                           step.targetThread, step.targetThread);
         }
 
-        out += emitAtomChecks(po, planner.consumedConditions(o));
+        out += emitAtomChecks(po, planner.skippedAtoms(o));
         out += "}\n\n";
     }
 

@@ -90,21 +90,32 @@ struct CompiledOutcome
 };
 
 /**
- * Compile @p outcome, dropping atoms of conditions in @p skip_mask
- * (the heuristic counter's substitution-consumed conditions; the
- * exhaustive counter passes 0).
+ * Compile @p outcome, dropping the atoms flagged in @p skip_atoms
+ * (aligned with outcome.atoms; empty = keep everything).
+ *
+ * The heuristic counter skips exactly the atoms its substitution
+ * satisfies by construction — an atom whose index thread the decode
+ * resolved. The *other* atoms of a consumed condition (an `=0`
+ * condition has one fr atom per store to the location, possibly on
+ * several threads) stay in the compiled set: dropping them would let
+ * COUNTH accept frames COUNT rejects. The exhaustive counter passes
+ * an empty vector.
  */
 inline CompiledOutcome
-compileOutcome(const PerpetualOutcome &outcome, std::uint32_t skip_mask)
+compileOutcome(const PerpetualOutcome &outcome,
+               const std::vector<bool> &skip_atoms = {})
 {
     CompiledOutcome compiled;
     compiled.numExistential = outcome.existentialThreads.size();
     checkUser(compiled.numExistential <= kMaxExistential,
               "too many store-only threads in one outcome");
+    checkInternal(skip_atoms.empty() ||
+                      skip_atoms.size() == outcome.atoms.size(),
+                  "atom skip vector does not match the outcome");
     compiled.atoms.reserve(outcome.atoms.size());
-    for (const Atom &atom : outcome.atoms) {
-        if (skip_mask &
-            (1u << static_cast<unsigned>(atom.conditionIndex)))
+    for (std::size_t a = 0; a < outcome.atoms.size(); ++a) {
+        const Atom &atom = outcome.atoms[a];
+        if (!skip_atoms.empty() && skip_atoms[a])
             continue;
         CompiledAtom flat;
         flat.bufThread = atom.value.thread;
@@ -132,15 +143,14 @@ compileOutcome(const PerpetualOutcome &outcome, std::uint32_t skip_mask)
     return compiled;
 }
 
-/** Compile several outcomes with a shared skip mask. */
+/** Compile several outcomes with nothing skipped. */
 inline std::vector<CompiledOutcome>
-compileOutcomes(const std::vector<PerpetualOutcome> &outcomes,
-                std::uint32_t skip_mask = 0)
+compileOutcomes(const std::vector<PerpetualOutcome> &outcomes)
 {
     std::vector<CompiledOutcome> compiled;
     compiled.reserve(outcomes.size());
     for (const PerpetualOutcome &outcome : outcomes)
-        compiled.push_back(compileOutcome(outcome, skip_mask));
+        compiled.push_back(compileOutcome(outcome));
     return compiled;
 }
 

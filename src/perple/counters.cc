@@ -294,12 +294,26 @@ HeuristicCounter::HeuristicCounter(
                 break;
         }
 
-        // Fold the consumed-condition skip out of the evaluated atom
-        // list once, instead of re-testing a mask per frame.
-        std::uint32_t consumed_mask = 0;
-        for (const int c : best.consumedConditions)
-            consumed_mask |= 1u << static_cast<unsigned>(c);
-        best.compiled = detail::compileOutcome(outcome, consumed_mask);
+        // Fold the skip out of the evaluated atom list once. Only the
+        // atoms a substitution satisfies by construction — those whose
+        // index thread the step resolved — may be skipped; a consumed
+        // `=0` condition has one fr atom per store to the location,
+        // and the ones over other threads remain live constraints
+        // (dropping them once let COUNTH overcount COUNT; caught by
+        // the differential fuzzer).
+        best.skipAtoms.assign(outcome.atoms.size(), false);
+        for (const ResolutionStep &step : best.steps) {
+            if (step.fallback)
+                continue;
+            for (std::size_t a = 0; a < outcome.atoms.size(); ++a) {
+                const Atom &atom = outcome.atoms[a];
+                if (atom.conditionIndex == step.conditionIndex &&
+                    atom.indexIsFrame &&
+                    atom.indexThread == step.targetThread)
+                    best.skipAtoms[a] = true;
+            }
+        }
+        best.compiled = detail::compileOutcome(outcome, best.skipAtoms);
 
         plans_.push_back(std::move(best));
     }
@@ -327,6 +341,14 @@ HeuristicCounter::consumedConditions(std::size_t outcome_index) const
     checkUser(outcome_index < plans_.size(),
               "outcome index out of range");
     return plans_[outcome_index].consumedConditions;
+}
+
+const std::vector<bool> &
+HeuristicCounter::skippedAtoms(std::size_t outcome_index) const
+{
+    checkUser(outcome_index < plans_.size(),
+              "outcome index out of range");
+    return plans_[outcome_index].skipAtoms;
 }
 
 bool

@@ -266,6 +266,17 @@ class HeuristicCounter
     const std::vector<int> &
     consumedConditions(std::size_t outcome_index) const;
 
+    /**
+     * Atoms of @p outcome_index (aligned with
+     * outcomes()[outcome_index].atoms) the substitution satisfies by
+     * construction, i.e. the ones evaluation skips. Only the atoms
+     * whose index thread a step resolved qualify — a consumed `=0`
+     * condition keeps its fr atoms over every *other* store thread,
+     * otherwise COUNTH could accept frames COUNT rejects.
+     */
+    const std::vector<bool> &
+    skippedAtoms(std::size_t outcome_index) const;
+
     const std::vector<PerpetualOutcome> &
     outcomes() const
     {
@@ -279,9 +290,12 @@ class HeuristicCounter
         std::vector<ResolutionStep> steps;
         std::vector<int> consumedConditions;
 
+        /** Per-atom skip flags; see skippedAtoms(). */
+        std::vector<bool> skipAtoms;
+
         /**
-         * The outcome's atoms minus the consumed conditions,
-         * flattened (the consumed-mask skip is folded out here).
+         * The outcome's atoms minus the substitution-satisfied ones,
+         * flattened (the skip is folded out here).
          */
         detail::CompiledOutcome compiled;
     };

@@ -1,0 +1,52 @@
+#include "perple/crosscheck.h"
+
+#include "common/error.h"
+#include "perple/converter.h"
+#include "perple/perpetual_outcome.h"
+#include "sim/machine.h"
+
+namespace perple::core
+{
+
+CrossCheckReport
+crossCheckCounters(const litmus::Test &test,
+                   const std::vector<litmus::Outcome> &outcomes,
+                   const CrossCheckConfig &config)
+{
+    checkUser(config.iterations > 0,
+              "counter cross-check needs a positive iteration count");
+
+    const PerpetualTest perpetual = convert(test);
+
+    sim::MachineConfig machine_config = config.machine;
+    machine_config.seed = config.seed;
+    machine_config.addressMode = sim::AddressMode::Shared;
+    sim::Machine machine(perpetual.programs, test.numLocations(),
+                         machine_config);
+    sim::RunResult run;
+    machine.runFree(config.iterations, 0, run);
+
+    const auto perpetual_outcomes =
+        buildPerpetualOutcomes(test, outcomes);
+    const ExhaustiveCounter exhaustive(test, perpetual_outcomes);
+    const HeuristicCounter heuristic(test, perpetual_outcomes);
+    const RawBufs raw(run.bufs);
+
+    CrossCheckReport report;
+    report.iterations = config.iterations;
+    report.exhaustiveSerial = exhaustive.count(
+        config.iterations, raw, config.mode, /*threads=*/1);
+    report.heuristicSerial = heuristic.count(
+        config.iterations, raw, config.mode, /*threads=*/1);
+    if (config.parallel) {
+        report.exhaustiveParallel =
+            exhaustive.count(config.iterations, raw, config.mode,
+                             config.parallelThreads);
+        report.heuristicParallel =
+            heuristic.count(config.iterations, raw, config.mode,
+                            config.parallelThreads);
+    }
+    return report;
+}
+
+} // namespace perple::core

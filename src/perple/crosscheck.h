@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Counter cross-checking: one perpetual run, every counter variant.
+ *
+ * The differential fuzzer (src/fuzz/) needs to compare PerpLE's
+ * redundant counting paths — exhaustive vs heuristic (Algorithms 1 and
+ * 2), serial vs sharded-parallel — on identical buf arrays. This entry
+ * point executes a converted test once on the deterministic simulator
+ * and returns the counts of all requested variants, so callers can
+ * assert the two library-level invariants:
+ *
+ *  - bit-identity: the sharded-parallel path must equal the serial
+ *    reference path for both counters and every CountMode;
+ *  - heuristic subset: with a single outcome of interest and an
+ *    uncapped exhaustive scan, every heuristic hit is a frame the
+ *    exhaustive counter also counts, so COUNTH <= COUNT per outcome.
+ */
+
+#ifndef PERPLE_CORE_CROSSCHECK_H
+#define PERPLE_CORE_CROSSCHECK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "litmus/test.h"
+#include "perple/counters.h"
+#include "sim/config.h"
+
+namespace perple::core
+{
+
+/** Configuration of one crossCheckCounters() run. */
+struct CrossCheckConfig
+{
+    /** Simulator seed; the run is deterministic in it. */
+    std::uint64_t seed = 1;
+
+    /** Iterations N; the exhaustive scan is uncapped (N^{T_L}). */
+    std::int64_t iterations = 1000;
+
+    /** Frame-sharing semantics for all counts. */
+    CountMode mode = CountMode::FirstMatch;
+
+    /** Also produce the sharded-parallel counts? */
+    bool parallel = true;
+
+    /** Worker threads for the parallel counts (0 = hardware). */
+    std::size_t parallelThreads = 4;
+
+    /** Simulator knobs (seed and addressMode are overridden). */
+    sim::MachineConfig machine;
+};
+
+/** All counter variants over one run's bufs. */
+struct CrossCheckReport
+{
+    std::int64_t iterations = 0;
+
+    Counts exhaustiveSerial;
+    Counts heuristicSerial;
+
+    /** Present only when CrossCheckConfig::parallel was set. */
+    Counts exhaustiveParallel;
+    Counts heuristicParallel;
+
+    /** Serial and parallel counts are bit-identical for both counters. */
+    bool
+    parallelIdentical() const
+    {
+        return exhaustiveSerial == exhaustiveParallel &&
+               heuristicSerial == heuristicParallel;
+    }
+};
+
+/**
+ * Run @p test's perpetual form once on the simulator and count
+ * @p outcomes with every requested counter variant.
+ *
+ * @param test A validated, convertible test.
+ * @param outcomes Outcomes of interest (register conditions).
+ * @param config Run + count configuration.
+ */
+CrossCheckReport
+crossCheckCounters(const litmus::Test &test,
+                   const std::vector<litmus::Outcome> &outcomes,
+                   const CrossCheckConfig &config);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_CROSSCHECK_H

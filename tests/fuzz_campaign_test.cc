@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The differential-fuzzing campaign driver. The smoke test is the
+ * tier-1 guarantee that the five oracle pairs agree on a fixed corpus
+ * of 200 generated tests — any counter, model, simulator or converter
+ * regression that breaks cross-oracle agreement fails here with a
+ * minimized reproducer in the failure message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "fuzz/campaign.h"
+#include "litmus/writer.h"
+
+namespace perple::fuzz
+{
+namespace
+{
+
+std::string
+describeFailures(const CampaignReport &report)
+{
+    std::ostringstream out;
+    for (const auto &failure : report.failures) {
+        out << "campaign " << failure.campaign << " seed "
+            << failure.campaignSeed << " ["
+            << checkName(failure.divergence.check)
+            << "]: " << failure.divergence.detail << "\n"
+            << litmus::writeTest(failure.shrunk);
+    }
+    return out.str();
+}
+
+TEST(FuzzCampaignTest, TwoHundredCampaignsAllOraclesAgree)
+{
+    CampaignConfig config;
+    config.seed = 1;
+    config.campaigns = 200;
+    config.jobs = 2;
+
+    const CampaignReport report = runCampaign(config);
+    EXPECT_TRUE(report.ok()) << describeFailures(report);
+    EXPECT_EQ(report.campaignsRun + report.generationFailures +
+                  report.skippedOnBudget,
+              report.campaignsPlanned);
+    EXPECT_EQ(report.skippedOnBudget, 0);
+    EXPECT_GT(report.campaignsRun, 0);
+}
+
+TEST(FuzzCampaignTest, TimeBudgetSkipsRemainingCampaigns)
+{
+    CampaignConfig config;
+    config.seed = 3;
+    config.campaigns = 100000;
+    config.timeBudgetSeconds = 0.05;
+
+    const CampaignReport report = runCampaign(config);
+    EXPECT_GT(report.skippedOnBudget, 0);
+    EXPECT_EQ(report.campaignsRun + report.generationFailures +
+                  report.skippedOnBudget,
+              report.campaignsPlanned);
+}
+
+TEST(FuzzCampaignTest, ReportIsJobCountInvariant)
+{
+    CampaignConfig config;
+    config.seed = 5;
+    config.campaigns = 30;
+
+    config.jobs = 1;
+    const CampaignReport serial = runCampaign(config);
+    config.jobs = 3;
+    const CampaignReport sharded = runCampaign(config);
+
+    EXPECT_EQ(serial.campaignsRun, sharded.campaignsRun);
+    EXPECT_EQ(serial.generationFailures, sharded.generationFailures);
+    ASSERT_EQ(serial.failures.size(), sharded.failures.size());
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+        EXPECT_EQ(serial.failures[i].campaign,
+                  sharded.failures[i].campaign);
+        EXPECT_TRUE(serial.failures[i].shrunk ==
+                    sharded.failures[i].shrunk);
+    }
+}
+
+TEST(FuzzCampaignTest, CampaignSeedsAreStableAndDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (int c = 0; c < 1000; ++c) {
+        const std::uint64_t s = campaignSeed(1, c);
+        EXPECT_EQ(s, campaignSeed(1, c));
+        seeds.insert(s);
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+    EXPECT_NE(campaignSeed(1, 0), campaignSeed(2, 0));
+}
+
+} // namespace
+} // namespace perple::fuzz

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The delta-debugging shrinker, from two angles: a synthetic
+ * structural predicate (fast, exercises the lattice in isolation) and
+ * an end-to-end injected counter bug that must be caught by the
+ * campaign driver and minimized to a written reproducer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/campaign.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+#include "litmus/builder.h"
+#include "litmus/parser.h"
+#include "litmus/validator.h"
+#include "litmus/writer.h"
+
+namespace perple::fuzz
+{
+namespace
+{
+
+/** A deliberately bloated test: three threads, fences, dead stores. */
+litmus::Test
+bloatedTest()
+{
+    return litmus::TestBuilder("bloated")
+        .thread()
+        .store("x", 1)
+        .fence()
+        .store("y", 1)
+        .load("EAX", "z")
+        .thread()
+        .store("z", 2)
+        .load("EAX", "x")
+        .load("EBX", "y")
+        .thread()
+        .store("x", 3)
+        .fence()
+        .load("EAX", "y")
+        .target({{1, "EAX", 1}})
+        .build();
+}
+
+/** True iff some thread still stores 1 to x and some thread loads x. */
+bool
+storesAndLoadsX(const litmus::Test &test)
+{
+    bool stores = false, loads = false;
+    for (const auto &thread : test.threads)
+        for (const auto &instr : thread.instructions) {
+            if (instr.kind == litmus::OpKind::Store &&
+                test.locations[static_cast<std::size_t>(instr.loc)] ==
+                    "x" &&
+                instr.value == 1)
+                stores = true;
+            if (instr.kind == litmus::OpKind::Load &&
+                test.locations[static_cast<std::size_t>(instr.loc)] ==
+                    "x")
+                loads = true;
+        }
+    return stores && loads;
+}
+
+int
+totalOps(const litmus::Test &test)
+{
+    int ops = 0;
+    for (const auto &thread : test.threads)
+        ops += static_cast<int>(thread.instructions.size());
+    return ops;
+}
+
+TEST(ShrinkTest, StructuralPredicateReachesMinimum)
+{
+    const litmus::Test original = bloatedTest();
+    ASSERT_TRUE(storesAndLoadsX(original));
+
+    ShrinkStats stats;
+    const litmus::Test shrunk =
+        shrinkTest(original, storesAndLoadsX, &stats);
+
+    // The validator enforces >= 2 threads; within that, only the
+    // store and the load survive.
+    EXPECT_TRUE(litmus::validate(shrunk).ok());
+    EXPECT_TRUE(storesAndLoadsX(shrunk));
+    EXPECT_EQ(shrunk.numThreads(), 2);
+    EXPECT_LE(totalOps(shrunk), 2);
+    EXPECT_GT(stats.accepted, 0);
+    EXPECT_GE(stats.attempted, stats.accepted);
+}
+
+TEST(ShrinkTest, DeterministicPerInput)
+{
+    const litmus::Test original = bloatedTest();
+    const litmus::Test once = shrinkTest(original, storesAndLoadsX);
+    const litmus::Test twice = shrinkTest(original, storesAndLoadsX);
+    EXPECT_TRUE(once == twice);
+}
+
+TEST(ShrinkTest, CanonicalizesConstantsAndLocations)
+{
+    // Value 9 is the only constant stored to x; canonical form is 1.
+    // Location z becomes unused once thread 2 is dropped.
+    const litmus::Test original =
+        litmus::TestBuilder("loose")
+            .thread()
+            .store("x", 9)
+            .load("EAX", "y")
+            .thread()
+            .store("y", 9)
+            .load("EAX", "x")
+            .thread()
+            .store("z", 5)
+            .target({{0, "EAX", 0}, {1, "EAX", 0}})
+            .build();
+
+    const auto keepsShape = [](const litmus::Test &test) {
+        int stores = 0;
+        for (const auto &thread : test.threads)
+            for (const auto &instr : thread.instructions)
+                if (instr.kind == litmus::OpKind::Store)
+                    ++stores;
+        return test.target.conditions.size() == 2 && stores >= 2;
+    };
+    ASSERT_TRUE(keepsShape(original));
+    const litmus::Test shrunk = shrinkTest(original, keepsShape);
+
+    EXPECT_EQ(shrunk.numThreads(), 2);
+    EXPECT_EQ(shrunk.locations.size(), 2u);
+    int stores = 0;
+    for (const auto &thread : shrunk.threads)
+        for (const auto &instr : thread.instructions)
+            if (instr.kind == litmus::OpKind::Store) {
+                ++stores;
+                EXPECT_EQ(instr.value, 1);
+            }
+    EXPECT_EQ(stores, 2);
+}
+
+TEST(ShrinkTest, InjectedCounterBugIsCaughtAndShrunk)
+{
+    // Corrupt the heuristic counter: every convertible test now
+    // violates COUNTH <= COUNT, which the HeuristicSubset oracle must
+    // catch and the shrinker must minimize.
+    const std::string dir =
+        ::testing::TempDir() + "perple_fuzz_repro";
+    std::filesystem::remove_all(dir);
+
+    CampaignConfig config;
+    config.seed = 7;
+    config.campaigns = 3;
+    config.reproducerDir = dir;
+    config.oracle.corruptHeuristic =
+        [](const litmus::Test &, core::Counts &counts) {
+            for (auto &count : counts)
+                count += 1'000'000;
+        };
+
+    const CampaignReport report = runCampaign(config);
+    ASSERT_FALSE(report.failures.empty());
+
+    for (const auto &failure : report.failures) {
+        EXPECT_EQ(failure.divergence.check, Check::HeuristicSubset);
+        EXPECT_EQ(failure.campaignSeed,
+                  campaignSeed(config.seed, failure.campaign));
+
+        // The acceptance bar: minimal reproducers, not raw draws.
+        EXPECT_TRUE(litmus::validate(failure.shrunk).ok());
+        EXPECT_LE(failure.shrunk.numThreads(), 2);
+        EXPECT_LE(totalOps(failure.shrunk), 4);
+        EXPECT_GT(failure.shrinkStats.accepted, 0);
+
+        // The written reproducer is a standalone litmus file that
+        // parses back to the minimized test.
+        ASSERT_FALSE(failure.reproducerPath.empty());
+        std::ifstream stream(failure.reproducerPath);
+        ASSERT_TRUE(stream.good()) << failure.reproducerPath;
+        std::ostringstream text;
+        text << stream.rdbuf();
+        const litmus::Test reparsed = litmus::parseTest(text.str());
+        EXPECT_TRUE(reparsed == failure.shrunk);
+    }
+
+    // Same config, same failures: the campaign driver is
+    // deterministic end to end.
+    const CampaignReport again = runCampaign(config);
+    ASSERT_EQ(again.failures.size(), report.failures.size());
+    for (std::size_t i = 0; i < report.failures.size(); ++i)
+        EXPECT_TRUE(again.failures[i].shrunk ==
+                    report.failures[i].shrunk);
+
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace perple::fuzz

@@ -117,12 +117,22 @@ TEST(GeneratorTest, RejectsBadConfig)
 
 TEST(GeneratorFuzzTest, ParserRoundTripsGeneratedTests)
 {
-    for (const auto &g : generateSuite(25, defaultConfig(), 21)) {
+    // Full structural round-trip: parseTest(writeTest(t)) == t, over
+    // 50 generated tests spanning the default and the largest shapes.
+    const auto roundTrips = [](const litmus::Test &test) {
         const litmus::Test reparsed =
-            litmus::parseTest(litmus::writeTest(g.test));
-        EXPECT_EQ(reparsed.target, g.test.target) << g.test.name;
-        EXPECT_EQ(reparsed.numThreads(), g.test.numThreads());
-    }
+            litmus::parseTest(litmus::writeTest(test));
+        EXPECT_TRUE(reparsed == test) << litmus::writeTest(test);
+    };
+    for (const auto &g : generateSuite(25, defaultConfig(), 21))
+        roundTrips(g.test);
+    GeneratorConfig large;
+    large.maxThreads = 4;
+    large.maxLocations = 4;
+    large.maxOpsPerThread = 4;
+    large.maxStoredValuesPerLocation = 3;
+    for (const auto &g : generateSuite(25, large, 22))
+        roundTrips(g.test);
 }
 
 TEST(GeneratorFuzzTest, OraclesAgreeOnGeneratedTests)

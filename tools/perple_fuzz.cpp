@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Differential-fuzzing driver: generate random litmus tests and
+ * cross-validate every oracle pair in the library (operational vs
+ * axiomatic models, simulator vs TSO enumeration, heuristic vs
+ * exhaustive counters, serial vs parallel counting, converter
+ * round-trip). Divergences are delta-debugged to minimal reproducers.
+ *
+ * Usage:
+ *   perple_fuzz [options]
+ *   perple_fuzz --replay <file.litmus>
+ *
+ * Options:
+ *   --seed <n>         master seed (default 1)
+ *   --campaigns <n>    number of campaigns (default 100)
+ *   --time-budget <s>  wall-clock budget in seconds (default: none)
+ *   --jobs <n>         worker threads, 0 = all cores (default 1)
+ *   --out <dir>        directory for minimized reproducers
+ *   --no-shrink        report divergences without minimizing them
+ *   --replay <file>    run the oracle battery on one litmus file
+ *
+ * Exit status: 0 = no divergence, 1 = divergence found, 2 = usage.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "fuzz/campaign.h"
+#include "fuzz/oracles.h"
+#include "litmus/parser.h"
+#include "litmus/validator.h"
+#include "litmus/writer.h"
+
+namespace
+{
+
+using namespace perple;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--campaigns N] [--time-budget SEC]\n"
+        "          [--jobs N] [--out DIR] [--no-shrink]\n"
+        "       %s --replay FILE.litmus\n",
+        argv0, argv0);
+    return 2;
+}
+
+/** The required value of flag argv[i]; exits with usage on overrun. */
+const char *
+flagValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                     argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+int
+replay(const char *argv0, const std::string &path,
+       const fuzz::OracleConfig &oracle)
+{
+    std::ifstream stream(path);
+    if (!stream) {
+        std::fprintf(stderr, "%s: cannot read %s\n", argv0,
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << stream.rdbuf();
+    const litmus::Test test = litmus::parseTest(text.str());
+    litmus::validateOrThrow(test);
+
+    const auto divergences = fuzz::runChecks(test, oracle);
+    if (divergences.empty()) {
+        std::printf("%s: all oracle pairs agree\n",
+                    test.name.c_str());
+        return 0;
+    }
+    for (const auto &d : divergences)
+        std::printf("%s: DIVERGENCE [%s] %s\n", test.name.c_str(),
+                    fuzz::checkName(d.check), d.detail.c_str());
+    return 1;
+}
+
+void
+printFailure(const fuzz::CampaignFailure &failure,
+             std::uint64_t masterSeed)
+{
+    std::printf("\n=== divergence: campaign %d, check %s ===\n",
+                failure.campaign,
+                fuzz::checkName(failure.divergence.check));
+    std::printf("  %s\n", failure.divergence.detail.c_str());
+    std::printf(
+        "  campaign seed %llu (regenerate: --seed %llu --campaigns "
+        "%d, campaign index %d)\n",
+        static_cast<unsigned long long>(failure.campaignSeed),
+        static_cast<unsigned long long>(masterSeed),
+        failure.campaign + 1, failure.campaign);
+    std::printf("  shrink: %d rounds, %d/%d steps accepted\n",
+                failure.shrinkStats.rounds,
+                failure.shrinkStats.accepted,
+                failure.shrinkStats.attempted);
+    if (!failure.reproducerPath.empty())
+        std::printf("  reproducer: %s (run: perple_fuzz --replay "
+                    "%s)\n",
+                    failure.reproducerPath.c_str(),
+                    failure.reproducerPath.c_str());
+    std::printf("--- minimized test ---\n%s----------------------\n",
+                litmus::writeTest(failure.shrunk).c_str());
+}
+
+int
+run(int argc, char **argv)
+{
+    fuzz::CampaignConfig config;
+    std::string replayPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--seed") == 0) {
+            config.seed = std::strtoull(flagValue(argc, argv, i),
+                                        nullptr, 10);
+        } else if (std::strcmp(arg, "--campaigns") == 0) {
+            config.campaigns = std::atoi(flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--time-budget") == 0) {
+            config.timeBudgetSeconds =
+                std::atof(flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            config.jobs = static_cast<std::size_t>(
+                std::atoi(flagValue(argc, argv, i)));
+        } else if (std::strcmp(arg, "--out") == 0) {
+            config.reproducerDir = flagValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--no-shrink") == 0) {
+            config.shrink = false;
+        } else if (std::strcmp(arg, "--replay") == 0) {
+            replayPath = flagValue(argc, argv, i);
+        } else {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        }
+    }
+
+    if (!replayPath.empty())
+        return replay(argv[0], replayPath, config.oracle);
+
+    if (config.campaigns <= 0) {
+        std::fprintf(stderr, "%s: --campaigns must be positive\n",
+                     argv[0]);
+        return usage(argv[0]);
+    }
+
+    const auto report = fuzz::runCampaign(config);
+    std::printf(
+        "perple_fuzz: %d/%d campaigns checked in %.1fs "
+        "(%d uninformative draws, %d skipped on budget), "
+        "%zu divergence(s)\n",
+        report.campaignsRun, report.campaignsPlanned, report.seconds,
+        report.generationFailures, report.skippedOnBudget,
+        report.failures.size());
+    for (const auto &failure : report.failures)
+        printFailure(failure, config.seed);
+    return report.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const Error &error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        return 2;
+    }
+}
