@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Trace-store I/O microbench: what does durable capture cost, and what
+ * does offline re-analysis save?
+ *
+ * Three questions, answered on sb at N = 1,000,000 (scaled by
+ * PERPLE_ITERS_SCALE), for both buf encodings:
+ *
+ *  1. Capture overhead — wall time of a captured harness run vs an
+ *     uncaptured one, plus the non-overlapped "capture" phase the
+ *     harness actually billed (serialization runs on a writer thread
+ *     overlapped with the counting phases) and the resulting write
+ *     throughput.
+ *  2. Re-analysis vs in-memory — heuristic count over the mmap'd
+ *     capture (open + count) vs the same count over the live run's
+ *     buffers.
+ *  3. Re-analysis vs re-execution — the headline trade: re-counting a
+ *     stored capture vs re-running the simulator to regenerate the
+ *     buffers first. The ISSUE acceptance bar is >= 5x in favor of
+ *     the capture.
+ *
+ * Counts are asserted bit-identical between the live run and every
+ * re-analysis path — a mismatch fails the bench. Results go to
+ * BENCH_trace_io.json.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace
+{
+
+using namespace perple;
+using namespace perple::bench;
+
+struct Sample
+{
+    std::string encoding;
+    std::int64_t iterations = 0;
+    std::uint64_t fileBytes = 0;
+    double compression = 1.0;
+    double execSeconds = 0.0;
+    double captureSeconds = 0.0;  ///< Non-overlapped harness cost.
+    double writeThroughputMiB = 0.0;
+    double openSeconds = 0.0;
+    double countTraceSeconds = 0.0;
+    double countLiveSeconds = 0.0;
+    double reexecuteSeconds = 0.0;
+    double speedupVsReexecute = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = scaledIterations(1000000);
+    banner("Micro: trace capture + re-analysis I/O (sb)", n);
+
+    const auto &sb = litmus::findTest("sb").test;
+    const auto perpetual = core::convert(sb);
+    const std::size_t jobs = analysisThreads();
+
+    core::HarnessConfig base;
+    base.seed = baseSeed();
+    base.runExhaustive = false;
+    base.analysisThreads = jobs;
+
+    // Uncaptured reference run: exec + heuristic count.
+    const auto reference =
+        core::runPerpetual(perpetual, n, {sb.target}, base);
+    const double ref_exec = reference.timing.phaseSeconds("exec");
+    const double ref_count =
+        reference.timing.phaseSeconds("count-heuristic");
+    std::printf("uncaptured run: exec %.3fs, count %.3fs\n\n",
+                ref_exec, ref_count);
+
+    const auto outcomes =
+        core::buildPerpetualOutcomes(sb, {sb.target});
+    const core::HeuristicCounter heuristic(sb, outcomes);
+
+    std::vector<Sample> samples;
+    bool mismatch = false;
+
+    for (const auto encoding :
+         {trace::BufEncoding::VarintDelta, trace::BufEncoding::Raw}) {
+        Sample sample;
+        sample.encoding =
+            encoding == trace::BufEncoding::Raw ? "raw" : "varint";
+        sample.iterations = n;
+        const std::string path =
+            "trace_io_" + sample.encoding + ".plt";
+
+        core::HarnessConfig config = base;
+        config.capturePath = path;
+        config.captureEncoding = encoding;
+        const auto captured =
+            core::runPerpetual(perpetual, n, {sb.target}, config);
+        sample.execSeconds = captured.timing.phaseSeconds("exec");
+        sample.captureSeconds =
+            captured.timing.phaseSeconds("capture");
+        sample.fileBytes = captured.captureBytes;
+        const double capture_wall =
+            captured.timing.totalSeconds();
+        sample.writeThroughputMiB =
+            capture_wall > 0.0
+                ? static_cast<double>(sample.fileBytes) /
+                      (1024.0 * 1024.0) / capture_wall
+                : 0.0;
+
+        // Re-analysis: open the capture (mmap + validate + decode for
+        // varint) and re-count.
+        WallTimer open_timer;
+        const trace::TraceReader reader(path);
+        sample.openSeconds = open_timer.elapsedSeconds();
+        sample.compression =
+            static_cast<double>(reader.bufValueBytes()) /
+            static_cast<double>(
+                std::max<std::uint64_t>(1, reader.bufPayloadBytes()));
+        const core::RawBufs raw = reader.rawBufs(0);
+
+        WallTimer count_timer;
+        const auto trace_counts = heuristic.count(
+            n, raw, core::CountMode::FirstMatch, jobs);
+        sample.countTraceSeconds = count_timer.elapsedSeconds();
+
+        WallTimer live_timer;
+        const auto live_counts =
+            heuristic.count(n, core::RawBufs(captured.run.bufs),
+                            core::CountMode::FirstMatch, jobs);
+        sample.countLiveSeconds = live_timer.elapsedSeconds();
+
+        if (trace_counts != *captured.heuristic ||
+            live_counts != *captured.heuristic) {
+            std::printf("COUNT MISMATCH: %s encoding\n",
+                        sample.encoding.c_str());
+            mismatch = true;
+        }
+
+        // Re-execution baseline: what regenerating the buffers costs
+        // before any counting can happen (exec of the reference run
+        // plus the same count).
+        sample.reexecuteSeconds = ref_exec + sample.countLiveSeconds;
+        const double reanalysis =
+            sample.openSeconds + sample.countTraceSeconds;
+        sample.speedupVsReexecute =
+            reanalysis > 0.0 ? sample.reexecuteSeconds / reanalysis
+                             : 0.0;
+
+        samples.push_back(sample);
+        std::remove(path.c_str());
+    }
+
+    stats::Table table({"encoding", "file", "ratio", "capture cost",
+                        "open", "count(trace)", "count(live)",
+                        "vs re-exec"});
+    for (const Sample &sample : samples)
+        table.addRow(
+            {sample.encoding,
+             format("%.1f MiB",
+                    static_cast<double>(sample.fileBytes) /
+                        (1024.0 * 1024.0)),
+             format("%.2fx", sample.compression),
+             format("%.1f ms", sample.captureSeconds * 1e3),
+             format("%.1f ms", sample.openSeconds * 1e3),
+             format("%.1f ms", sample.countTraceSeconds * 1e3),
+             format("%.1f ms", sample.countLiveSeconds * 1e3),
+             format("%.1fx", sample.speedupVsReexecute)});
+    std::printf("%s\n", table.toString().c_str());
+
+    std::FILE *json = std::fopen("BENCH_trace_io.json", "w");
+    if (json == nullptr) {
+        std::printf("cannot write BENCH_trace_io.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"bench\": \"trace_io\",\n"
+                 "  \"iterations\": %lld,\n"
+                 "  \"uncaptured_exec_seconds\": %.6f,\n"
+                 "  \"results\": [\n",
+                 static_cast<long long>(n), ref_exec);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &sample = samples[i];
+        std::fprintf(
+            json,
+            "    {\"encoding\": \"%s\", \"file_bytes\": %llu, "
+            "\"compression\": %.3f, \"exec_seconds\": %.6f, "
+            "\"capture_overhead_seconds\": %.6f, "
+            "\"write_throughput_mib_s\": %.1f, "
+            "\"open_seconds\": %.6f, "
+            "\"count_trace_seconds\": %.6f, "
+            "\"count_live_seconds\": %.6f, "
+            "\"reexecute_seconds\": %.6f, "
+            "\"speedup_vs_reexecute\": %.2f}%s\n",
+            sample.encoding.c_str(),
+            static_cast<unsigned long long>(sample.fileBytes),
+            sample.compression, sample.execSeconds,
+            sample.captureSeconds, sample.writeThroughputMiB,
+            sample.openSeconds, sample.countTraceSeconds,
+            sample.countLiveSeconds, sample.reexecuteSeconds,
+            sample.speedupVsReexecute,
+            i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_trace_io.json\n");
+
+    return mismatch ? 1 : 0;
+}

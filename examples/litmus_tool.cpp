@@ -19,6 +19,8 @@
  *   -s <seed>        RNG seed (default 1)
  *   --exhaustive     also run the exhaustive counter (perple engine)
  *   --spec tso|pso   classify the target against this model
+ *   --capture <f.plt>  record a .plt trace of the run (perple
+ *                    engine; re-analyze with tools/perple_trace)
  */
 
 #include <cstdio>
@@ -105,7 +107,7 @@ int
 cmdRun(const litmus::Test &test, std::int64_t iterations,
        const std::string &engine, runtime::SyncMode mode, bool native,
        std::uint64_t seed, bool exhaustive,
-       model::MemoryModel spec_model)
+       model::MemoryModel spec_model, const std::string &capture)
 {
     // Outcomes of interest: everything, target first.
     std::vector<litmus::Outcome> outcomes = {test.target};
@@ -141,8 +143,14 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         config.countMode = core::CountMode::Independent;
         if (exhaustive && test.numLoadThreads() >= 3)
             config.exhaustiveCap = 400;
+        config.capturePath = capture;
         const auto result = core::runPerpetual(perpetual, iterations,
                                                outcomes, config);
+        if (!capture.empty())
+            std::printf("captured %.2f MiB trace to %s\n",
+                        static_cast<double>(result.captureBytes) /
+                            (1024.0 * 1024.0),
+                        capture.c_str());
         counts = *result.heuristic;
         seconds = result.heuristicSeconds();
         engine_label = "perple-heuristic";
@@ -230,6 +238,7 @@ main(int argc, char **argv)
         std::uint64_t seed = 1;
         bool exhaustive = false;
         model::MemoryModel spec_model = model::MemoryModel::TSO;
+        std::string capture;
 
         for (int i = 3; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -254,13 +263,17 @@ main(int argc, char **argv)
             else if (arg == "--spec")
                 spec_model = next() == "pso" ? model::MemoryModel::PSO
                                              : model::MemoryModel::TSO;
+            else if (arg == "--capture")
+                capture = next();
             else
                 fatal("unknown option '" + arg + "'");
         }
         checkUser(engine == "perple" || engine == "litmus7",
                   "engine must be perple or litmus7");
+        checkUser(capture.empty() || engine == "perple",
+                  "--capture requires the perple engine");
         return cmdRun(test, iterations, engine, mode, native, seed,
-                      exhaustive, spec_model);
+                      exhaustive, spec_model, capture);
     } catch (const Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

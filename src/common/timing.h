@@ -77,6 +77,13 @@ class PhaseTimer
     /** Sum of all phase durations in nanoseconds. */
     std::int64_t totalNs() const;
 
+    /** Sum of all phase durations in seconds. */
+    double
+    totalSeconds() const
+    {
+        return static_cast<double>(totalNs()) * 1e-9;
+    }
+
     /** All accumulated phases keyed by name. */
     const std::map<std::string, std::int64_t> &phases() const
     {

@@ -11,6 +11,8 @@
 #include "common/thread_pool.h"
 #include "common/timing.h"
 #include "litmus/writer.h"
+#include "perple/converter.h"
+#include "perple/harness.h"
 
 namespace perple::fuzz
 {
@@ -45,6 +47,44 @@ writeReproducer(const CampaignConfig &config,
     std::filesystem::create_directories(config.reproducerDir);
     std::ofstream out(path);
     out << litmus::writeTest(failure.shrunk);
+    return path;
+}
+
+/**
+ * Capture the shrunk test's perpetual run as a `.plt` trace next to
+ * the reproducer, mirroring the counter oracles' run parameters so the
+ * diverging buffers can be re-counted offline. Returns the path, or
+ * empty when the test is not convertible (model-only divergences) —
+ * a capture failure never fails the campaign.
+ */
+std::string
+writeFailureTrace(const CampaignConfig &config,
+                  const CampaignFailure &failure)
+{
+    const litmus::Test &test = failure.shrunk;
+    std::string reason;
+    if (!core::isConvertible(test, {test.target}, reason))
+        return "";
+    const std::string path =
+        config.reproducerDir +
+        format("/div-%s-c%05d.plt",
+               checkName(failure.divergence.check), failure.campaign);
+    try {
+        const core::PerpetualTest perpetual = core::convert(test);
+        core::HarnessConfig harness;
+        harness.seed = config.oracle.seed;
+        harness.runExhaustive = false;
+        harness.runHeuristic = false;
+        harness.capturePath = path;
+        const std::int64_t iterations =
+            test.numLoadThreads() >= 3
+                ? config.oracle.deepFrameIterations
+                : config.oracle.iterations;
+        core::runPerpetual(perpetual, iterations, {test.target},
+                           harness);
+    } catch (const Error &) {
+        return "";
+    }
     return path;
 }
 
@@ -119,9 +159,12 @@ runCampaign(const CampaignConfig &config)
                 } else {
                     failure.shrunk = test;
                 }
-                if (!config.reproducerDir.empty())
+                if (!config.reproducerDir.empty()) {
                     failure.reproducerPath =
                         writeReproducer(config, failure, io_mutex);
+                    failure.tracePath =
+                        writeFailureTrace(config, failure);
+                }
                 shard_failures[shard].push_back(std::move(failure));
             }
         });

@@ -84,6 +84,15 @@ struct CampaignFailure
 
     /** Path of the written reproducer; empty when none was written. */
     std::string reproducerPath;
+
+    /**
+     * Path of the `.plt` trace captured next to the reproducer (the
+     * shrunk test's perpetual run under the oracle seed, so the
+     * diverging buffers themselves are preserved for offline
+     * re-analysis with tools/perple_trace); empty when the test is not
+     * convertible or no reproducer directory was configured.
+     */
+    std::string tracePath;
 };
 
 /** Merged results of a campaign run. */

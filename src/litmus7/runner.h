@@ -67,7 +67,7 @@ struct Litmus7Result
     double
     totalSeconds() const
     {
-        return static_cast<double>(timing.totalNs()) * 1e-9;
+        return timing.totalSeconds();
     }
 };
 

@@ -55,6 +55,15 @@ class RawBufs
             raw_.push_back(buf.empty() ? nullptr : buf.data());
     }
 
+    /**
+     * Wrap precollected base pointers (empty threads as nullptr) —
+     * how trace::TraceReader exposes an on-disk capture's buffers to
+     * the counters without copying them.
+     */
+    explicit RawBufs(std::vector<const litmus::Value *> raw)
+        : raw_(std::move(raw))
+    {}
+
     const litmus::Value *const *
     data() const
     {

@@ -1,14 +1,36 @@
 #include "perple/harness.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <thread>
 
 #include "common/error.h"
+#include "litmus/writer.h"
 #include "perple/perpetual_outcome.h"
 #include "runtime/native_runner.h"
 #include "sim/machine.h"
+#include "trace/writer.h"
 
 namespace perple::core
 {
+
+namespace
+{
+
+/** Joins the capture writer even when a counting phase throws. */
+struct ThreadJoiner
+{
+    std::thread &thread;
+
+    ~ThreadJoiner()
+    {
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+} // namespace
 
 HarnessResult
 runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
@@ -20,6 +42,25 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
 
     HarnessResult result;
     result.iterations = iterations;
+
+    // --- Capture setup: identity metadata is known before the run,
+    // so the file header and Meta section go out up front and only
+    // the bufs remain for the overlapped writer below. ---
+    std::unique_ptr<trace::TraceWriter> writer;
+    if (!config.capturePath.empty()) {
+        result.timing.start("capture");
+        trace::TraceMeta meta;
+        meta.testName = perpetual.original.name;
+        meta.testText = litmus::writeTest(perpetual.original);
+        meta.strides = perpetual.strides;
+        meta.loadsPerIteration = perpetual.loadsPerIteration;
+        meta.machine = config.machine;
+        trace::WriterOptions options;
+        options.bufEncoding = config.captureEncoding;
+        writer = std::make_unique<trace::TraceWriter>(
+            config.capturePath, meta, options);
+        result.timing.stop();
+    }
 
     // --- Test execution: one launch sync, then free-running. ---
     result.timing.start("exec");
@@ -40,6 +81,31 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
             iterations, native);
     }
     result.timing.stop();
+
+    // --- Capture body: encoding + I/O of the buf arrays runs on a
+    // dedicated thread while the counters scan the same (now
+    // immutable) bufs, so an overlapped capture is nearly free. ---
+    std::thread capture_thread;
+    std::exception_ptr capture_error;
+    ThreadJoiner joiner{capture_thread};
+    if (writer != nullptr) {
+        result.timing.start("capture");
+        capture_thread = std::thread([&] {
+            try {
+                trace::RunInfo info;
+                info.seed = config.seed;
+                info.iterations = iterations;
+                info.backend = config.backend == Backend::Simulator
+                                   ? "sim"
+                                   : "native";
+                writer->addRun(info, result.run);
+                writer->finish();
+            } catch (...) {
+                capture_error = std::current_exception();
+            }
+        });
+        result.timing.stop();
+    }
 
     // --- Outcome conversion (cheap; once per set of outcomes). ---
     auto perpetual_outcomes =
@@ -68,6 +134,15 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
                                          config.countMode,
                                          config.analysisThreads);
         result.timing.stop();
+    }
+
+    if (capture_thread.joinable()) {
+        result.timing.start("capture");
+        capture_thread.join();
+        result.timing.stop();
+        if (capture_error)
+            std::rethrow_exception(capture_error);
+        result.captureBytes = writer->bytesWritten();
     }
     return result;
 }

@@ -19,6 +19,7 @@
 #include "perple/counters.h"
 #include "sim/config.h"
 #include "sim/result.h"
+#include "trace/format.h"
 
 namespace perple::core
 {
@@ -65,6 +66,22 @@ struct HarnessConfig
 
     /** Simulator knobs (seed/addressMode are overridden). */
     sim::MachineConfig machine;
+
+    /**
+     * When non-empty, stream a durable `.plt` capture of the run to
+     * this path (see src/trace/). The file header and test metadata
+     * are written before execution starts and the buf serialization
+     * runs on a dedicated writer thread overlapped with the counting
+     * phases, so the "capture" entry of HarnessResult::timing reports
+     * only the wall time capture actually cost the harness (setup
+     * plus any end-of-run wait for the writer), not the overlapped
+     * I/O.
+     */
+    std::string capturePath;
+
+    /** Buf encoding of the capture (compression vs zero-copy read). */
+    trace::BufEncoding captureEncoding =
+        trace::BufEncoding::VarintDelta;
 };
 
 /** Harness results. */
@@ -84,28 +101,30 @@ struct HarnessResult
 
     /**
      * Wall time split into "exec" (test execution), "count-exhaustive"
-     * and "count-heuristic" phases.
+     * and "count-heuristic" phases, plus "capture" when a trace was
+     * recorded (non-overlapped capture cost only; see
+     * HarnessConfig::capturePath).
      */
     PhaseTimer timing;
+
+    /** Bytes of the written capture; 0 when none was requested. */
+    std::uint64_t captureBytes = 0;
 
     /** Wall seconds of execution plus heuristic counting (the
      *  PerpLE-heuristic runtime the paper reports). */
     double
     heuristicSeconds() const
     {
-        return (static_cast<double>(timing.phaseNs("exec")) +
-                static_cast<double>(timing.phaseNs("count-heuristic"))) *
-               1e-9;
+        return timing.phaseSeconds("exec") +
+               timing.phaseSeconds("count-heuristic");
     }
 
     /** Wall seconds of execution plus exhaustive counting. */
     double
     exhaustiveSeconds() const
     {
-        return (static_cast<double>(timing.phaseNs("exec")) +
-                static_cast<double>(
-                    timing.phaseNs("count-exhaustive"))) *
-               1e-9;
+        return timing.phaseSeconds("exec") +
+               timing.phaseSeconds("count-exhaustive");
     }
 };
 

@@ -38,6 +38,7 @@
 #include "perple/codegen.h"
 #include "perple/converter.h"
 #include "perple/counters.h"
+#include "perple/crosscheck.h"
 #include "perple/fast_counter.h"
 #include "perple/harness.h"
 #include "perple/perpetual_outcome.h"
@@ -49,5 +50,8 @@
 #include "stats/histogram.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
 
 #endif // PERPLE_CORE_PERPLE_H

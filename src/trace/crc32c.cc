@@ -1,0 +1,73 @@
+#include "trace/crc32c.h"
+
+#include <array>
+
+namespace perple::trace
+{
+
+namespace
+{
+
+constexpr std::uint32_t kPoly = 0x82f63b78U; // reflected 0x1EDC6F41
+
+/** 8 slice tables, computed once at first use. */
+struct Tables
+{
+    std::array<std::array<std::uint32_t, 256>, 8> t;
+
+    Tables()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t crc = i;
+            for (int k = 0; k < 8; ++k)
+                crc = (crc >> 1) ^ ((crc & 1U) ? kPoly : 0U);
+            t[0][i] = crc;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i)
+            for (std::size_t s = 1; s < 8; ++s)
+                t[s][i] =
+                    (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xffU];
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables instance;
+    return instance;
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(std::uint32_t crc, const void *data, std::size_t bytes)
+{
+    const auto &t = tables().t;
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    while (bytes >= 8) {
+        // Bytewise 64-bit gather keeps the hot loop alignment- and
+        // endianness-agnostic; the slice lookups dominate anyway.
+        const std::uint32_t lo =
+            crc ^ (static_cast<std::uint32_t>(p[0]) |
+                   (static_cast<std::uint32_t>(p[1]) << 8) |
+                   (static_cast<std::uint32_t>(p[2]) << 16) |
+                   (static_cast<std::uint32_t>(p[3]) << 24));
+        const std::uint32_t hi =
+            static_cast<std::uint32_t>(p[4]) |
+            (static_cast<std::uint32_t>(p[5]) << 8) |
+            (static_cast<std::uint32_t>(p[6]) << 16) |
+            (static_cast<std::uint32_t>(p[7]) << 24);
+        crc = t[7][lo & 0xffU] ^ t[6][(lo >> 8) & 0xffU] ^
+              t[5][(lo >> 16) & 0xffU] ^ t[4][lo >> 24] ^
+              t[3][hi & 0xffU] ^ t[2][(hi >> 8) & 0xffU] ^
+              t[1][(hi >> 16) & 0xffU] ^ t[0][hi >> 24];
+        p += 8;
+        bytes -= 8;
+    }
+    while (bytes-- > 0)
+        crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xffU];
+    return ~crc;
+}
+
+} // namespace perple::trace

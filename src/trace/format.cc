@@ -1,0 +1,226 @@
+#include "trace/format.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::trace
+{
+
+namespace
+{
+
+/** Round-trip rendering for the MachineConfig's double knobs. */
+std::string
+doubleToText(double value)
+{
+    return format("%.17g", value);
+}
+
+/** One "key value" line. */
+void
+line(std::ostringstream &out, const char *key, const std::string &value)
+{
+    out << key << ' ' << value << '\n';
+}
+
+/**
+ * Consume the next line of @p text starting at @p pos; returns false
+ * at end of input.
+ */
+bool
+nextLine(const std::string &text, std::size_t &pos, std::string &out)
+{
+    if (pos >= text.size())
+        return false;
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+        out = text.substr(pos);
+        pos = text.size();
+    } else {
+        out = text.substr(pos, eol - pos);
+        pos = eol + 1;
+    }
+    return true;
+}
+
+/** Split "key rest" at the first space. */
+void
+splitKey(const std::string &l, std::string &key, std::string &rest)
+{
+    const std::size_t space = l.find(' ');
+    if (space == std::string::npos) {
+        key = l;
+        rest.clear();
+    } else {
+        key = l.substr(0, space);
+        rest = l.substr(space + 1);
+    }
+}
+
+std::vector<int>
+parseIntList(const std::string &text, const char *what)
+{
+    std::vector<int> values;
+    std::istringstream in(text);
+    long long v = 0;
+    while (in >> v)
+        values.push_back(static_cast<int>(v));
+    checkUser(in.eof(), format("trace meta: malformed %s list", what));
+    return values;
+}
+
+std::string
+intListToText(const std::vector<int> &values)
+{
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += format("%d", values[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeMeta(const TraceMeta &meta)
+{
+    std::ostringstream out;
+    out << "plt-meta v1\n";
+    line(out, "name", meta.testName);
+    line(out, "kmem", intListToText(meta.strides));
+    line(out, "loads", intListToText(meta.loadsPerIteration));
+    const sim::MachineConfig &m = meta.machine;
+    line(out, "machine.storeBufferCapacity",
+         format("%d", m.storeBufferCapacity));
+    line(out, "machine.opLatency", format("%d", m.opLatency));
+    line(out, "machine.drainLatencyMean",
+         format("%d", m.drainLatencyMean));
+    line(out, "machine.stallProbability",
+         doubleToText(m.stallProbability));
+    line(out, "machine.stallMeanTicks", format("%d", m.stallMeanTicks));
+    line(out, "machine.loadMissProbability",
+         doubleToText(m.loadMissProbability));
+    line(out, "machine.loadMissLatencyMean",
+         format("%d", m.loadMissLatencyMean));
+    line(out, "machine.chunkSize",
+         format("%lld", static_cast<long long>(m.chunkSize)));
+    line(out, "machine.fifoStoreBuffers",
+         m.fifoStoreBuffers ? "1" : "0");
+    line(out, "machine.fenceDrainsBuffer",
+         m.fenceDrainsBuffer ? "1" : "0");
+    line(out, "machine.storeForwarding",
+         m.storeForwarding ? "1" : "0");
+    // The test source goes last, length-prefixed, so embedded
+    // newlines cannot be mistaken for key lines.
+    out << "test " << meta.testText.size() << '\n' << meta.testText;
+    return out.str();
+}
+
+TraceMeta
+parseMeta(const std::string &payload)
+{
+    TraceMeta meta;
+    std::size_t pos = 0;
+    std::string l, key, rest;
+    checkUser(nextLine(payload, pos, l) && l == "plt-meta v1",
+              "trace meta: missing 'plt-meta v1' preamble");
+    bool sawTest = false;
+    while (nextLine(payload, pos, l)) {
+        splitKey(l, key, rest);
+        if (key == "name") {
+            meta.testName = rest;
+        } else if (key == "kmem") {
+            meta.strides = parseIntList(rest, "kmem");
+        } else if (key == "loads") {
+            meta.loadsPerIteration = parseIntList(rest, "loads");
+        } else if (key == "machine.storeBufferCapacity") {
+            meta.machine.storeBufferCapacity = std::atoi(rest.c_str());
+        } else if (key == "machine.opLatency") {
+            meta.machine.opLatency = std::atoi(rest.c_str());
+        } else if (key == "machine.drainLatencyMean") {
+            meta.machine.drainLatencyMean = std::atoi(rest.c_str());
+        } else if (key == "machine.stallProbability") {
+            meta.machine.stallProbability = std::atof(rest.c_str());
+        } else if (key == "machine.stallMeanTicks") {
+            meta.machine.stallMeanTicks = std::atoi(rest.c_str());
+        } else if (key == "machine.loadMissProbability") {
+            meta.machine.loadMissProbability = std::atof(rest.c_str());
+        } else if (key == "machine.loadMissLatencyMean") {
+            meta.machine.loadMissLatencyMean = std::atoi(rest.c_str());
+        } else if (key == "machine.chunkSize") {
+            meta.machine.chunkSize = std::atoll(rest.c_str());
+        } else if (key == "machine.fifoStoreBuffers") {
+            meta.machine.fifoStoreBuffers = rest == "1";
+        } else if (key == "machine.fenceDrainsBuffer") {
+            meta.machine.fenceDrainsBuffer = rest == "1";
+        } else if (key == "machine.storeForwarding") {
+            meta.machine.storeForwarding = rest == "1";
+        } else if (key == "test") {
+            const std::size_t bytes =
+                static_cast<std::size_t>(std::atoll(rest.c_str()));
+            checkUser(pos + bytes <= payload.size(),
+                      "trace meta: embedded test source truncated");
+            meta.testText = payload.substr(pos, bytes);
+            pos += bytes;
+            sawTest = true;
+        } else {
+            // Unknown keys from a newer minor revision are skipped.
+        }
+    }
+    checkUser(sawTest, "trace meta: missing embedded test source");
+    checkUser(!meta.testName.empty(), "trace meta: missing test name");
+    return meta;
+}
+
+std::string
+serializeRun(const RunInfo &run)
+{
+    std::ostringstream out;
+    out << "plt-run v1\n";
+    line(out, "seed",
+         format("%" PRIu64, static_cast<std::uint64_t>(run.seed)));
+    line(out, "iterations",
+         format("%lld", static_cast<long long>(run.iterations)));
+    line(out, "backend", run.backend);
+    return out.str();
+}
+
+RunInfo
+parseRun(const std::string &payload)
+{
+    RunInfo run;
+    std::size_t pos = 0;
+    std::string l, key, rest;
+    checkUser(nextLine(payload, pos, l) && l == "plt-run v1",
+              "trace run header: missing 'plt-run v1' preamble");
+    while (nextLine(payload, pos, l)) {
+        splitKey(l, key, rest);
+        if (key == "seed")
+            run.seed = std::strtoull(rest.c_str(), nullptr, 10);
+        else if (key == "iterations")
+            run.iterations = std::atoll(rest.c_str());
+        else if (key == "backend")
+            run.backend = rest;
+    }
+    checkUser(run.iterations > 0,
+              "trace run header: missing or non-positive iteration "
+              "count (empty-run captures are invalid)");
+    checkUser(run.backend == "sim" || run.backend == "native",
+              "trace run header: unknown backend '" + run.backend +
+                  "'");
+    return run;
+}
+
+bool
+metaEquivalent(const TraceMeta &a, const TraceMeta &b)
+{
+    return serializeMeta(a) == serializeMeta(b);
+}
+
+} // namespace perple::trace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The `.plt` (PerpLE trace) on-disk format, version 1.
+ *
+ * A trace makes one expensive harness execution a durable, reusable
+ * artifact: the complete inputs of the post-hoc outcome analysis
+ * (test identity, conversion metadata, machine configuration, seed,
+ * per-thread load buffers, final memory, run statistics) captured so
+ * that any counter can re-run over the recorded buffers in a fresh
+ * process — bit-identically, at mmap speed, without re-executing the
+ * nondeterministic run.
+ *
+ * Layout (all integers little-endian, every section 8-byte aligned):
+ *
+ *     FileHeader   16 B   magic "PLTRACE\0", u32 version, u32 reserved
+ *     Section*            framed sections, each:
+ *       SectionHeader 40 B  u32 kind, u32 flags, u64 payloadBytes,
+ *                           u64 paramA, u64 paramB,
+ *                           u32 payloadCrc32c, u32 headerCrc32c
+ *       payload             payloadBytes bytes, zero-padded to 8 B
+ *
+ * Section sequence: one Meta section, then one or more *run groups*
+ * (Run, then Buf × numThreads in thread order, Memory, Stats), then
+ * one End section. The End section is the completeness marker: a file
+ * without it was truncated mid-write and every reader rejects it.
+ *
+ * Value sections (Buf, Memory) carry `paramB` values in one of two
+ * encodings (the `flags` field):
+ *
+ *  - Raw: paramB int64 values verbatim. Because every payload starts
+ *    8-byte aligned, a reader can expose the mapped bytes directly as
+ *    a `const litmus::Value *` — the zero-copy path.
+ *  - VarintDelta: zigzag(first value), then zigzag(delta) per
+ *    successive value, each LEB128-varint encoded. Perpetual buf
+ *    arrays are arithmetic-sequence-heavy (values k·n + a advance by
+ *    a near-constant stride), so deltas are small and most values
+ *    compress to 1-2 bytes.
+ *
+ * Integrity: CRC32C (Castagnoli) over every payload and over every
+ * section header (excluding the headerCrc field itself), so a flipped
+ * bit anywhere in the file is detected and reported as a
+ * `common::error` UserError rather than silently mis-counted.
+ */
+
+#ifndef PERPLE_TRACE_FORMAT_H
+#define PERPLE_TRACE_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/result.h"
+
+namespace perple::trace
+{
+
+/** First bytes of every trace file. */
+inline constexpr char kMagic[8] = {'P', 'L', 'T', 'R',
+                                   'A', 'C', 'E', '\0'};
+
+/** Current format version; bumped on any incompatible change. */
+inline constexpr std::uint32_t kVersion = 1;
+
+/** Bytes of the file header (magic + version + reserved). */
+inline constexpr std::size_t kFileHeaderBytes = 16;
+
+/** Bytes of one section header. */
+inline constexpr std::size_t kSectionHeaderBytes = 40;
+
+/** Section kinds, in the order they may appear. */
+enum class SectionKind : std::uint32_t
+{
+    Meta = 1,   ///< Test identity + machine configuration (text).
+    Run = 2,    ///< Start of one run group (text: seed/iters/backend).
+    Buf = 3,    ///< One thread's load buffer (paramA = thread id).
+    Memory = 4, ///< Final shared memory of the run.
+    Stats = 5,  ///< sim::RunStats (4 × u64).
+    End = 6,    ///< Completeness marker; zero payload.
+};
+
+/** Encoding of a value section's payload (the header `flags` field). */
+enum class BufEncoding : std::uint32_t
+{
+    /** int64 values verbatim — mmap zero-copy readable. */
+    Raw = 0,
+
+    /** zigzag+varint delta stream — compact, decoded once on open. */
+    VarintDelta = 1,
+};
+
+/** Run-independent identity of a capture (the Meta section). */
+struct TraceMeta
+{
+    /** Test name (matches the embedded source's name). */
+    std::string testName;
+
+    /**
+     * The complete litmus7 source of the original test, exactly as
+     * litmus::writeTest renders it; litmus::parseTest round-trips it,
+     * so a fresh process reconstructs outcome converters structurally
+     * equal to the capturing process's.
+     */
+    std::string testText;
+
+    /** Perpetual-conversion strides k_mem, one per location. */
+    std::vector<int> strides;
+
+    /** Loads per iteration r_t, one per thread (0 for store-only). */
+    std::vector<int> loadsPerIteration;
+
+    /**
+     * Simulator knobs of the capturing run. The seed field is
+     * meaningless here — each run group records its own seed.
+     */
+    sim::MachineConfig machine;
+};
+
+/** Per-run-group header (the Run section). */
+struct RunInfo
+{
+    /** Harness seed of this run. */
+    std::uint64_t seed = 1;
+
+    /** Iterations per thread, N. */
+    std::int64_t iterations = 0;
+
+    /** Executing substrate: "sim" or "native". */
+    std::string backend = "sim";
+};
+
+/** Serialize @p meta into the Meta section's text payload. */
+std::string serializeMeta(const TraceMeta &meta);
+
+/** Parse a Meta payload; throws UserError on malformed input. */
+TraceMeta parseMeta(const std::string &payload);
+
+/** Serialize @p run into the Run section's text payload. */
+std::string serializeRun(const RunInfo &run);
+
+/** Parse a Run payload; throws UserError on malformed input. */
+RunInfo parseRun(const std::string &payload);
+
+/** Canonical equality of two Meta payloads (merge compatibility). */
+bool metaEquivalent(const TraceMeta &a, const TraceMeta &b);
+
+} // namespace perple::trace
+
+#endif // PERPLE_TRACE_FORMAT_H

@@ -1,0 +1,301 @@
+#include "trace/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/parser.h"
+#include "litmus/validator.h"
+#include "trace/crc32c.h"
+#include "trace/varint.h"
+
+namespace perple::trace
+{
+
+namespace
+{
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+} // namespace
+
+TraceReader::TraceReader(std::string path, ReaderOptions options)
+    : path_(std::move(path))
+{
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    checkUser(fd >= 0,
+              format("cannot open trace file %s", path_.c_str()));
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail("cannot stat file");
+    }
+    fileBytes_ = static_cast<std::uint64_t>(st.st_size);
+    if (fileBytes_ < kFileHeaderBytes + kSectionHeaderBytes) {
+        ::close(fd);
+        fail("truncated: smaller than a file header plus one section");
+    }
+
+    void *map = ::mmap(nullptr, fileBytes_, PROT_READ, MAP_PRIVATE, fd,
+                       0);
+    ::close(fd);
+    checkUser(map != MAP_FAILED,
+              format("cannot mmap trace file %s", path_.c_str()));
+    map_ = static_cast<const unsigned char *>(map);
+
+    try {
+        parse(options);
+    } catch (...) {
+        ::munmap(const_cast<unsigned char *>(map_), fileBytes_);
+        map_ = nullptr;
+        throw;
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (map_ != nullptr)
+        ::munmap(const_cast<unsigned char *>(map_), fileBytes_);
+}
+
+void
+TraceReader::fail(const std::string &what) const
+{
+    fatal(format("trace %s: %s", path_.c_str(), what.c_str()));
+}
+
+TraceReader::ValueView
+TraceReader::loadValues(const unsigned char *payload,
+                        std::uint64_t payload_bytes,
+                        std::uint64_t count, std::uint32_t flags)
+{
+    ValueView view;
+    view.count = static_cast<std::size_t>(count);
+    if (count == 0) {
+        if (payload_bytes != 0)
+            fail("value section with zero values has payload bytes");
+        return view;
+    }
+    if (flags == static_cast<std::uint32_t>(BufEncoding::Raw)) {
+        if (payload_bytes != count * sizeof(litmus::Value))
+            fail("raw value section size does not match its count");
+        checkInternal(
+            (static_cast<std::size_t>(payload - map_) % 8) == 0,
+            "trace section payload is not 8-byte aligned");
+        view.data = static_cast<const litmus::Value *>(
+            static_cast<const void *>(payload));
+    } else if (flags ==
+               static_cast<std::uint32_t>(BufEncoding::VarintDelta)) {
+        auto &storage =
+            decoded_.emplace_back(static_cast<std::size_t>(count));
+        decodeDeltaVarint(payload,
+                          static_cast<std::size_t>(payload_bytes),
+                          storage.size(), storage.data());
+        view.data = storage.data();
+        zeroCopy_ = false;
+    } else {
+        fail(format("unknown value encoding %u",
+                    static_cast<unsigned>(flags)));
+    }
+    return view;
+}
+
+void
+TraceReader::parse(const ReaderOptions &options)
+{
+    if (std::memcmp(map_, kMagic, sizeof(kMagic)) != 0)
+        fail("not a .plt trace (bad magic)");
+    const std::uint32_t version = getU32(map_ + 8);
+    if (version != kVersion)
+        fail(format("unsupported trace version %u (this build reads "
+                    "version %u)",
+                    static_cast<unsigned>(version),
+                    static_cast<unsigned>(kVersion)));
+
+    enum class State
+    {
+        ExpectMeta,
+        BetweenRuns,
+        InBufs,
+        AfterBufs,
+        AfterMemory,
+    };
+    State state = State::ExpectMeta;
+    bool sawEnd = false;
+    std::uint64_t pos = kFileHeaderBytes;
+    Run *run = nullptr;
+
+    while (!sawEnd) {
+        if (pos + kSectionHeaderBytes > fileBytes_)
+            fail("truncated: section header overruns the file (no End "
+                 "marker)");
+        const unsigned char *header = map_ + pos;
+        if (crc32c(0, header, 36) != getU32(header + 36))
+            fail(format("section header checksum mismatch at offset "
+                        "%llu (corrupt file)",
+                        static_cast<unsigned long long>(pos)));
+        const std::uint32_t kind_raw = getU32(header);
+        const std::uint32_t flags = getU32(header + 4);
+        const std::uint64_t payload_bytes = getU64(header + 8);
+        const std::uint64_t param_a = getU64(header + 16);
+        const std::uint64_t param_b = getU64(header + 24);
+        const std::uint32_t payload_crc = getU32(header + 32);
+        const unsigned char *payload =
+            header + kSectionHeaderBytes;
+
+        if (payload_bytes > fileBytes_ ||
+            pos + kSectionHeaderBytes + payload_bytes > fileBytes_)
+            fail("truncated: section payload overruns the file");
+        if (options.verifyChecksums &&
+            crc32c(0, payload, payload_bytes) != payload_crc)
+            fail(format("section payload checksum mismatch at offset "
+                        "%llu (corrupt file)",
+                        static_cast<unsigned long long>(pos)));
+        pos += kSectionHeaderBytes + payload_bytes +
+               (8 - payload_bytes % 8) % 8;
+
+        const auto text = [&] {
+            return std::string(
+                static_cast<const char *>(
+                    static_cast<const void *>(payload)),
+                static_cast<std::size_t>(payload_bytes));
+        };
+
+        switch (static_cast<SectionKind>(kind_raw)) {
+        case SectionKind::Meta:
+            if (state != State::ExpectMeta)
+                fail("duplicate Meta section");
+            meta_ = parseMeta(text());
+            if (meta_.loadsPerIteration.empty())
+                fail("meta records no threads");
+            state = State::BetweenRuns;
+            break;
+        case SectionKind::Run:
+            if (state != State::BetweenRuns)
+                fail("Run section inside an open run group or before "
+                     "Meta");
+            runs_.emplace_back();
+            run = &runs_.back();
+            run->info = parseRun(text());
+            state = State::InBufs;
+            break;
+        case SectionKind::Buf: {
+            if (state != State::InBufs)
+                fail("Buf section outside a run group");
+            if (param_a != run->bufs.size())
+                fail("Buf sections out of thread order");
+            const std::uint64_t expected =
+                static_cast<std::uint64_t>(
+                    meta_.loadsPerIteration[run->bufs.size()]) *
+                static_cast<std::uint64_t>(run->info.iterations);
+            if (param_b != expected)
+                fail(format("buf of thread %llu holds %llu values, "
+                            "expected %llu (loads/iteration × "
+                            "iterations)",
+                            static_cast<unsigned long long>(param_a),
+                            static_cast<unsigned long long>(param_b),
+                            static_cast<unsigned long long>(expected)));
+            run->bufs.push_back(
+                loadValues(payload, payload_bytes, param_b, flags));
+            bufPayloadBytes_ += payload_bytes;
+            bufValueBytes_ += param_b * sizeof(litmus::Value);
+            if (run->bufs.size() == numThreads())
+                state = State::AfterBufs;
+            break;
+        }
+        case SectionKind::Memory:
+            if (state != State::AfterBufs)
+                fail("Memory section before all bufs");
+            if (param_b < meta_.strides.size())
+                fail("final memory holds fewer values than the test "
+                     "has locations");
+            run->memory =
+                loadValues(payload, payload_bytes, param_b, flags);
+            state = State::AfterMemory;
+            break;
+        case SectionKind::Stats:
+            if (state != State::AfterMemory)
+                fail("Stats section before Memory");
+            if (payload_bytes != 32)
+                fail("Stats section has the wrong size");
+            run->stats.instructions = getU64(payload);
+            run->stats.drains = getU64(payload + 8);
+            run->stats.stalls = getU64(payload + 16);
+            run->stats.finalTick = getU64(payload + 24);
+            state = State::BetweenRuns;
+            run = nullptr;
+            break;
+        case SectionKind::End:
+            if (state != State::BetweenRuns)
+                fail("End marker inside an open run group");
+            sawEnd = true;
+            break;
+        default:
+            fail(format("unknown section kind %u",
+                        static_cast<unsigned>(kind_raw)));
+        }
+    }
+    if (pos != fileBytes_)
+        fail("trailing bytes after the End marker");
+    if (runs_.empty())
+        fail("no captured runs (empty-run captures are invalid)");
+}
+
+const litmus::Value *
+TraceReader::bufData(std::size_t run, std::size_t thread) const
+{
+    return runs_.at(run).bufs.at(thread).data;
+}
+
+std::size_t
+TraceReader::bufSize(std::size_t run, std::size_t thread) const
+{
+    return runs_.at(run).bufs.at(thread).count;
+}
+
+core::RawBufs
+TraceReader::rawBufs(std::size_t run) const
+{
+    std::vector<const litmus::Value *> raw;
+    raw.reserve(numThreads());
+    for (const ValueView &view : runs_.at(run).bufs)
+        raw.push_back(view.count == 0 ? nullptr : view.data);
+    return core::RawBufs(std::move(raw));
+}
+
+std::vector<litmus::Value>
+TraceReader::memory(std::size_t run) const
+{
+    const ValueView &view = runs_.at(run).memory;
+    return {view.data, view.data + view.count};
+}
+
+litmus::Test
+TraceReader::test() const
+{
+    litmus::Test parsed = litmus::parseTest(meta_.testText);
+    litmus::validateOrThrow(parsed);
+    return parsed;
+}
+
+} // namespace perple::trace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * mmap-based `.plt` trace reader.
+ *
+ * Opening a trace maps the file read-only, walks and validates every
+ * section (structure, version, header and payload CRC32C), and builds
+ * an index of its run groups. Raw-encoded value sections are exposed
+ * as pointers straight into the mapping — the zero-copy path, so
+ * re-analysis of a multi-gigabyte capture starts without materializing
+ * it. VarintDelta sections are decoded once into owned storage at
+ * open. Either way the counters run over the capture through the same
+ * RawBufs type they use on a live run.
+ */
+
+#ifndef PERPLE_TRACE_READER_H
+#define PERPLE_TRACE_READER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+#include "perple/counters.h"
+#include "trace/format.h"
+
+namespace perple::trace
+{
+
+/** TraceReader knobs. */
+struct ReaderOptions
+{
+    /**
+     * Verify every payload CRC at open. Header CRCs and the
+     * structural walk are always checked; skipping the payload pass
+     * only saves one sequential sweep over the mapping.
+     */
+    bool verifyChecksums = true;
+};
+
+/** Read-only view of one opened `.plt` file. */
+class TraceReader
+{
+  public:
+    /**
+     * Open and validate @p path.
+     *
+     * @throws UserError on any defect: unreadable file, bad magic,
+     *         unsupported version, truncation (missing End marker or
+     *         overrunning section), checksum mismatch, or structural
+     *         corruption (out-of-order sections, buf sizes that do
+     *         not match the recorded iteration count).
+     */
+    explicit TraceReader(std::string path, ReaderOptions options = {});
+
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const TraceMeta &
+    meta() const
+    {
+        return meta_;
+    }
+
+    /** Parse the embedded litmus7 source back into a Test. */
+    litmus::Test test() const;
+
+    std::size_t
+    numRuns() const
+    {
+        return runs_.size();
+    }
+
+    const RunInfo &
+    runInfo(std::size_t run) const
+    {
+        return runs_.at(run).info;
+    }
+
+    std::size_t
+    numThreads() const
+    {
+        return meta_.loadsPerIteration.size();
+    }
+
+    /** Buf base pointer of @p thread in @p run (nullptr when empty). */
+    const litmus::Value *bufData(std::size_t run, std::size_t thread)
+        const;
+
+    /** Buf length (values) of @p thread in @p run. */
+    std::size_t bufSize(std::size_t run, std::size_t thread) const;
+
+    /**
+     * The run's bufs as the counters' RawBufs — pointing into the
+     * mapping for Raw sections, into decoded storage otherwise.
+     */
+    core::RawBufs rawBufs(std::size_t run) const;
+
+    /** Final memory of @p run (copied out of the mapping). */
+    std::vector<litmus::Value> memory(std::size_t run) const;
+
+    const sim::RunStats &
+    stats(std::size_t run) const
+    {
+        return runs_.at(run).stats;
+    }
+
+    /** True when every value section of every run was Raw-encoded. */
+    bool
+    zeroCopy() const
+    {
+        return zeroCopy_;
+    }
+
+    /** Total file size in bytes. */
+    std::uint64_t
+    fileBytes() const
+    {
+        return fileBytes_;
+    }
+
+    /** Sum of all buf payload bytes on disk (compression numerator). */
+    std::uint64_t
+    bufPayloadBytes() const
+    {
+        return bufPayloadBytes_;
+    }
+
+    /** Sum of all buf value counts × 8 (compression denominator). */
+    std::uint64_t
+    bufValueBytes() const
+    {
+        return bufValueBytes_;
+    }
+
+    const std::string &
+    path() const
+    {
+        return path_;
+    }
+
+  private:
+    struct ValueView
+    {
+        const litmus::Value *data = nullptr;
+        std::size_t count = 0;
+    };
+
+    struct Run
+    {
+        RunInfo info;
+        std::vector<ValueView> bufs;
+        ValueView memory;
+        sim::RunStats stats;
+    };
+
+    [[noreturn]] void fail(const std::string &what) const;
+
+    /** Validate + decode one value section into a ValueView. */
+    ValueView loadValues(const unsigned char *payload,
+                         std::uint64_t payload_bytes,
+                         std::uint64_t count, std::uint32_t flags);
+
+    void parse(const ReaderOptions &options);
+
+    std::string path_;
+    const unsigned char *map_ = nullptr;
+    std::uint64_t fileBytes_ = 0;
+    TraceMeta meta_;
+    std::vector<Run> runs_;
+
+    /** Backing storage for decoded VarintDelta sections. */
+    std::vector<std::vector<litmus::Value>> decoded_;
+
+    bool zeroCopy_ = true;
+    std::uint64_t bufPayloadBytes_ = 0;
+    std::uint64_t bufValueBytes_ = 0;
+};
+
+} // namespace perple::trace
+
+#endif // PERPLE_TRACE_READER_H

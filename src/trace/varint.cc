@@ -1,0 +1,67 @@
+#include "trace/varint.h"
+
+#include "common/error.h"
+
+namespace perple::trace
+{
+
+void
+appendVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80U) {
+        out.push_back(static_cast<char>((value & 0x7fU) | 0x80U));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+std::string
+encodeDeltaVarint(const litmus::Value *values, std::size_t count)
+{
+    std::string out;
+    out.reserve(count * 2);
+    std::int64_t previous = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Wrapping subtraction through uint64 keeps INT64 extremes
+        // exact; zigzagDecode's wrapping addition reverses it.
+        const std::uint64_t delta =
+            static_cast<std::uint64_t>(values[i]) -
+            static_cast<std::uint64_t>(previous);
+        appendVarint(out,
+                     zigzagEncode(static_cast<std::int64_t>(delta)));
+        previous = values[i];
+    }
+    return out;
+}
+
+void
+decodeDeltaVarint(const void *data, std::size_t bytes,
+                  std::size_t count, litmus::Value *out)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    const auto *end = p + bytes;
+    std::int64_t previous = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t value = 0;
+        int shift = 0;
+        while (true) {
+            checkUser(p < end, "trace varint stream truncated");
+            const unsigned char byte = *p++;
+            checkUser(shift < 64,
+                      "trace varint stream malformed (overlong)");
+            value |= static_cast<std::uint64_t>(byte & 0x7fU) << shift;
+            if ((byte & 0x80U) == 0)
+                break;
+            shift += 7;
+        }
+        previous = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(previous) +
+            static_cast<std::uint64_t>(zigzagDecode(value)));
+        out[i] = previous;
+    }
+    checkUser(p == end,
+              "trace varint stream has trailing bytes after the last "
+              "value");
+}
+
+} // namespace perple::trace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Zigzag + LEB128 varint delta coding for trace value sections.
+ *
+ * Perpetual buf arrays hold arithmetic-sequence elements k·n + a whose
+ * successive differences are small near-constants, so delta + zigzag +
+ * varint compresses the dominant trace payload to ~1-2 bytes per
+ * 8-byte value. Encoding is exact over the full int64 range (deltas
+ * wrap through uint64, decode reverses the wrap).
+ */
+
+#ifndef PERPLE_TRACE_VARINT_H
+#define PERPLE_TRACE_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "litmus/types.h"
+
+namespace perple::trace
+{
+
+/** Map a signed value onto the small-magnitude-first unsigned line. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+inline std::int64_t
+zigzagDecode(std::uint64_t u)
+{
+    return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1U) + 1U));
+}
+
+/** Append @p value to @p out as an LEB128 varint (1-10 bytes). */
+void appendVarint(std::string &out, std::uint64_t value);
+
+/**
+ * Delta-encode @p count values into a varint stream: zigzag(v[0]),
+ * then zigzag(v[i] - v[i-1]) for each successive value.
+ */
+std::string encodeDeltaVarint(const litmus::Value *values,
+                              std::size_t count);
+
+/**
+ * Decode @p count values from the @p bytes-byte stream at @p data into
+ * @p out (caller-sized). Throws UserError when the stream is shorter,
+ * longer, or structurally malformed — a corrupt section must fail
+ * loudly even if its checksum was forged.
+ */
+void decodeDeltaVarint(const void *data, std::size_t bytes,
+                       std::size_t count, litmus::Value *out);
+
+} // namespace perple::trace
+
+#endif // PERPLE_TRACE_VARINT_H

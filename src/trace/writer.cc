@@ -1,0 +1,206 @@
+#include "trace/writer.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "trace/crc32c.h"
+#include "trace/varint.h"
+
+namespace perple::trace
+{
+
+namespace
+{
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    putU32(p, static_cast<std::uint32_t>(v));
+    putU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
+                         WriterOptions options)
+    : path_(std::move(path)), options_(options)
+{
+    checkUser(!meta.loadsPerIteration.empty(),
+              "trace meta needs at least one thread");
+    checkUser(!meta.strides.empty(),
+              "trace meta needs at least one location");
+    numThreads_ = meta.loadsPerIteration.size();
+
+    file_ = std::fopen(path_.c_str(), "wb");
+    checkUser(file_ != nullptr,
+              format("cannot create trace file %s", path_.c_str()));
+
+    unsigned char header[kFileHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    putU32(header + 8, kVersion);
+    putU32(header + 12, 0); // reserved
+    writeRaw(header, sizeof(header));
+
+    const std::string payload = serializeMeta(meta);
+    writeSection(SectionKind::Meta, 0, 0, 0, payload.data(),
+                 payload.size());
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::writeRaw(const void *data, std::size_t bytes)
+{
+    checkUser(std::fwrite(data, 1, bytes, file_) == bytes,
+              format("short write to trace file %s", path_.c_str()));
+    bytes_ += bytes;
+}
+
+void
+TraceWriter::writeSection(SectionKind kind, std::uint32_t flags,
+                          std::uint64_t param_a, std::uint64_t param_b,
+                          const void *payload,
+                          std::size_t payload_bytes)
+{
+    unsigned char header[kSectionHeaderBytes] = {};
+    putU32(header, static_cast<std::uint32_t>(kind));
+    putU32(header + 4, flags);
+    putU64(header + 8, payload_bytes);
+    putU64(header + 16, param_a);
+    putU64(header + 24, param_b);
+    putU32(header + 32, crc32c(0, payload, payload_bytes));
+    putU32(header + 36, crc32c(0, header, 36));
+    writeRaw(header, sizeof(header));
+    if (payload_bytes > 0)
+        writeRaw(payload, payload_bytes);
+    const std::size_t pad = (8 - payload_bytes % 8) % 8;
+    if (pad > 0) {
+        const unsigned char zeros[8] = {};
+        writeRaw(zeros, pad);
+    }
+}
+
+void
+TraceWriter::writeValues(SectionKind kind, std::uint64_t param_a,
+                         const litmus::Value *values, std::size_t count,
+                         BufEncoding encoding)
+{
+    if (encoding == BufEncoding::Raw) {
+        // int64 values are stored verbatim; the build targets
+        // little-endian hosts only (see DESIGN.md §7), which keeps the
+        // on-disk bytes identical to the in-memory representation the
+        // zero-copy reader hands back out.
+        writeSection(kind, static_cast<std::uint32_t>(encoding),
+                     param_a, count, values,
+                     count * sizeof(litmus::Value));
+    } else {
+        const std::string payload = encodeDeltaVarint(values, count);
+        writeSection(kind, static_cast<std::uint32_t>(encoding),
+                     param_a, count, payload.data(), payload.size());
+    }
+}
+
+void
+TraceWriter::beginRun(const RunInfo &run)
+{
+    checkInternal(state_ == State::BetweenRuns,
+                  "TraceWriter::beginRun inside an open run group");
+    checkUser(run.iterations > 0,
+              "trace capture needs a positive iteration count");
+    const std::string payload = serializeRun(run);
+    writeSection(SectionKind::Run, 0, 0, 0, payload.data(),
+                 payload.size());
+    state_ = State::InBufs;
+    bufsWritten_ = 0;
+}
+
+void
+TraceWriter::writeBuf(const litmus::Value *values, std::size_t count)
+{
+    checkInternal(state_ == State::InBufs,
+                  "TraceWriter::writeBuf outside a run group");
+    writeValues(SectionKind::Buf, bufsWritten_, values, count,
+                options_.bufEncoding);
+    if (++bufsWritten_ == numThreads_)
+        state_ = State::AfterBufs;
+}
+
+void
+TraceWriter::writeMemory(const std::vector<litmus::Value> &memory)
+{
+    checkInternal(state_ == State::AfterBufs,
+                  "TraceWriter::writeMemory before all bufs");
+    writeValues(SectionKind::Memory, 0, memory.data(), memory.size(),
+                BufEncoding::Raw);
+    state_ = State::AfterMemory;
+}
+
+void
+TraceWriter::writeStats(const sim::RunStats &stats)
+{
+    checkInternal(state_ == State::AfterMemory,
+                  "TraceWriter::writeStats before memory");
+    unsigned char payload[32];
+    putU64(payload, stats.instructions);
+    putU64(payload + 8, stats.drains);
+    putU64(payload + 16, stats.stalls);
+    putU64(payload + 24, stats.finalTick);
+    writeSection(SectionKind::Stats, 0, 0, 0, payload,
+                 sizeof(payload));
+    state_ = State::BetweenRuns;
+    wroteRun_ = true;
+}
+
+void
+TraceWriter::addRun(const RunInfo &info, const sim::RunResult &run)
+{
+    checkUser(run.bufs.size() == numThreads_,
+              "trace run has a different thread count than the meta");
+    beginRun(info);
+    for (const auto &buf : run.bufs)
+        writeBuf(buf.data(), buf.size());
+    writeMemory(run.memory);
+    writeStats(run.stats);
+}
+
+void
+TraceWriter::finish()
+{
+    if (state_ == State::Finished)
+        return;
+    checkInternal(state_ == State::BetweenRuns,
+                  "TraceWriter::finish inside an open run group");
+    checkUser(wroteRun_,
+              "a trace needs at least one captured run (empty-run "
+              "captures are invalid)");
+    writeSection(SectionKind::End, 0, 0, 0, nullptr, 0);
+    checkUser(std::fflush(file_) == 0,
+              format("cannot flush trace file %s", path_.c_str()));
+    state_ = State::Finished;
+}
+
+void
+writeTrace(const std::string &path, const TraceMeta &meta,
+           const RunInfo &info, const sim::RunResult &run,
+           WriterOptions options)
+{
+    TraceWriter writer(path, meta, options);
+    writer.addRun(info, run);
+    writer.finish();
+}
+
+} // namespace perple::trace

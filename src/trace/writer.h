@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Streaming `.plt` trace writer.
+ *
+ * The writer is incremental so the harness can overlap serialization
+ * with the run it is capturing: the Meta section is written as soon as
+ * the test is converted (before execution), and each run group streams
+ * out section by section while the counting phases proceed on another
+ * thread. A file is only valid once finish() has appended the End
+ * marker — a crash mid-capture leaves a file every reader rejects as
+ * truncated rather than one that silently under-counts.
+ */
+
+#ifndef PERPLE_TRACE_WRITER_H
+#define PERPLE_TRACE_WRITER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/format.h"
+
+namespace perple::trace
+{
+
+/** TraceWriter knobs. */
+struct WriterOptions
+{
+    /** Encoding of Buf sections. Memory is always Raw (tiny). */
+    BufEncoding bufEncoding = BufEncoding::VarintDelta;
+};
+
+/** Writes one `.plt` file; sections must follow the format order. */
+class TraceWriter
+{
+  public:
+    /**
+     * Create @p path (truncating any existing file) and write the
+     * file header plus the Meta section.
+     *
+     * @throws UserError when the file cannot be created or @p meta is
+     *         structurally invalid.
+     */
+    TraceWriter(std::string path, const TraceMeta &meta,
+                WriterOptions options = {});
+
+    /** Closes the stream; does NOT finish() — see class comment. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Open the next run group. @p run.iterations must be positive. */
+    void beginRun(const RunInfo &run);
+
+    /**
+     * Append the next thread's load buffer (threads in id order; call
+     * exactly numThreads times per run, empty bufs included).
+     */
+    void writeBuf(const litmus::Value *values, std::size_t count);
+
+    /** Append the run's final memory (after all bufs). */
+    void writeMemory(const std::vector<litmus::Value> &memory);
+
+    /** Append the run's statistics, closing the run group. */
+    void writeStats(const sim::RunStats &stats);
+
+    /** Convenience: beginRun + all bufs + memory + stats. */
+    void addRun(const RunInfo &info, const sim::RunResult &run);
+
+    /**
+     * Write the End marker and flush; the file is now complete.
+     * Idempotent. No section may be written afterwards.
+     */
+    void finish();
+
+    /** Bytes written so far (header + sections + padding). */
+    std::uint64_t
+    bytesWritten() const
+    {
+        return bytes_;
+    }
+
+    const std::string &
+    path() const
+    {
+        return path_;
+    }
+
+  private:
+    enum class State
+    {
+        BetweenRuns, ///< Meta or a full run group written.
+        InBufs,      ///< beginRun done, bufs being appended.
+        AfterBufs,   ///< All bufs written, memory pending.
+        AfterMemory, ///< Memory written, stats pending.
+        Finished,
+    };
+
+    void writeRaw(const void *data, std::size_t bytes);
+    void writeSection(SectionKind kind, std::uint32_t flags,
+                      std::uint64_t param_a, std::uint64_t param_b,
+                      const void *payload, std::size_t payload_bytes);
+    void writeValues(SectionKind kind, std::uint64_t param_a,
+                     const litmus::Value *values, std::size_t count,
+                     BufEncoding encoding);
+
+    std::string path_;
+    WriterOptions options_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t bytes_ = 0;
+    State state_ = State::BetweenRuns;
+    std::size_t numThreads_ = 0;
+    std::size_t bufsWritten_ = 0;
+    bool wroteRun_ = false;
+};
+
+/** One-shot convenience: meta + a single run + finish. */
+void writeTrace(const std::string &path, const TraceMeta &meta,
+                const RunInfo &info, const sim::RunResult &run,
+                WriterOptions options = {});
+
+} // namespace perple::trace
+
+#endif // PERPLE_TRACE_WRITER_H

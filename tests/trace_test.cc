@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the `.plt` trace store (src/trace/): writer→reader round
+ * trips, the harness capture path, corruption detection (truncation,
+ * flipped bits, wrong version), and the bit-identical re-analysis
+ * property over generated tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "generate/generator.h"
+#include "litmus/registry.h"
+#include "litmus/writer.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+#include "perple/perpetual_outcome.h"
+#include "trace/crc32c.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/varint.h"
+#include "trace/writer.h"
+
+namespace perple::trace
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << stream.rdbuf();
+    return bytes.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+    stream << bytes;
+}
+
+/** Run `sb` on the simulator with a capture; returns the result. */
+core::HarnessResult
+captureRun(const std::string &path, std::int64_t iterations,
+           BufEncoding encoding, std::uint64_t seed = 11)
+{
+    const auto &entry = litmus::findTest("sb");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    config.seed = seed;
+    config.capturePath = path;
+    config.captureEncoding = encoding;
+    return core::runPerpetual(perpetual, iterations,
+                              {entry.test.target}, config);
+}
+
+TEST(Crc32cTest, MatchesKnownVectors)
+{
+    // RFC 3720 test vector: 32 zero bytes.
+    const std::vector<unsigned char> zeros(32, 0);
+    EXPECT_EQ(crc32c(0, zeros.data(), zeros.size()), 0x8a9136aau);
+    // "123456789" (the classic check value for Castagnoli).
+    EXPECT_EQ(crc32c(0, "123456789", 9), 0xe3069283u);
+    // Incremental == one-shot.
+    const std::uint32_t partial = crc32c(0, "12345", 5);
+    EXPECT_EQ(crc32c(partial, "6789", 4), 0xe3069283u);
+}
+
+TEST(VarintTest, DeltaRoundTripsExtremes)
+{
+    const std::vector<litmus::Value> values = {
+        0,
+        1,
+        -1,
+        std::numeric_limits<litmus::Value>::max(),
+        std::numeric_limits<litmus::Value>::min(),
+        42,
+        std::numeric_limits<litmus::Value>::min(),
+        std::numeric_limits<litmus::Value>::max(),
+    };
+    const std::string encoded =
+        encodeDeltaVarint(values.data(), values.size());
+    std::vector<litmus::Value> decoded(values.size());
+    decodeDeltaVarint(encoded.data(), encoded.size(), values.size(),
+                      decoded.data());
+    EXPECT_EQ(decoded, values);
+}
+
+TEST(VarintTest, TruncatedStreamThrows)
+{
+    const std::vector<litmus::Value> values = {1000, 2000, 3000};
+    const std::string encoded =
+        encodeDeltaVarint(values.data(), values.size());
+    std::vector<litmus::Value> decoded(values.size());
+    EXPECT_THROW(decodeDeltaVarint(encoded.data(), encoded.size() - 1,
+                                   values.size(), decoded.data()),
+                 UserError);
+}
+
+TEST(TraceFormatTest, MetaAndRunRoundTrip)
+{
+    const auto &entry = litmus::findTest("mp");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    TraceMeta meta;
+    meta.testName = entry.test.name;
+    meta.testText = litmus::writeTest(entry.test);
+    meta.strides = perpetual.strides;
+    meta.loadsPerIteration = perpetual.loadsPerIteration;
+    meta.machine.storeBufferCapacity = 7;
+    meta.machine.drainLatencyMean = 3;
+
+    const TraceMeta parsed = parseMeta(serializeMeta(meta));
+    EXPECT_TRUE(metaEquivalent(meta, parsed));
+    EXPECT_EQ(parsed.testName, "mp");
+    EXPECT_EQ(parsed.strides, perpetual.strides);
+    EXPECT_EQ(parsed.machine.storeBufferCapacity, 7);
+
+    RunInfo info;
+    info.seed = 0xdeadbeefULL;
+    info.iterations = 12345;
+    info.backend = "native";
+    const RunInfo back = parseRun(serializeRun(info));
+    EXPECT_EQ(back.seed, info.seed);
+    EXPECT_EQ(back.iterations, info.iterations);
+    EXPECT_EQ(back.backend, info.backend);
+}
+
+TEST(TraceFormatTest, EmptyRunRejected)
+{
+    RunInfo info;
+    info.iterations = 0;
+    EXPECT_THROW(parseRun(serializeRun(info)), UserError);
+}
+
+TEST(TraceWriterTest, FinishWithoutRunsRejected)
+{
+    const std::string path = tmpPath("no_runs.plt");
+    const auto &entry = litmus::findTest("sb");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    TraceMeta meta;
+    meta.testName = entry.test.name;
+    meta.testText = litmus::writeTest(entry.test);
+    meta.strides = perpetual.strides;
+    meta.loadsPerIteration = perpetual.loadsPerIteration;
+
+    TraceWriter writer(path, meta);
+    EXPECT_THROW(writer.finish(), UserError);
+
+    RunInfo info;
+    info.iterations = 0;
+    EXPECT_THROW(writer.beginRun(info), UserError);
+}
+
+TEST(TraceReaderTest, HarnessCaptureRoundTrips)
+{
+    const std::string path = tmpPath("capture.plt");
+    const auto result =
+        captureRun(path, 400, BufEncoding::VarintDelta);
+    EXPECT_GT(result.captureBytes, 0u);
+    EXPECT_GT(result.timing.phaseNs("capture"), 0);
+
+    const TraceReader reader(path);
+    EXPECT_EQ(reader.fileBytes(), result.captureBytes);
+    EXPECT_EQ(reader.numRuns(), 1u);
+    EXPECT_EQ(reader.runInfo(0).iterations, 400);
+    EXPECT_EQ(reader.runInfo(0).seed, 11u);
+    EXPECT_EQ(reader.runInfo(0).backend, "sim");
+    EXPECT_FALSE(reader.zeroCopy());
+
+    // The embedded source reconstructs the identical test.
+    const auto &entry = litmus::findTest("sb");
+    EXPECT_EQ(litmus::writeTest(reader.test()),
+              litmus::writeTest(entry.test));
+
+    // Bufs, memory and stats survive bit-exactly.
+    ASSERT_EQ(reader.numThreads(), result.run.bufs.size());
+    for (std::size_t t = 0; t < reader.numThreads(); ++t) {
+        ASSERT_EQ(reader.bufSize(0, t), result.run.bufs[t].size());
+        for (std::size_t i = 0; i < reader.bufSize(0, t); ++i)
+            ASSERT_EQ(reader.bufData(0, t)[i], result.run.bufs[t][i]);
+    }
+    EXPECT_EQ(reader.memory(0), result.run.memory);
+    EXPECT_EQ(reader.stats(0).instructions,
+              result.run.stats.instructions);
+    EXPECT_EQ(reader.stats(0).drains, result.run.stats.drains);
+    EXPECT_EQ(reader.stats(0).finalTick, result.run.stats.finalTick);
+}
+
+TEST(TraceReaderTest, RawEncodingIsZeroCopyAndVarintCompresses)
+{
+    const std::string raw_path = tmpPath("raw.plt");
+    const std::string varint_path = tmpPath("varint.plt");
+    captureRun(raw_path, 600, BufEncoding::Raw);
+    captureRun(varint_path, 600, BufEncoding::VarintDelta);
+
+    const TraceReader raw(raw_path);
+    const TraceReader varint(varint_path);
+    EXPECT_TRUE(raw.zeroCopy());
+    EXPECT_FALSE(varint.zeroCopy());
+    EXPECT_EQ(raw.bufPayloadBytes(), raw.bufValueBytes());
+    EXPECT_LT(varint.bufPayloadBytes(), varint.bufValueBytes());
+
+    // Same run, either encoding: identical decoded buffers.
+    ASSERT_EQ(raw.numThreads(), varint.numThreads());
+    for (std::size_t t = 0; t < raw.numThreads(); ++t) {
+        ASSERT_EQ(raw.bufSize(0, t), varint.bufSize(0, t));
+        for (std::size_t i = 0; i < raw.bufSize(0, t); ++i)
+            ASSERT_EQ(raw.bufData(0, t)[i], varint.bufData(0, t)[i]);
+    }
+}
+
+TEST(TraceReaderTest, TruncatedFilesRejected)
+{
+    const std::string path = tmpPath("whole.plt");
+    captureRun(path, 100, BufEncoding::VarintDelta);
+    const std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), kFileHeaderBytes + kSectionHeaderBytes);
+
+    const std::string cut = tmpPath("cut.plt");
+    // Several truncation points: mid-file-header, mid-section-header,
+    // mid-payload, and just short of the End marker.
+    for (const std::size_t keep :
+         {std::size_t{7}, kFileHeaderBytes + 10, bytes.size() / 2,
+          bytes.size() - 1, bytes.size() - kSectionHeaderBytes}) {
+        writeFile(cut, bytes.substr(0, keep));
+        EXPECT_THROW(TraceReader{cut}, UserError)
+            << "truncation to " << keep << " bytes not detected";
+    }
+}
+
+TEST(TraceReaderTest, FlippedBitsRejected)
+{
+    const std::string path = tmpPath("bits.plt");
+    captureRun(path, 100, BufEncoding::VarintDelta);
+    const std::string bytes = readFile(path);
+
+    const std::string bad = tmpPath("bits_bad.plt");
+    // A flip in a section header (just past the file header) and one
+    // deep in a payload must both surface as checksum mismatches.
+    for (const std::size_t at :
+         {kFileHeaderBytes + 4, bytes.size() / 2, bytes.size() - 20}) {
+        std::string copy = bytes;
+        copy[at] = static_cast<char>(copy[at] ^ 0x20);
+        writeFile(bad, copy);
+        EXPECT_THROW(TraceReader{bad}, UserError)
+            << "bit flip at offset " << at << " not detected";
+    }
+}
+
+TEST(TraceReaderTest, WrongVersionAndMagicRejected)
+{
+    const std::string path = tmpPath("ver.plt");
+    captureRun(path, 50, BufEncoding::Raw);
+    const std::string bytes = readFile(path);
+
+    const std::string bad = tmpPath("ver_bad.plt");
+    std::string wrong_version = bytes;
+    wrong_version[8] = static_cast<char>(kVersion + 1);
+    writeFile(bad, wrong_version);
+    EXPECT_THROW(TraceReader{bad}, UserError);
+
+    std::string wrong_magic = bytes;
+    wrong_magic[0] = 'Q';
+    writeFile(bad, wrong_magic);
+    EXPECT_THROW(TraceReader{bad}, UserError);
+}
+
+TEST(TraceReaderTest, MissingFileRejected)
+{
+    EXPECT_THROW(TraceReader{tmpPath("does_not_exist.plt")},
+                 UserError);
+}
+
+/**
+ * The headline property: for generated tests, counting over a
+ * writer→reader round-tripped capture is bit-identical to counting
+ * over the live run's buffers — for both counters, both encodings and
+ * several worker-thread counts.
+ */
+TEST(TraceReplayProperty, GeneratedTestsRecountIdentically)
+{
+    generate::GeneratorConfig generator;
+    const std::string path = tmpPath("property.plt");
+
+    int checked = 0;
+    for (std::uint64_t seed = 1; checked < 50 && seed < 400; ++seed) {
+        litmus::Test test;
+        try {
+            test = generate::generateSuite(1, generator, seed)[0].test;
+        } catch (const UserError &) {
+            continue;
+        }
+        std::string reason;
+        if (!core::isConvertible(test, {test.target}, reason))
+            continue;
+
+        const core::PerpetualTest perpetual = core::convert(test);
+        core::HarnessConfig config;
+        config.seed = seed;
+        config.capturePath = path;
+        config.captureEncoding = (checked % 2 == 0)
+                                     ? BufEncoding::VarintDelta
+                                     : BufEncoding::Raw;
+        // Keep T_L = 3 shapes tractable (cap^3 frames).
+        config.exhaustiveCap = 60;
+        const auto result = core::runPerpetual(
+            perpetual, 200, {test.target}, config);
+
+        const TraceReader reader(path);
+        const litmus::Test replayed = reader.test();
+        const auto outcomes = core::buildPerpetualOutcomes(
+            replayed, {replayed.target});
+        const core::ExhaustiveCounter exhaustive(replayed, outcomes);
+        const core::HeuristicCounter heuristic(replayed, outcomes);
+        const core::RawBufs raw = reader.rawBufs(0);
+        const std::int64_t n = reader.runInfo(0).iterations;
+
+        for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
+            ASSERT_EQ(exhaustive.count(result.exhaustiveIterations,
+                                       raw, core::CountMode::FirstMatch,
+                                       jobs),
+                      *result.exhaustive)
+                << test.name << " exhaustive, jobs=" << jobs;
+            ASSERT_EQ(heuristic.count(n, raw,
+                                      core::CountMode::FirstMatch,
+                                      jobs),
+                      *result.heuristic)
+                << test.name << " heuristic, jobs=" << jobs;
+        }
+        ++checked;
+    }
+    // The generator's informative-draw rate makes 50 easily reachable
+    // within the seed budget; a collapse here means conversion or
+    // generation regressed.
+    EXPECT_EQ(checked, 50);
+}
+
+TEST(TraceMergeTest, MergedRunsRecountAsSum)
+{
+    const std::string a = tmpPath("merge_a.plt");
+    const std::string b = tmpPath("merge_b.plt");
+    const auto result_a =
+        captureRun(a, 300, BufEncoding::VarintDelta, 5);
+    const auto result_b = captureRun(b, 200, BufEncoding::Raw, 6);
+
+    const TraceReader reader_a(a);
+    const TraceReader reader_b(b);
+    ASSERT_TRUE(metaEquivalent(reader_a.meta(), reader_b.meta()));
+
+    const std::string merged = tmpPath("merged.plt");
+    TraceWriter writer(merged, reader_a.meta());
+    for (const TraceReader *reader : {&reader_a, &reader_b}) {
+        writer.beginRun(reader->runInfo(0));
+        for (std::size_t t = 0; t < reader->numThreads(); ++t)
+            writer.writeBuf(reader->bufData(0, t),
+                            reader->bufSize(0, t));
+        writer.writeMemory(reader->memory(0));
+        writer.writeStats(reader->stats(0));
+    }
+    writer.finish();
+
+    const TraceReader reader(merged);
+    ASSERT_EQ(reader.numRuns(), 2u);
+    const litmus::Test test = reader.test();
+    const auto outcomes =
+        core::buildPerpetualOutcomes(test, {test.target});
+    const core::HeuristicCounter heuristic(test, outcomes);
+    core::Counts total(outcomes.size(), 0);
+    for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+        const auto counts =
+            heuristic.count(reader.runInfo(r).iterations,
+                            reader.rawBufs(r));
+        for (std::size_t o = 0; o < counts.size(); ++o)
+            total[o] += counts[o];
+    }
+    core::Counts expected(outcomes.size(), 0);
+    for (std::size_t o = 0; o < expected.size(); ++o)
+        expected[o] = (*result_a.heuristic)[o] +
+                      (*result_b.heuristic)[o];
+    EXPECT_EQ(total, expected);
+}
+
+} // namespace
+} // namespace perple::trace

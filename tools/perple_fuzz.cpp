@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -116,6 +117,11 @@ printFailure(const fuzz::CampaignFailure &failure,
                     "%s)\n",
                     failure.reproducerPath.c_str(),
                     failure.reproducerPath.c_str());
+    if (!failure.tracePath.empty())
+        std::printf("  trace: %s (re-analyze: perple_trace analyze "
+                    "%s)\n",
+                    failure.tracePath.c_str(),
+                    failure.tracePath.c_str());
     std::printf("--- minimized test ---\n%s----------------------\n",
                 litmus::writeTest(failure.shrunk).c_str());
 }
@@ -160,6 +166,12 @@ run(int argc, char **argv)
                      argv[0]);
         return usage(argv[0]);
     }
+
+    // Create the reproducer directory up front so a bad --out path
+    // (unwritable parent, name collision with a file) fails before
+    // the campaigns run, not at the first divergence.
+    if (!config.reproducerDir.empty())
+        std::filesystem::create_directories(config.reproducerDir);
 
     const auto report = fuzz::runCampaign(config);
     std::printf(

@@ -1,0 +1,696 @@
+/**
+ * @file
+ * The `.plt` trace store CLI: capture perpetual runs as durable
+ * artifacts and re-analyze them offline (see src/trace/ and DESIGN.md
+ * §7).
+ *
+ * Usage:
+ *   perple_trace record <test|file.litmus> --out FILE.plt [options]
+ *   perple_trace info    FILE.plt
+ *   perple_trace verify  FILE.plt...
+ *   perple_trace analyze FILE.plt [options]
+ *   perple_trace merge   --out FILE.plt IN.plt... [--encoding E]
+ *   perple_trace export  FILE.plt --json [--bufs]
+ *
+ * record options:
+ *   -n <iters>          iterations (default 10000)
+ *   --seed <n>          harness seed (default 1)
+ *   --backend sim|native  executing substrate (default sim)
+ *   --encoding varint|raw  buf encoding (default varint; raw enables
+ *                       the reader's zero-copy path)
+ *   --jobs <n>          analysis threads for the recorded counts
+ *
+ * analyze options:
+ *   --outcome "<cond>"  outcome of interest, repeatable (default: the
+ *                       test's target outcome)
+ *   --jobs <n>          counter worker threads, 0 = all cores
+ *   --mode first|independent  frame-sharing semantics
+ *   --cap <n>           exhaustive-iteration cap per run (0 = none)
+ *   --no-exhaustive / --no-heuristic   skip a counter
+ *   --fast              also run the O(N log N) fast counter where
+ *                       applicable
+ *   --crosscheck        re-execute each sim run from its recorded
+ *                       seed via core::crossCheckCounters and demand
+ *                       bit-identical counts (trace fidelity proof)
+ *   --json              machine-readable output
+ *
+ * Exit status: 0 = ok, 1 = verification/cross-check failure,
+ * 2 = usage or I/O error.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perple/perple.h"
+
+namespace
+{
+
+using namespace perple;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s record <test|file.litmus> --out FILE.plt\n"
+        "          [-n N] [--seed N] [--backend sim|native]\n"
+        "          [--encoding varint|raw] [--jobs N]\n"
+        "       %s info FILE.plt\n"
+        "       %s verify FILE.plt...\n"
+        "       %s analyze FILE.plt [--outcome COND]... [--jobs N]\n"
+        "          [--mode first|independent] [--cap N] [--fast]\n"
+        "          [--no-exhaustive] [--no-heuristic] [--crosscheck]\n"
+        "          [--json]\n"
+        "       %s merge --out FILE.plt IN.plt... [--encoding E]\n"
+        "       %s export FILE.plt --json [--bufs]\n",
+        argv0, argv0, argv0, argv0, argv0, argv0);
+    return 2;
+}
+
+/** The required value of flag argv[i]; exits with usage on overrun. */
+const char *
+flagValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                     argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+litmus::Test
+loadTest(const std::string &spec)
+{
+    namespace fs = std::filesystem;
+    if (fs::exists(spec)) {
+        std::ifstream stream(spec);
+        std::ostringstream text;
+        text << stream.rdbuf();
+        litmus::Test test = litmus::parseTest(text.str());
+        litmus::validateOrThrow(test);
+        return test;
+    }
+    return litmus::findTest(spec).test;
+}
+
+trace::BufEncoding
+parseEncoding(const char *argv0, const std::string &name)
+{
+    if (name == "varint")
+        return trace::BufEncoding::VarintDelta;
+    if (name == "raw")
+        return trace::BufEncoding::Raw;
+    std::fprintf(stderr, "%s: unknown encoding '%s'\n", argv0,
+                 name.c_str());
+    std::exit(2);
+}
+
+std::string
+countsToText(const core::Counts &counts)
+{
+    std::string out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += format("%" PRIu64, counts[i]);
+    }
+    return out;
+}
+
+/** JSON string escaping for the embedded test text / outcome names. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    std::string spec, outPath;
+    core::HarnessConfig config;
+    std::int64_t iterations = 10000;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--out") == 0) {
+            outPath = flagValue(argc, argv, i);
+        } else if (std::strcmp(arg, "-n") == 0) {
+            iterations = std::atoll(flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            config.seed = std::strtoull(flagValue(argc, argv, i),
+                                        nullptr, 10);
+        } else if (std::strcmp(arg, "--backend") == 0) {
+            const std::string backend = flagValue(argc, argv, i);
+            if (backend == "native")
+                config.backend = core::Backend::Native;
+            else if (backend != "sim")
+                return usage(argv[0]);
+        } else if (std::strcmp(arg, "--encoding") == 0) {
+            config.captureEncoding =
+                parseEncoding(argv[0], flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            config.analysisThreads = static_cast<std::size_t>(
+                std::atoi(flagValue(argc, argv, i)));
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        } else if (spec.empty()) {
+            spec = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (spec.empty() || outPath.empty())
+        return usage(argv[0]);
+
+    const litmus::Test test = loadTest(spec);
+    const auto parent =
+        std::filesystem::path(outPath).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent);
+
+    const core::PerpetualTest perpetual = core::convert(test);
+    config.capturePath = outPath;
+    const auto result = core::runPerpetual(perpetual, iterations,
+                                           {test.target}, config);
+
+    std::printf("%s: captured %lld iterations to %s (%.2f MiB, "
+                "%s encoding)\n",
+                test.name.c_str(), static_cast<long long>(iterations),
+                outPath.c_str(),
+                static_cast<double>(result.captureBytes) /
+                    (1024.0 * 1024.0),
+                config.captureEncoding == trace::BufEncoding::Raw
+                    ? "raw"
+                    : "varint");
+    if (result.exhaustive)
+        std::printf("  exhaustive count: %s (first %lld iterations)\n",
+                    countsToText(*result.exhaustive).c_str(),
+                    static_cast<long long>(
+                        result.exhaustiveIterations));
+    if (result.heuristic)
+        std::printf("  heuristic count:  %s\n",
+                    countsToText(*result.heuristic).c_str());
+    std::printf("  exec %.3fs, capture (non-overlapped) %.3fs\n",
+                result.timing.phaseSeconds("exec"),
+                result.timing.phaseSeconds("capture"));
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 3)
+        return usage(argv[0]);
+    const trace::TraceReader reader(argv[2]);
+    const trace::TraceMeta &meta = reader.meta();
+    std::printf("trace:    %s (%.2f MiB, format v%u, %s)\n",
+                reader.path().c_str(),
+                static_cast<double>(reader.fileBytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned>(trace::kVersion),
+                reader.zeroCopy() ? "zero-copy" : "varint-compressed");
+    std::printf("test:     %s (%zu threads, %zu locations)\n",
+                meta.testName.c_str(),
+                meta.loadsPerIteration.size(), meta.strides.size());
+    std::string kmem;
+    for (std::size_t i = 0; i < meta.strides.size(); ++i)
+        kmem += format("%s%d", i > 0 ? " " : "", meta.strides[i]);
+    std::printf("k_mem:    %s\n", kmem.c_str());
+    if (reader.bufValueBytes() > 0)
+        std::printf("bufs:     %.2f MiB raw -> %.2f MiB on disk "
+                    "(%.2fx)\n",
+                    static_cast<double>(reader.bufValueBytes()) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(reader.bufPayloadBytes()) /
+                        (1024.0 * 1024.0),
+                    static_cast<double>(reader.bufValueBytes()) /
+                        static_cast<double>(std::max<std::uint64_t>(
+                            1, reader.bufPayloadBytes())));
+    for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+        const trace::RunInfo &info = reader.runInfo(r);
+        const sim::RunStats &stats = reader.stats(r);
+        std::printf("run %zu:    %s backend, seed %" PRIu64
+                    ", N=%lld, %" PRIu64 " instructions, %" PRIu64
+                    " drains\n",
+                    r, info.backend.c_str(), info.seed,
+                    static_cast<long long>(info.iterations),
+                    stats.instructions, stats.drains);
+    }
+    return 0;
+}
+
+int
+cmdVerify(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage(argv[0]);
+    int failures = 0;
+    for (int i = 2; i < argc; ++i) {
+        try {
+            const trace::TraceReader reader(argv[i]);
+            // Beyond checksums: the embedded test must still parse
+            // and convert consistently with the recorded metadata.
+            const litmus::Test test = reader.test();
+            const core::PerpetualTest perpetual = core::convert(test);
+            checkUser(perpetual.strides == reader.meta().strides &&
+                          perpetual.loadsPerIteration ==
+                              reader.meta().loadsPerIteration,
+                      "recorded conversion metadata does not match "
+                      "the embedded test");
+            std::printf("%s: ok (%zu run(s), %" PRIu64 " bytes)\n",
+                        argv[i], reader.numRuns(),
+                        reader.fileBytes());
+        } catch (const Error &error) {
+            std::printf("%s: FAILED: %s\n", argv[i], error.what());
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+struct AnalyzeOptions
+{
+    std::vector<std::string> outcomeTexts;
+    std::size_t jobs = 1;
+    core::CountMode mode = core::CountMode::FirstMatch;
+    std::int64_t cap = 0;
+    bool exhaustive = true;
+    bool heuristic = true;
+    bool fast = false;
+    bool crosscheck = false;
+    bool json = false;
+};
+
+int
+cmdAnalyze(int argc, char **argv)
+{
+    std::string path;
+    AnalyzeOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--outcome") == 0) {
+            options.outcomeTexts.push_back(flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            options.jobs = static_cast<std::size_t>(
+                std::atoi(flagValue(argc, argv, i)));
+        } else if (std::strcmp(arg, "--mode") == 0) {
+            const std::string mode = flagValue(argc, argv, i);
+            if (mode == "independent")
+                options.mode = core::CountMode::Independent;
+            else if (mode != "first")
+                return usage(argv[0]);
+        } else if (std::strcmp(arg, "--cap") == 0) {
+            options.cap = std::atoll(flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--no-exhaustive") == 0) {
+            options.exhaustive = false;
+        } else if (std::strcmp(arg, "--no-heuristic") == 0) {
+            options.heuristic = false;
+        } else if (std::strcmp(arg, "--fast") == 0) {
+            options.fast = true;
+        } else if (std::strcmp(arg, "--crosscheck") == 0) {
+            options.crosscheck = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            options.json = true;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    WallTimer open_timer;
+    const trace::TraceReader reader(path);
+    const litmus::Test test = reader.test();
+    const double open_seconds = open_timer.elapsedSeconds();
+
+    std::vector<litmus::Outcome> outcomes;
+    std::vector<std::string> labels;
+    if (options.outcomeTexts.empty()) {
+        outcomes.push_back(test.target);
+        labels.push_back("target");
+    } else {
+        for (const std::string &text : options.outcomeTexts) {
+            outcomes.push_back(litmus::parseOutcome(test, text));
+            labels.push_back(text);
+        }
+    }
+    const auto perpetual_outcomes =
+        core::buildPerpetualOutcomes(test, outcomes);
+    const core::ExhaustiveCounter exhaustive(test, perpetual_outcomes);
+    const core::HeuristicCounter heuristic(test, perpetual_outcomes);
+
+    // Counts are summed across run groups (runs are independent, so
+    // occurrences add); per-run counts feed the cross-check below.
+    core::Counts exhaustive_total(outcomes.size(), 0);
+    core::Counts heuristic_total(outcomes.size(), 0);
+    std::vector<core::Counts> exhaustive_per_run, heuristic_per_run;
+    std::vector<std::uint64_t> fast_total(outcomes.size(), 0);
+    std::vector<bool> fast_ok(outcomes.size(), false);
+    double count_seconds = 0;
+
+    for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+        const core::RawBufs raw = reader.rawBufs(r);
+        const std::int64_t n = reader.runInfo(r).iterations;
+        const std::int64_t cap =
+            options.cap > 0 ? std::min(options.cap, n) : n;
+        WallTimer timer;
+        if (options.exhaustive) {
+            auto counts =
+                exhaustive.count(cap, raw, options.mode, options.jobs);
+            for (std::size_t o = 0; o < counts.size(); ++o)
+                exhaustive_total[o] += counts[o];
+            exhaustive_per_run.push_back(std::move(counts));
+        }
+        if (options.heuristic) {
+            auto counts =
+                heuristic.count(n, raw, options.mode, options.jobs);
+            for (std::size_t o = 0; o < counts.size(); ++o)
+                heuristic_total[o] += counts[o];
+            heuristic_per_run.push_back(std::move(counts));
+        }
+        if (options.fast) {
+            for (std::size_t o = 0; o < perpetual_outcomes.size();
+                 ++o) {
+                if (!core::FastExhaustiveCounter::isApplicable(
+                        test, perpetual_outcomes[o]))
+                    continue;
+                const core::FastExhaustiveCounter fast(
+                    test, perpetual_outcomes[o]);
+                fast_total[o] += fast.count(n, raw, options.jobs);
+                fast_ok[o] = true;
+            }
+        }
+        count_seconds += timer.elapsedSeconds();
+    }
+
+    if (options.json) {
+        std::printf("{\n  \"trace\": \"%s\",\n  \"test\": \"%s\",\n"
+                    "  \"runs\": %zu,\n  \"jobs\": %zu,\n"
+                    "  \"open_seconds\": %.6f,\n"
+                    "  \"count_seconds\": %.6f,\n  \"outcomes\": [\n",
+                    jsonEscape(path).c_str(),
+                    jsonEscape(test.name).c_str(), reader.numRuns(),
+                    options.jobs, open_seconds, count_seconds);
+        for (std::size_t o = 0; o < outcomes.size(); ++o) {
+            std::printf("    {\"outcome\": \"%s\"",
+                        jsonEscape(labels[o]).c_str());
+            if (options.exhaustive)
+                std::printf(", \"exhaustive\": %" PRIu64,
+                            exhaustive_total[o]);
+            if (options.heuristic)
+                std::printf(", \"heuristic\": %" PRIu64,
+                            heuristic_total[o]);
+            if (options.fast && fast_ok[o])
+                std::printf(", \"fast\": %" PRIu64, fast_total[o]);
+            std::printf("}%s\n",
+                        o + 1 < outcomes.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+    } else {
+        std::printf("%s: %zu run(s), %s, open %.3fs, count %.3fs "
+                    "(jobs=%zu)\n",
+                    test.name.c_str(), reader.numRuns(),
+                    reader.zeroCopy() ? "zero-copy"
+                                      : "varint-decoded",
+                    open_seconds, count_seconds, options.jobs);
+        stats::Table table({"outcome", "exhaustive", "heuristic",
+                            "fast"});
+        for (std::size_t o = 0; o < outcomes.size(); ++o)
+            table.addRow(
+                {labels[o],
+                 options.exhaustive
+                     ? format("%" PRIu64, exhaustive_total[o])
+                     : std::string("-"),
+                 options.heuristic
+                     ? format("%" PRIu64, heuristic_total[o])
+                     : std::string("-"),
+                 options.fast && fast_ok[o]
+                     ? format("%" PRIu64, fast_total[o])
+                     : std::string("-")});
+        std::printf("%s", table.toString().c_str());
+    }
+
+    if (!options.crosscheck)
+        return 0;
+
+    // Fidelity proof: re-execute each sim run from its recorded seed
+    // and demand the live counters agree with the capture, counter by
+    // counter and run by run.
+    int mismatches = 0;
+    for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+        const trace::RunInfo &info = reader.runInfo(r);
+        if (info.backend != "sim") {
+            std::printf("crosscheck run %zu: skipped (%s backend is "
+                        "not re-executable)\n",
+                        r, info.backend.c_str());
+            continue;
+        }
+        if (options.cap > 0 && options.cap < info.iterations) {
+            std::printf("crosscheck run %zu: skipped (--cap would "
+                        "truncate the exhaustive scan)\n",
+                        r);
+            continue;
+        }
+        core::CrossCheckConfig config;
+        config.seed = info.seed;
+        config.iterations = info.iterations;
+        config.mode = options.mode;
+        config.parallel = options.jobs != 1;
+        config.parallelThreads = options.jobs;
+        config.machine = reader.meta().machine;
+        const auto report =
+            core::crossCheckCounters(test, outcomes, config);
+        const core::Counts &live_exhaustive =
+            config.parallel ? report.exhaustiveParallel
+                            : report.exhaustiveSerial;
+        const core::Counts &live_heuristic =
+            config.parallel ? report.heuristicParallel
+                            : report.heuristicSerial;
+        const bool exhaustive_ok =
+            !options.exhaustive ||
+            live_exhaustive == exhaustive_per_run[r];
+        const bool heuristic_ok =
+            !options.heuristic ||
+            live_heuristic == heuristic_per_run[r];
+        if (exhaustive_ok && heuristic_ok &&
+            report.parallelIdentical()) {
+            std::printf("crosscheck run %zu: ok (re-executed counts "
+                        "bit-identical)\n",
+                        r);
+        } else {
+            std::printf("crosscheck run %zu: MISMATCH (trace "
+                        "exhaustive [%s] heuristic [%s], live "
+                        "exhaustive [%s] heuristic [%s])\n",
+                        r,
+                        options.exhaustive
+                            ? countsToText(exhaustive_per_run[r])
+                                  .c_str()
+                            : "-",
+                        options.heuristic
+                            ? countsToText(heuristic_per_run[r])
+                                  .c_str()
+                            : "-",
+                        countsToText(live_exhaustive).c_str(),
+                        countsToText(live_heuristic).c_str());
+            ++mismatches;
+        }
+    }
+    return mismatches == 0 ? 0 : 1;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string outPath;
+    std::vector<std::string> inputs;
+    trace::WriterOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--out") == 0)
+            outPath = flagValue(argc, argv, i);
+        else if (std::strcmp(arg, "--encoding") == 0)
+            options.bufEncoding =
+                parseEncoding(argv[0], flagValue(argc, argv, i));
+        else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        } else
+            inputs.push_back(arg);
+    }
+    if (outPath.empty() || inputs.empty())
+        return usage(argv[0]);
+
+    std::vector<std::unique_ptr<trace::TraceReader>> readers;
+    for (const std::string &input : inputs)
+        readers.push_back(
+            std::make_unique<trace::TraceReader>(input));
+    for (std::size_t i = 1; i < readers.size(); ++i)
+        checkUser(trace::metaEquivalent(readers[0]->meta(),
+                                        readers[i]->meta()),
+                  format("cannot merge %s: test or machine "
+                         "configuration differs from %s",
+                         inputs[i].c_str(), inputs[0].c_str()));
+
+    trace::TraceWriter writer(outPath, readers[0]->meta(), options);
+    std::size_t total_runs = 0;
+    for (const auto &reader : readers) {
+        for (std::size_t r = 0; r < reader->numRuns(); ++r) {
+            writer.beginRun(reader->runInfo(r));
+            for (std::size_t t = 0; t < reader->numThreads(); ++t)
+                writer.writeBuf(reader->bufData(r, t),
+                                reader->bufSize(r, t));
+            writer.writeMemory(reader->memory(r));
+            writer.writeStats(reader->stats(r));
+            ++total_runs;
+        }
+    }
+    writer.finish();
+    std::printf("merged %zu run(s) from %zu trace(s) into %s "
+                "(%.2f MiB)\n",
+                total_runs, readers.size(), outPath.c_str(),
+                static_cast<double>(writer.bytesWritten()) /
+                    (1024.0 * 1024.0));
+    return 0;
+}
+
+int
+cmdExport(int argc, char **argv)
+{
+    std::string path;
+    bool json = false, bufs = false;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0)
+            json = true;
+        else if (std::strcmp(arg, "--bufs") == 0)
+            bufs = true;
+        else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        } else if (path.empty())
+            path = arg;
+        else
+            return usage(argv[0]);
+    }
+    if (path.empty() || !json)
+        return usage(argv[0]);
+
+    const trace::TraceReader reader(path);
+    const trace::TraceMeta &meta = reader.meta();
+    std::printf("{\n  \"format_version\": %u,\n  \"test\": \"%s\",\n"
+                "  \"test_source\": \"%s\",\n  \"k_mem\": [",
+                static_cast<unsigned>(trace::kVersion),
+                jsonEscape(meta.testName).c_str(),
+                jsonEscape(meta.testText).c_str());
+    for (std::size_t i = 0; i < meta.strides.size(); ++i)
+        std::printf("%s%d", i > 0 ? ", " : "", meta.strides[i]);
+    std::printf("],\n  \"loads_per_iteration\": [");
+    for (std::size_t i = 0; i < meta.loadsPerIteration.size(); ++i)
+        std::printf("%s%d", i > 0 ? ", " : "",
+                    meta.loadsPerIteration[i]);
+    std::printf("],\n  \"runs\": [\n");
+    for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+        const trace::RunInfo &info = reader.runInfo(r);
+        const sim::RunStats &stats = reader.stats(r);
+        std::printf("    {\"backend\": \"%s\", \"seed\": %" PRIu64
+                    ", \"iterations\": %lld,\n"
+                    "     \"stats\": {\"instructions\": %" PRIu64
+                    ", \"drains\": %" PRIu64 ", \"stalls\": %" PRIu64
+                    ", \"final_tick\": %" PRIu64 "}",
+                    info.backend.c_str(), info.seed,
+                    static_cast<long long>(info.iterations),
+                    stats.instructions, stats.drains, stats.stalls,
+                    stats.finalTick);
+        std::printf(",\n     \"memory\": [");
+        const auto memory = reader.memory(r);
+        for (std::size_t m = 0; m < memory.size(); ++m)
+            std::printf("%s%lld", m > 0 ? ", " : "",
+                        static_cast<long long>(memory[m]));
+        std::printf("]");
+        if (bufs) {
+            std::printf(",\n     \"bufs\": [");
+            for (std::size_t t = 0; t < reader.numThreads(); ++t) {
+                std::printf("%s[", t > 0 ? ", " : "");
+                const litmus::Value *data = reader.bufData(r, t);
+                const std::size_t count = reader.bufSize(r, t);
+                for (std::size_t v = 0; v < count; ++v)
+                    std::printf("%s%lld", v > 0 ? ", " : "",
+                                static_cast<long long>(data[v]));
+                std::printf("]");
+            }
+            std::printf("]");
+        }
+        std::printf("}%s\n", r + 1 < reader.numRuns() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+    if (command == "record")
+        return cmdRecord(argc, argv);
+    if (command == "info")
+        return cmdInfo(argc, argv);
+    if (command == "verify")
+        return cmdVerify(argc, argv);
+    if (command == "analyze")
+        return cmdAnalyze(argc, argv);
+    if (command == "merge")
+        return cmdMerge(argc, argv);
+    if (command == "export")
+        return cmdExport(argc, argv);
+    std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0],
+                 command.c_str());
+    return usage(argv[0]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const Error &error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        return 2;
+    }
+}
