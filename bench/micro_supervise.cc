@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Supervision-overhead microbench: what does fault containment cost?
+ *
+ * Three measurements on sb at N = 200,000 (scaled by
+ * PERPLE_ITERS_SCALE):
+ *
+ *  1. Sandbox round trip — wall time of runSupervised() with an empty
+ *     body: the fixed fork + pipe + waitpid tax every supervised
+ *     execution pays.
+ *  2. Supervised vs in-process harness run — the same runPerpetual
+ *     workload with and without the child sandbox (shared-memory
+ *     result region, progress publication, region snapshot), per
+ *     backend. The overhead amortizes as N grows; the bench reports
+ *     absolute and relative cost at the configured scale.
+ *  3. Bit-identity — the supervised simulator run must produce
+ *     exactly the in-process counts (a mismatch fails the bench), so
+ *     the overhead numbers are for a genuinely equivalent result.
+ *
+ * Results go to stdout; run with PERPLE_ITERS_SCALE=10 for a
+ * steadier read on fast hosts.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    const std::int64_t n = scaledIterations(200000);
+    banner("Micro: supervised-execution overhead (sb)", n);
+
+    // 1. Fixed sandbox tax: fork + pipes + reap with no work at all.
+    {
+        constexpr int kRounds = 20;
+        supervise::SupervisorConfig supervisor;
+        WallTimer timer;
+        for (int i = 0; i < kRounds; ++i) {
+            const auto outcome = supervise::runSupervised(
+                [](const auto &) {}, supervisor);
+            if (!outcome.ok()) {
+                std::fprintf(stderr, "empty child failed: %s\n",
+                             outcome.describe().c_str());
+                return 1;
+            }
+        }
+        std::printf("sandbox round trip: %.2f ms/child "
+                    "(%d empty children)\n",
+                    timer.elapsedSeconds() * 1000.0 / kRounds,
+                    kRounds);
+    }
+
+    // 2 + 3. Supervised vs in-process harness runs.
+    const auto &sb = litmus::findTest("sb").test;
+    const auto perpetual = core::convert(sb);
+    for (const auto backend :
+         {core::Backend::Simulator, core::Backend::Native}) {
+        core::HarnessConfig config;
+        config.seed = baseSeed();
+        config.backend = backend;
+        config.runExhaustive = false;
+        config.analysisThreads = analysisThreads();
+        const char *name =
+            backend == core::Backend::Simulator ? "sim" : "native";
+
+        WallTimer plain_timer;
+        const auto plain =
+            core::runPerpetual(perpetual, n, {sb.target}, config);
+        const double plain_seconds = plain_timer.elapsedSeconds();
+
+        supervise::SupervisorConfig supervisor;
+        supervisor.timeoutSeconds = 600;
+        WallTimer sup_timer;
+        const auto sup = supervise::runPerpetualSupervised(
+            perpetual, n, {sb.target}, config, supervisor);
+        const double sup_seconds = sup_timer.elapsedSeconds();
+        if (!sup.ok() || !sup.analysis) {
+            std::fprintf(stderr, "supervised %s run failed: %s\n",
+                         name, sup.child.describe().c_str());
+            return 1;
+        }
+        if (backend == core::Backend::Simulator &&
+            *sup.analysis->heuristic != *plain.heuristic) {
+            std::fprintf(stderr,
+                         "supervised sim counts diverge from "
+                         "in-process counts\n");
+            return 1;
+        }
+        std::printf("%-6s in-process %.3fs, supervised %.3fs "
+                    "(+%.1f%%, counts %s)\n",
+                    name, plain_seconds, sup_seconds,
+                    plain_seconds > 0.0
+                        ? (sup_seconds / plain_seconds - 1.0) * 100.0
+                        : 0.0,
+                    backend == core::Backend::Simulator
+                        ? "bit-identical"
+                        : "nondeterministic");
+    }
+    return 0;
+}

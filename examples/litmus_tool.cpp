@@ -21,6 +21,12 @@
  *   --spec tso|pso   classify the target against this model
  *   --capture <f.plt>  record a .plt trace of the run (perple
  *                    engine; re-analyze with tools/perple_trace)
+ *   --timeout <s>    run in a supervised child with this watchdog
+ *                    (perple engine); timeouts/crashes are classified
+ *                    and the completed prefix is salvaged
+ *   --mem-limit <b>  supervised child memory cap (K/M/G suffix)
+ *   --retries <n>    supervised attempts after a failure
+ *   --no-supervise   never fork, even with limits set
  */
 
 #include <cstdio>
@@ -28,6 +34,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -107,7 +114,8 @@ int
 cmdRun(const litmus::Test &test, std::int64_t iterations,
        const std::string &engine, runtime::SyncMode mode, bool native,
        std::uint64_t seed, bool exhaustive,
-       model::MemoryModel spec_model, const std::string &capture)
+       model::MemoryModel spec_model, const std::string &capture,
+       bool supervised, const supervise::SupervisorConfig &supervisor)
 {
     // Outcomes of interest: everything, target first.
     std::vector<litmus::Outcome> outcomes = {test.target};
@@ -144,8 +152,30 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         if (exhaustive && test.numLoadThreads() >= 3)
             config.exhaustiveCap = 400;
         config.capturePath = capture;
-        const auto result = core::runPerpetual(perpetual, iterations,
-                                               outcomes, config);
+        core::HarnessResult result;
+        if (supervised) {
+            const auto sup = supervise::runPerpetualSupervised(
+                perpetual, iterations, outcomes, config, supervisor);
+            if (!sup.ok())
+                std::printf("supervised run: %s after %d attempt(s); "
+                            "salvaged %lld of %lld iterations\n",
+                            sup.child.describe().c_str(),
+                            sup.child.attempts,
+                            static_cast<long long>(
+                                sup.completedIterations),
+                            static_cast<long long>(iterations));
+            if (!sup.analysis) {
+                std::fprintf(stderr,
+                             "no iterations completed; nothing to "
+                             "count\n");
+                return 1;
+            }
+            result = *sup.analysis;
+            iterations = sup.completedIterations;
+        } else {
+            result = core::runPerpetual(perpetual, iterations,
+                                        outcomes, config);
+        }
         if (!capture.empty())
             std::printf("captured %.2f MiB trace to %s\n",
                         static_cast<double>(result.captureBytes) /
@@ -154,7 +184,7 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         counts = *result.heuristic;
         seconds = result.heuristicSeconds();
         engine_label = "perple-heuristic";
-        if (exhaustive) {
+        if (exhaustive && result.exhaustive) {
             std::printf("exhaustive counts (first %lld iterations):",
                         static_cast<long long>(
                             result.exhaustiveIterations));
@@ -163,6 +193,8 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
                             static_cast<unsigned long long>(c));
             std::printf("\n");
         }
+        if (result.exhaustiveDowngraded)
+            std::printf("note: %s\n", result.downgradeReason.c_str());
     } else {
         litmus7::Litmus7Config config;
         config.mode = mode;
@@ -239,6 +271,8 @@ main(int argc, char **argv)
         bool exhaustive = false;
         model::MemoryModel spec_model = model::MemoryModel::TSO;
         std::string capture;
+        supervise::SupervisorConfig supervisor;
+        bool no_supervise = false;
 
         for (int i = 3; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -248,23 +282,41 @@ main(int argc, char **argv)
                 return argv[++i];
             };
             if (arg == "-n")
-                iterations = std::atoll(next().c_str());
+                iterations = common::parseIntArg(
+                    "-n", next(), 1,
+                    std::numeric_limits<std::int64_t>::max());
             else if (arg == "-e")
                 engine = next();
             else if (arg == "-m")
                 mode = runtime::syncModeFromName(next());
-            else if (arg == "-b")
-                native = next() == "native";
-            else if (arg == "-s")
-                seed = static_cast<std::uint64_t>(
-                    std::atoll(next().c_str()));
+            else if (arg == "-b") {
+                const std::string backend = next();
+                checkUser(backend == "sim" || backend == "native",
+                          "-b must be sim or native");
+                native = backend == "native";
+            } else if (arg == "-s")
+                seed = common::parseSeedArg("-s", next());
             else if (arg == "--exhaustive")
                 exhaustive = true;
-            else if (arg == "--spec")
-                spec_model = next() == "pso" ? model::MemoryModel::PSO
-                                             : model::MemoryModel::TSO;
-            else if (arg == "--capture")
+            else if (arg == "--spec") {
+                const std::string spec = next();
+                checkUser(spec == "tso" || spec == "pso",
+                          "--spec must be tso or pso");
+                spec_model = spec == "pso" ? model::MemoryModel::PSO
+                                           : model::MemoryModel::TSO;
+            } else if (arg == "--capture")
                 capture = next();
+            else if (arg == "--timeout")
+                supervisor.timeoutSeconds =
+                    common::parseSecondsArg("--timeout", next());
+            else if (arg == "--mem-limit")
+                supervisor.memLimitBytes =
+                    common::parseBytesArg("--mem-limit", next());
+            else if (arg == "--retries")
+                supervisor.retries = static_cast<int>(
+                    common::parseIntArg("--retries", next(), 0, 100));
+            else if (arg == "--no-supervise")
+                no_supervise = true;
             else
                 fatal("unknown option '" + arg + "'");
         }
@@ -272,8 +324,17 @@ main(int argc, char **argv)
                   "engine must be perple or litmus7");
         checkUser(capture.empty() || engine == "perple",
                   "--capture requires the perple engine");
+        const bool supervised =
+            !no_supervise && (supervisor.timeoutSeconds > 0 ||
+                              supervisor.memLimitBytes > 0 ||
+                              supervisor.cpuLimitSeconds > 0 ||
+                              supervisor.retries > 0);
+        checkUser(!supervised || engine == "perple",
+                  "--timeout/--mem-limit/--retries require the "
+                  "perple engine");
         return cmdRun(test, iterations, engine, mode, native, seed,
-                      exhaustive, spec_model, capture);
+                      exhaustive, spec_model, capture, supervised,
+                      supervisor);
     } catch (const Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

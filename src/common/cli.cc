@@ -1,0 +1,140 @@
+#include "common/cli.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::common
+{
+
+namespace
+{
+
+[[noreturn]] void
+badValue(const char *flag, const std::string &text, const char *why)
+{
+    fatal(
+        format("%s: invalid value '%s' (%s)", flag, text.c_str(), why));
+}
+
+} // namespace
+
+std::int64_t
+parseIntArg(const char *flag, const std::string &text, std::int64_t min,
+            std::int64_t max)
+{
+    if (text.empty())
+        badValue(flag, text, "expected an integer");
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        badValue(flag, text, "expected an integer");
+    if (errno == ERANGE || value < min || value > max)
+        badValue(flag, text,
+                 format("expected an integer in [%lld, %lld]",
+                        static_cast<long long>(min),
+                        static_cast<long long>(max))
+                     .c_str());
+    return value;
+}
+
+std::uint64_t
+parseSeedArg(const char *flag, const std::string &text)
+{
+    if (text.empty() || text[0] == '-')
+        badValue(flag, text, "expected an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        badValue(flag, text, "expected an unsigned integer");
+    if (errno == ERANGE)
+        badValue(flag, text, "value does not fit in 64 bits");
+    return value;
+}
+
+double
+parseSecondsArg(const char *flag, const std::string &text, double min)
+{
+    if (text.empty())
+        badValue(flag, text, "expected a number of seconds");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        badValue(flag, text, "expected a number of seconds");
+    if (errno == ERANGE || !(value >= min))
+        badValue(flag, text,
+                 format("expected a number >= %g", min).c_str());
+    return value;
+}
+
+std::uint64_t
+parseBytesArg(const char *flag, const std::string &text)
+{
+    std::string digits = text;
+    std::uint64_t unit = 1;
+    if (!digits.empty()) {
+        switch (std::tolower(static_cast<unsigned char>(
+            digits.back()))) {
+          case 'k': unit = 1024ULL; break;
+          case 'm': unit = 1024ULL * 1024; break;
+          case 'g': unit = 1024ULL * 1024 * 1024; break;
+          default: unit = 0; break;
+        }
+        if (unit != 0)
+            digits.pop_back();
+        else
+            unit = 1;
+    }
+    const std::int64_t value =
+        parseIntArg(flag, digits, 0,
+                    static_cast<std::int64_t>(
+                        std::numeric_limits<std::int64_t>::max()));
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(value) * unit;
+    if (value != 0 && bytes / unit != static_cast<std::uint64_t>(value))
+        badValue(flag, text, "byte count overflows 64 bits");
+    return bytes;
+}
+
+void
+ensureWritableDir(const char *flag, const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::exists(path, ec)) {
+        if (!fs::is_directory(path, ec))
+            fatal(format("%s: %s exists and is not a directory",
+                             flag, path.c_str()));
+        return;
+    }
+    if (!fs::create_directories(path, ec) || ec)
+        fatal(format("%s: cannot create directory %s (%s)", flag,
+                         path.c_str(), ec.message().c_str()));
+}
+
+void
+ensureWritableParent(const char *flag, const std::string &path)
+{
+    namespace fs = std::filesystem;
+    const fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        return; // Relative file in the working directory.
+    std::error_code ec;
+    if (!fs::exists(parent, ec))
+        fatal(format("%s: parent directory %s does not exist",
+                         flag, parent.string().c_str()));
+    if (!fs::is_directory(parent, ec))
+        fatal(format("%s: parent %s is not a directory", flag,
+                         parent.string().c_str()));
+}
+
+} // namespace perple::common

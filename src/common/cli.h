@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Strict command-line argument parsing shared by the tools.
+ *
+ * atoi-style parsing silently turns "--jobs banana" into 0 and
+ * "--campaigns -5" into a config error three layers down; these
+ * helpers reject malformed or out-of-range values at the flag with a
+ * one-line UserError naming the flag, so every binary fails fast with
+ * a clear message and a nonzero exit instead of misbehaving later.
+ */
+
+#ifndef PERPLE_COMMON_CLI_H
+#define PERPLE_COMMON_CLI_H
+
+#include <cstdint>
+#include <string>
+
+namespace perple::common
+{
+
+/**
+ * Parse @p text as a decimal integer in [@p min, @p max].
+ *
+ * @param flag The flag name for error messages (e.g. "--campaigns").
+ * @throws UserError on empty/garbled/partial input or range overflow.
+ */
+std::int64_t parseIntArg(const char *flag, const std::string &text,
+                         std::int64_t min, std::int64_t max);
+
+/** Parse an unsigned 64-bit seed (full-range, strict). */
+std::uint64_t parseSeedArg(const char *flag, const std::string &text);
+
+/**
+ * Parse a non-negative decimal duration/limit in seconds (fractions
+ * allowed); values below @p min are rejected.
+ */
+double parseSecondsArg(const char *flag, const std::string &text,
+                       double min = 0);
+
+/**
+ * Parse a byte count with an optional K/M/G suffix (powers of 1024,
+ * case-insensitive), e.g. "512M"; 0 is allowed (meaning "no limit").
+ */
+std::uint64_t parseBytesArg(const char *flag, const std::string &text);
+
+/**
+ * Ensure @p path can serve as an output directory: creates it (and
+ * parents) when missing, and rejects paths that exist as files or
+ * whose creation fails.
+ *
+ * @throws UserError with the flag name on failure.
+ */
+void ensureWritableDir(const char *flag, const std::string &path);
+
+/**
+ * Ensure the parent directory of file path @p path exists and is a
+ * directory, so the open that comes later fails only for interesting
+ * reasons.
+ */
+void ensureWritableParent(const char *flag, const std::string &path);
+
+} // namespace perple::common
+
+#endif // PERPLE_COMMON_CLI_H

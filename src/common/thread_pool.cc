@@ -4,6 +4,7 @@
 #include <exception>
 #include <map>
 #include <memory>
+#include <pthread.h>
 
 #include "common/error.h"
 
@@ -137,16 +138,74 @@ ThreadPool::resolveThreads(std::size_t requested)
     return requested < kMaxThreads ? requested : kMaxThreads;
 }
 
+namespace
+{
+
+/**
+ * The shared-pool registry. Pools are raw pointers on purpose: a
+ * forked child must be able to drop them without running destructors
+ * (which would join worker threads that did not survive the fork), so
+ * ownership is "leaked for the process lifetime" on both sides.
+ */
+struct SharedRegistry
+{
+    std::mutex mutex;
+    std::map<std::size_t, ThreadPool *> pools;
+};
+
+SharedRegistry &
+sharedRegistry()
+{
+    static SharedRegistry *registry = new SharedRegistry;
+    return *registry;
+}
+
+extern "C" void
+threadPoolAtforkPrepare()
+{
+    // Hold the registry lock across fork() so the child never sees a
+    // half-inserted pool.
+    sharedRegistry().mutex.lock();
+}
+
+extern "C" void
+threadPoolAtforkParent()
+{
+    sharedRegistry().mutex.unlock();
+}
+
+extern "C" void
+threadPoolAtforkChild()
+{
+    SharedRegistry &registry = sharedRegistry();
+    registry.pools.clear(); // Abandon, do not destroy: see above.
+    registry.mutex.unlock();
+}
+
+} // namespace
+
+void
+ThreadPool::installForkHandlers()
+{
+    static const int installed = [] {
+        return pthread_atfork(threadPoolAtforkPrepare,
+                              threadPoolAtforkParent,
+                              threadPoolAtforkChild);
+    }();
+    checkInternal(installed == 0,
+                  "pthread_atfork registration failed");
+}
+
 ThreadPool &
 ThreadPool::shared(std::size_t threads)
 {
+    installForkHandlers();
     const std::size_t n = resolveThreads(threads);
-    static std::mutex registry_mutex;
-    static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
-    std::lock_guard<std::mutex> lock(registry_mutex);
-    std::unique_ptr<ThreadPool> &slot = pools[n];
-    if (!slot)
-        slot = std::make_unique<ThreadPool>(n);
+    SharedRegistry &registry = sharedRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    ThreadPool *&slot = registry.pools[n];
+    if (slot == nullptr)
+        slot = new ThreadPool(n);
     return *slot;
 }
 

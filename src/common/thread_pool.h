@@ -84,8 +84,24 @@ class ThreadPool
      * The process-wide pool of exactly @p threads total parallelism
      * (0 = hardware concurrency). Pools are created lazily on first
      * use and reused for the lifetime of the process.
+     *
+     * Fork safety: worker threads do not survive fork(), so a child
+     * inheriting this registry would block forever on its first
+     * parallelFor. A pthread_atfork handler therefore abandons every
+     * shared pool in the child (the objects are intentionally leaked —
+     * destroying them would join threads that no longer exist) and the
+     * child's first shared() call builds fresh pools. Supervised
+     * children always leave via _exit, so the leak never outlives the
+     * fork's purpose.
      */
     static ThreadPool &shared(std::size_t threads);
+
+    /**
+     * Idempotently install the fork handlers described at shared().
+     * shared() installs them itself; call this before fork() from code
+     * that forks without ever having touched a shared pool.
+     */
+    static void installForkHandlers();
 
   private:
     void workerLoop();

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <thread>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -88,6 +92,141 @@ writeFailureTrace(const CampaignConfig &config,
     return path;
 }
 
+// --- Supervised battery protocol -----------------------------------
+//
+// The child streams one line per event over the supervisor pipe:
+//   "C <check>\n"            about to run <check>
+//   "D <check>\t<detail>\n"  <check> reported a divergence
+// Details are escaped (\ n t) so a divergence never spans lines. The
+// parent parses only complete lines, so a child killed mid-write
+// loses at most the line being written — never earlier events.
+
+std::string
+escapeDetail(const std::string &detail)
+{
+    std::string out;
+    out.reserve(detail.size());
+    for (const char c : detail) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeDetail(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\' || i + 1 == text.size()) {
+            out += text[i];
+            continue;
+        }
+        switch (text[++i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += text[i];
+        }
+    }
+    return out;
+}
+
+Check
+checkFromName(const std::string &name)
+{
+    for (const Check check : kAllChecks)
+        if (name == checkName(check))
+            return check;
+    return Check::Supervision;
+}
+
+/** Env-gated fault injection for tests/CI (runs inside the child). */
+void
+maybeInjectFault(int campaign)
+{
+    const char *hang = std::getenv("PERPLE_FUZZ_INJECT_HANG");
+    if (hang != nullptr && std::atoi(hang) == campaign)
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const char *crash = std::getenv("PERPLE_FUZZ_INJECT_CRASH");
+    if (crash != nullptr && std::atoi(crash) == campaign)
+        std::raise(SIGSEGV);
+}
+
+struct BatteryOutcome
+{
+    std::vector<Divergence> divergences;
+    supervise::ChildOutcome child;
+};
+
+/** Run the oracle battery on @p test in a supervised child. */
+BatteryOutcome
+runBatterySupervised(const litmus::Test &test,
+                     const OracleConfig &oracle, int campaign,
+                     const supervise::SupervisorConfig &supervisor)
+{
+    const supervise::ChildBody body =
+        [&](const std::function<void(const std::string &)> &emit) {
+            maybeInjectFault(campaign);
+            for (const Check check : kAllChecks) {
+                emit(format("C %s\n", checkName(check)));
+                for (const Divergence &d :
+                     runCheck(test, check, oracle))
+                    emit(format("D %s\t%s\n", checkName(d.check),
+                                escapeDetail(d.detail).c_str()));
+            }
+        };
+
+    BatteryOutcome out;
+    out.child = supervise::runSupervised(body, supervisor);
+
+    // Parse complete lines only; a torn final line is dropped.
+    std::string last_check;
+    const std::string &payload = out.child.payload;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t nl = payload.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        const std::string line = payload.substr(start, nl - start);
+        start = nl + 1;
+        if (startsWith(line, "C ")) {
+            last_check = line.substr(2);
+        } else if (startsWith(line, "D ")) {
+            const std::size_t tab = line.find('\t');
+            if (tab == std::string::npos || tab < 2)
+                continue;
+            out.divergences.push_back(
+                {checkFromName(line.substr(2, tab - 2)),
+                 unescapeDetail(line.substr(tab + 1))});
+        }
+    }
+
+    if (!out.child.ok()) {
+        // The fault itself is the headline divergence: it means the
+        // battery never finished, so any parsed divergences above are
+        // a partial account. describe() and the check marker are
+        // deterministic, keeping reports bit-identical across jobs.
+        Divergence fault;
+        fault.check = Check::Supervision;
+        fault.detail = format(
+            "oracle battery %s %s",
+            out.child.describe().c_str(),
+            last_check.empty()
+                ? "before the first check"
+                : format("while running check '%s'", last_check.c_str())
+                      .c_str());
+        out.divergences.insert(out.divergences.begin(),
+                               std::move(fault));
+    }
+    return out;
+}
+
 } // namespace
 
 CampaignReport
@@ -136,8 +275,18 @@ runCampaign(const CampaignConfig &config)
                     continue;
                 }
 
-                const auto divergences =
-                    runChecks(test, config.oracle);
+                std::vector<Divergence> divergences;
+                supervise::ChildStatus child_status =
+                    supervise::ChildStatus::Ok;
+                if (config.supervised) {
+                    auto battery = runBatterySupervised(
+                        test, config.oracle, campaign,
+                        config.supervisor);
+                    divergences = std::move(battery.divergences);
+                    child_status = battery.child.status;
+                } else {
+                    divergences = runChecks(test, config.oracle);
+                }
                 run.fetch_add(1, std::memory_order_relaxed);
                 if (divergences.empty())
                     continue;
@@ -147,23 +296,50 @@ runCampaign(const CampaignConfig &config)
                 failure.campaignSeed = derived;
                 failure.divergence = divergences.front();
                 failure.original = test;
+                failure.childStatus = child_status;
                 if (config.shrink) {
                     const Check check = failure.divergence.check;
-                    failure.shrunk = shrinkTest(
-                        test,
-                        [&](const litmus::Test &candidate) {
-                            return diverges(candidate, check,
-                                            config.oracle);
-                        },
-                        &failure.shrinkStats);
+                    if (check == Check::Supervision) {
+                        // The predicate re-runs the battery in a
+                        // fresh child without retries and asks
+                        // whether the candidate still dies the same
+                        // way. Each probe costs up to one watchdog
+                        // period, so keep timeouts short when
+                        // shrinking hangs.
+                        supervise::SupervisorConfig probe =
+                            config.supervisor;
+                        probe.retries = 0;
+                        failure.shrunk = shrinkTest(
+                            test,
+                            [&](const litmus::Test &candidate) {
+                                return runBatterySupervised(
+                                           candidate, config.oracle,
+                                           campaign, probe)
+                                           .child.status ==
+                                       child_status;
+                            },
+                            &failure.shrinkStats);
+                    } else {
+                        failure.shrunk = shrinkTest(
+                            test,
+                            [&](const litmus::Test &candidate) {
+                                return diverges(candidate, check,
+                                                config.oracle);
+                            },
+                            &failure.shrinkStats);
+                    }
                 } else {
                     failure.shrunk = test;
                 }
                 if (!config.reproducerDir.empty()) {
                     failure.reproducerPath =
                         writeReproducer(config, failure, io_mutex);
-                    failure.tracePath =
-                        writeFailureTrace(config, failure);
+                    // A supervision failure's test hung or crashed
+                    // the battery; re-running it in-parent for a
+                    // trace capture could do the same to the driver.
+                    if (failure.divergence.check != Check::Supervision)
+                        failure.tracePath =
+                            writeFailureTrace(config, failure);
                 }
                 shard_failures[shard].push_back(std::move(failure));
             }
@@ -178,6 +354,21 @@ runCampaign(const CampaignConfig &config)
               [](const CampaignFailure &a, const CampaignFailure &b) {
                   return a.campaign < b.campaign;
               });
+
+    for (const CampaignFailure &failure : report.failures) {
+        if (failure.divergence.check != Check::Supervision)
+            continue;
+        switch (failure.childStatus) {
+          case supervise::ChildStatus::Timeout:
+            ++report.timeouts;
+            break;
+          case supervise::ChildStatus::Oom:
+            ++report.ooms;
+            break;
+          default:
+            ++report.crashes;
+        }
+    }
 
     report.campaignsRun = run.load();
     report.generationFailures = generation_failures.load();

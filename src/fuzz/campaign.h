@@ -23,6 +23,7 @@
 #include "fuzz/shrink.h"
 #include "generate/generator.h"
 #include "litmus/test.h"
+#include "supervise/supervise.h"
 
 namespace perple::fuzz
 {
@@ -60,6 +61,20 @@ struct CampaignConfig
 
     /** Delta-debug failures down to minimal tests? */
     bool shrink = true;
+
+    /**
+     * Run every campaign's oracle battery in a supervised child
+     * process. A battery that hangs, crashes or exhausts its memory
+     * limit then becomes a first-class Check::Supervision divergence
+     * (shrunk, reproduced, counted in the report) instead of taking
+     * the whole campaign down. The child streams check markers and
+     * divergences over a pipe in a deterministic text protocol, so
+     * supervised reports stay bit-identical across job counts.
+     */
+    bool supervised = false;
+
+    /** Watchdog/rlimit/retry policy of the oracle children. */
+    supervise::SupervisorConfig supervisor;
 };
 
 /** One divergence found by a campaign. */
@@ -93,6 +108,13 @@ struct CampaignFailure
      * convertible or no reproducer directory was configured.
      */
     std::string tracePath;
+
+    /**
+     * How the supervised oracle child ended; Ok for ordinary oracle
+     * divergences (and always in unsupervised campaigns), the fault
+     * class for Check::Supervision failures.
+     */
+    supervise::ChildStatus childStatus = supervise::ChildStatus::Ok;
 };
 
 /** Merged results of a campaign run. */
@@ -111,6 +133,15 @@ struct CampaignReport
 
     /** Failures in campaign order. */
     std::vector<CampaignFailure> failures;
+
+    /** Supervised batteries killed by the watchdog (or CPU rlimit). */
+    int timeouts = 0;
+
+    /** Supervised batteries that crashed (signal or nonzero exit). */
+    int crashes = 0;
+
+    /** Supervised batteries that exhausted their memory limit. */
+    int ooms = 0;
 
     double seconds = 0;
 

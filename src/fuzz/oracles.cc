@@ -34,6 +34,8 @@ checkName(Check check)
         return "parallel-identity";
       case Check::ConverterRoundTrip:
         return "converter-round-trip";
+      case Check::Supervision:
+        return "supervision";
     }
     return "unknown";
 }
@@ -357,6 +359,8 @@ runCheck(const Test &test, Check check, const OracleConfig &config)
             return checkParallelIdentity(test, config);
           case Check::ConverterRoundTrip:
             return checkConverterRoundTrip(test, config);
+          case Check::Supervision:
+            return {}; // Synthesized by the campaign driver only.
         }
     } catch (const Error &e) {
         return {{check, format("oracle threw: %s", e.what())}};

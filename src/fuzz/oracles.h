@@ -42,7 +42,7 @@
 namespace perple::fuzz
 {
 
-/** The five oracle-pair divergence checks. */
+/** The five oracle-pair divergence checks, plus fault containment. */
 enum class Check
 {
     ModelAgreement,
@@ -50,6 +50,14 @@ enum class Check
     HeuristicSubset,
     ParallelIdentity,
     ConverterRoundTrip,
+
+    /**
+     * Not an oracle pair: a supervised oracle child that hung, crashed
+     * or exhausted its memory limit. Synthesized by the campaign
+     * driver (never by runCheck), but a first-class divergence — it is
+     * shrunk and reproduced like any other.
+     */
+    Supervision,
 };
 
 /** All checks, in execution order. */

@@ -1,11 +1,13 @@
 #include "perple/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <memory>
 #include <thread>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "litmus/writer.h"
 #include "perple/perpetual_outcome.h"
 #include "runtime/native_runner.h"
@@ -30,7 +32,88 @@ struct ThreadJoiner
     }
 };
 
+/** The run's buf working set in bytes (N × Σ r_t × 8). */
+std::uint64_t
+projectedBufBytes(const PerpetualTest &perpetual,
+                  std::int64_t iterations)
+{
+    std::uint64_t loads_per_iteration = 0;
+    for (const int r_t : perpetual.loadsPerIteration)
+        loads_per_iteration += static_cast<std::uint64_t>(r_t);
+    return loads_per_iteration *
+           static_cast<std::uint64_t>(iterations) *
+           sizeof(litmus::Value);
+}
+
 } // namespace
+
+void
+analyzeRun(const PerpetualTest &perpetual, std::int64_t iterations,
+           const std::vector<litmus::Outcome> &outcomes,
+           const HarnessConfig &config, HarnessResult &result)
+{
+    // --- Outcome conversion (cheap; once per set of outcomes). ---
+    auto perpetual_outcomes =
+        buildPerpetualOutcomes(perpetual.original, outcomes);
+
+    // --- Counting (raw buf pointers gathered once for both). ---
+    const RawBufs raw(result.run.bufs);
+    bool run_exhaustive = config.runExhaustive;
+    if (run_exhaustive) {
+        const std::int64_t cap =
+            config.exhaustiveCap > 0
+                ? std::min(config.exhaustiveCap, iterations)
+                : iterations;
+        result.exhaustiveIterations = cap;
+        ExhaustiveCounter counter(perpetual.original,
+                                  perpetual_outcomes);
+
+        // Budget check: time a probe prefix, extrapolate the
+        // O(cap^{T_L}) full scan, and degrade to COUNTH rather than
+        // stall when the projection blows the budget. Small caps are
+        // cheaper to run than to probe.
+        const std::int64_t probe = 64;
+        if (config.countTimeBudgetSeconds > 0 && cap > 4 * probe) {
+            const int t_l = perpetual.original.numLoadThreads();
+            WallTimer probe_timer;
+            (void)counter.count(probe, raw, config.countMode,
+                                config.analysisThreads);
+            const double probe_seconds =
+                std::max(probe_timer.elapsedSeconds(), 1e-7);
+            const double scale = static_cast<double>(cap) /
+                                 static_cast<double>(probe);
+            const double projected =
+                probe_seconds * std::pow(scale, t_l);
+            if (projected > config.countTimeBudgetSeconds) {
+                run_exhaustive = false;
+                result.exhaustiveIterations = 0;
+                result.exhaustiveDowngraded = true;
+                result.downgradeReason = format(
+                    "exhaustive COUNT over %lld iterations (T_L=%d) "
+                    "projected past the %gs budget; downgraded to "
+                    "COUNTH",
+                    static_cast<long long>(cap), t_l,
+                    config.countTimeBudgetSeconds);
+            }
+        }
+        if (run_exhaustive) {
+            result.timing.start("count-exhaustive");
+            result.exhaustive =
+                counter.count(cap, raw, config.countMode,
+                              config.analysisThreads);
+            result.timing.stop();
+        }
+    }
+    if (config.runHeuristic || result.exhaustiveDowngraded) {
+        HeuristicCounter counter(perpetual.original,
+                                 perpetual_outcomes);
+        result.timing.start("count-heuristic");
+        result.heuristic = counter.count(iterations, raw,
+                                         config.countMode,
+                                         config.analysisThreads);
+        result.timing.stop();
+    }
+}
 
 HarnessResult
 runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
@@ -39,6 +122,20 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
 {
     checkUser(iterations > 0,
               "perpetual run needs a positive iteration count");
+    if (config.memBudgetBytes > 0) {
+        const std::uint64_t projected =
+            projectedBufBytes(perpetual, iterations);
+        checkUser(
+            projected <= config.memBudgetBytes,
+            format("run of %lld iterations needs %llu MiB of buf "
+                   "storage, over the %llu MiB budget — lower the "
+                   "iteration count or raise the budget",
+                   static_cast<long long>(iterations),
+                   static_cast<unsigned long long>(
+                       projected / (1024 * 1024)),
+                   static_cast<unsigned long long>(
+                       config.memBudgetBytes / (1024 * 1024))));
+    }
 
     HarnessResult result;
     result.iterations = iterations;
@@ -107,34 +204,7 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
         result.timing.stop();
     }
 
-    // --- Outcome conversion (cheap; once per set of outcomes). ---
-    auto perpetual_outcomes =
-        buildPerpetualOutcomes(perpetual.original, outcomes);
-
-    // --- Counting (raw buf pointers gathered once for both). ---
-    const RawBufs raw(result.run.bufs);
-    if (config.runExhaustive) {
-        const std::int64_t cap =
-            config.exhaustiveCap > 0
-                ? std::min(config.exhaustiveCap, iterations)
-                : iterations;
-        result.exhaustiveIterations = cap;
-        ExhaustiveCounter counter(perpetual.original,
-                                  perpetual_outcomes);
-        result.timing.start("count-exhaustive");
-        result.exhaustive = counter.count(cap, raw, config.countMode,
-                                          config.analysisThreads);
-        result.timing.stop();
-    }
-    if (config.runHeuristic) {
-        HeuristicCounter counter(perpetual.original,
-                                 perpetual_outcomes);
-        result.timing.start("count-heuristic");
-        result.heuristic = counter.count(iterations, raw,
-                                         config.countMode,
-                                         config.analysisThreads);
-        result.timing.stop();
-    }
+    analyzeRun(perpetual, iterations, outcomes, config, result);
 
     if (capture_thread.joinable()) {
         result.timing.start("capture");

@@ -82,6 +82,27 @@ struct HarnessConfig
     /** Buf encoding of the capture (compression vs zero-copy read). */
     trace::BufEncoding captureEncoding =
         trace::BufEncoding::VarintDelta;
+
+    /**
+     * Wall-clock budget (seconds) for the exhaustive counting phase;
+     * 0 = unlimited. When set, the harness times a small probe of the
+     * exhaustive scan, extrapolates the full O(cap^{T_L}) cost, and —
+     * rather than silently stalling for hours on an unlucky test —
+     * gracefully degrades: the exhaustive COUNT is skipped, the
+     * heuristic COUNTH runs in its place (even when runHeuristic is
+     * off), and HarnessResult::exhaustiveDowngraded records the
+     * decision. The probe's measured time never leaks into results or
+     * reports, so degraded runs stay deterministic to compare.
+     */
+    double countTimeBudgetSeconds = 0;
+
+    /**
+     * Memory budget (bytes) for the run's buf arrays (N × Σ r_t × 8,
+     * the analysis working set); 0 = unlimited. Exceeding it fails
+     * fast with a UserError before execution instead of OOM-killing
+     * the process mid-run.
+     */
+    std::uint64_t memBudgetBytes = 0;
 };
 
 /** Harness results. */
@@ -109,6 +130,16 @@ struct HarnessResult
 
     /** Bytes of the written capture; 0 when none was requested. */
     std::uint64_t captureBytes = 0;
+
+    /**
+     * The exhaustive COUNT was downgraded to COUNTH because its
+     * projected cost exceeded countTimeBudgetSeconds; `exhaustive` is
+     * absent and `heuristic` present when this is set.
+     */
+    bool exhaustiveDowngraded = false;
+
+    /** Why the downgrade happened; empty when none did. */
+    std::string downgradeReason;
 
     /** Wall seconds of execution plus heuristic counting (the
      *  PerpLE-heuristic runtime the paper reports). */
@@ -141,6 +172,18 @@ HarnessResult runPerpetual(const PerpetualTest &perpetual,
                            std::int64_t iterations,
                            const std::vector<litmus::Outcome> &outcomes,
                            const HarnessConfig &config);
+
+/**
+ * The counting phases of runPerpetual over an existing run artifact:
+ * counts @p outcomes over @p result.run (which must already hold the
+ * bufs of @p iterations iterations), honoring the counter and budget
+ * knobs of @p config, and fills the counting fields and timing phases
+ * of @p result. Used by runPerpetual itself and by the supervised
+ * parent-side analysis of a (possibly salvaged) child run.
+ */
+void analyzeRun(const PerpetualTest &perpetual, std::int64_t iterations,
+                const std::vector<litmus::Outcome> &outcomes,
+                const HarnessConfig &config, HarnessResult &result);
 
 } // namespace perple::core
 

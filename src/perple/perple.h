@@ -45,11 +45,14 @@
 #include "perple/skew.h"
 #include "perple/witness.h"
 #include "runtime/barrier.h"
+#include "common/cli.h"
 #include "runtime/native_runner.h"
 #include "sim/machine.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "supervise/run.h"
+#include "supervise/supervise.h"
 #include "trace/format.h"
 #include "trace/reader.h"
 #include "trace/writer.h"

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/timing.h"
 #include "runtime/asmops.h"
 
 namespace perple::runtime
@@ -67,13 +68,17 @@ class SpinWaiter
 class SpinBarrier : public Barrier
 {
   public:
-    SpinBarrier(int num_threads, bool fence_on_release)
-        : numThreads_(num_threads), fenceOnRelease_(fence_on_release)
+    SpinBarrier(int num_threads, bool fence_on_release,
+                double failsafe_seconds)
+        : numThreads_(num_threads), fenceOnRelease_(fence_on_release),
+          failsafeSeconds_(failsafe_seconds)
     {}
 
     void
     wait(int) override
     {
+        if (poisoned_.load(std::memory_order_acquire))
+            return; // A peer is gone; degrade to free-running.
         const bool my_sense = !sense_.load(std::memory_order_relaxed);
         if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             numThreads_) {
@@ -83,18 +88,48 @@ class SpinBarrier : public Barrier
             sense_.store(my_sense, std::memory_order_release);
         } else {
             SpinWaiter waiter;
-            while (sense_.load(std::memory_order_acquire) != my_sense)
+            WallTimer timer;
+            std::uint64_t spins = 0;
+            while (sense_.load(std::memory_order_acquire) !=
+                   my_sense) {
+                if (poisoned_.load(std::memory_order_acquire))
+                    return;
                 waiter.spin();
+                // The clock is off the hot path: one read per 8192
+                // spins keeps the failsafe below the noise floor.
+                if (failsafeSeconds_ > 0 &&
+                    (++spins & 8191u) == 0 &&
+                    timer.elapsedSeconds() > failsafeSeconds_) {
+                    bailouts_.fetch_add(1, std::memory_order_relaxed);
+                    poisoned_.store(true, std::memory_order_release);
+                    return;
+                }
+            }
         }
         if (fenceOnRelease_)
             asmFence();
     }
 
+    std::uint64_t
+    bailouts() const override
+    {
+        return bailouts_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    poisoned() const
+    {
+        return poisoned_.load(std::memory_order_acquire);
+    }
+
   private:
     const int numThreads_;
     const bool fenceOnRelease_;
+    const double failsafeSeconds_;
     std::atomic<int> arrived_{0};
     std::atomic<bool> sense_{false};
+    std::atomic<bool> poisoned_{false};
+    std::atomic<std::uint64_t> bailouts_{0};
 };
 
 /** pthread_barrier_t wrapper (litmus7 `pthread`). */
@@ -132,8 +167,10 @@ class PthreadBarrier : public Barrier
 class TimebaseBarrier : public Barrier
 {
   public:
-    TimebaseBarrier(int num_threads, std::uint64_t interval)
-        : spin_(num_threads, /*fence_on_release=*/false),
+    TimebaseBarrier(int num_threads, std::uint64_t interval,
+                    double failsafe_seconds)
+        : spin_(num_threads, /*fence_on_release=*/false,
+                failsafe_seconds),
           interval_(interval)
     {}
 
@@ -141,12 +178,20 @@ class TimebaseBarrier : public Barrier
     wait(int thread) override
     {
         spin_.wait(thread);
+        if (spin_.poisoned())
+            return; // No peers left to align with.
         const std::uint64_t now = readTimebase();
         const std::uint64_t deadline =
             (now / interval_ + 1) * interval_;
         SpinWaiter waiter;
         while (readTimebase() < deadline)
             waiter.spin();
+    }
+
+    std::uint64_t
+    bailouts() const override
+    {
+        return spin_.bailouts();
     }
 
   private:
@@ -165,19 +210,25 @@ class NullBarrier : public Barrier
 
 std::unique_ptr<Barrier>
 makeBarrier(SyncMode mode, int num_threads,
-            std::uint64_t timebase_interval)
+            std::uint64_t timebase_interval, double failsafe_seconds)
 {
     checkUser(num_threads > 0, "barrier needs at least one thread");
     switch (mode) {
       case SyncMode::User:
-        return std::make_unique<SpinBarrier>(num_threads, false);
+        return std::make_unique<SpinBarrier>(num_threads, false,
+                                             failsafe_seconds);
       case SyncMode::UserFence:
-        return std::make_unique<SpinBarrier>(num_threads, true);
+        return std::make_unique<SpinBarrier>(num_threads, true,
+                                             failsafe_seconds);
       case SyncMode::Pthread:
+        // Kernel-sleeping waits cannot poison themselves; a stuck
+        // pthread barrier is the process-level watchdog's job
+        // (supervise::runSupervised).
         return std::make_unique<PthreadBarrier>(num_threads);
       case SyncMode::Timebase:
         return std::make_unique<TimebaseBarrier>(num_threads,
-                                                 timebase_interval);
+                                                 timebase_interval,
+                                                 failsafe_seconds);
       case SyncMode::None:
         return std::make_unique<NullBarrier>();
     }

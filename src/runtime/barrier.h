@@ -53,9 +53,24 @@ class Barrier
     /**
      * Block until all participants arrive (no-op for SyncMode::None).
      *
+     * The polling modes (User, UserFence, Timebase) carry a failsafe:
+     * a waiter that spins past the configured time cap — because a
+     * peer exited, crashed or was descheduled for good on an
+     * oversubscribed host — bails out, poisons the barrier, and every
+     * wait from then on returns immediately (the run degrades to
+     * SyncMode::None instead of livelocking). Bailouts are reported
+     * via bailouts() and surface in RunStats::barrierBailouts.
+     *
      * @param thread Calling thread's id (0-based).
      */
     virtual void wait(int thread) = 0;
+
+    /** Failsafe bailouts taken so far (0 for non-polling modes). */
+    virtual std::uint64_t
+    bailouts() const
+    {
+        return 0;
+    }
 };
 
 /**
@@ -64,10 +79,13 @@ class Barrier
  * @param mode Synchronization mode.
  * @param num_threads Number of participating threads.
  * @param timebase_interval Tick interval for Timebase mode.
+ * @param failsafe_seconds Polling-wait time cap before the barrier
+ *        poisons itself (see Barrier::wait); 0 disables the failsafe.
  */
 std::unique_ptr<Barrier> makeBarrier(SyncMode mode, int num_threads,
                                      std::uint64_t timebase_interval =
-                                         2048);
+                                         2048,
+                                     double failsafe_seconds = 10.0);
 
 } // namespace perple::runtime
 

@@ -28,12 +28,14 @@ runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
 
     sim::RunResult result;
     result.bufs.resize(programs.size());
-    for (std::size_t t = 0; t < programs.size(); ++t)
-        result.bufs[t].resize(static_cast<std::size_t>(
-            programs[t].loadsPerIteration * iterations));
+    if (config.externalBufs == nullptr)
+        for (std::size_t t = 0; t < programs.size(); ++t)
+            result.bufs[t].resize(static_cast<std::size_t>(
+                programs[t].loadsPerIteration * iterations));
 
     auto iteration_barrier =
-        makeBarrier(config.mode, num_threads, config.timebaseInterval);
+        makeBarrier(config.mode, num_threads, config.timebaseInterval,
+                    config.barrierFailsafeSeconds);
     // Chunk boundaries and launch always synchronize via a pthread
     // barrier, independent of the per-iteration mode.
     auto chunk_barrier = makeBarrier(SyncMode::Pthread, num_threads);
@@ -43,7 +45,12 @@ runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
         const sim::SimProgram &program = programs[ut];
         const auto r_t =
             static_cast<std::int64_t>(program.loadsPerIteration);
-        auto *buf = result.bufs[ut].data();
+        auto *buf = config.externalBufs != nullptr
+                        ? config.externalBufs[ut]
+                        : result.bufs[ut].data();
+        volatile std::int64_t *progress =
+            config.progressCells != nullptr ? config.progressCells[ut]
+                                            : nullptr;
 
         chunk_barrier->wait(thread_id); // Launch synchronization.
 
@@ -80,6 +87,8 @@ runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
                     break;
                 }
             }
+            if (progress != nullptr)
+                asmStore(progress, n + 1);
         }
     };
 
@@ -108,6 +117,8 @@ runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
         ops_per_iteration * static_cast<std::uint64_t>(iterations);
     result.stats.finalTick =
         static_cast<std::uint64_t>(timer.elapsedNs());
+    result.stats.barrierBailouts =
+        iteration_barrier->bailouts() + chunk_barrier->bailouts();
     return result;
 }
 

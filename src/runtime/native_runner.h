@@ -46,6 +46,29 @@ struct NativeConfig
 
     /** Timebase barrier interval (ticks). */
     std::uint64_t timebaseInterval = 2048;
+
+    /**
+     * Polling-barrier failsafe cap (seconds; see runtime/barrier.h):
+     * a waiter stuck past the cap poisons the barrier and the run
+     * degrades to free-running instead of livelocking. Bailouts are
+     * reported in RunStats::barrierBailouts. 0 disables the failsafe.
+     */
+    double barrierFailsafeSeconds = 10.0;
+
+    /**
+     * When non-null, thread t writes its buf into externalBufs[t]
+     * (caller-provided storage of loadsPerIteration × iterations
+     * values, e.g. a supervise::RunRegion) and result.bufs stays
+     * empty. Buf writes are strictly sequential per thread either way.
+     */
+    litmus::Value *const *externalBufs = nullptr;
+
+    /**
+     * When non-null, thread t publishes n + 1 into progressCells[t]
+     * after completing iteration n — the crash-salvage watermark: the
+     * buf prefix below the published count is final and never changes.
+     */
+    volatile std::int64_t *const *progressCells = nullptr;
 };
 
 /**

@@ -26,6 +26,14 @@ struct RunStats
     std::uint64_t drains = 0;
     std::uint64_t stalls = 0;
     std::uint64_t finalTick = 0;
+
+    /**
+     * Spin/timebase barrier waits that hit their failsafe cap and
+     * degraded to free-running (native backend; see runtime/barrier.h).
+     * A live-run diagnostic only — not part of the `.plt` Stats
+     * section, whose 32-byte layout is frozen at format v1.
+     */
+    std::uint64_t barrierBailouts = 0;
 };
 
 /**

@@ -1,0 +1,188 @@
+#include "supervise/region.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <sys/mman.h>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "runtime/shmem.h"
+
+namespace perple::supervise
+{
+
+namespace
+{
+
+/** Cache-line padded cells, reused from the native runtime. */
+using runtime::PaddedCell;
+
+constexpr std::size_t kStatsWords = 5;
+
+std::size_t
+alignUp(std::size_t offset, std::size_t alignment)
+{
+    return (offset + alignment - 1) / alignment * alignment;
+}
+
+} // namespace
+
+RunRegion::RunRegion(const std::vector<int> &loads_per_iteration,
+                     int num_locations, std::int64_t iterations)
+    : loadsPerIteration_(loads_per_iteration),
+      numLocations_(num_locations), iterations_(iterations)
+{
+    checkUser(!loadsPerIteration_.empty(),
+              "a run region needs at least one thread");
+    checkUser(iterations_ > 0,
+              "a run region needs a positive iteration count");
+
+    // Layout: done + per-thread progress cells (one line each), then
+    // the stats words, the final memory and the per-thread bufs, all
+    // 8-byte aligned (64 for the flag cells).
+    std::size_t offset = sizeof(PaddedCell) * (1 + numThreads());
+    statsOffset_ = offset;
+    offset += kStatsWords * sizeof(std::uint64_t);
+    memoryOffset_ = offset;
+    offset += static_cast<std::size_t>(numLocations_) *
+              sizeof(litmus::Value);
+    bufOffsets_.reserve(numThreads());
+    for (const int r_t : loadsPerIteration_) {
+        offset = alignUp(offset, sizeof(litmus::Value));
+        bufOffsets_.push_back(offset);
+        offset += static_cast<std::size_t>(r_t) *
+                  static_cast<std::size_t>(iterations_) *
+                  sizeof(litmus::Value);
+    }
+    bytes_ = alignUp(offset, 4096);
+
+    void *map = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    checkUser(map != MAP_FAILED,
+              format("cannot map a %zu-byte run region", bytes_));
+    base_ = static_cast<unsigned char *>(map);
+    std::memset(base_, 0, bytes_);
+}
+
+RunRegion::~RunRegion()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, bytes_);
+}
+
+litmus::Value *
+RunRegion::buf(std::size_t t)
+{
+    return static_cast<litmus::Value *>(
+        static_cast<void *>(base_ + bufOffsets_.at(t)));
+}
+
+volatile std::int64_t *
+RunRegion::progressCell(std::size_t t)
+{
+    checkInternal(t < numThreads(), "progress cell out of range");
+    auto *cells = static_cast<PaddedCell *>(
+        static_cast<void *>(base_));
+    return &cells[1 + t].value;
+}
+
+void
+RunRegion::publishMemory(const std::vector<litmus::Value> &memory)
+{
+    const std::size_t count =
+        std::min(memory.size(),
+                 static_cast<std::size_t>(numLocations_));
+    std::memcpy(base_ + memoryOffset_, memory.data(),
+                count * sizeof(litmus::Value));
+}
+
+void
+RunRegion::publishStats(const sim::RunStats &stats)
+{
+    auto *words = static_cast<std::uint64_t *>(
+        static_cast<void *>(base_ + statsOffset_));
+    words[0] = stats.instructions;
+    words[1] = stats.drains;
+    words[2] = stats.stalls;
+    words[3] = stats.finalTick;
+    words[4] = stats.barrierBailouts;
+}
+
+void
+RunRegion::markDone()
+{
+    for (std::size_t t = 0; t < numThreads(); ++t)
+        *progressCell(t) = iterations_;
+    auto *cells = static_cast<PaddedCell *>(
+        static_cast<void *>(base_));
+    cells[0].value = 1;
+}
+
+bool
+RunRegion::done() const
+{
+    const auto *cells = static_cast<const PaddedCell *>(
+        static_cast<const void *>(base_));
+    return cells[0].value != 0;
+}
+
+std::int64_t
+RunRegion::progress(std::size_t t) const
+{
+    return *const_cast<RunRegion *>(this)->progressCell(t);
+}
+
+std::int64_t
+RunRegion::completedIterations() const
+{
+    if (done())
+        return iterations_;
+    std::int64_t completed = -1;
+    for (std::size_t t = 0; t < numThreads(); ++t) {
+        if (loadsPerIteration_[t] == 0)
+            continue; // Store-only threads leave no salvageable data.
+        const std::int64_t p = progress(t);
+        completed = completed < 0 ? p : std::min(completed, p);
+    }
+    if (completed < 0)
+        return 0; // No load threads: only a done() run is usable.
+    return std::min(completed, iterations_);
+}
+
+sim::RunResult
+RunRegion::snapshot(std::int64_t iterations) const
+{
+    checkInternal(iterations >= 0 && iterations <= iterations_,
+                  "region snapshot iteration count out of range");
+    sim::RunResult result;
+    result.bufs.resize(numThreads());
+    for (std::size_t t = 0; t < numThreads(); ++t) {
+        const std::size_t count =
+            static_cast<std::size_t>(loadsPerIteration_[t]) *
+            static_cast<std::size_t>(iterations);
+        const litmus::Value *data = bufData(t);
+        result.bufs[t].assign(data, data + count);
+    }
+    const auto *memory = static_cast<const litmus::Value *>(
+        static_cast<const void *>(base_ + memoryOffset_));
+    result.memory.assign(memory, memory + numLocations_);
+    const auto *words = static_cast<const std::uint64_t *>(
+        static_cast<const void *>(base_ + statsOffset_));
+    result.stats.instructions = words[0];
+    result.stats.drains = words[1];
+    result.stats.stalls = words[2];
+    result.stats.finalTick = words[3];
+    result.stats.barrierBailouts = words[4];
+    return result;
+}
+
+void
+RunRegion::reset()
+{
+    // Zero everything: flags, stats, memory and bufs, so a retry
+    // starts from the same state as the first attempt.
+    std::memset(base_, 0, bytes_);
+}
+
+} // namespace perple::supervise

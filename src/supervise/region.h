@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared-memory result region for supervised executions.
+ *
+ * The parent maps one MAP_SHARED | MAP_ANONYMOUS region before
+ * forking; the child executes the run directly into it. Layout:
+ *
+ *   [done cell][progress cell × T]        cache-line padded flags
+ *   [stats: 5 × u64][final memory]        published at completion
+ *   [buf array × T]                       r_t × N values per thread
+ *
+ * The progress cells are the crash-salvage contract: thread t writes
+ * its buf strictly sequentially and publishes n+1 to its cell only
+ * after iteration n's loads are stored, so for any thread the prefix
+ * [0, r_t × progress[t]) of its buf is final and will never change —
+ * even while other threads keep running. The minimum of the progress
+ * cells over the load-performing threads is therefore the number of
+ * complete, analyzable iterations at any instant, no matter how the
+ * child died.
+ */
+
+#ifndef PERPLE_SUPERVISE_REGION_H
+#define PERPLE_SUPERVISE_REGION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "litmus/types.h"
+#include "sim/result.h"
+
+namespace perple::supervise
+{
+
+/** One mapped result region; see file comment. */
+class RunRegion
+{
+  public:
+    /**
+     * Map and zero the region.
+     *
+     * @param loads_per_iteration r_t per thread (0 for store-only).
+     * @param num_locations Shared locations of the test.
+     * @param iterations Run length N (sizes the buf arrays).
+     */
+    RunRegion(const std::vector<int> &loads_per_iteration,
+              int num_locations, std::int64_t iterations);
+
+    ~RunRegion();
+
+    RunRegion(const RunRegion &) = delete;
+    RunRegion &operator=(const RunRegion &) = delete;
+
+    std::size_t
+    numThreads() const
+    {
+        return loadsPerIteration_.size();
+    }
+
+    const std::vector<int> &
+    loadsPerIteration() const
+    {
+        return loadsPerIteration_;
+    }
+
+    std::int64_t
+    iterations() const
+    {
+        return iterations_;
+    }
+
+    /** Total mapped bytes. */
+    std::size_t
+    bytes() const
+    {
+        return bytes_;
+    }
+
+    // --- Child side -------------------------------------------------
+
+    /** Base of thread @p t's buf array (r_t × N values). */
+    litmus::Value *buf(std::size_t t);
+
+    /** Thread @p t's progress cell (single-writer volatile). */
+    volatile std::int64_t *progressCell(std::size_t t);
+
+    /** Publish the run's final memory (at most numLocations values). */
+    void publishMemory(const std::vector<litmus::Value> &memory);
+
+    /** Publish the run's statistics. */
+    void publishStats(const sim::RunStats &stats);
+
+    /** Mark every thread complete and set the done flag. */
+    void markDone();
+
+    // --- Parent side ------------------------------------------------
+
+    /** Did the child mark the run complete? */
+    bool done() const;
+
+    /** Iterations thread @p t has fully published. */
+    std::int64_t progress(std::size_t t) const;
+
+    /**
+     * Complete iterations across all load-performing threads (the
+     * salvageable prefix); equals N for a finished run. A test with no
+     * loads reports done() ? N : 0.
+     */
+    std::int64_t completedIterations() const;
+
+    /**
+     * Copy the first @p iterations iterations of every buf (plus the
+     * published memory and stats) out of the region into an owned
+     * RunResult the counters can analyze.
+     */
+    sim::RunResult snapshot(std::int64_t iterations) const;
+
+    /** Zero the flags and stats for the next attempt. */
+    void reset();
+
+    /** Const view of thread @p t's buf (for capture writers). */
+    const litmus::Value *
+    bufData(std::size_t t) const
+    {
+        return const_cast<RunRegion *>(this)->buf(t);
+    }
+
+  private:
+    std::vector<int> loadsPerIteration_;
+    int numLocations_;
+    std::int64_t iterations_;
+    std::size_t bytes_ = 0;
+    unsigned char *base_ = nullptr;
+    std::vector<std::size_t> bufOffsets_;
+    std::size_t memoryOffset_ = 0;
+    std::size_t statsOffset_ = 0;
+};
+
+} // namespace perple::supervise
+
+#endif // PERPLE_SUPERVISE_REGION_H

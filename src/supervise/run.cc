@@ -1,0 +1,236 @@
+#include "supervise/run.h"
+
+#include <sys/stat.h>
+
+#include <csignal>
+#include <cstring>
+#include <memory>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "litmus/writer.h"
+#include "runtime/native_runner.h"
+#include "sim/machine.h"
+#include "supervise/region.h"
+#include "trace/writer.h"
+
+namespace perple::supervise
+{
+
+namespace
+{
+
+/**
+ * Crash-flush state, set by the child between arming and disarming.
+ * Plain globals: the handler runs in a single-threaded-by-then dying
+ * process and the flush itself is best-effort (stdio in a signal
+ * handler is not async-signal-safe; a handler that deadlocks is
+ * contained by the parent's SIGKILL escalation, and the capture file
+ * is CRC-framed so a torn flush can never be mistaken for data).
+ */
+trace::TraceWriter *g_writer = nullptr;
+RunRegion *g_region = nullptr;
+trace::RunInfo g_runInfo;
+volatile std::sig_atomic_t g_flushArmed = 0;
+
+extern "C" void
+crashFlushHandler(int sig)
+{
+    if (g_flushArmed) {
+        g_flushArmed = 0;
+        try {
+            const std::int64_t completed =
+                g_region->completedIterations();
+            if (completed > 0 && g_writer != nullptr) {
+                trace::RunInfo info = g_runInfo;
+                info.iterations = completed;
+                g_writer->beginRun(info);
+                const auto &loads = g_region->loadsPerIteration();
+                for (std::size_t t = 0; t < g_region->numThreads();
+                     ++t)
+                    g_writer->writeBuf(
+                        g_region->bufData(t),
+                        static_cast<std::size_t>(loads[t]) *
+                            static_cast<std::size_t>(completed));
+                g_writer->flushToDisk();
+            }
+        } catch (...) {
+            // Best effort only; fall through to the default action.
+        }
+    }
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+/** Signals whose default action would lose the salvageable prefix. */
+constexpr int kFlushSignals[] = {SIGTERM, SIGSEGV, SIGBUS,  SIGFPE,
+                                SIGILL,  SIGABRT, SIGXCPU};
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+} // namespace
+
+SupervisedHarnessResult
+runPerpetualSupervised(const core::PerpetualTest &perpetual,
+                       std::int64_t iterations,
+                       const std::vector<litmus::Outcome> &outcomes,
+                       const core::HarnessConfig &config,
+                       const SupervisorConfig &supervisor,
+                       const std::function<void()> &faultInjector)
+{
+    checkUser(iterations > 0,
+              "supervised run needs a positive iteration count");
+    if (config.memBudgetBytes > 0) {
+        std::uint64_t loads = 0;
+        for (const int r_t : perpetual.loadsPerIteration)
+            loads += static_cast<std::uint64_t>(r_t);
+        const std::uint64_t projected =
+            loads * static_cast<std::uint64_t>(iterations) *
+            sizeof(litmus::Value);
+        checkUser(projected <= config.memBudgetBytes,
+                  format("supervised run of %lld iterations needs "
+                         "%llu MiB of buf storage, over the %llu MiB "
+                         "budget",
+                         static_cast<long long>(iterations),
+                         static_cast<unsigned long long>(
+                             projected / (1024 * 1024)),
+                         static_cast<unsigned long long>(
+                             config.memBudgetBytes / (1024 * 1024))));
+    }
+
+    RunRegion region(perpetual.loadsPerIteration,
+                     perpetual.original.numLocations(), iterations);
+
+    const char *backend_name =
+        config.backend == core::Backend::Simulator ? "sim" : "native";
+
+    const ChildBody body = [&](const std::function<void(
+                                   const std::string &)> &) {
+        // --- Capture setup (child-owned writer). ---
+        std::unique_ptr<trace::TraceWriter> writer;
+        if (!config.capturePath.empty()) {
+            trace::TraceMeta meta;
+            meta.testName = perpetual.original.name;
+            meta.testText = litmus::writeTest(perpetual.original);
+            meta.strides = perpetual.strides;
+            meta.loadsPerIteration = perpetual.loadsPerIteration;
+            meta.machine = config.machine;
+            trace::WriterOptions options;
+            options.bufEncoding = config.captureEncoding;
+            writer = std::make_unique<trace::TraceWriter>(
+                config.capturePath, meta, options);
+        }
+
+        // --- Arm the crash-flush path. ---
+        g_writer = writer.get();
+        g_region = &region;
+        g_runInfo = trace::RunInfo{};
+        g_runInfo.seed = config.seed;
+        g_runInfo.backend = backend_name;
+        g_flushArmed = 1;
+        for (const int sig : kFlushSignals)
+            std::signal(sig, crashFlushHandler);
+
+        if (faultInjector)
+            faultInjector();
+
+        // --- Execute into the region. ---
+        std::vector<litmus::Value> memory;
+        sim::RunStats stats;
+        if (config.backend == core::Backend::Simulator) {
+            // The simulator runs single-shot into local storage and
+            // publishes at the end: chunked region-filling would
+            // re-draw jitter per chunk and break bit-identity with
+            // the unsupervised path. A mid-run kill salvages zero
+            // iterations here — the run is deterministic, so nothing
+            // irreplaceable is lost.
+            sim::MachineConfig machine_config = config.machine;
+            machine_config.seed = config.seed;
+            machine_config.addressMode = sim::AddressMode::Shared;
+            sim::Machine machine(perpetual.programs,
+                                 perpetual.original.numLocations(),
+                                 machine_config);
+            sim::RunResult local;
+            machine.runFree(iterations, 0, local);
+            for (std::size_t t = 0; t < region.numThreads(); ++t)
+                if (!local.bufs[t].empty())
+                    std::memcpy(region.buf(t), local.bufs[t].data(),
+                                local.bufs[t].size() *
+                                    sizeof(litmus::Value));
+            memory = std::move(local.memory);
+            stats = local.stats;
+        } else {
+            std::vector<litmus::Value *> bufs;
+            std::vector<volatile std::int64_t *> cells;
+            for (std::size_t t = 0; t < region.numThreads(); ++t) {
+                bufs.push_back(region.buf(t));
+                cells.push_back(region.progressCell(t));
+            }
+            runtime::NativeConfig native;
+            native.mode = runtime::SyncMode::None;
+            native.perIterationInstances = false;
+            native.externalBufs = bufs.data();
+            native.progressCells = cells.data();
+            sim::RunResult local = runtime::runNative(
+                perpetual.programs,
+                perpetual.original.numLocations(), iterations,
+                native);
+            memory = std::move(local.memory);
+            stats = local.stats;
+        }
+        region.publishMemory(memory);
+        region.publishStats(stats);
+        region.markDone();
+
+        // --- Full capture: disarm first so a late watchdog signal
+        // cannot append a second (partial) run group after this
+        // complete one. ---
+        g_flushArmed = 0;
+        if (writer != nullptr) {
+            trace::RunInfo info;
+            info.seed = config.seed;
+            info.iterations = iterations;
+            info.backend = backend_name;
+            writer->beginRun(info);
+            const auto &loads = region.loadsPerIteration();
+            for (std::size_t t = 0; t < region.numThreads(); ++t)
+                writer->writeBuf(
+                    region.bufData(t),
+                    static_cast<std::size_t>(loads[t]) *
+                        static_cast<std::size_t>(iterations));
+            writer->writeMemory(memory);
+            writer->writeStats(stats);
+            writer->finish();
+        }
+    };
+
+    SupervisedHarnessResult out;
+    out.child = runSupervised(body, supervisor,
+                              [&region] { region.reset(); });
+
+    const std::int64_t completed =
+        region.done() ? iterations : region.completedIterations();
+    out.completedIterations = completed;
+    out.salvaged = !region.done();
+
+    if (completed > 0) {
+        core::HarnessResult analysis;
+        analysis.iterations = completed;
+        analysis.run = region.snapshot(completed);
+        core::analyzeRun(perpetual, completed, outcomes, config,
+                         analysis);
+        if (!config.capturePath.empty())
+            analysis.captureBytes = fileBytes(config.capturePath);
+        out.analysis = std::move(analysis);
+    }
+    return out;
+}
+
+} // namespace perple::supervise

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Supervised perpetual-harness execution: runPerpetual with the
+ * execution phase contained in a sandboxed child process.
+ *
+ * The parent maps a RunRegion, forks, and the child runs the test
+ * directly into the shared mapping while publishing per-thread
+ * progress watermarks. Analysis (outcome counting) always happens in
+ * the parent over the region snapshot, so a child that times out or
+ * crashes after completing part of the run still yields counts over
+ * its salvaged prefix — work is degraded, never lost. When a capture
+ * path is configured the child owns the trace writer and its signal
+ * handlers flush a partial run group on the way down; the parent (or
+ * any later reader in salvage mode) recovers the prefix.
+ */
+
+#ifndef PERPLE_SUPERVISE_RUN_H
+#define PERPLE_SUPERVISE_RUN_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "perple/harness.h"
+#include "supervise/supervise.h"
+
+namespace perple::supervise
+{
+
+/** Result of a supervised harness run. */
+struct SupervisedHarnessResult
+{
+    /** How the execution child ended (final attempt). */
+    ChildOutcome child;
+
+    /**
+     * Counting results over the analyzable prefix; absent when zero
+     * iterations completed (e.g. a crash before the first published
+     * iteration, or a simulator child killed before its single-shot
+     * publication). `analysis->iterations` is the prefix length, not
+     * the requested N, when the run was salvaged.
+     */
+    std::optional<core::HarnessResult> analysis;
+
+    /** Iterations analyzable from the region (== N when done). */
+    std::int64_t completedIterations = 0;
+
+    /** True when the child died early and a prefix was recovered. */
+    bool salvaged = false;
+
+    bool
+    ok() const
+    {
+        return child.ok();
+    }
+};
+
+/**
+ * Supervised counterpart of core::runPerpetual.
+ *
+ * @param perpetual A converted test (Converter output).
+ * @param iterations N.
+ * @param outcomes Outcomes of interest.
+ * @param config Harness configuration. capturePath, if set, is written
+ *        by the child (complete file on success, salvageable partial
+ *        capture on crash/timeout); the counting knobs and budgets run
+ *        in the parent.
+ * @param supervisor Watchdog, rlimits and retry policy.
+ * @param faultInjector Test hook: runs synchronously in the child
+ *        after the crash-flush handlers are armed and before the test
+ *        executes (an injector that spins hangs the child; one that
+ *        raises crashes it).
+ */
+SupervisedHarnessResult runPerpetualSupervised(
+    const core::PerpetualTest &perpetual, std::int64_t iterations,
+    const std::vector<litmus::Outcome> &outcomes,
+    const core::HarnessConfig &config,
+    const SupervisorConfig &supervisor,
+    const std::function<void()> &faultInjector = {});
+
+} // namespace perple::supervise
+
+#endif // PERPLE_SUPERVISE_RUN_H

@@ -1,0 +1,293 @@
+#include "supervise/supervise.h"
+
+#include <csignal>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timing.h"
+
+namespace perple::supervise
+{
+
+namespace
+{
+
+/** Child exit code meaning "allocation failed under the rlimit". */
+constexpr int kOomExitCode = 113;
+
+/** Child exit code meaning "uncaught exception (message on pipe)". */
+constexpr int kErrorExitCode = 114;
+
+/** Write all of @p data to @p fd, retrying on EINTR; best effort. */
+void
+writeAll(int fd, const char *data, std::size_t bytes)
+{
+    while (bytes > 0) {
+        const ssize_t n = ::write(fd, data, bytes);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Parent gone (EPIPE); nothing useful to do.
+        }
+        data += n;
+        bytes -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+applyLimit(int resource, std::uint64_t value)
+{
+    struct rlimit limit;
+    limit.rlim_cur = static_cast<rlim_t>(value);
+    limit.rlim_max = static_cast<rlim_t>(value);
+    ::setrlimit(resource, &limit); // Best effort; EPERM is survivable.
+}
+
+/** Child-side setup + body + _exit; never returns. */
+[[noreturn]] void
+runChildProcess(const ChildBody &body, const SupervisorConfig &config,
+                int payload_fd, int error_fd)
+{
+    // The parent may close its read ends at any time (after SIGKILL);
+    // a write must then fail with EPIPE, not kill the child with a
+    // misclassifiable SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    if (config.memLimitBytes > 0)
+        applyLimit(RLIMIT_AS, config.memLimitBytes);
+    if (config.cpuLimitSeconds > 0)
+        applyLimit(RLIMIT_CPU, static_cast<std::uint64_t>(
+                                   config.cpuLimitSeconds + 0.999));
+    // A crashing test must not litter the host with core dumps.
+    applyLimit(RLIMIT_CORE, 0);
+
+    try {
+        body([payload_fd](const std::string &bytes) {
+            writeAll(payload_fd, bytes.data(), bytes.size());
+        });
+    } catch (const std::bad_alloc &) {
+        ::_exit(kOomExitCode);
+    } catch (const std::exception &e) {
+        writeAll(error_fd, e.what(), std::strlen(e.what()));
+        ::_exit(kErrorExitCode);
+    } catch (...) {
+        const char what[] = "unknown exception";
+        writeAll(error_fd, what, sizeof(what) - 1);
+        ::_exit(kErrorExitCode);
+    }
+    ::_exit(0);
+}
+
+/** Drain whatever is readable from @p fd into @p sink (nonblocking). */
+void
+drainFd(int fd, std::string &sink)
+{
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n <= 0)
+            return; // EAGAIN, EOF or error: nothing more right now.
+        sink.append(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+void
+setNonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+ChildOutcome
+runAttempt(const ChildBody &body, const SupervisorConfig &config)
+{
+    int payload_pipe[2], error_pipe[2];
+    checkInternal(::pipe(payload_pipe) == 0 && ::pipe(error_pipe) == 0,
+                  "supervisor cannot create pipes");
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        for (const int fd : {payload_pipe[0], payload_pipe[1],
+                             error_pipe[0], error_pipe[1]})
+            ::close(fd);
+        fatal("supervisor cannot fork a child process");
+    }
+    if (pid == 0) {
+        ::close(payload_pipe[0]);
+        ::close(error_pipe[0]);
+        runChildProcess(body, config, payload_pipe[1], error_pipe[1]);
+    }
+
+    ::close(payload_pipe[1]);
+    ::close(error_pipe[1]);
+    setNonblocking(payload_pipe[0]);
+    setNonblocking(error_pipe[0]);
+
+    ChildOutcome outcome;
+    outcome.timeoutLimit = config.timeoutSeconds;
+
+    WallTimer timer;
+    bool sent_term = false, sent_kill = false, reaped = false;
+    int wait_status = 0;
+
+    // Poll loop: drain both pipes continuously (so the child can
+    // never block on a full pipe and a partial payload survives any
+    // death), reap without blocking, and escalate the watchdog.
+    while (!reaped) {
+        struct pollfd fds[2] = {{payload_pipe[0], POLLIN, 0},
+                                {error_pipe[0], POLLIN, 0}};
+        ::poll(fds, 2, /*ms=*/10);
+        drainFd(payload_pipe[0], outcome.payload);
+        drainFd(error_pipe[0], outcome.error);
+
+        const pid_t r = ::waitpid(pid, &wait_status, WNOHANG);
+        if (r == pid) {
+            reaped = true;
+            break;
+        }
+        if (r < 0 && errno != EINTR)
+            break; // Lost: nothing left to reap.
+
+        const double elapsed = timer.elapsedSeconds();
+        if (config.timeoutSeconds > 0 && !sent_term &&
+            elapsed > config.timeoutSeconds) {
+            ::kill(pid, SIGTERM);
+            sent_term = true;
+        }
+        if (sent_term && !sent_kill &&
+            elapsed > config.timeoutSeconds + config.graceSeconds) {
+            ::kill(pid, SIGKILL);
+            sent_kill = true;
+        }
+    }
+    // The pipes may still hold bytes buffered past the child's death.
+    drainFd(payload_pipe[0], outcome.payload);
+    drainFd(error_pipe[0], outcome.error);
+    outcome.seconds = timer.elapsedSeconds();
+    ::close(payload_pipe[0]);
+    ::close(error_pipe[0]);
+
+    if (!reaped) {
+        outcome.status = ChildStatus::Lost;
+        return outcome;
+    }
+
+    if (WIFEXITED(wait_status)) {
+        outcome.exitCode = WEXITSTATUS(wait_status);
+        if (outcome.exitCode == 0)
+            outcome.status = ChildStatus::Ok;
+        else if (outcome.exitCode == kOomExitCode)
+            outcome.status = ChildStatus::Oom;
+        else
+            outcome.status = ChildStatus::Crash;
+    } else if (WIFSIGNALED(wait_status)) {
+        outcome.signal = WTERMSIG(wait_status);
+        if (sent_term || outcome.signal == SIGXCPU)
+            outcome.status = ChildStatus::Timeout;
+        else
+            outcome.status = ChildStatus::Crash;
+    } else {
+        outcome.status = ChildStatus::Lost;
+    }
+    return outcome;
+}
+
+} // namespace
+
+const char *
+childStatusName(ChildStatus status)
+{
+    switch (status) {
+      case ChildStatus::Ok: return "ok";
+      case ChildStatus::Timeout: return "timeout";
+      case ChildStatus::Crash: return "crash";
+      case ChildStatus::Oom: return "oom";
+      case ChildStatus::Lost: return "lost";
+    }
+    return "?";
+}
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGTERM: return "SIGTERM";
+      case SIGKILL: return "SIGKILL";
+      case SIGSEGV: return "SIGSEGV";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGILL: return "SIGILL";
+      case SIGABRT: return "SIGABRT";
+      case SIGXCPU: return "SIGXCPU";
+      default: return format("signal %d", sig);
+    }
+}
+
+std::string
+ChildOutcome::describe() const
+{
+    switch (status) {
+      case ChildStatus::Ok:
+        return "ok";
+      case ChildStatus::Timeout:
+        return timeoutLimit > 0
+                   ? format("timeout (exceeded %gs watchdog)",
+                            timeoutLimit)
+                   : "timeout (CPU rlimit exceeded)";
+      case ChildStatus::Crash:
+        if (signal != 0)
+            return format("crash (%s)", signalName(signal).c_str());
+        if (!error.empty())
+            return format("crash (uncaught exception: %s)",
+                          error.c_str());
+        return format("crash (exit %d)", exitCode);
+      case ChildStatus::Oom:
+        return "oom (allocation failed under the memory limit)";
+      case ChildStatus::Lost:
+        return "lost (child could not be reaped)";
+    }
+    return "?";
+}
+
+ChildOutcome
+runSupervised(const ChildBody &body, const SupervisorConfig &config,
+              const std::function<void()> &beforeAttempt)
+{
+    checkUser(config.timeoutSeconds >= 0 && config.graceSeconds >= 0 &&
+                  config.cpuLimitSeconds >= 0 && config.retries >= 0 &&
+                  config.retryBackoffSeconds >= 0,
+              "supervisor limits must be non-negative");
+
+    // Shared thread pools must not leave a forked child waiting on
+    // workers that do not exist there (see ThreadPool docs).
+    common::ThreadPool::installForkHandlers();
+
+    const int attempts = 1 + config.retries;
+    ChildOutcome outcome;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0 && config.retryBackoffSeconds > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(
+                    config.retryBackoffSeconds * attempt));
+        if (beforeAttempt)
+            beforeAttempt();
+        outcome = runAttempt(body, config);
+        outcome.attempts = attempt + 1;
+        if (outcome.ok())
+            break;
+    }
+    return outcome;
+}
+
+} // namespace perple::supervise

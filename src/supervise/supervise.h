@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Child-process execution sandbox: fault containment for runs and
+ * campaigns.
+ *
+ * PerpLE's value proposition is long free-running campaigns, and a
+ * production harness must survive its own tests: one livelocked spin
+ * barrier, one crashing generated test or one N^{T_L} exhaustive
+ * blowup must not take down the service and lose all completed work.
+ * runSupervised() forks the work into a child process, applies rlimit
+ * memory/CPU caps there, arms a wall-clock watchdog in the parent
+ * (SIGTERM, a grace period, then SIGKILL) and classifies how the child
+ * ended:
+ *
+ *   Ok       exited 0.
+ *   Timeout  the watchdog fired, or the kernel delivered SIGXCPU for
+ *            the CPU rlimit.
+ *   Crash    terminated by any other signal, or exited nonzero
+ *            (including an uncaught C++ exception, whose message is
+ *            relayed over a pipe).
+ *   Oom      an allocation failed under the memory rlimit
+ *            (std::bad_alloc in the child).
+ *   Lost     the child could not be reaped (host-level failure).
+ *
+ * A bounded deterministic retry (same inputs, fresh child, configurable
+ * attempt count with backoff) distinguishes transient host noise from
+ * reproducible failures. The child streams opaque payload bytes to the
+ * parent over a pipe; the parent drains continuously, so a partial
+ * payload survives any death and a full pipe can never deadlock the
+ * child.
+ */
+
+#ifndef PERPLE_SUPERVISE_SUPERVISE_H
+#define PERPLE_SUPERVISE_SUPERVISE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace perple::supervise
+{
+
+/** How a supervised child ended; see file comment. */
+enum class ChildStatus
+{
+    Ok,
+    Timeout,
+    Crash,
+    Oom,
+    Lost,
+};
+
+/** Stable lower-case name ("ok", "timeout", "crash", ...). */
+const char *childStatusName(ChildStatus status);
+
+/** "SIGSEGV" for the signals tests die of; "signal N" otherwise. */
+std::string signalName(int sig);
+
+/** Supervisor knobs; the defaults supervise without limits. */
+struct SupervisorConfig
+{
+    /** Wall-clock watchdog per attempt, seconds (0 = none). */
+    double timeoutSeconds = 0;
+
+    /** SIGTERM-to-SIGKILL escalation grace, seconds. */
+    double graceSeconds = 0.5;
+
+    /** Child address-space cap (RLIMIT_AS), bytes (0 = none). */
+    std::uint64_t memLimitBytes = 0;
+
+    /** Child CPU-time cap (RLIMIT_CPU), seconds (0 = none). */
+    double cpuLimitSeconds = 0;
+
+    /**
+     * Extra attempts after a non-Ok outcome. Each retry re-runs the
+     * identical body in a fresh child, so a failure that survives all
+     * attempts is reproducible rather than host noise.
+     */
+    int retries = 0;
+
+    /** Sleep between attempts, seconds (scaled by the attempt no.). */
+    double retryBackoffSeconds = 0.05;
+};
+
+/** Classified result of the final attempt. */
+struct ChildOutcome
+{
+    ChildStatus status = ChildStatus::Lost;
+
+    /** Terminating signal (Crash/Timeout by signal), else 0. */
+    int signal = 0;
+
+    /** Exit code when the child exited normally, else -1. */
+    int exitCode = -1;
+
+    /** Attempts consumed (1 = no retry was needed). */
+    int attempts = 0;
+
+    /** Wall seconds of the final attempt. */
+    double seconds = 0;
+
+    /** Payload bytes the child streamed (may be a partial prefix). */
+    std::string payload;
+
+    /** Uncaught-exception message relayed by the child, if any. */
+    std::string error;
+
+    /** The configured watchdog limit, echoed for reporting. */
+    double timeoutLimit = 0;
+
+    bool
+    ok() const
+    {
+        return status == ChildStatus::Ok;
+    }
+
+    /**
+     * One-line classification, e.g. "crash (SIGSEGV)" or "timeout
+     * (exceeded 2s watchdog)". Deterministic in (status, signal,
+     * exitCode, error, configured limit) — never includes measured
+     * times, so supervised fuzz reports stay bit-identical.
+     */
+    std::string describe() const;
+};
+
+/**
+ * The supervised work: runs in the forked child; every string passed
+ * to @p emit is streamed to the parent and lands in
+ * ChildOutcome::payload.
+ */
+using ChildBody =
+    std::function<void(const std::function<void(const std::string &)>
+                           &emit)>;
+
+/**
+ * Run @p body in a supervised child process.
+ *
+ * @param body The work; see ChildBody. The child never returns to the
+ *        caller: it _exits after the body (destructors are skipped,
+ *        matching the crash-containment contract).
+ * @param config Watchdog, rlimits and retry policy.
+ * @param beforeAttempt Parent-side hook invoked before every attempt
+ *        (including the first) — the place to reset shared-memory
+ *        result regions between retries.
+ * @return The classified outcome of the final attempt.
+ */
+ChildOutcome runSupervised(
+    const ChildBody &body, const SupervisorConfig &config,
+    const std::function<void()> &beforeAttempt = {});
+
+} // namespace perple::supervise
+
+#endif // PERPLE_SUPERVISE_SUPERVISE_H

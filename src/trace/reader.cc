@@ -142,18 +142,29 @@ TraceReader::parse(const ReaderOptions &options)
     };
     State state = State::ExpectMeta;
     bool sawEnd = false;
+    bool stopped = false; // salvage: the walk hit the torn tail
     std::uint64_t pos = kFileHeaderBytes;
     Run *run = nullptr;
 
     while (!sawEnd) {
-        if (pos + kSectionHeaderBytes > fileBytes_)
+        if (pos + kSectionHeaderBytes > fileBytes_) {
+            if (options.salvage) {
+                stopped = true;
+                break;
+            }
             fail("truncated: section header overruns the file (no End "
                  "marker)");
+        }
         const unsigned char *header = map_ + pos;
-        if (crc32c(0, header, 36) != getU32(header + 36))
+        if (crc32c(0, header, 36) != getU32(header + 36)) {
+            if (options.salvage) {
+                stopped = true;
+                break;
+            }
             fail(format("section header checksum mismatch at offset "
                         "%llu (corrupt file)",
                         static_cast<unsigned long long>(pos)));
+        }
         const std::uint32_t kind_raw = getU32(header);
         const std::uint32_t flags = getU32(header + 4);
         const std::uint64_t payload_bytes = getU64(header + 8);
@@ -164,13 +175,23 @@ TraceReader::parse(const ReaderOptions &options)
             header + kSectionHeaderBytes;
 
         if (payload_bytes > fileBytes_ ||
-            pos + kSectionHeaderBytes + payload_bytes > fileBytes_)
+            pos + kSectionHeaderBytes + payload_bytes > fileBytes_) {
+            if (options.salvage) {
+                stopped = true;
+                break;
+            }
             fail("truncated: section payload overruns the file");
+        }
         if (options.verifyChecksums &&
-            crc32c(0, payload, payload_bytes) != payload_crc)
+            crc32c(0, payload, payload_bytes) != payload_crc) {
+            if (options.salvage) {
+                stopped = true;
+                break;
+            }
             fail(format("section payload checksum mismatch at offset "
                         "%llu (corrupt file)",
                         static_cast<unsigned long long>(pos)));
+        }
         pos += kSectionHeaderBytes + payload_bytes +
                (8 - payload_bytes % 8) % 8;
 
@@ -255,9 +276,23 @@ TraceReader::parse(const ReaderOptions &options)
                         static_cast<unsigned>(kind_raw)));
         }
     }
-    if (pos != fileBytes_)
+    if (stopped) {
+        // Torn tail. Everything parsed so far passed full validation;
+        // decide what to keep of the open run group, if any.
+        if (state == State::ExpectMeta)
+            fail("truncated before a complete Meta section (nothing "
+                 "to salvage)");
+        if (state == State::InBufs)
+            runs_.pop_back(); // Missing bufs: the run is unusable.
+        // AfterBufs / AfterMemory: keep the run; its bufs are whole
+        // and its memory/stats stay default (empty / zero) — exactly
+        // what a crashing child's partial flush produces.
+        complete_ = false;
+        return;
+    }
+    if (pos != fileBytes_ && !options.salvage)
         fail("trailing bytes after the End marker");
-    if (runs_.empty())
+    if (runs_.empty() && !options.salvage)
         fail("no captured runs (empty-run captures are invalid)");
 }
 

@@ -35,6 +35,19 @@ struct ReaderOptions
      * only saves one sequential sweep over the mapping.
      */
     bool verifyChecksums = true;
+
+    /**
+     * Salvage mode: recover the valid prefix of a capture whose
+     * writer died (crash, OOM kill, watchdog SIGKILL) instead of
+     * rejecting the file. The walk stops at the first truncated or
+     * checksum-failing section; a trailing run group with all bufs
+     * but no Memory/Stats is kept (empty memory, zero stats), one
+     * missing bufs is dropped, and both the End marker and the
+     * at-least-one-run rule are waived. Every section that IS
+     * returned passed the same validation as in strict mode, so
+     * salvaged prefixes re-count bit-identically to the live run.
+     */
+    bool salvage = false;
 };
 
 /** Read-only view of one opened `.plt` file. */
@@ -113,6 +126,17 @@ class TraceReader
         return zeroCopy_;
     }
 
+    /**
+     * True when the file ended with a valid End marker (a finished
+     * capture). Always true in strict mode (anything else throws);
+     * false for a salvaged partial capture.
+     */
+    bool
+    complete() const
+    {
+        return complete_;
+    }
+
     /** Total file size in bytes. */
     std::uint64_t
     fileBytes() const
@@ -174,6 +198,7 @@ class TraceReader
     std::vector<std::vector<litmus::Value>> decoded_;
 
     bool zeroCopy_ = true;
+    bool complete_ = true;
     std::uint64_t bufPayloadBytes_ = 0;
     std::uint64_t bufValueBytes_ = 0;
 };

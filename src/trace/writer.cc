@@ -54,6 +54,10 @@ TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
     const std::string payload = serializeMeta(meta);
     writeSection(SectionKind::Meta, 0, 0, 0, payload.data(),
                  payload.size());
+    // Make the header and Meta durable before any run executes: a
+    // capture whose writer is later killed mid-run must still open in
+    // salvage mode, which requires a complete Meta on disk.
+    std::fflush(file_);
 }
 
 TraceWriter::~TraceWriter()
@@ -191,6 +195,13 @@ TraceWriter::finish()
     checkUser(std::fflush(file_) == 0,
               format("cannot flush trace file %s", path_.c_str()));
     state_ = State::Finished;
+}
+
+void
+TraceWriter::flushToDisk()
+{
+    if (file_ != nullptr)
+        std::fflush(file_);
 }
 
 void

@@ -75,6 +75,15 @@ class TraceWriter
      */
     void finish();
 
+    /**
+     * Flush buffered bytes to the OS without finishing the file. A
+     * crashing child calls this from its signal handler after writing
+     * a partial run group so the parent's salvage reader sees every
+     * complete section written so far (the file still has no End
+     * marker and only passes readers in salvage mode).
+     */
+    void flushToDisk();
+
     /** Bytes written so far (header + sections + padding). */
     std::uint64_t
     bytesWritten() const

@@ -8,12 +8,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -298,6 +302,97 @@ TEST(TimingTest, FormatDuration)
     EXPECT_EQ(formatDuration(3000000000LL), "3.000 s");
 }
 
+// ----------------------- CLI argument parsing -----------------------
+
+TEST(CliTest, ParseIntArgStrict)
+{
+    EXPECT_EQ(common::parseIntArg("-n", "42", 1, 100), 42);
+    EXPECT_EQ(common::parseIntArg("-n", "-3", -10, 100), -3);
+    EXPECT_THROW(common::parseIntArg("-n", "", 0, 9), UserError);
+    EXPECT_THROW(common::parseIntArg("-n", "abc", 0, 9), UserError);
+    EXPECT_THROW(common::parseIntArg("-n", "4x", 0, 9), UserError);
+    EXPECT_THROW(common::parseIntArg("-n", "4.5", 0, 9), UserError);
+    EXPECT_THROW(common::parseIntArg("-n", "10", 0, 9), UserError);
+    EXPECT_THROW(common::parseIntArg("-n", "0", 1, 9), UserError);
+    EXPECT_THROW(common::parseIntArg(
+                     "-n", "99999999999999999999999999", 0, 9),
+                 UserError);
+    // The thrown message names the flag and the offending value.
+    try {
+        common::parseIntArg("--jobs", "banana", 0, 9);
+        FAIL() << "no exception";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("--jobs"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("banana"),
+                  std::string::npos);
+    }
+}
+
+TEST(CliTest, ParseSeedArgFullRange)
+{
+    EXPECT_EQ(common::parseSeedArg("--seed", "0"), 0u);
+    EXPECT_EQ(common::parseSeedArg("--seed", "18446744073709551615"),
+              18446744073709551615ull);
+    EXPECT_THROW(common::parseSeedArg("--seed", "-1"), UserError);
+    EXPECT_THROW(common::parseSeedArg("--seed", "seed"), UserError);
+}
+
+TEST(CliTest, ParseSecondsArgRejectsNegatives)
+{
+    EXPECT_DOUBLE_EQ(common::parseSecondsArg("--timeout", "2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(common::parseSecondsArg("--timeout", "0"), 0.0);
+    EXPECT_THROW(common::parseSecondsArg("--timeout", "-1"),
+                 UserError);
+    EXPECT_THROW(common::parseSecondsArg("--timeout", "fast"),
+                 UserError);
+    EXPECT_THROW(common::parseSecondsArg("--timeout", "1s"),
+                 UserError);
+}
+
+TEST(CliTest, ParseBytesArgSuffixes)
+{
+    EXPECT_EQ(common::parseBytesArg("--mem-limit", "1024"), 1024u);
+    EXPECT_EQ(common::parseBytesArg("--mem-limit", "4K"), 4096u);
+    EXPECT_EQ(common::parseBytesArg("--mem-limit", "2m"),
+              2u * 1024 * 1024);
+    EXPECT_EQ(common::parseBytesArg("--mem-limit", "3G"),
+              3ull * 1024 * 1024 * 1024);
+    EXPECT_THROW(common::parseBytesArg("--mem-limit", "-1"),
+                 UserError);
+    EXPECT_THROW(common::parseBytesArg("--mem-limit", "1T"),
+                 UserError);
+    EXPECT_THROW(common::parseBytesArg("--mem-limit", "lots"),
+                 UserError);
+    // 2^63 KiB overflows u64.
+    EXPECT_THROW(common::parseBytesArg("--mem-limit",
+                                       "18446744073709551615K"),
+                 UserError);
+}
+
+TEST(CliTest, EnsureWritableDirCreatesAndRejects)
+{
+    namespace fs = std::filesystem;
+    const fs::path root = fs::path(::testing::TempDir()) /
+                          "cli_test_out" / "nested";
+    fs::remove_all(root.parent_path());
+    EXPECT_NO_THROW(common::ensureWritableDir("--out", root.string()));
+    EXPECT_TRUE(fs::is_directory(root));
+    // Idempotent on an existing directory.
+    EXPECT_NO_THROW(common::ensureWritableDir("--out", root.string()));
+
+    // A path that exists as a regular file is rejected.
+    const fs::path file = root / "occupied";
+    { std::ofstream(file.string()) << "x"; }
+    EXPECT_THROW(common::ensureWritableDir("--out", file.string()),
+                 UserError);
+    EXPECT_THROW(
+        common::ensureWritableParent(
+            "--out", (file / "child.plt").string()),
+        UserError);
+    fs::remove_all(root.parent_path());
+}
+
 // ------------------------- thread pool ------------------------------
 
 TEST(ThreadPoolTest, CoversRangeExactlyOnce)
@@ -425,6 +520,55 @@ TEST(ThreadPoolTest, SharedPoolIsReused)
 TEST(ThreadPoolTest, RejectsZeroThreadConstruction)
 {
     EXPECT_THROW(common::ThreadPool(0), UserError);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAndStaysUsable)
+{
+    // An exception in one chunk must surface to the caller after all
+    // chunks complete — and must not wedge the pool: the next
+    // parallelFor on the same pool has to run normally. This is the
+    // regression guard for supervised children, which reuse the
+    // shared pool after a counting phase aborts.
+    common::ThreadPool pool(3);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [](std::size_t, std::int64_t begin,
+                            std::int64_t) {
+                             if (begin == 0)
+                                 throw std::runtime_error("chunk 0");
+                         }),
+        std::runtime_error);
+
+    std::atomic<int> covered{0};
+    pool.parallelFor(0, 100, 1,
+                     [&](std::size_t, std::int64_t begin,
+                         std::int64_t end) {
+                         covered.fetch_add(
+                             static_cast<int>(end - begin));
+                     });
+    EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ThreadPoolTest, EveryChunkRunsDespiteAnEarlyThrow)
+{
+    // "After all chunks have completed" is load-bearing: sharded
+    // counters merge partials even when one shard throws, so a chunk
+    // must never be silently dropped.
+    common::ThreadPool pool(4);
+    std::atomic<int> covered{0};
+    try {
+        pool.parallelFor(0, 400, 1,
+                         [&](std::size_t shard, std::int64_t begin,
+                             std::int64_t end) {
+                             covered.fetch_add(
+                                 static_cast<int>(end - begin));
+                             if (shard == 1)
+                                 throw std::runtime_error("shard 1");
+                         });
+        FAIL() << "exception was swallowed";
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(covered.load(), 400);
 }
 
 // --------------------------- logging --------------------------------

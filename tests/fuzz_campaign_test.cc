@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -84,6 +85,141 @@ TEST(FuzzCampaignTest, ReportIsJobCountInvariant)
         EXPECT_TRUE(serial.failures[i].shrunk ==
                     sharded.failures[i].shrunk);
     }
+}
+
+// ----------------------- supervised campaigns -----------------------
+
+/** RAII environment variable for the fault-injection hooks. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name_(name)
+    {
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+TEST(SupervisedCampaignTest, CleanCampaignsMatchInProcessRun)
+{
+    CampaignConfig config;
+    config.seed = 9;
+    config.campaigns = 10;
+
+    const CampaignReport plain = runCampaign(config);
+
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 60;
+    const CampaignReport supervised = runCampaign(config);
+
+    EXPECT_EQ(supervised.campaignsRun, plain.campaignsRun);
+    EXPECT_EQ(supervised.failures.size(), plain.failures.size());
+    EXPECT_EQ(supervised.timeouts, 0);
+    EXPECT_EQ(supervised.crashes, 0);
+    EXPECT_EQ(supervised.ooms, 0);
+}
+
+TEST(SupervisedCampaignTest, InjectedHangBecomesTimeoutDivergence)
+{
+    ScopedEnv inject("PERPLE_FUZZ_INJECT_HANG", "2");
+    CampaignConfig config;
+    config.seed = 9;
+    config.campaigns = 4;
+    config.shrink = false;
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 0.5;
+    config.supervisor.graceSeconds = 0.2;
+
+    const CampaignReport report = runCampaign(config);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.timeouts, 1);
+    EXPECT_EQ(report.crashes, 0);
+    ASSERT_EQ(report.failures.size(), 1u);
+    const CampaignFailure &failure = report.failures[0];
+    EXPECT_EQ(failure.campaign, 2);
+    EXPECT_EQ(failure.divergence.check, Check::Supervision);
+    EXPECT_EQ(failure.childStatus, supervise::ChildStatus::Timeout);
+    EXPECT_NE(failure.divergence.detail.find("timeout"),
+              std::string::npos);
+}
+
+TEST(SupervisedCampaignTest, InjectedCrashBecomesCrashDivergence)
+{
+    ScopedEnv inject("PERPLE_FUZZ_INJECT_CRASH", "1");
+    CampaignConfig config;
+    config.seed = 9;
+    config.campaigns = 3;
+    config.shrink = false;
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 30;
+
+    const CampaignReport report = runCampaign(config);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.crashes, 1);
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].campaign, 1);
+    EXPECT_EQ(report.failures[0].divergence.check,
+              Check::Supervision);
+    EXPECT_EQ(report.failures[0].childStatus,
+              supervise::ChildStatus::Crash);
+}
+
+TEST(SupervisedCampaignTest, SupervisedReportIsJobCountInvariant)
+{
+    // Supervision (fork + pipes + watchdog) must not perturb the
+    // deterministic report: same failures, same order, same counters
+    // for every worker count — including a synthesized divergence.
+    ScopedEnv inject("PERPLE_FUZZ_INJECT_CRASH", "3");
+    CampaignConfig config;
+    config.seed = 5;
+    config.campaigns = 8;
+    config.shrink = false;
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 30;
+
+    config.jobs = 1;
+    const CampaignReport serial = runCampaign(config);
+    config.jobs = 3;
+    const CampaignReport sharded = runCampaign(config);
+
+    EXPECT_EQ(serial.campaignsRun, sharded.campaignsRun);
+    EXPECT_EQ(serial.timeouts, sharded.timeouts);
+    EXPECT_EQ(serial.crashes, sharded.crashes);
+    EXPECT_EQ(serial.crashes, 1);
+    ASSERT_EQ(serial.failures.size(), sharded.failures.size());
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+        EXPECT_EQ(serial.failures[i].campaign,
+                  sharded.failures[i].campaign);
+        EXPECT_EQ(serial.failures[i].divergence.check,
+                  sharded.failures[i].divergence.check);
+        EXPECT_EQ(serial.failures[i].divergence.detail,
+                  sharded.failures[i].divergence.detail);
+        EXPECT_TRUE(serial.failures[i].shrunk ==
+                    sharded.failures[i].shrunk);
+    }
+}
+
+TEST(SupervisedCampaignTest, ShrinkPreservesSupervisionFailures)
+{
+    // With shrinking on, the reproducer for a crash divergence must
+    // still crash — the shrink predicate re-runs the battery
+    // supervised and requires the same child status.
+    ScopedEnv inject("PERPLE_FUZZ_INJECT_CRASH", "1");
+    CampaignConfig config;
+    config.seed = 9;
+    config.campaigns = 2;
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 30;
+
+    const CampaignReport report = runCampaign(config);
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].divergence.check,
+              Check::Supervision);
+    // The shrunk test is still a valid, writable litmus test.
+    EXPECT_FALSE(litmus::writeTest(report.failures[0].shrunk).empty());
 }
 
 TEST(FuzzCampaignTest, CampaignSeedsAreStableAndDistinct)

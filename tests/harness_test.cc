@@ -71,6 +71,70 @@ TEST(HarnessTest, ExhaustiveCapLimitsFrameSpace)
     EXPECT_TRUE(result.heuristic.has_value());
 }
 
+TEST(HarnessTest, TimeBudgetDowngradesExhaustiveToHeuristic)
+{
+    // An impossible budget: the probe's projection must exceed it, so
+    // the exhaustive COUNT is skipped and the heuristic runs in its
+    // place even though runHeuristic is off.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.runHeuristic = false;
+    config.countTimeBudgetSeconds = 1e-9;
+    const auto result = runPerpetual(perpetual, 20000,
+                                     {entry.test.target}, config);
+    EXPECT_TRUE(result.exhaustiveDowngraded);
+    EXPECT_FALSE(result.exhaustive.has_value());
+    EXPECT_EQ(result.exhaustiveIterations, 0);
+    ASSERT_TRUE(result.heuristic.has_value());
+    EXPECT_FALSE(result.downgradeReason.empty());
+    // Deterministic reason: projections, not measured times.
+    EXPECT_NE(result.downgradeReason.find("COUNTH"),
+              std::string::npos);
+}
+
+TEST(HarnessTest, GenerousTimeBudgetLeavesExhaustiveAlone)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.countTimeBudgetSeconds = 1e9;
+    const auto result = runPerpetual(perpetual, 20000,
+                                     {entry.test.target}, config);
+    EXPECT_FALSE(result.exhaustiveDowngraded);
+    EXPECT_TRUE(result.exhaustive.has_value());
+    EXPECT_TRUE(result.downgradeReason.empty());
+}
+
+TEST(HarnessTest, SmallRunsSkipTheBudgetProbe)
+{
+    // Runs at or below 4x the probe size never downgrade: the probe
+    // would measure most of the work anyway.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.countTimeBudgetSeconds = 1e-9;
+    const auto result = runPerpetual(perpetual, 200,
+                                     {entry.test.target}, config);
+    EXPECT_FALSE(result.exhaustiveDowngraded);
+    EXPECT_TRUE(result.exhaustive.has_value());
+}
+
+TEST(HarnessTest, MemBudgetRejectsOversizedRuns)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    HarnessConfig config = simConfig();
+    config.memBudgetBytes = 1024;
+    EXPECT_THROW(runPerpetual(perpetual, 1'000'000,
+                              {entry.test.target}, config),
+                 perple::UserError);
+    // Within budget: runs normally.
+    config.memBudgetBytes = 64 * 1024 * 1024;
+    EXPECT_NO_THROW(runPerpetual(perpetual, 500, {entry.test.target},
+                                 config));
+}
+
 TEST(HarnessTest, DeterministicUnderSeed)
 {
     const auto &entry = litmus::findTest("sb");

@@ -263,5 +263,42 @@ TEST(NativeRunnerTest, RejectsBadArguments)
                  perple::UserError);
 }
 
+TEST(BarrierTest, PollingFailsafeBailsOutInsteadOfHanging)
+{
+    // One thread alone at a two-thread polling barrier: without the
+    // failsafe this would spin forever (the livelock a dead peer
+    // causes in a real run). It must bail out within the cap, poison
+    // the barrier, and make every later wait a no-op.
+    for (const SyncMode mode :
+         {SyncMode::User, SyncMode::UserFence, SyncMode::Timebase}) {
+        auto barrier = makeBarrier(mode, 2, /*timebase_interval=*/512,
+                                   /*failsafe_seconds=*/0.05);
+        barrier->wait(0);
+        EXPECT_EQ(barrier->bailouts(), 1u) << syncModeName(mode);
+        barrier->wait(0); // poisoned: returns immediately
+        EXPECT_EQ(barrier->bailouts(), 1u) << syncModeName(mode);
+    }
+}
+
+TEST(BarrierTest, NonPollingModesReportNoBailouts)
+{
+    EXPECT_EQ(makeBarrier(SyncMode::None, 2)->bailouts(), 0u);
+    auto barrier = makeBarrier(SyncMode::Pthread, 1);
+    barrier->wait(0);
+    EXPECT_EQ(barrier->bailouts(), 0u);
+}
+
+TEST(NativeRunnerTest, BarrierBailoutsSurfaceInRunStats)
+{
+    // A clean run must report zero bailouts; the counter is the
+    // observable for supervised salvage diagnostics.
+    const auto &sb = litmus::findTest("sb").test;
+    NativeConfig config;
+    config.mode = SyncMode::User;
+    const auto result =
+        runNative(originalPrograms(sb), sb.numLocations(), 50, config);
+    EXPECT_EQ(result.stats.barrierBailouts, 0u);
+}
+
 } // namespace
 } // namespace perple::runtime

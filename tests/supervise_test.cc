@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tests for the supervised-execution sandbox (src/supervise/): child
+ * outcome classification (clean exit, watchdog timeout with SIGKILL
+ * escalation, crash signals, rlimit OOM, relayed exceptions), bounded
+ * deterministic retry, and the supervised harness path — bit-identity
+ * with the unsupervised harness, fault injection, and crash salvage of
+ * both the shared-memory region prefix and the partial `.plt` capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+#include "perple/perpetual_outcome.h"
+#include "supervise/run.h"
+#include "supervise/supervise.h"
+#include "trace/reader.h"
+
+// The OOM test allocates under RLIMIT_AS, which sanitizer runtimes
+// need for shadow memory; detect them so the test can accept the
+// sanitizer's abort in place of a clean bad_alloc.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define PERPLE_UNDER_SANITIZER 1
+#endif
+#endif
+#if !defined(PERPLE_UNDER_SANITIZER) && defined(__SANITIZE_ADDRESS__)
+#define PERPLE_UNDER_SANITIZER 1
+#endif
+
+namespace perple::supervise
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+/** Spin without UB: an observable-effect loop the watchdog must end. */
+[[noreturn]] void
+hangForever()
+{
+    for (;;)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+TEST(SupervisorTest, CleanRunStreamsPayload)
+{
+    SupervisorConfig config;
+    const ChildOutcome outcome = runSupervised(
+        [](const auto &emit) {
+            emit("hello ");
+            emit("world");
+        },
+        config);
+    EXPECT_EQ(outcome.status, ChildStatus::Ok);
+    EXPECT_EQ(outcome.exitCode, 0);
+    EXPECT_EQ(outcome.attempts, 1);
+    EXPECT_EQ(outcome.payload, "hello world");
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.describe(), "ok");
+}
+
+TEST(SupervisorTest, WatchdogTimesOutAndRetries)
+{
+    SupervisorConfig config;
+    config.timeoutSeconds = 0.2;
+    config.graceSeconds = 0.1;
+    config.retries = 1;
+    config.retryBackoffSeconds = 0.01;
+    const ChildOutcome outcome =
+        runSupervised([](const auto &) { hangForever(); }, config);
+    EXPECT_EQ(outcome.status, ChildStatus::Timeout);
+    EXPECT_EQ(outcome.attempts, 2);
+    EXPECT_NE(outcome.describe().find("timeout"), std::string::npos);
+    // The limit is echoed for deterministic reporting.
+    EXPECT_DOUBLE_EQ(outcome.timeoutLimit, 0.2);
+}
+
+TEST(SupervisorTest, SigkillEscalationDefeatsTermIgnorers)
+{
+    SupervisorConfig config;
+    config.timeoutSeconds = 0.2;
+    config.graceSeconds = 0.1;
+    const ChildOutcome outcome = runSupervised(
+        [](const auto &) {
+            std::signal(SIGTERM, SIG_IGN);
+            hangForever();
+        },
+        config);
+    EXPECT_EQ(outcome.status, ChildStatus::Timeout);
+    EXPECT_EQ(outcome.signal, SIGKILL);
+}
+
+TEST(SupervisorTest, CrashSignalClassified)
+{
+    SupervisorConfig config;
+    const ChildOutcome outcome = runSupervised(
+        [](const auto &) { std::raise(SIGSEGV); }, config);
+    EXPECT_EQ(outcome.status, ChildStatus::Crash);
+    // Under ASan the segv interceptor reports and _exits nonzero
+    // instead of dying of the signal; either is a classified crash.
+    EXPECT_TRUE(outcome.signal == SIGSEGV || outcome.exitCode != 0);
+    if (outcome.signal == SIGSEGV) {
+        EXPECT_NE(outcome.describe().find("SIGSEGV"),
+                  std::string::npos);
+    }
+}
+
+TEST(SupervisorTest, UncaughtExceptionRelayed)
+{
+    SupervisorConfig config;
+    const ChildOutcome outcome = runSupervised(
+        [](const auto &) {
+            throw std::runtime_error("oracle exploded");
+        },
+        config);
+    EXPECT_EQ(outcome.status, ChildStatus::Crash);
+    EXPECT_NE(outcome.error.find("oracle exploded"),
+              std::string::npos);
+    EXPECT_NE(outcome.describe().find("oracle exploded"),
+              std::string::npos);
+}
+
+TEST(SupervisorTest, MemoryLimitClassifiedAsOom)
+{
+    SupervisorConfig config;
+    config.memLimitBytes = 256ull * 1024 * 1024;
+    const ChildOutcome outcome = runSupervised(
+        [](const auto &emit) {
+            // Touch every page so the allocation is real.
+            std::vector<char> hog(512ull * 1024 * 1024, 1);
+            emit(std::string(1, hog[hog.size() / 2]));
+        },
+        config);
+#if defined(PERPLE_UNDER_SANITIZER)
+    // Sanitizer shadow setup under RLIMIT_AS dies its own way.
+    EXPECT_NE(outcome.status, ChildStatus::Ok);
+#else
+    EXPECT_EQ(outcome.status, ChildStatus::Oom);
+    EXPECT_NE(outcome.describe().find("memory"), std::string::npos);
+#endif
+}
+
+TEST(SupervisorTest, RetrySucceedsOnSecondAttempt)
+{
+    // Shared flag: attempt 1 crashes, attempt 2 sees the flag and
+    // exits cleanly — the deterministic-retry path in one process.
+    auto *flag = static_cast<std::atomic<int> *>(
+        ::mmap(nullptr, sizeof(std::atomic<int>),
+               PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1,
+               0));
+    ASSERT_NE(flag, MAP_FAILED);
+    new (flag) std::atomic<int>(0);
+
+    SupervisorConfig config;
+    config.retries = 2;
+    config.retryBackoffSeconds = 0.01;
+    const ChildOutcome outcome = runSupervised(
+        [flag](const auto &emit) {
+            if (flag->fetch_add(1) == 0)
+                std::raise(SIGSEGV);
+            emit("recovered");
+        },
+        config);
+    EXPECT_EQ(outcome.status, ChildStatus::Ok);
+    EXPECT_EQ(outcome.attempts, 2);
+    EXPECT_EQ(outcome.payload, "recovered");
+    ::munmap(flag, sizeof(std::atomic<int>));
+}
+
+TEST(SupervisorTest, StatusNamesStable)
+{
+    EXPECT_STREQ(childStatusName(ChildStatus::Ok), "ok");
+    EXPECT_STREQ(childStatusName(ChildStatus::Timeout), "timeout");
+    EXPECT_STREQ(childStatusName(ChildStatus::Crash), "crash");
+    EXPECT_STREQ(childStatusName(ChildStatus::Oom), "oom");
+    EXPECT_STREQ(childStatusName(ChildStatus::Lost), "lost");
+    EXPECT_EQ(signalName(SIGSEGV), "SIGSEGV");
+}
+
+// --- Supervised harness runs. ---
+
+TEST(SupervisedHarnessTest, SimRunBitIdenticalToUnsupervised)
+{
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    const std::vector<litmus::Outcome> outcomes = {entry.test.target};
+    core::HarnessConfig config;
+    config.seed = 42;
+
+    const auto plain =
+        core::runPerpetual(perpetual, 4000, outcomes, config);
+
+    SupervisorConfig supervisor;
+    supervisor.timeoutSeconds = 60;
+    const auto sup = runPerpetualSupervised(perpetual, 4000, outcomes,
+                                            config, supervisor);
+    ASSERT_TRUE(sup.ok()) << sup.child.describe();
+    ASSERT_TRUE(sup.analysis.has_value());
+    EXPECT_FALSE(sup.salvaged);
+    EXPECT_EQ(sup.completedIterations, 4000);
+    ASSERT_TRUE(plain.exhaustive && sup.analysis->exhaustive);
+    ASSERT_TRUE(plain.heuristic && sup.analysis->heuristic);
+    EXPECT_EQ(*plain.exhaustive, *sup.analysis->exhaustive);
+    EXPECT_EQ(*plain.heuristic, *sup.analysis->heuristic);
+}
+
+TEST(SupervisedHarnessTest, CaptureReanalyzesIdentically)
+{
+    const auto &entry = litmus::findTest("mp");
+    const auto perpetual = core::convert(entry.test);
+    const std::vector<litmus::Outcome> outcomes = {entry.test.target};
+    core::HarnessConfig config;
+    config.seed = 7;
+    config.capturePath = tmpPath("supervised_capture.plt");
+
+    SupervisorConfig supervisor;
+    supervisor.timeoutSeconds = 60;
+    const auto sup = runPerpetualSupervised(perpetual, 3000, outcomes,
+                                            config, supervisor);
+    ASSERT_TRUE(sup.ok()) << sup.child.describe();
+    ASSERT_TRUE(sup.analysis.has_value());
+    EXPECT_GT(sup.analysis->captureBytes, 0u);
+
+    trace::TraceReader reader(config.capturePath);
+    EXPECT_TRUE(reader.complete());
+    ASSERT_EQ(reader.numRuns(), 1u);
+    const core::ExhaustiveCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, outcomes));
+    const auto counts = counter.count(reader.runInfo(0).iterations,
+                                      reader.rawBufs(0));
+    ASSERT_TRUE(sup.analysis->exhaustive.has_value());
+    EXPECT_EQ(counts, *sup.analysis->exhaustive);
+}
+
+TEST(SupervisedHarnessTest, InjectedHangTimesOutWithNoAnalysis)
+{
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+
+    SupervisorConfig supervisor;
+    supervisor.timeoutSeconds = 0.3;
+    supervisor.graceSeconds = 0.1;
+    const auto sup = runPerpetualSupervised(
+        perpetual, 1000, {entry.test.target}, config, supervisor,
+        [] { hangForever(); });
+    EXPECT_EQ(sup.child.status, ChildStatus::Timeout);
+    EXPECT_TRUE(sup.salvaged);
+    EXPECT_EQ(sup.completedIterations, 0);
+    EXPECT_FALSE(sup.analysis.has_value());
+}
+
+TEST(SupervisedHarnessTest, InjectedCrashClassified)
+{
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+
+    SupervisorConfig supervisor;
+    const auto sup = runPerpetualSupervised(
+        perpetual, 1000, {entry.test.target}, config, supervisor,
+        [] { std::raise(SIGSEGV); });
+    EXPECT_EQ(sup.child.status, ChildStatus::Crash);
+    EXPECT_FALSE(sup.analysis.has_value());
+}
+
+TEST(SupervisedHarnessTest, NativeTimeoutSalvagesPrefix)
+{
+    // A native run big enough to outlive a short watchdog: the child
+    // publishes per-iteration progress into the shared region, so the
+    // parent can count the completed prefix and the crash-flush
+    // handler leaves a salvageable partial .plt behind. Timing-based:
+    // when the host finishes the run inside the watchdog anyway, the
+    // salvage-specific assertions are skipped rather than flaked.
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    const std::vector<litmus::Outcome> outcomes = {entry.test.target};
+    core::HarnessConfig config;
+    config.backend = core::Backend::Native;
+    config.runExhaustive = false;
+    config.capturePath = tmpPath("salvaged_native.plt");
+    // Raw encoding keeps the crash-flush a straight memcpy, so the
+    // partial capture lands inside the SIGKILL grace period.
+    config.captureEncoding = trace::BufEncoding::Raw;
+
+    SupervisorConfig supervisor;
+    supervisor.timeoutSeconds = 0.05;
+    supervisor.graceSeconds = 2.0;
+    const std::int64_t requested = 50'000'000;
+    const auto sup = runPerpetualSupervised(
+        perpetual, requested, outcomes, config, supervisor);
+    if (sup.ok() || sup.completedIterations <= 0 ||
+        sup.completedIterations == requested)
+        GTEST_SKIP() << "host outran the watchdog or salvaged "
+                        "nothing: "
+                     << sup.child.describe();
+
+    EXPECT_EQ(sup.child.status, ChildStatus::Timeout);
+    EXPECT_TRUE(sup.salvaged);
+    EXPECT_LT(sup.completedIterations, requested);
+    ASSERT_TRUE(sup.analysis.has_value());
+    ASSERT_TRUE(sup.analysis->heuristic.has_value());
+    EXPECT_EQ(sup.analysis->iterations, sup.completedIterations);
+
+    // The partial capture must be readable in salvage mode and its
+    // prefix must re-count bit-identically to the region analysis.
+    trace::ReaderOptions options;
+    options.salvage = true;
+    trace::TraceReader reader(config.capturePath, options);
+    EXPECT_FALSE(reader.complete());
+    if (reader.numRuns() == 0)
+        GTEST_SKIP() << "flush raced the kill; nothing captured";
+    const std::int64_t captured = reader.runInfo(0).iterations;
+    ASSERT_GT(captured, 0);
+    ASSERT_LE(captured, sup.completedIterations);
+
+    const core::HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, outcomes));
+    const auto from_trace =
+        counter.count(captured, reader.rawBufs(0));
+    const auto from_region = counter.count(
+        captured, core::RawBufs(sup.analysis->run.bufs));
+    EXPECT_EQ(from_trace, from_region);
+}
+
+TEST(SupervisedHarnessTest, MemBudgetRejectsOversizedRun)
+{
+    const auto &entry = litmus::findTest("sb");
+    const auto perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    config.memBudgetBytes = 1024; // absurdly small
+    SupervisorConfig supervisor;
+    EXPECT_THROW(runPerpetualSupervised(perpetual, 1'000'000,
+                                        {entry.test.target}, config,
+                                        supervisor),
+                 UserError);
+}
+
+} // namespace
+} // namespace perple::supervise

@@ -288,6 +288,159 @@ TEST(TraceReaderTest, MissingFileRejected)
                  UserError);
 }
 
+TEST(TraceSalvageTest, TruncatedTailRecountsIdentically)
+{
+    // Cut a finished two-run capture anywhere after the first run
+    // group: salvage mode must recover a fully-validated prefix and
+    // the first run must re-count bit-identically to strict mode.
+    const std::string path = tmpPath("salvage_whole.plt");
+    const auto live = captureRun(path, 150, BufEncoding::VarintDelta);
+    const std::string bytes = readFile(path);
+
+    TraceReader strict(path);
+    ASSERT_EQ(strict.numRuns(), 1u);
+    const auto &entry = litmus::findTest("sb");
+    const core::ExhaustiveCounter counter(
+        entry.test, core::buildPerpetualOutcomes(
+                        entry.test, {entry.test.target}));
+    const auto reference =
+        counter.count(strict.runInfo(0).iterations, strict.rawBufs(0));
+    ASSERT_TRUE(live.exhaustive.has_value());
+    ASSERT_EQ(reference, *live.exhaustive);
+
+    ReaderOptions salvage;
+    salvage.salvage = true;
+    const std::string cut = tmpPath("salvage_cut.plt");
+    // Just before End, and mid-way into the End section header.
+    for (const std::size_t keep :
+         {bytes.size() - kSectionHeaderBytes, bytes.size() - 3}) {
+        writeFile(cut, bytes.substr(0, keep));
+        TraceReader reader(cut, salvage);
+        EXPECT_FALSE(reader.complete());
+        ASSERT_EQ(reader.numRuns(), 1u) << "cut to " << keep;
+        EXPECT_EQ(counter.count(reader.runInfo(0).iterations,
+                                reader.rawBufs(0)),
+                  reference)
+            << "cut to " << keep;
+    }
+}
+
+TEST(TraceSalvageTest, RunMissingBufsIsDropped)
+{
+    // Cut inside the run's buf sections: the incomplete run cannot be
+    // counted and must be dropped, leaving a valid zero-run capture.
+    const std::string path = tmpPath("salvage_bufs.plt");
+    captureRun(path, 150, BufEncoding::VarintDelta);
+    const std::string bytes = readFile(path);
+
+    ReaderOptions salvage;
+    salvage.salvage = true;
+    const std::string cut = tmpPath("salvage_bufs_cut.plt");
+    writeFile(cut, bytes.substr(0, bytes.size() / 2));
+    TraceReader reader(cut, salvage);
+    EXPECT_FALSE(reader.complete());
+    EXPECT_EQ(reader.numRuns(), 0u);
+    EXPECT_EQ(reader.meta().testName, "sb");
+}
+
+TEST(TraceSalvageTest, IncompleteMetaStillRejected)
+{
+    // Nothing to salvage without a complete Meta: opening must fail
+    // even in salvage mode.
+    const std::string path = tmpPath("salvage_meta.plt");
+    captureRun(path, 50, BufEncoding::Raw);
+    const std::string bytes = readFile(path);
+
+    ReaderOptions salvage;
+    salvage.salvage = true;
+    const std::string cut = tmpPath("salvage_meta_cut.plt");
+    for (const std::size_t keep :
+         {std::size_t{7}, kFileHeaderBytes + 10}) {
+        writeFile(cut, bytes.substr(0, keep));
+        EXPECT_THROW((TraceReader{cut, salvage}), UserError)
+            << "cut to " << keep;
+    }
+}
+
+TEST(TraceSalvageTest, CorruptSectionStopsTheWalk)
+{
+    // A checksum-failing section ends the salvage walk; everything
+    // before it is kept, nothing after it leaks through.
+    const std::string path = tmpPath("salvage_flip.plt");
+    captureRun(path, 150, BufEncoding::VarintDelta);
+    const std::string bytes = readFile(path);
+
+    std::string copy = bytes;
+    const std::size_t at = bytes.size() / 2;
+    copy[at] = static_cast<char>(copy[at] ^ 0x20);
+    const std::string bad = tmpPath("salvage_flip_bad.plt");
+    writeFile(bad, copy);
+
+    ReaderOptions salvage;
+    salvage.salvage = true;
+    TraceReader reader(bad, salvage);
+    EXPECT_FALSE(reader.complete());
+    EXPECT_EQ(reader.numRuns(), 0u); // flip landed inside run 0
+}
+
+TEST(TraceSalvageTest, CompleteFileReadsAsCompleteInSalvageMode)
+{
+    const std::string path = tmpPath("salvage_ok.plt");
+    captureRun(path, 100, BufEncoding::VarintDelta);
+    ReaderOptions salvage;
+    salvage.salvage = true;
+    TraceReader reader(path, salvage);
+    EXPECT_TRUE(reader.complete());
+    EXPECT_EQ(reader.numRuns(), 1u);
+}
+
+TEST(TraceWriterTest, FlushToDiskLeavesSalvageablePartial)
+{
+    // The crash-flush path in miniature: begin a run, write its bufs,
+    // flush without finish() — the file must open in salvage mode
+    // with that run intact, and strict mode must still reject it.
+    const auto &entry = litmus::findTest("sb");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    const auto live = core::runPerpetual(perpetual, 120,
+                                         {entry.test.target}, config);
+
+    const std::string path = tmpPath("partial_flush.plt");
+    TraceMeta meta;
+    meta.testName = entry.test.name;
+    meta.testText = litmus::writeTest(entry.test);
+    meta.strides = perpetual.strides;
+    meta.loadsPerIteration = perpetual.loadsPerIteration;
+    {
+        TraceWriter writer(path, meta);
+        RunInfo info;
+        info.seed = config.seed;
+        info.iterations = 120;
+        info.backend = "sim";
+        writer.beginRun(info);
+        for (const auto &buf : live.run.bufs)
+            writer.writeBuf(buf.empty() ? nullptr : buf.data(),
+                            buf.size());
+        writer.flushToDisk();
+        // No finish(): the writer dies here, as in a crash.
+    }
+
+    EXPECT_THROW(TraceReader{path}, UserError);
+
+    ReaderOptions salvage;
+    salvage.salvage = true;
+    TraceReader reader(path, salvage);
+    EXPECT_FALSE(reader.complete());
+    ASSERT_EQ(reader.numRuns(), 1u);
+    EXPECT_EQ(reader.runInfo(0).iterations, 120);
+    const core::ExhaustiveCounter counter(
+        entry.test, core::buildPerpetualOutcomes(
+                        entry.test, {entry.test.target}));
+    ASSERT_TRUE(live.exhaustive.has_value());
+    EXPECT_EQ(counter.count(120, reader.rawBufs(0)),
+              *live.exhaustive);
+}
+
 /**
  * The headline property: for generated tests, counting over a
  * writer→reader round-tripped capture is bit-identical to counting

@@ -19,6 +19,13 @@
  *   --no-shrink        report divergences without minimizing them
  *   --replay <file>    run the oracle battery on one litmus file
  *
+ * Supervision (on by default; each battery runs in a watched child,
+ * so a hanging or crashing oracle becomes a reported divergence):
+ *   --timeout <s>      per-battery watchdog (default 30, 0 = none)
+ *   --mem-limit <b>    child memory cap, K/M/G suffix (default: none)
+ *   --retries <n>      attempts after a failure (default 1)
+ *   --no-supervise     run oracles in-process (faster, no containment)
+ *
  * Exit status: 0 = no divergence, 1 = divergence found, 2 = usage.
  */
 
@@ -30,6 +37,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/cli.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "fuzz/campaign.h"
@@ -50,6 +58,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed N] [--campaigns N] [--time-budget SEC]\n"
         "          [--jobs N] [--out DIR] [--no-shrink]\n"
+        "          [--timeout SEC] [--mem-limit BYTES] [--retries N]\n"
+        "          [--no-supervise]\n"
         "       %s --replay FILE.litmus\n",
         argv0, argv0);
     return 2;
@@ -130,25 +140,42 @@ int
 run(int argc, char **argv)
 {
     fuzz::CampaignConfig config;
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 30;
+    config.supervisor.retries = 1;
     std::string replayPath;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--seed") == 0) {
-            config.seed = std::strtoull(flagValue(argc, argv, i),
-                                        nullptr, 10);
+            config.seed =
+                common::parseSeedArg("--seed", flagValue(argc, argv, i));
         } else if (std::strcmp(arg, "--campaigns") == 0) {
-            config.campaigns = std::atoi(flagValue(argc, argv, i));
+            config.campaigns = static_cast<int>(common::parseIntArg(
+                "--campaigns", flagValue(argc, argv, i), 1, 1000000));
         } else if (std::strcmp(arg, "--time-budget") == 0) {
-            config.timeBudgetSeconds =
-                std::atof(flagValue(argc, argv, i));
+            config.timeBudgetSeconds = common::parseSecondsArg(
+                "--time-budget", flagValue(argc, argv, i));
         } else if (std::strcmp(arg, "--jobs") == 0) {
-            config.jobs = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
+            // 0 = all cores; negative job counts are nonsense.
+            config.jobs = static_cast<std::size_t>(common::parseIntArg(
+                "--jobs", flagValue(argc, argv, i), 0, 4096));
         } else if (std::strcmp(arg, "--out") == 0) {
             config.reproducerDir = flagValue(argc, argv, i);
         } else if (std::strcmp(arg, "--no-shrink") == 0) {
             config.shrink = false;
+        } else if (std::strcmp(arg, "--timeout") == 0) {
+            config.supervisor.timeoutSeconds = common::parseSecondsArg(
+                "--timeout", flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--mem-limit") == 0) {
+            config.supervisor.memLimitBytes = common::parseBytesArg(
+                "--mem-limit", flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            config.supervisor.retries =
+                static_cast<int>(common::parseIntArg(
+                    "--retries", flagValue(argc, argv, i), 0, 100));
+        } else if (std::strcmp(arg, "--no-supervise") == 0) {
+            config.supervised = false;
         } else if (std::strcmp(arg, "--replay") == 0) {
             replayPath = flagValue(argc, argv, i);
         } else {
@@ -161,17 +188,11 @@ run(int argc, char **argv)
     if (!replayPath.empty())
         return replay(argv[0], replayPath, config.oracle);
 
-    if (config.campaigns <= 0) {
-        std::fprintf(stderr, "%s: --campaigns must be positive\n",
-                     argv[0]);
-        return usage(argv[0]);
-    }
-
     // Create the reproducer directory up front so a bad --out path
     // (unwritable parent, name collision with a file) fails before
     // the campaigns run, not at the first divergence.
     if (!config.reproducerDir.empty())
-        std::filesystem::create_directories(config.reproducerDir);
+        common::ensureWritableDir("--out", config.reproducerDir);
 
     const auto report = fuzz::runCampaign(config);
     std::printf(
@@ -181,6 +202,10 @@ run(int argc, char **argv)
         report.campaignsRun, report.campaignsPlanned, report.seconds,
         report.generationFailures, report.skippedOnBudget,
         report.failures.size());
+    if (config.supervised)
+        std::printf("perple_fuzz: supervised: %d timeout(s), "
+                    "%d crash(es), %d oom(s)\n",
+                    report.timeouts, report.crashes, report.ooms);
     for (const auto &failure : report.failures)
         printFailure(failure, config.seed);
     return report.ok() ? 0 : 1;

@@ -19,6 +19,17 @@
  *   --encoding varint|raw  buf encoding (default varint; raw enables
  *                       the reader's zero-copy path)
  *   --jobs <n>          analysis threads for the recorded counts
+ *   --timeout <s>       run in a supervised child with this watchdog;
+ *                       on timeout/crash the partial capture is
+ *                       salvaged and the completed prefix analyzed
+ *   --mem-limit <b>     child memory cap (K/M/G suffix; implies
+ *                       supervision)
+ *   --retries <n>       supervised attempts after a failure
+ *   --no-supervise      never fork, even with limits set
+ *
+ * info/analyze options:
+ *   --salvage           accept a truncated capture (crashed writer)
+ *                       and use its recoverable prefix
  *
  * analyze options:
  *   --outcome "<cond>"  outcome of interest, repeatable (default: the
@@ -44,6 +55,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,12 +75,14 @@ usage(const char *argv0)
         "usage: %s record <test|file.litmus> --out FILE.plt\n"
         "          [-n N] [--seed N] [--backend sim|native]\n"
         "          [--encoding varint|raw] [--jobs N]\n"
-        "       %s info FILE.plt\n"
+        "          [--timeout SEC] [--mem-limit BYTES] [--retries N]\n"
+        "          [--no-supervise]\n"
+        "       %s info FILE.plt [--salvage]\n"
         "       %s verify FILE.plt...\n"
         "       %s analyze FILE.plt [--outcome COND]... [--jobs N]\n"
         "          [--mode first|independent] [--cap N] [--fast]\n"
         "          [--no-exhaustive] [--no-heuristic] [--crosscheck]\n"
-        "          [--json]\n"
+        "          [--json] [--salvage]\n"
         "       %s merge --out FILE.plt IN.plt... [--encoding E]\n"
         "       %s export FILE.plt --json [--bufs]\n",
         argv0, argv0, argv0, argv0, argv0, argv0);
@@ -147,21 +161,40 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+void
+printCounts(const core::HarnessResult &result)
+{
+    if (result.exhaustive)
+        std::printf("  exhaustive count: %s (first %lld iterations)\n",
+                    countsToText(*result.exhaustive).c_str(),
+                    static_cast<long long>(
+                        result.exhaustiveIterations));
+    if (result.exhaustiveDowngraded)
+        std::printf("  note: %s\n", result.downgradeReason.c_str());
+    if (result.heuristic)
+        std::printf("  heuristic count:  %s\n",
+                    countsToText(*result.heuristic).c_str());
+}
+
 int
 cmdRecord(int argc, char **argv)
 {
     std::string spec, outPath;
     core::HarnessConfig config;
+    supervise::SupervisorConfig supervisor;
+    bool noSupervise = false;
     std::int64_t iterations = 10000;
     for (int i = 2; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--out") == 0) {
             outPath = flagValue(argc, argv, i);
         } else if (std::strcmp(arg, "-n") == 0) {
-            iterations = std::atoll(flagValue(argc, argv, i));
+            iterations = common::parseIntArg(
+                "-n", flagValue(argc, argv, i), 1,
+                std::numeric_limits<std::int64_t>::max());
         } else if (std::strcmp(arg, "--seed") == 0) {
-            config.seed = std::strtoull(flagValue(argc, argv, i),
-                                        nullptr, 10);
+            config.seed =
+                common::parseSeedArg("--seed", flagValue(argc, argv, i));
         } else if (std::strcmp(arg, "--backend") == 0) {
             const std::string backend = flagValue(argc, argv, i);
             if (backend == "native")
@@ -172,8 +205,20 @@ cmdRecord(int argc, char **argv)
             config.captureEncoding =
                 parseEncoding(argv[0], flagValue(argc, argv, i));
         } else if (std::strcmp(arg, "--jobs") == 0) {
-            config.analysisThreads = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
+            config.analysisThreads =
+                static_cast<std::size_t>(common::parseIntArg(
+                    "--jobs", flagValue(argc, argv, i), 0, 4096));
+        } else if (std::strcmp(arg, "--timeout") == 0) {
+            supervisor.timeoutSeconds = common::parseSecondsArg(
+                "--timeout", flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--mem-limit") == 0) {
+            supervisor.memLimitBytes = common::parseBytesArg(
+                "--mem-limit", flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            supervisor.retries = static_cast<int>(common::parseIntArg(
+                "--retries", flagValue(argc, argv, i), 0, 100));
+        } else if (std::strcmp(arg, "--no-supervise") == 0) {
+            noSupervise = true;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
                          arg);
@@ -191,10 +236,39 @@ cmdRecord(int argc, char **argv)
     const auto parent =
         std::filesystem::path(outPath).parent_path();
     if (!parent.empty())
-        std::filesystem::create_directories(parent);
+        common::ensureWritableDir("--out", parent.string());
 
     const core::PerpetualTest perpetual = core::convert(test);
     config.capturePath = outPath;
+
+    const bool supervised =
+        !noSupervise && (supervisor.timeoutSeconds > 0 ||
+                         supervisor.memLimitBytes > 0 ||
+                         supervisor.cpuLimitSeconds > 0 ||
+                         supervisor.retries > 0);
+    if (supervised) {
+        const auto result = supervise::runPerpetualSupervised(
+            perpetual, iterations, {test.target}, config, supervisor);
+        if (result.ok()) {
+            std::printf("%s: captured %lld iterations to %s "
+                        "(supervised, attempt %d)\n",
+                        test.name.c_str(),
+                        static_cast<long long>(iterations),
+                        outPath.c_str(), result.child.attempts);
+        } else {
+            std::printf(
+                "%s: %s after %d attempt(s); salvaged %lld of %lld "
+                "iterations to %s\n",
+                test.name.c_str(), result.child.describe().c_str(),
+                result.child.attempts,
+                static_cast<long long>(result.completedIterations),
+                static_cast<long long>(iterations), outPath.c_str());
+        }
+        if (result.analysis)
+            printCounts(*result.analysis);
+        return result.ok() ? 0 : 1;
+    }
+
     const auto result = core::runPerpetual(perpetual, iterations,
                                            {test.target}, config);
 
@@ -207,14 +281,7 @@ cmdRecord(int argc, char **argv)
                 config.captureEncoding == trace::BufEncoding::Raw
                     ? "raw"
                     : "varint");
-    if (result.exhaustive)
-        std::printf("  exhaustive count: %s (first %lld iterations)\n",
-                    countsToText(*result.exhaustive).c_str(),
-                    static_cast<long long>(
-                        result.exhaustiveIterations));
-    if (result.heuristic)
-        std::printf("  heuristic count:  %s\n",
-                    countsToText(*result.heuristic).c_str());
+    printCounts(result);
     std::printf("  exec %.3fs, capture (non-overlapped) %.3fs\n",
                 result.timing.phaseSeconds("exec"),
                 result.timing.phaseSeconds("capture"));
@@ -224,16 +291,32 @@ cmdRecord(int argc, char **argv)
 int
 cmdInfo(int argc, char **argv)
 {
-    if (argc != 3)
+    std::string path;
+    trace::ReaderOptions options;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--salvage") == 0)
+            options.salvage = true;
+        else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        } else if (path.empty())
+            path = arg;
+        else
+            return usage(argv[0]);
+    }
+    if (path.empty())
         return usage(argv[0]);
-    const trace::TraceReader reader(argv[2]);
+    const trace::TraceReader reader(path, options);
     const trace::TraceMeta &meta = reader.meta();
-    std::printf("trace:    %s (%.2f MiB, format v%u, %s)\n",
+    std::printf("trace:    %s (%.2f MiB, format v%u, %s%s)\n",
                 reader.path().c_str(),
                 static_cast<double>(reader.fileBytes()) /
                     (1024.0 * 1024.0),
                 static_cast<unsigned>(trace::kVersion),
-                reader.zeroCopy() ? "zero-copy" : "varint-compressed");
+                reader.zeroCopy() ? "zero-copy" : "varint-compressed",
+                reader.complete() ? "" : ", SALVAGED partial capture");
     std::printf("test:     %s (%zu threads, %zu locations)\n",
                 meta.testName.c_str(),
                 meta.loadsPerIteration.size(), meta.strides.size());
@@ -304,6 +387,7 @@ struct AnalyzeOptions
     bool fast = false;
     bool crosscheck = false;
     bool json = false;
+    bool salvage = false;
 };
 
 int
@@ -316,8 +400,8 @@ cmdAnalyze(int argc, char **argv)
         if (std::strcmp(arg, "--outcome") == 0) {
             options.outcomeTexts.push_back(flagValue(argc, argv, i));
         } else if (std::strcmp(arg, "--jobs") == 0) {
-            options.jobs = static_cast<std::size_t>(
-                std::atoi(flagValue(argc, argv, i)));
+            options.jobs = static_cast<std::size_t>(common::parseIntArg(
+                "--jobs", flagValue(argc, argv, i), 0, 4096));
         } else if (std::strcmp(arg, "--mode") == 0) {
             const std::string mode = flagValue(argc, argv, i);
             if (mode == "independent")
@@ -325,7 +409,11 @@ cmdAnalyze(int argc, char **argv)
             else if (mode != "first")
                 return usage(argv[0]);
         } else if (std::strcmp(arg, "--cap") == 0) {
-            options.cap = std::atoll(flagValue(argc, argv, i));
+            options.cap = common::parseIntArg(
+                "--cap", flagValue(argc, argv, i), 0,
+                std::numeric_limits<std::int64_t>::max());
+        } else if (std::strcmp(arg, "--salvage") == 0) {
+            options.salvage = true;
         } else if (std::strcmp(arg, "--no-exhaustive") == 0) {
             options.exhaustive = false;
         } else if (std::strcmp(arg, "--no-heuristic") == 0) {
@@ -350,9 +438,15 @@ cmdAnalyze(int argc, char **argv)
         return usage(argv[0]);
 
     WallTimer open_timer;
-    const trace::TraceReader reader(path);
+    trace::ReaderOptions reader_options;
+    reader_options.salvage = options.salvage;
+    const trace::TraceReader reader(path, reader_options);
     const litmus::Test test = reader.test();
     const double open_seconds = open_timer.elapsedSeconds();
+    if (!reader.complete())
+        std::printf("%s: salvaged partial capture (%zu recoverable "
+                    "run(s))\n",
+                    path.c_str(), reader.numRuns());
 
     std::vector<litmus::Outcome> outcomes;
     std::vector<std::string> labels;
