@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Streaming-pipeline microbench: what does epoch-pipelined analysis
+ * (DESIGN.md §9) buy over classic run-then-count batch mode?
+ *
+ * Three questions, answered on sb at N = 1,000,000 (scaled by
+ * PERPLE_ITERS_SCALE):
+ *
+ *  1. Wall clock — end-to-end run+analyze time of the streamed
+ *     pipeline (execution overlapped with COUNTH) vs batch mode on
+ *     the same machine, same N, same counters.
+ *  2. Memory — peak RSS (VmHWM) growth of a spilled streaming run,
+ *     whose analysis-side working set is bounded by
+ *     streamRingDepth × streamEpochIters iterations, vs batch mode,
+ *     which must hold all N iterations of bufs at once.
+ *  3. Fidelity — the streamed online counts are asserted bit-identical
+ *     to a batch recount of the very capture the streamed run wrote;
+ *     a mismatch fails the bench.
+ *
+ * Results go to BENCH_stream_pipeline.json.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+
+namespace
+{
+
+using namespace perple;
+using namespace perple::bench;
+
+/** Peak resident set (VmHWM) of this process in KiB; 0 if unknown. */
+std::uint64_t
+peakRssKb()
+{
+    std::FILE *status = std::fopen("/proc/self/status", "r");
+    if (status == nullptr)
+        return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, status) != nullptr) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            kb = std::strtoull(line + 6, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(status);
+    return kb;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = scaledIterations(1000000);
+    banner("Micro: streaming epoch pipeline vs batch (sb)", n);
+
+    const auto &sb = litmus::findTest("sb").test;
+    const auto perpetual = core::convert(sb);
+    const std::size_t jobs = analysisThreads();
+
+    std::uint64_t sum_loads = 0;
+    for (const int r_t : perpetual.loadsPerIteration)
+        sum_loads += static_cast<std::uint64_t>(r_t);
+
+    core::HarnessConfig base;
+    base.backend = useNativeBackend() ? core::Backend::Native
+                                      : core::Backend::Simulator;
+    base.seed = baseSeed();
+    base.runExhaustive = false;
+    base.analysisThreads = jobs;
+
+    core::HarnessConfig streamed = base;
+    streamed.streamEpochIters = std::min<std::int64_t>(65536, n);
+    streamed.streamRingDepth = 4;
+
+    const std::uint64_t ring_bound_bytes =
+        static_cast<std::uint64_t>(streamed.streamRingDepth) *
+        static_cast<std::uint64_t>(streamed.streamEpochIters) *
+        sum_loads * sizeof(litmus::Value);
+
+    // --- 2. Memory first: VmHWM is a monotone high-water mark, so the
+    // bounded-memory phase must run before anything that materializes
+    // the full working set. Spilled, uncaptured: after the pipeline
+    // drops an analyzed epoch from residency, nothing re-reads it. ---
+    const std::uint64_t rss_baseline_kb = peakRssKb();
+    core::HarnessConfig spilled = streamed;
+    spilled.streamSpillPath = "stream_pipeline_spill.bin";
+    const auto spilled_result =
+        core::runPerpetual(perpetual, n, {sb.target}, spilled);
+    const std::uint64_t rss_after_stream_kb = peakRssKb();
+
+    // --- 1. Wall clock: streamed (anonymous store) vs batch. ---
+    const auto stream_result =
+        core::runPerpetual(perpetual, n, {sb.target}, streamed);
+    const auto batch_result =
+        core::runPerpetual(perpetual, n, {sb.target}, base);
+    const std::uint64_t rss_after_batch_kb = peakRssKb();
+
+    const double stream_seconds = stream_result.heuristicSeconds();
+    const double batch_seconds = batch_result.heuristicSeconds();
+
+    // --- 3. Fidelity: streamed counts vs a batch recount of the
+    // capture the streamed run itself wrote. ---
+    bool mismatch = false;
+    {
+        core::HarnessConfig captured = streamed;
+        captured.capturePath = "stream_pipeline_check.plt";
+        captured.captureEncoding = trace::BufEncoding::Raw;
+        const auto run =
+            core::runPerpetual(perpetual, n, {sb.target}, captured);
+        const trace::TraceReader reader(captured.capturePath);
+        const auto outcomes =
+            core::buildPerpetualOutcomes(sb, {sb.target});
+        const core::HeuristicCounter heuristic(sb, outcomes);
+        const auto recount =
+            heuristic.count(n, reader.rawBufs(0),
+                            core::CountMode::FirstMatch, jobs);
+        if (recount != *run.heuristic) {
+            std::printf("COUNT MISMATCH: streamed online counts != "
+                        "batch recount of the streamed capture\n");
+            mismatch = true;
+        }
+        std::remove(captured.capturePath.c_str());
+    }
+
+    const auto &sstats = *spilled_result.streamStats;
+    stats::Table table({"mode", "wall", "exec", "count", "peak-rss"});
+    table.addRow(
+        {"stream+spill",
+         format("%.3fs", spilled_result.heuristicSeconds()),
+         format("%.3fs",
+                spilled_result.timing.phaseSeconds("exec")),
+         format("%.3fs",
+                spilled_result.timing.phaseSeconds("count-heuristic")),
+         format("+%.1f MiB",
+                static_cast<double>(rss_after_stream_kb -
+                                    rss_baseline_kb) /
+                    1024.0)});
+    table.addRow(
+        {"stream", format("%.3fs", stream_seconds),
+         format("%.3fs", stream_result.timing.phaseSeconds("exec")),
+         format("%.3fs",
+                stream_result.timing.phaseSeconds("count-heuristic")),
+         "-"});
+    table.addRow(
+        {"batch", format("%.3fs", batch_seconds),
+         format("%.3fs", batch_result.timing.phaseSeconds("exec")),
+         format("%.3fs",
+                batch_result.timing.phaseSeconds("count-heuristic")),
+         format("+%.1f MiB",
+                static_cast<double>(rss_after_batch_kb -
+                                    rss_baseline_kb) /
+                    1024.0)});
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("store %.1f MiB (%s), ring bound %.1f MiB, "
+                "%lld seam pivot(s) deferred (peak backlog %lld), "
+                "stream/batch wall %.2fx\n",
+                static_cast<double>(sstats.storeBytes) /
+                    (1024.0 * 1024.0),
+                sstats.spilled ? "spilled" : "anonymous",
+                static_cast<double>(ring_bound_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<long long>(sstats.deferredSeamPivots),
+                static_cast<long long>(sstats.peakDeferredBacklog),
+                stream_seconds > 0.0 ? batch_seconds / stream_seconds
+                                     : 0.0);
+
+    std::FILE *json = std::fopen("BENCH_stream_pipeline.json", "w");
+    if (json == nullptr) {
+        std::printf("cannot write BENCH_stream_pipeline.json\n");
+        return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n  \"bench\": \"stream_pipeline\",\n"
+        "  \"test\": \"sb\",\n"
+        "  \"iterations\": %lld,\n"
+        "  \"epoch_iters\": %lld,\n"
+        "  \"ring_depth\": %zu,\n"
+        "  \"analysis_threads\": %zu,\n"
+        "  \"sum_loads_per_iteration\": %llu,\n"
+        "  \"store_bytes\": %llu,\n"
+        "  \"ring_bound_bytes\": %llu,\n"
+        "  \"spilled\": %s,\n"
+        "  \"deferred_seam_pivots\": %lld,\n"
+        "  \"peak_deferred_backlog\": %lld,\n"
+        "  \"epochs\": %lld,\n"
+        "  \"vmhwm_baseline_kb\": %llu,\n"
+        "  \"vmhwm_after_spilled_stream_kb\": %llu,\n"
+        "  \"vmhwm_after_batch_kb\": %llu,\n"
+        "  \"spilled_stream_wall_seconds\": %.6f,\n"
+        "  \"stream_wall_seconds\": %.6f,\n"
+        "  \"batch_wall_seconds\": %.6f,\n"
+        "  \"stream_exec_seconds\": %.6f,\n"
+        "  \"stream_count_tail_seconds\": %.6f,\n"
+        "  \"batch_exec_seconds\": %.6f,\n"
+        "  \"batch_count_seconds\": %.6f,\n"
+        "  \"batch_over_stream_wall\": %.3f,\n"
+        "  \"counts_match\": %s\n}\n",
+        static_cast<long long>(n),
+        static_cast<long long>(streamed.streamEpochIters),
+        streamed.streamRingDepth, jobs,
+        static_cast<unsigned long long>(sum_loads),
+        static_cast<unsigned long long>(sstats.storeBytes),
+        static_cast<unsigned long long>(ring_bound_bytes),
+        sstats.spilled ? "true" : "false",
+        static_cast<long long>(sstats.deferredSeamPivots),
+        static_cast<long long>(sstats.peakDeferredBacklog),
+        static_cast<long long>(sstats.epochs),
+        static_cast<unsigned long long>(rss_baseline_kb),
+        static_cast<unsigned long long>(rss_after_stream_kb),
+        static_cast<unsigned long long>(rss_after_batch_kb),
+        spilled_result.heuristicSeconds(), stream_seconds,
+        batch_seconds,
+        stream_result.timing.phaseSeconds("exec"),
+        stream_result.timing.phaseSeconds("count-heuristic"),
+        batch_result.timing.phaseSeconds("exec"),
+        batch_result.timing.phaseSeconds("count-heuristic"),
+        stream_seconds > 0.0 ? batch_seconds / stream_seconds : 0.0,
+        mismatch ? "false" : "true");
+    std::fclose(json);
+    std::printf("wrote BENCH_stream_pipeline.json\n");
+
+    return mismatch ? 1 : 0;
+}

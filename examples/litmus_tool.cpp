@@ -19,6 +19,13 @@
  *   -s <seed>        RNG seed (default 1)
  *   --exhaustive     also run the exhaustive counter (perple engine)
  *   --spec tso|pso   classify the target against this model
+ *   --stream         epoch-pipelined run: COUNTH drains published
+ *                    epochs while the test executes (perple engine;
+ *                    default epoch 65536 iterations)
+ *   --stream-epoch <n>  streaming epoch size (implies --stream)
+ *   --stream-ring <n>   pipeline depth in epochs (default 4)
+ *   --stream-spill <f>  file-back the buf store and drop analyzed
+ *                    epochs from RAM (max N becomes disk-bound)
  *   --capture <f.plt>  record a .plt trace of the run (perple
  *                    engine; re-analyze with tools/perple_trace)
  *   --timeout <s>    run in a supervised child with this watchdog
@@ -110,12 +117,21 @@ cmdShow(const std::string &spec)
     return 0;
 }
 
+/** --stream knobs forwarded into HarnessConfig. */
+struct StreamOptions
+{
+    std::int64_t epochIters = 0; ///< 0 = batch mode.
+    std::size_t ringDepth = 4;
+    std::string spillPath;
+};
+
 int
 cmdRun(const litmus::Test &test, std::int64_t iterations,
        const std::string &engine, runtime::SyncMode mode, bool native,
        std::uint64_t seed, bool exhaustive,
        model::MemoryModel spec_model, const std::string &capture,
-       bool supervised, const supervise::SupervisorConfig &supervisor)
+       bool supervised, const supervise::SupervisorConfig &supervisor,
+       const StreamOptions &stream_options)
 {
     // Outcomes of interest: everything, target first.
     std::vector<litmus::Outcome> outcomes = {test.target};
@@ -152,6 +168,9 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         if (exhaustive && test.numLoadThreads() >= 3)
             config.exhaustiveCap = 400;
         config.capturePath = capture;
+        config.streamEpochIters = stream_options.epochIters;
+        config.streamRingDepth = stream_options.ringDepth;
+        config.streamSpillPath = stream_options.spillPath;
         core::HarnessResult result;
         if (supervised) {
             const auto sup = supervise::runPerpetualSupervised(
@@ -175,6 +194,17 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         } else {
             result = core::runPerpetual(perpetual, iterations,
                                         outcomes, config);
+        }
+        if (result.streamStats) {
+            const auto &s = *result.streamStats;
+            std::printf("streamed %lld epoch(s) of %lld iterations "
+                        "(%lld seam pivot(s) deferred, peak backlog "
+                        "%lld)%s\n",
+                        static_cast<long long>(s.epochs),
+                        static_cast<long long>(s.epochIters),
+                        static_cast<long long>(s.deferredSeamPivots),
+                        static_cast<long long>(s.peakDeferredBacklog),
+                        s.spilled ? ", store spilled to disk" : "");
         }
         if (!capture.empty())
             std::printf("captured %.2f MiB trace to %s\n",
@@ -273,6 +303,7 @@ main(int argc, char **argv)
         std::string capture;
         supervise::SupervisorConfig supervisor;
         bool no_supervise = false;
+        StreamOptions stream_options;
 
         for (int i = 3; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -317,6 +348,19 @@ main(int argc, char **argv)
                     common::parseIntArg("--retries", next(), 0, 100));
             else if (arg == "--no-supervise")
                 no_supervise = true;
+            else if (arg == "--stream") {
+                if (stream_options.epochIters == 0)
+                    stream_options.epochIters = 65536;
+            } else if (arg == "--stream-epoch")
+                stream_options.epochIters = common::parseIntArg(
+                    "--stream-epoch", next(), 1,
+                    std::numeric_limits<std::int64_t>::max());
+            else if (arg == "--stream-ring")
+                stream_options.ringDepth = static_cast<std::size_t>(
+                    common::parseIntArg("--stream-ring", next(), 1,
+                                        4096));
+            else if (arg == "--stream-spill")
+                stream_options.spillPath = next();
             else
                 fatal("unknown option '" + arg + "'");
         }
@@ -332,9 +376,12 @@ main(int argc, char **argv)
         checkUser(!supervised || engine == "perple",
                   "--timeout/--mem-limit/--retries require the "
                   "perple engine");
+        checkUser(stream_options.epochIters == 0 ||
+                      engine == "perple",
+                  "--stream requires the perple engine");
         return cmdRun(test, iterations, engine, mode, native, seed,
                       exhaustive, spec_model, capture, supervised,
-                      supervisor);
+                      supervisor, stream_options);
     } catch (const Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

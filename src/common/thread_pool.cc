@@ -11,6 +11,30 @@
 namespace perple::common
 {
 
+namespace
+{
+
+/**
+ * Depth of parallelFor chunk bodies on this thread's stack. A chunk
+ * body that calls parallelFor again (directly or through a callback)
+ * must not enqueue more work: every pool thread could end up blocked
+ * in the nested call's completion wait while the nested chunks sit in
+ * the queue with nobody left in workerLoop to run them — a deadlock.
+ * Nested calls therefore run their whole range inline (see
+ * parallelFor); the counter works for any pool, shared or private,
+ * since a thread can only ever be inside one pool's chunk at a time
+ * per stack frame.
+ */
+thread_local int g_chunk_depth = 0;
+
+struct ChunkDepthScope
+{
+    ChunkDepthScope() { ++g_chunk_depth; }
+    ~ChunkDepthScope() { --g_chunk_depth; }
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) : num_threads_(threads)
 {
     checkUser(threads >= 1, "a thread pool needs at least one thread");
@@ -54,6 +78,16 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
 {
     if (end <= begin)
         return;
+
+    // Re-entrant call from inside a chunk body: run serially on this
+    // thread. Dispatching would risk deadlock (every pool thread
+    // waiting on a nested job whose chunks nobody can run) and would
+    // hand out shard indices that collide with the outer call's.
+    if (g_chunk_depth > 0) {
+        fn(0, begin, end);
+        return;
+    }
+
     const std::int64_t total = end - begin;
     const std::int64_t min_chunk = grain < 1 ? 1 : grain;
     const auto max_chunks =
@@ -61,6 +95,7 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
     const std::size_t chunks = std::min(num_threads_, max_chunks);
 
     if (chunks <= 1) {
+        ChunkDepthScope depth;
         fn(0, begin, end);
         return;
     }
@@ -88,6 +123,7 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t d = 1; d < chunks; ++d) {
             tasks_.emplace_back([job, &fn, d, chunk_bounds] {
+                ChunkDepthScope depth;
                 try {
                     fn(d, chunk_bounds(d), chunk_bounds(d + 1));
                 } catch (...) {
@@ -110,6 +146,7 @@ ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
     // The calling thread is shard 0.
     std::exception_ptr own_error;
     try {
+        ChunkDepthScope depth;
         fn(0, chunk_bounds(0), chunk_bounds(1));
     } catch (...) {
         own_error = std::current_exception();

@@ -61,6 +61,13 @@ class ThreadPool
      * each; blocks until every chunk has finished. The calling thread
      * runs chunk 0. The first exception thrown by any chunk is
      * rethrown here (after all chunks have completed).
+     *
+     * An empty range (@p end <= @p begin) returns immediately without
+     * invoking @p fn. A call made from inside a chunk body (nested
+     * parallelFor, e.g. an analysis callback that itself shards) runs
+     * the whole range serially as shard 0 on the calling thread:
+     * dispatching nested chunks could deadlock the pool, with every
+     * thread blocked waiting on a nested job nobody is left to run.
      */
     void parallelFor(std::int64_t begin, std::int64_t end,
                      std::int64_t grain, const RangeFn &fn);

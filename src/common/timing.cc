@@ -23,6 +23,12 @@ PhaseTimer::stop()
     running_ = false;
 }
 
+void
+PhaseTimer::addNs(const std::string &phase, std::int64_t ns)
+{
+    phases_[phase] += ns;
+}
+
 std::int64_t
 PhaseTimer::phaseNs(const std::string &phase) const
 {

@@ -64,6 +64,14 @@ class PhaseTimer
     /** Stop the currently open phase, if any. */
     void stop();
 
+    /**
+     * Credit @p ns nanoseconds to @p phase directly, without the
+     * start()/stop() stopwatch — how concurrent pipelines attribute
+     * time measured on another thread (e.g. the streaming harness's
+     * execution thread) to the standard phase names.
+     */
+    void addNs(const std::string &phase, std::int64_t ns);
+
     /** Accumulated nanoseconds attributed to @p phase (0 if unknown). */
     std::int64_t phaseNs(const std::string &phase) const;
 

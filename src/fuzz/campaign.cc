@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -59,11 +60,13 @@ writeReproducer(const CampaignConfig &config,
  * the reproducer, mirroring the counter oracles' run parameters so the
  * diverging buffers can be re-counted offline. Returns the path, or
  * empty when the test is not convertible (model-only divergences) —
- * a capture failure never fails the campaign.
+ * a capture failure never fails the campaign, but it is reported (and
+ * the partial file removed) rather than leaving a corrupt `.plt` that
+ * only fails much later at CRC verification.
  */
 std::string
 writeFailureTrace(const CampaignConfig &config,
-                  const CampaignFailure &failure)
+                  const CampaignFailure &failure, std::mutex &io_mutex)
 {
     const litmus::Test &test = failure.shrunk;
     std::string reason;
@@ -86,7 +89,14 @@ writeFailureTrace(const CampaignConfig &config,
                 : config.oracle.iterations;
         core::runPerpetual(perpetual, iterations, {test.target},
                            harness);
-    } catch (const Error &) {
+    } catch (const Error &error) {
+        std::lock_guard<std::mutex> lock(io_mutex);
+        std::fprintf(stderr,
+                     "perple_fuzz: campaign %d: trace capture failed "
+                     "(%s); dropping %s\n",
+                     failure.campaign, error.what(), path.c_str());
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
         return "";
     }
     return path;
@@ -338,8 +348,8 @@ runCampaign(const CampaignConfig &config)
                     // the battery; re-running it in-parent for a
                     // trace capture could do the same to the driver.
                     if (failure.divergence.check != Check::Supervision)
-                        failure.tracePath =
-                            writeFailureTrace(config, failure);
+                        failure.tracePath = writeFailureTrace(
+                            config, failure, io_mutex);
                 }
                 shard_failures[shard].push_back(std::move(failure));
             }

@@ -403,6 +403,21 @@ HeuristicCounter::evaluateAt(
     const Value *const *raw,
     std::vector<std::int64_t> &frame_scratch) const
 {
+    // Batch evaluation is the available == iterations special case of
+    // the bounded evaluator (where NeedData is unreachable); sharing
+    // the body keeps streaming and batch semantics identical by
+    // construction. The extra watermark compares are branch-predicted
+    // away in the batch case.
+    return evaluateAtBounded(o, n, iterations, iterations, raw,
+                             frame_scratch) == BoundedEval::Match;
+}
+
+BoundedEval
+HeuristicCounter::evaluateAtBounded(
+    std::size_t o, std::int64_t n, std::int64_t iterations,
+    std::int64_t available, const Value *const *raw,
+    std::vector<std::int64_t> &frame_scratch) const
+{
     const Plan &plan = plans_[o];
 
     std::fill(frame_scratch.begin(), frame_scratch.end(), -1);
@@ -415,6 +430,12 @@ HeuristicCounter::evaluateAt(
         } else {
             const std::int64_t src_n = frame_scratch[
                 static_cast<std::size_t>(step.sourceThread)];
+            // The decode *reads* the source thread's buf at src_n; an
+            // index past the watermark means that stripe is not
+            // published yet, so the decision must wait. Checked
+            // before the read — never touch unwritten memory.
+            if (src_n >= available)
+                return BoundedEval::NeedData;
             const Value val =
                 raw[static_cast<std::size_t>(step.source.thread)]
                    [step.source.loadsPerIteration * src_n +
@@ -422,7 +443,7 @@ HeuristicCounter::evaluateAt(
             if (step.rfDecode) {
                 const std::int64_t d = val - step.offset;
                 if (d < 0 || d % step.stride != 0)
-                    return false;
+                    return BoundedEval::NoMatch;
                 idx = d / step.stride;
             } else if (val == 0) {
                 // Reading the initial value: the writer precedes the
@@ -438,18 +459,107 @@ HeuristicCounter::evaluateAt(
                     }
                 }
                 if (idx < 0)
-                    return false;
+                    return BoundedEval::NoMatch;
             }
         }
+        // Order matters for bit-identity: out-of-range indices are
+        // NoMatch exactly as in batch, *before* any watermark check —
+        // idx in [available, iterations) only defers when the value
+        // there is actually read (by a later step's source above, or
+        // by the atom scan's frame check below).
         if (idx < 0 || idx >= iterations)
-            return false;
+            return BoundedEval::NoMatch;
         frame_scratch[static_cast<std::size_t>(step.targetThread)] =
             idx;
     }
 
+    // evalCompiledAtoms reads each atom's buf at the frame index of
+    // the value's own thread (a frame thread), so any resolved frame
+    // index past the watermark would read unpublished data.
+    for (const ThreadId t : frameThreads_)
+        if (frame_scratch[static_cast<std::size_t>(t)] >= available)
+            return BoundedEval::NeedData;
+
     return detail::evalCompiledAtoms(plan.compiled,
                                      frame_scratch.data(), iterations,
-                                     raw);
+                                     raw)
+               ? BoundedEval::Match
+               : BoundedEval::NoMatch;
+}
+
+bool
+HeuristicCounter::countPivotBounded(
+    std::int64_t n, std::int64_t iterations, std::int64_t available,
+    const Value *const *raw, CountMode mode, Counts &counts,
+    std::vector<std::int64_t> &frame_scratch,
+    std::vector<std::size_t> &match_scratch) const
+{
+    if (mode == CountMode::FirstMatch) {
+        for (std::size_t o = 0; o < outcomes_.size(); ++o) {
+            const BoundedEval r = evaluateAtBounded(
+                o, n, iterations, available, raw, frame_scratch);
+            if (r == BoundedEval::Match) {
+                ++counts[o];
+                return true;
+            }
+            // An undecidable outcome ahead of a potential later match
+            // leaves the first-match winner unknown: defer the whole
+            // pivot, count nothing yet.
+            if (r == BoundedEval::NeedData)
+                return false;
+        }
+        return true;
+    }
+
+    // Independent mode: stage matches and apply them only once every
+    // outcome at this pivot is decidable, so a deferred pivot is
+    // retried from scratch without double counting.
+    match_scratch.clear();
+    for (std::size_t o = 0; o < outcomes_.size(); ++o) {
+        const BoundedEval r = evaluateAtBounded(
+            o, n, iterations, available, raw, frame_scratch);
+        if (r == BoundedEval::NeedData)
+            return false;
+        if (r == BoundedEval::Match)
+            match_scratch.push_back(o);
+    }
+    for (const std::size_t o : match_scratch)
+        ++counts[o];
+    return true;
+}
+
+void
+HeuristicCounter::countPivotRangeBounded(
+    std::int64_t begin, std::int64_t end, std::int64_t iterations,
+    std::int64_t available, const RawBufs &bufs, CountMode mode,
+    Counts &counts, std::vector<std::int64_t> &deferred) const
+{
+    checkInternal(end <= available && available <= iterations,
+                  "bounded pivot range past the watermark");
+    const Value *const *raw = bufs.data();
+    std::vector<std::int64_t> frame_scratch(bufs.numThreads(), -1);
+    std::vector<std::size_t> match_scratch;
+    for (std::int64_t n = begin; n < end; ++n)
+        if (!countPivotBounded(n, iterations, available, raw, mode,
+                               counts, frame_scratch, match_scratch))
+            deferred.push_back(n);
+}
+
+void
+HeuristicCounter::countDeferredPivots(
+    const std::vector<std::int64_t> &pivots, std::int64_t iterations,
+    std::int64_t available, const RawBufs &bufs, CountMode mode,
+    Counts &counts, std::vector<std::int64_t> &still_deferred) const
+{
+    checkInternal(available <= iterations,
+                  "watermark past the iteration count");
+    const Value *const *raw = bufs.data();
+    std::vector<std::int64_t> frame_scratch(bufs.numThreads(), -1);
+    std::vector<std::size_t> match_scratch;
+    for (const std::int64_t n : pivots)
+        if (!countPivotBounded(n, iterations, available, raw, mode,
+                               counts, frame_scratch, match_scratch))
+            still_deferred.push_back(n);
 }
 
 std::optional<std::vector<std::int64_t>>

@@ -98,6 +98,25 @@ enum class CountMode
     Independent,
 };
 
+/**
+ * Tri-state result of bounded (streaming) heuristic evaluation, where
+ * only the first `available` iterations of every buf are readable.
+ */
+enum class BoundedEval
+{
+    Match,   ///< Decided: the outcome holds at this pivot.
+    NoMatch, ///< Decided: the outcome does not hold at this pivot.
+
+    /**
+     * Undecidable yet: a deciding frame index lands at or past the
+     * watermark (in [available, iterations)), so the values that
+     * would settle the answer have not been published. Retry the
+     * pivot at a higher watermark; at available == iterations this
+     * can never be returned (out-of-range indices are NoMatch first).
+     */
+    NeedData,
+};
+
 /** Algorithm 1: examine every frame. */
 class ExhaustiveCounter
 {
@@ -245,6 +264,39 @@ class HeuristicCounter
                  std::size_t threads = 1) const;
 
     /**
+     * Streaming building block: count pivot iterations [@p begin,
+     * @p end) of an N-iteration run of which only the first
+     * @p available iterations of every thread's buf have been
+     * published (the epoch watermark). A pivot whose answer depends
+     * on data at or past the watermark is appended to @p deferred
+     * instead of being counted — all-or-nothing per pivot, so a
+     * FirstMatch chain can never pick the wrong winner. Re-submit
+     * deferred pivots at a higher watermark via
+     * countDeferredPivots(); at available == iterations nothing is
+     * ever deferred. Counting each pivot exactly once this way, in
+     * any order and with any epoch partition, sums to exactly
+     * count() of the full run (per-pivot indicators commute).
+     *
+     * @p counts accumulates in place (callers shard and merge).
+     */
+    void countPivotRangeBounded(std::int64_t begin, std::int64_t end,
+                                std::int64_t iterations,
+                                std::int64_t available,
+                                const RawBufs &bufs, CountMode mode,
+                                Counts &counts,
+                                std::vector<std::int64_t> &deferred)
+        const;
+
+    /** Retry previously deferred pivots at a higher watermark. */
+    void countDeferredPivots(const std::vector<std::int64_t> &pivots,
+                             std::int64_t iterations,
+                             std::int64_t available,
+                             const RawBufs &bufs, CountMode mode,
+                             Counts &counts,
+                             std::vector<std::int64_t> &still_deferred)
+        const;
+
+    /**
      * Find the first pivot iteration whose resolved frame satisfies
      * outcome @p outcome_index, for witness extraction.
      *
@@ -314,6 +366,31 @@ class HeuristicCounter
                     std::int64_t iterations,
                     const litmus::Value *const *raw,
                     std::vector<std::int64_t> &frame_scratch) const;
+
+    /**
+     * evaluateAt with only the first @p available iterations of every
+     * buf readable; never reads at or past the watermark. Match and
+     * NoMatch agree with batch evaluateAt by construction: every
+     * batch check runs in the same order, and NeedData is returned
+     * only where batch would have read unpublished data.
+     */
+    BoundedEval evaluateAtBounded(
+        std::size_t o, std::int64_t n, std::int64_t iterations,
+        std::int64_t available, const litmus::Value *const *raw,
+        std::vector<std::int64_t> &frame_scratch) const;
+
+    /**
+     * Decide one pivot under a watermark: updates @p counts when the
+     * pivot is decidable and returns true; returns false (counting
+     * nothing) when it must be retried at a higher watermark.
+     */
+    bool countPivotBounded(std::int64_t n, std::int64_t iterations,
+                           std::int64_t available,
+                           const litmus::Value *const *raw,
+                           CountMode mode, Counts &counts,
+                           std::vector<std::int64_t> &frame_scratch,
+                           std::vector<std::size_t> &match_scratch)
+        const;
 
     const litmus::Test *test_;
     std::vector<litmus::ThreadId> frameThreads_;

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring of epoch
+ * tickets, connecting the streaming pipeline's execution side (the
+ * sim epoch loop or the native watermark publisher) to its analysis
+ * drainer.
+ *
+ * A ticket only says "iterations [begin, end) are published"; the buf
+ * data itself lives in the StreamStore, so the ring never copies run
+ * data. The bounded depth is the pipeline's backpressure: a producer
+ * that gets streamRingDepth epochs ahead of analysis blocks in
+ * push(), which either pauses the sim epoch loop directly or lets the
+ * native iteration ceiling lag and throttle the runner threads.
+ */
+
+#ifndef PERPLE_CORE_EPOCH_RING_H
+#define PERPLE_CORE_EPOCH_RING_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace perple::stream
+{
+
+/** One published epoch: iterations [begin, end) of the run. */
+struct EpochTicket
+{
+    std::int64_t index = 0;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+};
+
+/** SPSC ring; exactly one pushing and one popping thread. */
+class EpochRing
+{
+  public:
+    /** @param depth Capacity in epochs (>= 1; rounded up to 2^k). */
+    explicit EpochRing(std::size_t depth)
+    {
+        checkUser(depth >= 1, "epoch ring needs a positive depth");
+        std::size_t capacity = 1;
+        while (capacity < depth)
+            capacity <<= 1;
+        slots_.resize(capacity);
+        mask_ = capacity - 1;
+    }
+
+    std::size_t
+    capacity() const
+    {
+        return slots_.size();
+    }
+
+    /**
+     * Publish a ticket; blocks (spin, then yield) while the ring is
+     * full. Returns false without publishing when the consumer
+     * cancelled the pipeline mid-run.
+     */
+    bool
+    push(const EpochTicket &ticket)
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        int spins = 0;
+        while (tail - head_.load(std::memory_order_acquire) >=
+               slots_.size()) {
+            if (cancelled_.load(std::memory_order_acquire))
+                return false;
+            if (++spins > 128)
+                std::this_thread::yield();
+        }
+        if (cancelled_.load(std::memory_order_acquire))
+            return false;
+        slots_[tail & mask_] = ticket;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Take the next ticket; blocks while the ring is empty and the
+     * producer has not closed it. Returns false once closed (or
+     * cancelled) and drained.
+     */
+    bool
+    pop(EpochTicket &ticket)
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        while (true) {
+            if (head < tail_.load(std::memory_order_acquire)) {
+                ticket = slots_[head & mask_];
+                head_.store(head + 1, std::memory_order_release);
+                return true;
+            }
+            if (cancelled_.load(std::memory_order_acquire))
+                return false;
+            if (closed_.load(std::memory_order_acquire) &&
+                head == tail_.load(std::memory_order_acquire))
+                return false;
+            std::this_thread::yield();
+        }
+    }
+
+    /** Producer side: no more tickets will be pushed. */
+    void
+    close()
+    {
+        closed_.store(true, std::memory_order_release);
+    }
+
+    /**
+     * Consumer side: abandon the pipeline (e.g. analysis threw).
+     * Unblocks a producer stuck in push() so it can unwind.
+     */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+  private:
+    std::vector<EpochTicket> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> head_{0}; ///< Consumer.
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; ///< Producer.
+    std::atomic<bool> closed_{false};
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace perple::stream
+
+#endif // PERPLE_CORE_EPOCH_RING_H

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "litmus/writer.h"
 #include "perple/perpetual_outcome.h"
+#include "perple/stream.h"
 #include "runtime/native_runner.h"
 #include "sim/machine.h"
 #include "trace/writer.h"
@@ -52,12 +53,20 @@ analyzeRun(const PerpetualTest &perpetual, std::int64_t iterations,
            const std::vector<litmus::Outcome> &outcomes,
            const HarnessConfig &config, HarnessResult &result)
 {
+    analyzeBufs(perpetual, iterations, outcomes, config,
+                RawBufs(result.run.bufs), result);
+}
+
+void
+analyzeBufs(const PerpetualTest &perpetual, std::int64_t iterations,
+            const std::vector<litmus::Outcome> &outcomes,
+            const HarnessConfig &config, const RawBufs &raw,
+            HarnessResult &result)
+{
     // --- Outcome conversion (cheap; once per set of outcomes). ---
     auto perpetual_outcomes =
         buildPerpetualOutcomes(perpetual.original, outcomes);
 
-    // --- Counting (raw buf pointers gathered once for both). ---
-    const RawBufs raw(result.run.bufs);
     bool run_exhaustive = config.runExhaustive;
     if (run_exhaustive) {
         const std::int64_t cap =
@@ -104,7 +113,8 @@ analyzeRun(const PerpetualTest &perpetual, std::int64_t iterations,
             result.timing.stop();
         }
     }
-    if (config.runHeuristic || result.exhaustiveDowngraded) {
+    if ((config.runHeuristic || result.exhaustiveDowngraded) &&
+        !result.heuristic) {
         HeuristicCounter counter(perpetual.original,
                                  perpetual_outcomes);
         result.timing.start("count-heuristic");
@@ -122,7 +132,9 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
 {
     checkUser(iterations > 0,
               "perpetual run needs a positive iteration count");
-    if (config.memBudgetBytes > 0) {
+    const bool spilled_streaming = config.streamEpochIters > 0 &&
+                                   !config.streamSpillPath.empty();
+    if (config.memBudgetBytes > 0 && !spilled_streaming) {
         const std::uint64_t projected =
             projectedBufBytes(perpetual, iterations);
         checkUser(
@@ -139,6 +151,14 @@ runPerpetual(const PerpetualTest &perpetual, std::int64_t iterations,
 
     HarnessResult result;
     result.iterations = iterations;
+
+    if (config.streamEpochIters > 0) {
+        // The epoch-pipelined path owns execution, counting, and
+        // capture end to end; see perple/stream.h and DESIGN.md §9.
+        stream::runPerpetualStreaming(perpetual, iterations, outcomes,
+                                      config, result);
+        return result;
+    }
 
     // --- Capture setup: identity metadata is known before the run,
     // so the file header and Meta section go out up front and only

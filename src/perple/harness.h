@@ -100,9 +100,66 @@ struct HarnessConfig
      * Memory budget (bytes) for the run's buf arrays (N × Σ r_t × 8,
      * the analysis working set); 0 = unlimited. Exceeding it fails
      * fast with a UserError before execution instead of OOM-killing
-     * the process mid-run.
+     * the process mid-run. A spilled streaming run (streamEpochIters
+     * > 0 with a streamSpillPath) is exempt: its buf working set
+     * lives on disk, not in RAM.
      */
     std::uint64_t memBudgetBytes = 0;
+
+    /**
+     * Epoch size (iterations) of the streaming pipeline; 0 = classic
+     * batch mode (execute everything, then count). When positive, the
+     * run executes epoch by epoch while COUNTH drains published
+     * epochs concurrently on the shared thread pool — merged counts
+     * are bit-identical to batch COUNTH of the same capture (see
+     * perple::stream and DESIGN.md §9). The exhaustive counter, when
+     * requested, still runs post-hoc over the completed store.
+     */
+    std::int64_t streamEpochIters = 0;
+
+    /**
+     * Streaming pipeline depth in epochs: how far execution may run
+     * ahead of analysis before backpressure pauses it. Bounds the
+     * unanalyzed working set to streamRingDepth × streamEpochIters
+     * iterations.
+     */
+    std::size_t streamRingDepth = 4;
+
+    /**
+     * When non-empty, back the streaming buf store with this file
+     * (created, sized and unlinked up front) instead of anonymous
+     * memory, and actively drop analyzed epochs from residency: peak
+     * RSS stays near streamRingDepth × streamEpochIters while max N
+     * becomes disk-bound. Ignored in batch mode.
+     */
+    std::string streamSpillPath;
+};
+
+/** Observability of one streaming-pipeline run. */
+struct StreamRunStats
+{
+    /** Epochs the pipeline published and analyzed. */
+    std::int64_t epochs = 0;
+
+    /** Epoch size used (streamEpochIters clamped to N). */
+    std::int64_t epochIters = 0;
+
+    /**
+     * Pivot iterations deferred at least once because a deciding
+     * partner index lay past the current watermark (epoch-seam
+     * crossings); each was retried and decided at a later watermark,
+     * so deferrals cost latency, never correctness.
+     */
+    std::int64_t deferredSeamPivots = 0;
+
+    /** Largest deferred backlog observed after any epoch. */
+    std::int64_t peakDeferredBacklog = 0;
+
+    /** Bytes of the run's buf store (RAM, or disk when spilled). */
+    std::uint64_t storeBytes = 0;
+
+    /** True when the store was file-backed (streamSpillPath). */
+    bool spilled = false;
 };
 
 /** Harness results. */
@@ -140,6 +197,15 @@ struct HarnessResult
 
     /** Why the downgrade happened; empty when none did. */
     std::string downgradeReason;
+
+    /**
+     * Streaming-pipeline observability; present when the run used
+     * streamEpochIters > 0. In that mode `run.bufs` stays empty (the
+     * buf data lives in the pipeline's store, possibly spilled to
+     * disk) while `run.memory`/`run.stats` and all counts are filled
+     * as usual.
+     */
+    std::optional<StreamRunStats> streamStats;
 
     /** Wall seconds of execution plus heuristic counting (the
      *  PerpLE-heuristic runtime the paper reports). */
@@ -184,6 +250,18 @@ HarnessResult runPerpetual(const PerpetualTest &perpetual,
 void analyzeRun(const PerpetualTest &perpetual, std::int64_t iterations,
                 const std::vector<litmus::Outcome> &outcomes,
                 const HarnessConfig &config, HarnessResult &result);
+
+/**
+ * analyzeRun over raw buf base pointers instead of result.run.bufs —
+ * the form the streaming pipeline (whose bufs live in a StreamStore)
+ * and mmap'd capture re-analysis share. A heuristic count already
+ * present in @p result (e.g. streamed online) is kept, not recomputed.
+ */
+void analyzeBufs(const PerpetualTest &perpetual,
+                 std::int64_t iterations,
+                 const std::vector<litmus::Outcome> &outcomes,
+                 const HarnessConfig &config, const RawBufs &bufs,
+                 HarnessResult &result);
 
 } // namespace perple::core
 

@@ -43,6 +43,8 @@
 #include "perple/harness.h"
 #include "perple/perpetual_outcome.h"
 #include "perple/skew.h"
+#include "perple/stream.h"
+#include "perple/stream_store.h"
 #include "perple/witness.h"
 #include "runtime/barrier.h"
 #include "common/cli.h"

@@ -1,0 +1,448 @@
+#include "perple/stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "common/timing.h"
+#include "litmus/writer.h"
+#include "perple/epoch_ring.h"
+#include "perple/perpetual_outcome.h"
+#include "perple/stream_store.h"
+#include "runtime/native_runner.h"
+#include "sim/machine.h"
+#include "trace/writer.h"
+
+namespace perple::stream
+{
+
+EpochAnalyzer::EpochAnalyzer(const core::HeuristicCounter &counter,
+                             std::int64_t iterations,
+                             const core::RawBufs &bufs,
+                             core::CountMode mode, std::size_t threads)
+    : counter_(counter), iterations_(iterations), bufs_(bufs),
+      mode_(mode), threads_(common::ThreadPool::resolveThreads(threads))
+{
+    checkUser(iterations > 0,
+              "streaming COUNTH needs a positive iteration count");
+    const std::size_t shards =
+        threads_ <= 1
+            ? 1
+            : common::ThreadPool::shared(threads_).numThreads();
+    partial_.assign(shards,
+                    core::Counts(counter_.outcomes().size(), 0));
+    shardDeferred_.resize(shards);
+}
+
+void
+EpochAnalyzer::analyzeEpoch(std::int64_t begin, std::int64_t end)
+{
+    checkInternal(begin == analyzedEnd_ && end > begin &&
+                      end <= iterations_,
+                  "stream epochs must be contiguous and in order");
+    if (threads_ <= 1) {
+        counter_.countPivotRangeBounded(begin, end, iterations_, end,
+                                        bufs_, mode_, partial_[0],
+                                        shardDeferred_[0]);
+    } else {
+        common::ThreadPool::shared(threads_).parallelFor(
+            begin, end, /*grain=*/256,
+            [&](std::size_t shard, std::int64_t b, std::int64_t e) {
+                counter_.countPivotRangeBounded(
+                    b, e, iterations_, end, bufs_, mode_,
+                    partial_[shard], shardDeferred_[shard]);
+            });
+    }
+
+    // Retry the standing backlog at the new watermark, then absorb
+    // this epoch's fresh seam deferrals into it. The backlog is tiny
+    // (pivots right at the seam whose partner landed ahead), so the
+    // retry runs serially into shard 0's partial.
+    if (!backlog_.empty()) {
+        retryScratch_.clear();
+        counter_.countDeferredPivots(backlog_, iterations_, end, bufs_,
+                                     mode_, partial_[0], retryScratch_);
+        backlog_.swap(retryScratch_);
+    }
+    for (auto &fresh : shardDeferred_) {
+        deferredSeamPivots_ += static_cast<std::int64_t>(fresh.size());
+        backlog_.insert(backlog_.end(), fresh.begin(), fresh.end());
+        fresh.clear();
+    }
+    peakDeferredBacklog_ =
+        std::max(peakDeferredBacklog_,
+                 static_cast<std::int64_t>(backlog_.size()));
+    analyzedEnd_ = end;
+}
+
+core::Counts
+EpochAnalyzer::finish()
+{
+    checkInternal(analyzedEnd_ == iterations_,
+                  "stream finish() before every epoch was analyzed");
+    if (!backlog_.empty()) {
+        retryScratch_.clear();
+        counter_.countDeferredPivots(backlog_, iterations_, iterations_,
+                                     bufs_, mode_, partial_[0],
+                                     retryScratch_);
+        checkInternal(retryScratch_.empty(),
+                      "pivot deferred at the full watermark");
+        backlog_.clear();
+    }
+    core::Counts merged = partial_[0];
+    for (std::size_t shard = 1; shard < partial_.size(); ++shard)
+        for (std::size_t o = 0; o < merged.size(); ++o)
+            merged[o] += partial_[shard][o];
+    return merged;
+}
+
+core::Counts
+countHeuristicEpochs(const core::HeuristicCounter &counter,
+                     std::int64_t iterations, const core::RawBufs &bufs,
+                     std::int64_t epoch_iters, core::CountMode mode,
+                     std::size_t threads, core::StreamRunStats *stats)
+{
+    checkUser(epoch_iters > 0,
+              "streaming COUNTH needs a positive epoch size");
+    const std::int64_t e = std::min(epoch_iters, iterations);
+    EpochAnalyzer analyzer(counter, iterations, bufs, mode, threads);
+    std::int64_t epochs = 0;
+    for (std::int64_t begin = 0; begin < iterations; begin += e) {
+        analyzer.analyzeEpoch(begin, std::min(begin + e, iterations));
+        ++epochs;
+    }
+    core::Counts counts = analyzer.finish();
+    if (stats != nullptr) {
+        stats->epochs = epochs;
+        stats->epochIters = e;
+        stats->deferredSeamPivots = analyzer.deferredSeamPivots();
+        stats->peakDeferredBacklog = analyzer.peakDeferredBacklog();
+    }
+    return counts;
+}
+
+namespace
+{
+
+/** Cache-line padded progress/ceiling cell of the native pipeline. */
+struct alignas(64) PaddedCell
+{
+    volatile std::int64_t value = 0;
+};
+
+} // namespace
+
+void
+runPerpetualStreaming(const core::PerpetualTest &perpetual,
+                      std::int64_t iterations,
+                      const std::vector<litmus::Outcome> &outcomes,
+                      const core::HarnessConfig &config,
+                      core::HarnessResult &result)
+{
+    const std::int64_t epoch_iters =
+        std::min(config.streamEpochIters, iterations);
+    checkUser(epoch_iters > 0,
+              "streaming needs a positive streamEpochIters");
+    checkUser(config.streamRingDepth >= 1,
+              "streaming needs a positive streamRingDepth");
+    const std::size_t num_threads = perpetual.programs.size();
+    const std::int64_t num_epochs =
+        (iterations + epoch_iters - 1) / epoch_iters;
+    const bool native = config.backend == core::Backend::Native;
+
+    StreamStore store(perpetual.loadsPerIteration, iterations,
+                      config.streamSpillPath);
+    const core::RawBufs raw = store.rawBufs();
+    EpochRing ring(config.streamRingDepth);
+    const auto ring_depth = static_cast<std::int64_t>(ring.capacity());
+
+    // The ceiling a runner may execute below once `analyzed` epochs
+    // have been drained: ring_depth epochs of run-ahead.
+    const auto ceiling_for = [&](std::int64_t analyzed) {
+        const std::int64_t ahead = analyzed + ring_depth;
+        return ahead >= num_epochs ? iterations : ahead * epoch_iters;
+    };
+
+    // Online COUNTH only when asked; an exhaustive-only run still
+    // streams (for the bounded working set) but drains without
+    // counting, and analyzeBufs below does the rest post-hoc.
+    std::optional<core::HeuristicCounter> counter;
+    std::optional<EpochAnalyzer> analyzer;
+    if (config.runHeuristic) {
+        counter.emplace(perpetual.original,
+                        core::buildPerpetualOutcomes(perpetual.original,
+                                                     outcomes));
+        analyzer.emplace(*counter, iterations, raw, config.countMode,
+                         config.analysisThreads);
+    }
+
+    // --- Execution side. ---
+    std::exception_ptr exec_error;
+    std::atomic<std::int64_t> exec_ns{0};
+    std::atomic<bool> exec_done{false};
+    std::vector<PaddedCell> cells;
+    std::vector<volatile std::int64_t *> cell_ptrs;
+    std::vector<litmus::Value *> ext_bufs;
+    PaddedCell ceiling;
+    std::thread exec_thread;
+    std::thread publish_thread;
+    if (native) {
+        cells = std::vector<PaddedCell>(num_threads);
+        cell_ptrs.reserve(num_threads);
+        for (auto &cell : cells)
+            cell_ptrs.push_back(&cell.value);
+        ext_bufs.reserve(num_threads);
+        for (std::size_t t = 0; t < num_threads; ++t)
+            ext_bufs.push_back(store.threadBase(t));
+        ceiling.value = ceiling_for(0);
+    }
+
+    WallTimer pipeline_timer;
+    if (!native) {
+        // The sim is single-threaded, so the epoch loop lives on one
+        // executor thread: run an epoch, copy its bufs into the store,
+        // publish the ticket (push blocks when the ring is full — the
+        // sim side's backpressure).
+        exec_thread = std::thread([&] {
+            WallTimer timer;
+            try {
+                sim::MachineConfig machine_config = config.machine;
+                machine_config.seed = config.seed;
+                machine_config.addressMode = sim::AddressMode::Shared;
+                sim::Machine machine(perpetual.programs,
+                                     perpetual.original.numLocations(),
+                                     machine_config);
+                sim::RunResult scratch;
+                for (std::int64_t e = 0; e < num_epochs; ++e) {
+                    const std::int64_t begin = e * epoch_iters;
+                    const std::int64_t end =
+                        std::min(begin + epoch_iters, iterations);
+                    for (auto &buf : scratch.bufs)
+                        buf.clear();
+                    machine.runFree(end - begin, begin, scratch);
+                    for (std::size_t t = 0; t < num_threads; ++t) {
+                        const auto r_t = static_cast<std::size_t>(
+                            perpetual.loadsPerIteration[t]);
+                        if (r_t == 0)
+                            continue;
+                        checkInternal(
+                            scratch.bufs[t].size() ==
+                                static_cast<std::size_t>(end - begin) *
+                                    r_t,
+                            "sim epoch produced a short buf");
+                        std::memcpy(
+                            store.threadBase(t) +
+                                static_cast<std::size_t>(begin) * r_t,
+                            scratch.bufs[t].data(),
+                            scratch.bufs[t].size() *
+                                sizeof(litmus::Value));
+                    }
+                    if (!ring.push({e, begin, end}))
+                        break; // Cancelled by the analysis side.
+                }
+                result.run.memory = scratch.memory;
+                result.run.stats = scratch.stats;
+            } catch (...) {
+                exec_error = std::current_exception();
+            }
+            exec_ns.store(timer.elapsedNs(), std::memory_order_relaxed);
+            ring.close();
+        });
+    } else {
+        // Native runner threads free-run below the iteration ceiling
+        // and publish per-thread watermarks; a publisher thread turns
+        // the min watermark into epoch tickets.
+        exec_thread = std::thread([&] {
+            WallTimer timer;
+            try {
+                runtime::NativeConfig native_config;
+                native_config.mode = runtime::SyncMode::None;
+                native_config.perIterationInstances = false;
+                native_config.externalBufs = ext_bufs.data();
+                native_config.progressCells = cell_ptrs.data();
+                native_config.iterationCeiling = &ceiling.value;
+                sim::RunResult run = runtime::runNative(
+                    perpetual.programs,
+                    perpetual.original.numLocations(), iterations,
+                    native_config);
+                result.run.memory = std::move(run.memory);
+                result.run.stats = run.stats;
+            } catch (...) {
+                exec_error = std::current_exception();
+            }
+            exec_ns.store(timer.elapsedNs(), std::memory_order_relaxed);
+            exec_done.store(true, std::memory_order_release);
+        });
+        publish_thread = std::thread([&] {
+            std::int64_t next_epoch = 0;
+            while (next_epoch < num_epochs) {
+                // Order matters: `done` before the watermark. Observed
+                // done → the watermark read below is final, so epochs
+                // it still does not cover never arrive (runner threw).
+                const bool done =
+                    exec_done.load(std::memory_order_acquire);
+                std::int64_t watermark = iterations;
+                for (std::size_t t = 0; t < num_threads; ++t)
+                    watermark = std::min(
+                        watermark,
+                        static_cast<std::int64_t>(__atomic_load_n(
+                            &cells[t].value, __ATOMIC_ACQUIRE)));
+                while (next_epoch < num_epochs) {
+                    const std::int64_t begin = next_epoch * epoch_iters;
+                    const std::int64_t end =
+                        std::min(begin + epoch_iters, iterations);
+                    if (watermark < end)
+                        break;
+                    if (!ring.push({next_epoch, begin, end})) {
+                        ring.close();
+                        return; // Cancelled by the analysis side.
+                    }
+                    ++next_epoch;
+                }
+                if (next_epoch >= num_epochs || done)
+                    break;
+                std::this_thread::yield();
+            }
+            ring.close();
+        });
+    }
+
+    // --- Analysis side: this thread drains the ring. ---
+    std::exception_ptr analysis_error;
+    std::int64_t analyzed_epochs = 0;
+    try {
+        EpochTicket ticket;
+        while (ring.pop(ticket)) {
+            if (analyzer)
+                analyzer->analyzeEpoch(ticket.begin, ticket.end);
+            ++analyzed_epochs;
+            if (native)
+                __atomic_store_n(&ceiling.value,
+                                 ceiling_for(analyzed_epochs),
+                                 __ATOMIC_RELEASE);
+            if (store.spilled() && ticket.index >= ring_depth) {
+                // Epochs the pipeline has run past are cold: drop them
+                // from residency so peak RSS tracks the ring, not N.
+                const std::int64_t old = ticket.index - ring_depth;
+                store.releaseIterations(
+                    old * epoch_iters,
+                    std::min((old + 1) * epoch_iters, iterations));
+            }
+        }
+    } catch (...) {
+        analysis_error = std::current_exception();
+        ring.cancel();
+        if (native) // Unblock runners waiting on the ceiling.
+            __atomic_store_n(&ceiling.value, iterations,
+                             __ATOMIC_RELEASE);
+    }
+    if (exec_thread.joinable())
+        exec_thread.join();
+    if (publish_thread.joinable())
+        publish_thread.join();
+
+    const std::int64_t exec_wall =
+        exec_ns.load(std::memory_order_relaxed);
+    result.timing.addNs("exec", exec_wall);
+    if (analysis_error)
+        std::rethrow_exception(analysis_error);
+    if (exec_error)
+        std::rethrow_exception(exec_error);
+    checkInternal(analyzed_epochs == num_epochs,
+                  "stream pipeline ended early without an error");
+
+    // Counting overlapped execution, so only its non-overlapped tail
+    // (drain after exec finished, plus the final deferred retry and
+    // merge) counts toward the phase — heuristicSeconds() then reports
+    // the pipeline's true end-to-end wall clock.
+    if (analyzer) {
+        std::int64_t count_ns = std::max<std::int64_t>(
+            0, pipeline_timer.elapsedNs() - exec_wall);
+        WallTimer finish_timer;
+        result.heuristic = analyzer->finish();
+        count_ns += finish_timer.elapsedNs();
+        result.timing.addNs("count-heuristic", count_ns);
+    }
+
+    core::StreamRunStats stats;
+    stats.epochs = num_epochs;
+    stats.epochIters = epoch_iters;
+    if (analyzer) {
+        stats.deferredSeamPivots = analyzer->deferredSeamPivots();
+        stats.peakDeferredBacklog = analyzer->peakDeferredBacklog();
+    }
+    stats.storeBytes = store.bytes();
+    stats.spilled = store.spilled();
+    result.streamStats = stats;
+
+    // --- Capture: written post-run straight from the store (the data
+    // is already final and contiguous), overlapped with the post-hoc
+    // counting below, which only reads the same immutable store. ---
+    std::thread capture_thread;
+    std::exception_ptr capture_error;
+    std::atomic<std::int64_t> capture_ns{0};
+    if (!config.capturePath.empty()) {
+        capture_thread = std::thread([&] {
+            try {
+                WallTimer capture_timer;
+                trace::TraceMeta meta;
+                meta.testName = perpetual.original.name;
+                meta.testText = litmus::writeTest(perpetual.original);
+                meta.strides = perpetual.strides;
+                meta.loadsPerIteration = perpetual.loadsPerIteration;
+                meta.machine = config.machine;
+                trace::WriterOptions options;
+                options.bufEncoding = config.captureEncoding;
+                trace::TraceWriter writer(config.capturePath, meta,
+                                          options);
+                trace::RunInfo info;
+                info.seed = config.seed;
+                info.iterations = iterations;
+                info.backend = native ? "native" : "sim";
+                writer.beginRun(info);
+                for (std::size_t t = 0; t < num_threads; ++t) {
+                    const auto r_t = static_cast<std::size_t>(
+                        perpetual.loadsPerIteration[t]);
+                    writer.writeBuf(
+                        r_t == 0 ? nullptr : store.threadBase(t),
+                        r_t * static_cast<std::size_t>(iterations));
+                }
+                writer.writeMemory(result.run.memory);
+                writer.writeStats(result.run.stats);
+                writer.finish();
+                result.captureBytes = writer.bytesWritten();
+                capture_ns.store(capture_timer.elapsedNs(),
+                                 std::memory_order_relaxed);
+            } catch (...) {
+                capture_error = std::current_exception();
+            }
+        });
+    }
+
+    // --- Post-hoc counting over the completed store: the exhaustive
+    // COUNT when requested (with its probe/budget downgrade), and the
+    // heuristic only if it did not already stream online. ---
+    std::exception_ptr analyze_error;
+    try {
+        core::analyzeBufs(perpetual, iterations, outcomes, config, raw,
+                          result);
+    } catch (...) {
+        analyze_error = std::current_exception();
+    }
+    if (capture_thread.joinable()) {
+        capture_thread.join();
+        result.timing.addNs("capture",
+                            capture_ns.load(std::memory_order_relaxed));
+    }
+    if (analyze_error)
+        std::rethrow_exception(analyze_error);
+    if (capture_error)
+        std::rethrow_exception(capture_error);
+}
+
+} // namespace perple::stream

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The streaming epoch-pipelined outcome analysis (DESIGN.md §9).
+ *
+ * Classic batch mode executes all N iterations, then counts — peak
+ * memory is the full buf working set and the counters sit idle during
+ * execution. The streaming pipeline instead publishes the run in
+ * fixed-size epochs through a bounded ring (perple/epoch_ring.h) while
+ * COUNTH drains published epochs concurrently on the shared thread
+ * pool. Counting uses the bounded evaluation of HeuristicCounter:
+ * pivots whose deciding partner index lies past the publication
+ * watermark are deferred all-or-nothing and retried at later
+ * watermarks, so the merged counts are bit-identical to batch COUNTH
+ * of the same buf data for every epoch size, ring depth and thread
+ * count. Bufs live in a StreamStore (perple/stream_store.h), which —
+ * when spilled to a file — moves the max-N ceiling from RAM to disk.
+ */
+
+#ifndef PERPLE_CORE_STREAM_H
+#define PERPLE_CORE_STREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "litmus/outcome.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+
+namespace perple::stream
+{
+
+/**
+ * Incremental COUNTH over a run published epoch by epoch.
+ *
+ * Feed analyzeEpoch() each contiguous published range in order, then
+ * call finish() once everything is published; the result equals
+ * HeuristicCounter::count() over the full run bit for bit (per-pivot
+ * indicators commute, and a pivot is counted exactly once: either in
+ * the epoch pass that decided it or in the deferred retry that did).
+ */
+class EpochAnalyzer
+{
+  public:
+    /**
+     * @param counter The heuristic counter (outlives the analyzer).
+     * @param iterations Full run length N.
+     * @param bufs The run's buf base pointers (a StreamStore's
+     *        rawBufs(), or any batch-layout bufs); reads stay below
+     *        the watermark passed to analyzeEpoch().
+     * @param mode Frame-sharing semantics.
+     * @param threads Analysis threads (0 = hardware concurrency,
+     *        1 = serial).
+     */
+    EpochAnalyzer(const core::HeuristicCounter &counter,
+                  std::int64_t iterations, const core::RawBufs &bufs,
+                  core::CountMode mode, std::size_t threads);
+
+    /**
+     * Count pivots [@p begin, @p end) with watermark @p end (every
+     * buf value below @p end is published), and retry the deferred
+     * backlog at the new watermark. Epochs must be contiguous and in
+     * order starting at 0.
+     */
+    void analyzeEpoch(std::int64_t begin, std::int64_t end);
+
+    /**
+     * Final counts. Requires every epoch to have been analyzed (the
+     * last watermark reached N); any still-deferred pivot is decided
+     * here at watermark N, where deferral is impossible.
+     */
+    core::Counts finish();
+
+    /** Pivots deferred at least once (epoch-seam crossings). */
+    std::int64_t
+    deferredSeamPivots() const
+    {
+        return deferredSeamPivots_;
+    }
+
+    /** Largest deferred backlog observed after any epoch. */
+    std::int64_t
+    peakDeferredBacklog() const
+    {
+        return peakDeferredBacklog_;
+    }
+
+  private:
+    const core::HeuristicCounter &counter_;
+    std::int64_t iterations_;
+    const core::RawBufs &bufs_;
+    core::CountMode mode_;
+    std::size_t threads_;
+
+    /** Per-shard partial counts, merged in finish(). */
+    std::vector<core::Counts> partial_;
+
+    /** Per-shard deferral scratch of the current epoch pass. */
+    std::vector<std::vector<std::int64_t>> shardDeferred_;
+
+    /** Pivots awaiting a higher watermark. */
+    std::vector<std::int64_t> backlog_;
+    std::vector<std::int64_t> retryScratch_;
+
+    std::int64_t analyzedEnd_ = 0;
+    std::int64_t deferredSeamPivots_ = 0;
+    std::int64_t peakDeferredBacklog_ = 0;
+};
+
+/**
+ * Batch-input convenience: stream COUNTH over already-complete bufs in
+ * epochs of @p epoch_iters. Exists for capture re-analysis
+ * (`perple_trace analyze --stream` counts an mmap'd .plt epoch by
+ * epoch, never faulting the whole file at once) and for the
+ * bit-identity property tests. @p stats, when non-null, receives the
+ * pipeline observability fields (counting-side only).
+ */
+core::Counts countHeuristicEpochs(const core::HeuristicCounter &counter,
+                                  std::int64_t iterations,
+                                  const core::RawBufs &bufs,
+                                  std::int64_t epoch_iters,
+                                  core::CountMode mode,
+                                  std::size_t threads,
+                                  core::StreamRunStats *stats = nullptr);
+
+/**
+ * The streaming implementation behind core::runPerpetual (dispatched
+ * when HarnessConfig::streamEpochIters > 0): execution and COUNTH run
+ * concurrently, overlapped end to end; the exhaustive counter (when
+ * requested) runs post-hoc over the completed store via
+ * core::analyzeBufs. Fills @p result the same way batch runPerpetual
+ * does, except run.bufs stays empty (the data lives in the pipeline's
+ * store) and streamStats is set.
+ */
+void runPerpetualStreaming(const core::PerpetualTest &perpetual,
+                           std::int64_t iterations,
+                           const std::vector<litmus::Outcome> &outcomes,
+                           const core::HarnessConfig &config,
+                           core::HarnessResult &result);
+
+} // namespace perple::stream
+
+#endif // PERPLE_CORE_STREAM_H

@@ -1,0 +1,156 @@
+#include "perple/stream_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::stream
+{
+
+namespace
+{
+
+std::size_t
+pageSize()
+{
+    static const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return page;
+}
+
+std::size_t
+alignUp(std::size_t bytes, std::size_t align)
+{
+    return (bytes + align - 1) / align * align;
+}
+
+} // namespace
+
+StreamStore::StreamStore(const std::vector<int> &loads_per_iteration,
+                         std::int64_t iterations,
+                         const std::string &spill_path)
+    : loadsPerIteration_(loads_per_iteration), iterations_(iterations)
+{
+    checkUser(iterations > 0,
+              "stream store needs a positive iteration count");
+    checkUser(!loads_per_iteration.empty(),
+              "stream store needs at least one thread");
+
+    // Page-align every thread's region so per-epoch residency release
+    // of one thread never touches a neighbour's data.
+    const std::size_t page = pageSize();
+    std::size_t offset = 0;
+    threadOffset_.reserve(loads_per_iteration.size());
+    for (const int r_t : loads_per_iteration) {
+        threadOffset_.push_back(offset);
+        const std::size_t thread_bytes =
+            static_cast<std::size_t>(r_t) *
+            static_cast<std::size_t>(iterations) *
+            sizeof(litmus::Value);
+        offset += alignUp(thread_bytes, page);
+    }
+    bytes_ = offset;
+    if (bytes_ == 0)
+        return; // Store-only test: nothing to map.
+
+    int fd = -1;
+    if (!spill_path.empty()) {
+        fd = ::open(spill_path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                    0644);
+        checkUser(fd >= 0,
+                  format("cannot create stream spill file %s: %s",
+                         spill_path.c_str(), std::strerror(errno)));
+        if (::ftruncate(fd, static_cast<off_t>(bytes_)) != 0) {
+            const int err = errno;
+            ::close(fd);
+            ::unlink(spill_path.c_str());
+            checkUser(false,
+                      format("cannot size stream spill file %s to "
+                             "%llu bytes: %s",
+                             spill_path.c_str(),
+                             static_cast<unsigned long long>(bytes_),
+                             std::strerror(err)));
+        }
+        // Unlink immediately: the mapping keeps the storage alive and
+        // the spill can never be leaked past the process's lifetime.
+        ::unlink(spill_path.c_str());
+        spilled_ = true;
+    }
+
+    void *mapping = ::mmap(
+        nullptr, bytes_, PROT_READ | PROT_WRITE,
+        spilled_ ? MAP_SHARED : (MAP_PRIVATE | MAP_ANONYMOUS), fd, 0);
+    if (fd >= 0)
+        ::close(fd);
+    checkUser(mapping != MAP_FAILED,
+              format("cannot map %llu bytes of stream buf storage: %s",
+                     static_cast<unsigned long long>(bytes_),
+                     std::strerror(errno)));
+    base_ = static_cast<unsigned char *>(mapping);
+}
+
+StreamStore::~StreamStore()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, bytes_);
+}
+
+litmus::Value *
+StreamStore::threadBase(std::size_t t)
+{
+    checkInternal(t < loadsPerIteration_.size(),
+                  "stream store thread out of range");
+    if (loadsPerIteration_[t] == 0)
+        return nullptr;
+    return reinterpret_cast<litmus::Value *>(base_ + threadOffset_[t]);
+}
+
+core::RawBufs
+StreamStore::rawBufs() const
+{
+    std::vector<const litmus::Value *> raw;
+    raw.reserve(loadsPerIteration_.size());
+    for (std::size_t t = 0; t < loadsPerIteration_.size(); ++t)
+        raw.push_back(
+            loadsPerIteration_[t] == 0
+                ? nullptr
+                : reinterpret_cast<const litmus::Value *>(
+                      base_ + threadOffset_[t]));
+    return core::RawBufs(std::move(raw));
+}
+
+void
+StreamStore::releaseIterations(std::int64_t begin, std::int64_t end)
+{
+    if (!spilled_ || end <= begin)
+        return; // Anonymous: DONTNEED would zero live data.
+    const std::size_t page = pageSize();
+    for (std::size_t t = 0; t < loadsPerIteration_.size(); ++t) {
+        const auto r_t =
+            static_cast<std::size_t>(loadsPerIteration_[t]);
+        if (r_t == 0)
+            continue;
+        // Shrink inward to whole pages: a page shared with data
+        // outside [begin, end) stays resident.
+        const std::size_t lo = alignUp(
+            static_cast<std::size_t>(begin) * r_t *
+                sizeof(litmus::Value),
+            page);
+        const std::size_t hi = static_cast<std::size_t>(end) * r_t *
+                               sizeof(litmus::Value) / page * page;
+        if (hi <= lo)
+            continue;
+        // Best effort: failing to drop residency costs memory, not
+        // correctness.
+        (void)::madvise(base_ + threadOffset_[t] + lo, hi - lo,
+                        MADV_DONTNEED);
+    }
+}
+
+} // namespace perple::stream

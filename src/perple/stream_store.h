@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Buf storage for the streaming pipeline (perple::stream).
+ *
+ * The epoch-pipelined analyzer needs the run's buf arrays to stay
+ * randomly addressable — a COUNTH substitution can derive a partner
+ * iteration arbitrarily far from its pivot under thread skew, so a
+ * sliding window of recent epochs cannot guarantee bit-identity with
+ * batch counting. StreamStore therefore keeps every thread's buf in
+ * one contiguous region (the exact layout RawBufs and both counters
+ * already consume), but the region can be file-backed: runner threads
+ * write through the page cache, analyzed epochs are dropped from
+ * residency, and a re-read of old data (a deferred seam pivot, the
+ * post-hoc exhaustive pass, a capture writer) faults it back in from
+ * disk. That is what moves the max-N ceiling from RAM to disk.
+ */
+
+#ifndef PERPLE_CORE_STREAM_STORE_H
+#define PERPLE_CORE_STREAM_STORE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/types.h"
+#include "perple/counters.h"
+
+namespace perple::stream
+{
+
+/** One mapping holding every thread's buf region; see file comment. */
+class StreamStore
+{
+  public:
+    /**
+     * Map storage for an N-iteration run.
+     *
+     * @param loads_per_iteration r_t per thread (0 = store-only, no
+     *        region).
+     * @param iterations Run length N.
+     * @param spill_path When non-empty, back the mapping with this
+     *        file (created, sized, and unlinked immediately, so the
+     *        spill can never outlive the process); empty keeps the
+     *        store in anonymous memory.
+     */
+    StreamStore(const std::vector<int> &loads_per_iteration,
+                std::int64_t iterations, const std::string &spill_path);
+
+    ~StreamStore();
+
+    StreamStore(const StreamStore &) = delete;
+    StreamStore &operator=(const StreamStore &) = delete;
+
+    /** Base of thread @p t's buf (r_t × N values; null when r_t = 0). */
+    litmus::Value *threadBase(std::size_t t);
+
+    /** The store's bufs as counter input (nullptr for empty threads). */
+    core::RawBufs rawBufs() const;
+
+    /**
+     * Drop the pages holding iterations [@p begin, @p end) of every
+     * thread's region from residency (madvise MADV_DONTNEED, shrunk
+     * inward to page boundaries). File-backed stores only — on an
+     * anonymous mapping this would zero data, so it is a no-op there.
+     * The data stays readable either way; later reads fault it back
+     * in from the page cache or the spill file.
+     */
+    void releaseIterations(std::int64_t begin, std::int64_t end);
+
+    /** Total mapped bytes (the run's full buf working set). */
+    std::uint64_t
+    bytes() const
+    {
+        return bytes_;
+    }
+
+    /** True when the store is file-backed (spillable). */
+    bool
+    spilled() const
+    {
+        return spilled_;
+    }
+
+  private:
+    std::vector<int> loadsPerIteration_;
+    std::int64_t iterations_ = 0;
+    std::vector<std::size_t> threadOffset_; ///< Page-aligned, bytes.
+    unsigned char *base_ = nullptr;
+    std::uint64_t bytes_ = 0;
+    bool spilled_ = false;
+};
+
+} // namespace perple::stream
+
+#endif // PERPLE_CORE_STREAM_STORE_H

@@ -55,6 +55,19 @@ runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
         chunk_barrier->wait(thread_id); // Launch synchronization.
 
         for (std::int64_t n = 0; n < iterations; ++n) {
+            if (config.iterationCeiling != nullptr) {
+                // Streaming backpressure: stay below the analysis
+                // ceiling. Spin briefly, then yield — the ceiling
+                // only moves when an epoch finishes analyzing.
+                int spins = 0;
+                while (__atomic_load_n(config.iterationCeiling,
+                                       __ATOMIC_ACQUIRE) <= n) {
+                    if (++spins < 64)
+                        cpuRelax();
+                    else
+                        std::this_thread::yield();
+                }
+            }
             if (config.perIterationInstances && n > 0 &&
                 n % instances == 0) {
                 // Instances wrap: rendezvous, zero, rendezvous.
@@ -87,8 +100,10 @@ runNative(const std::vector<sim::SimProgram> &programs, int num_locations,
                     break;
                 }
             }
+            // Release publication: a reader acquiring the cell owns
+            // the whole buf prefix below it (see NativeConfig).
             if (progress != nullptr)
-                asmStore(progress, n + 1);
+                __atomic_store_n(progress, n + 1, __ATOMIC_RELEASE);
         }
     };
 

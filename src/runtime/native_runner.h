@@ -65,10 +65,24 @@ struct NativeConfig
 
     /**
      * When non-null, thread t publishes n + 1 into progressCells[t]
-     * after completing iteration n — the crash-salvage watermark: the
-     * buf prefix below the published count is final and never changes.
+     * after completing iteration n — the crash-salvage and streaming
+     * watermark: the buf prefix below the published count is final and
+     * never changes. Published with release semantics, so a reader
+     * that acquires the cell sees every buf write of the covered
+     * prefix (this is what lets the streaming pipeline count epochs
+     * while the run is still executing, race-free and TSan-clean).
      */
     volatile std::int64_t *const *progressCells = nullptr;
+
+    /**
+     * When non-null, a thread about to run iteration n first waits
+     * (PAUSE spin + yield) until n < the cell's value — the streaming
+     * pipeline's backpressure: analysis raises the ceiling as it
+     * drains epochs, so a runner can be at most streamRingDepth
+     * epochs ahead of the slowest analysis worker and the unanalyzed
+     * working set stays bounded. Null = run free with no ceiling.
+     */
+    const volatile std::int64_t *iterationCeiling = nullptr;
 };
 
 /**

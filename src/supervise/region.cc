@@ -124,13 +124,19 @@ RunRegion::done() const
 {
     const auto *cells = static_cast<const PaddedCell *>(
         static_cast<const void *>(base_));
-    return cells[0].value != 0;
+    return __atomic_load_n(&cells[0].value, __ATOMIC_ACQUIRE) != 0;
 }
 
 std::int64_t
 RunRegion::progress(std::size_t t) const
 {
-    return *const_cast<RunRegion *>(this)->progressCell(t);
+    // Acquire pairs with the runner's release publication: a parent
+    // observing progress p sees every buf write of iterations [0, p)
+    // — the contract the live streaming analyzer counts against while
+    // the child is still executing.
+    return __atomic_load_n(
+        const_cast<RunRegion *>(this)->progressCell(t),
+        __ATOMIC_ACQUIRE);
 }
 
 std::int64_t

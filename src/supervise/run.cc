@@ -2,13 +2,19 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <thread>
 
 #include "common/error.h"
 #include "common/strings.h"
 #include "litmus/writer.h"
+#include "perple/perpetual_outcome.h"
+#include "perple/stream.h"
 #include "runtime/native_runner.h"
 #include "sim/machine.h"
 #include "supervise/region.h"
@@ -74,6 +80,135 @@ fileBytes(const std::string &path)
         return 0;
     return static_cast<std::uint64_t>(st.st_size);
 }
+
+/**
+ * Parent-side streaming analyzer: counts epochs of the shared region
+ * live, against the child's progress watermark, while the child is
+ * still executing. Native backend only — the simulator child fills
+ * the region in one shot at the end, leaving nothing to overlap.
+ *
+ * Only a clean full-length run may keep the streamed counts: bounded
+ * evaluation bakes the planned N into every in-range check and
+ * existential bound, so a salvaged N' < N run is batch-recounted
+ * from scratch (bit-identity over the salvaged prefix demands it).
+ */
+class LiveEpochAnalyzer
+{
+  public:
+    LiveEpochAnalyzer(const core::PerpetualTest &perpetual,
+                      std::int64_t iterations,
+                      const std::vector<litmus::Outcome> &outcomes,
+                      const core::HarnessConfig &config,
+                      const RunRegion &region)
+        : epochIters_(std::min(config.streamEpochIters, iterations)),
+          iterations_(iterations), config_(&config), region_(&region),
+          counter_(perpetual.original,
+                   core::buildPerpetualOutcomes(perpetual.original,
+                                                outcomes))
+    {
+        std::vector<const litmus::Value *> raw;
+        for (std::size_t t = 0; t < region.numThreads(); ++t)
+            raw.push_back(region.loadsPerIteration()[t] == 0
+                              ? nullptr
+                              : region.bufData(t));
+        bufs_.emplace(std::move(raw));
+    }
+
+    ~LiveEpochAnalyzer() { stop(); }
+
+    /** Begin analyzing the current (freshly reset) attempt. */
+    void
+    start()
+    {
+        stop();
+        stop_.store(false, std::memory_order_relaxed);
+        counts_.reset();
+        stats_ = core::StreamRunStats{};
+        error_ = nullptr;
+        thread_ = std::thread([this] { analyzeLoop(); });
+    }
+
+    /** Join the analyzer (idempotent; safe when never started). */
+    void
+    stop()
+    {
+        stop_.store(true, std::memory_order_release);
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    /**
+     * The streamed counts, present only when the analyzer decided
+     * every pivot of the full planned run. A live-analysis error is
+     * rethrown here (after the fact, on the parent's own thread).
+     */
+    const std::optional<core::Counts> &
+    counts() const
+    {
+        if (error_)
+            std::rethrow_exception(error_);
+        return counts_;
+    }
+
+    const core::StreamRunStats &
+    stats() const
+    {
+        return stats_;
+    }
+
+  private:
+    void
+    analyzeLoop()
+    {
+        try {
+            stream::EpochAnalyzer analyzer(
+                counter_, iterations_, *bufs_, config_->countMode,
+                config_->analysisThreads);
+            std::int64_t analyzed = 0;
+            std::int64_t epochs = 0;
+            while (analyzed < iterations_) {
+                const std::int64_t completed =
+                    region_->completedIterations();
+                const std::int64_t target =
+                    completed >= iterations_
+                        ? iterations_
+                        : completed / epochIters_ * epochIters_;
+                while (analyzed < target) {
+                    const std::int64_t end =
+                        std::min(analyzed + epochIters_, target);
+                    analyzer.analyzeEpoch(analyzed, end);
+                    analyzed = end;
+                    ++epochs;
+                }
+                if (analyzed >= iterations_)
+                    break;
+                if (stop_.load(std::memory_order_acquire))
+                    return; // Attempt over before the run completed.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+            counts_ = analyzer.finish();
+            stats_.epochs = epochs;
+            stats_.epochIters = epochIters_;
+            stats_.deferredSeamPivots = analyzer.deferredSeamPivots();
+            stats_.peakDeferredBacklog = analyzer.peakDeferredBacklog();
+        } catch (...) {
+            error_ = std::current_exception();
+        }
+    }
+
+    std::int64_t epochIters_;
+    std::int64_t iterations_;
+    const core::HarnessConfig *config_;
+    const RunRegion *region_;
+    core::HeuristicCounter counter_;
+    std::optional<core::RawBufs> bufs_;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::optional<core::Counts> counts_;
+    core::StreamRunStats stats_;
+    std::exception_ptr error_;
+};
 
 } // namespace
 
@@ -211,9 +346,24 @@ runPerpetualSupervised(const core::PerpetualTest &perpetual,
         }
     };
 
+    // Live epoch analysis of the shared region, restarted with every
+    // attempt (the region is reset under it otherwise).
+    std::unique_ptr<LiveEpochAnalyzer> live;
+    if (config.streamEpochIters > 0 && config.runHeuristic &&
+        config.backend == core::Backend::Native)
+        live = std::make_unique<LiveEpochAnalyzer>(
+            perpetual, iterations, outcomes, config, region);
+
     SupervisedHarnessResult out;
-    out.child = runSupervised(body, supervisor,
-                              [&region] { region.reset(); });
+    out.child = runSupervised(body, supervisor, [&region, &live] {
+        if (live)
+            live->stop();
+        region.reset();
+        if (live)
+            live->start();
+    });
+    if (live)
+        live->stop();
 
     const std::int64_t completed =
         region.done() ? iterations : region.completedIterations();
@@ -224,6 +374,17 @@ runPerpetualSupervised(const core::PerpetualTest &perpetual,
         core::HarnessResult analysis;
         analysis.iterations = completed;
         analysis.run = region.snapshot(completed);
+        if (live && completed == iterations) {
+            // Clean full run: keep the streamed counts (bit-identical
+            // to the batch recount analyzeRun would do) and surface
+            // the pipeline stats. A salvaged shorter run falls
+            // through with no streamed counts — the analyzer counted
+            // against the planned N, not the salvaged N'.
+            if (const auto &streamed = live->counts()) {
+                analysis.heuristic = *streamed;
+                analysis.streamStats = live->stats();
+            }
+        }
         core::analyzeRun(perpetual, completed, outcomes, config,
                          analysis);
         if (!config.capturePath.empty())

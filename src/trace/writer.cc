@@ -1,5 +1,6 @@
 #include "trace/writer.h"
 
+#include <cerrno>
 #include <cstring>
 
 #include "common/error.h"
@@ -57,20 +58,43 @@ TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
     // Make the header and Meta durable before any run executes: a
     // capture whose writer is later killed mid-run must still open in
     // salvage mode, which requires a complete Meta on disk.
-    std::fflush(file_);
+    if (std::fflush(file_) != 0) {
+        failed_ = true;
+        std::fclose(file_);
+        file_ = nullptr;
+        checkUser(false,
+                  format("cannot flush trace file %s: %s",
+                         path_.c_str(), std::strerror(errno)));
+    }
 }
 
 TraceWriter::~TraceWriter()
 {
-    if (file_ != nullptr)
-        std::fclose(file_);
+    if (file_ == nullptr)
+        return;
+    // fclose flushes whatever stdio still buffers; a failure here is
+    // the last chance to learn the capture is corrupt. A destructor
+    // cannot throw, so warn — silence would ship a file that only
+    // fails (much later) at CRC verification.
+    const bool close_failed = std::fclose(file_) != 0;
+    if ((close_failed || failed_) && state_ != State::Finished)
+        std::fprintf(stderr,
+                     "perple: warning: trace capture %s lost writes "
+                     "(%s); the file is corrupt or incomplete\n",
+                     path_.c_str(),
+                     close_failed ? std::strerror(errno)
+                                  : "earlier write error");
 }
 
 void
 TraceWriter::writeRaw(const void *data, std::size_t bytes)
 {
-    checkUser(std::fwrite(data, 1, bytes, file_) == bytes,
-              format("short write to trace file %s", path_.c_str()));
+    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+        failed_ = true;
+        checkUser(false,
+                  format("short write to trace file %s: %s",
+                         path_.c_str(), std::strerror(errno)));
+    }
     bytes_ += bytes;
 }
 
@@ -191,17 +215,29 @@ TraceWriter::finish()
     checkUser(wroteRun_,
               "a trace needs at least one captured run (empty-run "
               "captures are invalid)");
+    // A stream that already lost bytes must never get an End marker:
+    // readers treat End as "every section before me is complete".
+    checkUser(!failed_,
+              format("trace file %s lost writes before finish()",
+                     path_.c_str()));
     writeSection(SectionKind::End, 0, 0, 0, nullptr, 0);
-    checkUser(std::fflush(file_) == 0,
-              format("cannot flush trace file %s", path_.c_str()));
+    if (std::fflush(file_) != 0 || std::ferror(file_) != 0) {
+        failed_ = true;
+        checkUser(false,
+                  format("cannot flush trace file %s: %s",
+                         path_.c_str(), std::strerror(errno)));
+    }
     state_ = State::Finished;
 }
 
-void
-TraceWriter::flushToDisk()
+bool
+TraceWriter::flushToDisk() noexcept
 {
-    if (file_ != nullptr)
-        std::fflush(file_);
+    if (file_ == nullptr)
+        return !failed_;
+    if (std::fflush(file_) != 0 || std::ferror(file_) != 0)
+        failed_ = true;
+    return !failed_;
 }
 
 void

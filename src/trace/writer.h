@@ -81,8 +81,24 @@ class TraceWriter
      * a partial run group so the parent's salvage reader sees every
      * complete section written so far (the file still has no End
      * marker and only passes readers in salvage mode).
+     *
+     * Returns false — and latches failed() — when the flush hits a
+     * write error (short write, ENOSPC, ...). Never throws: the
+     * caller may be a signal handler.
      */
-    void flushToDisk();
+    bool flushToDisk() noexcept;
+
+    /**
+     * True once any write or flush on this stream has failed. A
+     * failed writer's file is corrupt or incomplete; finish() refuses
+     * to stamp it with an End marker, and the destructor warns on
+     * stderr if the stream dies failed and unfinished.
+     */
+    bool
+    failed() const
+    {
+        return failed_;
+    }
 
     /** Bytes written so far (header + sections + padding). */
     std::uint64_t
@@ -123,6 +139,7 @@ class TraceWriter
     std::size_t numThreads_ = 0;
     std::size_t bufsWritten_ = 0;
     bool wroteRun_ = false;
+    bool failed_ = false;
 };
 
 /** One-shot convenience: meta + a single run + finish. */

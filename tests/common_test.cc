@@ -442,6 +442,63 @@ TEST(ThreadPoolTest, EmptyRangeRunsNothing)
     EXPECT_EQ(calls.load(), 0);
 }
 
+// Regression: a chunk body re-entering parallelFor used to be able to
+// deadlock the pool — every thread blocked in the nested call's
+// completion wait while the nested chunks sat unclaimed in the queue.
+// Nested calls must run inline (serially, as shard 0) and still cover
+// their range exactly once.
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    common::ThreadPool pool(4);
+    constexpr int kOuter = 16;
+    constexpr int kInner = 32;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    pool.parallelFor(
+        0, kOuter, 1,
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t o = begin; o < end; ++o) {
+                std::atomic<int> inner_chunks{0};
+                pool.parallelFor(
+                    0, kInner, 1,
+                    [&](std::size_t shard, std::int64_t ib,
+                        std::int64_t ie) {
+                        EXPECT_EQ(shard, 0u); // inline, not dispatched
+                        ++inner_chunks;
+                        for (std::int64_t i = ib; i < ie; ++i)
+                            ++hits[static_cast<std::size_t>(
+                                o * kInner + i)];
+                    });
+                // Serial fallback: the whole range in one chunk.
+                EXPECT_EQ(inner_chunks.load(), 1);
+            }
+        });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+// The nested guard is per-thread, not per-pool: a chunk body calling
+// into a *different* pool also runs inline, since that pool's workers
+// may themselves be parked inside this job.
+TEST(ThreadPoolTest, NestedCallIntoOtherPoolAlsoRunsInline)
+{
+    common::ThreadPool outer(2);
+    common::ThreadPool inner(2);
+    std::atomic<int> covered{0};
+    outer.parallelFor(
+        0, 4, 1,
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t o = begin; o < end; ++o)
+                inner.parallelFor(
+                    0, 8, 1,
+                    [&](std::size_t shard, std::int64_t ib,
+                        std::int64_t ie) {
+                        EXPECT_EQ(shard, 0u);
+                        covered += static_cast<int>(ie - ib);
+                    });
+        });
+    EXPECT_EQ(covered.load(), 32);
+}
+
 TEST(ThreadPoolTest, GrainLimitsShardCount)
 {
     common::ThreadPool pool(8);

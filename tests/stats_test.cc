@@ -103,6 +103,31 @@ TEST(SummaryTest, GeometricMean)
     EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
 }
 
+// Regression: a naive running product over a long suite of 10^3-scale
+// speedup ratios overflows double (1000^120 ≈ 10^360 > DBL_MAX) and
+// reports inf; 10^-3-scale ratios symmetrically underflow to 0. The
+// log-space formulation must return the exact scale instead. Sized
+// past the 34-test registry so real suite summaries are covered.
+TEST(SummaryTest, GeometricMeanSurvivesLongExtremeSuites)
+{
+    const std::vector<double> large(120, 1000.0);
+    EXPECT_TRUE(std::isfinite(geometricMean(large)));
+    EXPECT_NEAR(geometricMean(large), 1000.0, 1e-9);
+
+    const std::vector<double> small(120, 0.001);
+    EXPECT_GT(geometricMean(small), 0.0);
+    EXPECT_NEAR(geometricMean(small), 0.001, 1e-15);
+
+    // Mixed magnitudes whose product over- then under-shoots: the
+    // pairwise means are exact (1e3 * 1e-3 = 1).
+    std::vector<double> mixed;
+    for (int i = 0; i < 60; ++i) {
+        mixed.push_back(1000.0);
+        mixed.push_back(0.001);
+    }
+    EXPECT_NEAR(geometricMean(mixed), 1.0, 1e-9);
+}
+
 TEST(SummaryTest, GeometricMeanRejectsNonPositive)
 {
     EXPECT_THROW(geometricMean({1.0, 0.0}), UserError);

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Tests for the streaming epoch-pipelined outcome analysis
+ * (perple::stream, DESIGN.md §9).
+ *
+ * The load-bearing property is bit-identity: for any epoch size, ring
+ * depth, thread count and CountMode, streaming COUNTH must equal batch
+ * COUNTH of the same buf data exactly — including pivots whose
+ * deciding partner iteration lives in a *later* epoch (deferred seam
+ * pivots) and, symmetrically, partners in long-gone earlier epochs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "generate/generator.h"
+#include "litmus/outcome.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+#include "perple/perpetual_outcome.h"
+#include "perple/stream.h"
+#include "perple/stream_store.h"
+#include "sim/machine.h"
+#include "supervise/run.h"
+#include "trace/reader.h"
+
+// The supervised pipeline test forks while the parent already runs
+// analysis threads; TSan refuses to start threads in a child forked
+// from a multi-threaded process, so that test must skip under TSan.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PERPLE_UNDER_TSAN 1
+#endif
+#endif
+#if !defined(PERPLE_UNDER_TSAN) && defined(__SANITIZE_THREAD__)
+#define PERPLE_UNDER_TSAN 1
+#endif
+
+namespace perple::stream
+{
+namespace
+{
+
+using core::convert;
+using core::CountMode;
+using core::Counts;
+using core::HeuristicCounter;
+using core::PerpetualTest;
+using core::RawBufs;
+
+std::vector<std::vector<litmus::Value>>
+simulate(const PerpetualTest &perpetual, std::int64_t iterations,
+         std::uint64_t seed)
+{
+    sim::MachineConfig config;
+    config.seed = seed;
+    sim::Machine machine(perpetual.programs,
+                         perpetual.original.numLocations(), config);
+    sim::RunResult run;
+    machine.runFree(iterations, 0, run);
+    return run.bufs;
+}
+
+/** Epoch sizes the identity property must hold for, given N. */
+std::vector<std::int64_t>
+epochSizes(std::int64_t n)
+{
+    std::vector<std::int64_t> sizes = {1, 7, n - 1, n};
+    std::vector<std::int64_t> out;
+    for (const std::int64_t e : sizes)
+        if (e >= 1 && e <= n)
+            out.push_back(e);
+    return out;
+}
+
+/**
+ * The property itself: streaming == batch, bit for bit, for every
+ * epoch size and both CountModes. Returns the total seam deferrals
+ * observed so callers can assert the seam path actually ran.
+ */
+std::int64_t
+expectStreamingMatchesBatch(const litmus::Test &test,
+                            const std::vector<litmus::Outcome> &outcomes,
+                            const std::vector<std::vector<litmus::Value>>
+                                &bufs,
+                            std::int64_t iterations)
+{
+    const HeuristicCounter counter(
+        test, core::buildPerpetualOutcomes(test, outcomes));
+    const RawBufs raw(bufs);
+    std::int64_t total_deferred = 0;
+    for (const CountMode mode :
+         {CountMode::FirstMatch, CountMode::Independent}) {
+        const Counts batch = counter.count(iterations, raw, mode);
+        for (const std::int64_t epoch : epochSizes(iterations)) {
+            core::StreamRunStats stats;
+            const Counts streamed = countHeuristicEpochs(
+                counter, iterations, raw, epoch, mode, 1, &stats);
+            EXPECT_EQ(streamed, batch)
+                << test.name << " epoch=" << epoch << " mode="
+                << (mode == CountMode::FirstMatch ? "first"
+                                                  : "independent");
+            total_deferred += stats.deferredSeamPivots;
+        }
+    }
+    return total_deferred;
+}
+
+// ------------------------- unit behaviour ---------------------------
+
+TEST(EpochAnalyzerTest, SingleEpochEqualsBatch)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto bufs = simulate(perpetual, 200, 7);
+    const HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, {entry.test.target}));
+    const RawBufs raw(bufs);
+
+    const Counts batch = counter.count(200, raw);
+    core::StreamRunStats stats;
+    const Counts streamed = countHeuristicEpochs(counter, 200, raw,
+                                                 200,
+                                                 CountMode::FirstMatch,
+                                                 1, &stats);
+    EXPECT_EQ(streamed, batch);
+    // A full-run epoch has watermark == N everywhere: deferral is
+    // impossible by construction.
+    EXPECT_EQ(stats.deferredSeamPivots, 0);
+    EXPECT_EQ(stats.epochs, 1);
+}
+
+TEST(EpochAnalyzerTest, RejectsOutOfOrderEpochs)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto bufs = simulate(perpetual, 64, 7);
+    const HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, {entry.test.target}));
+    const RawBufs raw(bufs);
+
+    EpochAnalyzer analyzer(counter, 64, raw, CountMode::FirstMatch, 1);
+    analyzer.analyzeEpoch(0, 16);
+    EXPECT_THROW(analyzer.analyzeEpoch(32, 48), InternalError);
+}
+
+TEST(EpochAnalyzerTest, FinishBeforeLastEpochIsRejected)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto bufs = simulate(perpetual, 64, 7);
+    const HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, {entry.test.target}));
+    const RawBufs raw(bufs);
+
+    EpochAnalyzer analyzer(counter, 64, raw, CountMode::FirstMatch, 1);
+    analyzer.analyzeEpoch(0, 16);
+    EXPECT_THROW(analyzer.finish(), InternalError);
+}
+
+TEST(EpochAnalyzerTest, ShardedStreamingIsBitIdenticalToSerial)
+{
+    const auto &entry = litmus::findTest("mp");
+    const PerpetualTest perpetual = convert(entry.test);
+    const auto bufs = simulate(perpetual, 500, 99);
+    const HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, {entry.test.target}));
+    const RawBufs raw(bufs);
+
+    const Counts serial =
+        countHeuristicEpochs(counter, 500, raw, 64,
+                             CountMode::FirstMatch, 1);
+    const Counts sharded =
+        countHeuristicEpochs(counter, 500, raw, 64,
+                             CountMode::FirstMatch, 4);
+    EXPECT_EQ(sharded, serial);
+}
+
+// ---------------- seam crossings (the hard part) --------------------
+
+TEST(StreamSeamTest, DeferredSeamPivotsOccurAndStillMatchBatch)
+{
+    // Free-running store buffering: the outcome reads loads in *both*
+    // threads, so evaluating a pivot needs the decoded partner
+    // thread's frame — and under skew that partner iteration
+    // regularly lands beyond the pivot's own epoch, forcing the
+    // defer-and-retry path. (mp would not do: its outcome atoms only
+    // reference the loading thread's registers, so its frame check
+    // never touches the partner stripe and can never defer.) The
+    // counts still have to match batch exactly.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const std::int64_t n = 300;
+
+    std::int64_t total_deferred = 0;
+    for (const std::uint64_t seed : {1ULL, 5ULL, 9ULL, 13ULL}) {
+        const auto bufs = simulate(perpetual, n, seed);
+        total_deferred += expectStreamingMatchesBatch(
+            entry.test, {entry.test.target}, bufs, n);
+    }
+    EXPECT_GT(total_deferred, 0)
+        << "no pivot ever crossed an epoch seam; the deferral path "
+           "was not exercised";
+}
+
+TEST(StreamSeamTest, PreviousEpochPartnersAreReadBack)
+{
+    // The mirror image: with every outcome of interest in the chain,
+    // FirstMatch evaluation routinely decodes partner iterations far
+    // *behind* the pivot. Tiny epochs force those reads to reach into
+    // epochs analyzed long ago — the reason the store is durable
+    // rather than a sliding window.
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    std::vector<litmus::Outcome> outcomes = {entry.test.target};
+    for (const auto &o :
+         litmus::enumerateRegisterOutcomes(entry.test))
+        if (!(o == entry.test.target))
+            outcomes.push_back(o);
+
+    const std::int64_t n = 400;
+    const auto bufs = simulate(perpetual, n, 4242);
+    expectStreamingMatchesBatch(entry.test, outcomes, bufs, n);
+}
+
+// ------------------- corpus-wide bit-identity -----------------------
+
+TEST(StreamPropertyTest, WholeRegistryStreamsBitIdentically)
+{
+    int covered = 0;
+    for (const auto &entry : litmus::perpetualSuite()) {
+        if (!entry.convertible ||
+            entry.test.numLoadThreads() == 0)
+            continue;
+        const PerpetualTest perpetual = convert(entry.test);
+        const std::int64_t n = 128;
+        const auto bufs = simulate(perpetual, n, 777);
+        expectStreamingMatchesBatch(entry.test, {entry.test.target},
+                                    bufs, n);
+        ++covered;
+    }
+    EXPECT_GE(covered, 20) << "registry sweep lost coverage";
+}
+
+TEST(StreamPropertyTest, FiftyGeneratedTestsStreamBitIdentically)
+{
+    generate::GeneratorConfig config;
+    config.maxThreads = 3;
+    config.maxOpsPerThread = 3;
+    const auto suite = generate::generateSuite(60, config, 2026);
+
+    int checked = 0;
+    std::int64_t total_deferred = 0;
+    for (const auto &generated : suite) {
+        std::string reason;
+        if (!core::isConvertible(generated.test,
+                                 {generated.test.target}, reason))
+            continue;
+        const PerpetualTest perpetual = convert(generated.test);
+        const std::int64_t n = 64;
+        const auto bufs =
+            simulate(perpetual, n,
+                     static_cast<std::uint64_t>(31 + checked));
+        total_deferred += expectStreamingMatchesBatch(
+            generated.test, {generated.test.target}, bufs, n);
+        ++checked;
+    }
+    ASSERT_GE(checked, 50)
+        << "generator produced too few convertible tests for the "
+           "property sweep";
+}
+
+// --------------------- the full pipeline ----------------------------
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/** Batch-recount a streamed run's capture; proves the pipeline end
+ *  to end (exec → store → online counts → capture fidelity). */
+void
+expectStreamedRunMatchesItsCapture(core::HarnessConfig config,
+                                   const std::string &capture_path)
+{
+    const auto &entry = litmus::findTest("mp");
+    const PerpetualTest perpetual = convert(entry.test);
+    const std::int64_t n = 3000;
+    config.capturePath = capture_path;
+    config.runExhaustive = false;
+
+    const auto result = core::runPerpetual(perpetual, n,
+                                           {entry.test.target}, config);
+    ASSERT_TRUE(result.heuristic.has_value());
+    ASSERT_TRUE(result.streamStats.has_value());
+    EXPECT_TRUE(result.run.bufs.empty())
+        << "streaming must not materialize bufs in the result";
+    EXPECT_EQ(result.streamStats->epochIters,
+              std::min(config.streamEpochIters, n));
+    EXPECT_GT(result.captureBytes, 0u);
+
+    const trace::TraceReader reader(capture_path);
+    ASSERT_EQ(reader.numRuns(), 1u);
+    EXPECT_EQ(reader.runInfo(0).iterations, n);
+    const HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, {entry.test.target}));
+    const Counts batch =
+        counter.count(n, reader.rawBufs(0), config.countMode);
+    EXPECT_EQ(*result.heuristic, batch)
+        << "online streamed counts differ from a batch recount of "
+           "the same capture";
+    std::remove(capture_path.c_str());
+}
+
+TEST(StreamPipelineTest, SimRunMatchesBatchRecountOfItsCapture)
+{
+    core::HarnessConfig config;
+    config.backend = core::Backend::Simulator;
+    config.seed = 11;
+    config.streamEpochIters = 257; // Deliberately not a divisor of N.
+    config.streamRingDepth = 3;
+    expectStreamedRunMatchesItsCapture(
+        config, tempPath("stream_sim_capture.plt"));
+}
+
+TEST(StreamPipelineTest, NativeRunMatchesBatchRecountOfItsCapture)
+{
+    core::HarnessConfig config;
+    config.backend = core::Backend::Native;
+    config.seed = 12;
+    config.streamEpochIters = 256;
+    config.streamRingDepth = 2;
+    expectStreamedRunMatchesItsCapture(
+        config, tempPath("stream_native_capture.plt"));
+}
+
+TEST(StreamPipelineTest, SpilledStoreStreamsAndIsExemptFromMemBudget)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const std::int64_t n = 4000;
+
+    core::HarnessConfig config;
+    config.backend = core::Backend::Simulator;
+    config.seed = 5;
+    config.runExhaustive = false;
+    config.streamEpochIters = 500;
+    config.streamSpillPath = tempPath("stream_spill.bin");
+    // Far below the run's working set: only the spill exemption lets
+    // this run start at all.
+    config.memBudgetBytes = 1024;
+
+    const auto result = core::runPerpetual(perpetual, n,
+                                           {entry.test.target}, config);
+    ASSERT_TRUE(result.streamStats.has_value());
+    EXPECT_TRUE(result.streamStats->spilled);
+    EXPECT_GT(result.streamStats->storeBytes, 0u);
+    ASSERT_TRUE(result.heuristic.has_value());
+
+    // The spill file was unlinked up front; nothing may leak.
+    EXPECT_FALSE(std::filesystem::exists(config.streamSpillPath));
+
+    // Identical batch run (no budget) agrees on the counts: the sim's
+    // epoch-chunked schedule is part of the machine seed contract, so
+    // compare against a second streamed run instead.
+    const auto again = core::runPerpetual(perpetual, n,
+                                          {entry.test.target}, config);
+    EXPECT_EQ(*again.heuristic, *result.heuristic);
+
+    // Batch mode with the same budget must still refuse.
+    core::HarnessConfig batch = config;
+    batch.streamEpochIters = 0;
+    batch.streamSpillPath.clear();
+    EXPECT_THROW(core::runPerpetual(perpetual, n, {entry.test.target},
+                                    batch),
+                 UserError);
+}
+
+TEST(StreamPipelineTest, ExhaustiveStillRunsPostHoc)
+{
+    const auto &entry = litmus::findTest("sb");
+    const PerpetualTest perpetual = convert(entry.test);
+    const std::int64_t n = 600;
+
+    core::HarnessConfig config;
+    config.backend = core::Backend::Simulator;
+    config.seed = 21;
+    config.runExhaustive = true;
+    config.streamEpochIters = 100;
+
+    const auto result = core::runPerpetual(perpetual, n,
+                                           {entry.test.target}, config);
+    ASSERT_TRUE(result.exhaustive.has_value());
+    ASSERT_TRUE(result.heuristic.has_value());
+    EXPECT_EQ(result.exhaustiveIterations, n);
+    // COUNTH never exceeds COUNT for a single outcome of interest.
+    EXPECT_LE((*result.heuristic)[0], (*result.exhaustive)[0]);
+}
+
+TEST(StreamPipelineTest, SupervisedNativeRunKeepsStreamedCounts)
+{
+#ifdef PERPLE_UNDER_TSAN
+    GTEST_SKIP() << "TSan cannot start threads in a child forked "
+                    "from a multi-threaded parent";
+#endif
+    const auto &entry = litmus::findTest("mp");
+    const PerpetualTest perpetual = convert(entry.test);
+    const std::int64_t n = 2000;
+
+    core::HarnessConfig config;
+    config.backend = core::Backend::Native;
+    config.seed = 31;
+    config.runExhaustive = false;
+    config.streamEpochIters = 250;
+
+    supervise::SupervisorConfig supervisor;
+    supervisor.timeoutSeconds = 60;
+
+    const auto sup = supervise::runPerpetualSupervised(
+        perpetual, n, {entry.test.target}, config, supervisor);
+    ASSERT_TRUE(sup.ok());
+    ASSERT_TRUE(sup.analysis.has_value());
+    ASSERT_TRUE(sup.analysis->heuristic.has_value());
+    ASSERT_TRUE(sup.analysis->streamStats.has_value())
+        << "clean supervised native run should keep the live "
+           "streamed counts";
+
+    // The snapshot holds the same bufs the live analyzer counted:
+    // a batch recount must agree exactly.
+    const HeuristicCounter counter(
+        entry.test,
+        core::buildPerpetualOutcomes(entry.test, {entry.test.target}));
+    const Counts batch = counter.count(
+        n, RawBufs(sup.analysis->run.bufs), config.countMode);
+    EXPECT_EQ(*sup.analysis->heuristic, batch);
+}
+
+// ------------------------- store basics -----------------------------
+
+TEST(StreamStoreTest, LayoutMatchesRawBufContract)
+{
+    StreamStore store({2, 0, 1}, 10, "");
+    EXPECT_FALSE(store.spilled());
+    EXPECT_GT(store.bytes(), 0u);
+    ASSERT_NE(store.threadBase(0), nullptr);
+    EXPECT_EQ(store.threadBase(1), nullptr);
+    ASSERT_NE(store.threadBase(2), nullptr);
+
+    // Writes through threadBase must be visible through rawBufs at
+    // the batch layout offsets bufs[t][r_t * n + i].
+    store.threadBase(0)[2 * 9 + 1] = 1234;
+    store.threadBase(2)[1 * 3 + 0] = 77;
+    const RawBufs raw = store.rawBufs();
+    EXPECT_EQ(raw.data()[0][2 * 9 + 1], 1234);
+    EXPECT_EQ(raw.data()[1], nullptr);
+    EXPECT_EQ(raw.data()[2][3], 77);
+}
+
+TEST(StreamStoreTest, SpilledStoreSurvivesResidencyRelease)
+{
+    const std::string path = tempPath("stream_store_spill.bin");
+    StreamStore store({1}, 100000, path);
+    EXPECT_TRUE(store.spilled());
+    EXPECT_FALSE(std::filesystem::exists(path)) << "spill must be "
+                                                   "unlinked up front";
+    for (std::int64_t i = 0; i < 100000; ++i)
+        store.threadBase(0)[i] = i * 3 + 1;
+    store.releaseIterations(0, 50000);
+    // Released pages fault back in from the spill file with their
+    // data intact — durability is what makes seam re-reads safe.
+    for (std::int64_t i = 0; i < 100000; i += 4999)
+        EXPECT_EQ(store.threadBase(0)[i], i * 3 + 1) << i;
+}
+
+} // namespace
+} // namespace perple::stream

@@ -39,7 +39,8 @@
 #define PERPLE_UNDER_SANITIZER 1
 #endif
 #endif
-#if !defined(PERPLE_UNDER_SANITIZER) && defined(__SANITIZE_ADDRESS__)
+#if !defined(PERPLE_UNDER_SANITIZER) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
 #define PERPLE_UNDER_SANITIZER 1
 #endif
 

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <sys/resource.h>
 #include <vector>
 
 #include "common/error.h"
@@ -392,6 +394,83 @@ TEST(TraceSalvageTest, CompleteFileReadsAsCompleteInSalvageMode)
     TraceReader reader(path, salvage);
     EXPECT_TRUE(reader.complete());
     EXPECT_EQ(reader.numRuns(), 1u);
+}
+
+// Regression: write errors used to be swallowed at the flush points
+// (unchecked fflush in the constructor, flushToDisk, and fclose in the
+// destructor), shipping captures that only failed much later at CRC
+// verification. ENOSPC-style failures must now surface eagerly.
+TEST(TraceWriterTest, ConstructorSurfacesFullDevice)
+{
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    const auto &entry = litmus::findTest("sb");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    TraceMeta meta;
+    meta.testName = entry.test.name;
+    meta.testText = litmus::writeTest(entry.test);
+    meta.strides = perpetual.strides;
+    meta.loadsPerIteration = perpetual.loadsPerIteration;
+    // The constructor flushes header+Meta for salvage durability; on a
+    // full device that flush must throw, not silently drop the Meta.
+    EXPECT_THROW(TraceWriter("/dev/full", meta), UserError);
+}
+
+TEST(TraceWriterTest, ShortWriteLatchesFailureAndBlocksFinish)
+{
+    const auto &entry = litmus::findTest("sb");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    const auto live = core::runPerpetual(perpetual, 200,
+                                         {entry.test.target}, config);
+
+    const std::string path = tmpPath("enospc.plt");
+    TraceMeta meta;
+    meta.testName = entry.test.name;
+    meta.testText = litmus::writeTest(entry.test);
+    meta.strides = perpetual.strides;
+    meta.loadsPerIteration = perpetual.loadsPerIteration;
+    TraceWriter writer(path, meta, {BufEncoding::Raw});
+    EXPECT_FALSE(writer.failed());
+    EXPECT_TRUE(writer.flushToDisk());
+
+    // Force a short write with a file-size cap just past the bytes
+    // already on disk; SIGXFSZ must be ignored or the kernel kills the
+    // test instead of failing the write.
+    struct rlimit saved;
+    ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &saved), 0);
+    void (*prev_handler)(int) = std::signal(SIGXFSZ, SIG_IGN);
+    struct rlimit capped = saved;
+    capped.rlim_cur = writer.bytesWritten() + 64;
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &capped), 0);
+
+    RunInfo info;
+    info.seed = config.seed;
+    info.iterations = 200;
+    info.backend = "sim";
+    bool failed_mid_run = false;
+    try {
+        writer.beginRun(info);
+        for (const auto &buf : live.run.bufs)
+            writer.writeBuf(buf.empty() ? nullptr : buf.data(),
+                            buf.size());
+        writer.writeMemory(live.run.memory);
+        writer.writeStats(live.run.stats);
+        writer.finish();
+    } catch (const UserError &) {
+        failed_mid_run = true;
+    }
+    // Whether the error surfaced at a short fwrite or at a flush, the
+    // writer must end up latched failed with finish() refused.
+    if (!failed_mid_run)
+        failed_mid_run = !writer.flushToDisk();
+    EXPECT_TRUE(failed_mid_run);
+    EXPECT_TRUE(writer.failed());
+    EXPECT_FALSE(writer.flushToDisk());
+
+    ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &saved), 0);
+    std::signal(SIGXFSZ, prev_handler);
+    std::filesystem::remove(path);
 }
 
 TEST(TraceWriterTest, FlushToDiskLeavesSalvageablePartial)

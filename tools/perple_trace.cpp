@@ -40,6 +40,11 @@
  *   --no-exhaustive / --no-heuristic   skip a counter
  *   --fast              also run the O(N log N) fast counter where
  *                       applicable
+ *   --stream            count COUNTH epoch by epoch (bounded working
+ *                       set over an mmap'd capture; counts are
+ *                       bit-identical to the batch scan)
+ *   --epoch <n>         streaming epoch size in iterations
+ *                       (default 65536; implies --stream)
  *   --crosscheck        re-execute each sim run from its recorded
  *                       seed via core::crossCheckCounters and demand
  *                       bit-identical counts (trace fidelity proof)
@@ -81,6 +86,7 @@ usage(const char *argv0)
         "       %s verify FILE.plt...\n"
         "       %s analyze FILE.plt [--outcome COND]... [--jobs N]\n"
         "          [--mode first|independent] [--cap N] [--fast]\n"
+        "          [--stream] [--epoch N]\n"
         "          [--no-exhaustive] [--no-heuristic] [--crosscheck]\n"
         "          [--json] [--salvage]\n"
         "       %s merge --out FILE.plt IN.plt... [--encoding E]\n"
@@ -385,6 +391,9 @@ struct AnalyzeOptions
     bool exhaustive = true;
     bool heuristic = true;
     bool fast = false;
+
+    /** Epoch size of the streaming COUNTH path; 0 = batch. */
+    std::int64_t streamEpoch = 0;
     bool crosscheck = false;
     bool json = false;
     bool salvage = false;
@@ -420,6 +429,13 @@ cmdAnalyze(int argc, char **argv)
             options.heuristic = false;
         } else if (std::strcmp(arg, "--fast") == 0) {
             options.fast = true;
+        } else if (std::strcmp(arg, "--stream") == 0) {
+            if (options.streamEpoch == 0)
+                options.streamEpoch = 65536;
+        } else if (std::strcmp(arg, "--epoch") == 0) {
+            options.streamEpoch = common::parseIntArg(
+                "--epoch", flagValue(argc, argv, i), 1,
+                std::numeric_limits<std::int64_t>::max());
         } else if (std::strcmp(arg, "--crosscheck") == 0) {
             options.crosscheck = true;
         } else if (std::strcmp(arg, "--json") == 0) {
@@ -487,8 +503,16 @@ cmdAnalyze(int argc, char **argv)
             exhaustive_per_run.push_back(std::move(counts));
         }
         if (options.heuristic) {
+            // --stream drains the capture epoch by epoch (bounded
+            // working set over the mmap'd file); bit-identical to the
+            // batch scan by the seam-deferral argument (DESIGN.md §9).
             auto counts =
-                heuristic.count(n, raw, options.mode, options.jobs);
+                options.streamEpoch > 0
+                    ? stream::countHeuristicEpochs(
+                          heuristic, n, raw, options.streamEpoch,
+                          options.mode, options.jobs)
+                    : heuristic.count(n, raw, options.mode,
+                                      options.jobs);
             for (std::size_t o = 0; o < counts.size(); ++o)
                 heuristic_total[o] += counts[o];
             heuristic_per_run.push_back(std::move(counts));
