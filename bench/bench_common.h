@@ -16,6 +16,18 @@
  *                       (default 0 = hardware concurrency; 1 forces
  *                       the serial reference path; counts are
  *                       bit-identical either way)
+ *   PERPLE_KERNEL_MODE  "auto" (default), "specialized" or
+ *                       "interpreter": counting engine for runPerple
+ *                       and the kernel microbench
+ *
+ * Honesty rules, applied by every BENCH_*.json writer through
+ * writeJsonPreamble(): the JSON header records the hardware thread
+ * count, the CPU model and whether the binary was built with
+ * -march=native (PERPLE_NATIVE), so numbers from different hosts are
+ * never silently compared. Parallel-speedup figures measured on a
+ * host with hardware_concurrency() == 1 are reported as JSON null —
+ * a 1-thread host cannot overlap anything, so any "speedup" it
+ * reports is scheduler noise, not evidence.
  */
 
 #ifndef PERPLE_BENCH_COMMON_H
@@ -25,6 +37,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "perple/perple.h"
@@ -73,6 +86,105 @@ analysisThreads()
     return 0;
 }
 
+/** Counting engine from PERPLE_KERNEL_MODE (default auto). */
+inline core::KernelMode
+kernelModeEnv()
+{
+    if (const char *env = std::getenv("PERPLE_KERNEL_MODE"))
+        return core::kernelModeFromName(env);
+    return core::KernelMode::Auto;
+}
+
+/** The host CPU model ("model name" in /proc/cpuinfo), or "unknown". */
+inline std::string
+cpuModelName()
+{
+    std::ifstream info("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(info, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        auto begin = line.find_first_not_of(" \t", colon + 1);
+        if (begin == std::string::npos)
+            return "unknown";
+        std::string name = line.substr(begin);
+        // The value lands inside a JSON string; strip anything that
+        // would need escaping (never seen in practice).
+        name.erase(std::remove_if(name.begin(), name.end(),
+                                  [](char c) {
+                                      return c == '"' || c == '\\';
+                                  }),
+                   name.end());
+        return name;
+    }
+    return "unknown";
+}
+
+/** Was this binary built with -march=native (PERPLE_NATIVE=ON)? */
+inline constexpr bool
+nativeBuild()
+{
+#ifdef PERPLE_MARCH_NATIVE
+    return true;
+#else
+    return false;
+#endif
+}
+
+/** Can this host actually run two threads at once? */
+inline bool
+multicoreHost()
+{
+    return common::ThreadPool::hardwareThreads() > 1;
+}
+
+/**
+ * Format a parallel-speedup figure for JSON: the measured value on a
+ * multicore host, JSON null on a 1-thread host (where "parallel
+ * speedup" is unmeasurable; see the honesty rules in the file
+ * comment). Pair with warnIfSingleCore() so the console output says
+ * why the number is missing.
+ */
+inline std::string
+speedupJson(double speedup)
+{
+    if (!multicoreHost())
+        return "null";
+    return format("%.3f", speedup);
+}
+
+/** Console warning matching speedupJson()'s null. */
+inline void
+warnIfSingleCore(const char *what)
+{
+    if (!multicoreHost())
+        std::printf("WARNING: hardware_concurrency() == 1 — %s is "
+                    "reported as null (nothing can run in parallel "
+                    "on this host)\n",
+                    what);
+}
+
+/**
+ * Open-brace plus the shared hardware-disclosure header of every
+ * BENCH_*.json. Leaves the object open with a trailing comma; the
+ * caller appends its own fields and closes the object.
+ */
+inline void
+writeJsonPreamble(std::FILE *json, const char *bench_name)
+{
+    std::fprintf(json,
+                 "{\n  \"bench\": \"%s\",\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"cpu_model\": \"%s\",\n"
+                 "  \"march_native\": %s,\n",
+                 bench_name, common::ThreadPool::hardwareThreads(),
+                 cpuModelName().c_str(),
+                 nativeBuild() ? "true" : "false");
+}
+
 /** Frame cap for the T_L = 3 exhaustive scans (Figures 9/10). The
  *  scan examines cap^3 frames; the parallel analysis engine splits
  *  them across the counter workers, so the affordable cap grows with
@@ -116,6 +228,7 @@ runPerple(const litmus::Test &test, std::int64_t iterations,
     config.runExhaustive = run_exhaustive;
     config.exhaustiveCap = exhaustive_cap;
     config.analysisThreads = analysisThreads();
+    config.kernelMode = kernelModeEnv();
     return core::runPerpetual(perpetual, iterations, {test.target},
                               config);
 }

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Kernel-specialization microbench: what do the shape-dispatched,
+ * batch-evaluated counting kernels (kernels.h, DESIGN.md §10) buy
+ * over the scalar interpreter on the exact same work?
+ *
+ * Sweeps every convertible registry test with register outcomes and
+ * times the single-thread COUNTH pivot pass twice on identical bufs:
+ * once under KernelMode::Interpreter (the legacy evalCompiledAtoms
+ * scan) and once under KernelMode::Specialized (SoA blocks through
+ * the template-instantiated kernels). Single thread on both sides by
+ * construction, so the headline speedup is honest on any host,
+ * including hardware_concurrency() == 1 machines — there is no
+ * parallelism in this measurement to fake.
+ *
+ * Honesty gates, both fatal:
+ *  - bit identity: the two engines must produce identical counts per
+ *    test under both CountModes (a speedup built on wrong counts is
+ *    worthless);
+ *  - PERPLE_KERNEL_MIN_SPEEDUP (optional, e.g. "1.0" in CI, "2.0"
+ *    for the paper claim): the geometric-mean speedup must reach it.
+ *
+ * Results go to BENCH_kernels.json with the standard hardware
+ * disclosure header.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace
+{
+
+using namespace perple;
+using namespace perple::bench;
+
+struct Sample
+{
+    std::string test;
+    std::string shapes;
+    std::int64_t iterations = 0;
+    std::size_t outcomes = 0;
+    std::size_t specializedOutcomes = 0;
+    double interpreterSeconds = 0.0;
+    double specializedSeconds = 0.0;
+    double speedup = 1.0;
+};
+
+/** Best-of-5 wall seconds of @p body (first call warms caches). */
+template <typename Fn>
+double
+timeBestOf5(const Fn &body)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+        WallTimer timer;
+        body();
+        const double seconds = timer.elapsedSeconds();
+        if (rep == 0 || seconds < best)
+            best = seconds;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::int64_t n = scaledIterations(200000);
+    banner("Micro: COUNTH kernel specialization (registry sweep)", n);
+    std::printf("cpu: %s, march_native: %s\n\n", cpuModelName().c_str(),
+                nativeBuild() ? "yes" : "no");
+
+    double min_speedup = 0.0;
+    if (const char *env = std::getenv("PERPLE_KERNEL_MIN_SPEEDUP"))
+        min_speedup = std::atof(env);
+
+    std::vector<Sample> samples;
+    bool mismatch = false;
+
+    for (const auto &entry : litmus::extendedCorpus()) {
+        if (!entry.convertible)
+            continue;
+        const litmus::Test &test = entry.test;
+        if (test.numLoadThreads() == 0)
+            continue;
+        auto outcomes = litmus::enumerateRegisterOutcomes(test);
+        if (outcomes.empty())
+            continue;
+        if (outcomes.size() > 8)
+            outcomes.resize(8);
+
+        const auto perpetual = core::convert(test);
+        const auto perpetual_outcomes =
+            core::buildPerpetualOutcomes(test, outcomes);
+        core::HeuristicCounter counter(test, perpetual_outcomes);
+
+        // One run per test, shared verbatim by both engines.
+        sim::MachineConfig machine_config;
+        machine_config.seed = baseSeed();
+        sim::Machine machine(perpetual.programs, test.numLocations(),
+                             machine_config);
+        sim::RunResult run;
+        machine.runFree(n, 0, run);
+        const core::RawBufs raw(run.bufs);
+
+        // Identity first, under both CountModes — timing a wrong
+        // answer is not a benchmark.
+        for (const auto mode : {core::CountMode::FirstMatch,
+                                core::CountMode::Independent}) {
+            counter.setKernelMode(core::KernelMode::Interpreter);
+            const auto a = counter.count(n, raw, mode, 1);
+            counter.setKernelMode(core::KernelMode::Specialized);
+            const auto b = counter.count(n, raw, mode, 1);
+            if (a != b) {
+                std::printf("COUNT MISMATCH: %s (%s)\n",
+                            test.name.c_str(),
+                            mode == core::CountMode::FirstMatch
+                                ? "first-match"
+                                : "independent");
+                mismatch = true;
+            }
+        }
+
+        Sample sample;
+        sample.test = test.name;
+        sample.iterations = n;
+        sample.outcomes = perpetual_outcomes.size();
+
+        counter.setKernelMode(core::KernelMode::Interpreter);
+        sample.interpreterSeconds = timeBestOf5([&] {
+            counter.count(n, raw, core::CountMode::FirstMatch, 1);
+        });
+        counter.setKernelMode(core::KernelMode::Specialized);
+        sample.specializedSeconds = timeBestOf5([&] {
+            counter.count(n, raw, core::CountMode::FirstMatch, 1);
+        });
+        sample.speedup = sample.specializedSeconds > 0.0
+                             ? sample.interpreterSeconds /
+                                   sample.specializedSeconds
+                             : 1.0;
+
+        const core::KernelReport report = counter.kernelReport();
+        sample.specializedOutcomes = report.specializedCount();
+        for (std::size_t o = 0; o < report.outcomes.size(); ++o)
+            sample.shapes += format(
+                "%s%s", o > 0 ? "; " : "",
+                report.outcomes[o].shape.c_str());
+        samples.push_back(sample);
+    }
+
+    if (samples.empty()) {
+        std::printf("no convertible registry tests with register "
+                    "outcomes — nothing to measure\n");
+        return 1;
+    }
+
+    stats::Table table({"test", "outcomes", "kernels",
+                        "interpreter", "specialized", "speedup"});
+    double log_sum = 0.0;
+    for (const Sample &sample : samples) {
+        table.addRow(
+            {sample.test,
+             format("%zu", sample.outcomes),
+             format("%zu/%zu", sample.specializedOutcomes,
+                    sample.outcomes),
+             format("%.2f ms", sample.interpreterSeconds * 1e3),
+             format("%.2f ms", sample.specializedSeconds * 1e3),
+             format("%.2fx", sample.speedup)});
+        log_sum += std::log(sample.speedup);
+    }
+    const double geomean =
+        std::exp(log_sum / static_cast<double>(samples.size()));
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("geomean speedup (specialized vs interpreter, "
+                "1 thread): %.2fx\n",
+                geomean);
+
+    std::FILE *json = std::fopen("BENCH_kernels.json", "w");
+    if (json == nullptr) {
+        std::printf("cannot write BENCH_kernels.json\n");
+        return 1;
+    }
+    writeJsonPreamble(json, "kernels");
+    // The geomean below is a single-thread-vs-single-thread ratio, so
+    // it stays a number even on 1-core hosts (see the file comment).
+    std::fprintf(json,
+                 "  \"threads\": 1,\n"
+                 "  \"count_mode\": \"first-match\",\n"
+                 "  \"counts_match\": %s,\n"
+                 "  \"geomean_speedup\": %.3f,\n"
+                 "  \"min_speedup_gate\": %s,\n"
+                 "  \"results\": [\n",
+                 mismatch ? "false" : "true", geomean,
+                 min_speedup > 0.0 ? format("%.3f", min_speedup).c_str()
+                                   : "null");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &sample = samples[i];
+        std::fprintf(
+            json,
+            "    {\"test\": \"%s\", \"iterations\": %lld, "
+            "\"outcomes\": %zu, \"specialized_outcomes\": %zu, "
+            "\"shapes\": \"%s\", "
+            "\"interpreter_seconds\": %.6f, "
+            "\"specialized_seconds\": %.6f, "
+            "\"speedup\": %.3f}%s\n",
+            sample.test.c_str(),
+            static_cast<long long>(sample.iterations),
+            sample.outcomes, sample.specializedOutcomes,
+            sample.shapes.c_str(), sample.interpreterSeconds,
+            sample.specializedSeconds, sample.speedup,
+            i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_kernels.json\n");
+
+    if (mismatch)
+        return 1;
+    if (min_speedup > 0.0 && geomean < min_speedup) {
+        std::printf("FAIL: geomean %.2fx below "
+                    "PERPLE_KERNEL_MIN_SPEEDUP=%.2f\n",
+                    geomean, min_speedup);
+        return 1;
+    }
+    return 0;
+}

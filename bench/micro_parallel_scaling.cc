@@ -72,8 +72,10 @@ main()
 {
     banner("Micro: analysis-engine thread scaling (sb)",
            scaledIterations(1000000));
-    std::printf("hardware threads: %zu\n\n",
-                common::ThreadPool::hardwareThreads());
+    std::printf("hardware threads: %zu (%s)\n\n",
+                common::ThreadPool::hardwareThreads(),
+                cpuModelName().c_str());
+    warnIfSingleCore("speedup_vs_serial");
 
     const auto &sb = litmus::findTest("sb").test;
     const auto perpetual = core::convert(sb);
@@ -176,20 +178,18 @@ main()
         std::printf("cannot write BENCH_parallel_scaling.json\n");
         return 1;
     }
-    std::fprintf(json,
-                 "{\n  \"bench\": \"parallel_scaling\",\n"
-                 "  \"hardware_threads\": %zu,\n  \"results\": [\n",
-                 common::ThreadPool::hardwareThreads());
+    writeJsonPreamble(json, "parallel_scaling");
+    std::fprintf(json, "  \"results\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const Sample &sample = samples[i];
         std::fprintf(
             json,
             "    {\"counter\": \"%s\", \"iterations\": %lld, "
             "\"threads\": %zu, \"seconds\": %.6f, "
-            "\"speedup_vs_serial\": %.3f}%s\n",
+            "\"speedup_vs_serial\": %s}%s\n",
             sample.counter.c_str(),
             static_cast<long long>(sample.iterations), sample.threads,
-            sample.seconds, sample.speedup,
+            sample.seconds, speedupJson(sample.speedup).c_str(),
             i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");

@@ -58,6 +58,7 @@ main()
 {
     const std::int64_t n = scaledIterations(1000000);
     banner("Micro: streaming epoch pipeline vs batch (sb)", n);
+    warnIfSingleCore("batch_over_stream_wall (pipeline overlap)");
 
     const auto &sb = litmus::findTest("sb").test;
     const auto perpetual = core::convert(sb);
@@ -175,9 +176,9 @@ main()
         std::printf("cannot write BENCH_stream_pipeline.json\n");
         return 1;
     }
+    writeJsonPreamble(json, "stream_pipeline");
     std::fprintf(
         json,
-        "{\n  \"bench\": \"stream_pipeline\",\n"
         "  \"test\": \"sb\",\n"
         "  \"iterations\": %lld,\n"
         "  \"epoch_iters\": %lld,\n"
@@ -200,7 +201,7 @@ main()
         "  \"stream_count_tail_seconds\": %.6f,\n"
         "  \"batch_exec_seconds\": %.6f,\n"
         "  \"batch_count_seconds\": %.6f,\n"
-        "  \"batch_over_stream_wall\": %.3f,\n"
+        "  \"batch_over_stream_wall\": %s,\n"
         "  \"counts_match\": %s\n}\n",
         static_cast<long long>(n),
         static_cast<long long>(streamed.streamEpochIters),
@@ -221,7 +222,10 @@ main()
         stream_result.timing.phaseSeconds("count-heuristic"),
         batch_result.timing.phaseSeconds("exec"),
         batch_result.timing.phaseSeconds("count-heuristic"),
-        stream_seconds > 0.0 ? batch_seconds / stream_seconds : 0.0,
+        speedupJson(stream_seconds > 0.0
+                        ? batch_seconds / stream_seconds
+                        : 0.0)
+            .c_str(),
         mismatch ? "false" : "true");
     std::fclose(json);
     std::printf("wrote BENCH_stream_pipeline.json\n");

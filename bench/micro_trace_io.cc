@@ -176,8 +176,8 @@ main()
         std::printf("cannot write BENCH_trace_io.json\n");
         return 1;
     }
+    writeJsonPreamble(json, "trace_io");
     std::fprintf(json,
-                 "{\n  \"bench\": \"trace_io\",\n"
                  "  \"iterations\": %lld,\n"
                  "  \"uncaptured_exec_seconds\": %.6f,\n"
                  "  \"results\": [\n",

@@ -18,6 +18,10 @@
  *   -b sim|native    backend (default sim)
  *   -s <seed>        RNG seed (default 1)
  *   --exhaustive     also run the exhaustive counter (perple engine)
+ *   --kernel-mode auto|specialized|interpreter
+ *                    counting engine (perple engine): the shape-
+ *                    specialized batched kernels, the scalar
+ *                    interpreter, or pick per outcome (default auto)
  *   --spec tso|pso   classify the target against this model
  *   --stream         epoch-pipelined run: COUNTH drains published
  *                    epochs while the test executes (perple engine;
@@ -129,6 +133,7 @@ int
 cmdRun(const litmus::Test &test, std::int64_t iterations,
        const std::string &engine, runtime::SyncMode mode, bool native,
        std::uint64_t seed, bool exhaustive,
+       core::KernelMode kernel_mode,
        model::MemoryModel spec_model, const std::string &capture,
        bool supervised, const supervise::SupervisorConfig &supervisor,
        const StreamOptions &stream_options)
@@ -165,6 +170,7 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         config.seed = seed;
         config.runExhaustive = exhaustive;
         config.countMode = core::CountMode::Independent;
+        config.kernelMode = kernel_mode;
         if (exhaustive && test.numLoadThreads() >= 3)
             config.exhaustiveCap = 400;
         config.capturePath = capture;
@@ -225,6 +231,9 @@ cmdRun(const litmus::Test &test, std::int64_t iterations,
         }
         if (result.exhaustiveDowngraded)
             std::printf("note: %s\n", result.downgradeReason.c_str());
+        if (result.kernelReport)
+            std::printf("kernels: %s\n",
+                        result.kernelReport->summary().c_str());
     } else {
         litmus7::Litmus7Config config;
         config.mode = mode;
@@ -299,6 +308,7 @@ main(int argc, char **argv)
         bool native = false;
         std::uint64_t seed = 1;
         bool exhaustive = false;
+        core::KernelMode kernel_mode = core::KernelMode::Auto;
         model::MemoryModel spec_model = model::MemoryModel::TSO;
         std::string capture;
         supervise::SupervisorConfig supervisor;
@@ -329,6 +339,8 @@ main(int argc, char **argv)
                 seed = common::parseSeedArg("-s", next());
             else if (arg == "--exhaustive")
                 exhaustive = true;
+            else if (arg == "--kernel-mode")
+                kernel_mode = core::kernelModeFromName(next());
             else if (arg == "--spec") {
                 const std::string spec = next();
                 checkUser(spec == "tso" || spec == "pso",
@@ -380,8 +392,8 @@ main(int argc, char **argv)
                       engine == "perple",
                   "--stream requires the perple engine");
         return cmdRun(test, iterations, engine, mode, native, seed,
-                      exhaustive, spec_model, capture, supervised,
-                      supervisor, stream_options);
+                      exhaustive, kernel_mode, spec_model, capture,
+                      supervised, supervisor, stream_options);
     } catch (const Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -34,6 +34,8 @@ checkName(Check check)
         return "parallel-identity";
       case Check::ConverterRoundTrip:
         return "converter-round-trip";
+      case Check::KernelIdentity:
+        return "kernel-identity";
       case Check::Supervision:
         return "supervision";
     }
@@ -232,6 +234,68 @@ checkParallelIdentity(const Test &test, const OracleConfig &config)
     return divergences;
 }
 
+/** Check 6: specialized kernels vs scalar interpreter, bit-identical. */
+std::vector<Divergence>
+checkKernelIdentity(const Test &test, const OracleConfig &config)
+{
+    std::vector<Divergence> divergences;
+    std::string reason;
+    if (!core::isConvertible(test, {test.target}, reason))
+        return divergences;
+
+    // Same outcome mix as ParallelIdentity: the target plus a few
+    // co-interest outcomes so FirstMatch chains and Independent
+    // staging both get exercised.
+    std::vector<Outcome> outcomes;
+    if (!test.target.empty())
+        outcomes.push_back(test.target);
+    for (const auto &o : litmus::enumerateRegisterOutcomes(test)) {
+        if (outcomes.size() >= 1 + config.maxExtraOutcomes)
+            break;
+        if (!(o == test.target))
+            outcomes.push_back(o);
+    }
+    if (outcomes.empty())
+        return divergences;
+
+    for (const auto mode :
+         {core::CountMode::FirstMatch, core::CountMode::Independent}) {
+        core::CrossCheckConfig cc;
+        cc.seed = config.seed;
+        cc.iterations = iterationsFor(test, config);
+        cc.mode = mode;
+        cc.parallel = false;
+        cc.kernelPit = true;
+        const auto report = core::crossCheckCounters(test, outcomes, cc);
+        if (report.kernelIdentical())
+            continue;
+        for (std::size_t o = 0; o < outcomes.size(); ++o) {
+            if (report.exhaustiveInterpreter[o] ==
+                    report.exhaustiveSpecialized[o] &&
+                report.heuristicInterpreter[o] ==
+                    report.heuristicSpecialized[o])
+                continue;
+            divergences.push_back(
+                {Check::KernelIdentity,
+                 format("outcome '%s' (%s): interpreter exh=%llu "
+                        "heur=%llu vs specialized exh=%llu heur=%llu",
+                        outcomes[o].toString(test).c_str(),
+                        mode == core::CountMode::FirstMatch
+                            ? "first-match"
+                            : "independent",
+                        static_cast<unsigned long long>(
+                            report.exhaustiveInterpreter[o]),
+                        static_cast<unsigned long long>(
+                            report.heuristicInterpreter[o]),
+                        static_cast<unsigned long long>(
+                            report.exhaustiveSpecialized[o]),
+                        static_cast<unsigned long long>(
+                            report.heuristicSpecialized[o]))});
+        }
+    }
+    return divergences;
+}
+
 /** Check 5: perpetual conversion decodes, writer round-trips. */
 std::vector<Divergence>
 checkConverterRoundTrip(const Test &test, const OracleConfig &config)
@@ -359,6 +423,8 @@ runCheck(const Test &test, Check check, const OracleConfig &config)
             return checkParallelIdentity(test, config);
           case Check::ConverterRoundTrip:
             return checkConverterRoundTrip(test, config);
+          case Check::KernelIdentity:
+            return checkKernelIdentity(test, config);
           case Check::Supervision:
             return {}; // Synthesized by the campaign driver only.
         }

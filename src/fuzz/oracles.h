@@ -9,7 +9,7 @@
  * On any single test these answers are redundant — which is exactly
  * what makes them a bug-finding machine on *generated* tests: every
  * pairwise disagreement (a *divergence*) is a bug in one of the two
- * sides. The five checks:
+ * sides. The six checks:
  *
  *  1. ModelAgreement — operational vs axiomatic allowed-outcome sets,
  *     per enumerable register outcome, under SC, TSO and PSO.
@@ -26,6 +26,9 @@
  *     (decoding iteration index and stored constant from any sequence
  *     element recovers the original store) and the litmus7 writer
  *     round-trips through the parser.
+ *  6. KernelIdentity — the shape-specialized batched kernels
+ *     (kernels.h) are bit-identical to the scalar interpreter, for
+ *     both counters and both CountModes on the same bufs.
  */
 
 #ifndef PERPLE_FUZZ_ORACLES_H
@@ -42,7 +45,7 @@
 namespace perple::fuzz
 {
 
-/** The five oracle-pair divergence checks, plus fault containment. */
+/** The six oracle-pair divergence checks, plus fault containment. */
 enum class Check
 {
     ModelAgreement,
@@ -50,6 +53,7 @@ enum class Check
     HeuristicSubset,
     ParallelIdentity,
     ConverterRoundTrip,
+    KernelIdentity,
 
     /**
      * Not an oracle pair: a supervised oracle child that hung, crashed
@@ -64,7 +68,7 @@ enum class Check
 inline constexpr Check kAllChecks[] = {
     Check::ModelAgreement,     Check::SimulatorSoundness,
     Check::HeuristicSubset,    Check::ParallelIdentity,
-    Check::ConverterRoundTrip,
+    Check::ConverterRoundTrip, Check::KernelIdentity,
 };
 
 /** Stable kebab-case name ("model-agreement", ...). */
@@ -136,7 +140,7 @@ struct Divergence
 std::vector<Divergence> runCheck(const litmus::Test &test, Check check,
                                  const OracleConfig &config);
 
-/** Run all five checks in order; concatenation of runCheck results. */
+/** Run all six checks in order; concatenation of runCheck results. */
 std::vector<Divergence> runChecks(const litmus::Test &test,
                                   const OracleConfig &config);
 

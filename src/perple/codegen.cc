@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "litmus/writer.h"
 #include "perple/counters.h"
+#include "perple/kernels.h"
 #include "perple/perpetual_outcome.h"
 
 namespace perple::core
@@ -352,7 +353,16 @@ emitHeuristicCounterC(const PerpetualTest &perpetual,
         const ThreadId pivot = planner.pivotThread(o);
         out += format("/* p_out_h_%zu: original outcome %s\n", o,
                       po.originalText.c_str());
-        out += format(" * %s */\n", planner.describePlan(o).c_str());
+        out += format(" * %s\n", planner.describePlan(o).c_str());
+        // The shape the in-library kernel layer would dispatch on —
+        // documentation for readers comparing generated C against the
+        // batched engine (DESIGN.md §10).
+        const detail::KernelShape shape = detail::shapeOf(
+            detail::compileOutcome(po, planner.skippedAtoms(o)));
+        out += format(" * kernel shape: %s (%s) */\n",
+                      shape.describe().c_str(),
+                      shape.specializable() ? "specialized"
+                                            : "interpreter fallback");
         out += format("static int p_out_h_%zu(%s)\n", o,
                       poutParams(frame_threads, true, pivot).c_str());
         out += "{\n";

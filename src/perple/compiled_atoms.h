@@ -112,6 +112,18 @@ compileOutcome(const PerpetualOutcome &outcome,
     checkInternal(skip_atoms.empty() ||
                       skip_atoms.size() == outcome.atoms.size(),
                   "atom skip vector does not match the outcome");
+    // Resolve thread -> existential slot once up front instead of a
+    // std::find over existentialThreads per atom (quadratic in the
+    // existential count for exist-heavy outcomes).
+    litmus::ThreadId max_thread = -1;
+    for (const litmus::ThreadId t : outcome.existentialThreads)
+        max_thread = std::max(max_thread, t);
+    std::vector<std::int32_t> slot_of_thread(
+        static_cast<std::size_t>(max_thread + 1), -1);
+    for (std::size_t e = 0; e < outcome.existentialThreads.size(); ++e)
+        slot_of_thread[static_cast<std::size_t>(
+            outcome.existentialThreads[e])] =
+            static_cast<std::int32_t>(e);
     compiled.atoms.reserve(outcome.atoms.size());
     for (std::size_t a = 0; a < outcome.atoms.size(); ++a) {
         const Atom &atom = outcome.atoms[a];
@@ -129,14 +141,15 @@ compileOutcome(const PerpetualOutcome &outcome,
         if (atom.indexIsFrame) {
             flat.frameThread = atom.indexThread;
         } else {
-            const auto it = std::find(
-                outcome.existentialThreads.begin(),
-                outcome.existentialThreads.end(), atom.indexThread);
-            checkInternal(it != outcome.existentialThreads.end(),
+            const auto t = atom.indexThread;
+            const std::int32_t slot =
+                t >= 0 && t <= max_thread
+                    ? slot_of_thread[static_cast<std::size_t>(t)]
+                    : -1;
+            checkInternal(slot >= 0,
                           "existential atom index thread missing from "
                           "the outcome's existential-thread list");
-            flat.existSlot = static_cast<std::int32_t>(
-                it - outcome.existentialThreads.begin());
+            flat.existSlot = slot;
         }
         compiled.atoms.push_back(flat);
     }

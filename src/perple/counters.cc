@@ -26,6 +26,30 @@ mergeCounts(const std::vector<Counts> &partial, std::size_t outcomes)
     return counts;
 }
 
+std::size_t
+clampBatchWidth(std::size_t width)
+{
+    return std::min(std::max<std::size_t>(width, 1),
+                    detail::kMaxKernelBatchWidth);
+}
+
+/** Build a KernelReport from per-outcome kernels (both counters). */
+template <typename Kernel>
+KernelReport
+buildKernelReport(const std::vector<Kernel> &kernels, KernelMode mode,
+                  bool batched, std::size_t batch_width)
+{
+    KernelReport report;
+    report.mode = mode;
+    report.batched = batched;
+    report.batchWidth = batched ? batch_width : 0;
+    report.outcomes.reserve(kernels.size());
+    for (const Kernel &kernel : kernels)
+        report.outcomes.push_back({kernel.shape().describe(),
+                                   batched && kernel.specialized()});
+    return report;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -44,6 +68,134 @@ ExhaustiveCounter::ExhaustiveCounter(
     // Flatten every atom once: existential std::find resolved to a
     // slot index, vector metadata folded into POD records.
     compiled_ = detail::compileOutcomes(outcomes_);
+    kernels_.reserve(compiled_.size());
+    for (const detail::CompiledOutcome &compiled : compiled_)
+        kernels_.emplace_back(compiled);
+}
+
+void
+ExhaustiveCounter::setKernelBatchWidth(std::size_t width)
+{
+    kernelBatchWidth_ = clampBatchWidth(width);
+}
+
+bool
+ExhaustiveCounter::useKernels() const
+{
+    if (kernelMode_ == KernelMode::Interpreter)
+        return false;
+    if (kernelMode_ == KernelMode::Specialized)
+        return true;
+    // Auto: batch only when some outcome actually gets a specialized
+    // kernel; the per-lane gather fallback buys nothing by itself.
+    for (const detail::AtomKernel &kernel : kernels_)
+        if (kernel.specialized())
+            return true;
+    return false;
+}
+
+KernelReport
+ExhaustiveCounter::kernelReport() const
+{
+    return buildKernelReport(kernels_, kernelMode_, useKernels(),
+                             kernelBatchWidth_);
+}
+
+void
+ExhaustiveCounter::countRangeBlocked(std::int64_t outer_begin,
+                                     std::int64_t outer_end,
+                                     std::int64_t iterations,
+                                     const RawBufs &bufs, CountMode mode,
+                                     Counts &counts,
+                                     detail::BlockScratch &scratch) const
+{
+    if (outer_end <= outer_begin)
+        return;
+    const std::size_t dims = frameThreads_.size();
+    const std::size_t width_cap = kernelBatchWidth_;
+    const auto width_cap_i = static_cast<std::int64_t>(width_cap);
+    scratch.resize(bufs.numThreads(), width_cap);
+    const Value *const *raw = bufs.data();
+
+    // The innermost dimension advances fastest (the odometer order of
+    // countRange), so it is the one cut into lanes; the outer
+    // dimensions broadcast into their rows.
+    const auto inner =
+        static_cast<std::size_t>(frameThreads_[dims - 1]);
+    const std::int64_t inner_begin = dims == 1 ? outer_begin : 0;
+    const std::int64_t inner_end = dims == 1 ? outer_end : iterations;
+
+    std::vector<std::int64_t> outer(dims > 1 ? dims - 1 : 0, 0);
+    if (dims > 1)
+        outer[0] = outer_begin;
+
+    std::uint8_t match[detail::kMaxKernelBatchWidth];
+    std::uint8_t settled[detail::kMaxKernelBatchWidth];
+
+    while (true) {
+        for (std::size_t d = 0; d + 1 < dims; ++d)
+            std::fill_n(scratch.frameRow(static_cast<std::size_t>(
+                            frameThreads_[d])),
+                        width_cap, outer[d]);
+
+        std::int64_t *inner_row = scratch.frameRow(inner);
+        for (std::int64_t i0 = inner_begin; i0 < inner_end;
+             i0 += width_cap_i) {
+            const auto width = static_cast<std::size_t>(
+                std::min(width_cap_i, inner_end - i0));
+            for (std::size_t w = 0; w < width; ++w)
+                inner_row[w] = i0 + static_cast<std::int64_t>(w);
+
+            if (mode == CountMode::FirstMatch) {
+                std::fill_n(settled, width,
+                            static_cast<std::uint8_t>(0));
+                std::size_t remaining = width;
+                for (std::size_t o = 0;
+                     o < compiled_.size() && remaining > 0; ++o) {
+                    // AND contract: settled lanes enter 0 and skip
+                    // the kernel's work (the else-if chain, batched).
+                    for (std::size_t w = 0; w < width; ++w)
+                        match[w] = static_cast<std::uint8_t>(
+                            settled[w] == 0);
+                    kernels_[o].evalBlock(compiled_[o], scratch, width,
+                                          iterations, raw, match);
+                    for (std::size_t w = 0; w < width; ++w) {
+                        if (settled[w] == 0 && match[w] != 0) {
+                            settled[w] = 1;
+                            --remaining;
+                            ++counts[o];
+                        }
+                    }
+                }
+            } else {
+                for (std::size_t o = 0; o < compiled_.size(); ++o) {
+                    std::fill_n(match, width,
+                                static_cast<std::uint8_t>(1));
+                    kernels_[o].evalBlock(compiled_[o], scratch, width,
+                                          iterations, raw, match);
+                    for (std::size_t w = 0; w < width; ++w)
+                        counts[o] += match[w];
+                }
+            }
+        }
+
+        if (dims == 1)
+            return;
+        std::size_t d = dims - 1;
+        bool advanced = false;
+        while (d > 0) {
+            --d;
+            const std::int64_t limit =
+                d == 0 ? outer_end : iterations;
+            if (++outer[d] < limit) {
+                advanced = true;
+                break;
+            }
+            outer[d] = 0;
+        }
+        if (!advanced)
+            return;
+    }
 }
 
 void
@@ -107,23 +259,37 @@ ExhaustiveCounter::count(std::int64_t iterations, const RawBufs &bufs,
     const std::size_t workers =
         common::ThreadPool::resolveThreads(threads);
 
+    const bool blocked = useKernels();
+
     if (workers <= 1) {
         // Serial reference path: one shard covering every frame.
         Counts counts(outcomes_.size(), 0);
-        countRange(0, iterations, iterations, bufs, mode, counts);
+        if (blocked) {
+            detail::BlockScratch scratch;
+            countRangeBlocked(0, iterations, iterations, bufs, mode,
+                              counts, scratch);
+        } else {
+            countRange(0, iterations, iterations, bufs, mode, counts);
+        }
         return counts;
     }
 
     common::ThreadPool &pool = common::ThreadPool::shared(workers);
     std::vector<Counts> partial(pool.numThreads(),
                                 Counts(outcomes_.size(), 0));
+    std::vector<detail::BlockScratch> scratch(
+        blocked ? pool.numThreads() : 0);
     // Each outermost index expands into N^{T_L - 1} frames, so a
     // grain of one outer index is already coarse enough.
     pool.parallelFor(
         0, iterations, /*grain=*/1,
         [&](std::size_t shard, std::int64_t begin, std::int64_t end) {
-            countRange(begin, end, iterations, bufs, mode,
-                       partial[shard]);
+            if (blocked)
+                countRangeBlocked(begin, end, iterations, bufs, mode,
+                                  partial[shard], scratch[shard]);
+            else
+                countRange(begin, end, iterations, bufs, mode,
+                           partial[shard]);
         });
     return mergeCounts(partial, outcomes_.size());
 }
@@ -317,6 +483,72 @@ HeuristicCounter::HeuristicCounter(
 
         plans_.push_back(std::move(best));
     }
+
+    // Flatten each plan into a pivot-block kernel (kernels.h): the
+    // resolution steps as POD DecodeSteps plus the per-shape atom
+    // kernel for the skip-folded compiled outcome.
+    std::vector<std::int32_t> frame_threads;
+    frame_threads.reserve(frameThreads_.size());
+    for (const ThreadId t : frameThreads_)
+        frame_threads.push_back(static_cast<std::int32_t>(t));
+    kernels_.reserve(plans_.size());
+    for (const Plan &plan : plans_) {
+        std::vector<detail::DecodeStep> steps;
+        steps.reserve(plan.steps.size());
+        for (const ResolutionStep &step : plan.steps) {
+            detail::DecodeStep flat;
+            flat.targetThread =
+                static_cast<std::int32_t>(step.targetThread);
+            flat.sourceThread =
+                static_cast<std::int32_t>(step.sourceThread);
+            flat.bufThread =
+                static_cast<std::int32_t>(step.source.thread);
+            flat.loadsPerIteration = static_cast<std::int32_t>(
+                step.source.loadsPerIteration);
+            flat.slot = static_cast<std::int32_t>(step.source.slot);
+            flat.rfDecode = step.rfDecode;
+            flat.fallback = step.fallback;
+            flat.stride = step.stride;
+            flat.offset = step.offset;
+            if (step.stride > 1 &&
+                (step.stride & (step.stride - 1)) == 0) {
+                flat.strideShift = 0;
+                for (std::int64_t s = step.stride; s > 1; s >>= 1)
+                    ++flat.strideShift;
+            }
+            flat.frOffsets = step.frOffsets;
+            steps.push_back(std::move(flat));
+        }
+        kernels_.emplace_back(plan.compiled, std::move(steps),
+                              static_cast<std::int32_t>(plan.pivot),
+                              frame_threads);
+    }
+}
+
+void
+HeuristicCounter::setKernelBatchWidth(std::size_t width)
+{
+    kernelBatchWidth_ = clampBatchWidth(width);
+}
+
+bool
+HeuristicCounter::useKernels() const
+{
+    if (kernelMode_ == KernelMode::Interpreter)
+        return false;
+    if (kernelMode_ == KernelMode::Specialized)
+        return true;
+    for (const detail::PivotKernel &kernel : kernels_)
+        if (kernel.specialized())
+            return true;
+    return false;
+}
+
+KernelReport
+HeuristicCounter::kernelReport() const
+{
+    return buildKernelReport(kernels_, kernelMode_, useKernels(),
+                             kernelBatchWidth_);
 }
 
 ThreadId
@@ -529,6 +761,136 @@ HeuristicCounter::countPivotBounded(
 }
 
 void
+HeuristicCounter::countPivotRangeBlocked(
+    std::int64_t begin, std::int64_t end, std::int64_t iterations,
+    std::int64_t available, const RawBufs &bufs, CountMode mode,
+    Counts &counts, std::vector<std::int64_t> *deferred,
+    detail::BlockScratch &scratch) const
+{
+    if (end <= begin)
+        return;
+    const std::size_t width_cap = kernelBatchWidth_;
+    const auto width_cap_i = static_cast<std::int64_t>(width_cap);
+    scratch.resize(bufs.numThreads(), width_cap);
+    const Value *const *raw = bufs.data();
+    const std::size_t num_outcomes = outcomes_.size();
+
+    std::uint8_t match[detail::kMaxKernelBatchWidth];
+    std::uint8_t need[detail::kMaxKernelBatchWidth];
+    std::uint8_t defer[detail::kMaxKernelBatchWidth];
+    std::uint8_t settled[detail::kMaxKernelBatchWidth];
+    std::uint8_t unsettled[detail::kMaxKernelBatchWidth];
+    // When a first-match block is nearly settled, later outcomes see a
+    // sparse active mask but the block path still pays full-width
+    // loads; below this many live lanes the scalar evaluator (the
+    // bit-identity reference itself) is cheaper per lane.
+    constexpr std::size_t kSparseLanes = 4;
+    std::vector<std::int64_t> frame_scratch(bufs.numThreads(), -1);
+    // Independent mode stages every outcome's matches until the whole
+    // lane is known decidable (the scalar path's match_scratch).
+    std::vector<std::uint8_t> staged;
+    if (mode == CountMode::Independent)
+        staged.assign(num_outcomes * width_cap, 0);
+
+    for (std::int64_t n0 = begin; n0 < end; n0 += width_cap_i) {
+        const auto width =
+            static_cast<std::size_t>(std::min(width_cap_i, end - n0));
+        std::fill_n(defer, width, static_cast<std::uint8_t>(0));
+
+        if (mode == CountMode::FirstMatch) {
+            std::fill_n(settled, width, static_cast<std::uint8_t>(0));
+            std::fill_n(unsettled, width, static_cast<std::uint8_t>(1));
+            std::size_t remaining = width;
+            for (std::size_t o = 0;
+                 o < num_outcomes && remaining > 0; ++o) {
+                if (remaining <= kSparseLanes) {
+                    // Finish the few undecided lanes scalar: identical
+                    // verdicts by construction (evaluateAtBounded IS
+                    // the reference the kernels reproduce).
+                    for (std::size_t w = 0; w < width; ++w) {
+                        if (settled[w] != 0)
+                            continue;
+                        const std::int64_t n =
+                            n0 + static_cast<std::int64_t>(w);
+                        for (std::size_t o2 = o; o2 < num_outcomes;
+                             ++o2) {
+                            const BoundedEval r = evaluateAtBounded(
+                                o2, n, iterations, available, raw,
+                                frame_scratch);
+                            if (r == BoundedEval::Match) {
+                                ++counts[o2];
+                                break;
+                            }
+                            if (r == BoundedEval::NeedData) {
+                                defer[w] = 1;
+                                break;
+                            }
+                        }
+                        settled[w] = 1;
+                        unsettled[w] = 0;
+                    }
+                    remaining = 0;
+                    break;
+                }
+                // Settled lanes are masked inactive, so later
+                // outcomes only pay for undecided lanes (the scalar
+                // else-if chain, batched).
+                kernels_[o].evalPivotBlock(plans_[o].compiled, scratch,
+                                           n0, width, iterations,
+                                           available, raw, match, need,
+                                           unsettled);
+                for (std::size_t w = 0; w < width; ++w) {
+                    if (settled[w] != 0)
+                        continue;
+                    if (need[w] != 0) {
+                        // First-match winner unknown past an
+                        // undecidable outcome: defer the whole lane.
+                        settled[w] = 1;
+                        unsettled[w] = 0;
+                        defer[w] = 1;
+                        --remaining;
+                    } else if (match[w] != 0) {
+                        settled[w] = 1;
+                        unsettled[w] = 0;
+                        ++counts[o];
+                        --remaining;
+                    }
+                }
+            }
+        } else {
+            for (std::size_t o = 0; o < num_outcomes; ++o) {
+                kernels_[o].evalPivotBlock(plans_[o].compiled, scratch,
+                                           n0, width, iterations,
+                                           available, raw, match, need);
+                std::uint8_t *row = staged.data() + o * width_cap;
+                for (std::size_t w = 0; w < width; ++w) {
+                    row[w] = match[w];
+                    defer[w] =
+                        static_cast<std::uint8_t>(defer[w] | need[w]);
+                }
+            }
+            for (std::size_t o = 0; o < num_outcomes; ++o) {
+                const std::uint8_t *row =
+                    staged.data() + o * width_cap;
+                for (std::size_t w = 0; w < width; ++w)
+                    counts[o] += static_cast<std::uint64_t>(
+                        row[w] & static_cast<std::uint8_t>(
+                                     defer[w] == 0));
+            }
+        }
+
+        for (std::size_t w = 0; w < width; ++w) {
+            if (defer[w] != 0) {
+                checkInternal(deferred != nullptr,
+                              "pivot deferred at a full watermark");
+                deferred->push_back(n0 +
+                                    static_cast<std::int64_t>(w));
+            }
+        }
+    }
+}
+
+void
 HeuristicCounter::countPivotRangeBounded(
     std::int64_t begin, std::int64_t end, std::int64_t iterations,
     std::int64_t available, const RawBufs &bufs, CountMode mode,
@@ -536,6 +898,12 @@ HeuristicCounter::countPivotRangeBounded(
 {
     checkInternal(end <= available && available <= iterations,
                   "bounded pivot range past the watermark");
+    if (useKernels()) {
+        detail::BlockScratch scratch;
+        countPivotRangeBlocked(begin, end, iterations, available, bufs,
+                               mode, counts, &deferred, scratch);
+        return;
+    }
     const Value *const *raw = bufs.data();
     std::vector<std::int64_t> frame_scratch(bufs.numThreads(), -1);
     std::vector<std::size_t> match_scratch;
@@ -594,6 +962,7 @@ HeuristicCounter::count(std::int64_t iterations, const RawBufs &bufs,
     const std::size_t workers =
         common::ThreadPool::resolveThreads(threads);
     const Value *const *raw = bufs.data();
+    const bool blocked = useKernels();
 
     const auto count_pivots = [&](std::int64_t begin, std::int64_t end,
                                   Counts &counts,
@@ -613,6 +982,14 @@ HeuristicCounter::count(std::int64_t iterations, const RawBufs &bufs,
     if (workers <= 1) {
         // Serial reference path.
         Counts counts(outcomes_.size(), 0);
+        if (blocked) {
+            // The full watermark: NeedData is unreachable.
+            detail::BlockScratch block_scratch;
+            countPivotRangeBlocked(0, iterations, iterations,
+                                   iterations, bufs, mode, counts,
+                                   nullptr, block_scratch);
+            return counts;
+        }
         std::vector<std::int64_t> scratch(bufs.numThreads(), -1);
         count_pivots(0, iterations, counts, scratch);
         return counts;
@@ -621,6 +998,20 @@ HeuristicCounter::count(std::int64_t iterations, const RawBufs &bufs,
     common::ThreadPool &pool = common::ThreadPool::shared(workers);
     std::vector<Counts> partial(pool.numThreads(),
                                 Counts(outcomes_.size(), 0));
+    if (blocked) {
+        std::vector<detail::BlockScratch> block_scratch(
+            pool.numThreads());
+        pool.parallelFor(
+            0, iterations, /*grain=*/256,
+            [&](std::size_t shard, std::int64_t begin,
+                std::int64_t end) {
+                countPivotRangeBlocked(begin, end, iterations,
+                                       iterations, bufs, mode,
+                                       partial[shard], nullptr,
+                                       block_scratch[shard]);
+            });
+        return mergeCounts(partial, outcomes_.size());
+    }
     std::vector<std::vector<std::int64_t>> scratch(
         pool.numThreads(),
         std::vector<std::int64_t>(bufs.numThreads(), -1));

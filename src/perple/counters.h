@@ -30,6 +30,7 @@
 
 #include "litmus/test.h"
 #include "perple/compiled_atoms.h"
+#include "perple/kernels.h"
 #include "perple/perpetual_outcome.h"
 #include "sim/result.h"
 
@@ -187,17 +188,56 @@ class ExhaustiveCounter
         return outcomes_;
     }
 
+    /**
+     * Select the evaluation engine (kernels.h). Auto (the default)
+     * engages the batched specialized path when any outcome's shape
+     * allows it; Interpreter keeps the original scalar loops — the
+     * reference path the cross-check and fuzz oracles pit against.
+     * Counts are bit-identical across modes by construction.
+     */
+    void
+    setKernelMode(KernelMode mode)
+    {
+        kernelMode_ = mode;
+    }
+
+    /** Lanes per batched block, clamped to [1, kMaxKernelBatchWidth]. */
+    void setKernelBatchWidth(std::size_t width);
+
+    /** Which kernel each outcome got under the current mode. */
+    KernelReport kernelReport() const;
+
   private:
     /** Scan frames whose outermost index lies in [begin, end). */
     void countRange(std::int64_t outer_begin, std::int64_t outer_end,
                     std::int64_t iterations, const RawBufs &bufs,
                     CountMode mode, Counts &counts) const;
 
+    /**
+     * countRange in kernelBatchWidth_-lane blocks over the innermost
+     * frame dimension (identical counts; the frame set and match
+     * order are unchanged, only the loop structure is).
+     */
+    void countRangeBlocked(std::int64_t outer_begin,
+                           std::int64_t outer_end,
+                           std::int64_t iterations, const RawBufs &bufs,
+                           CountMode mode, Counts &counts,
+                           detail::BlockScratch &scratch) const;
+
+    /** The batched block path is engaged under the current mode. */
+    bool useKernels() const;
+
     std::vector<litmus::ThreadId> frameThreads_;
     std::vector<PerpetualOutcome> outcomes_;
 
     /** Flattened atoms per outcome (construction-time compiled). */
     std::vector<detail::CompiledOutcome> compiled_;
+
+    /** Per-outcome block kernels, aligned with compiled_. */
+    std::vector<detail::AtomKernel> kernels_;
+
+    KernelMode kernelMode_ = KernelMode::Auto;
+    std::size_t kernelBatchWidth_ = detail::kKernelBatchWidth;
 };
 
 /** One step of a heuristic resolution plan. */
@@ -344,6 +384,24 @@ class HeuristicCounter
         return outcomes_;
     }
 
+    /**
+     * Select the evaluation engine (kernels.h); see
+     * ExhaustiveCounter::setKernelMode. The tri-state bounded
+     * (streaming) semantics survive batching: a block containing
+     * deferred pivots splits per lane, it never flips a verdict.
+     */
+    void
+    setKernelMode(KernelMode mode)
+    {
+        kernelMode_ = mode;
+    }
+
+    /** Lanes per batched block, clamped to [1, kMaxKernelBatchWidth]. */
+    void setKernelBatchWidth(std::size_t width);
+
+    /** Which kernel each outcome got under the current mode. */
+    KernelReport kernelReport() const;
+
   private:
     struct Plan
     {
@@ -392,10 +450,34 @@ class HeuristicCounter
                            std::vector<std::size_t> &match_scratch)
         const;
 
+    /**
+     * countPivotRangeBounded in kernelBatchWidth_-lane blocks. Per
+     * pivot, the Match / NoMatch / NeedData verdict is bit-identical
+     * to the scalar path; deferred pivots land in @p deferred in
+     * ascending order. @p deferred may be nullptr only when
+     * available == iterations (nothing can defer).
+     */
+    void countPivotRangeBlocked(std::int64_t begin, std::int64_t end,
+                                std::int64_t iterations,
+                                std::int64_t available,
+                                const RawBufs &bufs, CountMode mode,
+                                Counts &counts,
+                                std::vector<std::int64_t> *deferred,
+                                detail::BlockScratch &scratch) const;
+
+    /** The batched block path is engaged under the current mode. */
+    bool useKernels() const;
+
     const litmus::Test *test_;
     std::vector<litmus::ThreadId> frameThreads_;
     std::vector<PerpetualOutcome> outcomes_;
     std::vector<Plan> plans_;
+
+    /** Per-plan pivot-block kernels, aligned with plans_. */
+    std::vector<detail::PivotKernel> kernels_;
+
+    KernelMode kernelMode_ = KernelMode::Auto;
+    std::size_t kernelBatchWidth_ = detail::kKernelBatchWidth;
 };
 
 } // namespace perple::core

@@ -28,8 +28,10 @@ crossCheckCounters(const litmus::Test &test,
 
     const auto perpetual_outcomes =
         buildPerpetualOutcomes(test, outcomes);
-    const ExhaustiveCounter exhaustive(test, perpetual_outcomes);
-    const HeuristicCounter heuristic(test, perpetual_outcomes);
+    ExhaustiveCounter exhaustive(test, perpetual_outcomes);
+    HeuristicCounter heuristic(test, perpetual_outcomes);
+    exhaustive.setKernelMode(config.kernelMode);
+    heuristic.setKernelMode(config.kernelMode);
     const RawBufs raw(run.bufs);
 
     CrossCheckReport report;
@@ -45,6 +47,22 @@ crossCheckCounters(const litmus::Test &test,
         report.heuristicParallel =
             heuristic.count(config.iterations, raw, config.mode,
                             config.parallelThreads);
+    }
+    if (config.kernelPit) {
+        // Same bufs, serial both times: any divergence is the kernel
+        // layer's fault, not scheduling or sharding.
+        exhaustive.setKernelMode(KernelMode::Interpreter);
+        heuristic.setKernelMode(KernelMode::Interpreter);
+        report.exhaustiveInterpreter = exhaustive.count(
+            config.iterations, raw, config.mode, /*threads=*/1);
+        report.heuristicInterpreter = heuristic.count(
+            config.iterations, raw, config.mode, /*threads=*/1);
+        exhaustive.setKernelMode(KernelMode::Specialized);
+        heuristic.setKernelMode(KernelMode::Specialized);
+        report.exhaustiveSpecialized = exhaustive.count(
+            config.iterations, raw, config.mode, /*threads=*/1);
+        report.heuristicSpecialized = heuristic.count(
+            config.iterations, raw, config.mode, /*threads=*/1);
     }
     return report;
 }

@@ -48,6 +48,16 @@ struct CrossCheckConfig
     /** Worker threads for the parallel counts (0 = hardware). */
     std::size_t parallelThreads = 4;
 
+    /**
+     * Also pit the kernel engines: produce serial counts under
+     * KernelMode::Interpreter and KernelMode::Specialized for both
+     * counters (the fuzzer's kernel-identity oracle).
+     */
+    bool kernelPit = false;
+
+    /** Kernel engine of the default serial/parallel counts. */
+    KernelMode kernelMode = KernelMode::Auto;
+
     /** Simulator knobs (seed and addressMode are overridden). */
     sim::MachineConfig machine;
 };
@@ -64,12 +74,30 @@ struct CrossCheckReport
     Counts exhaustiveParallel;
     Counts heuristicParallel;
 
+    /** Present only when CrossCheckConfig::kernelPit was set. */
+    Counts exhaustiveInterpreter;
+    Counts heuristicInterpreter;
+    Counts exhaustiveSpecialized;
+    Counts heuristicSpecialized;
+
     /** Serial and parallel counts are bit-identical for both counters. */
     bool
     parallelIdentical() const
     {
         return exhaustiveSerial == exhaustiveParallel &&
                heuristicSerial == heuristicParallel;
+    }
+
+    /**
+     * The specialized batched kernels and the scalar interpreter
+     * produce bit-identical counts for both counters (kernelPit runs
+     * only).
+     */
+    bool
+    kernelIdentical() const
+    {
+        return exhaustiveInterpreter == exhaustiveSpecialized &&
+               heuristicInterpreter == heuristicSpecialized;
     }
 };
 

@@ -134,6 +134,101 @@ FastExhaustiveCounter::constrain(const std::vector<SideAtom> &atoms,
     return c;
 }
 
+void
+FastExhaustiveCounter::constrainBlock(const std::vector<SideAtom> &atoms,
+                                      const Value *buf, std::int64_t n0,
+                                      std::size_t width,
+                                      std::int64_t iterations,
+                                      SideConstraint *out) const
+{
+    for (std::size_t w = 0; w < width; ++w) {
+        out[w].valid = true;
+        out[w].lo = 0;
+        out[w].hi = iterations - 1;
+    }
+    for (const SideAtom &atom : atoms) {
+        const std::int64_t lpi = atom.loadsPerIteration;
+        const std::int64_t slot = atom.slot;
+        const std::int64_t stride = atom.stride;
+        const std::int64_t offset = atom.offset;
+        if (atom.readsAtOrAfter) {
+            if (atom.checkResidue) {
+                if (stride == 1) {
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const Value val = buf
+                            [lpi * (n0 + static_cast<std::int64_t>(w)) +
+                             slot];
+                        out[w].valid = out[w].valid && val >= offset;
+                    }
+                } else {
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const Value val = buf
+                            [lpi * (n0 + static_cast<std::int64_t>(w)) +
+                             slot];
+                        out[w].valid = out[w].valid && val >= offset &&
+                                       (val - offset) % stride == 0;
+                    }
+                }
+            }
+            if (atom.indexSelf) {
+                for (std::size_t w = 0; w < width; ++w) {
+                    const std::int64_t n =
+                        n0 + static_cast<std::int64_t>(w);
+                    const Value val = buf[lpi * n + slot];
+                    out[w].valid =
+                        out[w].valid && val >= stride * n + offset;
+                }
+            } else if (stride == 1) {
+                for (std::size_t w = 0; w < width; ++w) {
+                    const Value val = buf
+                        [lpi * (n0 + static_cast<std::int64_t>(w)) +
+                         slot];
+                    out[w].hi = std::min(out[w].hi, val - offset);
+                }
+            } else {
+                for (std::size_t w = 0; w < width; ++w) {
+                    const Value val = buf
+                        [lpi * (n0 + static_cast<std::int64_t>(w)) +
+                         slot];
+                    out[w].hi = std::min(
+                        out[w].hi, floorDiv(val - offset, stride));
+                }
+            }
+        } else {
+            if (atom.indexSelf) {
+                for (std::size_t w = 0; w < width; ++w) {
+                    const std::int64_t n =
+                        n0 + static_cast<std::int64_t>(w);
+                    const Value val = buf[lpi * n + slot];
+                    out[w].valid =
+                        out[w].valid && val <= stride * n + offset - 1;
+                }
+            } else if (stride == 1) {
+                for (std::size_t w = 0; w < width; ++w) {
+                    const Value val = buf
+                        [lpi * (n0 + static_cast<std::int64_t>(w)) +
+                         slot];
+                    out[w].lo = std::max(out[w].lo, val - offset + 1);
+                }
+            } else {
+                for (std::size_t w = 0; w < width; ++w) {
+                    const Value val = buf
+                        [lpi * (n0 + static_cast<std::int64_t>(w)) +
+                         slot];
+                    out[w].lo = std::max(
+                        out[w].lo, ceilDiv(val - offset + 1, stride));
+                }
+            }
+        }
+    }
+    for (std::size_t w = 0; w < width; ++w) {
+        out[w].lo = std::max<std::int64_t>(out[w].lo, 0);
+        out[w].hi = std::min(out[w].hi, iterations - 1);
+        if (out[w].lo > out[w].hi)
+            out[w].valid = false;
+    }
+}
+
 std::uint64_t
 FastExhaustiveCounter::count(std::int64_t iterations,
                              const RawBufs &bufs,
@@ -148,6 +243,10 @@ FastExhaustiveCounter::count(std::int64_t iterations,
     const Value *buf_b =
         bufs.data()[static_cast<std::size_t>(threadB_)];
 
+    const bool blocked = kernelMode_ != KernelMode::Interpreter;
+    const auto block_i =
+        static_cast<std::int64_t>(detail::kKernelBatchWidth);
+
     // Phase 1: for each B index m, the swept-index interval J(m) =
     // [jlo, jhi] during which m is active (jlo > jhi: m invalid).
     // Entries are written disjointly, so the phase shards freely.
@@ -155,6 +254,24 @@ FastExhaustiveCounter::count(std::int64_t iterations,
     std::vector<std::int64_t> jhi(n_sz, 0);
     const auto constrain_b = [&](std::int64_t begin,
                                  std::int64_t end) {
+        if (blocked) {
+            SideConstraint block[detail::kKernelBatchWidth];
+            for (std::int64_t m0 = begin; m0 < end; m0 += block_i) {
+                const auto width = static_cast<std::size_t>(
+                    std::min(block_i, end - m0));
+                constrainBlock(atomsB_, buf_b, m0, width, iterations,
+                               block);
+                for (std::size_t w = 0; w < width; ++w) {
+                    if (!block[w].valid)
+                        continue;
+                    const auto m = static_cast<std::size_t>(
+                        m0 + static_cast<std::int64_t>(w));
+                    jlo[m] = block[w].lo;
+                    jhi[m] = block[w].hi;
+                }
+            }
+            return;
+        }
         for (std::int64_t m = begin; m < end; ++m) {
             const SideConstraint j =
                 constrain(atomsB_, buf_b, m, iterations);
@@ -181,21 +298,35 @@ FastExhaustiveCounter::count(std::int64_t iterations,
                 active.add(m_sz, 1);
         }
         std::uint64_t total = 0;
-        for (std::int64_t n = begin; n < end; ++n) {
-            if (n > begin) {
-                for (const std::int64_t m :
-                     activate[static_cast<std::size_t>(n)])
-                    active.add(static_cast<std::size_t>(m), 1);
-                for (const std::int64_t m :
-                     deactivate[static_cast<std::size_t>(n)])
-                    active.add(static_cast<std::size_t>(m), -1);
+        // The A-side constraints are pure in n, so the blocked path
+        // precomputes them per block while the Fenwick events still
+        // replay strictly per position.
+        SideConstraint block[detail::kKernelBatchWidth];
+        for (std::int64_t n0 = begin; n0 < end; n0 += block_i) {
+            const auto width = static_cast<std::size_t>(
+                std::min(block_i, end - n0));
+            if (blocked)
+                constrainBlock(atomsA_, buf_a, n0, width, iterations,
+                               block);
+            for (std::size_t w = 0; w < width; ++w) {
+                const std::int64_t n =
+                    n0 + static_cast<std::int64_t>(w);
+                if (n > begin) {
+                    for (const std::int64_t m :
+                         activate[static_cast<std::size_t>(n)])
+                        active.add(static_cast<std::size_t>(m), 1);
+                    for (const std::int64_t m :
+                         deactivate[static_cast<std::size_t>(n)])
+                        active.add(static_cast<std::size_t>(m), -1);
+                }
+                const SideConstraint i =
+                    blocked ? block[w]
+                            : constrain(atomsA_, buf_a, n, iterations);
+                if (!i.valid)
+                    continue;
+                total += static_cast<std::uint64_t>(
+                    active.prefix(i.hi) - active.prefix(i.lo - 1));
             }
-            const SideConstraint i =
-                constrain(atomsA_, buf_a, n, iterations);
-            if (!i.valid)
-                continue;
-            total += static_cast<std::uint64_t>(
-                active.prefix(i.hi) - active.prefix(i.lo - 1));
         }
         return total;
     };

@@ -79,6 +79,17 @@ class FastExhaustiveCounter
     std::uint64_t count(std::int64_t iterations, const RawBufs &bufs,
                         std::size_t threads = 1) const;
 
+    /**
+     * Select the evaluation engine (kernels.h): Interpreter keeps the
+     * scalar per-index constraint scan, anything else batches it in
+     * fixed-width blocks (bit-identical results; the scan is pure).
+     */
+    void
+    setKernelMode(KernelMode mode)
+    {
+        kernelMode_ = mode;
+    }
+
   private:
     /** One atom of a side, flattened for the per-index scan. */
     struct SideAtom
@@ -104,7 +115,18 @@ class FastExhaustiveCounter
                              const litmus::Value *buf, std::int64_t n,
                              std::int64_t iterations) const;
 
+    /**
+     * constrain() for indices [n0, n0 + width), atom-major with the
+     * per-atom branches hoisted out of the lane loop and stride == 1
+     * div-free fast paths — the same outputs, computed blockwise.
+     */
+    void constrainBlock(const std::vector<SideAtom> &atoms,
+                        const litmus::Value *buf, std::int64_t n0,
+                        std::size_t width, std::int64_t iterations,
+                        SideConstraint *out) const;
+
     PerpetualOutcome outcome_;
+    KernelMode kernelMode_ = KernelMode::Auto;
     litmus::ThreadId threadA_ = -1; ///< First frame thread (swept).
     litmus::ThreadId threadB_ = -1; ///< Second frame thread (tree).
     std::vector<SideAtom> atomsA_;  ///< Atoms loaded on threadA_.

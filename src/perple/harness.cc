@@ -76,6 +76,9 @@ analyzeBufs(const PerpetualTest &perpetual, std::int64_t iterations,
         result.exhaustiveIterations = cap;
         ExhaustiveCounter counter(perpetual.original,
                                   perpetual_outcomes);
+        counter.setKernelMode(config.kernelMode);
+        if (!result.kernelReport)
+            result.kernelReport = counter.kernelReport();
 
         // Budget check: time a probe prefix, extrapolate the
         // O(cap^{T_L}) full scan, and degrade to COUNTH rather than
@@ -117,6 +120,9 @@ analyzeBufs(const PerpetualTest &perpetual, std::int64_t iterations,
         !result.heuristic) {
         HeuristicCounter counter(perpetual.original,
                                  perpetual_outcomes);
+        counter.setKernelMode(config.kernelMode);
+        if (!result.kernelReport)
+            result.kernelReport = counter.kernelReport();
         result.timing.start("count-heuristic");
         result.heuristic = counter.count(iterations, raw,
                                          config.countMode,

@@ -54,6 +54,16 @@ struct HarnessConfig
     CountMode countMode = CountMode::FirstMatch;
 
     /**
+     * Evaluation engine of the counters (kernels.h): Auto engages the
+     * shape-specialized batched kernels where possible, Interpreter
+     * forces the original scalar loops (the reference path), and
+     * Specialized forces batching even for fallback shapes. Counts
+     * are bit-identical across all three — this knob exists for
+     * performance and for pitting the engines in the oracles.
+     */
+    KernelMode kernelMode = KernelMode::Auto;
+
+    /**
      * Worker threads for the outcome counters: 0 = hardware
      * concurrency, 1 = the serial reference path. Counts are
      * bit-identical for every value (private per-shard partials,
@@ -206,6 +216,13 @@ struct HarnessResult
      * as usual.
      */
     std::optional<StreamRunStats> streamStats;
+
+    /**
+     * Which kernel each outcome got under config.kernelMode — from
+     * the first counter the run engaged (the streaming counter of a
+     * streamed run, otherwise exhaustive, otherwise heuristic).
+     */
+    std::optional<KernelReport> kernelReport;
 
     /** Wall seconds of execution plus heuristic counting (the
      *  PerpLE-heuristic runtime the paper reports). */

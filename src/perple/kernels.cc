@@ -1,0 +1,626 @@
+#include "perple/kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::core
+{
+
+const char *
+kernelModeName(KernelMode mode)
+{
+    switch (mode) {
+      case KernelMode::Auto:
+        return "auto";
+      case KernelMode::Specialized:
+        return "specialized";
+      case KernelMode::Interpreter:
+        return "interpreter";
+    }
+    return "?";
+}
+
+KernelMode
+kernelModeFromName(const std::string &name)
+{
+    if (name == "auto")
+        return KernelMode::Auto;
+    if (name == "specialized")
+        return KernelMode::Specialized;
+    if (name == "interpreter")
+        return KernelMode::Interpreter;
+    fatal(format("unknown kernel mode '%s' (want auto, specialized or "
+                 "interpreter)",
+                 name.c_str()));
+}
+
+std::size_t
+KernelReport::specializedCount() const
+{
+    std::size_t n = 0;
+    for (const OutcomeEntry &entry : outcomes)
+        if (entry.specialized)
+            ++n;
+    return n;
+}
+
+std::string
+KernelReport::summary() const
+{
+    if (!batched)
+        return format("interpreter (mode=%s)", kernelModeName(mode));
+    return format("specialized %zu/%zu outcomes (batch=%zu, mode=%s)",
+                  specializedCount(), outcomes.size(), batchWidth,
+                  kernelModeName(mode));
+}
+
+namespace detail
+{
+
+bool
+KernelShape::specializable() const
+{
+    return numAtoms <= kMaxKernelAtoms &&
+           numExistential <= kMaxKernelExistential;
+}
+
+std::string
+KernelShape::describe() const
+{
+    return format("atoms=%d exist=%d %s%s", numAtoms, numExistential,
+                  allFrameIndexed ? "frame-indexed" : "mixed-index",
+                  anyResidue ? " residue" : "");
+}
+
+KernelShape
+shapeOf(const CompiledOutcome &outcome)
+{
+    KernelShape shape;
+    shape.numAtoms = static_cast<int>(outcome.atoms.size());
+    shape.numExistential = static_cast<int>(outcome.numExistential);
+    for (const CompiledAtom &atom : outcome.atoms) {
+        if (atom.existSlot >= 0)
+            shape.allFrameIndexed = false;
+        if (atom.checkResidue)
+            shape.anyResidue = true;
+    }
+    return shape;
+}
+
+namespace
+{
+
+/**
+ * The shape-specialized block kernel. The atom loop's trip count and
+ * the frame-vs-existential / residue decisions are template constants,
+ * so the whole loop unrolls with the per-atom branches resolved at
+ * compile time; the per-lane loops are branch-free over contiguous SoA
+ * rows and autovectorize. stride == 1 (the common arithmetic-sequence
+ * case) is hoisted per atom to skip the div/mod decode.
+ *
+ * Semantics are exactly evalCompiledAtoms per lane: every check is an
+ * AND into the lane's match bit (lanes entering 0 stay 0 and are never
+ * counted), and when every lane has failed the remaining atoms are
+ * skipped (the interpreter's early exit, block level).
+ */
+template <int NumAtoms, int NumExist, bool AllFrame, bool AnyResidue>
+void
+atomBlockKernel(const CompiledAtom *atoms,
+                const std::int64_t *const *lanes, std::size_t width,
+                std::int64_t iterations,
+                const litmus::Value *const *bufs, std::uint8_t *match)
+{
+    std::uint8_t incoming = 0;
+    for (std::size_t w = 0; w < width; ++w)
+        incoming = static_cast<std::uint8_t>(incoming | match[w]);
+    if (incoming == 0)
+        return;
+
+    constexpr std::size_t kExistSlots =
+        NumExist > 0 ? static_cast<std::size_t>(NumExist) : 1;
+    [[maybe_unused]] std::int64_t lo[kExistSlots][kMaxKernelBatchWidth];
+    [[maybe_unused]] std::int64_t hi[kExistSlots][kMaxKernelBatchWidth];
+    if constexpr (NumExist > 0) {
+        for (int e = 0; e < NumExist; ++e) {
+            for (std::size_t w = 0; w < width; ++w) {
+                lo[e][w] = 0;
+                hi[e][w] = iterations - 1;
+            }
+        }
+    }
+
+    for (int a = 0; a < NumAtoms; ++a) {
+        const CompiledAtom &atom = atoms[a];
+        const std::int64_t *idx =
+            lanes[static_cast<std::size_t>(atom.bufThread)];
+        const litmus::Value *buf =
+            bufs[static_cast<std::size_t>(atom.bufThread)];
+        const std::int64_t lpi = atom.loadsPerIteration;
+        const std::int64_t slot = atom.slot;
+        const std::int64_t stride = atom.stride;
+        const std::int64_t offset = atom.offset;
+
+        bool is_frame = AllFrame;
+        if constexpr (!AllFrame)
+            is_frame = atom.frameThread >= 0;
+
+        if (atom.readsAtOrAfter) {
+            if constexpr (AnyResidue) {
+                if (atom.checkResidue) {
+                    if (stride == 1) {
+                        // The congruence is vacuous at stride 1; only
+                        // the floor can fail.
+                        for (std::size_t w = 0; w < width; ++w) {
+                            const litmus::Value val =
+                                buf[lpi * idx[w] + slot];
+                            match[w] = static_cast<std::uint8_t>(
+                                match[w] & static_cast<std::uint8_t>(
+                                               val >= offset));
+                        }
+                    } else {
+                        for (std::size_t w = 0; w < width; ++w) {
+                            const litmus::Value val =
+                                buf[lpi * idx[w] + slot];
+                            const bool pass =
+                                val >= offset &&
+                                (val - offset) % stride == 0;
+                            match[w] = static_cast<std::uint8_t>(
+                                match[w] &
+                                static_cast<std::uint8_t>(pass));
+                        }
+                    }
+                }
+            }
+            if (is_frame) {
+                const std::int64_t *fidx =
+                    lanes[static_cast<std::size_t>(atom.frameThread)];
+                for (std::size_t w = 0; w < width; ++w) {
+                    const litmus::Value val = buf[lpi * idx[w] + slot];
+                    match[w] = static_cast<std::uint8_t>(
+                        match[w] &
+                        static_cast<std::uint8_t>(
+                            val >= stride * fidx[w] + offset));
+                }
+            } else if constexpr (NumExist > 0) {
+                const auto e = static_cast<std::size_t>(atom.existSlot);
+                if (stride == 1) {
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const std::int64_t bound =
+                            buf[lpi * idx[w] + slot] - offset;
+                        hi[e][w] = std::min(hi[e][w], bound);
+                    }
+                } else {
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const std::int64_t bound = floorDiv(
+                            buf[lpi * idx[w] + slot] - offset, stride);
+                        hi[e][w] = std::min(hi[e][w], bound);
+                    }
+                }
+            }
+        } else { // ReadsBefore: val <= stride * idx + offset - 1.
+            if (is_frame) {
+                const std::int64_t *fidx =
+                    lanes[static_cast<std::size_t>(atom.frameThread)];
+                for (std::size_t w = 0; w < width; ++w) {
+                    const litmus::Value val = buf[lpi * idx[w] + slot];
+                    match[w] = static_cast<std::uint8_t>(
+                        match[w] &
+                        static_cast<std::uint8_t>(
+                            val <= stride * fidx[w] + offset - 1));
+                }
+            } else if constexpr (NumExist > 0) {
+                const auto e = static_cast<std::size_t>(atom.existSlot);
+                if (stride == 1) {
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const std::int64_t bound =
+                            buf[lpi * idx[w] + slot] - offset + 1;
+                        lo[e][w] = std::max(lo[e][w], bound);
+                    }
+                } else {
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const std::int64_t bound = ceilDiv(
+                            buf[lpi * idx[w] + slot] - offset + 1,
+                            stride);
+                        lo[e][w] = std::max(lo[e][w], bound);
+                    }
+                }
+            }
+        }
+
+        std::uint8_t any = 0;
+        for (std::size_t w = 0; w < width; ++w)
+            any = static_cast<std::uint8_t>(any | match[w]);
+        if (any == 0)
+            return;
+    }
+
+    if constexpr (NumExist > 0) {
+        for (int e = 0; e < NumExist; ++e) {
+            for (std::size_t w = 0; w < width; ++w) {
+                match[w] = static_cast<std::uint8_t>(
+                    match[w] &
+                    static_cast<std::uint8_t>(lo[e][w] <= hi[e][w]));
+            }
+        }
+    }
+}
+
+/** An outcome whose compiled atom list is empty always holds: the AND
+ *  contract makes this a no-op (incoming match stands). */
+void
+trivialAtomBlockKernel(const CompiledAtom *,
+                       const std::int64_t *const *, std::size_t,
+                       std::int64_t, const litmus::Value *const *,
+                       std::uint8_t *)
+{}
+
+/**
+ * The dispatch table: one instantiation per point of the shape
+ * grammar, indexed by
+ * (numAtoms - 1) * 12 + numExistential * 4 + allFrame * 2 + residue.
+ */
+constexpr std::size_t kShapeCombos =
+    static_cast<std::size_t>(kMaxKernelAtoms) *
+    static_cast<std::size_t>(kMaxKernelExistential + 1) * 2 * 2;
+
+template <std::size_t... I>
+constexpr std::array<AtomBlockFn, sizeof...(I)>
+makeKernelTable(std::index_sequence<I...>)
+{
+    return {{&atomBlockKernel<static_cast<int>(I / 12) + 1,
+                              static_cast<int>((I / 4) % 3),
+                              ((I / 2) % 2) != 0, (I % 2) != 0>...}};
+}
+
+constexpr std::array<AtomBlockFn, kShapeCombos> kKernelTable =
+    makeKernelTable(std::make_index_sequence<kShapeCombos>{});
+
+} // namespace
+
+AtomBlockFn
+specializedKernelFor(const KernelShape &shape)
+{
+    if (!shape.specializable())
+        return nullptr;
+    if (shape.numAtoms == 0)
+        return &trivialAtomBlockKernel;
+    const std::size_t index =
+        static_cast<std::size_t>(shape.numAtoms - 1) * 12 +
+        static_cast<std::size_t>(shape.numExistential) * 4 +
+        (shape.allFrameIndexed ? 2u : 0u) + (shape.anyResidue ? 1u : 0u);
+    return kKernelTable[index];
+}
+
+void
+BlockScratch::resize(std::size_t num_threads, std::size_t w)
+{
+    checkInternal(w >= 1 && w <= kMaxKernelBatchWidth,
+                  "kernel batch width out of range");
+    if (numThreads == num_threads && width == w)
+        return;
+    numThreads = num_threads;
+    width = w;
+    frames.assign(num_threads * w, 0);
+    over.assign(num_threads * w, 0);
+    ok.assign(w, 1);
+    vals.assign(w, 0);
+    idx.assign(w, 0);
+    gather.assign(num_threads, 0);
+    lanePtrs.clear();
+    lanePtrs.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t)
+        lanePtrs.push_back(frames.data() + t * w);
+}
+
+AtomKernel::AtomKernel(const CompiledOutcome &compiled)
+    : shape_(shapeOf(compiled)), fn_(specializedKernelFor(shape_))
+{}
+
+void
+AtomKernel::evalBlock(const CompiledOutcome &compiled,
+                      BlockScratch &scratch, std::size_t width,
+                      std::int64_t iterations,
+                      const litmus::Value *const *bufs,
+                      std::uint8_t *match) const
+{
+    checkInternal(width >= 1 && width <= scratch.width,
+                  "kernel block wider than the scratch");
+    const std::int64_t *const *lanes = scratch.lanePtrs.data();
+    if (fn_ != nullptr) {
+        fn_(compiled.atoms.data(), lanes, width, iterations, bufs,
+            match);
+        return;
+    }
+    // Shape outside the instantiated set: the existing interpreter,
+    // per lane, over a gathered per-thread index row. Lanes entering 0
+    // are skipped (the AND contract).
+    std::int64_t *gather = scratch.gather.data();
+    for (std::size_t w = 0; w < width; ++w) {
+        if (match[w] == 0)
+            continue;
+        for (std::size_t t = 0; t < scratch.numThreads; ++t)
+            gather[t] = lanes[t][w];
+        match[w] = static_cast<std::uint8_t>(
+            evalCompiledAtoms(compiled, gather, iterations, bufs));
+    }
+}
+
+PivotKernel::PivotKernel(const CompiledOutcome &compiled,
+                         std::vector<DecodeStep> steps,
+                         std::int32_t pivot,
+                         std::vector<std::int32_t> frame_threads)
+    : atoms_(compiled), steps_(std::move(steps)), pivot_(pivot),
+      frameThreads_(std::move(frame_threads))
+{}
+
+namespace
+{
+
+/**
+ * Invoke @p fused with @p step's value->iteration decode as a
+ * branch-hoisted lambda: the rf-vs-fr / stride-1 / power-of-two
+ * decisions are made once per step, not once per lane.
+ */
+template <typename Fn>
+std::uint8_t
+withDecode(const DecodeStep &step, Fn &&fused)
+{
+    const std::int64_t stride = step.stride;
+    const std::int64_t offset = step.offset;
+    if (step.rfDecode) {
+        if (stride == 1) {
+            // d < 0 lands below the range check anyway.
+            return fused([offset](litmus::Value val) {
+                return val - offset;
+            });
+        }
+        if (step.strideShift >= 0) {
+            const std::int64_t mask = stride - 1;
+            const auto shift = static_cast<unsigned>(step.strideShift);
+            return fused([offset, mask, shift](litmus::Value val) {
+                const std::int64_t d = val - offset;
+                return (d < 0 || (d & mask) != 0) ? std::int64_t{-1}
+                                                  : d >> shift;
+            });
+        }
+        return fused([offset, stride](litmus::Value val) {
+            const std::int64_t d = val - offset;
+            return (d < 0 || d % stride != 0) ? std::int64_t{-1}
+                                              : d / stride;
+        });
+    }
+    // Reading the initial value: 0 means the writer precedes the
+    // target thread's very first store; otherwise the first matching
+    // fr candidate wins, like the scalar offset scan.
+    const auto &fr = step.frOffsets;
+    if (stride == 1) {
+        return fused([&fr](litmus::Value val) {
+            if (val == 0)
+                return std::int64_t{0};
+            for (const std::int64_t a : fr)
+                if (val - a >= 0)
+                    return val - a + 1;
+            return std::int64_t{-1};
+        });
+    }
+    return fused([&fr, stride](litmus::Value val) {
+        if (val == 0)
+            return std::int64_t{0};
+        for (const std::int64_t a : fr) {
+            const std::int64_t d = val - a;
+            if (d >= 0 && d % stride == 0)
+                return d / stride + 1;
+        }
+        return std::int64_t{-1};
+    });
+}
+
+} // namespace
+
+void
+PivotKernel::evalPivotBlock(const CompiledOutcome &compiled,
+                            BlockScratch &scratch, std::int64_t n0,
+                            std::size_t width, std::int64_t iterations,
+                            std::int64_t available,
+                            const litmus::Value *const *bufs,
+                            std::uint8_t *match, std::uint8_t *need,
+                            const std::uint8_t *active) const
+{
+    checkInternal(width >= 1 && width <= scratch.width &&
+                      n0 >= 0 &&
+                      n0 + static_cast<std::int64_t>(width) <=
+                          available &&
+                      available <= iterations,
+                  "pivot block outside the watermarked range");
+
+    if (available >= iterations) {
+        // Offline counting (the watermark covers everything): no lane
+        // can ever defer — every decoded index at/past `available` is
+        // already out of [0, iterations) — so the entire NeedData
+        // machinery (source deferral, `over` rows, the final frame
+        // scan) is provably inert. Skip it all, and let `match`
+        // itself carry the alive mask end-to-end (the AND contract,
+        // with no final copy pass). This is the hot path of count().
+        std::uint8_t any = 0;
+        for (std::size_t w = 0; w < width; ++w) {
+            match[w] = active != nullptr
+                           ? static_cast<std::uint8_t>(active[w] != 0)
+                           : std::uint8_t{1};
+            need[w] = 0;
+            any = static_cast<std::uint8_t>(any | match[w]);
+        }
+        if (any == 0)
+            return;
+        std::int64_t *pivot_row =
+            scratch.frameRow(static_cast<std::size_t>(pivot_));
+        for (std::size_t w = 0; w < width; ++w)
+            pivot_row[w] = n0 + static_cast<std::int64_t>(w);
+        for (const DecodeStep &step : steps_) {
+            std::int64_t *dst = scratch.frameRow(
+                static_cast<std::size_t>(step.targetThread));
+            if (step.fallback) {
+                for (std::size_t w = 0; w < width; ++w)
+                    dst[w] = n0 + static_cast<std::int64_t>(w);
+                continue;
+            }
+            const std::int64_t *src = scratch.frameRow(
+                static_cast<std::size_t>(step.sourceThread));
+            const litmus::Value *buf =
+                bufs[static_cast<std::size_t>(step.bufThread)];
+            const std::int64_t lpi = step.loadsPerIteration;
+            const std::int64_t slot = step.slot;
+            const std::uint8_t alive_after =
+                withDecode(step, [&](auto &&decode) {
+                    std::uint8_t alive_acc = 0;
+                    for (std::size_t w = 0; w < width; ++w) {
+                        const std::int64_t i =
+                            decode(buf[lpi * src[w] + slot]);
+                        const bool good =
+                            match[w] != 0 && i >= 0 && i < iterations;
+                        match[w] = static_cast<std::uint8_t>(good);
+                        dst[w] = good ? i : 0;
+                        alive_acc = static_cast<std::uint8_t>(
+                            alive_acc | match[w]);
+                    }
+                    return alive_acc;
+                });
+            if (alive_after == 0)
+                return;
+        }
+        atoms_.evalBlock(compiled, scratch, width, iterations, bufs,
+                         match);
+        return;
+    }
+
+    // Lane state: ok = no NoMatch yet, need = NeedData decided. The
+    // two are mutually exclusive by construction (transitions happen
+    // only while ok && !need), mirroring the scalar evaluator's
+    // early returns. Inactive lanes start dead and skip everything.
+    std::uint8_t *ok = scratch.ok.data();
+    std::uint8_t any = 0;
+    for (std::size_t w = 0; w < width; ++w) {
+        ok[w] = active != nullptr
+                    ? static_cast<std::uint8_t>(active[w] != 0)
+                    : std::uint8_t{1};
+        need[w] = 0;
+        any = static_cast<std::uint8_t>(any | ok[w]);
+    }
+    if (any == 0) {
+        std::fill_n(match, width, static_cast<std::uint8_t>(0));
+        return;
+    }
+
+    // Pivot lanes are iota indices below the watermark by the range
+    // precondition. Only the pivot's `over` row needs clearing: every
+    // other row this call reads — step sources beyond the pivot, the
+    // final frame scan — is a step target, and every step (fallback
+    // included) fully rewrites its target's rows before anything
+    // reads them, in plan order.
+    std::int64_t *pivot_row =
+        scratch.frameRow(static_cast<std::size_t>(pivot_));
+    std::uint8_t *pivot_over =
+        scratch.overRow(static_cast<std::size_t>(pivot_));
+    for (std::size_t w = 0; w < width; ++w) {
+        pivot_row[w] = n0 + static_cast<std::int64_t>(w);
+        pivot_over[w] = 0;
+    }
+
+    for (const DecodeStep &step : steps_) {
+        std::int64_t *dst = scratch.frameRow(
+            static_cast<std::size_t>(step.targetThread));
+        std::uint8_t *dover = scratch.overRow(
+            static_cast<std::size_t>(step.targetThread));
+        if (step.fallback) {
+            // The pivot index itself — always below the watermark.
+            for (std::size_t w = 0; w < width; ++w) {
+                dst[w] = n0 + static_cast<std::int64_t>(w);
+                dover[w] = 0;
+            }
+            continue;
+        }
+        const std::int64_t *src = scratch.frameRow(
+            static_cast<std::size_t>(step.sourceThread));
+        const std::uint8_t *sover = scratch.overRow(
+            static_cast<std::size_t>(step.sourceThread));
+        const litmus::Value *buf =
+            bufs[static_cast<std::size_t>(step.bufThread)];
+        const std::int64_t lpi = step.loadsPerIteration;
+        const std::int64_t slot = step.slot;
+
+        // One fused pass per lane, with the value->index decode
+        // hoisted per step. Per lane, in scalar order: (a) a source
+        // index at/past the watermark defers the lane *before* the
+        // read; (b) the read itself is safe for every lane — rows
+        // hold clamped in-range indices even where dead or deferred;
+        // (c) decode failure (-1) and range check are NoMatch
+        // *before* any watermark deferral of the decoded index; (d)
+        // the decoded index is stored clamped to 0 with the watermark
+        // crossing remembered in the `over` row.
+        const auto fused = [&](auto &&decode) {
+            std::uint8_t alive_acc = 0;
+            for (std::size_t w = 0; w < width; ++w) {
+                const bool pre = ok[w] != 0 && need[w] == 0;
+                const bool defers = pre && sover[w] != 0;
+                const bool alive = pre && !defers;
+                need[w] = static_cast<std::uint8_t>(
+                    need[w] | static_cast<std::uint8_t>(defers));
+                const std::int64_t i = decode(buf[lpi * src[w] + slot]);
+                const bool fail = i < 0 || i >= iterations;
+                ok[w] = static_cast<std::uint8_t>(
+                    ok[w] &
+                    static_cast<std::uint8_t>(!(alive && fail)));
+                const bool good = alive && !fail;
+                const bool past = good && i >= available;
+                dover[w] = static_cast<std::uint8_t>(past);
+                dst[w] = good && !past ? i : 0;
+                alive_acc = static_cast<std::uint8_t>(
+                    alive_acc | static_cast<std::uint8_t>(
+                                    ok[w] != 0 && need[w] == 0));
+            }
+            return alive_acc;
+        };
+
+        const std::uint8_t alive_after = withDecode(step, fused);
+
+        // Every lane dead or deferred: the remaining steps and the
+        // atom scan cannot change any verdict (the scalar early
+        // return, block level). `need` is final — later steps only
+        // ever defer lanes that are still alive.
+        if (alive_after == 0) {
+            std::fill_n(match, width, static_cast<std::uint8_t>(0));
+            return;
+        }
+    }
+
+    // The atom scan reads each atom's buf at the frame index of the
+    // value's own thread, so any resolved frame index past the
+    // watermark defers the lane (the scalar path's final scan).
+    for (const std::int32_t t : frameThreads_) {
+        const std::uint8_t *tover =
+            scratch.overRow(static_cast<std::size_t>(t));
+        for (std::size_t w = 0; w < width; ++w)
+            if (ok[w] != 0 && need[w] == 0 && tover[w] != 0)
+                need[w] = 1;
+    }
+
+    // Seed the atom kernel with the alive mask (AND contract): dead
+    // and deferred lanes skip the atom scan entirely, and an all-dead
+    // block skips the call.
+    std::uint8_t alive_any = 0;
+    for (std::size_t w = 0; w < width; ++w) {
+        match[w] = static_cast<std::uint8_t>(
+            ok[w] & static_cast<std::uint8_t>(need[w] == 0));
+        alive_any = static_cast<std::uint8_t>(alive_any | match[w]);
+    }
+    if (alive_any == 0)
+        return;
+    atoms_.evalBlock(compiled, scratch, width, iterations, bufs, match);
+}
+
+} // namespace detail
+
+} // namespace perple::core

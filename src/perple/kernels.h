@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Shape-specialized, batch-evaluated counting kernels — the layer
+ * between the counters' pivot/frame loops and the compiled-atom
+ * interpreter (compiled_atoms.h).
+ *
+ * The interpreter walks a runtime std::vector<CompiledAtom> per frame,
+ * re-deciding rf-vs-fr, residue and frame-vs-existential per atom per
+ * frame. Those decisions depend only on the outcome's *shape*, which
+ * comes from a tiny grammar: numAtoms <= kMaxKernelAtoms,
+ * numExistential in {0, 1, 2}, allFrameIndexed, anyResidue. This layer
+ * template-instantiates one evaluation kernel per shape, so the atom
+ * loop unrolls completely with every kind branch resolved at compile
+ * time, and evaluates frames in fixed-width *blocks* with
+ * structure-of-arrays scratch: the per-lane inner loops are
+ * branch-free and autovectorizable, and stride == 1 sequences (the
+ * common case) skip the div/mod decode entirely.
+ *
+ * Shapes outside the instantiated set fall back to the existing
+ * interpreter, per lane, inside the same block loop; the selection is
+ * logged per outcome in KernelReport. KernelMode::Interpreter disables
+ * the layer entirely (the counters keep their original scalar loops),
+ * which is what lets the cross-check and fuzz oracles pit the two
+ * implementations against each other.
+ *
+ * Bounded (streaming) evaluation batches too: PivotKernel reproduces
+ * evaluateAtBounded's exact check order per lane — decode-failure and
+ * range checks are NoMatch *before* any watermark check, watermark
+ * checks happen *before* any buf read — so the tri-state NeedData
+ * verdict survives batching bit-for-bit. A block containing deferred
+ * pivots splits per lane (deferred lanes are excluded from counting
+ * and reported back); it never flips a verdict. Lanes that are dead or
+ * deferred keep clamped in-range frame indices, so the block never
+ * reads at or past the watermark — required for TSan-clean streaming,
+ * where memory past the watermark is concurrently written.
+ */
+
+#ifndef PERPLE_CORE_KERNELS_H
+#define PERPLE_CORE_KERNELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/types.h"
+#include "perple/compiled_atoms.h"
+
+namespace perple::core
+{
+
+/** Which evaluation engine the counters use. */
+enum class KernelMode
+{
+    /**
+     * Batched + specialized where any outcome's shape allows it,
+     * original scalar interpreter otherwise (the default).
+     */
+    Auto,
+
+    /**
+     * Always run the batched block path; outcomes whose shape is
+     * outside the instantiated set still evaluate via the interpreter,
+     * per lane, inside the blocks.
+     */
+    Specialized,
+
+    /** Original scalar interpreter loops only (the reference path). */
+    Interpreter,
+};
+
+/** Stable name ("auto", "specialized", "interpreter"). */
+const char *kernelModeName(KernelMode mode);
+
+/** Parse a kernelModeName(); throws UserError on anything else. */
+KernelMode kernelModeFromName(const std::string &name);
+
+/** Which kernel each outcome got — the tentpole's selection log. */
+struct KernelReport
+{
+    struct OutcomeEntry
+    {
+        /** Shape-grammar description ("atoms=4 exist=0 ..."). */
+        std::string shape;
+
+        /** A specialized template instantiation was selected. */
+        bool specialized = false;
+    };
+
+    KernelMode mode = KernelMode::Auto;
+
+    /** The batched block path is engaged under `mode`. */
+    bool batched = false;
+
+    /** Lanes per block of the batched path. */
+    std::size_t batchWidth = 0;
+
+    /** Per-outcome selection, aligned with the counter's outcomes. */
+    std::vector<OutcomeEntry> outcomes;
+
+    std::size_t specializedCount() const;
+
+    /** One line: "specialized 3/4 outcomes (batch=16, mode=auto)". */
+    std::string summary() const;
+};
+
+namespace detail
+{
+
+/** Largest atom count the shape grammar instantiates. */
+constexpr int kMaxKernelAtoms = 8;
+
+/** Largest existential count the shape grammar instantiates. */
+constexpr int kMaxKernelExistential = 2;
+
+/** Default lanes per block (tunable per counter, tested at 1/4/W). */
+constexpr std::size_t kKernelBatchWidth = 32;
+
+/** Hard cap on lanes per block (sizes kernel-local scratch). */
+constexpr std::size_t kMaxKernelBatchWidth = 64;
+
+/** The shape grammar a CompiledOutcome is dispatched on. */
+struct KernelShape
+{
+    int numAtoms = 0;
+    int numExistential = 0;
+
+    /** Every atom's index variable is a frame thread. */
+    bool allFrameIndexed = true;
+
+    /** Some atom carries a congruence (residue) check. */
+    bool anyResidue = false;
+
+    /** Inside the instantiated set? */
+    bool specializable() const;
+
+    /** "atoms=4 exist=1 mixed-index residue" etc. */
+    std::string describe() const;
+};
+
+/** Compute the dispatch shape of a compiled outcome. */
+KernelShape shapeOf(const CompiledOutcome &outcome);
+
+/**
+ * A block atom-evaluation kernel: evaluates @p width lanes of frame
+ * assignments at once. lanes[t] points at the per-thread row of
+ * iteration indices (only frame-thread rows are read, and every lane —
+ * dead or alive — must hold an in-range index so reads stay safe).
+ * match is in/out: the kernel ANDs each lane's verdict into match[w],
+ * so callers pass 1 for lanes to evaluate and 0 for lanes already
+ * settled or dead — an all-zero block returns immediately, which is
+ * the scalar path's early exit at block granularity.
+ */
+using AtomBlockFn = void (*)(const CompiledAtom *atoms,
+                             const std::int64_t *const *lanes,
+                             std::size_t width, std::int64_t iterations,
+                             const litmus::Value *const *bufs,
+                             std::uint8_t *match);
+
+/**
+ * The specialized kernel for @p shape, or nullptr when the shape is
+ * outside the instantiated set (fall back to the interpreter).
+ */
+AtomBlockFn specializedKernelFor(const KernelShape &shape);
+
+/**
+ * Structure-of-arrays scratch for one worker's block evaluation.
+ * Rows are per-thread (frames / over) or per-lane; resize() is cheap
+ * to call repeatedly with the same geometry.
+ */
+struct BlockScratch
+{
+    std::size_t numThreads = 0;
+    std::size_t width = 0;
+
+    /** Frame-index rows, numThreads x width (SoA). */
+    std::vector<std::int64_t> frames;
+
+    /** Row base pointers into `frames`, one per thread. */
+    std::vector<const std::int64_t *> lanePtrs;
+
+    /** "Index at/past the watermark" flags, numThreads x width. */
+    std::vector<std::uint8_t> over;
+
+    /** Per-lane alive flag (no NoMatch yet). */
+    std::vector<std::uint8_t> ok;
+
+    /** Per-lane decoded source values. */
+    std::vector<std::int64_t> vals;
+
+    /** Per-lane decoded iteration indices. */
+    std::vector<std::int64_t> idx;
+
+    /** Per-thread gather row for the interpreter fallback. */
+    std::vector<std::int64_t> gather;
+
+    void resize(std::size_t num_threads, std::size_t w);
+
+    std::int64_t *
+    frameRow(std::size_t t)
+    {
+        return frames.data() + t * width;
+    }
+
+    std::uint8_t *
+    overRow(std::size_t t)
+    {
+        return over.data() + t * width;
+    }
+};
+
+/**
+ * Frame-block evaluation of one compiled outcome: the specialized
+ * kernel when the shape allows, the interpreter per lane otherwise.
+ * Used by the exhaustive counter, whose lanes are explicit frames.
+ */
+class AtomKernel
+{
+  public:
+    AtomKernel() = default;
+    explicit AtomKernel(const CompiledOutcome &compiled);
+
+    bool
+    specialized() const
+    {
+        return fn_ != nullptr;
+    }
+
+    const KernelShape &
+    shape() const
+    {
+        return shape_;
+    }
+
+    /**
+     * Evaluate @p width lanes; every lane of every frame-thread row in
+     * @p scratch must hold an index in [0, iterations). match is
+     * in/out (AND semantics, see AtomBlockFn): lanes entering 0 are
+     * skipped.
+     */
+    void evalBlock(const CompiledOutcome &compiled, BlockScratch &scratch,
+                   std::size_t width, std::int64_t iterations,
+                   const litmus::Value *const *bufs,
+                   std::uint8_t *match) const;
+
+  private:
+    KernelShape shape_;
+    AtomBlockFn fn_ = nullptr;
+};
+
+/** One flattened resolution step (mirrors ResolutionStep, POD-ish). */
+struct DecodeStep
+{
+    std::int32_t targetThread = -1;
+    std::int32_t sourceThread = -1;
+
+    /** Thread owning the decoded buf (source.value.thread). */
+    std::int32_t bufThread = -1;
+    std::int32_t loadsPerIteration = 0;
+    std::int32_t slot = 0;
+    bool rfDecode = false;
+    bool fallback = false;
+    std::int64_t stride = 1;
+    std::int64_t offset = 0;
+
+    /** log2(stride) when stride is a power of two, else -1 (lets the
+     *  rf decode use shift/mask instead of div/mod). */
+    std::int32_t strideShift = -1;
+    std::vector<std::int64_t> frOffsets;
+};
+
+/**
+ * Tri-state pivot-block evaluation of one heuristic plan: batched
+ * value->iteration decode (SoA, branch-hoisted per step) followed by
+ * the outcome's atom kernel. Per lane, the verdict is bit-identical
+ * to HeuristicCounter::evaluateAtBounded — including which lanes
+ * defer (NeedData) under a watermark.
+ */
+class PivotKernel
+{
+  public:
+    PivotKernel() = default;
+
+    /**
+     * @param compiled The plan's skip-folded compiled outcome (only
+     *        its shape is captured; the outcome itself is passed again
+     *        to evalPivotBlock so the kernel stays copy-safe).
+     * @param steps Flattened resolution steps, in plan order.
+     * @param pivot The plan's pivot thread.
+     * @param frame_threads The test's frame threads.
+     */
+    PivotKernel(const CompiledOutcome &compiled,
+                std::vector<DecodeStep> steps, std::int32_t pivot,
+                std::vector<std::int32_t> frame_threads);
+
+    bool
+    specialized() const
+    {
+        return atoms_.specialized();
+    }
+
+    const KernelShape &
+    shape() const
+    {
+        return atoms_.shape();
+    }
+
+    /**
+     * Evaluate pivots [n0, n0 + width). On return, lane w is Match iff
+     * match[w], NeedData iff need[w] (never both), NoMatch otherwise.
+     * Requires n0 + width <= available <= iterations (the caller's
+     * pivot range lies below the watermark). Never reads any buf at or
+     * past `available`.
+     *
+     * @p active (optional, may be nullptr = all lanes) masks lanes
+     * the caller still cares about: inactive lanes skip all work and
+     * come back with match == need == 0. FirstMatch callers pass the
+     * not-yet-settled mask so later outcomes only pay for undecided
+     * lanes — the batched equivalent of the scalar else-if chain.
+     */
+    void evalPivotBlock(const CompiledOutcome &compiled,
+                        BlockScratch &scratch, std::int64_t n0,
+                        std::size_t width, std::int64_t iterations,
+                        std::int64_t available,
+                        const litmus::Value *const *bufs,
+                        std::uint8_t *match, std::uint8_t *need,
+                        const std::uint8_t *active = nullptr) const;
+
+  private:
+    AtomKernel atoms_;
+    std::vector<DecodeStep> steps_;
+    std::int32_t pivot_ = -1;
+    std::vector<std::int32_t> frameThreads_;
+};
+
+} // namespace detail
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_KERNELS_H

@@ -177,6 +177,8 @@ runPerpetualStreaming(const core::PerpetualTest &perpetual,
         counter.emplace(perpetual.original,
                         core::buildPerpetualOutcomes(perpetual.original,
                                                      outcomes));
+        counter->setKernelMode(config.kernelMode);
+        result.kernelReport = counter->kernelReport();
         analyzer.emplace(*counter, iterations, raw, config.countMode,
                          config.analysisThreads);
     }

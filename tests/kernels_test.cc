@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Bit-identity property tests for the shape-dispatched, batch-evaluated
+ * counting kernels (kernels.h, DESIGN.md §10).
+ *
+ * The specialized block path is an optimization, never a semantic: for
+ * every registry test and a generated suite of ≥50 convertible tests,
+ * counts under KernelMode::Specialized must equal the scalar
+ * interpreter reference exactly — across thread counts {1, 2, 7},
+ * batch widths {1, 4, default}, both CountModes, and streamed epoch
+ * seams where the tri-state NeedData verdict must survive batching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "generate/generator.h"
+#include "litmus/outcome.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/fast_counter.h"
+#include "perple/kernels.h"
+#include "perple/stream.h"
+#include "sim/machine.h"
+
+namespace perple::core
+{
+namespace
+{
+
+using litmus::Value;
+
+std::vector<std::vector<Value>>
+simulate(const litmus::Test &test, std::int64_t iterations,
+         std::uint64_t seed)
+{
+    const auto perpetual = convert(test);
+    sim::MachineConfig config;
+    config.seed = seed;
+    sim::Machine machine(perpetual.programs, test.numLocations(),
+                         config);
+    sim::RunResult run;
+    machine.runFree(iterations, 0, run);
+    return run.bufs;
+}
+
+/** Iteration counts sized to keep the N^{T_L} exhaustive scans cheap. */
+std::int64_t
+iterationsFor(const litmus::Test &test)
+{
+    switch (test.numLoadThreads()) {
+    case 1:
+        return 600;
+    case 2:
+        return 72;
+    default:
+        return 21;
+    }
+}
+
+/** Outcomes of interest: the enumerated register outcomes, capped. */
+std::vector<litmus::Outcome>
+outcomesFor(const litmus::Test &test, std::size_t cap)
+{
+    auto outcomes = litmus::enumerateRegisterOutcomes(test);
+    if (outcomes.size() > cap)
+        outcomes.resize(cap);
+    return outcomes;
+}
+
+TEST(KernelsTest, ModeNamesRoundTrip)
+{
+    for (const KernelMode mode :
+         {KernelMode::Auto, KernelMode::Specialized,
+          KernelMode::Interpreter})
+        EXPECT_EQ(kernelModeFromName(kernelModeName(mode)), mode);
+    EXPECT_THROW(kernelModeFromName("vectorized"), UserError);
+    EXPECT_THROW(kernelModeFromName(""), UserError);
+}
+
+TEST(KernelsTest, ReportDescribesSelection)
+{
+    const litmus::Test &test = litmus::findTest("mp").test;
+    HeuristicCounter counter(
+        test, buildPerpetualOutcomes(test, outcomesFor(test, 8)));
+
+    counter.setKernelMode(KernelMode::Specialized);
+    const KernelReport on = counter.kernelReport();
+    EXPECT_TRUE(on.batched);
+    EXPECT_EQ(on.mode, KernelMode::Specialized);
+    EXPECT_EQ(on.batchWidth, detail::kKernelBatchWidth);
+    EXPECT_EQ(on.outcomes.size(), counter.outcomes().size());
+    EXPECT_GT(on.specializedCount(), 0u);
+    EXPECT_NE(on.summary().find("specialized"), std::string::npos);
+    for (const auto &entry : on.outcomes)
+        EXPECT_FALSE(entry.shape.empty());
+
+    counter.setKernelMode(KernelMode::Interpreter);
+    const KernelReport off = counter.kernelReport();
+    EXPECT_FALSE(off.batched);
+    EXPECT_EQ(off.mode, KernelMode::Interpreter);
+}
+
+TEST(KernelsTest, ShapeGrammarBounds)
+{
+    detail::KernelShape shape;
+    shape.numAtoms = 1;
+    EXPECT_TRUE(shape.specializable());
+    shape.numAtoms = detail::kMaxKernelAtoms;
+    shape.numExistential = detail::kMaxKernelExistential;
+    EXPECT_TRUE(shape.specializable());
+    EXPECT_NE(detail::specializedKernelFor(shape), nullptr);
+    shape.numAtoms = detail::kMaxKernelAtoms + 1;
+    EXPECT_FALSE(shape.specializable());
+    EXPECT_EQ(detail::specializedKernelFor(shape), nullptr);
+    shape.numAtoms = 2;
+    shape.numExistential = detail::kMaxKernelExistential + 1;
+    EXPECT_FALSE(shape.specializable());
+}
+
+/**
+ * The core property, over the whole registry: specialized counts ==
+ * interpreter counts, for both counters, across thread counts, batch
+ * widths and CountModes — against the serial interpreter reference.
+ */
+TEST(KernelsTest, RegistryCountsAreEngineInvariant)
+{
+    const std::vector<std::size_t> widths = {
+        1, 4, detail::kKernelBatchWidth};
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const litmus::Test &test = entry.test;
+        const auto outcomes =
+            buildPerpetualOutcomes(test, outcomesFor(test, 8));
+        ExhaustiveCounter exhaustive(test, outcomes);
+        HeuristicCounter heuristic(test, outcomes);
+        const std::int64_t n = iterationsFor(test);
+        const auto bufs = simulate(test, n, 17);
+        const RawBufs raw(bufs);
+
+        for (const CountMode mode :
+             {CountMode::FirstMatch, CountMode::Independent}) {
+            exhaustive.setKernelMode(KernelMode::Interpreter);
+            heuristic.setKernelMode(KernelMode::Interpreter);
+            const Counts exh_ref = exhaustive.count(n, raw, mode, 1);
+            const Counts heur_ref = heuristic.count(n, raw, mode, 1);
+
+            exhaustive.setKernelMode(KernelMode::Specialized);
+            heuristic.setKernelMode(KernelMode::Specialized);
+            for (const std::size_t width : widths) {
+                exhaustive.setKernelBatchWidth(width);
+                heuristic.setKernelBatchWidth(width);
+                for (const std::size_t threads : {1u, 2u, 7u}) {
+                    EXPECT_EQ(exhaustive.count(n, raw, mode, threads),
+                              exh_ref)
+                        << test.name << " width " << width
+                        << " threads " << threads;
+                    EXPECT_EQ(heuristic.count(n, raw, mode, threads),
+                              heur_ref)
+                        << test.name << " width " << width
+                        << " threads " << threads;
+                }
+            }
+            exhaustive.setKernelBatchWidth(
+                detail::kKernelBatchWidth);
+            heuristic.setKernelBatchWidth(detail::kKernelBatchWidth);
+        }
+    }
+}
+
+/**
+ * Same property over ≥50 generated tests — shapes the registry does
+ * not cover, including interpreter-fallback shapes under
+ * KernelMode::Specialized (which must batch via the per-lane
+ * interpreter and still agree).
+ */
+TEST(KernelsTest, GeneratedSuiteCountsAreEngineInvariant)
+{
+    int checked = 0;
+    for (const auto &g :
+         generate::generateSuite(80, generate::GeneratorConfig{}, 23)) {
+        const litmus::Test &test = g.test;
+        if (test.numLoadThreads() == 0)
+            continue;
+        const auto outcomes = outcomesFor(test, 4);
+        std::string reason;
+        if (outcomes.empty() ||
+            !isConvertible(test, outcomes, reason))
+            continue;
+        HeuristicCounter counter(
+            test, buildPerpetualOutcomes(test, outcomes));
+        const std::int64_t n = 300;
+        const auto bufs = simulate(test, n, 29);
+        const RawBufs raw(bufs);
+
+        for (const CountMode mode :
+             {CountMode::FirstMatch, CountMode::Independent}) {
+            counter.setKernelMode(KernelMode::Interpreter);
+            const Counts ref = counter.count(n, raw, mode, 1);
+            counter.setKernelMode(KernelMode::Specialized);
+            EXPECT_EQ(counter.count(n, raw, mode, 1), ref)
+                << test.name;
+            EXPECT_EQ(counter.count(n, raw, mode, 7), ref)
+                << test.name << " threaded";
+        }
+        ++checked;
+    }
+    ASSERT_GE(checked, 50);
+}
+
+/**
+ * Streaming: the tri-state NeedData verdict must survive batching at
+ * epoch seams — blocks split per lane, they never flip a verdict —
+ * so streamed specialized counts equal streamed interpreter counts
+ * equal batch counts, for every epoch size.
+ */
+TEST(KernelsTest, StreamedEpochSeamsAreEngineInvariant)
+{
+    for (const char *name : {"sb", "mp", "iriw", "xchg-atomicity"}) {
+        const litmus::Test &test = litmus::findTest(name).test;
+        HeuristicCounter counter(
+            test, buildPerpetualOutcomes(test, outcomesFor(test, 8)));
+        const std::int64_t n = 400;
+        const auto bufs = simulate(test, n, 31);
+        const RawBufs raw(bufs);
+
+        for (const CountMode mode :
+             {CountMode::FirstMatch, CountMode::Independent}) {
+            counter.setKernelMode(KernelMode::Interpreter);
+            const Counts batch = counter.count(n, raw, mode, 1);
+            for (const std::int64_t epoch : {1LL, 7LL, 399LL, 400LL}) {
+                counter.setKernelMode(KernelMode::Interpreter);
+                const Counts ref = stream::countHeuristicEpochs(
+                    counter, n, raw, epoch, mode, 1);
+                counter.setKernelMode(KernelMode::Specialized);
+                const Counts specialized =
+                    stream::countHeuristicEpochs(counter, n, raw,
+                                                 epoch, mode, 1);
+                EXPECT_EQ(specialized, ref)
+                    << name << " epoch " << epoch;
+                EXPECT_EQ(specialized, batch)
+                    << name << " epoch " << epoch;
+            }
+        }
+    }
+}
+
+TEST(KernelsTest, FastCounterIsModeInvariant)
+{
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const litmus::Test &test = entry.test;
+        const auto outcome = buildPerpetualOutcome(test, test.target);
+        if (!FastExhaustiveCounter::isApplicable(test, outcome))
+            continue;
+        FastExhaustiveCounter fast(test, outcome);
+        const std::int64_t n = 500;
+        const auto bufs = simulate(test, n, 37);
+        const RawBufs raw(bufs);
+
+        fast.setKernelMode(KernelMode::Interpreter);
+        const std::uint64_t ref = fast.count(n, raw, 1);
+        fast.setKernelMode(KernelMode::Specialized);
+        EXPECT_EQ(fast.count(n, raw, 1), ref) << test.name;
+        fast.setKernelMode(KernelMode::Auto);
+        EXPECT_EQ(fast.count(n, raw, 1), ref) << test.name;
+    }
+}
+
+} // namespace
+} // namespace perple::core

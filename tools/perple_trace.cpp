@@ -40,6 +40,10 @@
  *   --no-exhaustive / --no-heuristic   skip a counter
  *   --fast              also run the O(N log N) fast counter where
  *                       applicable
+ *   --kernel-mode auto|specialized|interpreter
+ *                       counting engine: the shape-specialized
+ *                       batched kernels, the scalar interpreter, or
+ *                       pick per outcome (default auto)
  *   --stream            count COUNTH epoch by epoch (bounded working
  *                       set over an mmap'd capture; counts are
  *                       bit-identical to the batch scan)
@@ -61,6 +65,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -86,6 +91,7 @@ usage(const char *argv0)
         "       %s verify FILE.plt...\n"
         "       %s analyze FILE.plt [--outcome COND]... [--jobs N]\n"
         "          [--mode first|independent] [--cap N] [--fast]\n"
+        "          [--kernel-mode auto|specialized|interpreter]\n"
         "          [--stream] [--epoch N]\n"
         "          [--no-exhaustive] [--no-heuristic] [--crosscheck]\n"
         "          [--json] [--salvage]\n"
@@ -391,6 +397,7 @@ struct AnalyzeOptions
     bool exhaustive = true;
     bool heuristic = true;
     bool fast = false;
+    core::KernelMode kernelMode = core::KernelMode::Auto;
 
     /** Epoch size of the streaming COUNTH path; 0 = batch. */
     std::int64_t streamEpoch = 0;
@@ -429,6 +436,9 @@ cmdAnalyze(int argc, char **argv)
             options.heuristic = false;
         } else if (std::strcmp(arg, "--fast") == 0) {
             options.fast = true;
+        } else if (std::strcmp(arg, "--kernel-mode") == 0) {
+            options.kernelMode =
+                core::kernelModeFromName(flagValue(argc, argv, i));
         } else if (std::strcmp(arg, "--stream") == 0) {
             if (options.streamEpoch == 0)
                 options.streamEpoch = 65536;
@@ -477,8 +487,25 @@ cmdAnalyze(int argc, char **argv)
     }
     const auto perpetual_outcomes =
         core::buildPerpetualOutcomes(test, outcomes);
-    const core::ExhaustiveCounter exhaustive(test, perpetual_outcomes);
-    const core::HeuristicCounter heuristic(test, perpetual_outcomes);
+    core::ExhaustiveCounter exhaustive(test, perpetual_outcomes);
+    core::HeuristicCounter heuristic(test, perpetual_outcomes);
+    exhaustive.setKernelMode(options.kernelMode);
+    heuristic.setKernelMode(options.kernelMode);
+
+    // Fast counters are compiled once per outcome, not once per run:
+    // plan compilation is outcome-shaped, and captures routinely hold
+    // many runs of the same test.
+    std::vector<std::optional<core::FastExhaustiveCounter>> fast_for;
+    if (options.fast) {
+        fast_for.resize(perpetual_outcomes.size());
+        for (std::size_t o = 0; o < perpetual_outcomes.size(); ++o) {
+            if (!core::FastExhaustiveCounter::isApplicable(
+                    test, perpetual_outcomes[o]))
+                continue;
+            fast_for[o].emplace(test, perpetual_outcomes[o]);
+            fast_for[o]->setKernelMode(options.kernelMode);
+        }
+    }
 
     // Counts are summed across run groups (runs are independent, so
     // occurrences add); per-run counts feed the cross-check below.
@@ -520,12 +547,10 @@ cmdAnalyze(int argc, char **argv)
         if (options.fast) {
             for (std::size_t o = 0; o < perpetual_outcomes.size();
                  ++o) {
-                if (!core::FastExhaustiveCounter::isApplicable(
-                        test, perpetual_outcomes[o]))
+                if (!fast_for[o])
                     continue;
-                const core::FastExhaustiveCounter fast(
-                    test, perpetual_outcomes[o]);
-                fast_total[o] += fast.count(n, raw, options.jobs);
+                fast_total[o] +=
+                    fast_for[o]->count(n, raw, options.jobs);
                 fast_ok[o] = true;
             }
         }
@@ -606,6 +631,7 @@ cmdAnalyze(int argc, char **argv)
         config.mode = options.mode;
         config.parallel = options.jobs != 1;
         config.parallelThreads = options.jobs;
+        config.kernelMode = options.kernelMode;
         config.machine = reader.meta().machine;
         const auto report =
             core::crossCheckCounters(test, outcomes, config);
