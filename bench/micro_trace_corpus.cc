@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Trace-corpus microbench: what does bulk re-analysis over a directory
+ * of captures cost, and what does it save?
+ *
+ * Builds a corpus of F single-run sb captures (F = 1000 scaled by
+ * PERPLE_ITERS_SCALE, 2000 iterations each, distinct seeds — the shape
+ * a fuzz campaign leaves behind), then answers:
+ *
+ *  1. Corpus re-analysis vs re-execution — the headline trade: a full
+ *     scanCorpus sweep (open + validate + heuristic-count every file)
+ *     vs ONE harness execution over the corpus's total iteration
+ *     volume (F x 2000 iterations: the cost of regenerating
+ *     equivalent evidence instead of re-reading it). The acceptance
+ *     bar is re-analysis strictly faster.
+ *  2. Scan parallelism — the same sweep at --jobs 1 vs all cores; the
+ *     two reports are asserted bit-identical (the corpus invariance
+ *     guarantee), and the speedup is disclosed per the honesty rules
+ *     (null on a 1-thread host).
+ *  3. The cold-storage tier — every capture compacted with the best
+ *     available codec, then re-scanned: compression ratio, compact
+ *     cost, and compressed vs uncompressed read throughput. The
+ *     compacted corpus must aggregate identically to the original.
+ *     On a build with no codec the leg is skipped (and recorded as
+ *     null in the JSON).
+ *
+ * Results go to BENCH_trace_corpus.json.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace
+{
+
+using namespace perple;
+using namespace perple::bench;
+
+/** The tool's corpus analyzer (tools/perple_trace.cpp), minus the
+ *  cross-check: per-run heuristic target counts, inner jobs fixed at
+ *  1 so the sweep's own parallelism is the only variable. */
+trace::FileAnalyzer
+targetCountAnalyzer()
+{
+    return [](const trace::TraceReader &reader,
+              trace::CorpusFile &file) {
+        const litmus::Test test = reader.test();
+        const auto outcomes =
+            core::buildPerpetualOutcomes(test, {test.target});
+        core::HeuristicCounter counter(test, outcomes);
+        file.outcomeLabels = {"target"};
+        file.targetOutcome = 0;
+        for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+            file.runs[r].counts = counter.count(
+                reader.runInfo(r).iterations, reader.rawBufs(r),
+                core::CountMode::FirstMatch, 1);
+            file.runs[r].counted = true;
+        }
+    };
+}
+
+/** Do two scans agree on everything the manifest summarizes? */
+bool
+aggregatesIdentical(const trace::CorpusReport &a,
+                    const trace::CorpusReport &b)
+{
+    if (a.totalRuns != b.totalRuns || a.uniqueRuns != b.uniqueRuns ||
+        a.duplicateRuns != b.duplicateRuns ||
+        a.uniqueIterations != b.uniqueIterations ||
+        a.tests.size() != b.tests.size())
+        return false;
+    for (std::size_t i = 0; i < a.tests.size(); ++i) {
+        const trace::CorpusTestAggregate &x = a.tests[i];
+        const trace::CorpusTestAggregate &y = b.tests[i];
+        if (x.testName != y.testName || x.runs != y.runs ||
+            x.iterations != y.iterations || x.counts != y.counts)
+            return false;
+    }
+    return true;
+}
+
+double
+readMiBPerSecond(std::uint64_t bytes, double seconds)
+{
+    return seconds > 0.0
+        ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds
+        : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+
+    const std::int64_t files = scaledIterations(1000);
+    const std::int64_t perFile = 2000;
+    const std::int64_t total = files * perFile;
+    banner("Micro: trace-corpus bulk re-analysis (sb)", total);
+    std::printf("corpus: %lld capture(s) x %lld iterations\n\n",
+                static_cast<long long>(files),
+                static_cast<long long>(perFile));
+
+    const auto &sb = litmus::findTest("sb").test;
+    const auto perpetual = core::convert(sb);
+
+    const std::string dir = "bench_corpus_plt";
+    const std::string compactDir = "bench_corpus_plt_zstd";
+    fs::remove_all(dir);
+    fs::remove_all(compactDir);
+    fs::create_directory(dir);
+
+    // Build the corpus: one capture per seed, counting disabled (the
+    // captures are evidence to analyze, not analyses).
+    WallTimer build_timer;
+    for (std::int64_t i = 0; i < files; ++i) {
+        core::HarnessConfig config;
+        config.seed = baseSeed() + static_cast<std::uint64_t>(i);
+        config.runExhaustive = false;
+        config.runHeuristic = false;
+        config.capturePath = format("%s/cap-%05lld.plt", dir.c_str(),
+                                    static_cast<long long>(i));
+        core::runPerpetual(perpetual, perFile, {sb.target}, config);
+    }
+    const double build_seconds = build_timer.elapsedSeconds();
+
+    const std::vector<std::string> paths = trace::discoverCorpus(dir);
+    const trace::FileAnalyzer analyzer = targetCountAnalyzer();
+    bool failed = false;
+
+    // Parallel sweep (the corpus-mode default), then serial; the
+    // reports must render to the same manifest byte for byte.
+    WallTimer par_timer;
+    const auto par = trace::scanCorpus(paths, {.jobs = 0}, analyzer);
+    const double par_seconds = par_timer.elapsedSeconds();
+
+    WallTimer serial_timer;
+    const auto serial =
+        trace::scanCorpus(paths, {.jobs = 1}, analyzer);
+    const double serial_seconds = serial_timer.elapsedSeconds();
+
+    const bool invariant =
+        trace::corpusReportJson(par) == trace::corpusReportJson(serial);
+    if (!invariant) {
+        std::printf("JOB-INVARIANCE FAILURE: jobs=0 and jobs=1 "
+                    "reports differ\n");
+        failed = true;
+    }
+    if (par.corruptFiles != 0 ||
+        par.totalRuns != static_cast<std::size_t>(files)) {
+        std::printf("CORPUS HEALTH FAILURE: %zu corrupt, %zu runs "
+                    "(expected %lld)\n",
+                    par.corruptFiles, par.totalRuns,
+                    static_cast<long long>(files));
+        failed = true;
+    }
+
+    // Re-execution baseline: one harness run (exec + heuristic count)
+    // over the same total iteration volume. This is what answering
+    // "how often did the target show up across the campaign?" costs
+    // without the corpus.
+    WallTimer reexec_timer;
+    core::HarnessConfig reexec;
+    reexec.seed = baseSeed();
+    reexec.runExhaustive = false;
+    reexec.analysisThreads = analysisThreads();
+    core::runPerpetual(perpetual, total, {sb.target}, reexec);
+    const double reexec_seconds = reexec_timer.elapsedSeconds();
+    const double speedup_vs_reexec =
+        par_seconds > 0.0 ? reexec_seconds / par_seconds : 0.0;
+
+    // Cold-storage tier: compact every capture, re-scan, compare.
+    const trace::Compression codec = trace::defaultCompression();
+    const bool compressed_leg = codec != trace::Compression::None;
+    double compact_seconds = 0.0, comp_scan_seconds = 0.0;
+    std::uint64_t comp_bytes = 0;
+    bool comp_identical = false;
+    if (compressed_leg) {
+        fs::create_directory(compactDir);
+        trace::WriterOptions wopts;
+        wopts.compression = codec;
+        WallTimer compact_timer;
+        for (const std::string &path : paths) {
+            const trace::TraceReader reader(path);
+            trace::TraceWriter writer(
+                compactDir + "/" +
+                    fs::path(path).filename().string(),
+                reader.meta(), wopts);
+            for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+                writer.beginRun(reader.runInfo(r));
+                for (std::size_t t = 0; t < reader.numThreads(); ++t)
+                    writer.writeBuf(reader.bufData(r, t),
+                                    reader.bufSize(r, t));
+                writer.writeMemory(reader.memory(r));
+                writer.writeStats(reader.stats(r));
+            }
+            writer.finish();
+        }
+        compact_seconds = compact_timer.elapsedSeconds();
+
+        WallTimer comp_timer;
+        const auto comp = trace::scanCorpus(
+            trace::discoverCorpus(compactDir), {.jobs = 0}, analyzer);
+        comp_scan_seconds = comp_timer.elapsedSeconds();
+        comp_bytes = comp.totalBytes;
+        comp_identical = aggregatesIdentical(par, comp);
+        if (!comp_identical) {
+            std::printf("COMPACTION FAILURE: compressed corpus "
+                        "aggregates differ from the original\n");
+            failed = true;
+        }
+    } else {
+        std::printf("note: no compression codec in this build — "
+                    "cold-storage leg skipped\n");
+    }
+
+    const double ratio =
+        comp_bytes > 0
+            ? static_cast<double>(par.totalBytes) /
+                  static_cast<double>(comp_bytes)
+            : 0.0;
+
+    stats::Table table({"metric", "value"});
+    table.addRow({"corpus build (capture)",
+                  format("%.2fs", build_seconds)});
+    table.addRow({"corpus size",
+                  format("%.1f MiB",
+                         static_cast<double>(par.totalBytes) /
+                             (1024.0 * 1024.0))});
+    table.addRow({"re-analysis (all cores)",
+                  format("%.3fs", par_seconds)});
+    table.addRow({"re-analysis (1 job)",
+                  format("%.3fs", serial_seconds)});
+    table.addRow({"re-execute one run",
+                  format("%.3fs", reexec_seconds)});
+    table.addRow({"re-analysis vs re-execute",
+                  format("%.1fx", speedup_vs_reexec)});
+    if (compressed_leg) {
+        table.addRow({format("compact (%s)", trace::codecName(codec)),
+                      format("%.2fs (%.2fx smaller)", compact_seconds,
+                             ratio)});
+        table.addRow(
+            {"read MiB/s (plain vs compact)",
+             format("%.0f vs %.0f",
+                    readMiBPerSecond(par.totalBytes, par_seconds),
+                    readMiBPerSecond(comp_bytes,
+                                     comp_scan_seconds))});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    warnIfSingleCore("scan_parallel_speedup");
+
+    std::FILE *json = std::fopen("BENCH_trace_corpus.json", "w");
+    if (json == nullptr) {
+        std::printf("cannot write BENCH_trace_corpus.json\n");
+        return 1;
+    }
+    writeJsonPreamble(json, "trace_corpus");
+    std::fprintf(
+        json,
+        "  \"files\": %lld,\n"
+        "  \"iterations_per_file\": %lld,\n"
+        "  \"total_iterations\": %lld,\n"
+        "  \"build_seconds\": %.6f,\n"
+        "  \"corpus_bytes\": %llu,\n"
+        "  \"scan_parallel_seconds\": %.6f,\n"
+        "  \"scan_serial_seconds\": %.6f,\n"
+        "  \"scan_parallel_speedup\": %s,\n"
+        "  \"job_invariant\": %s,\n"
+        "  \"reexecute_definition\": \"one harness execution (exec + "
+        "heuristic count) over the corpus's total iteration volume "
+        "(files * iterations_per_file)\",\n"
+        "  \"reexecute_one_run_seconds\": %.6f,\n"
+        "  \"speedup_vs_reexecute\": %.2f,\n",
+        static_cast<long long>(files),
+        static_cast<long long>(perFile),
+        static_cast<long long>(total), build_seconds,
+        static_cast<unsigned long long>(par.totalBytes), par_seconds,
+        serial_seconds,
+        speedupJson(par_seconds > 0.0 ? serial_seconds / par_seconds
+                                      : 0.0)
+            .c_str(),
+        invariant ? "true" : "false", reexec_seconds,
+        speedup_vs_reexec);
+    if (compressed_leg) {
+        std::fprintf(
+            json,
+            "  \"compressed\": {\"codec\": \"%s\", \"bytes\": %llu, "
+            "\"ratio\": %.3f, \"compact_seconds\": %.6f, "
+            "\"scan_seconds\": %.6f, \"read_mib_s\": %.1f, "
+            "\"uncompressed_read_mib_s\": %.1f, "
+            "\"aggregates_identical\": %s}\n",
+            trace::codecName(codec),
+            static_cast<unsigned long long>(comp_bytes), ratio,
+            compact_seconds, comp_scan_seconds,
+            readMiBPerSecond(comp_bytes, comp_scan_seconds),
+            readMiBPerSecond(par.totalBytes, par_seconds),
+            comp_identical ? "true" : "false");
+    } else {
+        std::fprintf(json, "  \"compressed\": null\n");
+    }
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_trace_corpus.json\n");
+
+    fs::remove_all(dir);
+    fs::remove_all(compactDir);
+    return failed ? 1 : 0;
+}

@@ -1,0 +1,25 @@
+#include "common/hash.h"
+
+#include "common/strings.h"
+
+namespace perple::common
+{
+
+std::uint64_t
+fnv1a64(std::uint64_t state, const void *bytes, std::size_t count)
+{
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    for (std::size_t i = 0; i < count; ++i) {
+        state ^= p[i];
+        state *= 0x100000001b3ULL;
+    }
+    return state;
+}
+
+std::string
+hashToHex(std::uint64_t hash)
+{
+    return format("%016llx", static_cast<unsigned long long>(hash));
+}
+
+} // namespace perple::common

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Content hashing for dedup keys.
+ *
+ * The trace-corpus layer keys runs by a hash of their canonical
+ * serialized identity (test text + machine config + seed + backend +
+ * iteration count, see src/trace/corpus.h). FNV-1a over 64 bits is
+ * enough for that job: keys are canonical strings (no adversarial
+ * collisions to defend against — a forged .plt already fails CRC or
+ * structural validation first), and at the 10k-run campaign scale the
+ * birthday collision probability is ~3e-12. The function is
+ * byte-order-free and dependency-free, so manifests hash identically
+ * on every host.
+ */
+
+#ifndef PERPLE_COMMON_HASH_H
+#define PERPLE_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace perple::common
+{
+
+/** FNV-1a offset basis (the hash of the empty string). */
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ULL;
+
+/** Fold @p bytes into @p state (FNV-1a, 64-bit). */
+std::uint64_t fnv1a64(std::uint64_t state, const void *bytes,
+                      std::size_t count);
+
+/** One-shot FNV-1a 64 of @p text. */
+inline std::uint64_t
+fnv1a64(const std::string &text)
+{
+    return fnv1a64(kFnv1a64Offset, text.data(), text.size());
+}
+
+/** Render @p hash as fixed-width lowercase hex (manifest form). */
+std::string hashToHex(std::uint64_t hash);
+
+} // namespace perple::common
+
+#endif // PERPLE_COMMON_HASH_H

@@ -18,6 +18,8 @@
 #include "litmus/writer.h"
 #include "perple/converter.h"
 #include "perple/harness.h"
+#include "supervise/run.h"
+#include "trace/corpus.h"
 
 namespace perple::fuzz
 {
@@ -63,14 +65,28 @@ writeReproducer(const CampaignConfig &config,
  * a capture failure never fails the campaign, but it is reported (and
  * the partial file removed) rather than leaving a corrupt `.plt` that
  * only fails much later at CRC verification.
+ *
+ * Supervision divergences (the test hung or crashed the oracle
+ * battery) are captured through a supervised child so the capture
+ * itself cannot take the driver down; a killed child's partial
+ * capture is salvaged and kept — salvage-mode readers (and the corpus
+ * scanner) recover its completed prefix.
  */
 std::string
 writeFailureTrace(const CampaignConfig &config,
                   const CampaignFailure &failure, std::mutex &io_mutex)
 {
-    const litmus::Test &test = failure.shrunk;
+    // Prefer the minimized test; shrinking can strip a test below
+    // convertibility (e.g. a hang reproducer minimized to stores
+    // only), and the original diverging buffers still make a useful
+    // capture, so fall back to it.
     std::string reason;
-    if (!core::isConvertible(test, {test.target}, reason))
+    const bool shrunk_ok = core::isConvertible(
+        failure.shrunk, {failure.shrunk.target}, reason);
+    const litmus::Test &test =
+        shrunk_ok ? failure.shrunk : failure.original;
+    if (!shrunk_ok &&
+        !core::isConvertible(test, {test.target}, reason))
         return "";
     const std::string path =
         config.reproducerDir +
@@ -87,8 +103,30 @@ writeFailureTrace(const CampaignConfig &config,
             test.numLoadThreads() >= 3
                 ? config.oracle.deepFrameIterations
                 : config.oracle.iterations;
-        core::runPerpetual(perpetual, iterations, {test.target},
-                           harness);
+        if (failure.divergence.check == Check::Supervision) {
+            // This test hung or crashed the oracle battery, so its
+            // capture runs in a sandboxed child of its own: a hang is
+            // killed by the watchdog and the partial capture salvaged
+            // (a corpus-ready `.plt` either way), instead of the
+            // in-parent run taking the whole campaign driver down.
+            supervise::SupervisorConfig probe = config.supervisor;
+            probe.retries = 0;
+            const auto result = supervise::runPerpetualSupervised(
+                perpetual, iterations, {test.target}, harness, probe);
+            if (!result.ok() &&
+                !std::filesystem::exists(path)) {
+                std::lock_guard<std::mutex> lock(io_mutex);
+                std::fprintf(stderr,
+                             "perple_fuzz: campaign %d: supervised "
+                             "trace capture left no file (%s)\n",
+                             failure.campaign,
+                             result.child.describe().c_str());
+                return "";
+            }
+        } else {
+            core::runPerpetual(perpetual, iterations, {test.target},
+                               harness);
+        }
     } catch (const Error &error) {
         std::lock_guard<std::mutex> lock(io_mutex);
         std::fprintf(stderr,
@@ -344,12 +382,8 @@ runCampaign(const CampaignConfig &config)
                 if (!config.reproducerDir.empty()) {
                     failure.reproducerPath =
                         writeReproducer(config, failure, io_mutex);
-                    // A supervision failure's test hung or crashed
-                    // the battery; re-running it in-parent for a
-                    // trace capture could do the same to the driver.
-                    if (failure.divergence.check != Check::Supervision)
-                        failure.tracePath = writeFailureTrace(
-                            config, failure, io_mutex);
+                    failure.tracePath = writeFailureTrace(
+                        config, failure, io_mutex);
                 }
                 shard_failures[shard].push_back(std::move(failure));
             }
@@ -377,6 +411,31 @@ runCampaign(const CampaignConfig &config)
             break;
           default:
             ++report.crashes;
+        }
+    }
+
+    // Leave the reproducer directory corpus-ready: a manifest over
+    // every captured `.plt` (content-hashed run identities, per-file
+    // health) so downstream merges and bulk re-analysis can
+    // deduplicate without re-opening each file.
+    const bool any_trace = std::any_of(
+        report.failures.begin(), report.failures.end(),
+        [](const CampaignFailure &failure) {
+            return !failure.tracePath.empty();
+        });
+    if (any_trace) {
+        try {
+            const trace::CorpusReport corpus = trace::scanCorpus(
+                trace::discoverCorpus(config.reproducerDir),
+                {.jobs = config.jobs});
+            report.manifestPath =
+                config.reproducerDir + "/corpus.json";
+            trace::writeCorpusManifest(report.manifestPath, corpus);
+        } catch (const UserError &error) {
+            report.manifestPath.clear();
+            std::fprintf(stderr,
+                         "perple_fuzz: corpus manifest failed: %s\n",
+                         error.what());
         }
     }
 

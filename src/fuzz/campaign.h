@@ -143,6 +143,14 @@ struct CampaignReport
     /** Supervised batteries that exhausted their memory limit. */
     int ooms = 0;
 
+    /**
+     * Path of the `corpus.json` manifest written over the reproducer
+     * directory's `.plt` captures (content-hashed run identities, so
+     * merged campaign outputs deduplicate); empty when no trace was
+     * captured.
+     */
+    std::string manifestPath;
+
     double seconds = 0;
 
     bool ok() const { return failures.empty(); }

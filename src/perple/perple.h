@@ -55,6 +55,8 @@
 #include "stats/table.h"
 #include "supervise/run.h"
 #include "supervise/supervise.h"
+#include "trace/codec.h"
+#include "trace/corpus.h"
 #include "trace/format.h"
 #include "trace/reader.h"
 #include "trace/writer.h"

@@ -1,0 +1,190 @@
+#include "trace/codec.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+#if defined(PERPLE_HAVE_ZSTD)
+#if defined(PERPLE_ZSTD_SYSTEM_HEADER)
+#include <zstd.h>
+#else
+// No zstd.h on this host, but the runtime library is present (see the
+// discovery logic in src/trace/CMakeLists.txt). These four prototypes
+// are the zstd "simple API", ABI-stable since zstd 1.0 and documented
+// as such upstream; declaring them here is the vendoring decision that
+// lets the compaction tier link against a bare libzstd.so.1.
+extern "C" {
+size_t ZSTD_compressBound(size_t srcSize);
+size_t ZSTD_compress(void *dst, size_t dstCapacity, const void *src,
+                     size_t srcSize, int compressionLevel);
+size_t ZSTD_decompress(void *dst, size_t dstCapacity, const void *src,
+                       size_t compressedSize);
+unsigned ZSTD_isError(size_t code);
+}
+#endif
+#endif
+
+#if defined(PERPLE_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace perple::trace
+{
+
+namespace
+{
+
+[[noreturn]] void
+missingCodec(Compression codec)
+{
+    fatal(format("this build has no %s support (section needs the "
+                 "%s codec; rebuild with the library available)",
+                 codecName(codec), codecName(codec)));
+}
+
+} // namespace
+
+bool
+codecAvailable(Compression codec)
+{
+    switch (codec) {
+    case Compression::None:
+        return true;
+    case Compression::Zstd:
+#if defined(PERPLE_HAVE_ZSTD)
+        return true;
+#else
+        return false;
+#endif
+    case Compression::Deflate:
+#if defined(PERPLE_HAVE_ZLIB)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Compression
+defaultCompression()
+{
+    if (codecAvailable(Compression::Zstd))
+        return Compression::Zstd;
+    if (codecAvailable(Compression::Deflate))
+        return Compression::Deflate;
+    return Compression::None;
+}
+
+const char *
+codecName(Compression codec)
+{
+    switch (codec) {
+    case Compression::None:
+        return "none";
+    case Compression::Zstd:
+        return "zstd";
+    case Compression::Deflate:
+        return "deflate";
+    }
+    return "unknown";
+}
+
+Compression
+codecFromName(const std::string &name)
+{
+    if (name == "none")
+        return Compression::None;
+    if (name == "zstd")
+        return Compression::Zstd;
+    if (name == "deflate")
+        return Compression::Deflate;
+    fatal(format("unknown compression codec '%s' (use none, zstd or "
+                 "deflate)",
+                 name.c_str()));
+}
+
+std::string
+compressBytes(Compression codec, [[maybe_unused]] int level,
+              [[maybe_unused]] const void *data,
+              [[maybe_unused]] std::size_t count)
+{
+    switch (codec) {
+    case Compression::None:
+        fatal("compressBytes called with Compression::None");
+    case Compression::Zstd: {
+#if defined(PERPLE_HAVE_ZSTD)
+        std::string out;
+        out.resize(ZSTD_compressBound(count));
+        const std::size_t written =
+            ZSTD_compress(out.data(), out.size(), data, count, level);
+        checkUser(ZSTD_isError(written) == 0,
+                  "zstd compression failed");
+        out.resize(written);
+        return out;
+#else
+        missingCodec(codec);
+#endif
+    }
+    case Compression::Deflate: {
+#if defined(PERPLE_HAVE_ZLIB)
+        uLongf bound = compressBound(static_cast<uLong>(count));
+        std::string out;
+        out.resize(bound);
+        const int z_level = level < 1 ? Z_DEFAULT_COMPRESSION
+                                      : (level > 9 ? 9 : level);
+        const int rc = compress2(
+            reinterpret_cast<Bytef *>(out.data()), &bound,
+            static_cast<const Bytef *>(data),
+            static_cast<uLong>(count), z_level);
+        checkUser(rc == Z_OK, "deflate compression failed");
+        out.resize(bound);
+        return out;
+#else
+        missingCodec(codec);
+#endif
+    }
+    }
+    missingCodec(codec);
+}
+
+void
+decompressBytes(Compression codec, [[maybe_unused]] const void *data,
+                [[maybe_unused]] std::size_t count,
+                [[maybe_unused]] void *out,
+                [[maybe_unused]] std::size_t rawBytes)
+{
+    switch (codec) {
+    case Compression::None:
+        fatal("decompressBytes called with Compression::None");
+    case Compression::Zstd: {
+#if defined(PERPLE_HAVE_ZSTD)
+        const std::size_t written =
+            ZSTD_decompress(out, rawBytes, data, count);
+        checkUser(ZSTD_isError(written) == 0 && written == rawBytes,
+                  "corrupt zstd section (stream does not decode to "
+                  "its recorded size)");
+        return;
+#else
+        missingCodec(codec);
+#endif
+    }
+    case Compression::Deflate: {
+#if defined(PERPLE_HAVE_ZLIB)
+        uLongf written = static_cast<uLongf>(rawBytes);
+        const int rc =
+            uncompress(static_cast<Bytef *>(out), &written,
+                       static_cast<const Bytef *>(data),
+                       static_cast<uLong>(count));
+        checkUser(rc == Z_OK && written == rawBytes,
+                  "corrupt deflate section (stream does not decode "
+                  "to its recorded size)");
+        return;
+#else
+        missingCodec(codec);
+#endif
+    }
+    }
+    missingCodec(codec);
+}
+
+} // namespace perple::trace

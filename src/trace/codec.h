@@ -1,0 +1,61 @@
+/**
+ * @file
+ * General-purpose compression codecs for the `.plt` v2 compaction
+ * tier.
+ *
+ * The codecs are build-time optional (see src/trace/CMakeLists.txt
+ * for the zstd discovery/vendoring decision): a build may have zstd,
+ * zlib deflate, both, or neither. Every entry point is total — on a
+ * build without the requested codec, compressBytes/decompressBytes
+ * throw a UserError naming the missing dependency instead of
+ * mis-reading data, and codecAvailable() lets callers pick the best
+ * available tier up front (defaultCompression()).
+ */
+
+#ifndef PERPLE_TRACE_CODEC_H
+#define PERPLE_TRACE_CODEC_H
+
+#include <cstddef>
+#include <string>
+
+#include "trace/format.h"
+
+namespace perple::trace
+{
+
+/** Is @p codec usable in this build? (None always is.) */
+bool codecAvailable(Compression codec);
+
+/** The strongest codec this build has: Zstd, else Deflate, else
+ *  None (compaction unavailable). */
+Compression defaultCompression();
+
+/** Stable lowercase codec name ("none", "zstd", "deflate"). */
+const char *codecName(Compression codec);
+
+/** Inverse of codecName; throws UserError on an unknown name. */
+Compression codecFromName(const std::string &name);
+
+/**
+ * Compress @p count bytes at @p data with @p codec at @p level.
+ * Returns the raw codec stream (no rawBytes prefix — the section
+ * writer frames it). Throws UserError when the codec is missing from
+ * this build or the underlying library reports an error.
+ */
+std::string compressBytes(Compression codec, int level,
+                          const void *data, std::size_t count);
+
+/**
+ * Decompress the @p count-byte stream at @p data into exactly
+ * @p rawBytes bytes at @p out. Throws UserError when the codec is
+ * missing, the stream is malformed, or it decodes to any other size —
+ * a corrupt compressed section must fail loudly even if its checksum
+ * was forged.
+ */
+void decompressBytes(Compression codec, const void *data,
+                     std::size_t count, void *out,
+                     std::size_t rawBytes);
+
+} // namespace perple::trace
+
+#endif // PERPLE_TRACE_CODEC_H

@@ -1,0 +1,442 @@
+#include "trace/corpus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace perple::trace
+{
+
+namespace fs = std::filesystem;
+
+const char *
+fileStatusName(FileStatus status)
+{
+    switch (status) {
+    case FileStatus::Ok:
+        return "ok";
+    case FileStatus::Salvaged:
+        return "salvaged";
+    case FileStatus::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+runIdentityHash(const TraceMeta &meta, const RunInfo &info)
+{
+    // Canonical serialized forms, separated by a byte that appears in
+    // neither (both payloads are line-oriented printable text), so
+    // (meta, run) pairs cannot collide by boundary shifting.
+    std::uint64_t state = common::kFnv1a64Offset;
+    const std::string meta_text = serializeMeta(meta);
+    const std::string run_text = serializeRun(info);
+    state = common::fnv1a64(state, meta_text.data(), meta_text.size());
+    const char sep = '\x1f';
+    state = common::fnv1a64(state, &sep, 1);
+    state = common::fnv1a64(state, run_text.data(), run_text.size());
+    return state;
+}
+
+std::vector<std::string>
+discoverCorpus(const std::string &dir)
+{
+    std::error_code ec;
+    const fs::file_status st = fs::status(dir, ec);
+    checkUser(!ec && fs::is_directory(st),
+              format("corpus path %s is not a readable directory",
+                     dir.c_str()));
+    std::vector<std::string> paths;
+    for (fs::recursive_directory_iterator
+             it(dir, fs::directory_options::skip_permission_denied,
+                ec),
+         end;
+         it != end; it.increment(ec)) {
+        checkUser(!ec, format("cannot walk corpus directory %s: %s",
+                              dir.c_str(), ec.message().c_str()));
+        if (it->is_regular_file(ec) &&
+            it->path().extension() == ".plt")
+            paths.push_back(it->path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+std::string
+divergenceKindOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (base.rfind("div-", 0) != 0)
+        return "";
+    if (base.size() >= 4 &&
+        base.compare(base.size() - 4, 4, ".plt") == 0)
+        base.resize(base.size() - 4);
+    std::string kind = base.substr(4);
+    // Strip the campaign capture counter suffix ("-c00017"). Check
+    // names themselves contain dashes (model-agreement), so scan for
+    // the LAST "-c<digits>" tail rather than the first dash.
+    const std::size_t dash = kind.find_last_of('-');
+    if (dash != std::string::npos && dash + 2 < kind.size() &&
+        kind[dash + 1] == 'c') {
+        bool digits = true;
+        for (std::size_t i = dash + 2; i < kind.size(); ++i)
+            if (std::isdigit(static_cast<unsigned char>(kind[i])) ==
+                0)
+                digits = false;
+        if (digits)
+            kind.resize(dash);
+    }
+    return kind;
+}
+
+namespace
+{
+
+/** Open + describe one file; analyzer errors demote it to Corrupt. */
+CorpusFile
+scanOne(const std::string &path, const CorpusOptions &options,
+        const FileAnalyzer &analyzer)
+{
+    CorpusFile file;
+    file.path = path;
+    file.divergenceKind = divergenceKindOf(path);
+    try {
+        ReaderOptions reader_options;
+        reader_options.verifyChecksums = options.verifyChecksums;
+        reader_options.salvage = options.salvage;
+        TraceReader reader(path, reader_options);
+        file.status = reader.complete() ? FileStatus::Ok
+                                        : FileStatus::Salvaged;
+        file.fileBytes = reader.fileBytes();
+        file.formatVersion = reader.formatVersion();
+        file.compressedSections = reader.compressedSections();
+        file.testName = reader.meta().testName;
+        file.runs.reserve(reader.numRuns());
+        for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+            const RunInfo &info = reader.runInfo(r);
+            CorpusRun run;
+            run.identityHash = runIdentityHash(reader.meta(), info);
+            run.seed = info.seed;
+            run.iterations = info.iterations;
+            run.backend = info.backend;
+            file.runs.push_back(std::move(run));
+        }
+        if (analyzer)
+            analyzer(reader, file);
+    } catch (const UserError &err) {
+        file.status = FileStatus::Corrupt;
+        file.error = err.what();
+        file.runs.clear();
+        std::error_code ec;
+        const std::uintmax_t bytes = fs::file_size(path, ec);
+        file.fileBytes =
+            ec ? 0 : static_cast<std::uint64_t>(bytes);
+    }
+    return file;
+}
+
+void
+aggregate(CorpusReport &report)
+{
+    std::unordered_set<std::uint64_t> seen;
+    std::map<std::string, CorpusTestAggregate> tests;
+    std::map<std::string, std::size_t> divergences;
+
+    for (CorpusFile &file : report.files) {
+        report.totalBytes += file.fileBytes;
+        switch (file.status) {
+        case FileStatus::Ok:
+            ++report.okFiles;
+            break;
+        case FileStatus::Salvaged:
+            ++report.salvagedFiles;
+            break;
+        case FileStatus::Corrupt:
+            ++report.corruptFiles;
+            break;
+        }
+        if (file.compressedSections > 0)
+            ++report.compressedFiles;
+        if (!file.divergenceKind.empty() &&
+            file.status != FileStatus::Corrupt)
+            ++divergences[file.divergenceKind];
+        if (file.status == FileStatus::Corrupt)
+            continue;
+
+        CorpusTestAggregate &test = tests[file.testName];
+        test.testName = file.testName;
+        ++test.files;
+        if (test.outcomeLabels.empty() &&
+            !file.outcomeLabels.empty()) {
+            test.outcomeLabels = file.outcomeLabels;
+            test.targetOutcome = file.targetOutcome;
+        }
+
+        for (CorpusRun &run : file.runs) {
+            ++report.totalRuns;
+            run.duplicate = !seen.insert(run.identityHash).second;
+            if (run.duplicate) {
+                ++report.duplicateRuns;
+                ++test.duplicateRuns;
+                continue;
+            }
+            ++report.uniqueRuns;
+            ++test.runs;
+            report.uniqueIterations += run.iterations;
+            test.iterations += run.iterations;
+            if (run.crosscheck != Crosscheck::NotRun) {
+                ++report.crosscheckedRuns;
+                if (run.crosscheck == Crosscheck::Mismatch)
+                    ++report.crosscheckMismatches;
+            }
+            if (!run.counted)
+                continue;
+            ++test.countedRuns;
+            if (!test.countsComparable)
+                continue;
+            if (test.counts.empty()) {
+                test.counts = run.counts;
+            } else if (test.counts.size() == run.counts.size()) {
+                for (std::size_t o = 0; o < run.counts.size(); ++o)
+                    test.counts[o] += run.counts[o];
+            } else {
+                // Same-named tests with different outcome arity:
+                // refuse to sum apples and oranges.
+                test.countsComparable = false;
+                test.counts.clear();
+            }
+        }
+    }
+
+    report.tests.reserve(tests.size());
+    for (auto &entry : tests)
+        report.tests.push_back(std::move(entry.second));
+    report.divergenceKinds.assign(divergences.begin(),
+                                  divergences.end());
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+countsJson(const std::vector<std::uint64_t> &counts)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += format("%" PRIu64, counts[i]);
+    }
+    return out + "]";
+}
+
+std::string
+labelsJson(const std::vector<std::string> &labels)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += format("\"%s\"", jsonEscape(labels[i]).c_str());
+    }
+    return out + "]";
+}
+
+} // namespace
+
+CorpusReport
+scanCorpus(std::vector<std::string> paths,
+           const CorpusOptions &options, const FileAnalyzer &analyzer)
+{
+    // Canonical order first: the parallel sweep writes results into
+    // indexed slots and the aggregation walks them sequentially, so
+    // the report is a pure function of the file CONTENTS — the same
+    // for any job count and any discovery order.
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()),
+                paths.end());
+
+    CorpusReport report;
+    report.files.resize(paths.size());
+
+    common::ThreadPool &pool = common::ThreadPool::shared(
+        common::ThreadPool::resolveThreads(options.jobs));
+    pool.parallelFor(
+        0, static_cast<std::int64_t>(paths.size()), 1,
+        [&](std::size_t, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t i = begin; i < end; ++i) {
+                const auto index = static_cast<std::size_t>(i);
+                report.files[index] =
+                    scanOne(paths[index], options, analyzer);
+            }
+        });
+
+    aggregate(report);
+    return report;
+}
+
+std::string
+corpusReportJson(const CorpusReport &report)
+{
+    std::string out = "{\n";
+    out += "  \"corpus_format\": 1,\n";
+    out += "  \"run_identity\": \"fnv1a64(serializeMeta + 0x1f + "
+           "serializeRun)\",\n";
+    out += format(
+        "  \"summary\": {\"files\": %zu, \"ok\": %zu, \"salvaged\": "
+        "%zu, \"corrupt\": %zu, \"compressed\": %zu, "
+        "\"total_bytes\": %" PRIu64 ", \"total_runs\": %zu, "
+        "\"unique_runs\": %zu, \"duplicate_runs\": %zu, "
+        "\"unique_iterations\": %lld, \"crosschecked_runs\": %zu, "
+        "\"crosscheck_mismatches\": %zu},\n",
+        report.files.size(), report.okFiles, report.salvagedFiles,
+        report.corruptFiles, report.compressedFiles,
+        report.totalBytes, report.totalRuns, report.uniqueRuns,
+        report.duplicateRuns,
+        static_cast<long long>(report.uniqueIterations),
+        report.crosscheckedRuns, report.crosscheckMismatches);
+
+    out += "  \"tests\": [";
+    for (std::size_t t = 0; t < report.tests.size(); ++t) {
+        const CorpusTestAggregate &test = report.tests[t];
+        out += t > 0 ? ",\n    " : "\n    ";
+        out += format(
+            "{\"name\": \"%s\", \"files\": %zu, \"runs\": %zu, "
+            "\"duplicate_runs\": %zu, \"iterations\": %lld, "
+            "\"counted_runs\": %zu, \"counts_comparable\": %s",
+            jsonEscape(test.testName).c_str(), test.files, test.runs,
+            test.duplicateRuns,
+            static_cast<long long>(test.iterations),
+            test.countedRuns,
+            test.countsComparable ? "true" : "false");
+        if (!test.outcomeLabels.empty()) {
+            out += format(", \"labels\": %s, \"counts\": %s",
+                          labelsJson(test.outcomeLabels).c_str(),
+                          countsJson(test.counts).c_str());
+            if (test.targetOutcome !=
+                static_cast<std::size_t>(-1))
+                out += format(", \"target\": %zu",
+                              test.targetOutcome);
+        }
+        out += "}";
+    }
+    out += report.tests.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"divergences\": [";
+    for (std::size_t d = 0; d < report.divergenceKinds.size(); ++d) {
+        if (d > 0)
+            out += ", ";
+        out += format(
+            "{\"kind\": \"%s\", \"files\": %zu}",
+            jsonEscape(report.divergenceKinds[d].first).c_str(),
+            report.divergenceKinds[d].second);
+    }
+    out += "],\n";
+
+    out += "  \"files\": [";
+    for (std::size_t f = 0; f < report.files.size(); ++f) {
+        const CorpusFile &file = report.files[f];
+        out += f > 0 ? ",\n    " : "\n    ";
+        out += format("{\"path\": \"%s\", \"status\": \"%s\"",
+                      jsonEscape(file.path).c_str(),
+                      fileStatusName(file.status));
+        if (file.status == FileStatus::Corrupt) {
+            out += format(", \"error\": \"%s\"}",
+                          jsonEscape(file.error).c_str());
+            continue;
+        }
+        out += format(
+            ", \"bytes\": %" PRIu64 ", \"version\": %u, "
+            "\"compressed_sections\": %zu, \"test\": \"%s\"",
+            file.fileBytes, file.formatVersion,
+            file.compressedSections,
+            jsonEscape(file.testName).c_str());
+        if (!file.divergenceKind.empty())
+            out += format(", \"divergence\": \"%s\"",
+                          jsonEscape(file.divergenceKind).c_str());
+        out += ", \"runs\": [";
+        for (std::size_t r = 0; r < file.runs.size(); ++r) {
+            const CorpusRun &run = file.runs[r];
+            if (r > 0)
+                out += ", ";
+            out += format(
+                "{\"id\": \"%s\", \"seed\": %" PRIu64
+                ", \"iterations\": %lld, \"backend\": \"%s\", "
+                "\"duplicate\": %s",
+                common::hashToHex(run.identityHash).c_str(),
+                run.seed, static_cast<long long>(run.iterations),
+                jsonEscape(run.backend).c_str(),
+                run.duplicate ? "true" : "false");
+            if (run.counted)
+                out += format(", \"counts\": %s",
+                              countsJson(run.counts).c_str());
+            if (run.crosscheck != Crosscheck::NotRun)
+                out += format(", \"crosscheck\": \"%s\"",
+                              run.crosscheck == Crosscheck::Ok
+                                  ? "ok"
+                                  : "mismatch");
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += report.files.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void
+writeCorpusManifest(const std::string &path,
+                    const CorpusReport &report)
+{
+    const std::string body = corpusReportJson(report);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    checkUser(file != nullptr,
+              format("cannot create corpus manifest %s",
+                     path.c_str()));
+    const bool wrote =
+        std::fwrite(body.data(), 1, body.size(), file) ==
+        body.size();
+    const bool closed = std::fclose(file) == 0;
+    checkUser(wrote && closed,
+              format("short write to corpus manifest %s",
+                     path.c_str()));
+}
+
+} // namespace perple::trace

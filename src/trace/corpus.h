@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The trace-corpus datastore: bulk-parallel analysis over directories
+ * of `.plt` captures.
+ *
+ * A fuzz campaign (or many of them, merged) leaves behind thousands of
+ * capture files of wildly varying health: complete captures, salvaged
+ * prefixes from crashed children, the odd torn or bit-flipped file,
+ * and — once campaign outputs are merged — duplicate captures of the
+ * same run. This layer turns such a directory into a queryable corpus:
+ *
+ *  - discoverCorpus() finds every `.plt` under a directory,
+ *  - scanCorpus() opens and validates the files concurrently on the
+ *    shared common::ThreadPool, tolerating per-file corruption
+ *    (reported, never fatal to the sweep),
+ *  - every run is keyed by a content hash of its canonical identity
+ *    (test text + machine config + seed + backend + iterations) so a
+ *    merged corpus never double-counts a run,
+ *  - the aggregate report is a pure function of the file contents:
+ *    bit-identical for any job count and any input-path order, so a
+ *    corpus manifest can be diffed across hosts and reruns.
+ *
+ * The trace library deliberately does not link the counting engine
+ * (perple_core links perple_trace, not vice versa — see
+ * src/trace/CMakeLists.txt), so per-file outcome counting is injected
+ * through the FileAnalyzer callback; the `perple_trace` tool wires the
+ * heuristic counter in.
+ */
+
+#ifndef PERPLE_TRACE_CORPUS_H
+#define PERPLE_TRACE_CORPUS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/format.h"
+#include "trace/reader.h"
+
+namespace perple::trace
+{
+
+/** scanCorpus() knobs. */
+struct CorpusOptions
+{
+    /** Parallelism of the file sweep (0 = hardware concurrency). */
+    std::size_t jobs = 0;
+
+    /**
+     * Open files in salvage mode: torn captures contribute their
+     * valid prefix (status Salvaged) instead of counting as Corrupt.
+     * Corrupt-beyond-salvage files (bad magic, no Meta, flipped bits
+     * in the first section) are reported as Corrupt either way.
+     */
+    bool salvage = true;
+
+    /** Verify payload CRCs (see ReaderOptions::verifyChecksums). */
+    bool verifyChecksums = true;
+};
+
+/** Health of one corpus file after the scan. */
+enum class FileStatus
+{
+    Ok,       ///< Complete capture, every check passed.
+    Salvaged, ///< Torn capture; the valid prefix was recovered.
+    Corrupt,  ///< Rejected; `error` says why. Contributes no runs.
+};
+
+const char *fileStatusName(FileStatus status);
+
+/** Outcome of the optional per-run crosscheck. */
+enum class Crosscheck
+{
+    NotRun,
+    Ok,
+    Mismatch,
+};
+
+/** One run group of one corpus file. */
+struct CorpusRun
+{
+    /** runIdentityHash() of this run — the dedup key. */
+    std::uint64_t identityHash = 0;
+
+    std::uint64_t seed = 0;
+    std::int64_t iterations = 0;
+    std::string backend;
+
+    /**
+     * True when an earlier run (in canonical corpus order: files
+     * sorted by path, runs in file order) has the same identity hash.
+     * Duplicates are excluded from every unique tally and histogram.
+     */
+    bool duplicate = false;
+
+    /** Filled by the FileAnalyzer: per-outcome counts of this run. */
+    std::vector<std::uint64_t> counts;
+
+    /** True once `counts` is meaningful. */
+    bool counted = false;
+
+    Crosscheck crosscheck = Crosscheck::NotRun;
+};
+
+/** One scanned corpus file. */
+struct CorpusFile
+{
+    std::string path;
+    FileStatus status = FileStatus::Corrupt;
+
+    /** Rejection reason (Corrupt files only). */
+    std::string error;
+
+    std::uint64_t fileBytes = 0;
+    std::uint32_t formatVersion = 0;
+    std::size_t compressedSections = 0;
+
+    std::string testName;
+
+    /**
+     * Divergence class parsed from a campaign reproducer basename
+     * (`div-<check>-c00017.plt` → "<check>"); empty otherwise.
+     */
+    std::string divergenceKind;
+
+    /** Filled by the FileAnalyzer: outcome labels of the test. */
+    std::vector<std::string> outcomeLabels;
+
+    /** Filled by the FileAnalyzer: index of the test's target
+     *  outcome in outcomeLabels (SIZE_MAX when unknown). */
+    std::size_t targetOutcome = static_cast<std::size_t>(-1);
+
+    std::vector<CorpusRun> runs;
+};
+
+/** Aggregate over every corpus file of one test name. */
+struct CorpusTestAggregate
+{
+    std::string testName;
+    std::size_t files = 0;
+
+    /** Unique (non-duplicate) runs. */
+    std::size_t runs = 0;
+    std::size_t duplicateRuns = 0;
+
+    /** Iterations summed over unique runs. */
+    std::int64_t iterations = 0;
+
+    /** Unique runs with analyzer counts. */
+    std::size_t countedRuns = 0;
+
+    /** Element-wise sum of unique runs' counts (the per-test outcome
+     *  histogram); empty until a counted run is seen. */
+    std::vector<std::uint64_t> counts;
+    std::vector<std::string> outcomeLabels;
+    std::size_t targetOutcome = static_cast<std::size_t>(-1);
+
+    /**
+     * False when same-named tests disagree structurally (different
+     * outcome arity) — the histogram is cleared rather than summing
+     * incomparable vectors.
+     */
+    bool countsComparable = true;
+};
+
+/** The deterministic result of one corpus scan. */
+struct CorpusReport
+{
+    /** Every scanned file, sorted by path. */
+    std::vector<CorpusFile> files;
+
+    std::size_t okFiles = 0;
+    std::size_t salvagedFiles = 0;
+    std::size_t corruptFiles = 0;
+    std::size_t compressedFiles = 0;
+    std::uint64_t totalBytes = 0;
+
+    std::size_t totalRuns = 0;
+    std::size_t uniqueRuns = 0;
+    std::size_t duplicateRuns = 0;
+
+    /** Iterations summed over unique runs. */
+    std::int64_t uniqueIterations = 0;
+
+    std::size_t crosscheckedRuns = 0;
+    std::size_t crosscheckMismatches = 0;
+
+    /** Per-test aggregates, sorted by test name. */
+    std::vector<CorpusTestAggregate> tests;
+
+    /** divergenceKind → file count, sorted by kind. */
+    std::vector<std::pair<std::string, std::size_t>> divergenceKinds;
+};
+
+/**
+ * Per-file analysis hook, invoked (possibly concurrently, once per
+ * readable file) from inside the scan's pool workers. It may fill
+ * the file's outcomeLabels/targetOutcome and each run's
+ * counts/counted/crosscheck. It must be deterministic — the
+ * job-count-invariance guarantee extends exactly as far as the
+ * analyzer's determinism — and must not touch shared mutable state.
+ * A UserError thrown here marks the file Corrupt (with the message)
+ * instead of aborting the sweep.
+ */
+using FileAnalyzer =
+    std::function<void(const TraceReader &, CorpusFile &)>;
+
+/**
+ * Content hash of a run's canonical identity: FNV-1a 64 over
+ * serializeMeta(meta) + '\\x1f' + serializeRun(info). Two captures of
+ * the same (test, machine config, seed, backend, iterations) hash
+ * equal regardless of file name, encoding, compression or section
+ * order — the dedup key of corpus.json and `perple_trace merge`.
+ */
+std::uint64_t runIdentityHash(const TraceMeta &meta,
+                              const RunInfo &info);
+
+/**
+ * Every regular `.plt` file under @p dir (recursively), sorted by
+ * path. @throws UserError when @p dir is not a readable directory.
+ */
+std::vector<std::string> discoverCorpus(const std::string &dir);
+
+/** Divergence class of a campaign reproducer path ("" when none). */
+std::string divergenceKindOf(const std::string &path);
+
+/**
+ * Scan @p paths concurrently and aggregate. The paths are sorted (and
+ * deduplicated) internally, so the report is independent of discovery
+ * order as well as of `options.jobs`. Per-file defects become
+ * FileStatus::Corrupt entries; the sweep itself only throws on
+ * internal errors.
+ */
+CorpusReport scanCorpus(std::vector<std::string> paths,
+                        const CorpusOptions &options = {},
+                        const FileAnalyzer &analyzer = {});
+
+/** Render @p report as canonical JSON (the manifest body). */
+std::string corpusReportJson(const CorpusReport &report);
+
+/**
+ * Write @p report as a `corpus.json` manifest at @p path.
+ * @throws UserError when the file cannot be written.
+ */
+void writeCorpusManifest(const std::string &path,
+                         const CorpusReport &report);
+
+} // namespace perple::trace
+
+#endif // PERPLE_TRACE_CORPUS_H

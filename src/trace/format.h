@@ -36,6 +36,22 @@
  *    a near-constant stride), so deltas are small and most values
  *    compress to 1-2 bytes.
  *
+ * Version 2 (the cold-trace compaction tier) adds per-section general
+ * compression stacked on top of the value encodings. The `flags` field
+ * is split: bits 0-7 keep the BufEncoding, bits 8-15 carry a
+ * Compression codec id. A compressed section's stored payload is
+ *
+ *     u64 rawBytes | codec stream of the encoded payload
+ *
+ * and `payloadBytes`/`payloadCrc32c` describe the STORED (compressed)
+ * bytes, so the CRC framing validates a compacted file without
+ * decompressing it — salvage mode walks a torn compressed capture
+ * exactly as it walks a v1 file. After decompression the inner bytes
+ * are interpreted under the BufEncoding bits as before, so zstd
+ * stacks on the ~8x varint-delta codec instead of replacing it.
+ * Files that contain no compressed section are still written as
+ * version 1; readers accept both versions.
+ *
  * Integrity: CRC32C (Castagnoli) over every payload and over every
  * section header (excluding the headerCrc field itself), so a flipped
  * bit anywhere in the file is detected and reported as a
@@ -59,8 +75,11 @@ namespace perple::trace
 inline constexpr char kMagic[8] = {'P', 'L', 'T', 'R',
                                    'A', 'C', 'E', '\0'};
 
-/** Current format version; bumped on any incompatible change. */
+/** Version of a file without compressed sections (the original). */
 inline constexpr std::uint32_t kVersion = 1;
+
+/** Version of a file that may hold compressed sections. */
+inline constexpr std::uint32_t kVersionCompressed = 2;
 
 /** Bytes of the file header (magic + version + reserved). */
 inline constexpr std::size_t kFileHeaderBytes = 16;
@@ -88,6 +107,49 @@ enum class BufEncoding : std::uint32_t
     /** zigzag+varint delta stream — compact, decoded once on open. */
     VarintDelta = 1,
 };
+
+/**
+ * Per-section compression codec (bits 8-15 of the header `flags`).
+ * The id is part of the on-disk format: a build without the matching
+ * codec rejects the section with a clear "built without" error
+ * instead of mis-reading it.
+ */
+enum class Compression : std::uint32_t
+{
+    None = 0,
+
+    /** zstd simple API (ZSTD_compress / ZSTD_decompress). */
+    Zstd = 1,
+
+    /** zlib deflate (compress2 / uncompress) — the fallback tier on
+     *  hosts without zstd. */
+    Deflate = 2,
+};
+
+/** The BufEncoding bits of a section header `flags` field. */
+inline constexpr std::uint32_t
+encodingBits(std::uint32_t flags)
+{
+    return flags & 0xffu;
+}
+
+/** The Compression bits of a section header `flags` field. */
+inline constexpr std::uint32_t
+compressionBits(std::uint32_t flags)
+{
+    return (flags >> 8) & 0xffu;
+}
+
+/** Compose a section header `flags` field. */
+inline constexpr std::uint32_t
+makeFlags(BufEncoding encoding, Compression compression)
+{
+    return static_cast<std::uint32_t>(encoding) |
+           (static_cast<std::uint32_t>(compression) << 8);
+}
+
+/** Leading bytes of a compressed payload (the u64 rawBytes prefix). */
+inline constexpr std::size_t kCompressedPrefixBytes = 8;
 
 /** Run-independent identity of a capture (the Meta section). */
 struct TraceMeta

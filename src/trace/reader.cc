@@ -11,6 +11,7 @@
 #include "common/strings.h"
 #include "litmus/parser.h"
 #include "litmus/validator.h"
+#include "trace/codec.h"
 #include "trace/crc32c.h"
 #include "trace/varint.h"
 
@@ -99,8 +100,10 @@ TraceReader::loadValues(const unsigned char *payload,
     if (flags == static_cast<std::uint32_t>(BufEncoding::Raw)) {
         if (payload_bytes != count * sizeof(litmus::Value))
             fail("raw value section size does not match its count");
+        // Mapped payloads are 8-byte aligned by the format's padding;
+        // decompressed payloads by their u64 backing store.
         checkInternal(
-            (static_cast<std::size_t>(payload - map_) % 8) == 0,
+            (reinterpret_cast<std::uintptr_t>(payload) % 8) == 0,
             "trace section payload is not 8-byte aligned");
         view.data = static_cast<const litmus::Value *>(
             static_cast<const void *>(payload));
@@ -126,11 +129,13 @@ TraceReader::parse(const ReaderOptions &options)
     if (std::memcmp(map_, kMagic, sizeof(kMagic)) != 0)
         fail("not a .plt trace (bad magic)");
     const std::uint32_t version = getU32(map_ + 8);
-    if (version != kVersion)
+    if (version != kVersion && version != kVersionCompressed)
         fail(format("unsupported trace version %u (this build reads "
-                    "version %u)",
+                    "versions %u and %u)",
                     static_cast<unsigned>(version),
-                    static_cast<unsigned>(kVersion)));
+                    static_cast<unsigned>(kVersion),
+                    static_cast<unsigned>(kVersionCompressed)));
+    version_ = version;
 
     enum class State
     {
@@ -167,12 +172,13 @@ TraceReader::parse(const ReaderOptions &options)
         }
         const std::uint32_t kind_raw = getU32(header);
         const std::uint32_t flags = getU32(header + 4);
-        const std::uint64_t payload_bytes = getU64(header + 8);
+        std::uint64_t payload_bytes = getU64(header + 8);
         const std::uint64_t param_a = getU64(header + 16);
         const std::uint64_t param_b = getU64(header + 24);
         const std::uint32_t payload_crc = getU32(header + 32);
         const unsigned char *payload =
             header + kSectionHeaderBytes;
+        const std::uint64_t stored_bytes = payload_bytes;
 
         if (payload_bytes > fileBytes_ ||
             pos + kSectionHeaderBytes + payload_bytes > fileBytes_) {
@@ -194,6 +200,77 @@ TraceReader::parse(const ReaderOptions &options)
         }
         pos += kSectionHeaderBytes + payload_bytes +
                (8 - payload_bytes % 8) % 8;
+
+        // Transparent decompression: the CRCs above covered the
+        // stored (compressed) bytes; from here on the section is
+        // handled exactly as its uncompressed equivalent. A defect
+        // below means the stream is corrupt despite a passing CRC
+        // (forged checksum) — strict mode fails, salvage stops the
+        // walk, exactly like a checksum mismatch.
+        if (compressionBits(flags) != 0) {
+            const auto codec =
+                static_cast<Compression>(compressionBits(flags));
+            std::string defect;
+            if (version < kVersionCompressed) {
+                defect = "compressed section in a version-1 file";
+            } else if (codec != Compression::Zstd &&
+                       codec != Compression::Deflate) {
+                defect = format("unknown compression codec %u",
+                                compressionBits(flags));
+            } else if (!codecAvailable(codec)) {
+                // An environment problem, not a file defect: salvage
+                // must not silently drop sections this build merely
+                // cannot decode.
+                fail(format("section compressed with %s, but this "
+                            "build has no %s support",
+                            codecName(codec), codecName(codec)));
+            } else if (payload_bytes < kCompressedPrefixBytes) {
+                defect =
+                    "compressed section smaller than its size prefix";
+            } else {
+                const std::uint64_t raw_bytes = getU64(payload);
+                // Bound the allocation a forged size prefix can
+                // demand; real sections never exceed this ratio.
+                if (raw_bytes == 0 ||
+                    raw_bytes >
+                        payload_bytes * 4096 + (1ULL << 20)) {
+                    defect = "compressed section has an implausible "
+                             "raw size";
+                } else {
+                    auto &storage = decompressed_.emplace_back(
+                        static_cast<std::size_t>((raw_bytes + 7) /
+                                                 8));
+                    try {
+                        decompressBytes(
+                            codec, payload + kCompressedPrefixBytes,
+                            static_cast<std::size_t>(
+                                payload_bytes -
+                                kCompressedPrefixBytes),
+                            storage.data(),
+                            static_cast<std::size_t>(raw_bytes));
+                    } catch (const UserError &error) {
+                        defect = error.what();
+                    }
+                    if (defect.empty()) {
+                        payload = static_cast<const unsigned char *>(
+                            static_cast<const void *>(
+                                storage.data()));
+                        payload_bytes = raw_bytes;
+                        ++compressedSections_;
+                        zeroCopy_ = false;
+                    } else {
+                        decompressed_.pop_back();
+                    }
+                }
+            }
+            if (!defect.empty()) {
+                if (options.salvage) {
+                    stopped = true;
+                    break;
+                }
+                fail(defect);
+            }
+        }
 
         const auto text = [&] {
             return std::string(
@@ -236,9 +313,10 @@ TraceReader::parse(const ReaderOptions &options)
                             static_cast<unsigned long long>(param_a),
                             static_cast<unsigned long long>(param_b),
                             static_cast<unsigned long long>(expected)));
-            run->bufs.push_back(
-                loadValues(payload, payload_bytes, param_b, flags));
-            bufPayloadBytes_ += payload_bytes;
+            run->bufs.push_back(loadValues(payload, payload_bytes,
+                                           param_b,
+                                           encodingBits(flags)));
+            bufPayloadBytes_ += stored_bytes;
             bufValueBytes_ += param_b * sizeof(litmus::Value);
             if (run->bufs.size() == numThreads())
                 state = State::AfterBufs;
@@ -250,8 +328,8 @@ TraceReader::parse(const ReaderOptions &options)
             if (param_b < meta_.strides.size())
                 fail("final memory holds fewer values than the test "
                      "has locations");
-            run->memory =
-                loadValues(payload, payload_bytes, param_b, flags);
+            run->memory = loadValues(payload, payload_bytes, param_b,
+                                     encodingBits(flags));
             state = State::AfterMemory;
             break;
         case SectionKind::Stats:

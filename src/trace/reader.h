@@ -119,11 +119,26 @@ class TraceReader
         return runs_.at(run).stats;
     }
 
-    /** True when every value section of every run was Raw-encoded. */
+    /** True when every value section of every run was Raw-encoded
+     *  and stored uncompressed (readable straight off the mapping). */
     bool
     zeroCopy() const
     {
         return zeroCopy_;
+    }
+
+    /** The file header's format version (1 or 2). */
+    std::uint32_t
+    formatVersion() const
+    {
+        return version_;
+    }
+
+    /** Number of sections stored compressed (0 for a v1 file). */
+    std::size_t
+    compressedSections() const
+    {
+        return compressedSections_;
     }
 
     /**
@@ -197,8 +212,17 @@ class TraceReader
     /** Backing storage for decoded VarintDelta sections. */
     std::vector<std::vector<litmus::Value>> decoded_;
 
+    /**
+     * Backing storage for decompressed section payloads (u64-backed
+     * so Raw value views into it stay 8-byte aligned). ValueViews may
+     * point into these buffers, so they live as long as the reader.
+     */
+    std::vector<std::vector<std::uint64_t>> decompressed_;
+
     bool zeroCopy_ = true;
     bool complete_ = true;
+    std::uint32_t version_ = kVersion;
+    std::size_t compressedSections_ = 0;
     std::uint64_t bufPayloadBytes_ = 0;
     std::uint64_t bufValueBytes_ = 0;
 };

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "trace/codec.h"
 #include "trace/crc32c.h"
 #include "trace/varint.h"
 
@@ -40,6 +41,11 @@ TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
               "trace meta needs at least one thread");
     checkUser(!meta.strides.empty(),
               "trace meta needs at least one location");
+    checkUser(codecAvailable(options_.compression),
+              format("cannot write %s-compressed trace: this build "
+                     "has no %s support",
+                     codecName(options_.compression),
+                     codecName(options_.compression)));
     numThreads_ = meta.loadsPerIteration.size();
 
     file_ = std::fopen(path_.c_str(), "wb");
@@ -48,7 +54,10 @@ TraceWriter::TraceWriter(std::string path, const TraceMeta &meta,
 
     unsigned char header[kFileHeaderBytes] = {};
     std::memcpy(header, kMagic, sizeof(kMagic));
-    putU32(header + 8, kVersion);
+    putU32(header + 8,
+           options_.compression == Compression::None
+               ? kVersion
+               : kVersionCompressed);
     putU32(header + 12, 0); // reserved
     writeRaw(header, sizeof(header));
 
@@ -104,6 +113,31 @@ TraceWriter::writeSection(SectionKind kind, std::uint32_t flags,
                           const void *payload,
                           std::size_t payload_bytes)
 {
+    // The compaction tier: stack the configured codec on top of the
+    // encoded payload when it actually pays for itself. The stored
+    // payload becomes [u64 rawBytes | codec stream] and the CRCs
+    // cover the stored bytes, so framing validation (and salvage)
+    // never needs to decompress.
+    std::string compressed;
+    if (options_.compression != Compression::None &&
+        payload_bytes >= options_.compressMinBytes) {
+        std::string stream =
+            compressBytes(options_.compression,
+                          options_.compressionLevel, payload,
+                          payload_bytes);
+        if (stream.size() + kCompressedPrefixBytes < payload_bytes) {
+            compressed.resize(kCompressedPrefixBytes);
+            putU64(reinterpret_cast<unsigned char *>(
+                       compressed.data()),
+                   payload_bytes);
+            compressed += stream;
+            payload = compressed.data();
+            payload_bytes = compressed.size();
+            flags |= static_cast<std::uint32_t>(options_.compression)
+                     << 8;
+        }
+    }
+
     unsigned char header[kSectionHeaderBytes] = {};
     putU32(header, static_cast<std::uint32_t>(kind));
     putU32(header + 4, flags);

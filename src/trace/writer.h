@@ -29,6 +29,24 @@ struct WriterOptions
 {
     /** Encoding of Buf sections. Memory is always Raw (tiny). */
     BufEncoding bufEncoding = BufEncoding::VarintDelta;
+
+    /**
+     * Per-section compression stacked on the value encodings (the
+     * cold-trace compaction tier). None writes a version-1 file;
+     * anything else writes version 2 and compresses every section
+     * whose payload is at least compressMinBytes AND actually
+     * shrinks — incompressible sections are stored plain, so a
+     * compacted file never grows pathologically. The constructor
+     * throws when the requested codec is missing from this build
+     * (codecAvailable()).
+     */
+    Compression compression = Compression::None;
+
+    /** Codec effort level (zstd levels; mapped onto zlib 1-9). */
+    int compressionLevel = 3;
+
+    /** Smallest payload worth compressing (header + CRC overhead). */
+    std::size_t compressMinBytes = 64;
 };
 
 /** Writes one `.plt` file; sections must follow the format order. */

@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Corpus-grade tests for the trace-corpus datastore (src/trace/
+ * corpus.*) and the cold-trace compression tier (src/trace/codec.*):
+ * the job-count/order-invariance property over a generated corpus of
+ * healthy, duplicated, salvaged and corrupt captures; compact→read
+ * bit-identity; adversarial rejection of tampered compressed
+ * sections; v1 backward compatibility; and merge deduplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "litmus/registry.h"
+#include "perple/converter.h"
+#include "perple/counters.h"
+#include "perple/harness.h"
+#include "perple/perpetual_outcome.h"
+#include "trace/codec.h"
+#include "trace/corpus.h"
+#include "trace/crc32c.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace perple::trace
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+tmpDir(const std::string &name)
+{
+    const std::string dir =
+        (fs::path(::testing::TempDir()) / name).string();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << stream.rdbuf();
+    return bytes.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+    stream << bytes;
+}
+
+/** Capture one run of @p testName (no counting — capture only). */
+void
+capture(const std::string &path, const std::string &testName,
+        std::uint64_t seed, std::int64_t iterations)
+{
+    const auto &entry = litmus::findTest(testName);
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    core::HarnessConfig config;
+    config.seed = seed;
+    config.capturePath = path;
+    config.runExhaustive = false;
+    config.runHeuristic = false;
+    core::runPerpetual(perpetual, iterations, {entry.test.target},
+                       config);
+}
+
+/**
+ * Re-encode @p inputs into one output trace, deduplicating runs by
+ * identity hash — the library-level mirror of `perple_trace merge`.
+ * Returns the number of runs written.
+ */
+std::size_t
+mergeDedup(const std::vector<std::string> &inputs,
+           const std::string &outPath, WriterOptions options = {})
+{
+    std::vector<std::unique_ptr<TraceReader>> readers;
+    for (const std::string &input : inputs)
+        readers.push_back(std::make_unique<TraceReader>(input));
+    TraceWriter writer(outPath, readers[0]->meta(), options);
+    std::unordered_set<std::uint64_t> seen;
+    std::size_t written = 0;
+    for (const auto &reader : readers) {
+        for (std::size_t r = 0; r < reader->numRuns(); ++r) {
+            if (!seen
+                     .insert(runIdentityHash(reader->meta(),
+                                             reader->runInfo(r)))
+                     .second)
+                continue;
+            writer.beginRun(reader->runInfo(r));
+            for (std::size_t t = 0; t < reader->numThreads(); ++t)
+                writer.writeBuf(reader->bufData(r, t),
+                                reader->bufSize(r, t));
+            writer.writeMemory(reader->memory(r));
+            writer.writeStats(reader->stats(r));
+            ++written;
+        }
+    }
+    writer.finish();
+    return written;
+}
+
+/** Target-outcome heuristic counts of every run of @p path. */
+std::vector<core::Counts>
+countRuns(const std::string &path, ReaderOptions options = {})
+{
+    const TraceReader reader(path, options);
+    const litmus::Test test = reader.test();
+    const auto outcomes =
+        core::buildPerpetualOutcomes(test, {test.target});
+    core::HeuristicCounter counter(test, outcomes);
+    std::vector<core::Counts> counts;
+    for (std::size_t r = 0; r < reader.numRuns(); ++r)
+        counts.push_back(counter.count(reader.runInfo(r).iterations,
+                                       reader.rawBufs(r),
+                                       core::CountMode::FirstMatch,
+                                       1));
+    return counts;
+}
+
+/** The tool's corpus counting hook, reproduced at library level. */
+FileAnalyzer
+countingAnalyzer()
+{
+    return [](const TraceReader &reader, CorpusFile &file) {
+        const litmus::Test test = reader.test();
+        const auto outcomes =
+            core::buildPerpetualOutcomes(test, {test.target});
+        core::HeuristicCounter counter(test, outcomes);
+        file.outcomeLabels = {"target"};
+        file.targetOutcome = 0;
+        for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+            file.runs[r].counts = counter.count(
+                reader.runInfo(r).iterations, reader.rawBufs(r),
+                core::CountMode::FirstMatch, 1);
+            file.runs[r].counted = true;
+        }
+    };
+}
+
+std::uint32_t
+getU32(const std::string &bytes, std::size_t pos)
+{
+    return static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[pos])) |
+           (static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[pos + 1]))
+            << 8) |
+           (static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[pos + 2]))
+            << 16) |
+           (static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[pos + 3]))
+            << 24);
+}
+
+std::uint64_t
+getU64(const std::string &bytes, std::size_t pos)
+{
+    return static_cast<std::uint64_t>(getU32(bytes, pos)) |
+           (static_cast<std::uint64_t>(getU32(bytes, pos + 4))
+            << 32);
+}
+
+void
+putU32(std::string &bytes, std::size_t pos, std::uint32_t v)
+{
+    bytes[pos] = static_cast<char>(v & 0xff);
+    bytes[pos + 1] = static_cast<char>((v >> 8) & 0xff);
+    bytes[pos + 2] = static_cast<char>((v >> 16) & 0xff);
+    bytes[pos + 3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+struct SectionAt
+{
+    std::size_t header = 0;
+    std::size_t payload = 0;
+    std::uint32_t kind = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t payloadBytes = 0;
+};
+
+/** Walk the section headers of a serialized trace. */
+std::vector<SectionAt>
+walkSections(const std::string &bytes)
+{
+    std::vector<SectionAt> sections;
+    std::size_t pos = kFileHeaderBytes;
+    while (pos + kSectionHeaderBytes <= bytes.size()) {
+        SectionAt section;
+        section.header = pos;
+        section.kind = getU32(bytes, pos);
+        section.flags = getU32(bytes, pos + 4);
+        section.payloadBytes = getU64(bytes, pos + 8);
+        section.payload = pos + kSectionHeaderBytes;
+        sections.push_back(section);
+        if (section.kind ==
+            static_cast<std::uint32_t>(SectionKind::End))
+            break;
+        const std::uint64_t padded =
+            (section.payloadBytes + 7) / 8 * 8;
+        pos = section.payload + static_cast<std::size_t>(padded);
+    }
+    return sections;
+}
+
+// --- The corpus property: job-count and order invariance -----------
+
+TEST(CorpusPropertyTest, AggregatesInvariantAcrossJobsAndOrder)
+{
+    const std::string dir = tmpDir("corpus_prop");
+
+    // >= 50 captures across two tests and many seeds...
+    std::vector<std::string> paths;
+    for (int i = 0; i < 48; ++i) {
+        const std::string path =
+            dir + format("/cap-%02d.plt", i);
+        capture(path, i % 2 == 0 ? "sb" : "mp",
+                static_cast<std::uint64_t>(100 + i), 200 + 10 * i);
+        paths.push_back(path);
+    }
+
+    // ...plus byte-identical duplicate captures (merged shards)...
+    writeFile(dir + "/dup-a.plt", readFile(paths[0]));
+    writeFile(dir + "/dup-b.plt", readFile(paths[1]));
+
+    // ...a salvaged torn capture: a two-run merge cut inside the
+    // second run group (first run stays fully recoverable)...
+    const std::string twoRuns = dir + "/tworuns.plt";
+    mergeDedup({paths[0], paths[2]}, twoRuns);
+    {
+        std::string bytes = readFile(twoRuns);
+        const auto sections = walkSections(bytes);
+        std::size_t second_run = 0, runs_seen = 0;
+        for (const SectionAt &section : sections)
+            if (section.kind ==
+                    static_cast<std::uint32_t>(SectionKind::Run) &&
+                ++runs_seen == 2)
+                second_run = section.header;
+        ASSERT_GT(second_run, 0u);
+        bytes.resize(second_run + kSectionHeaderBytes + 5);
+        writeFile(dir + "/salvaged.plt", bytes);
+        fs::remove(twoRuns);
+    }
+
+    // ...a corrupt capture (flipped payload bit) and junk bytes...
+    {
+        std::string bytes = readFile(paths[3]);
+        bytes[kFileHeaderBytes + kSectionHeaderBytes + 3] ^= 0x20;
+        writeFile(dir + "/corrupt.plt", bytes);
+        writeFile(dir + "/garbage.plt", "not a trace at all");
+    }
+
+    // ...and a non-.plt bystander the discovery must ignore.
+    writeFile(dir + "/div-supervision-c00001.litmus", "X86 t\n");
+
+    const std::vector<std::string> discovered = discoverCorpus(dir);
+    ASSERT_EQ(discovered.size(), 53u);
+
+    CorpusOptions options;
+    options.jobs = 1;
+    const CorpusReport baseline =
+        scanCorpus(discovered, options, countingAnalyzer());
+    const std::string baseline_json = corpusReportJson(baseline);
+
+    EXPECT_EQ(baseline.okFiles, 50u);
+    EXPECT_EQ(baseline.salvagedFiles, 1u);
+    EXPECT_EQ(baseline.corruptFiles, 2u);
+    // 48 originals + 2 copies + 1 salvaged-prefix run, of which the
+    // copies and the salvaged file's surviving run duplicate
+    // existing identities.
+    EXPECT_EQ(baseline.totalRuns, 51u);
+    EXPECT_EQ(baseline.uniqueRuns, 48u);
+    EXPECT_EQ(baseline.duplicateRuns, 3u);
+    ASSERT_EQ(baseline.tests.size(), 2u);
+    EXPECT_EQ(baseline.tests[0].testName, "mp");
+    EXPECT_EQ(baseline.tests[1].testName, "sb");
+    EXPECT_EQ(baseline.tests[0].countedRuns, baseline.tests[0].runs);
+    EXPECT_TRUE(baseline.tests[1].countsComparable);
+
+    std::mt19937 rng(7);
+    for (const std::size_t jobs : {2u, 7u}) {
+        for (int round = 0; round < 2; ++round) {
+            std::vector<std::string> shuffled = discovered;
+            std::shuffle(shuffled.begin(), shuffled.end(), rng);
+            CorpusOptions run_options;
+            run_options.jobs = jobs;
+            const CorpusReport report = scanCorpus(
+                shuffled, run_options, countingAnalyzer());
+            EXPECT_EQ(corpusReportJson(report), baseline_json)
+                << "jobs=" << jobs << " round=" << round;
+        }
+    }
+}
+
+TEST(CorpusPropertyTest, DivergenceKindParsing)
+{
+    EXPECT_EQ(divergenceKindOf("div-supervision-c00017.plt"),
+              "supervision");
+    EXPECT_EQ(divergenceKindOf("a/b/div-model-agreement-c00001.plt"),
+              "model-agreement");
+    EXPECT_EQ(divergenceKindOf("div-heuristic-subset-c2.plt"),
+              "heuristic-subset");
+    EXPECT_EQ(divergenceKindOf("div-weird.plt"), "weird");
+    EXPECT_EQ(divergenceKindOf("sb.plt"), "");
+    EXPECT_EQ(divergenceKindOf("divergent.plt"), "");
+}
+
+TEST(CorpusPropertyTest, IdentityHashDiscriminates)
+{
+    TraceMeta meta;
+    meta.testName = "t";
+    meta.testText = "X86 t\n{ x=0; }\n P0 ;\n MOV [x],$1 ;\nexists "
+                    "(x=1)\n";
+    meta.strides = {1};
+    meta.loadsPerIteration = {0};
+    RunInfo run;
+    run.seed = 5;
+    run.iterations = 100;
+    const std::uint64_t base = runIdentityHash(meta, run);
+    EXPECT_EQ(runIdentityHash(meta, run), base);
+    RunInfo other = run;
+    other.seed = 6;
+    EXPECT_NE(runIdentityHash(meta, other), base);
+    other = run;
+    other.iterations = 101;
+    EXPECT_NE(runIdentityHash(meta, other), base);
+    other = run;
+    other.backend = "native";
+    EXPECT_NE(runIdentityHash(meta, other), base);
+    TraceMeta otherMeta = meta;
+    otherMeta.machine.storeBufferCapacity += 1;
+    EXPECT_NE(runIdentityHash(otherMeta, run), base);
+}
+
+// --- Compression tier: round trip + adversarial inputs -------------
+
+TEST(CorpusCompressionTest, CompactRoundTripsBitIdentically)
+{
+    if (defaultCompression() == Compression::None)
+        GTEST_SKIP() << "no codec in this build";
+    const std::string dir = tmpDir("corpus_compact");
+    const std::string plain = dir + "/plain.plt";
+    capture(plain, "sb", 21, 4000);
+
+    WriterOptions options;
+    options.compression = defaultCompression();
+    const std::string compact = dir + "/compact.plt";
+    ASSERT_EQ(mergeDedup({plain}, compact, options), 1u);
+
+    const TraceReader original(plain);
+    const TraceReader compacted(compact);
+    EXPECT_EQ(original.formatVersion(), kVersion);
+    EXPECT_EQ(compacted.formatVersion(), kVersionCompressed);
+    EXPECT_GT(compacted.compressedSections(), 0u);
+    EXPECT_LT(compacted.fileBytes(), original.fileBytes());
+
+    // Every stored value — bufs, memory, stats — survives verbatim.
+    ASSERT_EQ(compacted.numRuns(), original.numRuns());
+    for (std::size_t t = 0; t < original.numThreads(); ++t) {
+        ASSERT_EQ(compacted.bufSize(0, t), original.bufSize(0, t));
+        for (std::size_t v = 0; v < original.bufSize(0, t); ++v)
+            ASSERT_EQ(compacted.bufData(0, t)[v],
+                      original.bufData(0, t)[v]);
+    }
+    EXPECT_EQ(compacted.memory(0), original.memory(0));
+    EXPECT_EQ(compacted.stats(0).instructions,
+              original.stats(0).instructions);
+    EXPECT_EQ(compacted.stats(0).finalTick,
+              original.stats(0).finalTick);
+
+    // And the counters cannot tell the difference.
+    EXPECT_EQ(countRuns(compact), countRuns(plain));
+}
+
+TEST(CorpusCompressionTest, DeflateAndNoneCodecsRoundTrip)
+{
+    const std::string dir = tmpDir("corpus_codecs");
+    const std::string plain = dir + "/plain.plt";
+    capture(plain, "mp", 31, 1500);
+    for (const Compression codec :
+         {Compression::Deflate, Compression::None}) {
+        if (!codecAvailable(codec))
+            continue;
+        WriterOptions options;
+        options.compression = codec;
+        const std::string out =
+            dir + format("/out-%s.plt", codecName(codec));
+        ASSERT_EQ(mergeDedup({plain}, out, options), 1u);
+        const TraceReader reader(out);
+        EXPECT_EQ(reader.formatVersion(),
+                  codec == Compression::None ? kVersion
+                                             : kVersionCompressed);
+        EXPECT_EQ(countRuns(out), countRuns(plain));
+    }
+}
+
+TEST(CorpusCompressionTest, TamperedCompressedSectionsRejected)
+{
+    if (defaultCompression() == Compression::None)
+        GTEST_SKIP() << "no codec in this build";
+    const std::string dir = tmpDir("corpus_adversarial");
+    const std::string plain = dir + "/plain.plt";
+    capture(plain, "sb", 41, 4000);
+    WriterOptions options;
+    options.compression = defaultCompression();
+    const std::string compact = dir + "/compact.plt";
+    mergeDedup({plain}, compact, options);
+    const std::string bytes = readFile(compact);
+
+    // Find the first compressed Buf section (tampering with a
+    // compressed Meta would make even salvage reads throw — no Meta,
+    // no salvage — which is not the behavior under test here).
+    const auto sections = walkSections(bytes);
+    const SectionAt *target = nullptr;
+    for (const SectionAt &section : sections)
+        if (section.kind ==
+                static_cast<std::uint32_t>(SectionKind::Buf) &&
+            compressionBits(section.flags) != 0) {
+            target = &section;
+            break;
+        }
+    ASSERT_NE(target, nullptr);
+    const std::string bad = dir + "/bad.plt";
+
+    // A flipped bit inside the compressed stream fails the payload
+    // CRC: strict read throws, salvage stops cleanly before the run.
+    {
+        std::string tampered = bytes;
+        tampered[target->payload + kCompressedPrefixBytes + 1] ^= 1;
+        writeFile(bad, tampered);
+        EXPECT_THROW(TraceReader{bad}, UserError);
+        ReaderOptions salvage;
+        salvage.salvage = true;
+        const TraceReader reader(bad, salvage);
+        EXPECT_FALSE(reader.complete());
+        EXPECT_EQ(reader.numRuns(), 0u);
+    }
+
+    // Same flip with both CRCs forged to match: the checksum passes,
+    // so only the codec itself can catch the corruption — and must.
+    {
+        std::string tampered = bytes;
+        tampered[target->payload + kCompressedPrefixBytes + 1] ^= 1;
+        const std::uint32_t payload_crc = crc32c(
+            0, tampered.data() + target->payload,
+            static_cast<std::size_t>(target->payloadBytes));
+        putU32(tampered, target->header + 32, payload_crc);
+        const std::uint32_t header_crc =
+            crc32c(0, tampered.data() + target->header, 36);
+        putU32(tampered, target->header + 36, header_crc);
+        writeFile(bad, tampered);
+        EXPECT_THROW(TraceReader{bad}, UserError);
+    }
+
+    // A truncated compressed section (file cut mid-stream) salvages
+    // to the sections before it and throws in strict mode.
+    {
+        std::string tampered = bytes;
+        tampered.resize(target->payload + kCompressedPrefixBytes + 3);
+        writeFile(bad, tampered);
+        EXPECT_THROW(TraceReader{bad}, UserError);
+        ReaderOptions salvage;
+        salvage.salvage = true;
+        const TraceReader reader(bad, salvage);
+        EXPECT_FALSE(reader.complete());
+    }
+
+    // An absurd rawBytes prefix (decompression bomb) is a defect,
+    // not an allocation: forge the prefix and both CRCs.
+    {
+        std::string tampered = bytes;
+        for (std::size_t i = 0; i < 8; ++i)
+            tampered[target->payload + i] = '\x7f';
+        const std::uint32_t payload_crc = crc32c(
+            0, tampered.data() + target->payload,
+            static_cast<std::size_t>(target->payloadBytes));
+        putU32(tampered, target->header + 32, payload_crc);
+        const std::uint32_t header_crc =
+            crc32c(0, tampered.data() + target->header, 36);
+        putU32(tampered, target->header + 36, header_crc);
+        writeFile(bad, tampered);
+        EXPECT_THROW(TraceReader{bad}, UserError);
+    }
+}
+
+TEST(CorpusCompressionTest, V1FilesUnchangedAndUnknownVersionRejected)
+{
+    const std::string dir = tmpDir("corpus_versions");
+    const std::string plain = dir + "/plain.plt";
+    capture(plain, "sb", 51, 500);
+    std::string bytes = readFile(plain);
+
+    // The uncompressed writer still stamps format version 1 — old
+    // readers keep working on new uncompressed captures.
+    ASSERT_GE(bytes.size(), kFileHeaderBytes);
+    EXPECT_EQ(getU32(bytes, 8), kVersion);
+    const TraceReader reader(plain);
+    EXPECT_EQ(reader.formatVersion(), kVersion);
+    EXPECT_EQ(reader.compressedSections(), 0u);
+
+    // Versions beyond kVersionCompressed stay rejected.
+    putU32(bytes, 8, kVersionCompressed + 1);
+    const std::string bad = dir + "/bad.plt";
+    writeFile(bad, bytes);
+    EXPECT_THROW(TraceReader{bad}, UserError);
+}
+
+// --- Merge deduplication -------------------------------------------
+
+TEST(CorpusMergeTest, MergingACaptureWithItselfIsANoOp)
+{
+    const std::string dir = tmpDir("corpus_merge");
+    const std::string a = dir + "/a.plt";
+    capture(a, "sb", 61, 1000);
+    const auto before = countRuns(a);
+
+    const std::string merged = dir + "/merged.plt";
+    EXPECT_EQ(mergeDedup({a, a}, merged), 1u);
+    const TraceReader reader(merged);
+    EXPECT_EQ(reader.numRuns(), 1u);
+    EXPECT_EQ(countRuns(merged), before);
+}
+
+TEST(CorpusMergeTest, DistinctRunsSurviveAndAreOrdered)
+{
+    const std::string dir = tmpDir("corpus_merge2");
+    const std::string a = dir + "/a.plt";
+    const std::string b = dir + "/b.plt";
+    capture(a, "sb", 62, 1000);
+    capture(b, "sb", 63, 1000);
+    const std::string merged = dir + "/merged.plt";
+    EXPECT_EQ(mergeDedup({a, b, a}, merged), 2u);
+    const TraceReader reader(merged);
+    ASSERT_EQ(reader.numRuns(), 2u);
+    EXPECT_EQ(reader.runInfo(0).seed, 62u);
+    EXPECT_EQ(reader.runInfo(1).seed, 63u);
+
+    // A merged corpus and its inputs agree on unique identities.
+    const CorpusReport report =
+        scanCorpus({a, b, merged}, CorpusOptions{.jobs = 1});
+    EXPECT_EQ(report.totalRuns, 4u);
+    EXPECT_EQ(report.uniqueRuns, 2u);
+}
+
+// --- Manifest ------------------------------------------------------
+
+TEST(CorpusManifestTest, ManifestRecordsHealthAndIdentity)
+{
+    const std::string dir = tmpDir("corpus_manifest");
+    const std::string a = dir + "/a.plt";
+    capture(a, "sb", 71, 400);
+    writeFile(dir + "/copy.plt", readFile(a));
+    writeFile(dir + "/garbage.plt", "junk");
+
+    const CorpusReport report = scanCorpus(
+        discoverCorpus(dir), CorpusOptions{.jobs = 2},
+        countingAnalyzer());
+    const std::string manifest = dir + "/corpus.json";
+    writeCorpusManifest(manifest, report);
+
+    const std::string body = readFile(manifest);
+    EXPECT_EQ(body, corpusReportJson(report));
+    EXPECT_NE(body.find("\"corpus_format\": 1"), std::string::npos);
+    EXPECT_NE(body.find("\"unique_runs\": 1"), std::string::npos);
+    EXPECT_NE(body.find("\"duplicate\": true"), std::string::npos);
+    EXPECT_NE(body.find("\"status\": \"corrupt\""),
+              std::string::npos);
+    // Run identities render as fixed-width 16-digit hex.
+    const TraceReader reader(a);
+    const std::string id = common::hashToHex(
+        runIdentityHash(reader.meta(), reader.runInfo(0)));
+    EXPECT_EQ(id.size(), 16u);
+    EXPECT_NE(body.find(format("\"id\": \"%s\"", id.c_str())),
+              std::string::npos);
+}
+
+TEST(CorpusManifestTest, ScanToleratesMissingDirectory)
+{
+    EXPECT_THROW(discoverCorpus("/does/not/exist-corpus"),
+                 UserError);
+    // An empty path list is a valid (empty) corpus.
+    const CorpusReport report = scanCorpus({}, CorpusOptions{});
+    EXPECT_EQ(report.files.size(), 0u);
+    EXPECT_EQ(report.uniqueRuns, 0u);
+    EXPECT_NE(corpusReportJson(report).find("\"files\": 0"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace perple::trace

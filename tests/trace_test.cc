@@ -274,7 +274,7 @@ TEST(TraceReaderTest, WrongVersionAndMagicRejected)
 
     const std::string bad = tmpPath("ver_bad.plt");
     std::string wrong_version = bytes;
-    wrong_version[8] = static_cast<char>(kVersion + 1);
+    wrong_version[8] = static_cast<char>(kVersionCompressed + 1);
     writeFile(bad, wrong_version);
     EXPECT_THROW(TraceReader{bad}, UserError);
 

@@ -208,6 +208,11 @@ run(int argc, char **argv)
                     report.timeouts, report.crashes, report.ooms);
     for (const auto &failure : report.failures)
         printFailure(failure, config.seed);
+    if (!report.manifestPath.empty())
+        std::printf("perple_fuzz: corpus manifest: %s (analyze with "
+                    "perple_trace analyze --corpus %s)\n",
+                    report.manifestPath.c_str(),
+                    config.reproducerDir.c_str());
     return report.ok() ? 0 : 1;
 }
 

@@ -9,7 +9,10 @@
  *   perple_trace info    FILE.plt
  *   perple_trace verify  FILE.plt...
  *   perple_trace analyze FILE.plt [options]
+ *   perple_trace analyze --corpus DIR [corpus options]
  *   perple_trace merge   --out FILE.plt IN.plt... [--encoding E]
+ *                        [--keep-duplicates]
+ *   perple_trace compact IN.plt --out FILE.plt [--codec C] [--level N]
  *   perple_trace export  FILE.plt --json [--bufs]
  *
  * record options:
@@ -54,6 +57,28 @@
  *                       bit-identical counts (trace fidelity proof)
  *   --json              machine-readable output
  *
+ * corpus options (analyze --corpus DIR):
+ *   --jobs <n>          files scanned concurrently (0 = all cores)
+ *   --manifest FILE     write the corpus.json manifest here
+ *   --no-salvage        reject torn captures instead of salvaging
+ *   --no-heuristic      skip per-run target counting (scan only)
+ *   --kernel-mode M     counting engine passthrough
+ *   --crosscheck        re-execute every unique sim run and demand
+ *                       bit-identical heuristic counts
+ *   --json              print the full corpus report as JSON
+ *   The aggregate report is bit-identical for any --jobs value and
+ *   any file-discovery order; duplicate runs (same test, config,
+ *   seed, backend, iterations — e.g. merged campaign outputs) are
+ *   counted once.
+ *
+ * compact options:
+ *   --codec zstd|deflate|none   compression codec (default: best
+ *                       available; "none" just re-encodes)
+ *   --level <n>         codec effort level (default 3)
+ *   --encoding varint|raw  inner buf encoding (default varint)
+ *   --salvage           compact the recoverable prefix of a torn
+ *                       capture (complete trailing runs only)
+ *
  * Exit status: 0 = ok, 1 = verification/cross-check failure,
  * 2 = usage or I/O error.
  */
@@ -68,6 +93,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "perple/perple.h"
@@ -95,9 +121,15 @@ usage(const char *argv0)
         "          [--stream] [--epoch N]\n"
         "          [--no-exhaustive] [--no-heuristic] [--crosscheck]\n"
         "          [--json] [--salvage]\n"
+        "       %s analyze --corpus DIR [--jobs N] [--manifest FILE]\n"
+        "          [--no-salvage] [--no-heuristic] [--crosscheck]\n"
+        "          [--kernel-mode M] [--json]\n"
         "       %s merge --out FILE.plt IN.plt... [--encoding E]\n"
+        "          [--keep-duplicates]\n"
+        "       %s compact IN.plt --out FILE.plt [--codec C]\n"
+        "          [--level N] [--encoding E] [--salvage]\n"
         "       %s export FILE.plt --json [--bufs]\n",
-        argv0, argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -322,12 +354,17 @@ cmdInfo(int argc, char **argv)
         return usage(argv[0]);
     const trace::TraceReader reader(path, options);
     const trace::TraceMeta &meta = reader.meta();
-    std::printf("trace:    %s (%.2f MiB, format v%u, %s%s)\n",
+    std::printf("trace:    %s (%.2f MiB, format v%u, %s%s%s)\n",
                 reader.path().c_str(),
                 static_cast<double>(reader.fileBytes()) /
                     (1024.0 * 1024.0),
-                static_cast<unsigned>(trace::kVersion),
+                reader.formatVersion(),
                 reader.zeroCopy() ? "zero-copy" : "varint-compressed",
+                reader.compressedSections() > 0
+                    ? format(", %zu compressed section(s)",
+                             reader.compressedSections())
+                          .c_str()
+                    : "",
                 reader.complete() ? "" : ", SALVAGED partial capture");
     std::printf("test:     %s (%zu threads, %zu locations)\n",
                 meta.testName.c_str(),
@@ -392,6 +429,7 @@ struct AnalyzeOptions
 {
     std::vector<std::string> outcomeTexts;
     std::size_t jobs = 1;
+    bool jobsSet = false;
     core::CountMode mode = core::CountMode::FirstMatch;
     std::int64_t cap = 0;
     bool exhaustive = true;
@@ -404,7 +442,138 @@ struct AnalyzeOptions
     bool crosscheck = false;
     bool json = false;
     bool salvage = false;
+
+    /** Corpus mode (--corpus DIR): bulk-parallel directory scan. */
+    std::string corpusDir;
+    std::string manifestPath;
+    bool corpusSalvage = true;
 };
+
+/**
+ * The per-file analysis hook of corpus mode: count each run's target
+ * outcome with the heuristic counter (jobs=1 inside the sweep's pool
+ * workers — a nested parallelFor would serialize anyway, and a fixed
+ * inner job count keeps the report independent of --jobs), and
+ * optionally cross-check sim runs against a live re-execution.
+ */
+trace::FileAnalyzer
+corpusAnalyzer(const AnalyzeOptions &options)
+{
+    return [&options](const trace::TraceReader &reader,
+                      trace::CorpusFile &file) {
+        const litmus::Test test = reader.test();
+        const auto outcomes =
+            core::buildPerpetualOutcomes(test, {test.target});
+        core::HeuristicCounter counter(test, outcomes);
+        counter.setKernelMode(options.kernelMode);
+        file.outcomeLabels = {"target"};
+        file.targetOutcome = 0;
+        for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+            const trace::RunInfo &info = reader.runInfo(r);
+            core::Counts counts =
+                counter.count(info.iterations, reader.rawBufs(r),
+                              core::CountMode::FirstMatch, 1);
+            file.runs[r].counts = counts;
+            file.runs[r].counted = true;
+            if (!options.crosscheck || info.backend != "sim")
+                continue;
+            core::CrossCheckConfig config;
+            config.seed = info.seed;
+            config.iterations = info.iterations;
+            config.mode = core::CountMode::FirstMatch;
+            config.parallel = false;
+            config.kernelMode = options.kernelMode;
+            config.machine = reader.meta().machine;
+            const auto report = core::crossCheckCounters(
+                test, {test.target}, config);
+            file.runs[r].crosscheck =
+                report.heuristicSerial == counts
+                    ? trace::Crosscheck::Ok
+                    : trace::Crosscheck::Mismatch;
+        }
+    };
+}
+
+int
+analyzeCorpus(const AnalyzeOptions &options)
+{
+    WallTimer timer;
+    const std::vector<std::string> paths =
+        trace::discoverCorpus(options.corpusDir);
+
+    trace::CorpusOptions corpus_options;
+    // Corpus sweeps default to the full machine (the single-file
+    // analyze default of 1 is about reproducible counter timing).
+    corpus_options.jobs = options.jobsSet ? options.jobs : 0;
+    corpus_options.salvage = options.corpusSalvage;
+    const trace::FileAnalyzer analyzer =
+        options.heuristic ? corpusAnalyzer(options)
+                          : trace::FileAnalyzer();
+    const trace::CorpusReport report =
+        trace::scanCorpus(paths, corpus_options, analyzer);
+    const double seconds = timer.elapsedSeconds();
+
+    if (!options.manifestPath.empty())
+        trace::writeCorpusManifest(options.manifestPath, report);
+
+    if (options.json) {
+        std::printf("%s", trace::corpusReportJson(report).c_str());
+    } else {
+        std::printf(
+            "corpus %s: %zu file(s) in %.3fs — %zu ok, %zu "
+            "salvaged, %zu corrupt, %zu compressed (%.2f MiB)\n",
+            options.corpusDir.c_str(), report.files.size(), seconds,
+            report.okFiles, report.salvagedFiles, report.corruptFiles,
+            report.compressedFiles,
+            static_cast<double>(report.totalBytes) /
+                (1024.0 * 1024.0));
+        std::printf("runs:   %zu total, %zu unique, %zu duplicate "
+                    "(deduplicated), %lld unique iterations\n",
+                    report.totalRuns, report.uniqueRuns,
+                    report.duplicateRuns,
+                    static_cast<long long>(report.uniqueIterations));
+        stats::Table table({"test", "files", "runs", "dups",
+                            "iterations", "target-count"});
+        for (const trace::CorpusTestAggregate &test : report.tests) {
+            const std::string target =
+                !test.countsComparable ? std::string("mixed")
+                : test.counts.empty()
+                    ? std::string("-")
+                    : format("%" PRIu64,
+                             test.counts[test.targetOutcome ==
+                                                 static_cast<
+                                                     std::size_t>(-1)
+                                             ? 0
+                                             : test.targetOutcome]);
+            table.addRow({test.testName, format("%zu", test.files),
+                          format("%zu", test.runs),
+                          format("%zu", test.duplicateRuns),
+                          format("%lld", static_cast<long long>(
+                                             test.iterations)),
+                          target});
+        }
+        std::printf("%s", table.toString().c_str());
+        if (!report.divergenceKinds.empty()) {
+            std::printf("divergences:");
+            for (const auto &kind : report.divergenceKinds)
+                std::printf(" %s=%zu", kind.first.c_str(),
+                            kind.second);
+            std::printf("\n");
+        }
+        for (const trace::CorpusFile &file : report.files)
+            if (file.status == trace::FileStatus::Corrupt)
+                std::printf("corrupt: %s: %s\n", file.path.c_str(),
+                            file.error.c_str());
+        if (options.crosscheck)
+            std::printf("crosscheck: %zu run(s), %zu mismatch(es)\n",
+                        report.crosscheckedRuns,
+                        report.crosscheckMismatches);
+        if (!options.manifestPath.empty())
+            std::printf("manifest: %s\n",
+                        options.manifestPath.c_str());
+    }
+    return report.crosscheckMismatches == 0 ? 0 : 1;
+}
 
 int
 cmdAnalyze(int argc, char **argv)
@@ -418,6 +587,7 @@ cmdAnalyze(int argc, char **argv)
         } else if (std::strcmp(arg, "--jobs") == 0) {
             options.jobs = static_cast<std::size_t>(common::parseIntArg(
                 "--jobs", flagValue(argc, argv, i), 0, 4096));
+            options.jobsSet = true;
         } else if (std::strcmp(arg, "--mode") == 0) {
             const std::string mode = flagValue(argc, argv, i);
             if (mode == "independent")
@@ -430,6 +600,12 @@ cmdAnalyze(int argc, char **argv)
                 std::numeric_limits<std::int64_t>::max());
         } else if (std::strcmp(arg, "--salvage") == 0) {
             options.salvage = true;
+        } else if (std::strcmp(arg, "--corpus") == 0) {
+            options.corpusDir = flagValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--manifest") == 0) {
+            options.manifestPath = flagValue(argc, argv, i);
+        } else if (std::strcmp(arg, "--no-salvage") == 0) {
+            options.corpusSalvage = false;
         } else if (std::strcmp(arg, "--no-exhaustive") == 0) {
             options.exhaustive = false;
         } else if (std::strcmp(arg, "--no-heuristic") == 0) {
@@ -460,6 +636,9 @@ cmdAnalyze(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (!options.corpusDir.empty())
+        return path.empty() ? analyzeCorpus(options)
+                            : usage(argv[0]);
     if (path.empty())
         return usage(argv[0]);
 
@@ -679,6 +858,7 @@ cmdMerge(int argc, char **argv)
     std::string outPath;
     std::vector<std::string> inputs;
     trace::WriterOptions options;
+    bool keepDuplicates = false;
     for (int i = 2; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--out") == 0)
@@ -686,6 +866,8 @@ cmdMerge(int argc, char **argv)
         else if (std::strcmp(arg, "--encoding") == 0)
             options.bufEncoding =
                 parseEncoding(argv[0], flagValue(argc, argv, i));
+        else if (std::strcmp(arg, "--keep-duplicates") == 0)
+            keepDuplicates = true;
         else if (arg[0] == '-') {
             std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
                          arg);
@@ -707,10 +889,20 @@ cmdMerge(int argc, char **argv)
                          "configuration differs from %s",
                          inputs[i].c_str(), inputs[0].c_str()));
 
+    // Merged campaign outputs routinely overlap (re-merged shards,
+    // a file merged with itself); runs are deduplicated by their
+    // content identity hash so the merge never double-counts.
     trace::TraceWriter writer(outPath, readers[0]->meta(), options);
-    std::size_t total_runs = 0;
+    std::unordered_set<std::uint64_t> seen;
+    std::size_t total_runs = 0, skipped = 0;
     for (const auto &reader : readers) {
         for (std::size_t r = 0; r < reader->numRuns(); ++r) {
+            const std::uint64_t id = trace::runIdentityHash(
+                reader->meta(), reader->runInfo(r));
+            if (!keepDuplicates && !seen.insert(id).second) {
+                ++skipped;
+                continue;
+            }
             writer.beginRun(reader->runInfo(r));
             for (std::size_t t = 0; t < reader->numThreads(); ++t)
                 writer.writeBuf(reader->bufData(r, t),
@@ -722,10 +914,97 @@ cmdMerge(int argc, char **argv)
     }
     writer.finish();
     std::printf("merged %zu run(s) from %zu trace(s) into %s "
-                "(%.2f MiB)\n",
+                "(%.2f MiB%s)\n",
                 total_runs, readers.size(), outPath.c_str(),
                 static_cast<double>(writer.bytesWritten()) /
-                    (1024.0 * 1024.0));
+                    (1024.0 * 1024.0),
+                skipped > 0
+                    ? format(", %zu duplicate run(s) skipped",
+                             skipped)
+                          .c_str()
+                    : "");
+    return 0;
+}
+
+int
+cmdCompact(int argc, char **argv)
+{
+    std::string inPath, outPath;
+    trace::WriterOptions options;
+    options.compression = trace::defaultCompression();
+    trace::ReaderOptions reader_options;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--out") == 0)
+            outPath = flagValue(argc, argv, i);
+        else if (std::strcmp(arg, "--codec") == 0)
+            options.compression =
+                trace::codecFromName(flagValue(argc, argv, i));
+        else if (std::strcmp(arg, "--level") == 0)
+            options.compressionLevel =
+                static_cast<int>(common::parseIntArg(
+                    "--level", flagValue(argc, argv, i), 1, 22));
+        else if (std::strcmp(arg, "--encoding") == 0)
+            options.bufEncoding =
+                parseEncoding(argv[0], flagValue(argc, argv, i));
+        else if (std::strcmp(arg, "--salvage") == 0)
+            reader_options.salvage = true;
+        else if (arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            return usage(argv[0]);
+        } else if (inPath.empty())
+            inPath = arg;
+        else
+            return usage(argv[0]);
+    }
+    if (inPath.empty() || outPath.empty())
+        return usage(argv[0]);
+    checkUser(trace::codecAvailable(options.compression),
+              format("this build has no %s support (try --codec "
+                     "deflate or --codec none)",
+                     trace::codecName(options.compression)));
+
+    const trace::TraceReader reader(inPath, reader_options);
+    trace::TraceWriter writer(outPath, reader.meta(), options);
+    std::size_t written = 0, dropped = 0;
+    for (std::size_t r = 0; r < reader.numRuns(); ++r) {
+        // A salvaged trailing run may lack its Memory/Stats sections;
+        // the writer (correctly) refuses such a group, so compaction
+        // keeps only fully-captured runs.
+        if (reader.memory(r).size() != reader.meta().strides.size()) {
+            ++dropped;
+            continue;
+        }
+        writer.beginRun(reader.runInfo(r));
+        for (std::size_t t = 0; t < reader.numThreads(); ++t)
+            writer.writeBuf(reader.bufData(r, t),
+                            reader.bufSize(r, t));
+        writer.writeMemory(reader.memory(r));
+        writer.writeStats(reader.stats(r));
+        ++written;
+    }
+    checkUser(written > 0,
+              format("%s has no complete run to compact",
+                     inPath.c_str()));
+    writer.finish();
+    std::printf("compacted %s -> %s: %zu run(s), %.2f -> %.2f MiB "
+                "(%.2fx, %s level %d)%s%s\n",
+                inPath.c_str(), outPath.c_str(), written,
+                static_cast<double>(reader.fileBytes()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(writer.bytesWritten()) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(reader.fileBytes()) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, writer.bytesWritten())),
+                trace::codecName(options.compression),
+                options.compressionLevel,
+                dropped > 0 ? format(", %zu partial run(s) dropped",
+                                     dropped)
+                                  .c_str()
+                            : "",
+                reader.complete() ? "" : " [salvaged input]");
     return 0;
 }
 
@@ -756,7 +1035,7 @@ cmdExport(int argc, char **argv)
     const trace::TraceMeta &meta = reader.meta();
     std::printf("{\n  \"format_version\": %u,\n  \"test\": \"%s\",\n"
                 "  \"test_source\": \"%s\",\n  \"k_mem\": [",
-                static_cast<unsigned>(trace::kVersion),
+                reader.formatVersion(),
                 jsonEscape(meta.testName).c_str(),
                 jsonEscape(meta.testText).c_str());
     for (std::size_t i = 0; i < meta.strides.size(); ++i)
@@ -819,6 +1098,8 @@ run(int argc, char **argv)
         return cmdAnalyze(argc, argv);
     if (command == "merge")
         return cmdMerge(argc, argv);
+    if (command == "compact")
+        return cmdCompact(argc, argv);
     if (command == "export")
         return cmdExport(argc, argv);
     std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0],
