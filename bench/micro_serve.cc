@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Serve-daemon microbench: what does the campaign service layer cost,
+ * and what does its content-addressed cache buy?
+ *
+ * One in-process daemon (2 workers, a temp state dir) serves three
+ * measured phases over sb at N = 20,000 (scaled by
+ * PERPLE_ITERS_SCALE):
+ *
+ *  1. Cold jobs — distinct seeds, every submission forks a supervised
+ *     worker and executes: the end-to-end jobs/sec of real work
+ *     through socket + scheduler + sandbox.
+ *  2. Cache hits — the same jobs resubmitted: answered from the
+ *     content-addressed result cache with no fork and no execution.
+ *  3. Protocol floor — ping round trips: socket + framing + dispatch
+ *     with no job machinery at all.
+ *
+ * The interesting number is the cold/hit ratio: it is the factor a CI
+ * pipeline re-running an unchanged test matrix gains from the cache.
+ * Every submission's result bytes are verified identical between the
+ * cold run and its cache hit (a mismatch fails the bench), so the
+ * speedup is for a bit-identical answer.
+ *
+ * Results go to stdout and BENCH_serve.json (hardware disclosure per
+ * bench_common.h's honesty rules; jobs/sec from a 1-thread host are
+ * still honest — the daemon serializes on its worker pool either
+ * way).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace perple;
+    using namespace perple::bench;
+
+    const std::int64_t n = scaledIterations(20000);
+    banner("Micro: serve daemon throughput (sb)", n);
+
+    const auto root = std::filesystem::temp_directory_path() /
+                      format("perple-bench-serve-%d", getpid());
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+
+    serve::DaemonConfig config;
+    config.socketPath = (root / "daemon.sock").string();
+    config.stateDir = (root / "state").string();
+    config.workers = 2;
+    config.jobTimeoutSeconds = 120;
+
+    serve::Daemon daemon(std::move(config));
+    daemon.start();
+    std::thread waiter([&daemon] { daemon.wait(); });
+
+    constexpr int kJobs = 10;
+    const std::string source =
+        litmus::writeTest(litmus::findTest("sb").test);
+    const auto request = [&](int job) {
+        serve::SubmitRequest r;
+        r.test = source;
+        r.iterations = n;
+        r.config.seed = baseSeed() + static_cast<std::uint64_t>(job);
+        r.capture = false;
+        return r;
+    };
+
+    int exitCode = 0;
+    double coldSeconds = 0;
+    double hitSeconds = 0;
+    double pingSeconds = 0;
+    std::vector<std::string> coldResults;
+    {
+        serve::Client client(daemon.config().socketPath);
+
+        // 1. Cold: every job is new — full execution path.
+        WallTimer cold;
+        for (int job = 0; job < kJobs; ++job) {
+            const auto outcome = client.submitAndWait(request(job));
+            if (!outcome.ok() || outcome.cached) {
+                std::fprintf(stderr, "cold job %d failed: %s\n", job,
+                             outcome.event.dump().c_str());
+                exitCode = 1;
+            }
+            coldResults.push_back(outcome.resultText);
+        }
+        coldSeconds = cold.elapsedSeconds();
+
+        // 2. Hits: identical resubmissions — cache path only.
+        WallTimer hits;
+        for (int job = 0; job < kJobs; ++job) {
+            const auto outcome = client.submitAndWait(request(job));
+            if (!outcome.ok() || !outcome.cached) {
+                std::fprintf(stderr, "job %d missed the cache: %s\n",
+                             job, outcome.event.dump().c_str());
+                exitCode = 1;
+            } else if (outcome.resultText !=
+                       coldResults[static_cast<std::size_t>(job)]) {
+                std::fprintf(stderr,
+                             "job %d: cache hit bytes differ from "
+                             "the cold result\n",
+                             job);
+                exitCode = 1;
+            }
+        }
+        hitSeconds = hits.elapsedSeconds();
+
+        // 3. Protocol floor.
+        constexpr int kPings = 200;
+        WallTimer pings;
+        for (int i = 0; i < kPings; ++i)
+            if (!client.ping())
+                exitCode = 1;
+        pingSeconds = pings.elapsedSeconds() / kPings;
+    }
+
+    daemon.requestStop();
+    waiter.join();
+    std::filesystem::remove_all(root);
+
+    const double coldRate = kJobs / coldSeconds;
+    const double hitRate = kJobs / hitSeconds;
+    std::printf("cold submissions: %.1f jobs/s (%d jobs, N=%lld, "
+                "full supervised execution)\n",
+                coldRate, kJobs, static_cast<long long>(n));
+    std::printf("cache hits:       %.1f jobs/s (same jobs, "
+                "bit-identical bytes, no fork)\n",
+                hitRate);
+    std::printf("cache speedup:    %.1fx\n", hitRate / coldRate);
+    std::printf("ping round trip:  %.1f us\n", pingSeconds * 1e6);
+
+    std::FILE *json = std::fopen("BENCH_serve.json", "w");
+    if (json != nullptr) {
+        writeJsonPreamble(json, "micro_serve");
+        std::fprintf(
+            json,
+            "  \"iterations\": %lld,\n"
+            "  \"jobs\": %d,\n"
+            "  \"cold_jobs_per_sec\": %.3f,\n"
+            "  \"cache_hit_jobs_per_sec\": %.3f,\n"
+            "  \"cache_speedup\": %.3f,\n"
+            "  \"ping_round_trip_us\": %.3f,\n"
+            "  \"bit_identical\": %s\n}\n",
+            static_cast<long long>(n), kJobs, coldRate, hitRate,
+            hitRate / coldRate, pingSeconds * 1e6,
+            exitCode == 0 ? "true" : "false");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_serve.json\n");
+    }
+    return exitCode;
+}

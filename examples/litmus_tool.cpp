@@ -56,21 +56,6 @@ namespace
 
 using namespace perple;
 
-litmus::Test
-loadTest(const std::string &spec)
-{
-    namespace fs = std::filesystem;
-    if (fs::exists(spec)) {
-        std::ifstream stream(spec);
-        std::ostringstream text;
-        text << stream.rdbuf();
-        litmus::Test test = litmus::parseTest(text.str());
-        litmus::validateOrThrow(test);
-        return test;
-    }
-    return litmus::findTest(spec).test;
-}
-
 int
 cmdList()
 {
@@ -93,7 +78,7 @@ cmdList()
 int
 cmdShow(const std::string &spec)
 {
-    const litmus::Test test = loadTest(spec);
+    const litmus::Test test = litmus::loadTestSpec(spec);
     std::printf("%s\n", litmus::writeTest(test).c_str());
     std::string reason;
     if (core::isConvertible(test, {test.target}, reason)) {
@@ -301,7 +286,7 @@ main(int argc, char **argv)
             return 2;
         }
 
-        const litmus::Test test = loadTest(argv[2]);
+        const litmus::Test test = litmus::loadTestSpec(argv[2]);
         std::int64_t iterations = 10000;
         std::string engine = "perple";
         runtime::SyncMode mode = runtime::SyncMode::User;

@@ -24,19 +24,6 @@
 namespace
 {
 
-perple::litmus::Test
-loadTest(const std::string &spec)
-{
-    namespace fs = std::filesystem;
-    if (fs::exists(spec)) {
-        std::ifstream stream(spec);
-        std::ostringstream text;
-        text << stream.rdbuf();
-        return perple::litmus::parseTest(text.str());
-    }
-    return perple::litmus::findTest(spec).test;
-}
-
 void
 writeFile(const std::filesystem::path &path, const std::string &text)
 {
@@ -62,7 +49,7 @@ main(int argc, char **argv)
     const fs::path out_dir = argc > 2 ? argv[2] : "perple_out";
 
     try {
-        const litmus::Test test = loadTest(spec);
+        const litmus::Test test = litmus::loadTestSpec(spec);
         litmus::validateOrThrow(test);
 
         // Outcomes of interest: all register outcomes, target first

@@ -137,4 +137,34 @@ ensureWritableParent(const char *flag, const std::string &path)
                          parent.string().c_str()));
 }
 
+void
+parseSocketPathArg(const char *flag, const std::string &path)
+{
+    // sizeof(sockaddr_un::sun_path) is 108 on Linux; the kernel needs
+    // the terminating NUL, so 107 usable bytes.
+    constexpr std::size_t kMaxSunPath = 107;
+    if (path.empty())
+        fatal(format("%s: socket path must not be empty", flag));
+    if (path.size() > kMaxSunPath)
+        fatal(format("%s: socket path is %zu bytes; Unix-domain "
+                     "socket paths are limited to %zu",
+                     flag, path.size(), kMaxSunPath));
+    ensureWritableParent(flag, path);
+}
+
+void
+parseExistingSocketPath(const char *flag, const std::string &path)
+{
+    parseSocketPathArg(flag, path);
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::file_status status = fs::status(path, ec);
+    if (ec || !fs::exists(status))
+        fatal(format("%s: no socket at %s (is the daemon running?)",
+                     flag, path.c_str()));
+    if (status.type() != fs::file_type::socket)
+        fatal(format("%s: %s exists but is not a socket", flag,
+                     path.c_str()));
+}
+
 } // namespace perple::common

@@ -59,6 +59,22 @@ void ensureWritableDir(const char *flag, const std::string &path);
  */
 void ensureWritableParent(const char *flag, const std::string &path);
 
+/**
+ * Validate @p path as a Unix-domain socket path a server could bind:
+ * non-empty, short enough for sockaddr_un::sun_path (107 bytes + NUL
+ * on Linux), and with an existing parent directory. Rejecting at the
+ * flag beats bind() truncating the path silently.
+ */
+void parseSocketPathArg(const char *flag, const std::string &path);
+
+/**
+ * Validate @p path as a Unix-domain socket a client could connect to:
+ * everything parseSocketPathArg checks, plus the path must exist and
+ * be a socket. Catches "daemon not running" and "that's a regular
+ * file" with a clear message instead of a bare ECONNREFUSED.
+ */
+void parseExistingSocketPath(const char *flag, const std::string &path);
+
 } // namespace perple::common
 
 #endif // PERPLE_COMMON_CLI_H

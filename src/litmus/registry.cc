@@ -1,9 +1,13 @@
 #include "litmus/registry.h"
 
+#include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 
 #include "common/error.h"
 #include "litmus/builder.h"
+#include "litmus/parser.h"
 #include "litmus/validator.h"
 
 namespace perple::litmus
@@ -623,6 +627,27 @@ findTest(const std::string &name)
         if (e.test.name == name)
             return e;
     fatal("unknown litmus test '" + name + "'");
+}
+
+Test
+loadTestSpec(const std::string &spec)
+{
+    if (std::filesystem::exists(spec)) {
+        std::ifstream stream(spec);
+        checkUser(stream.good(),
+                  "cannot read litmus file '" + spec + "'");
+        std::ostringstream text;
+        text << stream.rdbuf();
+        Test test = parseTest(text.str());
+        validateOrThrow(test);
+        return test;
+    }
+    if (spec.find('\n') != std::string::npos) {
+        Test test = parseTest(spec);
+        validateOrThrow(test);
+        return test;
+    }
+    return findTest(spec).test;
 }
 
 } // namespace perple::litmus

@@ -81,6 +81,16 @@ const std::vector<SuiteEntry> &extendedCorpus();
  */
 const SuiteEntry &findTest(const std::string &name);
 
+/**
+ * Resolve a user-supplied test spec, the way every CLI accepts one:
+ * a path to a litmus file (read, parsed, validated), inline litmus
+ * source (recognized by containing a newline), or a corpus test name.
+ *
+ * @throws UserError on unreadable files, parse/validation failures
+ *         and unknown names.
+ */
+Test loadTestSpec(const std::string &spec);
+
 } // namespace perple::litmus
 
 #endif // PERPLE_LITMUS_REGISTRY_H

@@ -1,0 +1,236 @@
+#include "perple/config_serialize.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::core
+{
+
+namespace
+{
+
+/** Round-trip rendering for double-valued knobs. */
+std::string
+doubleToText(double value)
+{
+    return format("%.17g", value);
+}
+
+void
+line(std::ostringstream &out, const char *key,
+     const std::string &value)
+{
+    out << key << ' ' << value << '\n';
+}
+
+std::int64_t
+parseInt(const std::string &key, const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const long long value = std::stoll(text, &used);
+        checkUser(used == text.size(),
+                  format("config: trailing garbage in %s", key.c_str()));
+        return value;
+    } catch (const std::logic_error &) {
+        fatal(format("config: malformed integer for %s", key.c_str()));
+    }
+}
+
+std::uint64_t
+parseUint(const std::string &key, const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const unsigned long long value = std::stoull(text, &used);
+        checkUser(used == text.size(),
+                  format("config: trailing garbage in %s", key.c_str()));
+        return value;
+    } catch (const std::logic_error &) {
+        fatal(format("config: malformed integer for %s", key.c_str()));
+    }
+}
+
+double
+parseDouble(const std::string &key, const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        checkUser(used == text.size(),
+                  format("config: trailing garbage in %s", key.c_str()));
+        return value;
+    } catch (const std::logic_error &) {
+        fatal(format("config: malformed number for %s", key.c_str()));
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &text)
+{
+    if (text == "1")
+        return true;
+    if (text == "0")
+        return false;
+    fatal(format("config: %s must be 0 or 1", key.c_str()));
+}
+
+} // namespace
+
+const char *
+backendName(Backend backend)
+{
+    return backend == Backend::Native ? "native" : "sim";
+}
+
+Backend
+backendFromName(const std::string &name)
+{
+    if (name == "sim")
+        return Backend::Simulator;
+    if (name == "native")
+        return Backend::Native;
+    fatal(format("unknown backend '%s' (expected sim or native)",
+                 name.c_str()));
+}
+
+std::string
+serializeConfig(const HarnessConfig &config)
+{
+    const HarnessConfig defaults;
+    const sim::MachineConfig machineDefaults;
+    std::ostringstream out;
+    out << "perple-config v1\n";
+    if (config.backend != defaults.backend)
+        line(out, "backend", backendName(config.backend));
+    if (config.seed != defaults.seed)
+        line(out, "seed", format("%llu",
+                                 static_cast<unsigned long long>(
+                                     config.seed)));
+    if (config.runExhaustive != defaults.runExhaustive)
+        line(out, "exhaustive", config.runExhaustive ? "1" : "0");
+    if (config.runHeuristic != defaults.runHeuristic)
+        line(out, "heuristic", config.runHeuristic ? "1" : "0");
+    if (config.exhaustiveCap != defaults.exhaustiveCap)
+        line(out, "exhaustiveCap",
+             format("%lld",
+                    static_cast<long long>(config.exhaustiveCap)));
+    if (config.countMode != defaults.countMode)
+        line(out, "countMode",
+             config.countMode == CountMode::Independent ? "independent"
+                                                        : "first");
+    if (config.countTimeBudgetSeconds !=
+        defaults.countTimeBudgetSeconds)
+        line(out, "countTimeBudgetSeconds",
+             doubleToText(config.countTimeBudgetSeconds));
+    if (config.memBudgetBytes != defaults.memBudgetBytes)
+        line(out, "memBudgetBytes",
+             format("%llu", static_cast<unsigned long long>(
+                                config.memBudgetBytes)));
+    const sim::MachineConfig &m = config.machine;
+    if (m.storeBufferCapacity != machineDefaults.storeBufferCapacity)
+        line(out, "machine.storeBufferCapacity",
+             format("%d", m.storeBufferCapacity));
+    if (m.opLatency != machineDefaults.opLatency)
+        line(out, "machine.opLatency", format("%d", m.opLatency));
+    if (m.drainLatencyMean != machineDefaults.drainLatencyMean)
+        line(out, "machine.drainLatencyMean",
+             format("%d", m.drainLatencyMean));
+    if (m.stallProbability != machineDefaults.stallProbability)
+        line(out, "machine.stallProbability",
+             doubleToText(m.stallProbability));
+    if (m.stallMeanTicks != machineDefaults.stallMeanTicks)
+        line(out, "machine.stallMeanTicks",
+             format("%d", m.stallMeanTicks));
+    if (m.loadMissProbability != machineDefaults.loadMissProbability)
+        line(out, "machine.loadMissProbability",
+             doubleToText(m.loadMissProbability));
+    if (m.loadMissLatencyMean != machineDefaults.loadMissLatencyMean)
+        line(out, "machine.loadMissLatencyMean",
+             format("%d", m.loadMissLatencyMean));
+    if (m.chunkSize != machineDefaults.chunkSize)
+        line(out, "machine.chunkSize",
+             format("%lld", static_cast<long long>(m.chunkSize)));
+    if (m.fifoStoreBuffers != machineDefaults.fifoStoreBuffers)
+        line(out, "machine.fifoStoreBuffers",
+             m.fifoStoreBuffers ? "1" : "0");
+    if (m.fenceDrainsBuffer != machineDefaults.fenceDrainsBuffer)
+        line(out, "machine.fenceDrainsBuffer",
+             m.fenceDrainsBuffer ? "1" : "0");
+    if (m.storeForwarding != machineDefaults.storeForwarding)
+        line(out, "machine.storeForwarding",
+             m.storeForwarding ? "1" : "0");
+    return out.str();
+}
+
+HarnessConfig
+parseConfig(const std::string &payload)
+{
+    HarnessConfig config;
+    std::istringstream in(payload);
+    std::string l;
+    checkUser(std::getline(in, l) && l == "perple-config v1",
+              "config: missing 'perple-config v1' header");
+    while (std::getline(in, l)) {
+        if (l.empty())
+            continue;
+        const std::size_t space = l.find(' ');
+        checkUser(space != std::string::npos,
+                  format("config: malformed line '%s'", l.c_str()));
+        const std::string key = l.substr(0, space);
+        const std::string value = l.substr(space + 1);
+        if (key == "backend")
+            config.backend = backendFromName(value);
+        else if (key == "seed")
+            config.seed = parseUint(key, value);
+        else if (key == "exhaustive")
+            config.runExhaustive = parseBool(key, value);
+        else if (key == "heuristic")
+            config.runHeuristic = parseBool(key, value);
+        else if (key == "exhaustiveCap")
+            config.exhaustiveCap = parseInt(key, value);
+        else if (key == "countMode")
+            config.countMode = value == "independent"
+                                   ? CountMode::Independent
+                                   : CountMode::FirstMatch;
+        else if (key == "countTimeBudgetSeconds")
+            config.countTimeBudgetSeconds = parseDouble(key, value);
+        else if (key == "memBudgetBytes")
+            config.memBudgetBytes = parseUint(key, value);
+        else if (key == "machine.storeBufferCapacity")
+            config.machine.storeBufferCapacity =
+                static_cast<int>(parseInt(key, value));
+        else if (key == "machine.opLatency")
+            config.machine.opLatency =
+                static_cast<int>(parseInt(key, value));
+        else if (key == "machine.drainLatencyMean")
+            config.machine.drainLatencyMean =
+                static_cast<int>(parseInt(key, value));
+        else if (key == "machine.stallProbability")
+            config.machine.stallProbability = parseDouble(key, value);
+        else if (key == "machine.stallMeanTicks")
+            config.machine.stallMeanTicks =
+                static_cast<int>(parseInt(key, value));
+        else if (key == "machine.loadMissProbability")
+            config.machine.loadMissProbability =
+                parseDouble(key, value);
+        else if (key == "machine.loadMissLatencyMean")
+            config.machine.loadMissLatencyMean =
+                static_cast<int>(parseInt(key, value));
+        else if (key == "machine.chunkSize")
+            config.machine.chunkSize = parseInt(key, value);
+        else if (key == "machine.fifoStoreBuffers")
+            config.machine.fifoStoreBuffers = parseBool(key, value);
+        else if (key == "machine.fenceDrainsBuffer")
+            config.machine.fenceDrainsBuffer = parseBool(key, value);
+        else if (key == "machine.storeForwarding")
+            config.machine.storeForwarding = parseBool(key, value);
+        else
+            fatal(format("config: unknown key '%s'", key.c_str()));
+    }
+    return config;
+}
+
+} // namespace perple::core

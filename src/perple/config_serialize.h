@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Canonical serialization of a HarnessConfig.
+ *
+ * Several layers need to agree on "the same configuration": the serve
+ * daemon's content-addressed result cache keys completed jobs by
+ * (canonical test, iterations, config), manifests and job logs record
+ * the config a result was produced under, and tests compare configs
+ * across processes. Ad-hoc stringification in each of those places
+ * drifts; this is the one encoding they all share.
+ *
+ * Properties:
+ *
+ *  - Stable field order: fields are emitted in a fixed sequence, so
+ *    two equal configs serialize byte-identically on every host.
+ *  - Defaults elided: a field equal to its default-constructed value
+ *    is omitted. Because every line is keyed ("key value\n"), elision
+ *    stays injective — an absent key *means* the default — while the
+ *    encoding of a default config collapses to just the version line.
+ *  - Semantic fields only: knobs that are proven not to change counts
+ *    (analysisThreads, kernelMode, the streaming pipeline shape, the
+ *    capture path/encoding) are excluded by design. The sharded
+ *    counters, the specialized kernels and the epoch pipeline are all
+ *    bit-identical to the serial reference for any setting (see
+ *    DESIGN.md §5b/§9/§10), so two submissions differing only in those
+ *    knobs are the *same* job and must share a cache entry.
+ *  - machine.seed and machine.addressMode are excluded too: the
+ *    harness overrides them from config.seed and the perpetual layout,
+ *    so they carry no independent information.
+ */
+
+#ifndef PERPLE_CORE_CONFIG_SERIALIZE_H
+#define PERPLE_CORE_CONFIG_SERIALIZE_H
+
+#include <string>
+
+#include "perple/harness.h"
+
+namespace perple::core
+{
+
+/**
+ * Render the result-affecting fields of @p config in the canonical
+ * "perple-config v1" key-value form described in the file comment.
+ */
+std::string serializeConfig(const HarnessConfig &config);
+
+/**
+ * Parse a serializeConfig() payload back into a HarnessConfig whose
+ * semantic fields match the serialized ones (excluded fields keep
+ * their defaults). serializeConfig(parseConfig(s)) == s for any
+ * canonical @p s.
+ *
+ * @throws UserError on malformed input or an unknown key.
+ */
+HarnessConfig parseConfig(const std::string &payload);
+
+/** Stable lower-case backend name ("sim" / "native"). */
+const char *backendName(Backend backend);
+
+/** Parse a backendName(); throws UserError on anything else. */
+Backend backendFromName(const std::string &name);
+
+} // namespace perple::core
+
+#endif // PERPLE_CORE_CONFIG_SERIALIZE_H

@@ -36,6 +36,7 @@
 #include "model/hbgraph.h"
 #include "model/operational.h"
 #include "perple/codegen.h"
+#include "perple/config_serialize.h"
 #include "perple/converter.h"
 #include "perple/counters.h"
 #include "perple/crosscheck.h"
@@ -52,6 +53,11 @@
 #include "sim/machine.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
 #include "stats/table.h"
 #include "supervise/run.h"
 #include "supervise/supervise.h"

@@ -1,0 +1,149 @@
+#include "serve/cache.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "serve/json.h"
+
+namespace perple::serve
+{
+
+namespace
+{
+
+/** Parse one index line; false (never throws) on a torn/alien line. */
+bool
+parseIndexLine(const std::string &line, std::uint64_t &key,
+               std::string &result)
+{
+    try {
+        const Json entry = Json::parse(line);
+        const Json *keyField = entry.find("key");
+        const Json *resultField = entry.find("result");
+        if (keyField == nullptr || resultField == nullptr ||
+            !resultField->isObject())
+            return false;
+        const std::string &hex = keyField->asString();
+        if (hex.size() != 16)
+            return false;
+        key = 0;
+        for (const char c : hex) {
+            key <<= 4;
+            if (c >= '0' && c <= '9')
+                key |= static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                key |= static_cast<std::uint64_t>(c - 'a' + 10);
+            else
+                return false;
+        }
+        result = resultField->dump();
+        return true;
+    } catch (const Error &) {
+        return false;
+    }
+}
+
+} // namespace
+
+ResultCache::ResultCache(const std::string &stateDir)
+{
+    common::ensureWritableDir("state dir", stateDir);
+    path_ = stateDir + "/cache-index.jsonl";
+
+    // Replay an existing index before opening for append, so a
+    // restarted daemon serves everything its predecessor stored.
+    std::ifstream in(path_);
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            std::uint64_t key = 0;
+            std::string result;
+            if (parseIndexLine(line, key, result)) {
+                entries_[key] = std::move(result);
+                ++loaded_;
+            }
+        }
+    }
+
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                 0644);
+    checkUser(fd_ >= 0, format("cannot open cache index %s: %s",
+                               path_.c_str(), std::strerror(errno)));
+}
+
+ResultCache::~ResultCache()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::optional<std::string>
+ResultCache::lookup(std::uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultCache::store(std::uint64_t key, const std::string &resultText)
+{
+    std::string line = "{\"key\":\"";
+    line += common::hashToHex(key);
+    line += "\",\"result\":";
+    line += resultText;
+    line += "}\n";
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const char *data = line.data();
+    std::size_t remaining = line.size();
+    while (remaining > 0) {
+        const ssize_t wrote = ::write(fd_, data, remaining);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(format("cache index append failed: %s",
+                         std::strerror(errno)));
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
+    checkUser(::fsync(fd_) == 0,
+              format("cache index fsync failed: %s",
+                     std::strerror(errno)));
+    entries_[key] = resultText;
+}
+
+void
+ResultCache::sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0)
+        ::fsync(fd_);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t
+ResultCache::loadedEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return loaded_;
+}
+
+} // namespace perple::serve

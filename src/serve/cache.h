@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The content-addressed result cache of the serve daemon.
+ *
+ * Completed job results are keyed by protocol::cacheKey (a hash of the
+ * canonical test, iterations, outcomes and semantic config) and stored
+ * as their exact serialized result-object bytes, so a repeated
+ * submission is answered byte-identically to the first — without
+ * forking a worker, re-executing the run or re-counting anything.
+ *
+ * Durability model: one append-only index file,
+ * `<stateDir>/cache-index.jsonl`, one JSON line per entry
+ * (`{"key":"<hex>","result":{...}}`). Every store appends and fsyncs
+ * before the entry becomes visible, so an entry a client was served
+ * from cache can never be lost by a crash that happens later. On
+ * construction the index is replayed; a torn final line (the process
+ * died mid-append) is dropped silently, matching the trace-store
+ * salvage philosophy: lose at most the entry being written, never an
+ * earlier one. Duplicate keys keep the last entry, so a rewritten
+ * index compacts naturally.
+ *
+ * Failed jobs (timeout/crash/oom) are never stored: a fault is a
+ * property of that execution, not of the job identity, and a retry
+ * may well succeed.
+ */
+
+#ifndef PERPLE_SERVE_CACHE_H
+#define PERPLE_SERVE_CACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace perple::serve
+{
+
+/** Thread-safe persistent result cache; see file comment. */
+class ResultCache
+{
+  public:
+    /**
+     * Open (and replay) the index under @p stateDir, creating the
+     * directory and an empty index when missing.
+     * @throws UserError when the directory or index is unusable.
+     */
+    explicit ResultCache(const std::string &stateDir);
+
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** The stored result bytes for @p key, if present. */
+    std::optional<std::string> lookup(std::uint64_t key) const;
+
+    /**
+     * Insert @p resultText under @p key and append it durably
+     * (write + fsync) to the index. Overwrites an existing entry in
+     * memory; on disk the append wins on replay.
+     */
+    void store(std::uint64_t key, const std::string &resultText);
+
+    /** fsync the index once more (shutdown barrier). */
+    void sync();
+
+    /** Entries currently resident. */
+    std::size_t size() const;
+
+    /** Entries replayed from a pre-existing index at construction. */
+    std::size_t loadedEntries() const;
+
+    /** The index file path (diagnostics). */
+    const std::string &indexPath() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::string> entries_;
+    std::size_t loaded_ = 0;
+};
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_CACHE_H

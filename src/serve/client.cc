@@ -1,0 +1,174 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::serve
+{
+
+Client::Client(const std::string &socketPath)
+{
+    common::parseExistingSocketPath("socket", socketPath);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    checkUser(fd_ >= 0, format("cannot create socket: %s",
+                               std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int error = errno;
+        ::close(fd_);
+        fd_ = -1;
+        fatal(format("cannot connect to %s: %s (is the daemon "
+                     "running?)",
+                     socketPath.c_str(), std::strerror(error)));
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Client::sendLine(const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    const char *data = framed.data();
+    std::size_t remaining = framed.size();
+    while (remaining > 0) {
+        const ssize_t wrote =
+            ::send(fd_, data, remaining, MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(format("daemon connection write failed: %s",
+                         std::strerror(errno)));
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
+}
+
+std::optional<std::string>
+Client::readLine()
+{
+    while (true) {
+        const std::size_t nl = pending_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = pending_.substr(0, nl);
+            pending_.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            return line;
+        }
+        char buffer[4096];
+        const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(format("daemon connection read failed: %s",
+                         std::strerror(errno)));
+        }
+        if (got == 0)
+            return std::nullopt;
+        pending_.append(buffer, static_cast<std::size_t>(got));
+    }
+}
+
+SubmitOutcome
+Client::submitAndWait(const SubmitRequest &request)
+{
+    sendLine(submitRequestToJson(request).dump());
+
+    SubmitOutcome outcome;
+    bool haveJob = false;
+    while (true) {
+        const auto line = readLine();
+        checkUser(line.has_value(),
+                  "daemon closed the connection mid-submit");
+        const Json event = Json::parse(*line);
+        const std::string kind = event.stringOr("event", "");
+        const std::uint64_t job = event.uintOr("job", 0);
+
+        // The first job-bearing event of this conversation pins the
+        // id; later events for other jobs on a shared connection are
+        // not ours.
+        if (!haveJob && job != 0 &&
+            (kind == "accepted" || kind == "rejected" ||
+             kind == "error")) {
+            outcome.jobId = job;
+            haveJob = true;
+        }
+        if (haveJob && job != outcome.jobId)
+            continue;
+
+        if (kind == "accepted") {
+            outcome.keyHex = event.stringOr("key", "");
+        } else if (kind == "started") {
+            continue;
+        } else if (kind == "result") {
+            outcome.terminal = kind;
+            outcome.cached = event.boolOr("cached", false);
+            outcome.coalesced = event.boolOr("coalesced", false);
+            const Json *result = event.find("result");
+            checkUser(result != nullptr,
+                      "malformed result event from daemon");
+            outcome.resultText = result->dump();
+            outcome.event = event;
+            return outcome;
+        } else if (kind == "rejected" || kind == "error") {
+            outcome.terminal = kind;
+            outcome.event = event;
+            return outcome;
+        }
+    }
+}
+
+Json
+Client::status()
+{
+    sendLine("{\"op\":\"status\"}");
+    while (true) {
+        const auto line = readLine();
+        checkUser(line.has_value(),
+                  "daemon closed the connection mid-status");
+        const Json event = Json::parse(*line);
+        if (event.stringOr("event", "") == "status")
+            return event;
+    }
+}
+
+bool
+Client::ping()
+{
+    sendLine("{\"op\":\"ping\"}");
+    const auto line = readLine();
+    if (!line)
+        return false;
+    return Json::parse(*line).stringOr("event", "") == "pong";
+}
+
+bool
+Client::shutdown()
+{
+    sendLine("{\"op\":\"shutdown\"}");
+    const auto line = readLine();
+    if (!line)
+        return false;
+    return Json::parse(*line).stringOr("event", "") ==
+           "shutting-down";
+}
+
+} // namespace perple::serve

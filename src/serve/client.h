@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Client side of the serve protocol: connect, frame lines, and the
+ * blocking request helpers the CLI and the tests share.
+ *
+ * A Client owns one connected Unix-domain socket. The low-level
+ * sendLine()/readLine() pair exposes the raw NDJSON framing; the
+ * helpers above them implement the common conversations:
+ *
+ *   submitAndWait()  send one submit op and read events until this
+ *                    job's terminal event (result / rejected / error)
+ *                    arrives, returning the full event trail.
+ *   status()         one status round-trip.
+ *   ping()           liveness probe.
+ *   shutdown()       ask the daemon to drain and stop.
+ *
+ * The helpers match events to the submitted job by its "job" id, so a
+ * client multiplexing submissions on one connection can still use
+ * them one at a time.
+ */
+
+#ifndef PERPLE_SERVE_CLIENT_H
+#define PERPLE_SERVE_CLIENT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace perple::serve
+{
+
+/** Everything a submit conversation produced. */
+struct SubmitOutcome
+{
+    /** The terminal event: "result", "rejected" or "error". */
+    std::string terminal;
+
+    /** Parsed terminal event message. */
+    Json event;
+
+    /** The daemon-assigned job id. */
+    std::uint64_t jobId = 0;
+
+    /** Cache-key hex from the accepted event (empty if rejected
+     *  before acceptance). */
+    std::string keyHex;
+
+    /** True when the result was served from cache (or coalesced). */
+    bool cached = false;
+
+    /** True when this submission attached to an in-flight twin. */
+    bool coalesced = false;
+
+    /** The raw result-object text (terminal == "result" only) —
+     *  byte-comparable across submissions for the cache tests. */
+    std::string resultText;
+
+    bool
+    ok() const
+    {
+        return terminal == "result";
+    }
+};
+
+/** One connected protocol client; see file comment. */
+class Client
+{
+  public:
+    /**
+     * Connect to the daemon at @p socketPath.
+     * @throws UserError when the socket is missing or refuses.
+     */
+    explicit Client(const std::string &socketPath);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one protocol line (the newline is appended here). */
+    void sendLine(const std::string &line);
+
+    /**
+     * Read the next protocol line (blocking). Empty optional on a
+     * clean peer close.
+     */
+    std::optional<std::string> readLine();
+
+    /** Submit @p request and block until its terminal event. */
+    SubmitOutcome submitAndWait(const SubmitRequest &request);
+
+    /** One status round-trip; returns the parsed status event. */
+    Json status();
+
+    /** Liveness probe; true on a pong. */
+    bool ping();
+
+    /** Ask the daemon to shut down; true when acknowledged. */
+    bool shutdown();
+
+  private:
+    int fd_ = -1;
+    std::string pending_;
+};
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_CLIENT_H

@@ -1,0 +1,886 @@
+#include "serve/daemon.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <condition_variable>
+#include <deque>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "perple/config_serialize.h"
+#include "perple/converter.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+#include "supervise/run.h"
+#include "trace/corpus.h"
+
+namespace perple::serve
+{
+
+namespace
+{
+
+/** Requests are litmus source (small) — anything bigger is abuse. */
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/**
+ * One tenant connection. The write side is mutex-serialized because
+ * worker threads and the connection's own reader thread both emit
+ * events; a failed write (tenant went away) closes the connection
+ * for writing and later events are dropped silently.
+ */
+struct Connection
+{
+    int fd = -1;
+    std::mutex writeMutex;
+    std::atomic<bool> writable{true};
+    std::thread thread;
+
+    void
+    sendLine(const std::string &line)
+    {
+        if (!writable.load(std::memory_order_relaxed))
+            return;
+        std::lock_guard<std::mutex> lock(writeMutex);
+        std::string framed = line;
+        framed += '\n';
+        const char *data = framed.data();
+        std::size_t remaining = framed.size();
+        while (remaining > 0) {
+            const ssize_t wrote =
+                ::send(fd, data, remaining, MSG_NOSIGNAL);
+            if (wrote < 0) {
+                if (errno == EINTR)
+                    continue;
+                writable.store(false, std::memory_order_relaxed);
+                return;
+            }
+            data += wrote;
+            remaining -= static_cast<std::size_t>(wrote);
+        }
+    }
+};
+
+/** A tenant waiting on someone else's identical in-flight job. */
+struct Waiter
+{
+    std::uint64_t jobId = 0;
+    std::shared_ptr<Connection> conn;
+};
+
+/** One admitted job queued for (or undergoing) execution. */
+struct Job
+{
+    std::uint64_t id = 0;
+    std::uint64_t key = 0;
+    litmus::Test test;
+    core::PerpetualTest perpetual;
+    std::vector<litmus::Outcome> outcomes;
+    std::vector<std::string> labels;
+    SubmitRequest request;
+    std::shared_ptr<Connection> conn;
+};
+
+/** True when @p env names this job id (fuzz-style fault gating). */
+bool
+envMatchesJob(const char *env, std::uint64_t jobId)
+{
+    const char *value = std::getenv(env);
+    return value != nullptr &&
+           std::strtoull(value, nullptr, 10) == jobId;
+}
+
+/** The stop-pipe write end of the daemon the signal handlers serve. */
+std::atomic<int> gSignalStopFd{-1};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    const int fd = gSignalStopFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t ignored =
+            ::write(fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+struct Daemon::Impl
+{
+    DaemonConfig config;
+    std::unique_ptr<ResultCache> cache;
+
+    int listenFd = -1;
+    int stopRead = -1;
+    int stopWrite = -1;
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> finished{false};
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+
+    std::mutex connMutex;
+    std::vector<std::shared_ptr<Connection>> connections;
+
+    /** Guards the queue, the in-flight map and the job-id counter. */
+    std::mutex jobMutex;
+    std::condition_variable jobCv;
+    std::deque<std::shared_ptr<Job>> queue;
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> inFlight;
+    std::uint64_t nextJobId = 1;
+
+    mutable std::mutex statsMutex;
+    DaemonStats counters;
+    std::atomic<std::uint64_t> executing{0};
+
+    /** Serializes corpus.json refreshes across workers. */
+    std::mutex manifestMutex;
+
+    ~Impl()
+    {
+        if (listenFd >= 0)
+            ::close(listenFd);
+        if (stopRead >= 0)
+            ::close(stopRead);
+        if (stopWrite >= 0)
+            ::close(stopWrite);
+    }
+
+    void
+    bump(std::uint64_t DaemonStats::*counter)
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        ++(counters.*counter);
+    }
+
+    // --- Listener ---------------------------------------------------
+
+    void
+    bindSocket()
+    {
+        common::parseSocketPathArg("--socket", config.socketPath);
+
+        // A pre-existing socket file is either a live daemon (refuse)
+        // or the debris of a dead one (reclaim).
+        if (std::filesystem::exists(config.socketPath)) {
+            const int probe =
+                ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            checkUser(probe >= 0, "cannot create probe socket");
+            sockaddr_un addr{};
+            addr.sun_family = AF_UNIX;
+            std::strncpy(addr.sun_path, config.socketPath.c_str(),
+                         sizeof(addr.sun_path) - 1);
+            const bool alive =
+                ::connect(probe,
+                          reinterpret_cast<const sockaddr *>(&addr),
+                          sizeof(addr)) == 0;
+            ::close(probe);
+            checkUser(!alive,
+                      format("a daemon is already listening on %s",
+                             config.socketPath.c_str()));
+            ::unlink(config.socketPath.c_str());
+        }
+
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        checkUser(listenFd >= 0,
+                  format("cannot create socket: %s",
+                         std::strerror(errno)));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, config.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        checkUser(::bind(listenFd,
+                         reinterpret_cast<const sockaddr *>(&addr),
+                         sizeof(addr)) == 0,
+                  format("cannot bind %s: %s",
+                         config.socketPath.c_str(),
+                         std::strerror(errno)));
+        checkUser(::listen(listenFd, 64) == 0,
+                  format("cannot listen on %s: %s",
+                         config.socketPath.c_str(),
+                         std::strerror(errno)));
+    }
+
+    void
+    acceptLoop()
+    {
+        while (true) {
+            pollfd fds[2];
+            fds[0] = {listenFd, POLLIN, 0};
+            fds[1] = {stopRead, POLLIN, 0};
+            const int ready = ::poll(fds, 2, -1);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (fds[1].revents != 0)
+                break; // shutdown requested; byte stays in the pipe
+            if ((fds[0].revents & POLLIN) == 0)
+                continue;
+            const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                     SOCK_CLOEXEC);
+            if (fd < 0)
+                continue;
+            auto conn = std::make_shared<Connection>();
+            conn->fd = fd;
+            {
+                std::lock_guard<std::mutex> lock(connMutex);
+                reapClosedConnectionsLocked();
+                connections.push_back(conn);
+            }
+            conn->thread = std::thread(
+                [this, conn] { connectionLoop(conn); });
+        }
+    }
+
+    /** Join connections whose reader already returned (tenant went
+     *  away); called with connMutex held. */
+    void
+    reapClosedConnectionsLocked()
+    {
+        auto it = connections.begin();
+        while (it != connections.end()) {
+            if ((*it)->fd < 0 && (*it)->thread.joinable()) {
+                (*it)->thread.join();
+                it = connections.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // --- Per-connection protocol loop -------------------------------
+
+    void
+    connectionLoop(const std::shared_ptr<Connection> &conn)
+    {
+        std::string pending;
+        char buffer[4096];
+        while (true) {
+            const ssize_t got =
+                ::recv(conn->fd, buffer, sizeof(buffer), 0);
+            if (got <= 0)
+                break;
+            pending.append(buffer, static_cast<std::size_t>(got));
+            if (pending.size() > kMaxLineBytes) {
+                conn->sendLine(errorEvent(0, "request too large"));
+                break;
+            }
+            std::size_t start = 0;
+            while (true) {
+                const std::size_t nl = pending.find('\n', start);
+                if (nl == std::string::npos)
+                    break;
+                const std::string line =
+                    pending.substr(start, nl - start);
+                start = nl + 1;
+                if (!line.empty())
+                    dispatch(conn, line);
+            }
+            pending.erase(0, start);
+        }
+        conn->writable.store(false, std::memory_order_relaxed);
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+
+    void
+    dispatch(const std::shared_ptr<Connection> &conn,
+             const std::string &line)
+    {
+        std::string op;
+        try {
+            const Json message = Json::parse(line);
+            op = message.stringOr("op", "");
+            if (op == "submit") {
+                handleSubmit(conn, message);
+            } else if (op == "status") {
+                conn->sendLine(statusLine());
+            } else if (op == "ping") {
+                conn->sendLine("{\"event\":\"pong\"}");
+            } else if (op == "shutdown") {
+                conn->sendLine("{\"event\":\"shutting-down\"}");
+                requestStopFromImpl();
+            } else {
+                conn->sendLine(errorEvent(
+                    0, format("unknown op '%s'", op.c_str())));
+            }
+        } catch (const Error &error) {
+            bump(&DaemonStats::errors);
+            conn->sendLine(errorEvent(0, error.what()));
+        }
+    }
+
+    void
+    requestStopFromImpl()
+    {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t ignored =
+            ::write(stopWrite, &byte, 1);
+    }
+
+    // --- Submission: admission, cache, coalescing -------------------
+
+    void
+    handleSubmit(const std::shared_ptr<Connection> &conn,
+                 const Json &message)
+    {
+        std::uint64_t jobId = 0;
+        {
+            std::lock_guard<std::mutex> lock(jobMutex);
+            jobId = nextJobId++;
+        }
+        bump(&DaemonStats::submitted);
+
+        auto job = std::make_shared<Job>();
+        job->id = jobId;
+        job->conn = conn;
+        try {
+            job->request = submitRequestFromJson(message);
+            job->test = litmus::loadTestSpec(job->request.test);
+            hardenConfig(job->request.config);
+            job->perpetual = core::convert(job->test);
+            if (job->request.outcomes.empty()) {
+                job->outcomes.push_back(job->test.target);
+                job->labels.emplace_back("target");
+            } else {
+                for (const std::string &text :
+                     job->request.outcomes) {
+                    job->outcomes.push_back(
+                        litmus::parseOutcome(job->test, text));
+                    job->labels.push_back(text);
+                }
+            }
+            job->key = cacheKey(job->test, job->request.iterations,
+                                job->request.outcomes,
+                                job->request.config);
+        } catch (const Error &error) {
+            bump(&DaemonStats::errors);
+            conn->sendLine(errorEvent(jobId, error.what()));
+            return;
+        }
+
+        // Admission control: the projected buf working set, with the
+        // same formula HarnessConfig::memBudgetBytes fail-fasts on.
+        if (config.memBudgetBytes > 0) {
+            std::uint64_t loads = 0;
+            for (const int perIteration :
+                 job->perpetual.loadsPerIteration)
+                loads += static_cast<std::uint64_t>(perIteration);
+            const std::uint64_t bufBytes =
+                static_cast<std::uint64_t>(job->request.iterations) *
+                loads * 8;
+            if (bufBytes > config.memBudgetBytes) {
+                bump(&DaemonStats::rejected);
+                conn->sendLine(rejectedEvent(
+                    jobId,
+                    format("projected buf working set %llu bytes "
+                           "exceeds the daemon budget of %llu",
+                           static_cast<unsigned long long>(bufBytes),
+                           static_cast<unsigned long long>(
+                               config.memBudgetBytes))));
+                return;
+            }
+        }
+
+        std::string immediate;
+        {
+            std::unique_lock<std::mutex> lock(jobMutex);
+            if (stopping.load(std::memory_order_relaxed)) {
+                lock.unlock();
+                bump(&DaemonStats::errors);
+                conn->sendLine(
+                    errorEvent(jobId, "daemon is shutting down"));
+                return;
+            }
+            if (!job->request.noCache) {
+                const auto cached = cache->lookup(job->key);
+                if (cached) {
+                    lock.unlock();
+                    bump(&DaemonStats::cacheHits);
+                    conn->sendLine(
+                        acceptedEvent(jobId, job->key, true));
+                    conn->sendLine(resultEvent(jobId, true, false,
+                                               *cached));
+                    return;
+                }
+                const auto flight = inFlight.find(job->key);
+                if (flight != inFlight.end()) {
+                    flight->second.push_back({jobId, conn});
+                    lock.unlock();
+                    bump(&DaemonStats::coalesced);
+                    conn->sendLine(
+                        acceptedEvent(jobId, job->key, false));
+                    return;
+                }
+            }
+            if (queue.size() >= config.maxQueueDepth) {
+                lock.unlock();
+                bump(&DaemonStats::rejected);
+                conn->sendLine(rejectedEvent(
+                    jobId, format("queue is full (%zu jobs)",
+                                  config.maxQueueDepth)));
+                return;
+            }
+            queue.push_back(job);
+            inFlight.emplace(job->key, std::vector<Waiter>());
+            immediate = acceptedEvent(jobId, job->key, false);
+        }
+        jobCv.notify_one();
+        conn->sendLine(immediate);
+    }
+
+    /** Clamp a job's budgets to the daemon's admission policy. */
+    void
+    hardenConfig(core::HarnessConfig &jobConfig) const
+    {
+        if (config.countTimeBudgetSeconds > 0 &&
+            (jobConfig.countTimeBudgetSeconds <= 0 ||
+             jobConfig.countTimeBudgetSeconds >
+                 config.countTimeBudgetSeconds))
+            jobConfig.countTimeBudgetSeconds =
+                config.countTimeBudgetSeconds;
+        if (config.memBudgetBytes > 0 &&
+            (jobConfig.memBudgetBytes == 0 ||
+             jobConfig.memBudgetBytes > config.memBudgetBytes))
+            jobConfig.memBudgetBytes = config.memBudgetBytes;
+    }
+
+    // --- Execution --------------------------------------------------
+
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(jobMutex);
+                jobCv.wait(lock, [this] {
+                    return stopping.load(
+                               std::memory_order_relaxed) ||
+                           !queue.empty();
+                });
+                if (queue.empty()) {
+                    if (stopping.load(std::memory_order_relaxed))
+                        return;
+                    continue;
+                }
+                job = queue.front();
+                queue.pop_front();
+            }
+            execute(*job);
+        }
+    }
+
+    void
+    execute(Job &job)
+    {
+        job.conn->sendLine(startedEvent(job.id));
+        executing.fetch_add(1, std::memory_order_relaxed);
+        bump(&DaemonStats::executed);
+
+        core::HarnessConfig harness = job.request.config;
+        harness.analysisThreads = job.request.analysisThreads;
+        const bool capture =
+            !config.corpusDir.empty() && job.request.capture;
+        if (capture)
+            harness.capturePath =
+                config.corpusDir + "/job-" +
+                common::hashToHex(job.key) + ".plt";
+
+        supervise::SupervisorConfig supervisor;
+        supervisor.timeoutSeconds = config.jobTimeoutSeconds;
+        supervisor.graceSeconds = config.graceSeconds;
+        supervisor.retries = config.retries;
+
+        // Fault injection: per-request hook, or the fuzz-style env
+        // gate matched against the job id (the CI smoke's lever).
+        std::function<void()> injector;
+        const std::uint64_t jobId = job.id;
+        if (job.request.inject == "hang" ||
+            envMatchesJob("PERPLE_FUZZ_INJECT_HANG", jobId))
+            injector = [] {
+                for (;;)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+            };
+        else if (job.request.inject == "crash" ||
+                 envMatchesJob("PERPLE_FUZZ_INJECT_CRASH", jobId))
+            injector = [] { std::raise(SIGSEGV); };
+
+        std::string resultText;
+        bool ok = false;
+        try {
+            const supervise::SupervisedHarnessResult run =
+                supervise::runPerpetualSupervised(
+                    job.perpetual, job.request.iterations,
+                    job.outcomes, harness, supervisor, injector);
+            ok = run.child.ok();
+            resultText = resultToJson(job.test, job.request, job.key,
+                                      run, job.labels)
+                             .dump();
+            {
+                std::lock_guard<std::mutex> lock(statsMutex);
+                switch (run.child.status) {
+                case supervise::ChildStatus::Ok:
+                    ++counters.completedOk;
+                    break;
+                case supervise::ChildStatus::Timeout:
+                    ++counters.timeouts;
+                    break;
+                case supervise::ChildStatus::Crash:
+                    ++counters.crashes;
+                    break;
+                case supervise::ChildStatus::Oom:
+                    ++counters.ooms;
+                    break;
+                case supervise::ChildStatus::Lost:
+                    ++counters.lost;
+                    break;
+                }
+            }
+        } catch (const Error &error) {
+            // A parent-side failure (e.g. the in-harness memBudget
+            // fail-fast racing admission) is an error result, not a
+            // daemon crash.
+            executing.fetch_sub(1, std::memory_order_relaxed);
+            failJob(job, error.what());
+            return;
+        }
+
+        if (ok)
+            cache->store(job.key, resultText);
+        if (capture &&
+            std::filesystem::exists(
+                config.corpusDir + "/job-" +
+                common::hashToHex(job.key) + ".plt")) {
+            bump(&DaemonStats::captures);
+            refreshManifest();
+        }
+
+        std::vector<Waiter> waiters;
+        {
+            std::lock_guard<std::mutex> lock(jobMutex);
+            const auto flight = inFlight.find(job.key);
+            if (flight != inFlight.end()) {
+                waiters = std::move(flight->second);
+                inFlight.erase(flight);
+            }
+        }
+        executing.fetch_sub(1, std::memory_order_relaxed);
+        job.conn->sendLine(
+            resultEvent(job.id, false, false, resultText));
+        for (const Waiter &waiter : waiters)
+            waiter.conn->sendLine(resultEvent(waiter.jobId, true,
+                                              true, resultText));
+    }
+
+    /** Fail @p job and everyone coalesced onto it. */
+    void
+    failJob(Job &job, const std::string &reason)
+    {
+        std::vector<Waiter> waiters;
+        {
+            std::lock_guard<std::mutex> lock(jobMutex);
+            const auto flight = inFlight.find(job.key);
+            if (flight != inFlight.end()) {
+                waiters = std::move(flight->second);
+                inFlight.erase(flight);
+            }
+        }
+        bump(&DaemonStats::errors);
+        job.conn->sendLine(errorEvent(job.id, reason));
+        for (const Waiter &waiter : waiters)
+            waiter.conn->sendLine(errorEvent(waiter.jobId, reason));
+    }
+
+    void
+    refreshManifest()
+    {
+        std::lock_guard<std::mutex> lock(manifestMutex);
+        try {
+            const trace::CorpusReport report = trace::scanCorpus(
+                trace::discoverCorpus(config.corpusDir),
+                {.jobs = 1});
+            trace::writeCorpusManifest(
+                config.corpusDir + "/corpus.json", report);
+        } catch (const Error &error) {
+            std::fprintf(stderr,
+                         "perple_serve: corpus manifest failed: %s\n",
+                         error.what());
+        }
+    }
+
+    // --- Status -----------------------------------------------------
+
+    std::string
+    statusLine() const
+    {
+        DaemonStats snapshot;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex);
+            snapshot = counters;
+        }
+        {
+            std::lock_guard<std::mutex> lock(
+                const_cast<std::mutex &>(jobMutex));
+            snapshot.queued = queue.size();
+        }
+        snapshot.inFlight =
+            executing.load(std::memory_order_relaxed);
+        snapshot.cacheEntries = cache ? cache->size() : 0;
+
+        Json stats = Json::object();
+        stats.set("submitted",
+                  Json::numberUnsigned(snapshot.submitted));
+        stats.set("rejected",
+                  Json::numberUnsigned(snapshot.rejected));
+        stats.set("errors", Json::numberUnsigned(snapshot.errors));
+        stats.set("cache_hits",
+                  Json::numberUnsigned(snapshot.cacheHits));
+        stats.set("coalesced",
+                  Json::numberUnsigned(snapshot.coalesced));
+        stats.set("executed",
+                  Json::numberUnsigned(snapshot.executed));
+        stats.set("completed_ok",
+                  Json::numberUnsigned(snapshot.completedOk));
+        stats.set("timeouts",
+                  Json::numberUnsigned(snapshot.timeouts));
+        stats.set("crashes",
+                  Json::numberUnsigned(snapshot.crashes));
+        stats.set("ooms", Json::numberUnsigned(snapshot.ooms));
+        stats.set("lost", Json::numberUnsigned(snapshot.lost));
+        stats.set("captures",
+                  Json::numberUnsigned(snapshot.captures));
+        stats.set("queued", Json::numberUnsigned(snapshot.queued));
+        stats.set("in_flight",
+                  Json::numberUnsigned(snapshot.inFlight));
+        stats.set("cache_entries",
+                  Json::numberUnsigned(snapshot.cacheEntries));
+
+        Json message = Json::object();
+        message.set("event", Json::string("status"));
+        message.set("workers",
+                    Json::numberUnsigned(config.workers));
+        message.set("socket", Json::string(config.socketPath));
+        message.set("stats", std::move(stats));
+        return message.dump();
+    }
+
+    // --- Shutdown drain ---------------------------------------------
+
+    void
+    drainAndJoin()
+    {
+        stopping.store(true, std::memory_order_relaxed);
+
+        // Stop accepting: the accept loop wakes on the stop pipe.
+        if (acceptThread.joinable())
+            acceptThread.join();
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+        ::unlink(config.socketPath.c_str());
+
+        // Fail every queued-but-not-started job (and its coalesced
+        // waiters); in-flight jobs are left to finish under their
+        // own watchdog.
+        std::deque<std::shared_ptr<Job>> drained;
+        std::vector<Waiter> orphanedWaiters;
+        {
+            std::lock_guard<std::mutex> lock(jobMutex);
+            drained = std::move(queue);
+            queue.clear();
+            for (const auto &job : drained) {
+                const auto flight = inFlight.find(job->key);
+                if (flight != inFlight.end()) {
+                    for (Waiter &waiter : flight->second)
+                        orphanedWaiters.push_back(
+                            std::move(waiter));
+                    inFlight.erase(flight);
+                }
+            }
+        }
+        jobCv.notify_all();
+        for (const auto &job : drained) {
+            bump(&DaemonStats::errors);
+            job->conn->sendLine(errorEvent(
+                job->id, "daemon shut down before the job ran"));
+        }
+        for (const Waiter &waiter : orphanedWaiters)
+            waiter.conn->sendLine(errorEvent(
+                waiter.jobId,
+                "daemon shut down before the job ran"));
+
+        // Drain in-flight jobs: every worker child exits or is
+        // escalated by its watchdog, and runSupervised reaps it
+        // either way — no orphans.
+        for (std::thread &worker : workers)
+            if (worker.joinable())
+                worker.join();
+        workers.clear();
+
+        if (cache)
+            cache->sync();
+
+        // Unblock and join the tenant readers last, so every event
+        // emitted by the drain above still reached its connection.
+        {
+            std::lock_guard<std::mutex> lock(connMutex);
+            for (const auto &conn : connections) {
+                conn->writable.store(false,
+                                     std::memory_order_relaxed);
+                if (conn->fd >= 0)
+                    ::shutdown(conn->fd, SHUT_RDWR);
+            }
+        }
+        std::vector<std::shared_ptr<Connection>> remaining;
+        {
+            std::lock_guard<std::mutex> lock(connMutex);
+            remaining = std::move(connections);
+            connections.clear();
+        }
+        for (const auto &conn : remaining)
+            if (conn->thread.joinable())
+                conn->thread.join();
+    }
+};
+
+Daemon::Daemon(DaemonConfig config) : impl_(new Impl)
+{
+    impl_->config = std::move(config);
+    int fds[2] = {-1, -1};
+    checkUser(::pipe2(fds, O_CLOEXEC) == 0,
+              "cannot create the stop pipe");
+    impl_->stopRead = fds[0];
+    impl_->stopWrite = fds[1];
+}
+
+Daemon::~Daemon()
+{
+    if (impl_->started.load() && !impl_->finished.load()) {
+        requestStop();
+        wait();
+    }
+    if (gSignalStopFd.load() == impl_->stopWrite)
+        installSignalHandlers(nullptr);
+}
+
+void
+Daemon::start()
+{
+    checkUser(!impl_->started.load(), "daemon already started");
+    common::ensureWritableDir("--state", impl_->config.stateDir);
+    impl_->cache =
+        std::make_unique<ResultCache>(impl_->config.stateDir);
+    if (!impl_->config.corpusDir.empty())
+        common::ensureWritableDir("--corpus",
+                                  impl_->config.corpusDir);
+    if (impl_->config.workers == 0)
+        impl_->config.workers = 1;
+    impl_->bindSocket();
+    impl_->started.store(true);
+    for (std::size_t i = 0; i < impl_->config.workers; ++i)
+        impl_->workers.emplace_back(
+            [impl = impl_.get()] { impl->workerLoop(); });
+    impl_->acceptThread =
+        std::thread([impl = impl_.get()] { impl->acceptLoop(); });
+}
+
+void
+Daemon::requestStop()
+{
+    impl_->requestStopFromImpl();
+}
+
+void
+Daemon::wait()
+{
+    checkUser(impl_->started.load(), "daemon not started");
+    if (impl_->finished.load())
+        return;
+    while (true) {
+        pollfd fd = {impl_->stopRead, POLLIN, 0};
+        const int ready = ::poll(&fd, 1, -1);
+        if (ready > 0 && fd.revents != 0)
+            break;
+        if (ready < 0 && errno != EINTR)
+            break;
+    }
+    impl_->drainAndJoin();
+    impl_->finished.store(true);
+}
+
+bool
+Daemon::running() const
+{
+    return impl_->started.load() && !impl_->finished.load();
+}
+
+DaemonStats
+Daemon::stats() const
+{
+    DaemonStats snapshot;
+    {
+        std::lock_guard<std::mutex> lock(impl_->statsMutex);
+        snapshot = impl_->counters;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->jobMutex);
+        snapshot.queued = impl_->queue.size();
+    }
+    snapshot.inFlight =
+        impl_->executing.load(std::memory_order_relaxed);
+    snapshot.cacheEntries =
+        impl_->cache ? impl_->cache->size() : 0;
+    return snapshot;
+}
+
+const DaemonConfig &
+Daemon::config() const
+{
+    return impl_->config;
+}
+
+void
+Daemon::installSignalHandlers(Daemon *daemon)
+{
+    if (daemon == nullptr) {
+        gSignalStopFd.store(-1);
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGINT, SIG_DFL);
+        return;
+    }
+    gSignalStopFd.store(daemon->impl_->stopWrite);
+    struct sigaction action
+    {};
+    action.sa_handler = serveSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+}
+
+} // namespace perple::serve

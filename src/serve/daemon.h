@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The perple_serve campaign daemon: a long-running multi-tenant
+ * testing service.
+ *
+ * The daemon listens on a local Unix-domain socket speaking the
+ * newline-delimited JSON protocol of protocol.h. Each accepted
+ * connection is one tenant; tenants submit campaign jobs (a litmus
+ * test or generated suite member + seed + semantic HarnessConfig) and
+ * receive a stream of per-job events. Jobs flow through:
+ *
+ *   admission      the test must parse/validate/convert; the
+ *                  projected buf working set (N × Σ r_t × 8 — the
+ *                  same formula HarnessConfig::memBudgetBytes
+ *                  enforces) must fit the daemon's memory budget; the
+ *                  queue must have room. Rejections are immediate
+ *                  "rejected" events — nothing is ever silently
+ *                  dropped.
+ *   cache lookup   protocol::cacheKey addresses the persistent
+ *                  ResultCache; a hit answers with the stored
+ *                  byte-identical result, no worker is forked.
+ *   coalescing     a submission whose key is already executing
+ *                  attaches to the in-flight job instead of running
+ *                  twice; waiters receive the same result flagged
+ *                  cached+coalesced.
+ *   execution      a bounded pool of scheduler threads runs each job
+ *                  via supervise::runPerpetualSupervised — the fork
+ *                  sandbox with watchdog, rlimits and crash/timeout/
+ *                  OOM classification — so one hostile job can never
+ *                  take the daemon down. Ok results are stored in the
+ *                  cache; faults are classified and surfaced, never
+ *                  cached.
+ *   capture        with a corpus dir configured, each executed job's
+ *                  run lands as a `.plt` capture and the dir's
+ *                  corpus.json manifest is refreshed through the
+ *                  trace-corpus machinery, so the daemon's output is
+ *                  immediately a queryable corpus.
+ *
+ * Shutdown (SIGTERM/SIGINT via installSignalHandlers, the "shutdown"
+ * op, or requestStop()) drains: the listener closes, queued jobs are
+ * failed back to their tenants, in-flight jobs run to completion
+ * bounded by the per-job watchdog (SIGTERM → grace → SIGKILL), the
+ * cache index is fsynced, and every worker child is reaped — no
+ * orphan processes survive the daemon.
+ */
+
+#ifndef PERPLE_SERVE_DAEMON_H
+#define PERPLE_SERVE_DAEMON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace perple::serve
+{
+
+/** Daemon configuration. */
+struct DaemonConfig
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+
+    /** State directory (cache index lives here). */
+    std::string stateDir;
+
+    /**
+     * When non-empty, capture each executed job as
+     * `<corpusDir>/job-<keyhex>.plt` and maintain the dir's
+     * corpus.json manifest. Empty = no capture.
+     */
+    std::string corpusDir;
+
+    /** Scheduler worker threads (concurrent supervised jobs). */
+    std::size_t workers = 2;
+
+    /** Admission control: maximum queued (not yet running) jobs. */
+    std::size_t maxQueueDepth = 64;
+
+    /**
+     * Admission control: reject jobs whose projected buf working set
+     * (N × Σ r_t × 8) exceeds this; also applied inside the harness
+     * as HarnessConfig::memBudgetBytes. 0 = unlimited.
+     */
+    std::uint64_t memBudgetBytes = 0;
+
+    /**
+     * Clamp every job's HarnessConfig::countTimeBudgetSeconds to at
+     * most this (jobs with no budget get exactly this), so a single
+     * O(N^3) exhaustive blowup degrades to COUNTH instead of
+     * monopolizing a worker. 0 = no clamp.
+     */
+    double countTimeBudgetSeconds = 0;
+
+    /** Per-job wall-clock watchdog, seconds (0 = none). */
+    double jobTimeoutSeconds = 30;
+
+    /** SIGTERM-to-SIGKILL escalation grace, seconds. */
+    double graceSeconds = 0.5;
+
+    /** Supervised retries per job after a fault. */
+    int retries = 0;
+};
+
+/** Monotonic daemon counters (status op / tests / CI assertions). */
+struct DaemonStats
+{
+    std::uint64_t submitted = 0;   ///< submit ops parsed.
+    std::uint64_t rejected = 0;    ///< failed admission control.
+    std::uint64_t errors = 0;      ///< invalid test/outcome/shutdown.
+    std::uint64_t cacheHits = 0;   ///< served from the cache.
+    std::uint64_t coalesced = 0;   ///< attached to an in-flight job.
+    std::uint64_t executed = 0;    ///< worker children forked.
+    std::uint64_t completedOk = 0; ///< executions classified Ok.
+    std::uint64_t timeouts = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t ooms = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t captures = 0;    ///< .plt files landed.
+    std::uint64_t queued = 0;      ///< currently waiting (gauge).
+    std::uint64_t inFlight = 0;    ///< currently executing (gauge).
+    std::uint64_t cacheEntries = 0; ///< resident cache size (gauge).
+};
+
+/** The daemon; see file comment. One instance per process is typical
+ *  but nothing here is global except the signal-handler hook. */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+
+    /** Stops and joins everything if still running. */
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind the socket, load the cache index and start the accept
+     * loop and worker pool. @throws UserError when the socket is
+     * unusable or another daemon already listens on it.
+     */
+    void start();
+
+    /**
+     * Request shutdown. Async-signal-safe (one write to a pipe); the
+     * actual drain runs on the thread that called (or will call)
+     * wait().
+     */
+    void requestStop();
+
+    /**
+     * Block until shutdown is requested, then drain: stop accepting,
+     * fail queued jobs, finish in-flight jobs (bounded by the job
+     * watchdog), fsync the cache and join every thread.
+     */
+    void wait();
+
+    /** start() has run and wait() has not finished. */
+    bool running() const;
+
+    /** Snapshot of the counters. */
+    DaemonStats stats() const;
+
+    const DaemonConfig &config() const;
+
+    /**
+     * Route SIGTERM/SIGINT to @p daemon->requestStop() (nullptr
+     * restores SIG_DFL). The handler is one async-signal-safe pipe
+     * write; graceful-drain logic stays out of signal context.
+     */
+    static void installSignalHandlers(Daemon *daemon);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_DAEMON_H

@@ -1,0 +1,521 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace perple::serve
+{
+
+namespace
+{
+
+/** Recursive-descent parser over one in-memory message line. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        skipSpace();
+        Json value = parseValue(0);
+        skipSpace();
+        checkUser(pos_ == text_.size(),
+                  format("json: trailing garbage at offset %zu",
+                         pos_));
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    bad(const char *what)
+    {
+        fatal(format("json: %s at offset %zu", what, pos_));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            bad("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            bad("unexpected character");
+        ++pos_;
+    }
+
+    Json
+    parseValue(int depth)
+    {
+        // Protocol messages are ~3 levels deep; a bound this generous
+        // only exists to turn malicious nesting into an error instead
+        // of a stack overflow.
+        if (depth > 64)
+            bad("nesting too deep");
+        switch (peek()) {
+        case '{': return parseObject(depth);
+        case '[': return parseArray(depth);
+        case '"': return Json::string(parseString());
+        case 't':
+            parseLiteral("true");
+            return Json::boolean(true);
+        case 'f':
+            parseLiteral("false");
+            return Json::boolean(false);
+        case 'n':
+            parseLiteral("null");
+            return Json::null();
+        default: return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *literal)
+    {
+        for (const char *c = literal; *c != '\0'; ++c)
+            expect(*c);
+    }
+
+    Json
+    parseObject(int depth)
+    {
+        expect('{');
+        Json object = Json::object();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return object;
+        }
+        while (true) {
+            skipSpace();
+            const std::string key = parseString();
+            skipSpace();
+            expect(':');
+            skipSpace();
+            object.set(key, parseValue(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return object;
+        }
+    }
+
+    Json
+    parseArray(int depth)
+    {
+        expect('[');
+        Json array = Json::array();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return array;
+        }
+        while (true) {
+            skipSpace();
+            array.push(parseValue(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return array;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                bad("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                bad("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                bad("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    bad("truncated \\u escape");
+                unsigned value = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_ + static_cast<size_t>(i)];
+                    if (!std::isxdigit(
+                            static_cast<unsigned char>(h)))
+                        bad("malformed \\u escape");
+                    value = value * 16 +
+                            static_cast<unsigned>(
+                                h <= '9'   ? h - '0'
+                                : h <= 'F' ? h - 'A' + 10
+                                           : h - 'a' + 10);
+                }
+                if (value < 0x80) {
+                    out += static_cast<char>(value);
+                } else {
+                    // Non-ASCII: keep the literal escape text (see
+                    // file comment).
+                    out += "\\u";
+                    out.append(text_, pos_, 4);
+                }
+                pos_ += 4;
+                break;
+            }
+            default: bad("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            bad("malformed number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                bad("malformed fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                bad("malformed exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        return Json::numberRaw(text_.substr(start, pos_ - start));
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    friend class ::perple::serve::Json;
+};
+
+} // namespace
+
+Json
+Json::null()
+{
+    return Json();
+}
+
+Json
+Json::boolean(bool value)
+{
+    Json json;
+    json.kind_ = Kind::Bool;
+    json.bool_ = value;
+    return json;
+}
+
+Json
+Json::number(std::int64_t value)
+{
+    Json json;
+    json.kind_ = Kind::Number;
+    json.text_ = format("%lld", static_cast<long long>(value));
+    return json;
+}
+
+Json
+Json::numberUnsigned(std::uint64_t value)
+{
+    Json json;
+    json.kind_ = Kind::Number;
+    json.text_ = format("%llu",
+                        static_cast<unsigned long long>(value));
+    return json;
+}
+
+Json
+Json::numberDouble(double value)
+{
+    Json json;
+    json.kind_ = Kind::Number;
+    json.text_ = format("%.17g", value);
+    return json;
+}
+
+Json
+Json::numberRaw(std::string token)
+{
+    Json json;
+    json.kind_ = Kind::Number;
+    json.text_ = std::move(token);
+    return json;
+}
+
+Json
+Json::string(const std::string &value)
+{
+    Json json;
+    json.kind_ = Kind::String;
+    json.text_ = value;
+    return json;
+}
+
+Json
+Json::array()
+{
+    Json json;
+    json.kind_ = Kind::Array;
+    return json;
+}
+
+Json
+Json::object()
+{
+    Json json;
+    json.kind_ = Kind::Object;
+    return json;
+}
+
+bool
+Json::asBool() const
+{
+    checkUser(kind_ == Kind::Bool, "json: expected a boolean");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt64() const
+{
+    checkUser(kind_ == Kind::Number, "json: expected a number");
+    try {
+        std::size_t used = 0;
+        const long long value = std::stoll(text_, &used);
+        checkUser(used == text_.size(),
+                  "json: number is not an integer");
+        return value;
+    } catch (const std::logic_error &) {
+        fatal(format("json: '%s' is not a 64-bit integer",
+                     text_.c_str()));
+    }
+}
+
+std::uint64_t
+Json::asUint64() const
+{
+    checkUser(kind_ == Kind::Number, "json: expected a number");
+    checkUser(!text_.empty() && text_[0] != '-',
+              "json: expected a non-negative integer");
+    try {
+        std::size_t used = 0;
+        const unsigned long long value = std::stoull(text_, &used);
+        checkUser(used == text_.size(),
+                  "json: number is not an integer");
+        return value;
+    } catch (const std::logic_error &) {
+        fatal(format("json: '%s' is not an unsigned 64-bit integer",
+                     text_.c_str()));
+    }
+}
+
+double
+Json::asDouble() const
+{
+    checkUser(kind_ == Kind::Number, "json: expected a number");
+    return std::strtod(text_.c_str(), nullptr);
+}
+
+const std::string &
+Json::asString() const
+{
+    checkUser(kind_ == Kind::String, "json: expected a string");
+    return text_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    checkUser(kind_ == Kind::Array, "json: expected an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    checkUser(kind_ == Kind::Object, "json: expected an object");
+    return members_;
+}
+
+void
+Json::push(Json value)
+{
+    checkUser(kind_ == Kind::Array, "json: push on a non-array");
+    items_.push_back(std::move(value));
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    checkUser(kind_ == Kind::Object, "json: set on a non-object");
+    members_.emplace_back(key, std::move(value));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    checkUser(kind_ == Kind::Object, "json: find on a non-object");
+    for (const auto &member : members_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+bool
+Json::boolOr(const std::string &key, bool fallback) const
+{
+    const Json *value = find(key);
+    return value != nullptr ? value->asBool() : fallback;
+}
+
+std::int64_t
+Json::intOr(const std::string &key, std::int64_t fallback) const
+{
+    const Json *value = find(key);
+    return value != nullptr ? value->asInt64() : fallback;
+}
+
+std::uint64_t
+Json::uintOr(const std::string &key, std::uint64_t fallback) const
+{
+    const Json *value = find(key);
+    return value != nullptr ? value->asUint64() : fallback;
+}
+
+double
+Json::doubleOr(const std::string &key, double fallback) const
+{
+    const Json *value = find(key);
+    return value != nullptr ? value->asDouble() : fallback;
+}
+
+std::string
+Json::stringOr(const std::string &key,
+               const std::string &fallback) const
+{
+    const Json *value = find(key);
+    return value != nullptr ? value->asString() : fallback;
+}
+
+std::string
+Json::dump() const
+{
+    switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: return text_;
+    case Kind::String: return "\"" + jsonEscape(text_) + "\"";
+    case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += items_[i].dump();
+        }
+        return out + "]";
+    }
+    case Kind::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += "\"" + jsonEscape(members_[i].first) +
+                   "\":" + members_[i].second.dump();
+        }
+        return out + "}";
+    }
+    }
+    return "null";
+}
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parseDocument();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace perple::serve

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Minimal JSON for the serve wire protocol.
+ *
+ * The daemon speaks newline-delimited JSON over a local socket. Both
+ * ends of that protocol live in this repository, so this is not a
+ * general-purpose JSON library: it parses the standard grammar
+ * strictly (objects, arrays, strings with escapes, numbers, booleans,
+ * null — rejecting trailing garbage), but keeps two deliberate
+ * simplifications:
+ *
+ *  - Numbers are kept as their raw token text and converted on
+ *    access. Cache keys and seeds are full-range 64-bit integers;
+ *    round-tripping them through a double would corrupt values above
+ *    2^53, so asUint64()/asInt64() parse the original digits.
+ *  - Objects preserve insertion order (a vector of pairs, not a map),
+ *    so a re-serialized message is byte-identical to how it was
+ *    built. The cache relies on that: a stored result line re-served
+ *    to a later client is the same bytes that the first client saw.
+ *
+ * \\uXXXX escapes outside ASCII are passed through as their literal
+ * escape text rather than decoded to UTF-8 — protocol strings are
+ * litmus source and diagnostic text, both ASCII.
+ */
+
+#ifndef PERPLE_SERVE_JSON_H
+#define PERPLE_SERVE_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perple::serve
+{
+
+/** One JSON value; a tree of these is one protocol message. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+
+    /** Typed constructors. */
+    static Json null();
+    static Json boolean(bool value);
+    static Json number(std::int64_t value);
+    static Json numberUnsigned(std::uint64_t value);
+    static Json numberDouble(double value);
+
+    /** Number from an already-validated raw token (parser use). */
+    static Json numberRaw(std::string token);
+    static Json string(const std::string &value);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; each throws UserError on a kind mismatch. */
+    bool asBool() const;
+    std::int64_t asInt64() const;
+    std::uint64_t asUint64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const std::vector<Json> &items() const;
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Array append (this must be an array). */
+    void push(Json value);
+
+    /** Object append; keys are expected unique (this must be an
+     *  object). */
+    void set(const std::string &key, Json value);
+
+    /** Member lookup; nullptr when absent (this must be an object). */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * Convenience typed member access with a default for an absent
+     * key; throws UserError when the key is present with the wrong
+     * type.
+     */
+    bool boolOr(const std::string &key, bool fallback) const;
+    std::int64_t intOr(const std::string &key,
+                       std::int64_t fallback) const;
+    std::uint64_t uintOr(const std::string &key,
+                         std::uint64_t fallback) const;
+    double doubleOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    /** Compact single-line rendering (the NDJSON wire form). */
+    std::string dump() const;
+
+    /**
+     * Strict parse of exactly one JSON value spanning all of @p text
+     * (surrounding whitespace allowed). @throws UserError naming the
+     * offset on malformed input.
+     */
+    static Json parse(const std::string &text);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+
+    /** Raw number token (Kind::Number) or string value. */
+    std::string text_;
+
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/** Escape @p text as the inside of a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_JSON_H

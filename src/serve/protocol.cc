@@ -1,0 +1,222 @@
+#include "serve/protocol.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "litmus/writer.h"
+#include "perple/config_serialize.h"
+#include "supervise/supervise.h"
+
+namespace perple::serve
+{
+
+namespace
+{
+
+/** Field-separator byte of the cache-key material (cannot occur in
+ *  the canonical text encodings it separates). */
+constexpr char kKeySeparator = '\x1f';
+
+void
+foldField(std::uint64_t &state, const std::string &field)
+{
+    state = common::fnv1a64(state, field.data(), field.size());
+    state = common::fnv1a64(state, &kKeySeparator, 1);
+}
+
+} // namespace
+
+Json
+submitRequestToJson(const SubmitRequest &request)
+{
+    Json message = Json::object();
+    message.set("op", Json::string("submit"));
+    message.set("test", Json::string(request.test));
+    message.set("iterations", Json::number(request.iterations));
+    const std::string config =
+        core::serializeConfig(request.config);
+    if (config != core::serializeConfig(core::HarnessConfig()))
+        message.set("config", Json::string(config));
+    if (!request.outcomes.empty()) {
+        Json outcomes = Json::array();
+        for (const std::string &outcome : request.outcomes)
+            outcomes.push(Json::string(outcome));
+        message.set("outcomes", std::move(outcomes));
+    }
+    if (request.analysisThreads != 1)
+        message.set("jobs", Json::numberUnsigned(
+                                request.analysisThreads));
+    if (!request.capture)
+        message.set("capture", Json::boolean(false));
+    if (request.noCache)
+        message.set("no_cache", Json::boolean(true));
+    if (!request.inject.empty())
+        message.set("inject", Json::string(request.inject));
+    return message;
+}
+
+SubmitRequest
+submitRequestFromJson(const Json &message)
+{
+    SubmitRequest request;
+    bool sawTest = false;
+    for (const auto &[key, value] : message.members()) {
+        if (key == "op") {
+            checkUser(value.asString() == "submit",
+                      "submit: wrong op");
+        } else if (key == "test") {
+            request.test = value.asString();
+            sawTest = true;
+        } else if (key == "iterations") {
+            request.iterations = value.asInt64();
+            checkUser(request.iterations > 0,
+                      "submit: iterations must be positive");
+        } else if (key == "config") {
+            request.config = core::parseConfig(value.asString());
+        } else if (key == "outcomes") {
+            for (const Json &outcome : value.items())
+                request.outcomes.push_back(outcome.asString());
+        } else if (key == "jobs") {
+            const std::uint64_t jobs = value.asUint64();
+            checkUser(jobs <= 4096, "submit: jobs out of range");
+            request.analysisThreads =
+                static_cast<std::size_t>(jobs);
+        } else if (key == "capture") {
+            request.capture = value.asBool();
+        } else if (key == "no_cache") {
+            request.noCache = value.asBool();
+        } else if (key == "inject") {
+            request.inject = value.asString();
+            checkUser(request.inject == "hang" ||
+                          request.inject == "crash",
+                      "submit: inject must be 'hang' or 'crash'");
+        } else {
+            fatal(format("submit: unknown field '%s'", key.c_str()));
+        }
+    }
+    checkUser(sawTest && !request.test.empty(),
+              "submit: missing test");
+    return request;
+}
+
+std::uint64_t
+cacheKey(const litmus::Test &test, std::int64_t iterations,
+         const std::vector<std::string> &outcomes,
+         const core::HarnessConfig &config)
+{
+    std::uint64_t state = common::kFnv1a64Offset;
+    foldField(state, litmus::writeTest(test));
+    foldField(state,
+              format("%lld", static_cast<long long>(iterations)));
+    for (const std::string &outcome : outcomes)
+        foldField(state, outcome);
+    foldField(state, core::serializeConfig(config));
+    return state;
+}
+
+Json
+resultToJson(const litmus::Test &test, const SubmitRequest &request,
+             std::uint64_t key,
+             const supervise::SupervisedHarnessResult &run,
+             const std::vector<std::string> &labels)
+{
+    Json result = Json::object();
+    result.set("key", Json::string(common::hashToHex(key)));
+    result.set("test", Json::string(test.name));
+    result.set("backend",
+               Json::string(core::backendName(
+                   request.config.backend)));
+    result.set("seed", Json::numberUnsigned(request.config.seed));
+    result.set("iterations", Json::number(request.iterations));
+    result.set("status",
+               Json::string(supervise::childStatusName(
+                   run.child.status)));
+    if (!run.child.ok())
+        result.set("classification",
+                   Json::string(run.child.describe()));
+    result.set("salvaged", Json::boolean(run.salvaged));
+    result.set("completed_iterations",
+               Json::number(run.completedIterations));
+    Json outcomes = Json::array();
+    for (const std::string &label : labels)
+        outcomes.push(Json::string(label));
+    result.set("outcomes", std::move(outcomes));
+    if (run.analysis) {
+        const core::HarnessResult &analysis = *run.analysis;
+        if (analysis.exhaustive) {
+            Json counts = Json::array();
+            for (const std::uint64_t count : *analysis.exhaustive)
+                counts.push(Json::numberUnsigned(count));
+            result.set("exhaustive", std::move(counts));
+            result.set("exhaustive_iterations",
+                       Json::number(analysis.exhaustiveIterations));
+        }
+        if (analysis.heuristic) {
+            Json counts = Json::array();
+            for (const std::uint64_t count : *analysis.heuristic)
+                counts.push(Json::numberUnsigned(count));
+            result.set("heuristic", std::move(counts));
+        }
+        if (analysis.exhaustiveDowngraded) {
+            result.set("downgraded", Json::boolean(true));
+            result.set("downgrade_reason",
+                       Json::string(analysis.downgradeReason));
+        }
+    }
+    return result;
+}
+
+std::string
+acceptedEvent(std::uint64_t job, std::uint64_t key, bool cached)
+{
+    return format("{\"event\":\"accepted\",\"job\":%llu,"
+                  "\"key\":\"%s\",\"cached\":%s}",
+                  static_cast<unsigned long long>(job),
+                  common::hashToHex(key).c_str(),
+                  cached ? "true" : "false");
+}
+
+std::string
+rejectedEvent(std::uint64_t job, const std::string &reason)
+{
+    return format("{\"event\":\"rejected\",\"job\":%llu,"
+                  "\"reason\":\"%s\"}",
+                  static_cast<unsigned long long>(job),
+                  jsonEscape(reason).c_str());
+}
+
+std::string
+startedEvent(std::uint64_t job)
+{
+    return format("{\"event\":\"started\",\"job\":%llu}",
+                  static_cast<unsigned long long>(job));
+}
+
+std::string
+resultEvent(std::uint64_t job, bool cached, bool coalesced,
+            const std::string &resultObjectText)
+{
+    std::string line =
+        format("{\"event\":\"result\",\"job\":%llu,\"cached\":%s",
+               static_cast<unsigned long long>(job),
+               cached ? "true" : "false");
+    if (coalesced)
+        line += ",\"coalesced\":true";
+    line += ",\"result\":";
+    line += resultObjectText;
+    line += "}";
+    return line;
+}
+
+std::string
+errorEvent(std::uint64_t job, const std::string &reason)
+{
+    return format("{\"event\":\"error\",\"job\":%llu,"
+                  "\"reason\":\"%s\"}",
+                  static_cast<unsigned long long>(job),
+                  jsonEscape(reason).c_str());
+}
+
+} // namespace perple::serve

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The perple_serve wire protocol: newline-delimited JSON over a local
+ * Unix-domain socket.
+ *
+ * Every client→daemon message is one JSON object on one line with an
+ * "op" field; every daemon→client message is one JSON object on one
+ * line with an "event" field. Ops:
+ *
+ *   {"op":"submit","test":T,"iterations":N,["config":C],
+ *    ["outcomes":[...]],["jobs":J],["capture":B],["no_cache":B],
+ *    ["inject":"hang"|"crash"]}
+ *       T is litmus7 source text (anything containing a newline) or a
+ *       registry test name; C is the canonical serializeConfig()
+ *       payload — the wire reuses the cache-key encoding instead of
+ *       inventing a second config schema.
+ *   {"op":"status"}       one "status" event with stats and queue.
+ *   {"op":"ping"}         one "pong" event (liveness probe).
+ *   {"op":"shutdown"}     one "shutting-down" event, then the daemon
+ *                         drains and exits.
+ *
+ * A submitted job answers with a stream of events, interleaved with
+ * other jobs' events on the same connection and matched by "job" id:
+ *
+ *   {"event":"accepted","job":J,"key":K,"cached":B}
+ *   {"event":"rejected","job":J,"reason":R}     admission control
+ *   {"event":"started","job":J}                 a worker forked
+ *   {"event":"result","job":J,"cached":B,["coalesced":B],
+ *    "result":{...}}
+ *   {"event":"error","job":J,"reason":R}        invalid test/outcome,
+ *                                               or shutdown drain
+ *
+ * The "result" object is deterministic in the job's inputs (no wall
+ * times, no pids): the daemon stores the exact object text in the
+ * content-addressed cache, so a cache hit replays byte-identical
+ * result bytes to what the first submitter saw.
+ */
+
+#ifndef PERPLE_SERVE_PROTOCOL_H
+#define PERPLE_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+#include "perple/harness.h"
+#include "serve/json.h"
+#include "supervise/run.h"
+
+namespace perple::serve
+{
+
+/** One campaign job as submitted over the socket. */
+struct SubmitRequest
+{
+    /** Litmus source text, or a registry test name (no newline). */
+    std::string test;
+
+    /** Iterations per thread, N. */
+    std::int64_t iterations = 10000;
+
+    /**
+     * Outcome condition texts (litmus::parseOutcome grammar); empty
+     * means the test's target outcome.
+     */
+    std::vector<std::string> outcomes;
+
+    /**
+     * Semantic harness knobs (seed, backend, counters, budgets,
+     * machine). Performance knobs are carried separately — they are
+     * excluded from the cache key (see config_serialize.h).
+     */
+    core::HarnessConfig config;
+
+    /** Analysis worker threads for the parent-side counting. */
+    std::size_t analysisThreads = 1;
+
+    /** Opt out of capture for this job even when the daemon has a
+     *  corpus dir. */
+    bool capture = true;
+
+    /** Bypass the result cache (bench/test hook; still stores). */
+    bool noCache = false;
+
+    /** Fault-injection hook: "", "hang" or "crash" (runs in the
+     *  sandboxed child; see tests and the CI smoke). */
+    std::string inject;
+};
+
+/** Render @p request as the submit op message. */
+Json submitRequestToJson(const SubmitRequest &request);
+
+/**
+ * Parse a submit op message. @throws UserError on malformed fields;
+ * unknown fields are rejected so typos fail loudly.
+ */
+SubmitRequest submitRequestFromJson(const Json &message);
+
+/**
+ * The content-addressed identity of one job:
+ *
+ *   fnv1a64(writeTest(test) 0x1f iterations 0x1f outcomes... 0x1f
+ *           serializeConfig(config))
+ *
+ * writeTest() is the canonical writer→parser round-trip form, so two
+ * submissions of the same test hash equal regardless of formatting;
+ * serializeConfig() elides defaults and excludes
+ * performance/capture-only knobs, so submissions differing only in
+ * thread counts, kernel engine, streaming shape or capture settings
+ * share one cache entry (their counts are proven bit-identical).
+ * Iterations and the outcome list are part of the identity because
+ * they change the counted result.
+ */
+std::uint64_t cacheKey(const litmus::Test &test,
+                       std::int64_t iterations,
+                       const std::vector<std::string> &outcomes,
+                       const core::HarnessConfig &config);
+
+/**
+ * Build the deterministic result object of one executed job: the
+ * classification of the supervised child, salvage accounting and the
+ * counted outcomes — never wall times or attempt-local noise, so the
+ * object is cacheable and bit-identical across re-executions of a
+ * deterministic (sim) job.
+ *
+ * @param labels One label per counted outcome ("target" or the
+ *        submitted condition texts).
+ */
+Json resultToJson(const litmus::Test &test,
+                  const SubmitRequest &request, std::uint64_t key,
+                  const supervise::SupervisedHarnessResult &run,
+                  const std::vector<std::string> &labels);
+
+/**
+ * Event-message builders: each returns one complete wire line
+ * (without the trailing newline). resultEvent splices
+ * @p resultObjectText in verbatim — the bytes a cache hit replays are
+ * exactly the bytes the first execution stored, with no re-encode in
+ * between.
+ */
+std::string acceptedEvent(std::uint64_t job, std::uint64_t key,
+                          bool cached);
+std::string rejectedEvent(std::uint64_t job,
+                          const std::string &reason);
+std::string startedEvent(std::uint64_t job);
+std::string resultEvent(std::uint64_t job, bool cached,
+                        bool coalesced,
+                        const std::string &resultObjectText);
+std::string errorEvent(std::uint64_t job, const std::string &reason);
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_PROTOCOL_H

@@ -1,0 +1,558 @@
+/**
+ * @file
+ * Tests of the serve subsystem: the protocol JSON, the canonical
+ * config serialization, the content-addressed result cache and the
+ * daemon itself (run in-process on background threads, talked to
+ * through real sockets by the real Client).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "perple/perple.h"
+
+namespace
+{
+
+using namespace perple;
+
+/** A fresh private directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        root_ = std::filesystem::temp_directory_path() /
+                format("perple-serve-%s-%d", tag.c_str(), getpid());
+        std::filesystem::remove_all(root_);
+        std::filesystem::create_directories(root_);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(root_); }
+
+    std::string
+    path(const std::string &leaf) const
+    {
+        return (root_ / leaf).string();
+    }
+
+  private:
+    std::filesystem::path root_;
+};
+
+/** A daemon started on a worker thread of this process; wait() runs
+ *  on the thread, stop() triggers and joins the drain. */
+class DaemonFixture
+{
+  public:
+    explicit DaemonFixture(serve::DaemonConfig config)
+        : daemon_(std::move(config))
+    {
+        daemon_.start();
+        waiter_ = std::thread([this] { daemon_.wait(); });
+    }
+
+    ~DaemonFixture()
+    {
+        if (waiter_.joinable())
+            stop();
+    }
+
+    void
+    stop()
+    {
+        daemon_.requestStop();
+        waiter_.join();
+    }
+
+    serve::Daemon &
+    daemon()
+    {
+        return daemon_;
+    }
+
+  private:
+    serve::Daemon daemon_;
+    std::thread waiter_;
+};
+
+serve::DaemonConfig
+baseConfig(const TempDir &dir)
+{
+    serve::DaemonConfig config;
+    config.socketPath = dir.path("daemon.sock");
+    config.stateDir = dir.path("state");
+    config.workers = 2;
+    config.jobTimeoutSeconds = 20;
+    config.graceSeconds = 0.2;
+    return config;
+}
+
+serve::SubmitRequest
+sbRequest(std::int64_t iterations = 2000, std::uint64_t seed = 7)
+{
+    serve::SubmitRequest request;
+    request.test = litmus::writeTest(litmus::findTest("sb").test);
+    request.iterations = iterations;
+    request.config.seed = seed;
+    return request;
+}
+
+// --- JSON ------------------------------------------------------------
+
+TEST(ServeJson, RoundTripsPreservingOrderAndPrecision)
+{
+    const std::string text =
+        "{\"b\":1,\"a\":18446744073709551615,\"neg\":-42,"
+        "\"s\":\"x\\ny\",\"arr\":[1,2.5,true,null],\"o\":{}}";
+    const serve::Json parsed = serve::Json::parse(text);
+    EXPECT_EQ(parsed.dump(), text);
+    EXPECT_EQ(parsed.find("a")->asUint64(), 18446744073709551615ULL);
+    EXPECT_EQ(parsed.find("neg")->asInt64(), -42);
+    EXPECT_EQ(parsed.find("s")->asString(), "x\ny");
+}
+
+TEST(ServeJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(serve::Json::parse("{\"a\":1,}"), Error);
+    EXPECT_THROW(serve::Json::parse("{\"a\":1} x"), Error);
+    EXPECT_THROW(serve::Json::parse("{'a':1}"), Error);
+    EXPECT_THROW(serve::Json::parse(""), Error);
+    EXPECT_THROW(serve::Json::parse("nul"), Error);
+    EXPECT_THROW(serve::Json::parse("[1,"), Error);
+}
+
+// --- Canonical config serialization ----------------------------------
+
+TEST(ConfigSerialize, DefaultConfigElidesToVersionLine)
+{
+    EXPECT_EQ(core::serializeConfig(core::HarnessConfig()),
+              "perple-config v1\n");
+}
+
+TEST(ConfigSerialize, RoundTripsNonDefaultFields)
+{
+    core::HarnessConfig config;
+    config.backend = core::Backend::Native;
+    config.seed = 99;
+    config.runExhaustive = false;
+    config.exhaustiveCap = 512;
+    config.countMode = core::CountMode::Independent;
+    config.countTimeBudgetSeconds = 1.5;
+    config.memBudgetBytes = 1 << 20;
+    config.machine.stallProbability = 0.25;
+
+    const std::string text = core::serializeConfig(config);
+    const core::HarnessConfig parsed = core::parseConfig(text);
+    EXPECT_EQ(core::serializeConfig(parsed), text);
+    EXPECT_EQ(parsed.backend, core::Backend::Native);
+    EXPECT_EQ(parsed.seed, 99u);
+    EXPECT_FALSE(parsed.runExhaustive);
+    EXPECT_EQ(parsed.exhaustiveCap, 512);
+    EXPECT_EQ(parsed.countMode, core::CountMode::Independent);
+    EXPECT_DOUBLE_EQ(parsed.machine.stallProbability, 0.25);
+}
+
+TEST(ConfigSerialize, PerformanceKnobsDoNotChangeTheEncoding)
+{
+    core::HarnessConfig a;
+    a.seed = 3;
+    core::HarnessConfig b = a;
+    b.analysisThreads = 8;
+    b.kernelMode = core::KernelMode::Interpreter;
+    b.streamEpochIters = 1024;
+    b.capturePath = "/tmp/x.plt";
+    EXPECT_EQ(core::serializeConfig(a), core::serializeConfig(b));
+}
+
+TEST(ConfigSerialize, ParseRejectsUnknownKeys)
+{
+    EXPECT_THROW(core::parseConfig("perple-config v1\nbanana 3\n"),
+                 Error);
+    EXPECT_THROW(core::parseConfig("not-a-config\n"), Error);
+}
+
+// --- Cache key -------------------------------------------------------
+
+TEST(CacheKey, SensitiveToResultAffectingInputsOnly)
+{
+    const litmus::Test test = litmus::findTest("sb").test;
+    core::HarnessConfig config;
+    config.seed = 7;
+    const std::uint64_t base =
+        serve::cacheKey(test, 1000, {}, config);
+
+    // Iterations, seed and outcomes change the identity.
+    EXPECT_NE(serve::cacheKey(test, 2000, {}, config), base);
+    core::HarnessConfig otherSeed = config;
+    otherSeed.seed = 8;
+    EXPECT_NE(serve::cacheKey(test, 1000, {}, otherSeed), base);
+    EXPECT_NE(serve::cacheKey(test, 1000, {"0:EAX=1"}, config),
+              base);
+
+    // Performance-only knobs do not.
+    core::HarnessConfig fast = config;
+    fast.analysisThreads = 16;
+    fast.kernelMode = core::KernelMode::Specialized;
+    EXPECT_EQ(serve::cacheKey(test, 1000, {}, fast), base);
+}
+
+// --- ResultCache -----------------------------------------------------
+
+TEST(ResultCache, StoresLooksUpAndReplaysAcrossReopen)
+{
+    TempDir dir("cache");
+    const std::string stored = "{\"status\":\"ok\",\"n\":12345}";
+    {
+        serve::ResultCache cache(dir.path("state"));
+        EXPECT_EQ(cache.size(), 0u);
+        EXPECT_FALSE(cache.lookup(42).has_value());
+        cache.store(42, stored);
+        cache.store(43, "{\"status\":\"ok\"}");
+        ASSERT_TRUE(cache.lookup(42).has_value());
+        EXPECT_EQ(*cache.lookup(42), stored);
+    }
+    serve::ResultCache reopened(dir.path("state"));
+    EXPECT_EQ(reopened.loadedEntries(), 2u);
+    ASSERT_TRUE(reopened.lookup(42).has_value());
+    EXPECT_EQ(*reopened.lookup(42), stored);
+}
+
+TEST(ResultCache, DropsTornFinalLineOnReplay)
+{
+    TempDir dir("torn");
+    {
+        serve::ResultCache cache(dir.path("state"));
+        cache.store(1, "{\"a\":1}");
+    }
+    {
+        std::ofstream out(dir.path("state") + "/cache-index.jsonl",
+                          std::ios::app);
+        out << "{\"key\":\"00000000000000";  // torn mid-append
+    }
+    serve::ResultCache reopened(dir.path("state"));
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_TRUE(reopened.lookup(1).has_value());
+}
+
+// --- Daemon end to end -----------------------------------------------
+
+TEST(ServeDaemon, DuplicateSubmitIsACacheHitWithIdenticalBytes)
+{
+    TempDir dir("dup");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Client client(dir.path("daemon.sock"));
+
+    const serve::SubmitOutcome first =
+        client.submitAndWait(sbRequest());
+    ASSERT_TRUE(first.ok()) << first.event.dump();
+    EXPECT_FALSE(first.cached);
+
+    const serve::SubmitOutcome second =
+        client.submitAndWait(sbRequest());
+    ASSERT_TRUE(second.ok()) << second.event.dump();
+    EXPECT_TRUE(second.cached);
+
+    // The promise of the content-addressed cache: bit-identical
+    // result bytes, and no second worker fork.
+    EXPECT_EQ(first.resultText, second.resultText);
+    const serve::DaemonStats stats = fixture.daemon().stats();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.completedOk, 1u);
+}
+
+TEST(ServeDaemon, EquivalentConfigsShareOneCacheEntry)
+{
+    TempDir dir("equiv");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Client client(dir.path("daemon.sock"));
+
+    serve::SubmitRequest plain = sbRequest();
+    const serve::SubmitOutcome first = client.submitAndWait(plain);
+    ASSERT_TRUE(first.ok());
+
+    // Same job, different performance knobs: must be the same cache
+    // entry (counts are proven bit-identical across these).
+    serve::SubmitRequest tuned = sbRequest();
+    tuned.analysisThreads = 4;
+    const serve::SubmitOutcome second = client.submitAndWait(tuned);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.cached);
+    EXPECT_EQ(first.resultText, second.resultText);
+    EXPECT_EQ(fixture.daemon().stats().executed, 1u);
+}
+
+TEST(ServeDaemon, ConcurrentTenantsEachGetTheirResults)
+{
+    TempDir dir("tenants");
+    serve::DaemonConfig config = baseConfig(dir);
+    config.workers = 3;
+    DaemonFixture fixture(config);
+
+    constexpr std::size_t kTenants = 4;
+    std::vector<std::thread> tenants;
+    std::vector<std::string> results(kTenants);
+    for (std::size_t t = 0; t < kTenants; ++t)
+        tenants.emplace_back([&, t] {
+            serve::Client client(dir.path("daemon.sock"));
+            // Distinct seeds → distinct jobs → real concurrency.
+            const serve::SubmitOutcome outcome =
+                client.submitAndWait(sbRequest(1500, 100 + t));
+            if (outcome.ok())
+                results[t] = outcome.resultText;
+        });
+    for (std::thread &tenant : tenants)
+        tenant.join();
+
+    for (std::size_t t = 0; t < kTenants; ++t) {
+        ASSERT_FALSE(results[t].empty()) << "tenant " << t;
+        const serve::Json result = serve::Json::parse(results[t]);
+        EXPECT_EQ(result.find("seed")->asUint64(), 100u + t);
+    }
+    EXPECT_EQ(fixture.daemon().stats().executed, 4u);
+}
+
+TEST(ServeDaemon, AdmissionRejectsOverBudgetAndBadJobs)
+{
+    TempDir dir("admission");
+    serve::DaemonConfig config = baseConfig(dir);
+    config.memBudgetBytes = 1 << 20; // 1 MiB working-set budget
+    DaemonFixture fixture(config);
+    serve::Client client(dir.path("daemon.sock"));
+
+    // sb has 2 load threads × 1 load; 10M iterations → ~160 MB.
+    const serve::SubmitOutcome rejected =
+        client.submitAndWait(sbRequest(10'000'000));
+    EXPECT_EQ(rejected.terminal, "rejected");
+
+    serve::SubmitRequest unknown;
+    unknown.test = "no-such-test";
+    const serve::SubmitOutcome errored =
+        client.submitAndWait(unknown);
+    EXPECT_EQ(errored.terminal, "error");
+
+    const serve::DaemonStats stats = fixture.daemon().stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.errors, 1u);
+    EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST(ServeDaemon, CrashInsideJobIsClassifiedAndNotCached)
+{
+    TempDir dir("crash");
+    serve::DaemonConfig config = baseConfig(dir);
+    config.jobTimeoutSeconds = 10;
+    DaemonFixture fixture(config);
+    serve::Client client(dir.path("daemon.sock"));
+
+    serve::SubmitRequest request = sbRequest();
+    request.inject = "crash";
+    const serve::SubmitOutcome outcome =
+        client.submitAndWait(request);
+    ASSERT_TRUE(outcome.ok()) << outcome.event.dump();
+
+    const serve::Json result = serve::Json::parse(outcome.resultText);
+    EXPECT_EQ(result.find("status")->asString(), "crash");
+    EXPECT_NE(result.find("classification")->asString().find(
+                  "SIGSEGV"),
+              std::string::npos);
+
+    // A fault is a property of the execution, not the job identity:
+    // resubmitting without injection executes for real.
+    serve::SubmitRequest clean = sbRequest();
+    const serve::SubmitOutcome rerun = client.submitAndWait(clean);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_FALSE(rerun.cached);
+    EXPECT_EQ(serve::Json::parse(rerun.resultText)
+                  .find("status")
+                  ->asString(),
+              "ok");
+    EXPECT_EQ(fixture.daemon().stats().crashes, 1u);
+}
+
+TEST(ServeDaemon, RestartReloadsThePersistedCacheIndex)
+{
+    TempDir dir("restart");
+    std::string firstBytes;
+    {
+        DaemonFixture fixture(baseConfig(dir));
+        serve::Client client(dir.path("daemon.sock"));
+        const serve::SubmitOutcome outcome =
+            client.submitAndWait(sbRequest());
+        ASSERT_TRUE(outcome.ok());
+        firstBytes = outcome.resultText;
+        fixture.stop();
+    }
+    {
+        DaemonFixture fixture(baseConfig(dir));
+        serve::Client client(dir.path("daemon.sock"));
+        const serve::SubmitOutcome outcome =
+            client.submitAndWait(sbRequest());
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_TRUE(outcome.cached);
+        EXPECT_EQ(outcome.resultText, firstBytes);
+        EXPECT_EQ(fixture.daemon().stats().executed, 0u);
+    }
+}
+
+TEST(ServeDaemon, CaptureLandsInTheCorpusWithManifest)
+{
+    TempDir dir("capture");
+    serve::DaemonConfig config = baseConfig(dir);
+    config.corpusDir = dir.path("corpus");
+    DaemonFixture fixture(config);
+    serve::Client client(dir.path("daemon.sock"));
+
+    const serve::SubmitOutcome outcome =
+        client.submitAndWait(sbRequest());
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(fixture.daemon().stats().captures, 1u);
+
+    const std::string plt =
+        dir.path("corpus") + "/job-" + outcome.keyHex + ".plt";
+    EXPECT_TRUE(std::filesystem::exists(plt));
+    EXPECT_TRUE(std::filesystem::exists(dir.path("corpus") +
+                                        "/corpus.json"));
+
+    // The capture is a readable trace whose identity matches the job.
+    const trace::CorpusReport report =
+        trace::scanCorpus({plt}, {.jobs = 1});
+    ASSERT_EQ(report.files.size(), 1u);
+    EXPECT_EQ(report.files[0].status, trace::FileStatus::Ok);
+    EXPECT_EQ(report.uniqueRuns, 1u);
+}
+
+TEST(ServeDaemon, ShutdownDrainsWithoutOrphanProcesses)
+{
+    TempDir dir("drain");
+    serve::DaemonConfig config = baseConfig(dir);
+    config.workers = 2;
+    DaemonFixture fixture(config);
+    {
+        serve::Client client(dir.path("daemon.sock"));
+        const serve::SubmitOutcome outcome =
+            client.submitAndWait(sbRequest());
+        ASSERT_TRUE(outcome.ok());
+    }
+    fixture.stop();
+
+    // Every supervised child was reaped by its runSupervised parent:
+    // this process has no children left to wait for.
+    const pid_t reaped = waitpid(-1, nullptr, WNOHANG);
+    EXPECT_TRUE(reaped == -1 && errno == ECHILD)
+        << "unexpected child state: waitpid returned " << reaped;
+
+    // The socket file was removed by the drain.
+    EXPECT_FALSE(std::filesystem::exists(dir.path("daemon.sock")));
+}
+
+TEST(ServeDaemon, SigtermTriggersTheGracefulDrain)
+{
+    TempDir dir("sigterm");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Daemon::installSignalHandlers(&fixture.daemon());
+    {
+        serve::Client client(dir.path("daemon.sock"));
+        ASSERT_TRUE(client.submitAndWait(sbRequest()).ok());
+    }
+
+    std::raise(SIGTERM);
+    // The handler only pokes the stop pipe; the fixture's wait()
+    // thread performs the drain. Joining it proves the signal path.
+    fixture.stop();
+    serve::Daemon::installSignalHandlers(nullptr);
+
+    EXPECT_FALSE(fixture.daemon().running());
+    EXPECT_FALSE(std::filesystem::exists(dir.path("daemon.sock")));
+    const pid_t reaped = waitpid(-1, nullptr, WNOHANG);
+    EXPECT_TRUE(reaped == -1 && errno == ECHILD);
+}
+
+TEST(ServeDaemon, RefusesASocketAnotherDaemonListensOn)
+{
+    TempDir dir("busy");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Daemon second(baseConfig(dir));
+    EXPECT_THROW(second.start(), Error);
+}
+
+TEST(ServeDaemon, NoCacheBypassesLookupButStillStores)
+{
+    TempDir dir("nocache");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Client client(dir.path("daemon.sock"));
+
+    ASSERT_TRUE(client.submitAndWait(sbRequest()).ok());
+
+    serve::SubmitRequest bypass = sbRequest();
+    bypass.noCache = true;
+    const serve::SubmitOutcome rerun = client.submitAndWait(bypass);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_FALSE(rerun.cached);
+    EXPECT_EQ(fixture.daemon().stats().executed, 2u);
+}
+
+// --- CLI helpers (satellite: common/cli socket paths) ----------------
+
+TEST(CliSocketPaths, ValidatesBindablePaths)
+{
+    TempDir dir("cli");
+    EXPECT_NO_THROW(common::parseSocketPathArg(
+        "--socket", dir.path("fine.sock")));
+    EXPECT_THROW(common::parseSocketPathArg("--socket", ""), Error);
+    EXPECT_THROW(common::parseSocketPathArg(
+                     "--socket", dir.path(std::string(120, 'x'))),
+                 Error);
+    EXPECT_THROW(common::parseSocketPathArg(
+                     "--socket", dir.path("no/such/parent/x.sock")),
+                 Error);
+}
+
+TEST(CliSocketPaths, ExistingSocketCheckRejectsNonSockets)
+{
+    TempDir dir("clix");
+    EXPECT_THROW(common::parseExistingSocketPath(
+                     "--socket", dir.path("absent.sock")),
+                 Error);
+    std::ofstream(dir.path("regular")) << "not a socket";
+    EXPECT_THROW(common::parseExistingSocketPath("--socket",
+                                                 dir.path("regular")),
+                 Error);
+
+    serve::DaemonConfig config = baseConfig(dir);
+    DaemonFixture fixture(config);
+    EXPECT_NO_THROW(common::parseExistingSocketPath(
+        "--socket", config.socketPath));
+}
+
+// --- litmus::loadTestSpec (satellite: lifted loader) -----------------
+
+TEST(LoadTestSpec, ResolvesNamesFilesAndInlineSource)
+{
+    const litmus::Test byName = litmus::loadTestSpec("sb");
+    EXPECT_EQ(byName.name, "sb");
+
+    const std::string source = litmus::writeTest(byName);
+    const litmus::Test inline_ = litmus::loadTestSpec(source);
+    EXPECT_EQ(litmus::writeTest(inline_), source);
+
+    TempDir dir("spec");
+    std::ofstream(dir.path("sb.litmus")) << source;
+    const litmus::Test fromFile =
+        litmus::loadTestSpec(dir.path("sb.litmus"));
+    EXPECT_EQ(litmus::writeTest(fromFile), source);
+
+    EXPECT_THROW(litmus::loadTestSpec("definitely-unknown"), Error);
+}
+
+} // namespace

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * The perple_serve CLI: the campaign daemon and its client, in one
+ * binary (see src/serve/ and DESIGN.md §12).
+ *
+ * Usage:
+ *   perple_serve start --socket PATH --state DIR [options]
+ *   perple_serve submit --socket PATH <test|file.litmus> [options]
+ *   perple_serve status --socket PATH
+ *   perple_serve ping --socket PATH
+ *   perple_serve shutdown --socket PATH
+ *
+ * start options:
+ *   --corpus DIR        capture each executed job as a `.plt` file
+ *                       here and maintain its corpus.json manifest
+ *   --workers N         concurrent supervised jobs (default 2)
+ *   --queue N           max queued jobs before admission rejects
+ *                       (default 64)
+ *   --mem-budget B      reject jobs whose projected buf working set
+ *                       exceeds B bytes (K/M/G suffix; 0 = unlimited)
+ *   --count-budget S    clamp every job's exhaustive-count budget to
+ *                       S seconds (degrades COUNT to COUNTH; 0 = off)
+ *   --job-timeout S     per-job wall-clock watchdog (default 30)
+ *   --grace S           SIGTERM-to-SIGKILL grace (default 0.5)
+ *   --retries N         supervised retries per job (default 0)
+ *
+ *   The daemon runs in the foreground until SIGTERM/SIGINT or a
+ *   client shutdown op, then drains: queued jobs are failed back,
+ *   in-flight jobs finish under their watchdog, the cache index is
+ *   fsynced, and every worker child is reaped.
+ *
+ * submit options:
+ *   -n N                iterations (default 10000)
+ *   --seed N            harness seed (default 1)
+ *   --backend sim|native
+ *   --outcome COND      outcome of interest, repeatable
+ *   --no-exhaustive / --no-heuristic   skip a counter
+ *   --cap N             exhaustive iteration cap
+ *   --mode first|independent           frame-sharing semantics
+ *   --jobs N            analysis threads for the counting phases
+ *   --no-capture        skip the corpus capture for this job
+ *   --no-cache          bypass the result cache (still stores)
+ *   --inject hang|crash fault-injection hook (testing)
+ *
+ *   The test spec is resolved client-side (file, inline source or
+ *   corpus name) and sent in canonical writer form, so equivalent
+ *   submissions are byte-identical jobs. Events stream to stdout as
+ *   NDJSON; the exit status is 0 for an Ok result, 1 for a rejected /
+ *   errored / faulted job, 2 for usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "perple/perple.h"
+
+namespace
+{
+
+using namespace perple;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s start --socket PATH --state DIR [--corpus DIR]\n"
+        "          [--workers N] [--queue N] [--mem-budget BYTES]\n"
+        "          [--count-budget SEC] [--job-timeout SEC]\n"
+        "          [--grace SEC] [--retries N]\n"
+        "       %s submit --socket PATH <test|file.litmus> [-n N]\n"
+        "          [--seed N] [--backend sim|native]\n"
+        "          [--outcome COND]... [--no-exhaustive]\n"
+        "          [--no-heuristic] [--cap N]\n"
+        "          [--mode first|independent] [--jobs N]\n"
+        "          [--no-capture] [--no-cache] [--inject hang|crash]\n"
+        "       %s status --socket PATH\n"
+        "       %s ping --socket PATH\n"
+        "       %s shutdown --socket PATH\n",
+        argv0, argv0, argv0, argv0, argv0);
+    return 2;
+}
+
+/** The required value of flag argv[i]; exits with usage on overrun. */
+const char *
+flagValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                     argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+int
+cmdStart(int argc, char **argv)
+{
+    serve::DaemonConfig config;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            config.socketPath = flagValue(argc, argv, i);
+        } else if (arg == "--state") {
+            config.stateDir = flagValue(argc, argv, i);
+        } else if (arg == "--corpus") {
+            config.corpusDir = flagValue(argc, argv, i);
+        } else if (arg == "--workers") {
+            config.workers = static_cast<std::size_t>(
+                common::parseIntArg("--workers",
+                                    flagValue(argc, argv, i), 1,
+                                    1024));
+        } else if (arg == "--queue") {
+            config.maxQueueDepth = static_cast<std::size_t>(
+                common::parseIntArg("--queue",
+                                    flagValue(argc, argv, i), 1,
+                                    1 << 20));
+        } else if (arg == "--mem-budget") {
+            config.memBudgetBytes = common::parseBytesArg(
+                "--mem-budget", flagValue(argc, argv, i));
+        } else if (arg == "--count-budget") {
+            config.countTimeBudgetSeconds = common::parseSecondsArg(
+                "--count-budget", flagValue(argc, argv, i));
+        } else if (arg == "--job-timeout") {
+            config.jobTimeoutSeconds = common::parseSecondsArg(
+                "--job-timeout", flagValue(argc, argv, i));
+        } else if (arg == "--grace") {
+            config.graceSeconds = common::parseSecondsArg(
+                "--grace", flagValue(argc, argv, i));
+        } else if (arg == "--retries") {
+            config.retries = static_cast<int>(common::parseIntArg(
+                "--retries", flagValue(argc, argv, i), 0, 100));
+        } else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (config.socketPath.empty() || config.stateDir.empty())
+        return usage(argv[0]);
+
+    serve::Daemon daemon(std::move(config));
+    daemon.start();
+    serve::Daemon::installSignalHandlers(&daemon);
+    std::printf("perple_serve: listening on %s (%zu workers)\n",
+                daemon.config().socketPath.c_str(),
+                daemon.config().workers);
+    std::fflush(stdout);
+    daemon.wait();
+    serve::Daemon::installSignalHandlers(nullptr);
+
+    const serve::DaemonStats stats = daemon.stats();
+    std::printf("perple_serve: drained; %llu submitted, "
+                "%llu executed, %llu cache hit(s), %llu error(s)\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.executed),
+                static_cast<unsigned long long>(stats.cacheHits),
+                static_cast<unsigned long long>(stats.errors));
+    return 0;
+}
+
+int
+cmdSubmit(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string spec;
+    serve::SubmitRequest request;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            socketPath = flagValue(argc, argv, i);
+        } else if (arg == "-n") {
+            request.iterations = common::parseIntArg(
+                "-n", flagValue(argc, argv, i), 1,
+                std::numeric_limits<std::int64_t>::max());
+        } else if (arg == "--seed") {
+            request.config.seed = common::parseSeedArg(
+                "--seed", flagValue(argc, argv, i));
+        } else if (arg == "--backend") {
+            request.config.backend = core::backendFromName(
+                flagValue(argc, argv, i));
+        } else if (arg == "--outcome") {
+            request.outcomes.emplace_back(flagValue(argc, argv, i));
+        } else if (arg == "--no-exhaustive") {
+            request.config.runExhaustive = false;
+        } else if (arg == "--no-heuristic") {
+            request.config.runHeuristic = false;
+        } else if (arg == "--cap") {
+            request.config.exhaustiveCap = common::parseIntArg(
+                "--cap", flagValue(argc, argv, i), 0,
+                std::numeric_limits<std::int64_t>::max());
+        } else if (arg == "--mode") {
+            const std::string mode = flagValue(argc, argv, i);
+            if (mode == "first") {
+                request.config.countMode = core::CountMode::FirstMatch;
+            } else if (mode == "independent") {
+                request.config.countMode =
+                    core::CountMode::Independent;
+            } else {
+                std::fprintf(stderr, "%s: unknown mode '%s'\n",
+                             argv[0], mode.c_str());
+                return 2;
+            }
+        } else if (arg == "--jobs") {
+            request.analysisThreads =
+                static_cast<std::size_t>(common::parseIntArg(
+                    "--jobs", flagValue(argc, argv, i), 0, 4096));
+        } else if (arg == "--no-capture") {
+            request.capture = false;
+        } else if (arg == "--no-cache") {
+            request.noCache = true;
+        } else if (arg == "--inject") {
+            request.inject = flagValue(argc, argv, i);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            return 2;
+        } else if (spec.empty()) {
+            spec = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (socketPath.empty() || spec.empty())
+        return usage(argv[0]);
+
+    // Resolve the spec here and ship canonical source: the daemon
+    // need not share our filesystem view, and equivalent submissions
+    // become byte-identical jobs.
+    request.test = litmus::writeTest(litmus::loadTestSpec(spec));
+
+    serve::Client client(socketPath);
+    const serve::SubmitOutcome outcome = client.submitAndWait(request);
+    std::printf("%s\n", outcome.event.dump().c_str());
+    if (!outcome.ok())
+        return 1;
+    const serve::Json *result = outcome.event.find("result");
+    return result != nullptr &&
+                   result->stringOr("status", "") == "ok"
+               ? 0
+               : 1;
+}
+
+int
+cmdRoundTrip(int argc, char **argv, const std::string &op)
+{
+    std::string socketPath;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            socketPath = flagValue(argc, argv, i);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (socketPath.empty())
+        return usage(argv[0]);
+
+    serve::Client client(socketPath);
+    if (op == "status") {
+        std::printf("%s\n", client.status().dump().c_str());
+        return 0;
+    }
+    if (op == "ping") {
+        const bool alive = client.ping();
+        std::printf("%s\n", alive ? "pong" : "no response");
+        return alive ? 0 : 1;
+    }
+    const bool acknowledged = client.shutdown();
+    std::printf("%s\n", acknowledged ? "shutting down"
+                                     : "no acknowledgement");
+    return acknowledged ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string command = argv[1];
+    try {
+        if (command == "start")
+            return cmdStart(argc, argv);
+        if (command == "submit")
+            return cmdSubmit(argc, argv);
+        if (command == "status" || command == "ping" ||
+            command == "shutdown")
+            return cmdRoundTrip(argc, argv, command);
+    } catch (const perple::Error &error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        return 2;
+    }
+    return usage(argv[0]);
+}

@@ -145,21 +145,6 @@ flagValue(int argc, char **argv, int &i)
     return argv[++i];
 }
 
-litmus::Test
-loadTest(const std::string &spec)
-{
-    namespace fs = std::filesystem;
-    if (fs::exists(spec)) {
-        std::ifstream stream(spec);
-        std::ostringstream text;
-        text << stream.rdbuf();
-        litmus::Test test = litmus::parseTest(text.str());
-        litmus::validateOrThrow(test);
-        return test;
-    }
-    return litmus::findTest(spec).test;
-}
-
 trace::BufEncoding
 parseEncoding(const char *argv0, const std::string &name)
 {
@@ -276,7 +261,7 @@ cmdRecord(int argc, char **argv)
     if (spec.empty() || outPath.empty())
         return usage(argv[0]);
 
-    const litmus::Test test = loadTest(spec);
+    const litmus::Test test = litmus::loadTestSpec(spec);
     const auto parent =
         std::filesystem::path(outPath).parent_path();
     if (!parent.empty())
