@@ -630,9 +630,24 @@ findTest(const std::string &name)
 }
 
 Test
+loadTestSpecInline(const std::string &spec)
+{
+    if (spec.find('\n') != std::string::npos) {
+        Test test = parseTest(spec);
+        validateOrThrow(test);
+        return test;
+    }
+    return findTest(spec).test;
+}
+
+Test
 loadTestSpec(const std::string &spec)
 {
-    if (std::filesystem::exists(spec)) {
+    // Non-throwing probe: an over-long or otherwise unstatable spec
+    // (e.g. inline source beyond PATH_MAX) is not a file, not an
+    // error.
+    std::error_code ec;
+    if (std::filesystem::exists(spec, ec)) {
         std::ifstream stream(spec);
         checkUser(stream.good(),
                   "cannot read litmus file '" + spec + "'");
@@ -642,12 +657,7 @@ loadTestSpec(const std::string &spec)
         validateOrThrow(test);
         return test;
     }
-    if (spec.find('\n') != std::string::npos) {
-        Test test = parseTest(spec);
-        validateOrThrow(test);
-        return test;
-    }
-    return findTest(spec).test;
+    return loadTestSpecInline(spec);
 }
 
 } // namespace perple::litmus

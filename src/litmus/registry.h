@@ -91,6 +91,18 @@ const SuiteEntry &findTest(const std::string &name);
  */
 Test loadTestSpec(const std::string &spec);
 
+/**
+ * Resolve a test spec without ever touching the filesystem: inline
+ * litmus source (recognized by containing a newline) or a corpus test
+ * name, nothing else. This is the variant services must use on
+ * untrusted input — loadTestSpec() probes the spec as a path, which a
+ * multi-tenant daemon must never do with client-controlled strings
+ * (it would let any tenant read files visible to the daemon user).
+ *
+ * @throws UserError on parse/validation failures and unknown names.
+ */
+Test loadTestSpecInline(const std::string &spec);
+
 } // namespace perple::litmus
 
 #endif // PERPLE_LITMUS_REGISTRY_H

@@ -42,24 +42,31 @@ namespace
 constexpr std::size_t kMaxLineBytes = 1 << 20;
 
 /**
- * One tenant connection. The write side is mutex-serialized because
- * worker threads and the connection's own reader thread both emit
- * events; a failed write (tenant went away) closes the connection
- * for writing and later events are dropped silently.
+ * One tenant connection. writeMutex guards fd and writable: worker
+ * threads and the connection's own reader thread both emit events,
+ * and the reader closes the fd when the tenant goes away — the close
+ * happens under the same mutex, so a worker can never send() on a
+ * closed (and possibly kernel-reused) descriptor. A failed write
+ * closes the connection for writing and later events are dropped
+ * silently.
  */
 struct Connection
 {
-    int fd = -1;
     std::mutex writeMutex;
-    std::atomic<bool> writable{true};
+    int fd = -1;            ///< guarded by writeMutex
+    bool writable = true;   ///< guarded by writeMutex
     std::thread thread;
+
+    /** Set by the reader thread once fd is closed; the accept
+     *  thread's reaper polls it to find joinable connections. */
+    std::atomic<bool> closed{false};
 
     void
     sendLine(const std::string &line)
     {
-        if (!writable.load(std::memory_order_relaxed))
-            return;
         std::lock_guard<std::mutex> lock(writeMutex);
+        if (!writable || fd < 0)
+            return;
         std::string framed = line;
         framed += '\n';
         const char *data = framed.data();
@@ -70,12 +77,39 @@ struct Connection
             if (wrote < 0) {
                 if (errno == EINTR)
                     continue;
-                writable.store(false, std::memory_order_relaxed);
+                writable = false;
                 return;
             }
             data += wrote;
             remaining -= static_cast<std::size_t>(wrote);
         }
+    }
+
+    /** Reader-thread epilogue: close the fd so no worker can write
+     *  to a reused descriptor, then publish joinability. */
+    void
+    closeFromReader()
+    {
+        {
+            std::lock_guard<std::mutex> lock(writeMutex);
+            writable = false;
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+        closed.store(true, std::memory_order_release);
+    }
+
+    /** Drain-side nudge: stop writes and wake the reader's recv()
+     *  without closing (the reader owns the close). */
+    void
+    shutdownBothEnds()
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        writable = false;
+        if (fd >= 0)
+            ::shutdown(fd, SHUT_RDWR);
     }
 };
 
@@ -261,7 +295,8 @@ struct Daemon::Impl
     {
         auto it = connections.begin();
         while (it != connections.end()) {
-            if ((*it)->fd < 0 && (*it)->thread.joinable()) {
+            if ((*it)->closed.load(std::memory_order_acquire) &&
+                (*it)->thread.joinable()) {
                 (*it)->thread.join();
                 it = connections.erase(it);
             } else {
@@ -275,11 +310,15 @@ struct Daemon::Impl
     void
     connectionLoop(const std::shared_ptr<Connection> &conn)
     {
+        // The reader is the only thread that ever mutates fd (in
+        // closeFromReader, after this loop), so the unlocked reads
+        // here see a stable descriptor.
+        const int readFd = conn->fd;
         std::string pending;
         char buffer[4096];
         while (true) {
             const ssize_t got =
-                ::recv(conn->fd, buffer, sizeof(buffer), 0);
+                ::recv(readFd, buffer, sizeof(buffer), 0);
             if (got <= 0)
                 break;
             pending.append(buffer, static_cast<std::size_t>(got));
@@ -300,9 +339,7 @@ struct Daemon::Impl
             }
             pending.erase(0, start);
         }
-        conn->writable.store(false, std::memory_order_relaxed);
-        ::close(conn->fd);
-        conn->fd = -1;
+        conn->closeFromReader();
     }
 
     void
@@ -327,6 +364,12 @@ struct Daemon::Impl
                     0, format("unknown op '%s'", op.c_str())));
             }
         } catch (const Error &error) {
+            bump(&DaemonStats::errors);
+            conn->sendLine(errorEvent(0, error.what()));
+        } catch (const std::exception &error) {
+            // Anything a request can provoke (filesystem_error,
+            // bad_alloc from a hostile payload, ...) is that
+            // request's failure, never a daemon-wide one.
             bump(&DaemonStats::errors);
             conn->sendLine(errorEvent(0, error.what()));
         }
@@ -358,7 +401,10 @@ struct Daemon::Impl
         job->conn = conn;
         try {
             job->request = submitRequestFromJson(message);
-            job->test = litmus::loadTestSpec(job->request.test);
+            // Inline-only resolution: the daemon must never probe a
+            // client-controlled string as a server-side file path.
+            job->test =
+                litmus::loadTestSpecInline(job->request.test);
             hardenConfig(job->request.config);
             job->perpetual = core::convert(job->test);
             if (job->request.outcomes.empty()) {
@@ -379,27 +425,42 @@ struct Daemon::Impl
             bump(&DaemonStats::errors);
             conn->sendLine(errorEvent(jobId, error.what()));
             return;
+        } catch (const std::exception &error) {
+            bump(&DaemonStats::errors);
+            conn->sendLine(errorEvent(jobId, error.what()));
+            return;
         }
 
         // Admission control: the projected buf working set, with the
         // same formula HarnessConfig::memBudgetBytes fail-fasts on.
+        // Overflow-checked: an absurd iterations value must read as
+        // "over budget", not wrap to a small number and slip past.
         if (config.memBudgetBytes > 0) {
             std::uint64_t loads = 0;
             for (const int perIteration :
                  job->perpetual.loadsPerIteration)
                 loads += static_cast<std::uint64_t>(perIteration);
-            const std::uint64_t bufBytes =
-                static_cast<std::uint64_t>(job->request.iterations) *
-                loads * 8;
-            if (bufBytes > config.memBudgetBytes) {
+            std::uint64_t bufBytes = 0;
+            bool overflow = __builtin_mul_overflow(
+                static_cast<std::uint64_t>(job->request.iterations),
+                loads, &bufBytes);
+            overflow = overflow ||
+                       __builtin_mul_overflow(
+                           bufBytes, std::uint64_t{8}, &bufBytes);
+            if (overflow || bufBytes > config.memBudgetBytes) {
                 bump(&DaemonStats::rejected);
                 conn->sendLine(rejectedEvent(
                     jobId,
-                    format("projected buf working set %llu bytes "
-                           "exceeds the daemon budget of %llu",
-                           static_cast<unsigned long long>(bufBytes),
-                           static_cast<unsigned long long>(
-                               config.memBudgetBytes))));
+                    overflow
+                        ? std::string("projected buf working set "
+                                      "overflows 64 bits")
+                        : format(
+                              "projected buf working set %llu bytes "
+                              "exceeds the daemon budget of %llu",
+                              static_cast<unsigned long long>(
+                                  bufBytes),
+                              static_cast<unsigned long long>(
+                                  config.memBudgetBytes))));
                 return;
             }
         }
@@ -560,7 +621,7 @@ struct Daemon::Impl
                     break;
                 }
             }
-        } catch (const Error &error) {
+        } catch (const std::exception &error) {
             // A parent-side failure (e.g. the in-harness memBudget
             // fail-fast racing admission) is an error result, not a
             // daemon crash.
@@ -569,14 +630,27 @@ struct Daemon::Impl
             return;
         }
 
-        if (ok)
-            cache->store(job.key, resultText);
-        if (capture &&
-            std::filesystem::exists(
-                config.corpusDir + "/job-" +
-                common::hashToHex(job.key) + ".plt")) {
-            bump(&DaemonStats::captures);
-            refreshManifest();
+        // Caching and capture bookkeeping are best-effort: a full
+        // disk must not take down the daemon or strand the job's
+        // coalesced waiters — the result below is still delivered.
+        try {
+            if (ok)
+                cache->store(job.key, resultText);
+            std::error_code ec;
+            if (capture &&
+                std::filesystem::exists(
+                    config.corpusDir + "/job-" +
+                        common::hashToHex(job.key) + ".plt",
+                    ec)) {
+                bump(&DaemonStats::captures);
+                refreshManifest();
+            }
+        } catch (const std::exception &error) {
+            std::fprintf(stderr,
+                         "perple_serve: result caching failed "
+                         "(job %llu): %s\n",
+                         static_cast<unsigned long long>(job.id),
+                         error.what());
         }
 
         std::vector<Waiter> waiters;
@@ -625,7 +699,7 @@ struct Daemon::Impl
                 {.jobs = 1});
             trace::writeCorpusManifest(
                 config.corpusDir + "/corpus.json", report);
-        } catch (const Error &error) {
+        } catch (const std::exception &error) {
             std::fprintf(stderr,
                          "perple_serve: corpus manifest failed: %s\n",
                          error.what());
@@ -749,12 +823,8 @@ struct Daemon::Impl
         // emitted by the drain above still reached its connection.
         {
             std::lock_guard<std::mutex> lock(connMutex);
-            for (const auto &conn : connections) {
-                conn->writable.store(false,
-                                     std::memory_order_relaxed);
-                if (conn->fd >= 0)
-                    ::shutdown(conn->fd, SHUT_RDWR);
-            }
+            for (const auto &conn : connections)
+                conn->shutdownBothEnds();
         }
         std::vector<std::shared_ptr<Connection>> remaining;
         {

@@ -347,6 +347,52 @@ TEST(ServeDaemon, AdmissionRejectsOverBudgetAndBadJobs)
     EXPECT_EQ(stats.executed, 0u);
 }
 
+TEST(ServeDaemon, HostileSubmitsErrorOutWithoutKillingTheDaemon)
+{
+    TempDir dir("hostile");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Client client(dir.path("daemon.sock"));
+
+    // A server-side readable file must never be resolved as a test:
+    // the daemon accepts only inline source and registry names.
+    std::ofstream(dir.path("secret.litmus"))
+        << litmus::writeTest(litmus::findTest("sb").test);
+    serve::SubmitRequest pathProbe;
+    pathProbe.test = dir.path("secret.litmus");
+    const serve::SubmitOutcome probed =
+        client.submitAndWait(pathProbe);
+    EXPECT_EQ(probed.terminal, "error");
+
+    // An over-PATH_MAX spec used to blow up the std::filesystem
+    // probe (ENAMETOOLONG) and std::terminate the daemon.
+    serve::SubmitRequest oversized;
+    oversized.test = std::string(8192, 'x');
+    const serve::SubmitOutcome longSpec =
+        client.submitAndWait(oversized);
+    EXPECT_EQ(longSpec.terminal, "error");
+
+    EXPECT_TRUE(client.ping());
+    const serve::DaemonStats stats = fixture.daemon().stats();
+    EXPECT_EQ(stats.errors, 2u);
+    EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST(ServeDaemon, AdmissionRejectsIterationsThatOverflowTheFormula)
+{
+    TempDir dir("overflow");
+    serve::DaemonConfig config = baseConfig(dir);
+    config.memBudgetBytes = 1 << 20;
+    DaemonFixture fixture(config);
+    serve::Client client(dir.path("daemon.sock"));
+
+    // (2^61 + 1) iterations × 2 loads × 8 bytes wraps to 16 in
+    // uint64 — the checked formula must reject, not admit.
+    const serve::SubmitOutcome outcome =
+        client.submitAndWait(sbRequest((std::int64_t{1} << 61) + 1));
+    EXPECT_EQ(outcome.terminal, "rejected");
+    EXPECT_EQ(fixture.daemon().stats().executed, 0u);
+}
+
 TEST(ServeDaemon, CrashInsideJobIsClassifiedAndNotCached)
 {
     TempDir dir("crash");
@@ -553,6 +599,26 @@ TEST(LoadTestSpec, ResolvesNamesFilesAndInlineSource)
     EXPECT_EQ(litmus::writeTest(fromFile), source);
 
     EXPECT_THROW(litmus::loadTestSpec("definitely-unknown"), Error);
+
+    // An over-PATH_MAX spec must fail as an unknown name (UserError),
+    // not leak a std::filesystem_error out of the exists() probe.
+    EXPECT_THROW(litmus::loadTestSpec(std::string(8192, 'x')), Error);
+}
+
+TEST(LoadTestSpec, InlineVariantNeverTouchesTheFilesystem)
+{
+    const litmus::Test byName = litmus::loadTestSpecInline("sb");
+    EXPECT_EQ(byName.name, "sb");
+    const std::string source = litmus::writeTest(byName);
+    EXPECT_EQ(litmus::writeTest(litmus::loadTestSpecInline(source)),
+              source);
+
+    // A path to a perfectly readable litmus file is rejected: the
+    // inline loader resolves names and source only.
+    TempDir dir("inline-spec");
+    std::ofstream(dir.path("sb.litmus")) << source;
+    EXPECT_THROW(litmus::loadTestSpecInline(dir.path("sb.litmus")),
+                 Error);
 }
 
 } // namespace
