@@ -14,6 +14,12 @@
  *     content-addressed result cache with no fork and no execution.
  *  3. Protocol floor — ping round trips: socket + framing + dispatch
  *     with no job machinery at all.
+ *  4. Journal overhead — cold jobs at a small N against two fresh
+ *     daemons, write-ahead journal on vs off. Cache hits bypass the
+ *     journal entirely, so its cost lands only on executed jobs: two
+ *     fsynced appends (accepted, done) per job. Small N keeps the
+ *     per-job fixed costs (fork + journal) from drowning in
+ *     iteration time.
  *
  * The interesting number is the cold/hit ratio: it is the factor a CI
  * pipeline re-running an unchanged test matrix gains from the cache.
@@ -29,6 +35,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -121,6 +128,70 @@ main()
 
     daemon.requestStop();
     waiter.join();
+
+    // 4. Journal overhead: cold jobs at small N against two live
+    // daemons, journal on vs off, interleaved round-robin so clock
+    // drift and cache-warming hit both legs equally. Every job uses a
+    // fresh seed (always cold), so the journal leg pays its two
+    // fsynced appends per executed job.
+    const std::int64_t nSmall = scaledIterations(2000);
+    constexpr int kJournalJobs = 20;
+    double journalOnSeconds = 0;
+    double journalOffSeconds = 0;
+    {
+        const auto makeDaemon = [&](bool journalOn, int leg) {
+            serve::DaemonConfig legConfig;
+            legConfig.socketPath =
+                (root / format("leg%d.sock", leg)).string();
+            legConfig.stateDir =
+                (root / format("leg%d", leg)).string();
+            legConfig.workers = 2;
+            legConfig.jobTimeoutSeconds = 120;
+            legConfig.journal = journalOn;
+            return std::make_unique<serve::Daemon>(
+                std::move(legConfig));
+        };
+        const auto onDaemon = makeDaemon(true, 0);
+        const auto offDaemon = makeDaemon(false, 1);
+        onDaemon->start();
+        offDaemon->start();
+        std::thread onWaiter([&] { onDaemon->wait(); });
+        std::thread offWaiter([&] { offDaemon->wait(); });
+        {
+            serve::Client onClient(onDaemon->config().socketPath);
+            serve::Client offClient(offDaemon->config().socketPath);
+            const auto submitCold = [&](serve::Client &client,
+                                        int seedOffset,
+                                        double *seconds) {
+                serve::SubmitRequest r = request(1000 + seedOffset);
+                r.iterations = nSmall;
+                WallTimer timer;
+                const auto outcome = client.submitAndWait(r);
+                if (seconds != nullptr)
+                    *seconds += timer.elapsedSeconds();
+                if (!outcome.ok() || outcome.cached) {
+                    std::fprintf(stderr,
+                                 "journal leg job %d failed: %s\n",
+                                 seedOffset,
+                                 outcome.event.dump().c_str());
+                    exitCode = 1;
+                }
+            };
+            // Warmup job per leg (untimed).
+            submitCold(onClient, 0, nullptr);
+            submitCold(offClient, 1, nullptr);
+            for (int round = 0; round < kJournalJobs; ++round) {
+                submitCold(onClient, 2 + 2 * round,
+                           &journalOnSeconds);
+                submitCold(offClient, 3 + 2 * round,
+                           &journalOffSeconds);
+            }
+        }
+        onDaemon->requestStop();
+        offDaemon->requestStop();
+        onWaiter.join();
+        offWaiter.join();
+    }
     std::filesystem::remove_all(root);
 
     const double coldRate = kJobs / coldSeconds;
@@ -134,6 +205,18 @@ main()
     std::printf("cache speedup:    %.1fx\n", hitRate / coldRate);
     std::printf("ping round trip:  %.1f us\n", pingSeconds * 1e6);
 
+    const double journalOnRate = kJournalJobs / journalOnSeconds;
+    const double journalOffRate = kJournalJobs / journalOffSeconds;
+    const double journalOverheadUs =
+        (journalOnSeconds - journalOffSeconds) / kJournalJobs * 1e6;
+    std::printf("journal on:       %.1f jobs/s (cold, N=%lld, "
+                "2 fsynced appends per job)\n",
+                journalOnRate, static_cast<long long>(nSmall));
+    std::printf("journal off:      %.1f jobs/s (same jobs, "
+                "--no-journal)\n",
+                journalOffRate);
+    std::printf("journal cost:     %.1f us/job\n", journalOverheadUs);
+
     std::FILE *json = std::fopen("BENCH_serve.json", "w");
     if (json != nullptr) {
         writeJsonPreamble(json, "micro_serve");
@@ -145,9 +228,15 @@ main()
             "  \"cache_hit_jobs_per_sec\": %.3f,\n"
             "  \"cache_speedup\": %.3f,\n"
             "  \"ping_round_trip_us\": %.3f,\n"
+            "  \"journal_iterations\": %lld,\n"
+            "  \"journal_on_jobs_per_sec\": %.3f,\n"
+            "  \"journal_off_jobs_per_sec\": %.3f,\n"
+            "  \"journal_overhead_us_per_job\": %.3f,\n"
             "  \"bit_identical\": %s\n}\n",
             static_cast<long long>(n), kJobs, coldRate, hitRate,
             hitRate / coldRate, pingSeconds * 1e6,
+            static_cast<long long>(nSmall), journalOnRate,
+            journalOffRate, journalOverheadUs,
             exitCode == 0 ? "true" : "false");
         std::fclose(json);
         std::printf("\nwrote BENCH_serve.json\n");

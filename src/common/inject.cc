@@ -1,0 +1,150 @@
+#include "common/inject.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <unistd.h>
+
+namespace perple::common::inject
+{
+
+namespace
+{
+
+/** Armed thresholds (1-based call indices; 0 = disarmed) and the
+ *  monotonically consumed call slots. */
+struct State
+{
+    std::atomic<long long> shortAt{0};
+    std::atomic<long long> enospcAt{0};
+    std::atomic<long long> fsyncAt{0};
+    std::atomic<long long> writeCalls{0};
+    std::atomic<long long> fsyncCalls{0};
+    std::atomic<bool> anyArmed{false};
+};
+
+State gState;
+std::once_flag gInitOnce;
+
+long long
+envThreshold(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return 0;
+    const long long threshold = std::strtoll(value, nullptr, 10);
+    return threshold > 0 ? threshold : 0;
+}
+
+void
+loadEnv()
+{
+    const long long shortAt = envThreshold("PERPLE_INJECT_SHORT_WRITE");
+    const long long enospcAt = envThreshold("PERPLE_INJECT_ENOSPC");
+    const long long fsyncAt = envThreshold("PERPLE_INJECT_FSYNC_FAIL");
+    gState.shortAt.store(shortAt, std::memory_order_relaxed);
+    gState.enospcAt.store(enospcAt, std::memory_order_relaxed);
+    gState.fsyncAt.store(fsyncAt, std::memory_order_relaxed);
+    gState.writeCalls.store(0, std::memory_order_relaxed);
+    gState.fsyncCalls.store(0, std::memory_order_relaxed);
+    gState.anyArmed.store(shortAt > 0 || enospcAt > 0 || fsyncAt > 0,
+                          std::memory_order_release);
+}
+
+void
+ensureInit()
+{
+    std::call_once(gInitOnce, loadEnv);
+}
+
+} // namespace
+
+bool
+armed()
+{
+    ensureInit();
+    return gState.anyArmed.load(std::memory_order_acquire);
+}
+
+WriteDecision
+decideWrite(std::size_t requested)
+{
+    if (!armed())
+        return {};
+    const long long call =
+        gState.writeCalls.fetch_add(1, std::memory_order_relaxed) + 1;
+    const long long enospcAt =
+        gState.enospcAt.load(std::memory_order_relaxed);
+    if (enospcAt > 0 && call >= enospcAt)
+        return {Fault::Enospc, 0};
+    const long long shortAt =
+        gState.shortAt.load(std::memory_order_relaxed);
+    if (shortAt > 0) {
+        if (call == shortAt)
+            return {Fault::Short, requested / 2};
+        if (call > shortAt)
+            return {Fault::Enospc, 0};
+    }
+    return {};
+}
+
+bool
+decideFsync()
+{
+    if (!armed())
+        return false;
+    const long long call =
+        gState.fsyncCalls.fetch_add(1, std::memory_order_relaxed) + 1;
+    const long long fsyncAt =
+        gState.fsyncAt.load(std::memory_order_relaxed);
+    return fsyncAt > 0 && call >= fsyncAt;
+}
+
+ssize_t
+write(int fd, const void *data, std::size_t count)
+{
+    const WriteDecision decision = decideWrite(count);
+    switch (decision.fault) {
+    case Fault::None: return ::write(fd, data, count);
+    case Fault::Short: {
+        // Persist the torn prefix for real so the on-disk state is
+        // exactly what a crash mid-append leaves behind, then report
+        // the partial count like a genuine short write.
+        std::size_t persisted = 0;
+        const char *bytes = static_cast<const char *>(data);
+        while (persisted < decision.allowed) {
+            const ssize_t wrote = ::write(fd, bytes + persisted,
+                                          decision.allowed - persisted);
+            if (wrote <= 0)
+                break;
+            persisted += static_cast<std::size_t>(wrote);
+        }
+        return static_cast<ssize_t>(persisted);
+    }
+    case Fault::Enospc:
+        errno = ENOSPC;
+        return -1;
+    }
+    errno = ENOSPC;
+    return -1;
+}
+
+int
+fsync(int fd)
+{
+    if (decideFsync()) {
+        errno = EIO;
+        return -1;
+    }
+    return ::fsync(fd);
+}
+
+void
+reset()
+{
+    ensureInit();
+    loadEnv();
+}
+
+} // namespace perple::common::inject

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Env-gated fault injection for durable-write paths.
+ *
+ * The journal, the cache index and the trace writers all promise
+ * crash-durability ("an entry a client was served can never be lost"),
+ * and those promises are only testable if short writes, full disks and
+ * failing fsyncs are first-class test inputs rather than incidents one
+ * hopes for. This shim wraps the two syscalls those writers depend on;
+ * with no injection armed the wrappers are one relaxed atomic load
+ * away from the raw syscall.
+ *
+ * Faults are armed by environment variables whose value N is a 1-based
+ * call index *through this shim*, process-wide:
+ *
+ *   PERPLE_INJECT_SHORT_WRITE=N  the Nth write() persists only half
+ *                                the requested bytes (an honest short
+ *                                write: the partial count is returned
+ *                                and the caller's continuation logic
+ *                                runs); every later write fails with
+ *                                ENOSPC — the "disk filled mid-append"
+ *                                shape that produces a torn tail.
+ *   PERPLE_INJECT_ENOSPC=N       writes from the Nth on fail with
+ *                                ENOSPC, persisting nothing.
+ *   PERPLE_INJECT_FSYNC_FAIL=N   fsyncs from the Nth on fail with EIO
+ *                                (data may be in the page cache but is
+ *                                not durable).
+ *
+ * The variables are read once at first use; tests that arm and disarm
+ * faults between phases call reset() to re-read them and restart the
+ * call counters. Because the gate is the environment, forked children
+ * (supervised workers writing `.plt` captures) inherit the armed
+ * faults — deliberately: a daemon must survive its writers failing
+ * wherever they run.
+ */
+
+#ifndef PERPLE_COMMON_INJECT_H
+#define PERPLE_COMMON_INJECT_H
+
+#include <cstddef>
+#include <sys/types.h>
+
+namespace perple::common::inject
+{
+
+/** What decideWrite() told the caller to do. */
+enum class Fault
+{
+    None,   ///< Proceed normally.
+    Short,  ///< Persist only `allowed` bytes, then report success for
+            ///< exactly those bytes.
+    Enospc, ///< Persist nothing; fail with ENOSPC.
+};
+
+/** One write decision (for writers not using the write() wrapper). */
+struct WriteDecision
+{
+    Fault fault = Fault::None;
+    std::size_t allowed = 0; ///< Bytes to persist when fault==Short.
+};
+
+/** True when any injection variable is armed (cheap fast-path gate). */
+bool armed();
+
+/**
+ * Consume one write-call slot and decide its fate for a request of
+ * @p requested bytes. Stdio-based writers (the trace writer) call this
+ * directly; fd-based writers use write() below.
+ */
+WriteDecision decideWrite(std::size_t requested);
+
+/** Consume one fsync-call slot; true = this fsync must fail (EIO). */
+bool decideFsync();
+
+/** ::write with injection applied; sets errno=ENOSPC on a fault. */
+ssize_t write(int fd, const void *data, std::size_t count);
+
+/** ::fsync with injection applied; sets errno=EIO on a fault. */
+int fsync(int fd);
+
+/** Re-read the environment and restart the call counters (tests). */
+void reset();
+
+} // namespace perple::common::inject
+
+#endif // PERPLE_COMMON_INJECT_H

@@ -56,8 +56,10 @@
 #include "serve/cache.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/journal.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
+#include "serve/scrub.h"
 #include "stats/table.h"
 #include "supervise/run.h"
 #include "supervise/supervise.h"

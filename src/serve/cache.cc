@@ -1,15 +1,18 @@
 #include "serve/cache.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fcntl.h>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <unistd.h>
 
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/hash.h"
+#include "common/inject.h"
 #include "common/strings.h"
 #include "serve/json.h"
 
@@ -19,9 +22,42 @@ namespace perple::serve
 namespace
 {
 
-/** Parse one index line; false (never throws) on a torn/alien line. */
+/** The self-check hash recorded per index line. */
+std::string
+resultSum(const std::string &resultText)
+{
+    return common::hashToHex(common::fnv1a64(
+        common::kFnv1a64Offset, resultText.data(), resultText.size()));
+}
+
 bool
-parseIndexLine(const std::string &line, std::uint64_t &key,
+parseKeyHex(const std::string &hex, std::uint64_t &key)
+{
+    if (hex.size() != 16)
+        return false;
+    key = 0;
+    for (const char c : hex) {
+        key <<= 4;
+        if (c >= '0' && c <= '9')
+            key |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            key |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+enum class LineVerdict
+{
+    Ok,         ///< Load the entry.
+    Torn,       ///< Unparsable (torn tail / alien line): drop silently.
+    Quarantine, ///< Parses but fails the self-check: never serve.
+};
+
+/** Validate one index line; fills key/result on Ok. */
+LineVerdict
+checkIndexLine(const std::string &line, std::uint64_t &key,
                std::string &result)
 {
     try {
@@ -30,24 +66,54 @@ parseIndexLine(const std::string &line, std::uint64_t &key,
         const Json *resultField = entry.find("result");
         if (keyField == nullptr || resultField == nullptr ||
             !resultField->isObject())
-            return false;
-        const std::string &hex = keyField->asString();
-        if (hex.size() != 16)
-            return false;
-        key = 0;
-        for (const char c : hex) {
-            key <<= 4;
-            if (c >= '0' && c <= '9')
-                key |= static_cast<std::uint64_t>(c - '0');
-            else if (c >= 'a' && c <= 'f')
-                key |= static_cast<std::uint64_t>(c - 'a' + 10);
-            else
-                return false;
-        }
+            return LineVerdict::Torn;
+        if (!parseKeyHex(keyField->asString(), key))
+            return LineVerdict::Torn;
         result = resultField->dump();
-        return true;
+
+        // Scrub self-checks. The recorded sum must re-hash from the
+        // stored result bytes, and the result object's own "key"
+        // field (always present in daemon-built results) must agree
+        // with the line's address — either mismatch means the entry
+        // no longer says what was stored under it.
+        const Json *sumField = entry.find("sum");
+        if (sumField != nullptr &&
+            sumField->asString() != resultSum(result))
+            return LineVerdict::Quarantine;
+        const Json *embeddedKey = resultField->find("key");
+        if (embeddedKey != nullptr &&
+            embeddedKey->kind() == Json::Kind::String &&
+            embeddedKey->asString() != keyField->asString())
+            return LineVerdict::Quarantine;
+        return LineVerdict::Ok;
     } catch (const Error &) {
-        return false;
+        return LineVerdict::Torn;
+    }
+}
+
+std::string
+indexLine(std::uint64_t key, const std::string &resultText)
+{
+    std::string line = "{\"key\":\"";
+    line += common::hashToHex(key);
+    line += "\",\"sum\":\"";
+    line += resultSum(resultText);
+    line += "\",\"result\":";
+    line += resultText;
+    line += "}\n";
+    return line;
+}
+
+void
+syncParentDir(const std::string &filePath)
+{
+    const std::size_t slash = filePath.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : filePath.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
     }
 }
 
@@ -57,20 +123,39 @@ ResultCache::ResultCache(const std::string &stateDir)
 {
     common::ensureWritableDir("state dir", stateDir);
     path_ = stateDir + "/cache-index.jsonl";
+    quarantine_ = stateDir + "/cache-quarantine.jsonl";
 
     // Replay an existing index before opening for append, so a
-    // restarted daemon serves everything its predecessor stored.
+    // restarted daemon serves everything its predecessor stored —
+    // except entries failing the self-check, which are moved to the
+    // quarantine file instead of being served corrupt.
     std::ifstream in(path_);
     if (in) {
+        std::ofstream quarantineOut;
         std::string line;
         while (std::getline(in, line)) {
             std::uint64_t key = 0;
             std::string result;
-            if (parseIndexLine(line, key, result)) {
+            switch (checkIndexLine(line, key, result)) {
+            case LineVerdict::Ok:
                 entries_[key] = std::move(result);
                 ++loaded_;
+                break;
+            case LineVerdict::Torn: break;
+            case LineVerdict::Quarantine:
+                if (!quarantineOut.is_open())
+                    quarantineOut.open(quarantine_, std::ios::app);
+                quarantineOut << line << '\n';
+                ++quarantined_;
+                break;
             }
         }
+        if (quarantined_ > 0)
+            std::fprintf(stderr,
+                         "perple_serve: quarantined %zu corrupt cache "
+                         "entr%s to %s\n",
+                         quarantined_, quarantined_ == 1 ? "y" : "ies",
+                         quarantine_.c_str());
     }
 
     fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
@@ -98,17 +183,14 @@ ResultCache::lookup(std::uint64_t key) const
 void
 ResultCache::store(std::uint64_t key, const std::string &resultText)
 {
-    std::string line = "{\"key\":\"";
-    line += common::hashToHex(key);
-    line += "\",\"result\":";
-    line += resultText;
-    line += "}\n";
+    const std::string line = indexLine(key, resultText);
 
     std::lock_guard<std::mutex> lock(mutex_);
     const char *data = line.data();
     std::size_t remaining = line.size();
     while (remaining > 0) {
-        const ssize_t wrote = ::write(fd_, data, remaining);
+        const ssize_t wrote =
+            common::inject::write(fd_, data, remaining);
         if (wrote < 0) {
             if (errno == EINTR)
                 continue;
@@ -118,9 +200,19 @@ ResultCache::store(std::uint64_t key, const std::string &resultText)
         data += wrote;
         remaining -= static_cast<std::size_t>(wrote);
     }
-    checkUser(::fsync(fd_) == 0,
-              format("cache index fsync failed: %s",
-                     std::strerror(errno)));
+    if (common::inject::fsync(fd_) != 0) {
+        // The entry is written (page cache) but not crash-durable.
+        // Serving it is still correct; only a crash before the kernel
+        // flushes could lose it — degrade and count, don't fail the
+        // job that produced a perfectly good result.
+        if (syncFailures_ == 0)
+            std::fprintf(stderr,
+                         "perple_serve: warning: cache index fsync "
+                         "failed (%s); entries are no longer "
+                         "crash-durable\n",
+                         std::strerror(errno));
+        ++syncFailures_;
+    }
     entries_[key] = resultText;
 }
 
@@ -130,6 +222,55 @@ ResultCache::sync()
     std::lock_guard<std::mutex> lock(mutex_);
     if (fd_ >= 0)
         ::fsync(fd_);
+}
+
+bool
+ResultCache::rewriteCompact()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string temp = path_ + ".tmp";
+    const int fd = ::open(temp.c_str(),
+                          O_WRONLY | O_TRUNC | O_CREAT | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return false;
+
+    // Deterministic key order so two scrubs of the same state write
+    // byte-identical indexes.
+    std::map<std::uint64_t, const std::string *> ordered;
+    for (const auto &[key, result] : entries_)
+        ordered.emplace(key, &result);
+
+    bool ok = true;
+    for (const auto &[key, result] : ordered) {
+        const std::string line = indexLine(key, *result);
+        const char *data = line.data();
+        std::size_t remaining = line.size();
+        while (ok && remaining > 0) {
+            const ssize_t wrote = ::write(fd, data, remaining);
+            if (wrote < 0) {
+                if (errno == EINTR)
+                    continue;
+                ok = false;
+                break;
+            }
+            data += wrote;
+            remaining -= static_cast<std::size_t>(wrote);
+        }
+    }
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+    ok = ok && std::rename(temp.c_str(), path_.c_str()) == 0;
+    if (!ok) {
+        ::unlink(temp.c_str());
+        return false;
+    }
+    syncParentDir(path_);
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                 0644);
+    return fd_ >= 0;
 }
 
 std::size_t
@@ -144,6 +285,20 @@ ResultCache::loadedEntries() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return loaded_;
+}
+
+std::size_t
+ResultCache::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_;
+}
+
+std::uint64_t
+ResultCache::syncFailures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return syncFailures_;
 }
 
 } // namespace perple::serve

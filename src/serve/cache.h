@@ -10,14 +10,28 @@
  *
  * Durability model: one append-only index file,
  * `<stateDir>/cache-index.jsonl`, one JSON line per entry
- * (`{"key":"<hex>","result":{...}}`). Every store appends and fsyncs
+ * (`{"key":"<hex>","sum":"<hex>","result":{...}}` where `sum` is
+ * fnv1a64 over the exact result bytes). Every store appends and fsyncs
  * before the entry becomes visible, so an entry a client was served
- * from cache can never be lost by a crash that happens later. On
+ * from cache can never be lost by a crash that happens later; an fsync
+ * failure (disk dying under the daemon) degrades that entry to
+ * non-durable with a counted warning instead of failing the job. On
  * construction the index is replayed; a torn final line (the process
  * died mid-append) is dropped silently, matching the trace-store
  * salvage philosophy: lose at most the entry being written, never an
  * earlier one. Duplicate keys keep the last entry, so a rewritten
  * index compacts naturally.
+ *
+ * Scrub: the replay re-hashes every entry's result bytes against its
+ * recorded `sum` and cross-checks the result object's embedded "key"
+ * field against the line's key. A mismatch (bit rot, a truncated
+ * middle line, a hand-edited index) is *quarantined* — appended to
+ * `<stateDir>/cache-quarantine.jsonl` and never served — because a
+ * corrupt cache entry silently replayed to a client is worse than a
+ * miss. `perple_serve scrub` runs the same validation offline and
+ * additionally rewrites a compacted index (rewriteCompact()). Entries
+ * from pre-sum indexes (no "sum" field) are accepted for
+ * compatibility; compaction upgrades them.
  *
  * Failed jobs (timeout/crash/oom) are never stored: a fault is a
  * property of that execution, not of the job identity, and a retry
@@ -42,7 +56,8 @@ class ResultCache
   public:
     /**
      * Open (and replay) the index under @p stateDir, creating the
-     * directory and an empty index when missing.
+     * directory and an empty index when missing. Entries failing the
+     * sum/key self-check are quarantined, not loaded.
      * @throws UserError when the directory or index is unusable.
      */
     explicit ResultCache(const std::string &stateDir);
@@ -58,12 +73,23 @@ class ResultCache
     /**
      * Insert @p resultText under @p key and append it durably
      * (write + fsync) to the index. Overwrites an existing entry in
-     * memory; on disk the append wins on replay.
+     * memory; on disk the append wins on replay. A write failure
+     * throws (the job's caller treats caching as best-effort); an
+     * fsync failure is tolerated and counted — the entry is resident
+     * and on disk, just not yet crash-durable.
      */
     void store(std::uint64_t key, const std::string &resultText);
 
     /** fsync the index once more (shutdown barrier). */
     void sync();
+
+    /**
+     * Rewrite the index as one validated line per resident entry
+     * (temp file + rename), dropping superseded duplicates and
+     * upgrading pre-sum lines. False when the rewrite could not be
+     * completed (the original index is left intact).
+     */
+    bool rewriteCompact();
 
     /** Entries currently resident. */
     std::size_t size() const;
@@ -71,15 +97,27 @@ class ResultCache
     /** Entries replayed from a pre-existing index at construction. */
     std::size_t loadedEntries() const;
 
+    /** Entries quarantined by the replay self-check. */
+    std::size_t quarantined() const;
+
+    /** Index fsyncs that failed (degraded durability warnings). */
+    std::uint64_t syncFailures() const;
+
     /** The index file path (diagnostics). */
     const std::string &indexPath() const { return path_; }
 
+    /** The quarantine file path (diagnostics). */
+    const std::string &quarantinePath() const { return quarantine_; }
+
   private:
     std::string path_;
+    std::string quarantine_;
     int fd_ = -1;
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, std::string> entries_;
     std::size_t loaded_ = 0;
+    std::size_t quarantined_ = 0;
+    std::uint64_t syncFailures_ = 0;
 };
 
 } // namespace perple::serve

@@ -1,9 +1,12 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 #include "common/cli.h"
@@ -13,9 +16,29 @@
 namespace perple::serve
 {
 
+namespace
+{
+
+/** splitmix64 step — deterministic jitter without a global RNG. */
+std::uint64_t
+mixJitter(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 Client::Client(const std::string &socketPath)
 {
-    common::parseExistingSocketPath("socket", socketPath);
+    // Path-shape problems (too long, unwritable parent) are the
+    // caller's bug and stay fatal; an absent or refusing socket is a
+    // daemon-liveness condition and throws the retryable
+    // ConnectError instead.
+    common::parseSocketPathArg("socket", socketPath);
     fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     checkUser(fd_ >= 0, format("cannot create socket: %s",
                                std::strerror(errno)));
@@ -28,9 +51,10 @@ Client::Client(const std::string &socketPath)
         const int error = errno;
         ::close(fd_);
         fd_ = -1;
-        fatal(format("cannot connect to %s: %s (is the daemon "
-                     "running?)",
-                     socketPath.c_str(), std::strerror(error)));
+        throw ConnectError(
+            format("cannot connect to %s: %s (is the daemon "
+                   "running?)",
+                   socketPath.c_str(), std::strerror(error)));
     }
 }
 
@@ -53,6 +77,11 @@ Client::sendLine(const std::string &line)
         if (wrote < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EPIPE || errno == ECONNRESET ||
+                errno == ECONNREFUSED)
+                throw ConnectError(
+                    format("daemon connection lost on write: %s",
+                           std::strerror(errno)));
             fatal(format("daemon connection write failed: %s",
                          std::strerror(errno)));
         }
@@ -78,6 +107,10 @@ Client::readLine()
         if (got < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == ECONNRESET)
+                throw ConnectError(
+                    format("daemon connection lost on read: %s",
+                           std::strerror(errno)));
             fatal(format("daemon connection read failed: %s",
                          std::strerror(errno)));
         }
@@ -96,8 +129,11 @@ Client::submitAndWait(const SubmitRequest &request)
     bool haveJob = false;
     while (true) {
         const auto line = readLine();
-        checkUser(line.has_value(),
-                  "daemon closed the connection mid-submit");
+        // A close mid-submit is the daemon dying (or draining us
+        // away); retryable, since resubmission is idempotent.
+        if (!line.has_value())
+            throw ConnectError(
+                "daemon closed the connection mid-submit");
         const Json event = Json::parse(*line);
         const std::string kind = event.stringOr("event", "");
         const std::uint64_t job = event.uintOr("job", 0);
@@ -169,6 +205,37 @@ Client::shutdown()
         return false;
     return Json::parse(*line).stringOr("event", "") ==
            "shutting-down";
+}
+
+SubmitOutcome
+submitWithRetry(const std::string &socketPath,
+                const SubmitRequest &request,
+                const RetryPolicy &policy)
+{
+    const int attempts = std::max(1, policy.maxAttempts);
+    std::uint64_t jitterState = policy.jitterSeed;
+    double delay = policy.initialDelaySeconds;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            Client client(socketPath);
+            return client.submitAndWait(request);
+        } catch (const ConnectError &) {
+            if (attempt >= attempts)
+                throw;
+        }
+        // Full jitter on the exponential schedule: sleep a uniform
+        // fraction of the capped delay so a fleet of retrying
+        // tenants doesn't stampede the restarting daemon in step.
+        const double capped =
+            std::min(delay, policy.maxDelaySeconds);
+        const double fraction =
+            0.5 + 0.5 * (static_cast<double>(mixJitter(jitterState) >>
+                                             11) /
+                         9007199254740992.0);
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            capped * fraction));
+        delay *= 2.0;
+    }
 }
 
 } // namespace perple::serve

@@ -17,6 +17,17 @@
  * The helpers match events to the submitted job by its "job" id, so a
  * client multiplexing submissions on one connection can still use
  * them one at a time.
+ *
+ * Connection-level failures (no socket, connect refused, the daemon
+ * died mid-conversation) throw ConnectError — a UserError subclass —
+ * so callers can tell "the daemon is away" from "my request is
+ * malformed". Because jobs are content-addressed, resubmitting after
+ * a reconnect is idempotent: the restarted daemon either answers from
+ * its replayed cache or re-executes to bit-identical result bytes.
+ * submitWithRetry() packages that loop — fresh connection per
+ * attempt, bounded exponential backoff with deterministic jitter —
+ * so a campaign script rides out a daemon restart without losing
+ * work.
  */
 
 #ifndef PERPLE_SERVE_CLIENT_H
@@ -26,11 +37,37 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 
 namespace perple::serve
 {
+
+/** The daemon is absent, restarting, or died mid-conversation. */
+class ConnectError : public UserError
+{
+  public:
+    explicit ConnectError(const std::string &what_arg)
+        : UserError(what_arg)
+    {}
+};
+
+/** Backoff schedule for submitWithRetry(). */
+struct RetryPolicy
+{
+    /** Connection attempts before giving up (>= 1). */
+    int maxAttempts = 8;
+
+    /** Delay before the second attempt; doubles per attempt. */
+    double initialDelaySeconds = 0.05;
+
+    /** Ceiling on any single delay. */
+    double maxDelaySeconds = 2.0;
+
+    /** Seed for the deterministic jitter (tests pin it). */
+    std::uint64_t jitterSeed = 0x9e3779b97f4a7c15ull;
+};
 
 /** Everything a submit conversation produced. */
 struct SubmitOutcome
@@ -105,6 +142,17 @@ class Client
     int fd_ = -1;
     std::string pending_;
 };
+
+/**
+ * Submit @p request, reconnecting with exponential backoff + jitter
+ * while the daemon is away (ConnectError). Each attempt uses a fresh
+ * connection; safe across daemon restarts because jobs are
+ * content-addressed. Rethrows the last ConnectError when
+ * @p policy.maxAttempts connections all fail.
+ */
+SubmitOutcome submitWithRetry(const std::string &socketPath,
+                              const SubmitRequest &request,
+                              const RetryPolicy &policy = {});
 
 } // namespace perple::serve
 

@@ -28,6 +28,7 @@
 #include "perple/config_serialize.h"
 #include "perple/converter.h"
 #include "serve/cache.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "supervise/run.h"
 #include "trace/corpus.h"
@@ -131,6 +132,9 @@ struct Job
     std::vector<std::string> labels;
     SubmitRequest request;
     std::shared_ptr<Connection> conn;
+
+    /** Re-enqueued by journal replay; tags the result event. */
+    bool recovered = false;
 };
 
 /** True when @p env names this job id (fuzz-style fault gating). */
@@ -162,6 +166,8 @@ struct Daemon::Impl
 {
     DaemonConfig config;
     std::unique_ptr<ResultCache> cache;
+    std::unique_ptr<JobJournal> journal;
+    std::atomic<bool> journalWarned{false};
 
     int listenFd = -1;
     int stopRead = -1;
@@ -205,6 +211,19 @@ struct Daemon::Impl
     {
         std::lock_guard<std::mutex> lock(statsMutex);
         ++(counters.*counter);
+    }
+
+    /** Log the first journal-append failure; durability is an
+     *  upgrade, not a gate, so the daemon keeps serving. */
+    void
+    noteJournal(bool appendOk)
+    {
+        if (appendOk || journalWarned.exchange(true))
+            return;
+        std::fprintf(stderr,
+                     "perple_serve: warning: job journal append "
+                     "failed; continuing without crash "
+                     "durability\n");
     }
 
     // --- Listener ---------------------------------------------------
@@ -400,27 +419,7 @@ struct Daemon::Impl
         job->id = jobId;
         job->conn = conn;
         try {
-            job->request = submitRequestFromJson(message);
-            // Inline-only resolution: the daemon must never probe a
-            // client-controlled string as a server-side file path.
-            job->test =
-                litmus::loadTestSpecInline(job->request.test);
-            hardenConfig(job->request.config);
-            job->perpetual = core::convert(job->test);
-            if (job->request.outcomes.empty()) {
-                job->outcomes.push_back(job->test.target);
-                job->labels.emplace_back("target");
-            } else {
-                for (const std::string &text :
-                     job->request.outcomes) {
-                    job->outcomes.push_back(
-                        litmus::parseOutcome(job->test, text));
-                    job->labels.push_back(text);
-                }
-            }
-            job->key = cacheKey(job->test, job->request.iterations,
-                                job->request.outcomes,
-                                job->request.config);
+            prepareJob(*job, message);
         } catch (const Error &error) {
             bump(&DaemonStats::errors);
             conn->sendLine(errorEvent(jobId, error.what()));
@@ -508,8 +507,108 @@ struct Daemon::Impl
             inFlight.emplace(job->key, std::vector<Waiter>());
             immediate = acceptedEvent(jobId, job->key, false);
         }
+        // Write-ahead: the accepted record must be durable before the
+        // tenant hears "accepted", so a daemon that crashes after this
+        // point owes (and will replay) the job. A worker may journal
+        // `done` first — the replay balances, it doesn't order.
+        if (journal)
+            noteJournal(journal->accepted(job->key, message.dump()));
         jobCv.notify_one();
         conn->sendLine(immediate);
+    }
+
+    /**
+     * Fill @p job from one submit op message: parse, validate,
+     * convert and key. Shared by live submissions and journal
+     * recovery. @throws on anything malformed.
+     */
+    void
+    prepareJob(Job &job, const Json &message)
+    {
+        job.request = submitRequestFromJson(message);
+        // Inline-only resolution: the daemon must never probe a
+        // client-controlled string as a server-side file path.
+        job.test = litmus::loadTestSpecInline(job.request.test);
+        hardenConfig(job.request.config);
+        job.perpetual = core::convert(job.test);
+        if (job.request.outcomes.empty()) {
+            job.outcomes.push_back(job.test.target);
+            job.labels.emplace_back("target");
+        } else {
+            for (const std::string &text : job.request.outcomes) {
+                job.outcomes.push_back(
+                    litmus::parseOutcome(job.test, text));
+                job.labels.push_back(text);
+            }
+        }
+        job.key = cacheKey(job.test, job.request.iterations,
+                           job.request.outcomes, job.request.config);
+    }
+
+    // --- Journal recovery -------------------------------------------
+
+    /**
+     * Re-enqueue every job the journal says a previous daemon
+     * accepted but never resolved. Runs from start(), after the cache
+     * replay and before the workers spin up — the queue is still
+     * single-threaded here. A pending job whose result landed in the
+     * cache before the crash is satisfied from it (marked done, not
+     * re-executed); the rest run again under a connection-less Job
+     * whose events go nowhere but whose side effects (cache entry,
+     * capture, counters) land exactly as if a tenant were attached.
+     */
+    void
+    recoverJournal()
+    {
+        if (!journal || journal->pending().empty())
+            return;
+        auto nullConn = std::make_shared<Connection>();
+        std::vector<PendingJob> keep;
+        std::size_t requeued = 0;
+        std::size_t satisfied = 0;
+        std::size_t dropped = 0;
+        for (const PendingJob &pendingJob : journal->pending()) {
+            try {
+                const Json message =
+                    Json::parse(pendingJob.submitJson);
+                auto job = std::make_shared<Job>();
+                job->conn = nullConn;
+                job->recovered = true;
+                prepareJob(*job, message);
+                if (!job->request.noCache &&
+                    cache->lookup(job->key).has_value()) {
+                    // Crash fell between the cache store and the
+                    // `done` append: the work is durable already.
+                    ++satisfied;
+                    bump(&DaemonStats::recovered);
+                    continue;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(jobMutex);
+                    job->id = nextJobId++;
+                    queue.push_back(job);
+                    inFlight.emplace(job->key,
+                                     std::vector<Waiter>());
+                }
+                keep.push_back(pendingJob);
+                ++requeued;
+                bump(&DaemonStats::recovered);
+            } catch (const std::exception &) {
+                // A request that no longer parses (older wire
+                // format, torn journal payload) cannot be owed.
+                ++dropped;
+            }
+        }
+        // Compact to exactly the re-enqueued jobs: satisfied and
+        // dropped entries leave the journal, bounding its growth
+        // across restart cycles.
+        journal->compact(keep);
+        std::fprintf(stderr,
+                     "perple_serve: journal recovery: %zu job%s "
+                     "re-enqueued, %zu satisfied from cache, %zu "
+                     "dropped\n",
+                     requeued, requeued == 1 ? "" : "s", satisfied,
+                     dropped);
     }
 
     /** Clamp a job's budgets to the daemon's admission policy. */
@@ -558,6 +657,8 @@ struct Daemon::Impl
     execute(Job &job)
     {
         job.conn->sendLine(startedEvent(job.id));
+        if (journal)
+            noteJournal(journal->started(job.key));
         executing.fetch_add(1, std::memory_order_relaxed);
         bump(&DaemonStats::executed);
 
@@ -663,11 +764,14 @@ struct Daemon::Impl
             }
         }
         executing.fetch_sub(1, std::memory_order_relaxed);
-        job.conn->sendLine(
-            resultEvent(job.id, false, false, resultText));
+        job.conn->sendLine(resultEvent(job.id, false, false,
+                                       resultText, job.recovered));
         for (const Waiter &waiter : waiters)
             waiter.conn->sendLine(resultEvent(waiter.jobId, true,
-                                              true, resultText));
+                                              true, resultText,
+                                              job.recovered));
+        if (journal)
+            noteJournal(journal->done(job.key));
     }
 
     /** Fail @p job and everyone coalesced onto it. */
@@ -687,6 +791,8 @@ struct Daemon::Impl
         job.conn->sendLine(errorEvent(job.id, reason));
         for (const Waiter &waiter : waiters)
             waiter.conn->sendLine(errorEvent(waiter.jobId, reason));
+        if (journal)
+            noteJournal(journal->failed(job.key, reason));
     }
 
     void
@@ -724,6 +830,9 @@ struct Daemon::Impl
         snapshot.inFlight =
             executing.load(std::memory_order_relaxed);
         snapshot.cacheEntries = cache ? cache->size() : 0;
+        snapshot.journalWrites = journal ? journal->writes() : 0;
+        snapshot.journalDegraded = journal ? journal->failures() : 0;
+        snapshot.scrubQuarantined = cache ? cache->quarantined() : 0;
 
         Json stats = Json::object();
         stats.set("submitted",
@@ -752,6 +861,14 @@ struct Daemon::Impl
                   Json::numberUnsigned(snapshot.inFlight));
         stats.set("cache_entries",
                   Json::numberUnsigned(snapshot.cacheEntries));
+        stats.set("recovered",
+                  Json::numberUnsigned(snapshot.recovered));
+        stats.set("journal_writes",
+                  Json::numberUnsigned(snapshot.journalWrites));
+        stats.set("journal_degraded",
+                  Json::numberUnsigned(snapshot.journalDegraded));
+        stats.set("scrub_quarantined",
+                  Json::numberUnsigned(snapshot.scrubQuarantined));
 
         Json message = Json::object();
         message.set("event", Json::string("status"));
@@ -802,6 +919,11 @@ struct Daemon::Impl
             bump(&DaemonStats::errors);
             job->conn->sendLine(errorEvent(
                 job->id, "daemon shut down before the job ran"));
+            // A graceful shutdown resolves the job (the tenant heard
+            // the error); only a crash leaves it owed.
+            if (journal)
+                noteJournal(journal->failed(
+                    job->key, "daemon shut down before the job ran"));
         }
         for (const Waiter &waiter : orphanedWaiters)
             waiter.conn->sendLine(errorEvent(
@@ -818,6 +940,8 @@ struct Daemon::Impl
 
         if (cache)
             cache->sync();
+        if (journal)
+            journal->sync();
 
         // Unblock and join the tenant readers last, so every event
         // emitted by the drain above still reached its connection.
@@ -865,12 +989,16 @@ Daemon::start()
     common::ensureWritableDir("--state", impl_->config.stateDir);
     impl_->cache =
         std::make_unique<ResultCache>(impl_->config.stateDir);
+    if (impl_->config.journal)
+        impl_->journal =
+            std::make_unique<JobJournal>(impl_->config.stateDir);
     if (!impl_->config.corpusDir.empty())
         common::ensureWritableDir("--corpus",
                                   impl_->config.corpusDir);
     if (impl_->config.workers == 0)
         impl_->config.workers = 1;
     impl_->bindSocket();
+    impl_->recoverJournal();
     impl_->started.store(true);
     for (std::size_t i = 0; i < impl_->config.workers; ++i)
         impl_->workers.emplace_back(
@@ -925,6 +1053,12 @@ Daemon::stats() const
         impl_->executing.load(std::memory_order_relaxed);
     snapshot.cacheEntries =
         impl_->cache ? impl_->cache->size() : 0;
+    snapshot.journalWrites =
+        impl_->journal ? impl_->journal->writes() : 0;
+    snapshot.journalDegraded =
+        impl_->journal ? impl_->journal->failures() : 0;
+    snapshot.scrubQuarantined =
+        impl_->cache ? impl_->cache->quarantined() : 0;
     return snapshot;
 }
 

@@ -42,6 +42,16 @@
  * bounded by the per-job watchdog (SIGTERM → grace → SIGKILL), the
  * cache index is fsynced, and every worker child is reaped — no
  * orphan processes survive the daemon.
+ *
+ * Crash durability (journal.h): every admitted job is journaled
+ * before its "accepted" event and marked done/failed as it resolves.
+ * start() replays the journal and re-enqueues jobs a previous daemon
+ * accepted but never resolved — their results are tagged
+ * "recovered":true in the event envelope (the result object itself
+ * stays bit-identical to an uninterrupted run) and counted in
+ * DaemonStats::recovered. Journal append failures degrade the daemon
+ * to non-durable operation with a logged warning and the
+ * journalDegraded counter; they never abort it.
  */
 
 #ifndef PERPLE_SERVE_DAEMON_H
@@ -99,6 +109,13 @@ struct DaemonConfig
 
     /** Supervised retries per job after a fault. */
     int retries = 0;
+
+    /**
+     * Write-ahead job journal (crash recovery of accepted work).
+     * Disabled only for benchmarking the journal's own cost
+     * (`--no-journal`); a production daemon keeps it on.
+     */
+    bool journal = true;
 };
 
 /** Monotonic daemon counters (status op / tests / CI assertions). */
@@ -119,6 +136,19 @@ struct DaemonStats
     std::uint64_t queued = 0;      ///< currently waiting (gauge).
     std::uint64_t inFlight = 0;    ///< currently executing (gauge).
     std::uint64_t cacheEntries = 0; ///< resident cache size (gauge).
+
+    /** Jobs re-enqueued (or cache-satisfied) by journal replay. */
+    std::uint64_t recovered = 0;
+
+    /** Durable job-journal appends. */
+    std::uint64_t journalWrites = 0;
+
+    /** Journal appends that failed; > 0 means the daemon has been
+     *  degraded to non-durable operation at least once. */
+    std::uint64_t journalDegraded = 0;
+
+    /** Cache entries quarantined by the startup scrub (gauge). */
+    std::uint64_t scrubQuarantined = 0;
 };
 
 /** The daemon; see file comment. One instance per process is typical

@@ -1,0 +1,290 @@
+#include "serve/journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <unordered_map>
+#include <unistd.h>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/inject.h"
+#include "common/strings.h"
+#include "serve/json.h"
+
+namespace perple::serve
+{
+
+namespace
+{
+
+/** Parse a 16-hex-digit key; false on anything else. */
+bool
+parseKeyHex(const std::string &hex, std::uint64_t &key)
+{
+    if (hex.size() != 16)
+        return false;
+    key = 0;
+    for (const char c : hex) {
+        key <<= 4;
+        if (c >= '0' && c <= '9')
+            key |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            key |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+/** fsync the directory containing @p filePath (rename durability). */
+void
+syncParentDir(const std::string &filePath)
+{
+    const std::size_t slash = filePath.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : filePath.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+std::string
+acceptedRecord(std::uint64_t key, const std::string &submitJson)
+{
+    std::string line = "{\"txn\":\"accepted\",\"key\":\"";
+    line += common::hashToHex(key);
+    line += "\",\"request\":";
+    line += submitJson;
+    line += "}\n";
+    return line;
+}
+
+} // namespace
+
+JobJournal::JobJournal(const std::string &stateDir)
+{
+    common::ensureWritableDir("state dir", stateDir);
+    path_ = stateDir + "/journal.jsonl";
+
+    // Replay: per-key balance of accepted minus done/failed records,
+    // remembering the latest request text. A torn or alien line is
+    // dropped silently — the salvage policy shared with the cache
+    // index: lose at most the record being appended when the writer
+    // died, never an earlier one.
+    struct Balance
+    {
+        long long count = 0;
+        std::string submitJson;
+        std::size_t firstSeen = 0; ///< replay order for re-enqueue
+    };
+    std::unordered_map<std::uint64_t, Balance> balances;
+    std::size_t order = 0;
+    std::ifstream in(path_);
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            try {
+                const Json record = Json::parse(line);
+                const std::string txn = record.stringOr("txn", "");
+                std::uint64_t key = 0;
+                if (!parseKeyHex(record.stringOr("key", ""), key))
+                    continue;
+                if (txn == "accepted") {
+                    const Json *request = record.find("request");
+                    if (request == nullptr || !request->isObject())
+                        continue;
+                    Balance &balance = balances[key];
+                    if (balance.count == 0 &&
+                        balance.submitJson.empty())
+                        balance.firstSeen = order++;
+                    ++balance.count;
+                    balance.submitJson = request->dump();
+                } else if (txn == "done" || txn == "failed") {
+                    Balance &balance = balances[key];
+                    if (balance.count == 0 &&
+                        balance.submitJson.empty())
+                        balance.firstSeen = order++;
+                    --balance.count;
+                } // "started" is informational; no balance change.
+            } catch (const Error &) {
+                // Torn/alien line: drop.
+            }
+        }
+    }
+    std::vector<std::pair<std::size_t, PendingJob>> ordered;
+    for (const auto &[key, balance] : balances)
+        if (balance.count > 0 && !balance.submitJson.empty())
+            ordered.emplace_back(balance.firstSeen,
+                                 PendingJob{key, balance.submitJson});
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (auto &[seen, job] : ordered)
+        pending_.push_back(std::move(job));
+
+    fd_ = ::open(path_.c_str(),
+                 O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    checkUser(fd_ >= 0, format("cannot open job journal %s: %s",
+                               path_.c_str(), std::strerror(errno)));
+}
+
+JobJournal::~JobJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+JobJournal::append(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0) {
+        degraded_ = true;
+        ++failures_;
+        return false;
+    }
+    const char *data = line.data();
+    std::size_t remaining = line.size();
+    while (remaining > 0) {
+        const ssize_t wrote =
+            common::inject::write(fd_, data, remaining);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            degraded_ = true;
+            ++failures_;
+            return false;
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
+    if (common::inject::fsync(fd_) != 0) {
+        degraded_ = true;
+        ++failures_;
+        return false;
+    }
+    ++writes_;
+    return true;
+}
+
+bool
+JobJournal::accepted(std::uint64_t key, const std::string &submitJson)
+{
+    return append(acceptedRecord(key, submitJson));
+}
+
+bool
+JobJournal::started(std::uint64_t key)
+{
+    return append(format("{\"txn\":\"started\",\"key\":\"%s\"}\n",
+                         common::hashToHex(key).c_str()));
+}
+
+bool
+JobJournal::done(std::uint64_t key)
+{
+    return append(format("{\"txn\":\"done\",\"key\":\"%s\"}\n",
+                         common::hashToHex(key).c_str()));
+}
+
+bool
+JobJournal::failed(std::uint64_t key, const std::string &reason)
+{
+    return append(format("{\"txn\":\"failed\",\"key\":\"%s\","
+                         "\"reason\":\"%s\"}\n",
+                         common::hashToHex(key).c_str(),
+                         jsonEscape(reason).c_str()));
+}
+
+void
+JobJournal::compact(const std::vector<PendingJob> &keep)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string temp = path_ + ".tmp";
+    const int fd = ::open(temp.c_str(),
+                          O_WRONLY | O_TRUNC | O_CREAT | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+        degraded_ = true;
+        ++failures_;
+        return;
+    }
+    bool ok = true;
+    for (const PendingJob &job : keep) {
+        const std::string line =
+            acceptedRecord(job.key, job.submitJson);
+        const char *data = line.data();
+        std::size_t remaining = line.size();
+        while (ok && remaining > 0) {
+            const ssize_t wrote =
+                common::inject::write(fd, data, remaining);
+            if (wrote < 0) {
+                if (errno == EINTR)
+                    continue;
+                ok = false;
+                break;
+            }
+            data += wrote;
+            remaining -= static_cast<std::size_t>(wrote);
+        }
+    }
+    ok = ok && common::inject::fsync(fd) == 0;
+    ::close(fd);
+    ok = ok && std::rename(temp.c_str(), path_.c_str()) == 0;
+    if (!ok) {
+        ::unlink(temp.c_str());
+        degraded_ = true;
+        ++failures_;
+        return; // The uncompacted journal is intact; just bigger.
+    }
+    syncParentDir(path_);
+    // The append fd now points at the unlinked pre-compaction file;
+    // reopen onto the compacted one.
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = ::open(path_.c_str(),
+                 O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        degraded_ = true;
+        ++failures_;
+    }
+}
+
+bool
+JobJournal::degraded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_;
+}
+
+std::uint64_t
+JobJournal::writes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return writes_;
+}
+
+std::uint64_t
+JobJournal::failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_;
+}
+
+void
+JobJournal::sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0)
+        ::fsync(fd_);
+}
+
+} // namespace perple::serve

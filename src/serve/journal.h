@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The write-ahead job journal of the serve daemon.
+ *
+ * The result cache (cache.h) makes *finished* work durable; this
+ * journal makes *accepted* work durable. Every admitted job appends an
+ * `accepted` record (carrying the full submit message) before the
+ * tenant is told "accepted", and a `started` / `done` / `failed`
+ * record as it moves through execution — each record one JSON line in
+ * an append-only, fsynced `<stateDir>/journal.jsonl`, salvaged on
+ * reopen with the same torn-final-line policy as the cache index: an
+ * unparsable line (the process died mid-append) is dropped, never an
+ * earlier one.
+ *
+ * Replay computes, per cache key, the balance of `accepted` records
+ * minus `done`/`failed` records. A positive balance means the daemon
+ * died owing that job an execution; start() re-enqueues it (tagged
+ * recovered) so a SIGKILL mid-campaign loses no accepted work. Using a
+ * balance rather than a state machine makes replay insensitive to the
+ * one benign reordering the daemon allows (a very fast worker may
+ * journal `done` before the submitter's `accepted` append lands) and
+ * to duplicate keys from `no_cache` resubmissions.
+ *
+ * Failure policy: journaling is a durability upgrade, not a
+ * correctness gate. When an append cannot be made durable (disk full,
+ * failing fsync — both injectable via common/inject.h) the journal
+ * flips to degraded mode, the append reports false, and the daemon
+ * keeps serving non-durably with a logged warning and a stats counter
+ * instead of aborting: losing crash-durability is strictly better
+ * than losing the daemon.
+ */
+
+#ifndef PERPLE_SERVE_JOURNAL_H
+#define PERPLE_SERVE_JOURNAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace perple::serve
+{
+
+/** One job the journal says was accepted but never resolved. */
+struct PendingJob
+{
+    std::uint64_t key = 0;
+
+    /** The original submit op message (one JSON object line). */
+    std::string submitJson;
+};
+
+/** Append-only fsynced job journal; see file comment. */
+class JobJournal
+{
+  public:
+    /**
+     * Open (and replay) `<stateDir>/journal.jsonl`, creating the
+     * directory and an empty journal when missing.
+     * @throws UserError when the directory or journal is unusable.
+     */
+    explicit JobJournal(const std::string &stateDir);
+
+    ~JobJournal();
+
+    JobJournal(const JobJournal &) = delete;
+    JobJournal &operator=(const JobJournal &) = delete;
+
+    /**
+     * Transition appends (write + fsync). Each returns true when the
+     * record is durable; false flips the journal to degraded mode and
+     * the record may be lost on a crash — the caller logs and keeps
+     * going.
+     */
+    bool accepted(std::uint64_t key, const std::string &submitJson);
+    bool started(std::uint64_t key);
+    bool done(std::uint64_t key);
+    bool failed(std::uint64_t key, const std::string &reason);
+
+    /** Unresolved jobs found by the replay at construction, in
+     *  journal order (one entry per owed execution). */
+    const std::vector<PendingJob> &pending() const { return pending_; }
+
+    /**
+     * Rewrite the journal to exactly @p keep (one `accepted` record
+     * each) via temp-file + rename, bounding journal growth across
+     * restarts. Called once at daemon start after recovery triage;
+     * failure degrades instead of throwing.
+     */
+    void compact(const std::vector<PendingJob> &keep);
+
+    /** An append could not be made durable at least once. */
+    bool degraded() const;
+
+    /** Durable appends performed. */
+    std::uint64_t writes() const;
+
+    /** Appends that failed (each one a durability gap). */
+    std::uint64_t failures() const;
+
+    /** fsync once more (shutdown barrier). */
+    void sync();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    bool append(const std::string &line);
+
+    std::string path_;
+    int fd_ = -1;
+    mutable std::mutex mutex_;
+    std::vector<PendingJob> pending_;
+    bool degraded_ = false;
+    std::uint64_t writes_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_JOURNAL_H

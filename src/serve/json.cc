@@ -12,6 +12,27 @@ namespace perple::serve
 namespace
 {
 
+/** Encode one Unicode scalar value as UTF-8. */
+void
+appendUtf8(std::string &out, unsigned codepoint)
+{
+    if (codepoint < 0x80) {
+        out += static_cast<char>(codepoint);
+    } else if (codepoint < 0x800) {
+        out += static_cast<char>(0xC0 | (codepoint >> 6));
+        out += static_cast<char>(0x80 | (codepoint & 0x3F));
+    } else if (codepoint < 0x10000) {
+        out += static_cast<char>(0xE0 | (codepoint >> 12));
+        out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (codepoint & 0x3F));
+    } else {
+        out += static_cast<char>(0xF0 | (codepoint >> 18));
+        out += static_cast<char>(0x80 | ((codepoint >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (codepoint & 0x3F));
+    }
+}
+
 /** Recursive-descent parser over one in-memory message line. */
 class Parser
 {
@@ -174,34 +195,49 @@ class Parser
             case 'r': out += '\r'; break;
             case 't': out += '\t'; break;
             case 'u': {
-                if (pos_ + 4 > text_.size())
-                    bad("truncated \\u escape");
-                unsigned value = 0;
-                for (int i = 0; i < 4; ++i) {
-                    const char h = text_[pos_ + static_cast<size_t>(i)];
-                    if (!std::isxdigit(
-                            static_cast<unsigned char>(h)))
-                        bad("malformed \\u escape");
-                    value = value * 16 +
-                            static_cast<unsigned>(
-                                h <= '9'   ? h - '0'
-                                : h <= 'F' ? h - 'A' + 10
-                                           : h - 'a' + 10);
+                unsigned codepoint = parseHex4();
+                if (codepoint >= 0xDC00 && codepoint <= 0xDFFF)
+                    bad("lone low surrogate");
+                if (codepoint >= 0xD800 && codepoint <= 0xDBFF) {
+                    // A high surrogate is only valid as the first
+                    // half of a \uD800-\uDBFF \uDC00-\uDFFF pair.
+                    if (pos_ + 2 > text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        bad("unpaired high surrogate");
+                    pos_ += 2;
+                    const unsigned low = parseHex4();
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        bad("unpaired high surrogate");
+                    codepoint = 0x10000 +
+                                ((codepoint - 0xD800) << 10) +
+                                (low - 0xDC00);
                 }
-                if (value < 0x80) {
-                    out += static_cast<char>(value);
-                } else {
-                    // Non-ASCII: keep the literal escape text (see
-                    // file comment).
-                    out += "\\u";
-                    out.append(text_, pos_, 4);
-                }
-                pos_ += 4;
+                appendUtf8(out, codepoint);
                 break;
             }
             default: bad("unknown escape");
             }
         }
+    }
+
+    /** Consume exactly four hex digits after a `\u`. */
+    unsigned
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            bad("truncated \\u escape");
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h)))
+                bad("malformed \\u escape");
+            value = value * 16 +
+                    static_cast<unsigned>(h <= '9'   ? h - '0'
+                                          : h <= 'F' ? h - 'A' + 10
+                                                     : h - 'a' + 10);
+        }
+        pos_ += 4;
+        return value;
     }
 
     Json
@@ -465,7 +501,12 @@ Json::dump() const
     case Kind::Null: return "null";
     case Kind::Bool: return bool_ ? "true" : "false";
     case Kind::Number: return text_;
-    case Kind::String: return "\"" + jsonEscape(text_) + "\"";
+    case Kind::String: {
+        std::string out = "\"";
+        out += jsonEscape(text_);
+        out += '"';
+        return out;
+    }
     case Kind::Array: {
         std::string out = "[";
         for (std::size_t i = 0; i < items_.size(); ++i) {
@@ -480,8 +521,10 @@ Json::dump() const
         for (std::size_t i = 0; i < members_.size(); ++i) {
             if (i > 0)
                 out += ",";
-            out += "\"" + jsonEscape(members_[i].first) +
-                   "\":" + members_[i].second.dump();
+            out += '"';
+            out += jsonEscape(members_[i].first);
+            out += "\":";
+            out += members_[i].second.dump();
         }
         return out + "}";
     }

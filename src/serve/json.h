@@ -18,9 +18,13 @@
  *    built. The cache relies on that: a stored result line re-served
  *    to a later client is the same bytes that the first client saw.
  *
- * \\uXXXX escapes outside ASCII are passed through as their literal
- * escape text rather than decoded to UTF-8 — protocol strings are
- * litmus source and diagnostic text, both ASCII.
+ * \\uXXXX escapes decode to UTF-8, including surrogate pairs
+ * (\\uD83D\\uDE00 becomes the four-byte emoji encoding). Lone or
+ * out-of-order surrogates are rejected as malformed rather than
+ * replaced — a tenant sending broken escapes gets an error, not a
+ * silently mangled string. Serialization emits UTF-8 bytes raw (only
+ * control characters, quotes and backslashes are escaped), so a
+ * decoded string re-serializes stably.
  */
 
 #ifndef PERPLE_SERVE_JSON_H

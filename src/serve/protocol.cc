@@ -196,7 +196,7 @@ startedEvent(std::uint64_t job)
 
 std::string
 resultEvent(std::uint64_t job, bool cached, bool coalesced,
-            const std::string &resultObjectText)
+            const std::string &resultObjectText, bool recovered)
 {
     std::string line =
         format("{\"event\":\"result\",\"job\":%llu,\"cached\":%s",
@@ -204,6 +204,8 @@ resultEvent(std::uint64_t job, bool cached, bool coalesced,
                cached ? "true" : "false");
     if (coalesced)
         line += ",\"coalesced\":true";
+    if (recovered)
+        line += ",\"recovered\":true";
     line += ",\"result\":";
     line += resultObjectText;
     line += "}";

@@ -137,7 +137,9 @@ Json resultToJson(const litmus::Test &test,
  * (without the trailing newline). resultEvent splices
  * @p resultObjectText in verbatim — the bytes a cache hit replays are
  * exactly the bytes the first execution stored, with no re-encode in
- * between.
+ * between. @p recovered tags a job re-enqueued by journal replay; it
+ * lives in the *event* envelope, never in the result object, so
+ * recovered result bytes stay bit-identical to an uninterrupted run's.
  */
 std::string acceptedEvent(std::uint64_t job, std::uint64_t key,
                           bool cached);
@@ -146,7 +148,8 @@ std::string rejectedEvent(std::uint64_t job,
 std::string startedEvent(std::uint64_t job);
 std::string resultEvent(std::uint64_t job, bool cached,
                         bool coalesced,
-                        const std::string &resultObjectText);
+                        const std::string &resultObjectText,
+                        bool recovered = false);
 std::string errorEvent(std::uint64_t job, const std::string &reason);
 
 } // namespace perple::serve

@@ -1,0 +1,127 @@
+#include "serve/scrub.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.h"
+#include "serve/cache.h"
+#include "serve/journal.h"
+#include "serve/json.h"
+#include "trace/corpus.h"
+
+namespace perple::serve
+{
+
+namespace
+{
+
+/** Re-verify the corpus and set the corpus fields of @p report. */
+void
+scrubCorpus(const std::string &corpusDir, ScrubReport &report)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(corpusDir, ec))
+        return;
+
+    trace::CorpusOptions options;
+    options.jobs = 1;
+    options.salvage = true;
+    options.verifyChecksums = true;
+    const trace::CorpusReport scan =
+        trace::scanCorpus(trace::discoverCorpus(corpusDir), options);
+    report.corpusFiles = scan.files.size();
+    report.corpusOk = scan.okFiles;
+    report.corpusSalvaged = scan.salvagedFiles;
+
+    // Quarantine, don't delete: a capture that fails its CRC may
+    // still be the only record of a divergence — rename it out of
+    // the corpus (so manifests and merges stop tripping over it) and
+    // leave the bytes for a human.
+    for (const trace::CorpusFile &file : scan.files) {
+        if (file.status != trace::FileStatus::Corrupt)
+            continue;
+        fs::rename(file.path, file.path + ".quarantined", ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "perple_serve: scrub: cannot quarantine "
+                         "%s: %s\n",
+                         file.path.c_str(),
+                         ec.message().c_str());
+            continue;
+        }
+        ++report.corpusQuarantined;
+    }
+
+    // Regenerate the manifest from what survived, so corpus.json
+    // never advertises a file the scrub just moved aside.
+    try {
+        const trace::CorpusReport clean = trace::scanCorpus(
+            trace::discoverCorpus(corpusDir), options);
+        trace::writeCorpusManifest(corpusDir + "/corpus.json",
+                                   clean);
+        report.manifestWritten = true;
+    } catch (const Error &error) {
+        std::fprintf(stderr,
+                     "perple_serve: scrub: manifest rewrite "
+                     "failed: %s\n",
+                     error.what());
+    }
+}
+
+} // namespace
+
+ScrubReport
+scrubState(const std::string &stateDir, const std::string &corpusDir)
+{
+    ScrubReport report;
+
+    // Opening the cache runs the full replay-time self-check; the
+    // compaction rewrite then drops superseded duplicates and stamps
+    // a sum on every surviving line.
+    {
+        ResultCache cache(stateDir);
+        report.cacheEntries = cache.size();
+        report.cacheQuarantined = cache.quarantined();
+        report.cacheCompacted = cache.rewriteCompact();
+    }
+
+    // The journal replay tolerates torn tails by construction;
+    // compacting to the still-pending set bounds its size without
+    // forgiving any owed job.
+    {
+        JobJournal journal(stateDir);
+        report.journalPending = journal.pending().size();
+        journal.compact(journal.pending());
+    }
+
+    if (!corpusDir.empty())
+        scrubCorpus(corpusDir, report);
+    return report;
+}
+
+std::string
+scrubReportJson(const ScrubReport &report)
+{
+    Json object = Json::object();
+    object.set("cache_entries",
+               Json::numberUnsigned(report.cacheEntries));
+    object.set("cache_quarantined",
+               Json::numberUnsigned(report.cacheQuarantined));
+    object.set("cache_compacted",
+               Json::boolean(report.cacheCompacted));
+    object.set("journal_pending",
+               Json::numberUnsigned(report.journalPending));
+    object.set("corpus_files",
+               Json::numberUnsigned(report.corpusFiles));
+    object.set("corpus_ok", Json::numberUnsigned(report.corpusOk));
+    object.set("corpus_salvaged",
+               Json::numberUnsigned(report.corpusSalvaged));
+    object.set("corpus_quarantined",
+               Json::numberUnsigned(report.corpusQuarantined));
+    object.set("manifest_written",
+               Json::boolean(report.manifestWritten));
+    return object.dump();
+}
+
+} // namespace perple::serve

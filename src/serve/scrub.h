@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Offline integrity scrub of a daemon's persistent state.
+ *
+ * A daemon that has been SIGKILLed, run on a flaky disk, or simply
+ * accumulated months of appends leaves three artifacts behind: the
+ * cache index, the job journal and (optionally) a capture corpus.
+ * scrubState() validates and repairs all three in place:
+ *
+ *  - cache index: replayed through ResultCache's self-checks (sum
+ *    re-hash + embedded-key cross-check); failing entries move to
+ *    `cache-quarantine.jsonl`, the surviving entries are rewritten as
+ *    one compacted, fully-checksummed index (dropping superseded
+ *    duplicates and upgrading pre-sum lines).
+ *  - job journal: replayed; unresolved jobs are counted and the
+ *    journal is compacted to exactly those records.
+ *  - corpus: every `.plt` re-verified through the trace reader with
+ *    checksums on; Corrupt-beyond-salvage files are renamed aside
+ *    with a `.quarantined` suffix (never deleted — they may be the
+ *    only evidence of a real bug) and `corpus.json` is regenerated
+ *    from the survivors.
+ *
+ * The same cache validation runs automatically at daemon start; the
+ * standalone `perple_serve scrub` subcommand exists so state can be
+ * audited and repaired without starting a daemon. Run it offline —
+ * scrubbing a state dir while a daemon appends to it interleaves two
+ * writers.
+ */
+
+#ifndef PERPLE_SERVE_SCRUB_H
+#define PERPLE_SERVE_SCRUB_H
+
+#include <cstddef>
+#include <string>
+
+namespace perple::serve
+{
+
+/** What one scrubState() pass found and repaired. */
+struct ScrubReport
+{
+    /** Valid cache entries kept (after dedup). */
+    std::size_t cacheEntries = 0;
+
+    /** Cache entries moved to the quarantine file. */
+    std::size_t cacheQuarantined = 0;
+
+    /** The index was rewritten compact and checksummed. */
+    bool cacheCompacted = false;
+
+    /** Journal jobs still owed an execution (left pending). */
+    std::size_t journalPending = 0;
+
+    /** Corpus `.plt` files examined (0 when no corpus dir). */
+    std::size_t corpusFiles = 0;
+
+    std::size_t corpusOk = 0;
+    std::size_t corpusSalvaged = 0;
+
+    /** Corrupt files renamed aside with `.quarantined`. */
+    std::size_t corpusQuarantined = 0;
+
+    /** corpus.json was regenerated from the surviving files. */
+    bool manifestWritten = false;
+};
+
+/**
+ * Scrub @p stateDir (cache index + journal) and, when non-empty,
+ * @p corpusDir. Repairs are durable before return (temp-file +
+ * rename + fsync). @throws UserError when the state dir itself is
+ * unusable; per-entry and per-file corruption is repaired and
+ * reported, never thrown.
+ */
+ScrubReport scrubState(const std::string &stateDir,
+                       const std::string &corpusDir);
+
+/** Render @p report as one JSON object (the CLI's --json output). */
+std::string scrubReportJson(const ScrubReport &report);
+
+} // namespace perple::serve
+
+#endif // PERPLE_SERVE_SCRUB_H

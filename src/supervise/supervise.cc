@@ -8,6 +8,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/prctl.h>
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -63,6 +64,16 @@ runChildProcess(const ChildBody &body, const SupervisorConfig &config,
     // a write must then fail with EPIPE, not kill the child with a
     // misclassifiable SIGPIPE.
     ::signal(SIGPIPE, SIG_IGN);
+
+    // Die with the supervising thread: if the whole daemon is
+    // SIGKILLed (no chance to run the watchdog), the kernel reaps
+    // this child instead of leaving an orphan burning CPU. The
+    // thread that forked us blocks in the supervisor until we exit,
+    // so the signal can only fire when supervision truly vanished.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // Close the PDEATHSIG race: the supervisor may already be gone.
+    if (::getppid() == 1)
+        ::_exit(kErrorExitCode);
 
     if (config.memLimitBytes > 0)
         applyLimit(RLIMIT_AS, config.memLimitBytes);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/inject.h"
 #include "common/strings.h"
 #include "trace/codec.h"
 #include "trace/crc32c.h"
@@ -98,6 +99,23 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::writeRaw(const void *data, std::size_t bytes)
 {
+    // The writer is stdio-buffered, so the fault shim can't sit at
+    // the write(2) layer here; consult it directly to let the chaos
+    // tests cut a capture short at a byte-precise point.
+    if (common::inject::armed()) {
+        const common::inject::WriteDecision decision =
+            common::inject::decideWrite(bytes);
+        if (decision.fault != common::inject::Fault::None) {
+            if (decision.allowed > 0)
+                std::fwrite(data, 1, decision.allowed, file_);
+            std::fflush(file_);
+            failed_ = true;
+            errno = ENOSPC;
+            checkUser(false,
+                      format("short write to trace file %s: %s",
+                             path_.c_str(), std::strerror(errno)));
+        }
+    }
     if (std::fwrite(data, 1, bytes, file_) != bytes) {
         failed_ = true;
         checkUser(false,

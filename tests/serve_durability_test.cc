@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Durability and chaos tests of the serve subsystem: the write-ahead
+ * job journal (replay, torn tails, compaction), fault injection
+ * (short writes, ENOSPC, failing fsync), restart recovery, the
+ * offline scrub, client reconnect, and a SIGKILL chaos round against
+ * a forked daemon process.
+ *
+ * Injection tests arm the common/inject.h environment variables and
+ * reset the shim around each phase; the guard below guarantees no
+ * armed fault leaks into a later test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/inject.h"
+#include "perple/perple.h"
+
+namespace
+{
+
+using namespace perple;
+
+/** A fresh private directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        root_ = std::filesystem::temp_directory_path() /
+                format("perple-durab-%s-%d", tag.c_str(), getpid());
+        std::filesystem::remove_all(root_);
+        std::filesystem::create_directories(root_);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(root_); }
+
+    std::string
+    path(const std::string &leaf) const
+    {
+        return (root_ / leaf).string();
+    }
+
+  private:
+    std::filesystem::path root_;
+};
+
+/** Arm one injection variable for a scope; disarms on destruction. */
+class InjectGuard
+{
+  public:
+    InjectGuard(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+        common::inject::reset();
+    }
+
+    ~InjectGuard()
+    {
+        ::unsetenv(name_);
+        common::inject::reset();
+    }
+
+  private:
+    const char *name_;
+};
+
+/** A daemon started on a worker thread of this process. */
+class DaemonFixture
+{
+  public:
+    explicit DaemonFixture(serve::DaemonConfig config)
+        : daemon_(std::move(config))
+    {
+        daemon_.start();
+        waiter_ = std::thread([this] { daemon_.wait(); });
+    }
+
+    ~DaemonFixture()
+    {
+        if (waiter_.joinable())
+            stop();
+    }
+
+    void
+    stop()
+    {
+        daemon_.requestStop();
+        waiter_.join();
+    }
+
+    serve::Daemon &
+    daemon()
+    {
+        return daemon_;
+    }
+
+  private:
+    serve::Daemon daemon_;
+    std::thread waiter_;
+};
+
+serve::DaemonConfig
+baseConfig(const TempDir &dir)
+{
+    serve::DaemonConfig config;
+    config.socketPath = dir.path("daemon.sock");
+    config.stateDir = dir.path("state");
+    config.workers = 2;
+    config.jobTimeoutSeconds = 20;
+    config.graceSeconds = 0.2;
+    return config;
+}
+
+serve::SubmitRequest
+sbRequest(std::int64_t iterations = 2000, std::uint64_t seed = 7)
+{
+    serve::SubmitRequest request;
+    request.test = litmus::writeTest(litmus::findTest("sb").test);
+    request.iterations = iterations;
+    request.config.seed = seed;
+    return request;
+}
+
+/** The daemon-side cache key of @p request. */
+std::uint64_t
+keyOf(const serve::SubmitRequest &request)
+{
+    const litmus::Test test =
+        litmus::loadTestSpecInline(request.test);
+    return serve::cacheKey(test, request.iterations,
+                           request.outcomes, request.config);
+}
+
+/** One hand-written `accepted` journal record for @p request. */
+std::string
+acceptedLine(const serve::SubmitRequest &request)
+{
+    return format(
+        "{\"txn\":\"accepted\",\"key\":\"%s\",\"request\":%s}\n",
+        common::hashToHex(keyOf(request)).c_str(),
+        serve::submitRequestToJson(request).dump().c_str());
+}
+
+/** Poll @p predicate for up to ~10 s. */
+bool
+eventually(const std::function<bool()> &predicate)
+{
+    for (int i = 0; i < 1000; ++i) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return predicate();
+}
+
+// --- Journal replay --------------------------------------------------
+
+TEST(ServeJournal, ReplaysAcceptedButUnresolvedJobs)
+{
+    TempDir dir("journal-replay");
+    {
+        std::ofstream out(dir.path("journal.jsonl"));
+        out << "{\"txn\":\"accepted\",\"key\":"
+               "\"00000000000000aa\",\"request\":{\"op\":\"submit\","
+               "\"test\":\"sb\"}}\n";
+        out << "{\"txn\":\"started\",\"key\":"
+               "\"00000000000000aa\"}\n";
+        out << "{\"txn\":\"accepted\",\"key\":"
+               "\"00000000000000bb\",\"request\":{\"op\":\"submit\","
+               "\"test\":\"mp\"}}\n";
+        out << "{\"txn\":\"done\",\"key\":\"00000000000000bb\"}\n";
+    }
+    serve::JobJournal journal(dir.path(""));
+    ASSERT_EQ(journal.pending().size(), 1u);
+    EXPECT_EQ(journal.pending()[0].key, 0xaaull);
+    EXPECT_NE(journal.pending()[0].submitJson.find("\"sb\""),
+              std::string::npos);
+}
+
+TEST(ServeJournal, DoneBeforeAcceptedBalancesToResolved)
+{
+    // The daemon journals outside its queue lock, so a fast worker
+    // can land `done` before the submitter's `accepted`. The balance
+    // replay must treat that as resolved, not as a phantom pending
+    // job (or worse, a crash).
+    TempDir dir("journal-order");
+    {
+        std::ofstream out(dir.path("journal.jsonl"));
+        out << "{\"txn\":\"done\",\"key\":\"00000000000000cc\"}\n";
+        out << "{\"txn\":\"accepted\",\"key\":"
+               "\"00000000000000cc\",\"request\":{\"op\":\"submit\","
+               "\"test\":\"sb\"}}\n";
+    }
+    serve::JobJournal journal(dir.path(""));
+    EXPECT_TRUE(journal.pending().empty());
+}
+
+TEST(ServeJournal, TornFinalLineIsDroppedOnReplay)
+{
+    TempDir dir("journal-torn");
+    {
+        std::ofstream out(dir.path("journal.jsonl"));
+        out << "{\"txn\":\"accepted\",\"key\":"
+               "\"00000000000000aa\",\"request\":{\"op\":\"submit\","
+               "\"test\":\"sb\"}}\n";
+        out << "{\"txn\":\"accepted\",\"key\":\"00000000000000bb";
+    }
+    serve::JobJournal journal(dir.path(""));
+    ASSERT_EQ(journal.pending().size(), 1u);
+    EXPECT_EQ(journal.pending()[0].key, 0xaaull);
+}
+
+TEST(ServeJournal, CompactRewritesToExactlyTheKeptJobs)
+{
+    TempDir dir("journal-compact");
+    {
+        serve::JobJournal journal(dir.path(""));
+        EXPECT_TRUE(journal.accepted(
+            1, "{\"op\":\"submit\",\"test\":\"sb\"}"));
+        EXPECT_TRUE(journal.accepted(
+            2, "{\"op\":\"submit\",\"test\":\"mp\"}"));
+        EXPECT_TRUE(journal.done(1));
+        journal.compact(
+            {{2, "{\"op\":\"submit\",\"test\":\"mp\"}"}});
+        // The compacted journal stays appendable.
+        EXPECT_TRUE(journal.started(2));
+    }
+    serve::JobJournal reopened(dir.path(""));
+    ASSERT_EQ(reopened.pending().size(), 1u);
+    EXPECT_EQ(reopened.pending()[0].key, 2ull);
+}
+
+// --- Fault injection -------------------------------------------------
+
+TEST(ServeInject, ShortWriteTearsTheTailAndDegradesTheJournal)
+{
+    TempDir dir("inject-short");
+    {
+        serve::JobJournal journal(dir.path(""));
+        EXPECT_TRUE(journal.accepted(
+            0xaa, "{\"op\":\"submit\",\"test\":\"sb\"}"));
+
+        // The next shim write persists half its bytes and every one
+        // after fails ENOSPC: the exact shape of a disk filling
+        // mid-append.
+        InjectGuard guard("PERPLE_INJECT_SHORT_WRITE", "1");
+        EXPECT_FALSE(journal.accepted(
+            0xbb, "{\"op\":\"submit\",\"test\":\"mp\"}"));
+        EXPECT_TRUE(journal.degraded());
+        EXPECT_EQ(journal.failures(), 1u);
+    }
+    // Replay salvages the validated prefix: the torn half-record is
+    // dropped, the record before it survives bit-exact.
+    serve::JobJournal reopened(dir.path(""));
+    ASSERT_EQ(reopened.pending().size(), 1u);
+    EXPECT_EQ(reopened.pending()[0].key, 0xaaull);
+}
+
+TEST(ServeInject, FsyncFailureDegradesWithoutLosingTheEntry)
+{
+    TempDir dir("inject-fsync");
+    serve::JobJournal journal(dir.path(""));
+    InjectGuard guard("PERPLE_INJECT_FSYNC_FAIL", "1");
+    EXPECT_FALSE(journal.accepted(
+        0xaa, "{\"op\":\"submit\",\"test\":\"sb\"}"));
+    EXPECT_TRUE(journal.degraded());
+}
+
+TEST(ServeInject, CacheStoreToleratesFsyncFailure)
+{
+    TempDir dir("inject-cache");
+    serve::ResultCache cache(dir.path(""));
+    InjectGuard guard("PERPLE_INJECT_FSYNC_FAIL", "1");
+    cache.store(7, "{\"status\":\"ok\"}");
+    // Degraded durability, not a failed store: the entry is resident
+    // and still served.
+    EXPECT_GT(cache.syncFailures(), 0u);
+    ASSERT_TRUE(cache.lookup(7).has_value());
+    EXPECT_EQ(*cache.lookup(7), "{\"status\":\"ok\"}");
+}
+
+TEST(ServeInject, DaemonServesNonDurablyWhenTheJournalFails)
+{
+    TempDir dir("inject-daemon");
+    InjectGuard guard("PERPLE_INJECT_FSYNC_FAIL", "1");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Client client(
+        fixture.daemon().config().socketPath);
+    const serve::SubmitOutcome outcome =
+        client.submitAndWait(sbRequest());
+    // The job still completes; the daemon just stops promising
+    // crash-durability and says so in its counters.
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_GT(fixture.daemon().stats().journalDegraded, 0u);
+    const serve::Json status = client.status();
+    EXPECT_GT(status.find("stats")->uintOr("journal_degraded", 0),
+              0u);
+}
+
+// --- Restart recovery ------------------------------------------------
+
+TEST(ServeRecovery, ReExecutesAJobAcceptedButNeverResolved)
+{
+    TempDir dir("recover-exec");
+    const serve::SubmitRequest request = sbRequest();
+    std::filesystem::create_directories(dir.path("state"));
+    {
+        std::ofstream out(dir.path("state") + "/journal.jsonl");
+        out << acceptedLine(request);
+    }
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Daemon &daemon = fixture.daemon();
+    EXPECT_EQ(daemon.stats().recovered, 1u);
+    ASSERT_TRUE(eventually([&] {
+        return daemon.stats().completedOk >= 1;
+    }));
+
+    // The recovered execution landed in the cache: a tenant
+    // resubmitting after the restart gets a hit, and the result
+    // event is NOT tagged recovered (only the replayed execution
+    // is).
+    serve::Client client(daemon.config().socketPath);
+    const serve::SubmitOutcome outcome =
+        client.submitAndWait(request);
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.cached);
+    EXPECT_FALSE(outcome.event.boolOr("recovered", false));
+}
+
+TEST(ServeRecovery, RecoveredResultIsBitIdenticalToUninterrupted)
+{
+    const serve::SubmitRequest request = sbRequest(1500, 11);
+
+    // Uninterrupted reference run in its own state dir.
+    std::string reference;
+    {
+        TempDir dir("recover-ref");
+        DaemonFixture fixture(baseConfig(dir));
+        serve::Client client(
+            fixture.daemon().config().socketPath);
+        const serve::SubmitOutcome outcome =
+            client.submitAndWait(request);
+        ASSERT_TRUE(outcome.ok());
+        reference = outcome.resultText;
+    }
+
+    // Crash-shaped state: the journal owes the job, nothing cached.
+    TempDir dir("recover-bits");
+    std::filesystem::create_directories(dir.path("state"));
+    {
+        std::ofstream out(dir.path("state") + "/journal.jsonl");
+        out << acceptedLine(request);
+    }
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Daemon &daemon = fixture.daemon();
+    ASSERT_TRUE(eventually([&] {
+        return daemon.stats().completedOk >= 1;
+    }));
+    serve::Client client(daemon.config().socketPath);
+    const serve::SubmitOutcome outcome =
+        client.submitAndWait(request);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.resultText, reference);
+}
+
+TEST(ServeRecovery, CacheSatisfiedPendingJobIsNotReExecuted)
+{
+    TempDir dir("recover-cached");
+    const serve::SubmitRequest request = sbRequest();
+
+    // Run once to populate cache + journal, then shut down cleanly
+    // and forge the crash by re-appending an unresolved accepted
+    // record.
+    {
+        DaemonFixture fixture(baseConfig(dir));
+        serve::Client client(
+            fixture.daemon().config().socketPath);
+        ASSERT_TRUE(client.submitAndWait(request).ok());
+    }
+    {
+        std::ofstream out(dir.path("state") + "/journal.jsonl",
+                          std::ios::app);
+        out << acceptedLine(request);
+    }
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Daemon &daemon = fixture.daemon();
+    // Satisfied from the replayed cache: counted recovered, but no
+    // worker forked.
+    EXPECT_EQ(daemon.stats().recovered, 1u);
+    EXPECT_EQ(daemon.stats().executed, 0u);
+}
+
+TEST(ServeRecovery, SecondRestartRecoversNothing)
+{
+    TempDir dir("recover-idem");
+    const serve::SubmitRequest request = sbRequest();
+    std::filesystem::create_directories(dir.path("state"));
+    {
+        std::ofstream out(dir.path("state") + "/journal.jsonl");
+        out << acceptedLine(request);
+    }
+    {
+        DaemonFixture fixture(baseConfig(dir));
+        serve::Daemon &daemon = fixture.daemon();
+        EXPECT_EQ(daemon.stats().recovered, 1u);
+        ASSERT_TRUE(eventually([&] {
+            return daemon.stats().completedOk >= 1;
+        }));
+    }
+    // Recovery is idempotent: the journal was compacted and the
+    // recovered job marked done, so a second restart owes nothing.
+    DaemonFixture fixture(baseConfig(dir));
+    EXPECT_EQ(fixture.daemon().stats().recovered, 0u);
+}
+
+// --- Client reconnect ------------------------------------------------
+
+TEST(ServeRetry, RidesOutTheDaemonComingUpLate)
+{
+    TempDir dir("retry-late");
+    const serve::DaemonConfig config = baseConfig(dir);
+
+    std::thread starter([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(250));
+        DaemonFixture fixture(config);
+        // Hold the daemon up until the submission resolves (the
+        // counter bumps before the result event is delivered, and
+        // the drain lets in-flight work finish).
+        eventually([&] {
+            const serve::DaemonStats stats =
+                fixture.daemon().stats();
+            return stats.completedOk + stats.errors >= 1;
+        });
+    });
+
+    serve::RetryPolicy policy;
+    policy.maxAttempts = 50;
+    policy.initialDelaySeconds = 0.02;
+    policy.maxDelaySeconds = 0.2;
+    const serve::SubmitOutcome outcome =
+        serve::submitWithRetry(config.socketPath, sbRequest(),
+                               policy);
+    EXPECT_TRUE(outcome.ok());
+    starter.join();
+}
+
+TEST(ServeRetry, GivesUpWithConnectErrorWhenNoDaemonAppears)
+{
+    TempDir dir("retry-giveup");
+    serve::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.initialDelaySeconds = 0.005;
+    policy.maxDelaySeconds = 0.02;
+    EXPECT_THROW(serve::submitWithRetry(dir.path("nope.sock"),
+                                        sbRequest(), policy),
+                 serve::ConnectError);
+}
+
+// --- Scrub -----------------------------------------------------------
+
+TEST(ServeScrub, QuarantinesTamperedCacheEntriesAndCompacts)
+{
+    TempDir dir("scrub-cache");
+    {
+        serve::ResultCache cache(dir.path(""));
+        cache.store(1, "{\"status\":\"ok\",\"n\":1}");
+        cache.store(2, "{\"status\":\"ok\",\"n\":2}");
+        cache.store(3, "{\"status\":\"ok\",\"n\":3}");
+    }
+    // Flip result bytes inside entry 2 without touching its sum.
+    {
+        std::ifstream in(dir.path("cache-index.jsonl"));
+        std::string all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        in.close();
+        const std::size_t at = all.find("\"n\":2");
+        ASSERT_NE(at, std::string::npos);
+        all[at + 4] = '9';
+        std::ofstream out(dir.path("cache-index.jsonl"),
+                          std::ios::trunc);
+        out << all;
+    }
+    const serve::ScrubReport report =
+        serve::scrubState(dir.path(""), "");
+    EXPECT_EQ(report.cacheEntries, 2u);
+    EXPECT_EQ(report.cacheQuarantined, 1u);
+    EXPECT_TRUE(report.cacheCompacted);
+    EXPECT_TRUE(std::filesystem::exists(
+        dir.path("cache-quarantine.jsonl")));
+
+    // The rewritten index is clean: a second open quarantines
+    // nothing and serves the two intact entries.
+    serve::ResultCache reopened(dir.path(""));
+    EXPECT_EQ(reopened.quarantined(), 0u);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_TRUE(reopened.lookup(1).has_value());
+    EXPECT_FALSE(reopened.lookup(2).has_value());
+    EXPECT_TRUE(reopened.lookup(3).has_value());
+}
+
+TEST(ServeScrub, RenamesCorruptCorpusCapturesAside)
+{
+    TempDir dir("scrub-corpus");
+    std::filesystem::create_directories(dir.path("corpus"));
+    {
+        std::ofstream out(dir.path("corpus") + "/junk.plt",
+                          std::ios::binary);
+        out << "this is not a capture";
+    }
+    const serve::ScrubReport report =
+        serve::scrubState(dir.path("state"), dir.path("corpus"));
+    EXPECT_EQ(report.corpusFiles, 1u);
+    EXPECT_EQ(report.corpusQuarantined, 1u);
+    EXPECT_TRUE(report.manifestWritten);
+    EXPECT_FALSE(std::filesystem::exists(dir.path("corpus") +
+                                         "/junk.plt"));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir.path("corpus") + "/junk.plt.quarantined"));
+    EXPECT_TRUE(std::filesystem::exists(dir.path("corpus") +
+                                        "/corpus.json"));
+}
+
+TEST(ServeScrub, StatusExposesDurabilityCounters)
+{
+    TempDir dir("scrub-status");
+    DaemonFixture fixture(baseConfig(dir));
+    serve::Client client(fixture.daemon().config().socketPath);
+    ASSERT_TRUE(client.submitAndWait(sbRequest()).ok());
+    // The worker journals `done` after delivering the result event,
+    // so the third write can trail the submitAndWait return.
+    ASSERT_TRUE(eventually([&] {
+        return fixture.daemon().stats().journalWrites >= 3;
+    }));
+    const serve::Json status = client.status();
+    const serve::Json *stats = status.find("stats");
+    ASSERT_NE(stats, nullptr);
+    ASSERT_NE(stats->find("recovered"), nullptr);
+    ASSERT_NE(stats->find("journal_degraded"), nullptr);
+    ASSERT_NE(stats->find("scrub_quarantined"), nullptr);
+    // accepted + started + done at minimum.
+    EXPECT_GE(stats->uintOr("journal_writes", 0), 3u);
+    EXPECT_EQ(stats->uintOr("journal_degraded", 1), 0u);
+}
+
+// --- Chaos: SIGKILL a real daemon process ----------------------------
+
+TEST(ServeChaos, SigkillMidCampaignLosesNoAcceptedJobs)
+{
+    TempDir dir("chaos");
+    serve::DaemonConfig config = baseConfig(dir);
+
+    // A real daemon process, so SIGKILL kills everything at once the
+    // way a crash or OOM-kill would — no destructors, no drain.
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        try {
+            serve::Daemon daemon(config);
+            daemon.start();
+            daemon.wait();
+        } catch (...) {
+        }
+        _exit(0);
+    }
+
+    // Accept a batch: submit over the raw line protocol and wait for
+    // the accepted events only, so the kill lands while the jobs are
+    // queued or in flight.
+    std::vector<serve::SubmitRequest> batch;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        batch.push_back(sbRequest(4000, seed));
+    {
+        ASSERT_TRUE(eventually([&] {
+            return std::filesystem::exists(config.socketPath);
+        }));
+        serve::Client client(config.socketPath);
+        for (const serve::SubmitRequest &request : batch)
+            client.sendLine(
+                serve::submitRequestToJson(request).dump());
+        std::size_t accepted = 0;
+        while (accepted < batch.size()) {
+            const auto line = client.readLine();
+            ASSERT_TRUE(line.has_value());
+            if (serve::Json::parse(*line).stringOr("event", "") ==
+                "accepted")
+                ++accepted;
+        }
+    }
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    // No other children remain: the daemon (and, via PDEATHSIG, its
+    // supervised workers) is gone.
+    EXPECT_EQ(waitpid(-1, &status, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+
+    // Restart on the same state. Every accepted job must resolve:
+    // recovered (journal) or already cached before the kill.
+    DaemonFixture fixture(config);
+    serve::Daemon &daemon = fixture.daemon();
+    ASSERT_TRUE(eventually([&] {
+        const serve::DaemonStats stats = daemon.stats();
+        return stats.queued == 0 && stats.inFlight == 0;
+    }));
+    serve::Client client(config.socketPath);
+    for (const serve::SubmitRequest &request : batch) {
+        const serve::SubmitOutcome outcome =
+            client.submitAndWait(request);
+        ASSERT_TRUE(outcome.ok());
+    }
+    // The socket file was reclaimed from the killed daemon, and
+    // nothing is owed after this round.
+    EXPECT_EQ(daemon.stats().queued, 0u);
+}
+
+} // namespace

@@ -131,6 +131,44 @@ TEST(ServeJson, RejectsMalformedInput)
     EXPECT_THROW(serve::Json::parse("[1,"), Error);
 }
 
+TEST(ServeJson, DecodesUnicodeEscapesToUtf8)
+{
+    // ASCII, 2-byte, 3-byte, and a surrogate pair (4-byte).
+    EXPECT_EQ(serve::Json::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(serve::Json::parse("\"\\u00e9\"").asString(),
+              "\xc3\xa9");
+    EXPECT_EQ(serve::Json::parse("\"\\u20AC\"").asString(),
+              "\xe2\x82\xac");
+    EXPECT_EQ(serve::Json::parse("\"\\uD83D\\uDE00\"").asString(),
+              "\xf0\x9f\x98\x80");
+    // Escaped and raw UTF-8 decode to the same bytes.
+    EXPECT_EQ(serve::Json::parse("\"\\u20ac!\"").asString(),
+              serve::Json::parse("\"\xe2\x82\xac!\"").asString());
+}
+
+TEST(ServeJson, DecodedUnicodeReserializesAsRawUtf8)
+{
+    // The escape is gone after one parse: dump() emits the UTF-8
+    // bytes raw, and re-parsing is a fixed point (cache stability).
+    const serve::Json parsed =
+        serve::Json::parse("{\"s\":\"\\u00e9\\uD83D\\uDE00\"}");
+    const std::string dumped = parsed.dump();
+    EXPECT_EQ(dumped, "{\"s\":\"\xc3\xa9\xf0\x9f\x98\x80\"}");
+    EXPECT_EQ(serve::Json::parse(dumped).dump(), dumped);
+}
+
+TEST(ServeJson, RejectsMalformedUnicodeEscapes)
+{
+    // Truncated and non-hex escapes.
+    EXPECT_THROW(serve::Json::parse("\"\\u00\""), Error);
+    EXPECT_THROW(serve::Json::parse("\"\\uZZZZ\""), Error);
+    // Lone surrogates, both halves, and a mispaired high surrogate.
+    EXPECT_THROW(serve::Json::parse("\"\\uD800\""), Error);
+    EXPECT_THROW(serve::Json::parse("\"\\uDC00\""), Error);
+    EXPECT_THROW(serve::Json::parse("\"\\uD83D\\u0041\""), Error);
+    EXPECT_THROW(serve::Json::parse("\"\\uD83Dx\""), Error);
+}
+
 // --- Canonical config serialization ----------------------------------
 
 TEST(ConfigSerialize, DefaultConfigElidesToVersionLine)

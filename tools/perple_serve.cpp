@@ -6,6 +6,7 @@
  * Usage:
  *   perple_serve start --socket PATH --state DIR [options]
  *   perple_serve submit --socket PATH <test|file.litmus> [options]
+ *   perple_serve scrub --state DIR [--corpus DIR]
  *   perple_serve status --socket PATH
  *   perple_serve ping --socket PATH
  *   perple_serve shutdown --socket PATH
@@ -23,6 +24,8 @@
  *   --job-timeout S     per-job wall-clock watchdog (default 30)
  *   --grace S           SIGTERM-to-SIGKILL grace (default 0.5)
  *   --retries N         supervised retries per job (default 0)
+ *   --no-journal        disable the write-ahead job journal (bench
+ *                       lever; accepted work is then lost on a crash)
  *
  *   The daemon runs in the foreground until SIGTERM/SIGINT or a
  *   client shutdown op, then drains: queued jobs are failed back,
@@ -41,6 +44,17 @@
  *   --no-capture        skip the corpus capture for this job
  *   --no-cache          bypass the result cache (still stores)
  *   --inject hang|crash fault-injection hook (testing)
+ *   --retry N           reconnect up to N times (exponential backoff
+ *                       with jitter) while the daemon is away —
+ *                       rides out a daemon restart; submissions are
+ *                       content-addressed, so retrying is idempotent
+ *
+ * scrub validates and repairs a daemon's persistent state offline:
+ * cache entries failing their integrity sum are quarantined and the
+ * index is rewritten compact, the job journal is compacted to its
+ * still-pending jobs, corrupt corpus captures are renamed aside with
+ * a `.quarantined` suffix and corpus.json is regenerated. Prints a
+ * JSON report; do not run it against a live daemon's state dir.
  *
  *   The test spec is resolved client-side (file, inline source or
  *   corpus name) and sent in canonical writer form, so equivalent
@@ -71,17 +85,19 @@ usage(const char *argv0)
         "usage: %s start --socket PATH --state DIR [--corpus DIR]\n"
         "          [--workers N] [--queue N] [--mem-budget BYTES]\n"
         "          [--count-budget SEC] [--job-timeout SEC]\n"
-        "          [--grace SEC] [--retries N]\n"
+        "          [--grace SEC] [--retries N] [--no-journal]\n"
         "       %s submit --socket PATH <test|file.litmus> [-n N]\n"
         "          [--seed N] [--backend sim|native]\n"
         "          [--outcome COND]... [--no-exhaustive]\n"
         "          [--no-heuristic] [--cap N]\n"
         "          [--mode first|independent] [--jobs N]\n"
         "          [--no-capture] [--no-cache] [--inject hang|crash]\n"
+        "          [--retry N]\n"
+        "       %s scrub --state DIR [--corpus DIR]\n"
         "       %s status --socket PATH\n"
         "       %s ping --socket PATH\n"
         "       %s shutdown --socket PATH\n",
-        argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0);
     return 2;
 }
 
@@ -134,6 +150,8 @@ cmdStart(int argc, char **argv)
         } else if (arg == "--retries") {
             config.retries = static_cast<int>(common::parseIntArg(
                 "--retries", flagValue(argc, argv, i), 0, 100));
+        } else if (arg == "--no-journal") {
+            config.journal = false;
         } else {
             std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
                          arg.c_str());
@@ -168,6 +186,7 @@ cmdSubmit(int argc, char **argv)
 {
     std::string socketPath;
     std::string spec;
+    int retryAttempts = 0;
     serve::SubmitRequest request;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -215,6 +234,9 @@ cmdSubmit(int argc, char **argv)
             request.noCache = true;
         } else if (arg == "--inject") {
             request.inject = flagValue(argc, argv, i);
+        } else if (arg == "--retry") {
+            retryAttempts = static_cast<int>(common::parseIntArg(
+                "--retry", flagValue(argc, argv, i), 0, 1000));
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
                          arg.c_str());
@@ -233,8 +255,16 @@ cmdSubmit(int argc, char **argv)
     // become byte-identical jobs.
     request.test = litmus::writeTest(litmus::loadTestSpec(spec));
 
-    serve::Client client(socketPath);
-    const serve::SubmitOutcome outcome = client.submitAndWait(request);
+    serve::SubmitOutcome outcome;
+    if (retryAttempts > 0) {
+        serve::RetryPolicy policy;
+        policy.maxAttempts = retryAttempts;
+        outcome =
+            serve::submitWithRetry(socketPath, request, policy);
+    } else {
+        serve::Client client(socketPath);
+        outcome = client.submitAndWait(request);
+    }
     std::printf("%s\n", outcome.event.dump().c_str());
     if (!outcome.ok())
         return 1;
@@ -243,6 +273,32 @@ cmdSubmit(int argc, char **argv)
                    result->stringOr("status", "") == "ok"
                ? 0
                : 1;
+}
+
+int
+cmdScrub(int argc, char **argv)
+{
+    std::string stateDir;
+    std::string corpusDir;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--state") {
+            stateDir = flagValue(argc, argv, i);
+        } else if (arg == "--corpus") {
+            corpusDir = flagValue(argc, argv, i);
+        } else {
+            std::fprintf(stderr, "%s: unknown flag %s\n", argv[0],
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (stateDir.empty())
+        return usage(argv[0]);
+
+    const serve::ScrubReport report =
+        serve::scrubState(stateDir, corpusDir);
+    std::printf("%s\n", serve::scrubReportJson(report).c_str());
+    return 0;
 }
 
 int
@@ -291,6 +347,8 @@ main(int argc, char **argv)
             return cmdStart(argc, argv);
         if (command == "submit")
             return cmdSubmit(argc, argv);
+        if (command == "scrub")
+            return cmdScrub(argc, argv);
         if (command == "status" || command == "ping" ||
             command == "shutdown")
             return cmdRoundTrip(argc, argv, command);
