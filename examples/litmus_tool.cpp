@@ -22,7 +22,8 @@
  *                    counting engine (perple engine): the shape-
  *                    specialized batched kernels, the scalar
  *                    interpreter, or pick per outcome (default auto)
- *   --spec tso|pso   classify the target against this model
+ *   --model sc|tso|pso|ra  classify the target against this model
+ *                    (--spec is a legacy alias; default tso)
  *   --stream         epoch-pipelined run: COUNTH drains published
  *                    epochs while the test executes (perple engine;
  *                    default epoch 65536 iterations)
@@ -96,7 +97,7 @@ cmdShow(const std::string &spec)
     }
     for (const auto model :
          {model::MemoryModel::SC, model::MemoryModel::TSO,
-          model::MemoryModel::PSO}) {
+          model::MemoryModel::PSO, model::MemoryModel::RA}) {
         std::printf("target under %-3s: %s\n",
                     model::memoryModelName(model),
                     model::allows(test, test.target, model)
@@ -326,13 +327,9 @@ main(int argc, char **argv)
                 exhaustive = true;
             else if (arg == "--kernel-mode")
                 kernel_mode = core::kernelModeFromName(next());
-            else if (arg == "--spec") {
-                const std::string spec = next();
-                checkUser(spec == "tso" || spec == "pso",
-                          "--spec must be tso or pso");
-                spec_model = spec == "pso" ? model::MemoryModel::PSO
-                                           : model::MemoryModel::TSO;
-            } else if (arg == "--capture")
+            else if (arg == "--model" || arg == "--spec")
+                spec_model = model::memoryModelFromName(next());
+            else if (arg == "--capture")
                 capture = next();
             else if (arg == "--timeout")
                 supervisor.timeoutSeconds =

@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace perple
@@ -91,4 +92,50 @@ toLower(const std::string &text)
     return out;
 }
 
+namespace
+{
+
+/** Shared from_chars full-string wrapper. */
+template <typename T>
+bool
+parseFull(const std::string &text, T &out)
+{
+    if (text.empty())
+        return false;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    T value{};
+    const auto result = std::from_chars(first, last, value);
+    if (result.ec != std::errc() || result.ptr != last)
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace
+
+bool
+parseFullInt64(const std::string &text, std::int64_t &out)
+{
+    return parseFull(text, out);
+}
+
+bool
+parseFullUint64(const std::string &text, std::uint64_t &out)
+{
+    // from_chars on an unsigned type accepts a leading '-' by wrapping
+    // on some implementations' general overload contracts; reject
+    // signs explicitly so "-1" never parses as a huge unsigned value.
+    if (!text.empty() && (text.front() == '-' || text.front() == '+'))
+        return false;
+    return parseFull(text, out);
+}
+
+bool
+parseFullDouble(const std::string &text, double &out)
+{
+    return parseFull(text, out);
+}
+
 } // namespace perple
+

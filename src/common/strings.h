@@ -10,6 +10,7 @@
 #define PERPLE_COMMON_STRINGS_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,22 @@ std::string join(const std::vector<std::string> &parts,
 
 /** Lower-case an ASCII string. */
 std::string toLower(const std::string &text);
+
+/**
+ * Strict full-string numeric parses, built on std::from_chars: locale
+ * independent, rejecting empty input, leading/trailing garbage
+ * ("7abc"), and out-of-range values. These are what untrusted text —
+ * trace metadata, environment variables, client payloads — must be
+ * parsed with; atoi-family parses silently truncate or mis-parse
+ * under a comma-decimal locale.
+ */
+bool parseFullInt64(const std::string &text, std::int64_t &out);
+
+/** See parseFullInt64; base-10 unsigned. */
+bool parseFullUint64(const std::string &text, std::uint64_t &out);
+
+/** See parseFullInt64; decimal floating point, "C"-locale syntax. */
+bool parseFullDouble(const std::string &text, double &out);
 
 } // namespace perple
 

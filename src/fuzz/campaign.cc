@@ -197,12 +197,18 @@ checkFromName(const std::string &name)
 void
 maybeInjectFault(int campaign)
 {
-    const char *hang = std::getenv("PERPLE_FUZZ_INJECT_HANG");
-    if (hang != nullptr && std::atoi(hang) == campaign)
+    // Full-string parses only: "0abc" must gate nothing, not
+    // atoi-truncate to campaign 0.
+    const auto matches = [campaign](const char *env) {
+        const char *value = std::getenv(env);
+        std::int64_t parsed = 0;
+        return value != nullptr && parseFullInt64(value, parsed) &&
+               parsed == campaign;
+    };
+    if (matches("PERPLE_FUZZ_INJECT_HANG"))
         for (;;)
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    const char *crash = std::getenv("PERPLE_FUZZ_INJECT_CRASH");
-    if (crash != nullptr && std::atoi(crash) == campaign)
+    if (matches("PERPLE_FUZZ_INJECT_CRASH"))
         std::raise(SIGSEGV);
 }
 

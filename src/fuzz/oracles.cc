@@ -73,9 +73,7 @@ checkModelAgreement(const Test &test, const OracleConfig &config)
     if (outcomes.size() > config.maxModelOutcomes)
         outcomes.resize(config.maxModelOutcomes);
 
-    for (const auto model :
-         {model::MemoryModel::SC, model::MemoryModel::TSO,
-          model::MemoryModel::PSO}) {
+    for (const auto model : config.agreementModels) {
         const auto states = model::enumerateFinalStates(test, model);
         for (const auto &outcome : outcomes) {
             const bool operational = satisfiedByAny(states, outcome);

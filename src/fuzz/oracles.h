@@ -12,7 +12,8 @@
  * sides. The six checks:
  *
  *  1. ModelAgreement — operational vs axiomatic allowed-outcome sets,
- *     per enumerable register outcome, under SC, TSO and PSO.
+ *     per enumerable register outcome, under SC, TSO, PSO and RA
+ *     (configurable via OracleConfig::agreementModels).
  *  2. SimulatorSoundness — every outcome the timed TSO simulator
  *     produces in a litmus7-style run must be operational-TSO-allowed
  *     (and every iteration must match some enumerated outcome).
@@ -40,6 +41,7 @@
 #include <vector>
 
 #include "litmus/test.h"
+#include "model/operational.h"
 #include "perple/counters.h"
 
 namespace perple::fuzz
@@ -105,6 +107,16 @@ struct OracleConfig
 
     /** Co-interest outcomes beside the target for ParallelIdentity. */
     std::size_t maxExtraOutcomes = 4;
+
+    /**
+     * Memory models cross-validated by ModelAgreement. RA rides along
+     * by default: on unannotated tests it degrades to all-relaxed (so
+     * the pair is still a real oracle), and annotated generator
+     * corpora exercise the full release/acquire machinery.
+     */
+    std::vector<model::MemoryModel> agreementModels = {
+        model::MemoryModel::SC, model::MemoryModel::TSO,
+        model::MemoryModel::PSO, model::MemoryModel::RA};
 
     /**
      * Test-only fault injection: corrupts the heuristic counts of the

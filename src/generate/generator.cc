@@ -54,6 +54,16 @@ generateCandidate(const GeneratorConfig &config, Rng &rng)
     std::vector<int> stores_per_location(
         static_cast<std::size_t>(num_locations), 0);
 
+    // Annotation draws are guarded so the default (probability 0)
+    // consumes no randomness and legacy seeds stay reproducible.
+    const auto drawOrder = [&](litmus::MemoryOrder strong) {
+        if (config.annotateProbability <= 0.0 ||
+            !rng.nextBool(config.annotateProbability))
+            return litmus::MemoryOrder::Plain;
+        return rng.nextBool(0.5) ? strong
+                                 : litmus::MemoryOrder::Relaxed;
+    };
+
     for (int t = 0; t < num_threads; ++t) {
         litmus::Thread thread;
         const int num_ops = static_cast<int>(
@@ -72,7 +82,8 @@ generateCandidate(const GeneratorConfig &config, Rng &rng)
             if (store) {
                 thread.instructions.push_back(Instruction::makeStore(
                     loc,
-                    next_value[static_cast<std::size_t>(loc)]++));
+                    next_value[static_cast<std::size_t>(loc)]++,
+                    drawOrder(litmus::MemoryOrder::Release)));
                 ++stores_per_location[static_cast<std::size_t>(loc)];
             } else {
                 if (loads >= 4)
@@ -80,7 +91,8 @@ generateCandidate(const GeneratorConfig &config, Rng &rng)
                 thread.registerNames.push_back(
                     kRegisterNames[loads]);
                 thread.instructions.push_back(Instruction::makeLoad(
-                    loc, static_cast<litmus::RegisterId>(loads)));
+                    loc, static_cast<litmus::RegisterId>(loads),
+                    drawOrder(litmus::MemoryOrder::Acquire)));
                 ++loads;
             }
             if (i + 1 < num_ops &&
@@ -173,6 +185,10 @@ generateSuite(int count, const GeneratorConfig &config,
                                        : TsoVerdict::Forbidden;
         generated.psoVerdict =
             model::allows(test, test.target, model::MemoryModel::PSO)
+                ? TsoVerdict::Allowed
+                : TsoVerdict::Forbidden;
+        generated.raVerdict =
+            model::allows(test, test.target, model::MemoryModel::RA)
                 ? TsoVerdict::Allowed
                 : TsoVerdict::Forbidden;
         generated.test = std::move(test);

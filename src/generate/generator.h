@@ -50,6 +50,14 @@ struct GeneratorConfig
 
     /** Cap on enumerated outcomes per candidate (cost bound). */
     std::size_t maxOutcomes = 256;
+
+    /**
+     * Probability that a generated access carries a C11 ordering
+     * annotation (loads draw acquire/relaxed, stores release/relaxed,
+     * uniformly). Zero — the default — consumes no extra randomness,
+     * so legacy seeds reproduce byte-identical un-annotated suites.
+     */
+    double annotateProbability = 0.0;
 };
 
 /** One generated test with its model-checked metadata. */
@@ -62,6 +70,9 @@ struct GeneratedTest
 
     /** Target verdict under PSO. */
     litmus::TsoVerdict psoVerdict = litmus::TsoVerdict::Forbidden;
+
+    /** Target verdict under C11 Release-Acquire. */
+    litmus::TsoVerdict raVerdict = litmus::TsoVerdict::Forbidden;
 };
 
 /**

@@ -47,46 +47,50 @@ TestBuilder::registerIdFor(ThreadId thread, const std::string &reg)
 }
 
 TestBuilder &
-TestBuilder::store(const std::string &location, Value value)
+TestBuilder::store(const std::string &location, Value value,
+                   MemoryOrder order)
 {
     checkUser(!test_.threads.empty(),
               "TestBuilder: call thread() before adding instructions");
     test_.threads.back().instructions.push_back(
-        Instruction::makeStore(locationIdFor(location), value));
+        Instruction::makeStore(locationIdFor(location), value, order));
     return *this;
 }
 
 TestBuilder &
-TestBuilder::load(const std::string &reg, const std::string &location)
+TestBuilder::load(const std::string &reg, const std::string &location,
+                  MemoryOrder order)
 {
     checkUser(!test_.threads.empty(),
               "TestBuilder: call thread() before adding instructions");
     const auto thread =
         static_cast<ThreadId>(test_.threads.size() - 1);
     test_.threads.back().instructions.push_back(Instruction::makeLoad(
-        locationIdFor(location), registerIdFor(thread, reg)));
+        locationIdFor(location), registerIdFor(thread, reg), order));
     return *this;
 }
 
 TestBuilder &
 TestBuilder::rmw(const std::string &reg, const std::string &location,
-                 Value value)
+                 Value value, MemoryOrder order)
 {
     checkUser(!test_.threads.empty(),
               "TestBuilder: call thread() before adding instructions");
     const auto thread =
         static_cast<ThreadId>(test_.threads.size() - 1);
     test_.threads.back().instructions.push_back(Instruction::makeRmw(
-        locationIdFor(location), value, registerIdFor(thread, reg)));
+        locationIdFor(location), value, registerIdFor(thread, reg),
+        order));
     return *this;
 }
 
 TestBuilder &
-TestBuilder::fence()
+TestBuilder::fence(MemoryOrder order)
 {
     checkUser(!test_.threads.empty(),
               "TestBuilder: call thread() before adding instructions");
-    test_.threads.back().instructions.push_back(Instruction::makeFence());
+    test_.threads.back().instructions.push_back(
+        Instruction::makeFence(order));
     return *this;
 }
 

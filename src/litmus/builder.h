@@ -54,20 +54,22 @@ class TestBuilder
     TestBuilder &thread();
 
     /** Append a store of @p value to @p location in the current thread. */
-    TestBuilder &store(const std::string &location, Value value);
+    TestBuilder &store(const std::string &location, Value value,
+                       MemoryOrder order = MemoryOrder::Plain);
 
     /** Append a load of @p location into @p reg in the current thread. */
-    TestBuilder &load(const std::string &reg, const std::string &location);
+    TestBuilder &load(const std::string &reg, const std::string &location,
+                      MemoryOrder order = MemoryOrder::Plain);
 
     /**
      * Append an atomic exchange in the current thread: store @p value
      * to @p location, loading the previous value into @p reg.
      */
     TestBuilder &rmw(const std::string &reg, const std::string &location,
-                     Value value);
+                     Value value, MemoryOrder order = MemoryOrder::Plain);
 
-    /** Append an MFENCE in the current thread. */
-    TestBuilder &fence();
+    /** Append an MFENCE (or annotated FENCE.SC) in the current thread. */
+    TestBuilder &fence(MemoryOrder order = MemoryOrder::Plain);
 
     /** Set the target outcome from register conditions. */
     TestBuilder &target(std::vector<RegCond> conditions);

@@ -1,0 +1,46 @@
+#include "litmus/instruction.h"
+
+namespace perple::litmus
+{
+
+const char *
+memoryOrderName(MemoryOrder order)
+{
+    switch (order) {
+      case MemoryOrder::Plain:
+        return "plain";
+      case MemoryOrder::Relaxed:
+        return "relaxed";
+      case MemoryOrder::Acquire:
+        return "acquire";
+      case MemoryOrder::Release:
+        return "release";
+      case MemoryOrder::AcqRel:
+        return "acq_rel";
+      case MemoryOrder::SeqCst:
+        return "seq_cst";
+    }
+    return "?";
+}
+
+const char *
+memoryOrderSuffix(MemoryOrder order)
+{
+    switch (order) {
+      case MemoryOrder::Plain:
+        return "";
+      case MemoryOrder::Relaxed:
+        return ".RLX";
+      case MemoryOrder::Acquire:
+        return ".ACQ";
+      case MemoryOrder::Release:
+        return ".REL";
+      case MemoryOrder::AcqRel:
+        return ".AR";
+      case MemoryOrder::SeqCst:
+        return ".SC";
+    }
+    return "";
+}
+
+} // namespace perple::litmus

@@ -27,6 +27,33 @@ enum class OpKind
            ///< a full fence and its load/store pair is atomic.
 };
 
+/**
+ * C11-style ordering annotation attached to an access.
+ *
+ * Plain marks an un-annotated x86 instruction and is the default, so the
+ * legacy TSO corpus serializes, compares and hashes exactly as before.
+ * The annotations only change meaning under MemoryModel::RA; the x86
+ * family (SC/TSO/PSO) ignores them, which is sound because every x86
+ * load is an acquire and every x86 store is a release. Under RA a Plain
+ * load/store degrades to Relaxed, a Plain MFENCE acts as an SC fence and
+ * a Plain XCHG acts as an acquire-release RMW.
+ */
+enum class MemoryOrder
+{
+    Plain,   ///< No annotation; legacy x86 instruction.
+    Relaxed, ///< ".RLX": no synchronization, coherence only.
+    Acquire, ///< ".ACQ": loads and RMWs.
+    Release, ///< ".REL": stores and RMWs.
+    AcqRel,  ///< ".AR": RMWs.
+    SeqCst,  ///< ".SC": fences.
+};
+
+/** Human-readable annotation name, e.g. "acquire". */
+const char *memoryOrderName(MemoryOrder order);
+
+/** Mnemonic suffix used by the writer/parser: "", ".RLX", ".ACQ", ... */
+const char *memoryOrderSuffix(MemoryOrder order);
+
 /** One instruction of one litmus-test thread. */
 struct Instruction
 {
@@ -34,34 +61,41 @@ struct Instruction
     LocationId loc = -1;  ///< Valid for Store and Load.
     Value value = 0;      ///< Valid for Store; the constant stored.
     RegisterId reg = -1;  ///< Valid for Load; the destination register.
+    MemoryOrder order = MemoryOrder::Plain; ///< RA annotation.
 
     /** Build a store of @p stored_value to @p location. */
     static Instruction
-    makeStore(LocationId location, Value stored_value)
+    makeStore(LocationId location, Value stored_value,
+              MemoryOrder store_order = MemoryOrder::Plain)
     {
         Instruction instr;
         instr.kind = OpKind::Store;
         instr.loc = location;
         instr.value = stored_value;
+        instr.order = store_order;
         return instr;
     }
 
     /** Build a load of @p location into @p dest_register. */
     static Instruction
-    makeLoad(LocationId location, RegisterId dest_register)
+    makeLoad(LocationId location, RegisterId dest_register,
+             MemoryOrder load_order = MemoryOrder::Plain)
     {
         Instruction instr;
         instr.kind = OpKind::Load;
         instr.loc = location;
         instr.reg = dest_register;
+        instr.order = load_order;
         return instr;
     }
 
-    /** Build a full memory fence. */
+    /** Build a full memory fence (annotated FENCE.SC when requested). */
     static Instruction
-    makeFence()
+    makeFence(MemoryOrder fence_order = MemoryOrder::Plain)
     {
-        return Instruction{};
+        Instruction instr;
+        instr.order = fence_order;
+        return instr;
     }
 
     /**
@@ -72,13 +106,15 @@ struct Instruction
      */
     static Instruction
     makeRmw(LocationId location, Value stored_value,
-            RegisterId dest_register)
+            RegisterId dest_register,
+            MemoryOrder rmw_order = MemoryOrder::Plain)
     {
         Instruction instr;
         instr.kind = OpKind::Rmw;
         instr.loc = location;
         instr.value = stored_value;
         instr.reg = dest_register;
+        instr.order = rmw_order;
         return instr;
     }
 
@@ -108,10 +144,44 @@ struct Instruction
         return kind == OpKind::Fence || kind == OpKind::Rmw;
     }
 
+    /**
+     * True when the instruction reads with acquire semantics under RA:
+     * an annotated acquire load, or an RMW whose annotation is Plain
+     * (x86 XCHG maps to acq_rel), Acquire or AcqRel.
+     */
+    bool
+    raAcquire() const
+    {
+        if (kind == OpKind::Load)
+            return order == MemoryOrder::Acquire;
+        if (kind == OpKind::Rmw)
+            return order == MemoryOrder::Plain ||
+                   order == MemoryOrder::Acquire ||
+                   order == MemoryOrder::AcqRel;
+        return false;
+    }
+
+    /**
+     * True when the instruction writes with release semantics under RA:
+     * an annotated release store, or an RMW whose annotation is Plain,
+     * Release or AcqRel.
+     */
+    bool
+    raRelease() const
+    {
+        if (kind == OpKind::Store)
+            return order == MemoryOrder::Release;
+        if (kind == OpKind::Rmw)
+            return order == MemoryOrder::Plain ||
+                   order == MemoryOrder::Release ||
+                   order == MemoryOrder::AcqRel;
+        return false;
+    }
+
     bool
     operator==(const Instruction &other) const
     {
-        if (kind != other.kind)
+        if (kind != other.kind || order != other.order)
             return false;
         switch (kind) {
           case OpKind::Store:

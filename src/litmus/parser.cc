@@ -95,6 +95,26 @@ struct ParserState
     }
 };
 
+/** Map a lower-cased ".rlx"-style mnemonic suffix to its order. */
+MemoryOrder
+parseOrderSuffix(const std::string &suffix, const std::string &cell)
+{
+    if (suffix.empty())
+        return MemoryOrder::Plain;
+    if (suffix == ".rlx")
+        return MemoryOrder::Relaxed;
+    if (suffix == ".acq")
+        return MemoryOrder::Acquire;
+    if (suffix == ".rel")
+        return MemoryOrder::Release;
+    if (suffix == ".ar")
+        return MemoryOrder::AcqRel;
+    if (suffix == ".sc")
+        return MemoryOrder::SeqCst;
+    parseError("unknown memory-order suffix '" + suffix + "' in '" +
+               cell + "'");
+}
+
 /** Parse one instruction cell into the given thread. */
 void
 parseInstruction(ParserState &state, ThreadId thread,
@@ -104,18 +124,46 @@ parseInstruction(ParserState &state, ThreadId thread,
     if (text.empty())
         return; // Ragged columns: shorter threads have empty cells.
 
+    // Split the mnemonic from its optional C11 ordering suffix:
+    // "MOV.ACQ EAX,[x]" -> op "mov", suffix ".acq".
     const std::string lower = toLower(text);
-    if (lower == "mfence") {
+    const std::size_t space = lower.find(' ');
+    const std::string mnemonic =
+        lower.substr(0, space == std::string::npos ? lower.size()
+                                                   : space);
+    const std::size_t dot = mnemonic.find('.');
+    const std::string op =
+        mnemonic.substr(0, dot == std::string::npos ? mnemonic.size()
+                                                    : dot);
+    const MemoryOrder order = parseOrderSuffix(
+        dot == std::string::npos ? std::string()
+                                 : mnemonic.substr(dot),
+        text);
+
+    if (op == "mfence") {
+        if (order != MemoryOrder::Plain)
+            parseError("MFENCE takes no suffix (use FENCE.SC) in '" +
+                       text + "'");
         state.test.threads[static_cast<std::size_t>(thread)]
             .instructions.push_back(Instruction::makeFence());
         return;
     }
 
-    if (startsWith(lower, "xchg")) {
+    if (op == "fence") {
+        if (order != MemoryOrder::SeqCst)
+            parseError("annotated fences must be FENCE.SC, got '" +
+                       text + "'");
+        state.test.threads[static_cast<std::size_t>(thread)]
+            .instructions.push_back(
+                Instruction::makeFence(MemoryOrder::SeqCst));
+        return;
+    }
+
+    if (op == "xchg") {
         // XCHG REG,[loc] (either operand order): the stored value is
         // the register's initial value from the init block, matching
         // litmus7's convention for locked exchanges.
-        const std::string operands = trim(text.substr(4));
+        const std::string operands = trim(text.substr(mnemonic.size()));
         const auto comma = operands.find(',');
         if (comma == std::string::npos)
             parseError("XCHG needs two operands in '" + text + "'");
@@ -140,14 +188,14 @@ parseInstruction(ParserState &state, ThreadId thread,
         state.test.threads[static_cast<std::size_t>(thread)]
             .instructions.push_back(Instruction::makeRmw(
                 state.locationIdFor(loc), init->second,
-                state.registerIdFor(thread, a)));
+                state.registerIdFor(thread, a), order));
         return;
     }
 
-    if (!startsWith(lower, "mov"))
+    if (op != "mov")
         parseError("unsupported instruction '" + text + "'");
 
-    const std::string operands = trim(text.substr(3));
+    const std::string operands = trim(text.substr(mnemonic.size()));
     const auto comma = operands.find(',');
     if (comma == std::string::npos)
         parseError("MOV needs two operands in '" + text + "'");
@@ -166,7 +214,7 @@ parseInstruction(ParserState &state, ThreadId thread,
         if (!imm.empty() && imm.front() == '$')
             imm.erase(imm.begin());
         instructions.push_back(Instruction::makeStore(
-            state.locationIdFor(loc), parseValue(imm)));
+            state.locationIdFor(loc), parseValue(imm), order));
         return;
     }
 
@@ -180,7 +228,7 @@ parseInstruction(ParserState &state, ThreadId thread,
                 parseError("bad register name '" + dst + "'");
         instructions.push_back(Instruction::makeLoad(
             state.locationIdFor(loc),
-            state.registerIdFor(thread, dst)));
+            state.registerIdFor(thread, dst), order));
         return;
     }
 

@@ -596,6 +596,97 @@ buildExtendedCorpus()
     return corpus;
 }
 
+/**
+ * Annotated Release-Acquire showcase shapes. The SuiteEntry::expected
+ * field records the x86-TSO verdict as everywhere else (the x86
+ * models ignore annotations); RA classifications are asserted by the
+ * unit tests against both RA checkers.
+ */
+std::vector<SuiteEntry>
+buildRaShowcaseTests()
+{
+    std::vector<SuiteEntry> tests;
+
+    tests.push_back(entry(
+        TestBuilder("mp+ra")
+            .doc("message passing, release store / acquire load")
+            .thread()
+            .store("x", 1, MemoryOrder::Relaxed)
+            .store("y", 1, MemoryOrder::Release)
+            .thread()
+            .load("EAX", "y", MemoryOrder::Acquire)
+            .load("EBX", "x", MemoryOrder::Relaxed)
+            .target({{1, "EAX", 1}, {1, "EBX", 0}})
+            .build(),
+        TsoVerdict::Forbidden, 2, 1, /*reconstructed=*/true));
+
+    tests.push_back(entry(
+        TestBuilder("mp+rlx")
+            .doc("message passing, all relaxed: RA allows the stale "
+                 "read")
+            .thread()
+            .store("x", 1, MemoryOrder::Relaxed)
+            .store("y", 1, MemoryOrder::Relaxed)
+            .thread()
+            .load("EAX", "y", MemoryOrder::Relaxed)
+            .load("EBX", "x", MemoryOrder::Relaxed)
+            .target({{1, "EAX", 1}, {1, "EBX", 0}})
+            .build(),
+        TsoVerdict::Forbidden, 2, 1, /*reconstructed=*/true));
+
+    tests.push_back(entry(
+        TestBuilder("sb+rlx")
+            .doc("store buffering, relaxed accesses: 0/0 stays "
+                 "observable under RA")
+            .thread()
+            .store("x", 1, MemoryOrder::Relaxed)
+            .load("EAX", "y", MemoryOrder::Relaxed)
+            .thread()
+            .store("y", 1, MemoryOrder::Relaxed)
+            .load("EAX", "x", MemoryOrder::Relaxed)
+            .target({{0, "EAX", 0}, {1, "EAX", 0}})
+            .build(),
+        TsoVerdict::Allowed, 2, 2, /*reconstructed=*/true));
+
+    tests.push_back(entry(
+        TestBuilder("iriw+acq")
+            .doc("independent reads of independent writes, acquire "
+                 "loads: observable under RA, forbidden under SC and "
+                 "TSO")
+            .thread().store("x", 1, MemoryOrder::Release)
+            .thread().store("y", 1, MemoryOrder::Release)
+            .thread()
+            .load("EAX", "x", MemoryOrder::Acquire)
+            .load("EBX", "y", MemoryOrder::Acquire)
+            .thread()
+            .load("EAX", "y", MemoryOrder::Acquire)
+            .load("EBX", "x", MemoryOrder::Acquire)
+            .target({{2, "EAX", 1},
+                     {2, "EBX", 0},
+                     {3, "EAX", 1},
+                     {3, "EBX", 0}})
+            .build(),
+        TsoVerdict::Forbidden, 4, 2, /*reconstructed=*/true));
+
+    tests.push_back(entry(
+        TestBuilder("lb+rlx")
+            .doc("load buffering: forbidden even all-relaxed (no "
+                 "thin-air values)")
+            .thread()
+            .load("EAX", "x", MemoryOrder::Relaxed)
+            .store("y", 1, MemoryOrder::Relaxed)
+            .thread()
+            .load("EAX", "y", MemoryOrder::Relaxed)
+            .store("x", 1, MemoryOrder::Relaxed)
+            .target({{0, "EAX", 1}, {1, "EAX", 1}})
+            .build(),
+        TsoVerdict::Forbidden, 2, 2, /*reconstructed=*/true));
+
+    for (const auto &e : tests)
+        validateOrThrow(e.test);
+    return tests;
+}
+
 } // namespace
 
 const std::vector<SuiteEntry> &
@@ -620,10 +711,21 @@ extendedCorpus()
     return corpus;
 }
 
+const std::vector<SuiteEntry> &
+raShowcaseTests()
+{
+    static const std::vector<SuiteEntry> tests =
+        buildRaShowcaseTests();
+    return tests;
+}
+
 const SuiteEntry &
 findTest(const std::string &name)
 {
     for (const auto &e : extendedCorpus())
+        if (e.test.name == name)
+            return e;
+    for (const auto &e : raShowcaseTests())
         if (e.test.name == name)
             return e;
     fatal("unknown litmus test '" + name + "'");

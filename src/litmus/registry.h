@@ -73,6 +73,16 @@ const std::vector<SuiteEntry> &atomicExtensionTests();
 const std::vector<SuiteEntry> &extendedCorpus();
 
 /**
+ * Annotated C11 Release-Acquire showcase shapes (MP/SB/IRIW/LB with
+ * ordering annotations) — beyond the paper's x86 corpus, kept out of
+ * extendedCorpus() so the Table II experiments are unchanged. The
+ * expected field records the x86-TSO verdict as everywhere else (the
+ * x86 models ignore annotations); findTest() resolves these names
+ * too.
+ */
+const std::vector<SuiteEntry> &raShowcaseTests();
+
+/**
  * Find a suite entry by test name in the extended corpus.
  *
  * @param name Test name, e.g. "sb".

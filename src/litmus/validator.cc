@@ -168,6 +168,51 @@ validateTarget(const Test &test, ValidationResult &result)
     }
 }
 
+/** True when @p order is a legal annotation for @p kind. */
+bool
+orderLegalFor(OpKind kind, MemoryOrder order)
+{
+    if (order == MemoryOrder::Plain)
+        return true;
+    switch (kind) {
+      case OpKind::Store:
+        return order == MemoryOrder::Relaxed ||
+               order == MemoryOrder::Release;
+      case OpKind::Load:
+        return order == MemoryOrder::Relaxed ||
+               order == MemoryOrder::Acquire;
+      case OpKind::Rmw:
+        return order == MemoryOrder::Relaxed ||
+               order == MemoryOrder::Acquire ||
+               order == MemoryOrder::Release ||
+               order == MemoryOrder::AcqRel;
+      case OpKind::Fence:
+        return order == MemoryOrder::SeqCst;
+    }
+    return false;
+}
+
+void
+validateOrders(const Test &test, ValidationResult &result)
+{
+    for (ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &thread = test.threads[static_cast<std::size_t>(t)];
+        for (const auto &instr : thread.instructions) {
+            if (!orderLegalFor(instr.kind, instr.order)) {
+                result.problems.push_back(format(
+                    "thread %d annotates a %s with memory order %s, "
+                    "which is not a legal combination",
+                    t,
+                    instr.isStore()  ? "store"
+                    : instr.isLoad() ? "load"
+                    : instr.isRmw()  ? "read-modify-write"
+                                     : "fence",
+                    memoryOrderName(instr.order)));
+            }
+        }
+    }
+}
+
 } // namespace
 
 ValidationResult
@@ -177,6 +222,7 @@ validate(const Test &test)
     validateStructure(test, result);
     validateStores(test, result);
     validateRegisters(test, result);
+    validateOrders(test, result);
     validateTarget(test, result);
     return result;
 }

@@ -11,24 +11,30 @@ std::string
 instructionToString(const Test &test, ThreadId thread,
                     const Instruction &instr)
 {
+    // Plain instructions carry an empty suffix, so the legacy TSO
+    // corpus serializes byte-for-byte as before; annotated accesses
+    // gain a C11 ordering suffix, e.g. "MOV.ACQ EAX,[x]".
+    const char *suffix = memoryOrderSuffix(instr.order);
     switch (instr.kind) {
       case OpKind::Store:
         return format(
-            "MOV [%s],$%lld",
+            "MOV%s [%s],$%lld", suffix,
             test.locations[static_cast<std::size_t>(instr.loc)].c_str(),
             static_cast<long long>(instr.value));
       case OpKind::Load:
         return format(
-            "MOV %s,[%s]",
+            "MOV%s %s,[%s]", suffix,
             test.threads[static_cast<std::size_t>(thread)]
                 .registerNames[static_cast<std::size_t>(instr.reg)]
                 .c_str(),
             test.locations[static_cast<std::size_t>(instr.loc)].c_str());
       case OpKind::Fence:
-        return "MFENCE";
+        return instr.order == MemoryOrder::Plain
+                   ? "MFENCE"
+                   : format("FENCE%s", suffix);
       case OpKind::Rmw:
         return format(
-            "XCHG %s,[%s]",
+            "XCHG%s %s,[%s]", suffix,
             test.threads[static_cast<std::size_t>(thread)]
                 .registerNames[static_cast<std::size_t>(instr.reg)]
                 .c_str(),

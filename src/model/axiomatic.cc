@@ -65,6 +65,154 @@ rmwAtomicityHolds(const litmus::Test &test,
     return true;
 }
 
+/** Square boolean relation with in-place transitive closure. */
+struct Relation
+{
+    explicit Relation(std::size_t n)
+        : size(n), bits(n * n, 0)
+    {}
+
+    char &
+    at(std::size_t a, std::size_t b)
+    {
+        return bits[a * size + b];
+    }
+
+    bool
+    has(std::size_t a, std::size_t b) const
+    {
+        return bits[a * size + b] != 0;
+    }
+
+    void
+    close()
+    {
+        for (std::size_t k = 0; k < size; ++k)
+            for (std::size_t a = 0; a < size; ++a) {
+                if (!has(a, k))
+                    continue;
+                for (std::size_t b = 0; b < size; ++b)
+                    if (has(k, b))
+                        at(a, b) = 1;
+            }
+    }
+
+    std::size_t size;
+    std::vector<char> bits;
+};
+
+/**
+ * RC11-style Release-Acquire consistency of one candidate execution
+ * (an rf choice via @p graph's outcome, a modification order via the
+ * graph's ws edges, and an SC order of the fences via @p fence_order):
+ *
+ *  - acyclic(po ∪ rf ∪ sc): no load buffering and the fence order is
+ *    realizable (the view machine executes reads after the write they
+ *    read and fences in SC order, so any machine run linearizes this
+ *    relation);
+ *  - coherence: irreflexive(hb ; eco?) with hb = (po ∪ sw ∪ sc)+,
+ *    sw = rf edges from a release write to an acquire read, and
+ *    eco = (rf ∪ ws ∪ fr)+ — this single check subsumes the four
+ *    per-location coherence axioms CoWW/CoWR/CoRW/CoRR.
+ *
+ * Vertices are all instructions including fences; reading the initial
+ * value contributes fr edges (HbGraph's convention), which is exactly
+ * the mo-minimal pseudo-write treatment RA needs.
+ */
+bool
+raConsistent(const litmus::Test &test, const std::vector<OpRef> &ops,
+             const HbGraph &graph, const std::vector<OpRef> &fence_order)
+{
+    const std::size_t n = ops.size();
+    const auto idOf = [&](const OpRef &op) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (ops[i] == op)
+                return i;
+        checkInternal(false, "unknown op in RA consistency check");
+        return n;
+    };
+    const auto instrOf = [&](const OpRef &op) -> const auto & {
+        return test.threads[static_cast<std::size_t>(op.thread)]
+            .instructions[static_cast<std::size_t>(op.index)];
+    };
+
+    Relation order(n); // po ∪ rf ∪ sc: must be acyclic.
+    Relation hb(n);    // po ∪ sw ∪ sc.
+    Relation eco(n);   // rf ∪ ws ∪ fr (per location by construction).
+
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = a + 1; b < n; ++b)
+            if (ops[a].thread == ops[b].thread) {
+                order.at(a, b) = 1;
+                hb.at(a, b) = 1;
+            }
+    for (std::size_t i = 0; i + 1 < fence_order.size(); ++i) {
+        const std::size_t a = idOf(fence_order[i]);
+        const std::size_t b = idOf(fence_order[i + 1]);
+        order.at(a, b) = 1;
+        hb.at(a, b) = 1;
+    }
+    for (const auto &edge : graph.edges()) {
+        const std::size_t a = idOf(edge.from);
+        const std::size_t b = idOf(edge.to);
+        switch (edge.kind) {
+          case EdgeKind::Po:
+            break; // Rebuilt above, including fences.
+          case EdgeKind::Rf:
+            order.at(a, b) = 1;
+            eco.at(a, b) = 1;
+            if (instrOf(edge.from).raRelease() &&
+                instrOf(edge.to).raAcquire())
+                hb.at(a, b) = 1;
+            break;
+          case EdgeKind::Ws:
+          case EdgeKind::Fr:
+            eco.at(a, b) = 1;
+            break;
+        }
+    }
+    order.close();
+    hb.close();
+    eco.close();
+
+    for (std::size_t a = 0; a < n; ++a)
+        if (order.has(a, a))
+            return false;
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b)
+            if (hb.has(a, b) && eco.has(b, a))
+                return false;
+    return true;
+}
+
+/**
+ * The Release-Acquire leg: existential over modification orders and
+ * SC fence orders, checking raConsistent() plus RMW atomicity.
+ */
+bool
+allowsAxiomaticRa(const litmus::Test &test,
+                  const litmus::Outcome &outcome)
+{
+    std::vector<OpRef> ops;
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &instructions =
+            test.threads[static_cast<std::size_t>(t)].instructions;
+        for (std::size_t i = 0; i < instructions.size(); ++i)
+            ops.push_back({t, static_cast<int>(i)});
+    }
+
+    const auto fence_orders = enumerateScFenceOrders(test);
+    for (const auto &ws : enumerateWsOrders(test)) {
+        if (!rmwAtomicityHolds(test, outcome, ws))
+            continue;
+        const HbGraph graph(test, outcome, ws);
+        for (const auto &fence_order : fence_orders)
+            if (raConsistent(test, ops, graph, fence_order))
+                return true;
+    }
+    return false;
+}
+
 } // namespace
 
 bool
@@ -74,6 +222,9 @@ allowsAxiomatic(const litmus::Test &test, const litmus::Outcome &outcome,
     checkUser(!outcome.hasMemoryCondition(),
               "the axiomatic checker only handles register conditions; "
               "use the operational checker for final-memory outcomes");
+
+    if (model == MemoryModel::RA)
+        return allowsAxiomaticRa(test, outcome);
 
     const auto all_kinds = std::vector<EdgeKind>{
         EdgeKind::Po, EdgeKind::Rf, EdgeKind::Ws, EdgeKind::Fr};

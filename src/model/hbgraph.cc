@@ -270,4 +270,35 @@ enumerateWsOrders(const litmus::Test &test)
     }
 }
 
+std::vector<std::vector<OpRef>>
+enumerateScFenceOrders(const litmus::Test &test)
+{
+    std::vector<OpRef> fences;
+    for (litmus::ThreadId t = 0; t < test.numThreads(); ++t) {
+        const auto &instructions =
+            test.threads[static_cast<std::size_t>(t)].instructions;
+        for (std::size_t i = 0; i < instructions.size(); ++i)
+            if (instructions[i].isFence())
+                fences.push_back({t, static_cast<int>(i)});
+    }
+
+    std::vector<std::vector<OpRef>> result;
+    std::sort(fences.begin(), fences.end());
+    do {
+        // Keep only orders consistent with program order: a thread's
+        // own fences must appear in index order.
+        bool consistent = true;
+        for (std::size_t i = 0; consistent && i < fences.size(); ++i)
+            for (std::size_t j = i + 1; j < fences.size(); ++j)
+                if (fences[i].thread == fences[j].thread &&
+                    fences[i].index > fences[j].index) {
+                    consistent = false;
+                    break;
+                }
+        if (consistent)
+            result.push_back(fences);
+    } while (std::next_permutation(fences.begin(), fences.end()));
+    return result;
+}
+
 } // namespace perple::model

@@ -149,6 +149,15 @@ class HbGraph
 std::vector<std::vector<std::vector<OpRef>>>
 enumerateWsOrders(const litmus::Test &test);
 
+/**
+ * Enumerate all total orders of the test's fences that are consistent
+ * with program order (every fence is an SC fence under RA; the orders
+ * are the candidate positions of the fences in the model's global SC
+ * order). A fence-free test yields one empty order.
+ */
+std::vector<std::vector<OpRef>>
+enumerateScFenceOrders(const litmus::Test &test);
+
 } // namespace perple::model
 
 #endif // PERPLE_MODEL_HBGRAPH_H

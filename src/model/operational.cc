@@ -238,6 +238,322 @@ class Enumerator
     std::set<FinalState> finals_;
 };
 
+/**
+ * One store message in a location's modification order (RA machine).
+ *
+ * Identity is the executing instruction (id = thread * 64 + pc), so a
+ * message's value and release-ness are fixed; the view snapshot is
+ * execution-dependent and carried here.
+ */
+struct RaMessage
+{
+    int id;
+    Value value;
+
+    /** Release store/RMW: @c view below is a valid snapshot. */
+    bool release;
+
+    /**
+     * An RMW read this message; its write is mo-adjacent after it and
+     * nothing may ever be inserted between the two.
+     */
+    bool pinned;
+
+    /** Writer's view at the store, per location: message id or -1. */
+    std::vector<int> view;
+};
+
+/**
+ * The RA view machine: a promising-semantics-style machine without
+ * promises (no speculation, so po ∪ rf stays acyclic — no load
+ * buffering, matching the axiomatic side's no-thin-air check).
+ *
+ * Each location holds its messages in modification order; new stores
+ * may be inserted at any position strictly after the writing thread's
+ * current view of the location (this is what admits RA behaviors such
+ * as 2+2W). Threads advance their view on every access; acquire loads
+ * additionally join the message's attached view when the message was a
+ * release. SC fences join through a global fence view. RMWs read a
+ * message and insert their write immediately after it, permanently
+ * reserving that adjacency.
+ */
+class RaEnumerator
+{
+  public:
+    explicit RaEnumerator(const Test &test) : test_(test) {}
+
+    std::vector<FinalState>
+    run()
+    {
+        RaState initial;
+        const auto num_threads =
+            static_cast<std::size_t>(test_.numThreads());
+        const auto num_locs =
+            static_cast<std::size_t>(test_.numLocations());
+        initial.pc.assign(num_threads, 0);
+        initial.regs.resize(num_threads);
+        for (std::size_t t = 0; t < num_threads; ++t)
+            initial.regs[t].assign(test_.threads[t].registerNames.size(),
+                                   0);
+        initial.views.assign(num_threads,
+                             std::vector<int>(num_locs, -1));
+        initial.scView.assign(num_locs, -1);
+        initial.mo.assign(num_locs, {});
+        initial.initPinned.assign(num_locs, 0);
+        explore(initial);
+
+        std::vector<FinalState> result(finals_.begin(), finals_.end());
+        return result;
+    }
+
+  private:
+    struct RaState
+    {
+        std::vector<int> pc;
+        std::vector<std::vector<Value>> regs;
+        std::vector<std::vector<int>> views; ///< [thread][loc] -> id.
+        std::vector<int> scView;             ///< [loc] -> id or -1.
+        std::vector<std::vector<RaMessage>> mo; ///< [loc], mo order.
+        std::vector<char> initPinned; ///< [loc]: RMW consumed init.
+
+        std::string
+        key() const
+        {
+            std::string out;
+            for (std::size_t t = 0; t < pc.size(); ++t) {
+                out += format("p%d|", pc[t]);
+                for (const auto v : regs[t])
+                    out += format("r%lld|", static_cast<long long>(v));
+                for (const auto id : views[t])
+                    out += format("v%d|", id);
+                out += ";";
+            }
+            for (const auto id : scView)
+                out += format("s%d|", id);
+            for (std::size_t l = 0; l < mo.size(); ++l) {
+                out += initPinned[l] ? "I" : "i";
+                for (const auto &msg : mo[l]) {
+                    out += format("m%d%c", msg.id,
+                                  msg.pinned ? '!' : '.');
+                    for (const auto id : msg.view)
+                        out += format("w%d|", id);
+                }
+                out += ";";
+            }
+            return out;
+        }
+    };
+
+    /** Position of message @p id in @p list; -1 for the init value. */
+    static int
+    posOf(const std::vector<RaMessage> &list, int id)
+    {
+        if (id < 0)
+            return -1;
+        for (std::size_t i = 0; i < list.size(); ++i)
+            if (list[i].id == id)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Pointwise join: keep whichever message is later in mo. */
+    void
+    joinInto(const RaState &state, std::vector<int> &target,
+             const std::vector<int> &source) const
+    {
+        for (std::size_t l = 0; l < target.size(); ++l) {
+            if (posOf(state.mo[l], source[l]) >
+                posOf(state.mo[l], target[l]))
+                target[l] = source[l];
+        }
+    }
+
+    bool
+    done(const RaState &state) const
+    {
+        for (std::size_t t = 0; t < state.pc.size(); ++t)
+            if (state.pc[t] <
+                static_cast<int>(test_.threads[t].instructions.size()))
+                return false;
+        return true;
+    }
+
+    void
+    explore(const RaState &state)
+    {
+        if (!visited_.insert(state.key()).second)
+            return;
+
+        if (done(state)) {
+            FinalState fs;
+            fs.regs = state.regs;
+            for (const auto &messages : state.mo)
+                fs.memory.push_back(
+                    messages.empty() ? 0 : messages.back().value);
+            finals_.insert(std::move(fs));
+            return;
+        }
+
+        for (ThreadId t = 0; t < test_.numThreads(); ++t)
+            stepInstruction(state, t);
+    }
+
+    void
+    stepInstruction(const RaState &state, ThreadId t)
+    {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto &instructions = test_.threads[ut].instructions;
+        const int pc = state.pc[ut];
+        if (pc >= static_cast<int>(instructions.size()))
+            return;
+        const Instruction &instr =
+            instructions[static_cast<std::size_t>(pc)];
+        const int new_id = static_cast<int>(t) * 64 + pc;
+
+        switch (instr.kind) {
+          case OpKind::Load:
+            forEachReadable(state, t, instr, [&](int msg_pos) {
+                RaState next = state;
+                next.pc[ut] = pc + 1;
+                readMessage(next, t, instr, msg_pos);
+                explore(next);
+            });
+            break;
+          case OpKind::Store: {
+            const auto ul = static_cast<std::size_t>(instr.loc);
+            const auto &messages = state.mo[ul];
+            const int min_pos =
+                posOf(messages, state.views[ut][ul]) + 1;
+            for (int pos = min_pos;
+                 pos <= static_cast<int>(messages.size()); ++pos) {
+                if (!insertAllowed(state, instr.loc, pos))
+                    continue;
+                RaState next = state;
+                next.pc[ut] = pc + 1;
+                insertMessage(next, t, instr, new_id, pos);
+                explore(next);
+            }
+            break;
+          }
+          case OpKind::Rmw:
+            forEachReadable(state, t, instr, [&](int msg_pos) {
+                const auto ul = static_cast<std::size_t>(instr.loc);
+                // Atomicity: the read message must not already feed
+                // another RMW — our write goes immediately after it.
+                if (msg_pos < 0) {
+                    if (state.initPinned[ul])
+                        return;
+                } else if (state.mo[ul]
+                               [static_cast<std::size_t>(msg_pos)]
+                                   .pinned) {
+                    return;
+                }
+                RaState next = state;
+                next.pc[ut] = pc + 1;
+                readMessage(next, t, instr, msg_pos);
+                insertMessage(next, t, instr, new_id, msg_pos + 1);
+                if (msg_pos < 0)
+                    next.initPinned[ul] = 1;
+                else
+                    next.mo[ul][static_cast<std::size_t>(msg_pos)]
+                        .pinned = true;
+                explore(next);
+            });
+            break;
+          case OpKind::Fence: {
+            // Every fence is an SC fence under RA: join the thread
+            // view with the global fence view in both directions.
+            RaState next = state;
+            next.pc[ut] = pc + 1;
+            joinInto(next, next.views[ut], next.scView);
+            next.scView = next.views[ut];
+            explore(next);
+            break;
+          }
+        }
+    }
+
+    /**
+     * Invoke @p fn for every message of the instruction's location the
+     * thread may read: everything at or after its view, with position
+     * -1 standing for the initial value.
+     */
+    template <typename Fn>
+    void
+    forEachReadable(const RaState &state, ThreadId t,
+                    const Instruction &instr, Fn fn) const
+    {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto ul = static_cast<std::size_t>(instr.loc);
+        const auto &messages = state.mo[ul];
+        const int view_pos = posOf(messages, state.views[ut][ul]);
+        for (int pos = view_pos;
+             pos < static_cast<int>(messages.size()); ++pos)
+            fn(pos);
+    }
+
+    /**
+     * Read the message at @p msg_pos (or the init value when -1) into
+     * the instruction's register, advancing the reader's view and
+     * performing the acquire join when applicable.
+     */
+    void
+    readMessage(RaState &next, ThreadId t, const Instruction &instr,
+                int msg_pos) const
+    {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto ul = static_cast<std::size_t>(instr.loc);
+        if (msg_pos < 0) {
+            next.regs[ut][static_cast<std::size_t>(instr.reg)] = 0;
+            return;
+        }
+        const RaMessage &msg =
+            next.mo[ul][static_cast<std::size_t>(msg_pos)];
+        next.regs[ut][static_cast<std::size_t>(instr.reg)] = msg.value;
+        next.views[ut][ul] = msg.id;
+        if (instr.raAcquire() && msg.release) {
+            const std::vector<int> msg_view = msg.view;
+            joinInto(next, next.views[ut], msg_view);
+        }
+    }
+
+    /** True when inserting at @p pos keeps every RMW pair adjacent. */
+    bool
+    insertAllowed(const RaState &state, LocationId loc, int pos) const
+    {
+        const auto ul = static_cast<std::size_t>(loc);
+        if (pos == 0)
+            return !state.initPinned[ul];
+        return !state.mo[ul][static_cast<std::size_t>(pos - 1)].pinned;
+    }
+
+    /**
+     * Insert the instruction's store message at mo position @p pos,
+     * advancing the writer's view and snapshotting it into the message
+     * when the write is a release.
+     */
+    void
+    insertMessage(RaState &next, ThreadId t, const Instruction &instr,
+                  int id, int pos) const
+    {
+        const auto ut = static_cast<std::size_t>(t);
+        const auto ul = static_cast<std::size_t>(instr.loc);
+        next.views[ut][ul] = id;
+        RaMessage msg;
+        msg.id = id;
+        msg.value = instr.value;
+        msg.release = instr.raRelease();
+        msg.pinned = false;
+        if (msg.release)
+            msg.view = next.views[ut];
+        next.mo[ul].insert(next.mo[ul].begin() + pos, std::move(msg));
+    }
+
+    const Test &test_;
+    std::set<std::string> visited_;
+    std::set<FinalState> finals_;
+};
+
 } // namespace
 
 const char *
@@ -247,13 +563,34 @@ memoryModelName(MemoryModel model)
       case MemoryModel::SC: return "SC";
       case MemoryModel::TSO: return "TSO";
       case MemoryModel::PSO: return "PSO";
+      case MemoryModel::RA: return "RA";
     }
     return "?";
+}
+
+MemoryModel
+memoryModelFromName(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "sc")
+        return MemoryModel::SC;
+    if (lower == "tso")
+        return MemoryModel::TSO;
+    if (lower == "pso")
+        return MemoryModel::PSO;
+    if (lower == "ra")
+        return MemoryModel::RA;
+    fatal("unknown memory model '" + name +
+          "' (expected sc, tso, pso or ra)");
 }
 
 std::vector<FinalState>
 enumerateFinalStates(const litmus::Test &test, MemoryModel model)
 {
+    if (model == MemoryModel::RA) {
+        RaEnumerator enumerator(test);
+        return enumerator.run();
+    }
     Enumerator enumerator(test, model);
     return enumerator.run();
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * Operational model checking of litmus tests under SC and x86-TSO.
+ * Operational model checking of litmus tests under SC, x86-TSO, PSO and
+ * C11 Release-Acquire.
  *
  * This is PerpLE's substitute for the herd simulator used in the paper to
  * classify target outcomes (Table II): an exhaustive enumeration of every
@@ -11,12 +12,22 @@
  * the newest matching buffered store of the own thread before reading
  * memory, MFENCE blocks until the own buffer has drained, and buffered
  * stores drain to memory one at a time at nondeterministic points. The SC
- * machine is the same without store buffers.
+ * machine is the same without store buffers. PSO relaxes the buffer to
+ * drain out of order (same-location FIFO only).
+ *
+ * The RA machine is a view machine in the style of the promising
+ * semantics (without promises): per-location modification orders hold
+ * messages, each thread tracks a view (its latest known message per
+ * location), release stores attach the writer's view to the message, and
+ * acquire loads join the message view into the reader's view. See
+ * MemoryModel::RA below for how un-annotated x86 instructions map onto
+ * RA accesses.
  */
 
 #ifndef PERPLE_MODEL_OPERATIONAL_H
 #define PERPLE_MODEL_OPERATIONAL_H
 
+#include <string>
 #include <vector>
 
 #include "litmus/outcome.h"
@@ -45,16 +56,35 @@ enum class MemoryModel
      * models as well; PSO is the first step down from TSO).
      */
     PSO,
+
+    /**
+     * C11 Release-Acquire (with relaxed accesses and SC fences).
+     * Instructions are interpreted through their MemoryOrder
+     * annotation; un-annotated (Plain) instructions degrade to the
+     * weakest access of their kind: Plain loads/stores become relaxed,
+     * a Plain MFENCE becomes an SC fence, and a Plain XCHG becomes an
+     * acquire-release RMW. The x86 models ignore annotations entirely
+     * (sound: every x86 load is an acquire, every x86 store a
+     * release).
+     */
+    RA,
 };
 
-/** Human-readable model name ("SC", "TSO", "PSO"). */
+/** Human-readable model name ("SC", "TSO", "PSO", "RA"). */
 const char *memoryModelName(MemoryModel model);
+
+/**
+ * Parse a model name, case-insensitively ("sc", "tso", "pso", "ra").
+ *
+ * @throws UserError on an unknown name.
+ */
+MemoryModel memoryModelFromName(const std::string &name);
 
 /**
  * Enumerate every reachable final state of one iteration of @p test.
  *
  * @param test The litmus test; must be validated.
- * @param model SC or TSO.
+ * @param model Any supported MemoryModel.
  * @return All distinct final states, sorted.
  */
 std::vector<FinalState> enumerateFinalStates(const litmus::Test &test,
@@ -65,7 +95,7 @@ std::vector<FinalState> enumerateFinalStates(const litmus::Test &test,
  *
  * @param test The litmus test.
  * @param outcome Outcome to check; may include memory conditions.
- * @param model SC or TSO.
+ * @param model Any supported MemoryModel.
  */
 bool allows(const litmus::Test &test, const litmus::Outcome &outcome,
             MemoryModel model);

@@ -142,8 +142,9 @@ bool
 envMatchesJob(const char *env, std::uint64_t jobId)
 {
     const char *value = std::getenv(env);
-    return value != nullptr &&
-           std::strtoull(value, nullptr, 10) == jobId;
+    std::uint64_t parsed = 0;
+    return value != nullptr && parseFullUint64(value, parsed) &&
+           parsed == jobId;
 }
 
 /** The stop-pipe write end of the daemon the signal handlers serve. */
@@ -234,20 +235,34 @@ struct Daemon::Impl
         common::parseSocketPathArg("--socket", config.socketPath);
 
         // A pre-existing socket file is either a live daemon (refuse)
-        // or the debris of a dead one (reclaim).
+        // or the debris of a dead one (reclaim). One successful probe
+        // connect is not proof of life: a SIGKILLed daemon's
+        // supervised workers inherit the listening fd and keep the
+        // accept queue alive for the few milliseconds until their
+        // PDEATHSIG lands, so an immediate restart would misread the
+        // corpse as a live daemon. Re-probe over a short window; only
+        // a listener that stays connectable is genuinely alive.
         if (std::filesystem::exists(config.socketPath)) {
-            const int probe =
-                ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-            checkUser(probe >= 0, "cannot create probe socket");
             sockaddr_un addr{};
             addr.sun_family = AF_UNIX;
             std::strncpy(addr.sun_path, config.socketPath.c_str(),
                          sizeof(addr.sun_path) - 1);
-            const bool alive =
-                ::connect(probe,
-                          reinterpret_cast<const sockaddr *>(&addr),
-                          sizeof(addr)) == 0;
-            ::close(probe);
+            bool alive = true;
+            for (int attempt = 0; attempt < 20; ++attempt) {
+                if (attempt > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                const int probe = ::socket(
+                    AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                checkUser(probe >= 0, "cannot create probe socket");
+                alive = ::connect(probe,
+                                  reinterpret_cast<const sockaddr *>(
+                                      &addr),
+                                  sizeof(addr)) == 0;
+                ::close(probe);
+                if (!alive)
+                    break;
+            }
             checkUser(!alive,
                       format("a daemon is already listening on %s",
                              config.socketPath.c_str()));

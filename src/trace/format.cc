@@ -1,7 +1,10 @@
 #include "trace/format.h"
 
+#include <array>
+#include <charconv>
 #include <cinttypes>
-#include <cstdlib>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
@@ -13,11 +16,71 @@ namespace perple::trace
 namespace
 {
 
-/** Round-trip rendering for the MachineConfig's double knobs. */
+/**
+ * Round-trip rendering for the MachineConfig's double knobs:
+ * std::to_chars shortest form, locale independent — printf "%g" under
+ * a comma-decimal global locale would emit "0,5", which the strict
+ * parser below rightly rejects.
+ */
 std::string
 doubleToText(double value)
 {
-    return format("%.17g", value);
+    std::array<char, 64> buf{};
+    const auto result =
+        std::to_chars(buf.data(), buf.data() + buf.size(), value);
+    checkInternal(result.ec == std::errc(),
+                  "doubleToText: to_chars failed");
+    return std::string(buf.data(), result.ptr);
+}
+
+/** Strict int field parse; rejects garbage, overflow and locales. */
+int
+metaInt(const std::string &text, const char *what)
+{
+    std::int64_t value = 0;
+    checkUser(parseFullInt64(text, value) &&
+                  value >= std::numeric_limits<int>::min() &&
+                  value <= std::numeric_limits<int>::max(),
+              format("trace meta: malformed %s '%s'", what,
+                     text.c_str()));
+    return static_cast<int>(value);
+}
+
+/** Strict int64 field parse. */
+std::int64_t
+metaInt64(const std::string &text, const char *what)
+{
+    std::int64_t value = 0;
+    checkUser(parseFullInt64(text, value),
+              format("trace meta: malformed %s '%s'", what,
+                     text.c_str()));
+    return value;
+}
+
+/**
+ * Strict probability parse: C-locale decimal syntax, finite, in
+ * [0, 1]. from_chars alone would accept "inf" and "nan".
+ */
+double
+metaProbability(const std::string &text, const char *what)
+{
+    double value = 0.0;
+    checkUser(parseFullDouble(text, value) && std::isfinite(value) &&
+                  value >= 0.0 && value <= 1.0,
+              format("trace meta: malformed %s '%s' (expected a "
+                     "probability in [0, 1])",
+                     what, text.c_str()));
+    return value;
+}
+
+/** Strict bool field parse: exactly "0" or "1". */
+bool
+metaBool(const std::string &text, const char *what)
+{
+    checkUser(text == "0" || text == "1",
+              format("trace meta: malformed %s '%s' (expected 0 or 1)",
+                     what, text.c_str()));
+    return text == "1";
 }
 
 /** One "key value" line. */
@@ -65,11 +128,9 @@ std::vector<int>
 parseIntList(const std::string &text, const char *what)
 {
     std::vector<int> values;
-    std::istringstream in(text);
-    long long v = 0;
-    while (in >> v)
-        values.push_back(static_cast<int>(v));
-    checkUser(in.eof(), format("trace meta: malformed %s list", what));
+    for (const std::string &field : split(text, ' '))
+        values.push_back(
+            metaInt(field, format("%s list entry", what).c_str()));
     return values;
 }
 
@@ -140,31 +201,47 @@ parseMeta(const std::string &payload)
         } else if (key == "loads") {
             meta.loadsPerIteration = parseIntList(rest, "loads");
         } else if (key == "machine.storeBufferCapacity") {
-            meta.machine.storeBufferCapacity = std::atoi(rest.c_str());
+            meta.machine.storeBufferCapacity =
+                metaInt(rest, "machine.storeBufferCapacity");
         } else if (key == "machine.opLatency") {
-            meta.machine.opLatency = std::atoi(rest.c_str());
+            meta.machine.opLatency =
+                metaInt(rest, "machine.opLatency");
         } else if (key == "machine.drainLatencyMean") {
-            meta.machine.drainLatencyMean = std::atoi(rest.c_str());
+            meta.machine.drainLatencyMean =
+                metaInt(rest, "machine.drainLatencyMean");
         } else if (key == "machine.stallProbability") {
-            meta.machine.stallProbability = std::atof(rest.c_str());
+            meta.machine.stallProbability =
+                metaProbability(rest, "machine.stallProbability");
         } else if (key == "machine.stallMeanTicks") {
-            meta.machine.stallMeanTicks = std::atoi(rest.c_str());
+            meta.machine.stallMeanTicks =
+                metaInt(rest, "machine.stallMeanTicks");
         } else if (key == "machine.loadMissProbability") {
-            meta.machine.loadMissProbability = std::atof(rest.c_str());
+            meta.machine.loadMissProbability =
+                metaProbability(rest, "machine.loadMissProbability");
         } else if (key == "machine.loadMissLatencyMean") {
-            meta.machine.loadMissLatencyMean = std::atoi(rest.c_str());
+            meta.machine.loadMissLatencyMean =
+                metaInt(rest, "machine.loadMissLatencyMean");
         } else if (key == "machine.chunkSize") {
-            meta.machine.chunkSize = std::atoll(rest.c_str());
+            meta.machine.chunkSize =
+                metaInt64(rest, "machine.chunkSize");
         } else if (key == "machine.fifoStoreBuffers") {
-            meta.machine.fifoStoreBuffers = rest == "1";
+            meta.machine.fifoStoreBuffers =
+                metaBool(rest, "machine.fifoStoreBuffers");
         } else if (key == "machine.fenceDrainsBuffer") {
-            meta.machine.fenceDrainsBuffer = rest == "1";
+            meta.machine.fenceDrainsBuffer =
+                metaBool(rest, "machine.fenceDrainsBuffer");
         } else if (key == "machine.storeForwarding") {
-            meta.machine.storeForwarding = rest == "1";
+            meta.machine.storeForwarding =
+                metaBool(rest, "machine.storeForwarding");
         } else if (key == "test") {
+            std::uint64_t parsed = 0;
+            checkUser(parseFullUint64(rest, parsed),
+                      format("trace meta: malformed test length '%s'",
+                             rest.c_str()));
             const std::size_t bytes =
-                static_cast<std::size_t>(std::atoll(rest.c_str()));
-            checkUser(pos + bytes <= payload.size(),
+                static_cast<std::size_t>(parsed);
+            checkUser(bytes == parsed &&
+                          bytes <= payload.size() - pos,
                       "trace meta: embedded test source truncated");
             meta.testText = payload.substr(pos, bytes);
             pos += bytes;
@@ -201,12 +278,20 @@ parseRun(const std::string &payload)
               "trace run header: missing 'plt-run v1' preamble");
     while (nextLine(payload, pos, l)) {
         splitKey(l, key, rest);
-        if (key == "seed")
-            run.seed = std::strtoull(rest.c_str(), nullptr, 10);
-        else if (key == "iterations")
-            run.iterations = std::atoll(rest.c_str());
-        else if (key == "backend")
+        if (key == "seed") {
+            std::uint64_t parsed = 0;
+            checkUser(parseFullUint64(rest, parsed),
+                      format("trace run header: malformed seed '%s'",
+                             rest.c_str()));
+            run.seed = parsed;
+        } else if (key == "iterations") {
+            checkUser(parseFullInt64(rest, run.iterations),
+                      format("trace run header: malformed iteration "
+                             "count '%s'",
+                             rest.c_str()));
+        } else if (key == "backend") {
             run.backend = rest;
+        }
     }
     checkUser(run.iterations > 0,
               "trace run header: missing or non-positive iteration "

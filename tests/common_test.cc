@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <mutex>
 #include <numeric>
@@ -256,6 +258,63 @@ TEST(StringsTest, ToLower)
 {
     EXPECT_EQ(toLower("MFENCE"), "mfence");
     EXPECT_EQ(toLower("MiXeD123"), "mixed123");
+}
+
+TEST(StringsTest, ParseFullInt64Accepts)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(parseFullInt64("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseFullInt64("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseFullInt64("0", v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(parseFullInt64("9223372036854775807", v));
+    EXPECT_EQ(v, std::numeric_limits<std::int64_t>::max());
+    EXPECT_TRUE(parseFullInt64("-9223372036854775808", v));
+    EXPECT_EQ(v, std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(StringsTest, ParseFullInt64RejectsGarbage)
+{
+    std::int64_t v = 0;
+    // The atoi family silently accepts every one of these.
+    EXPECT_FALSE(parseFullInt64("", v));
+    EXPECT_FALSE(parseFullInt64("7abc", v));
+    EXPECT_FALSE(parseFullInt64("abc7", v));
+    EXPECT_FALSE(parseFullInt64(" 7", v));
+    EXPECT_FALSE(parseFullInt64("7 ", v));
+    EXPECT_FALSE(parseFullInt64("7.0", v));
+    EXPECT_FALSE(parseFullInt64("0x10", v));
+    EXPECT_FALSE(parseFullInt64("9223372036854775808", v));
+    EXPECT_FALSE(parseFullInt64("--3", v));
+}
+
+TEST(StringsTest, ParseFullUint64RejectsSigns)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseFullUint64("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+    // strtoull would wrap "-1" to UINT64_MAX; reject it instead.
+    EXPECT_FALSE(parseFullUint64("-1", v));
+    EXPECT_FALSE(parseFullUint64("+1", v));
+    EXPECT_FALSE(parseFullUint64("18446744073709551616", v));
+    EXPECT_FALSE(parseFullUint64("", v));
+    EXPECT_FALSE(parseFullUint64("12abc", v));
+}
+
+TEST(StringsTest, ParseFullDoubleIsStrictAndLocaleFree)
+{
+    double v = 0;
+    EXPECT_TRUE(parseFullDouble("0.25", v));
+    EXPECT_EQ(v, 0.25);
+    EXPECT_TRUE(parseFullDouble("1e-3", v));
+    EXPECT_EQ(v, 1e-3);
+    // Comma-decimal (de_DE style) input must not half-parse to 0.
+    EXPECT_FALSE(parseFullDouble("0,5", v));
+    EXPECT_FALSE(parseFullDouble("", v));
+    EXPECT_FALSE(parseFullDouble("0.5x", v));
+    EXPECT_FALSE(parseFullDouble(" 0.5", v));
 }
 
 // --------------------------- timing ---------------------------------

@@ -51,6 +51,23 @@ TEST(FuzzCampaignTest, TwoHundredCampaignsAllOraclesAgree)
     EXPECT_GT(report.campaignsRun, 0);
 }
 
+TEST(FuzzCampaignTest, AnnotatedCampaignsAgreeUnderRa)
+{
+    // Release/acquire-annotated tests through the full campaign path,
+    // with the model-agreement oracle restricted to RA (what
+    // `perple_fuzz --model ra` runs).
+    CampaignConfig config;
+    config.seed = 5;
+    config.campaigns = 40;
+    config.jobs = 2;
+    config.generator.annotateProbability = 0.6;
+    config.oracle.agreementModels = {model::MemoryModel::RA};
+
+    const CampaignReport report = runCampaign(config);
+    EXPECT_TRUE(report.ok()) << describeFailures(report);
+    EXPECT_GT(report.campaignsRun, 0);
+}
+
 TEST(FuzzCampaignTest, TimeBudgetSkipsRemainingCampaigns)
 {
     CampaignConfig config;
@@ -165,6 +182,25 @@ TEST(SupervisedCampaignTest, InjectedCrashBecomesCrashDivergence)
               Check::Supervision);
     EXPECT_EQ(report.failures[0].childStatus,
               supervise::ChildStatus::Crash);
+}
+
+TEST(SupervisedCampaignTest, GarbageInjectEnvGatesNothing)
+{
+    // Regression: the gate used to atoi() the env var, so "0abc"
+    // truncated to 0 and crashed campaign 0. A non-numeric value must
+    // gate no campaign at all.
+    ScopedEnv inject("PERPLE_FUZZ_INJECT_CRASH", "0abc");
+    CampaignConfig config;
+    config.seed = 9;
+    config.campaigns = 2;
+    config.shrink = false;
+    config.supervised = true;
+    config.supervisor.timeoutSeconds = 30;
+
+    const CampaignReport report = runCampaign(config);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.crashes, 0);
+    EXPECT_TRUE(report.failures.empty());
 }
 
 TEST(SupervisedCampaignTest, SupervisedReportIsJobCountInvariant)

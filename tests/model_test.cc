@@ -243,7 +243,8 @@ TEST_P(CrossValidationTest, AxiomaticAgreesWithOperational)
     for (const auto &outcome :
          litmus::enumerateRegisterOutcomes(test)) {
         for (const MemoryModel model :
-             {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+             {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO,
+              MemoryModel::RA}) {
             const bool operational = allows(test, outcome, model);
             const bool axiomatic =
                 allowsAxiomatic(test, outcome, model);

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the C11 Release-Acquire model: the operational view
+ * machine, the axiomatic eco-coherence checker, their agreement on
+ * classic annotated shapes and on a generated annotated corpus, and
+ * the MemoryOrder plumbing (names, parsing, classification).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/error.h"
+#include "generate/generator.h"
+#include "litmus/builder.h"
+#include "litmus/parser.h"
+#include "litmus/registry.h"
+#include "litmus/writer.h"
+#include "model/axiomatic.h"
+#include "model/classify.h"
+#include "model/operational.h"
+
+namespace perple::model
+{
+namespace
+{
+
+using litmus::MemoryOrder;
+using litmus::Outcome;
+using litmus::TestBuilder;
+
+// gtest fixtures inject ::testing::Test into class scope; alias the
+// litmus IR type so unqualified uses resolve correctly.
+using LTest = litmus::Test;
+
+Outcome
+outcomeOf(const LTest &test, const std::string &text)
+{
+    return litmus::parseOutcome(test, text);
+}
+
+/** Message-passing with the given store/load orders on y. */
+LTest
+mp(MemoryOrder store_order, MemoryOrder load_order)
+{
+    return TestBuilder("mp-ra")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .store("y", 1, store_order)
+        .thread()
+        .load("EAX", "y", load_order)
+        .load("EBX", "x", MemoryOrder::Relaxed)
+        .target({{1, "EAX", 1}, {1, "EBX", 0}})
+        .build();
+}
+
+// ------------------------- classic shapes ---------------------------
+
+TEST(RaModelTest, MpRelAcqForbidsStaleRead)
+{
+    const LTest test = mp(MemoryOrder::Release, MemoryOrder::Acquire);
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, MpRelaxedStoreAllowsStaleRead)
+{
+    const LTest test = mp(MemoryOrder::Relaxed, MemoryOrder::Acquire);
+    EXPECT_TRUE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, MpRelaxedLoadAllowsStaleRead)
+{
+    const LTest test = mp(MemoryOrder::Release, MemoryOrder::Relaxed);
+    EXPECT_TRUE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, SbRelaxedAllowsZeroZero)
+{
+    const LTest test = TestBuilder("sb-rlx")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .load("EAX", "y", MemoryOrder::Relaxed)
+        .thread()
+        .store("y", 1, MemoryOrder::Relaxed)
+        .load("EAX", "x", MemoryOrder::Relaxed)
+        .target({{0, "EAX", 0}, {1, "EAX", 0}})
+        .build();
+    EXPECT_TRUE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+    // Release/acquire alone do not forbid store buffering either.
+    const LTest annotated = TestBuilder("sb-ra")
+        .thread()
+        .store("x", 1, MemoryOrder::Release)
+        .load("EAX", "y", MemoryOrder::Acquire)
+        .thread()
+        .store("y", 1, MemoryOrder::Release)
+        .load("EAX", "x", MemoryOrder::Acquire)
+        .target({{0, "EAX", 0}, {1, "EAX", 0}})
+        .build();
+    EXPECT_TRUE(allows(annotated, annotated.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, SbScFencesForbidZeroZero)
+{
+    const LTest test = TestBuilder("sb-fence")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .fence(MemoryOrder::SeqCst)
+        .load("EAX", "y", MemoryOrder::Relaxed)
+        .thread()
+        .store("y", 1, MemoryOrder::Relaxed)
+        .fence(MemoryOrder::SeqCst)
+        .load("EAX", "x", MemoryOrder::Relaxed)
+        .target({{0, "EAX", 0}, {1, "EAX", 0}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, IriwAcquireObservableUnderRaButNotSc)
+{
+    const LTest test = TestBuilder("iriw-acq")
+        .thread().store("x", 1, MemoryOrder::Release)
+        .thread().store("y", 1, MemoryOrder::Release)
+        .thread()
+        .load("EAX", "x", MemoryOrder::Acquire)
+        .load("EBX", "y", MemoryOrder::Acquire)
+        .thread()
+        .load("EAX", "y", MemoryOrder::Acquire)
+        .load("EBX", "x", MemoryOrder::Acquire)
+        .target({{2, "EAX", 1},
+                 {2, "EBX", 0},
+                 {3, "EAX", 1},
+                 {3, "EBX", 0}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::SC));
+    EXPECT_TRUE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, TwoPlusTwoWAllowedUnderRa)
+{
+    // 2+2W: each thread's first store ends up mo-first; RA allows it
+    // (stores may be inserted before an unseen message), TSO does not.
+    const LTest test = TestBuilder("2+2w-rlx")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .store("y", 2, MemoryOrder::Relaxed)
+        .load("EAX", "y", MemoryOrder::Relaxed)
+        .thread()
+        .store("y", 1, MemoryOrder::Relaxed)
+        .store("x", 2, MemoryOrder::Relaxed)
+        .load("EAX", "x", MemoryOrder::Relaxed)
+        .target({{0, "EAX", 2}, {1, "EAX", 2}})
+        .build();
+    const auto outcome =
+        outcomeOf(test, "0:EAX=2 /\\ 1:EAX=2");
+    EXPECT_TRUE(allows(test, outcome, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, outcome, MemoryModel::RA));
+
+    // The canonical final-memory 2+2W separates RA from TSO: each
+    // location ends at its *first* writer's value, which needs the
+    // unfenced W->W pairs of both threads to cross — impossible with
+    // FIFO store buffers, fine for the RA insert-before-unseen rule.
+    const LTest pure = TestBuilder("2+2w")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .store("y", 2, MemoryOrder::Relaxed)
+        .thread()
+        .store("y", 1, MemoryOrder::Relaxed)
+        .store("x", 2, MemoryOrder::Relaxed)
+        .memoryTarget({{"x", 1}, {"y", 1}})
+        .build();
+    EXPECT_TRUE(allows(pure, pure.target, MemoryModel::RA));
+    EXPECT_FALSE(allows(pure, pure.target, MemoryModel::TSO));
+}
+
+TEST(RaModelTest, LoadBufferingForbidden)
+{
+    // The view machine cannot speculate, so po ∪ rf stays acyclic;
+    // the axiomatic side forbids it via the no-thin-air check.
+    const LTest test = TestBuilder("lb-rlx")
+        .thread()
+        .load("EAX", "x", MemoryOrder::Relaxed)
+        .store("y", 1, MemoryOrder::Relaxed)
+        .thread()
+        .load("EAX", "y", MemoryOrder::Relaxed)
+        .store("x", 1, MemoryOrder::Relaxed)
+        .target({{0, "EAX", 1}, {1, "EAX", 1}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, WrcThroughRelaxedReadForbidden)
+{
+    // WRC+rlx+rel+acq: the relaxed read advances the reader's view, so
+    // the release write transfers it (axiomatically: CoRR through the
+    // eco closure, fr;rf composed with hb).
+    const LTest test = TestBuilder("wrc")
+        .thread().store("x", 1, MemoryOrder::Relaxed)
+        .thread()
+        .load("EAX", "x", MemoryOrder::Relaxed)
+        .store("y", 1, MemoryOrder::Release)
+        .thread()
+        .load("EAX", "y", MemoryOrder::Acquire)
+        .load("EBX", "x", MemoryOrder::Relaxed)
+        .target({{1, "EAX", 1}, {2, "EAX", 1}, {2, "EBX", 0}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+TEST(RaModelTest, CoherencePerLocationHolds)
+{
+    // CoRR: two relaxed reads of the same thread may not observe x
+    // going backwards, even with no synchronization at all.
+    const LTest test = TestBuilder("corr")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .store("x", 2, MemoryOrder::Relaxed)
+        .thread()
+        .load("EAX", "x", MemoryOrder::Relaxed)
+        .load("EBX", "x", MemoryOrder::Relaxed)
+        .target({{1, "EAX", 2}, {1, "EBX", 1}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+    // Observing the stores in order is fine.
+    const auto forward = outcomeOf(test, "1:EAX=1 /\\ 1:EBX=2");
+    EXPECT_TRUE(allows(test, forward, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, forward, MemoryModel::RA));
+}
+
+TEST(RaModelTest, RmwPairsStayAtomic)
+{
+    // Two XCHGs on the same location cannot both read the initial
+    // value (Plain XCHG acts as an acq_rel RMW under RA).
+    const LTest test = TestBuilder("rmw-atomic")
+        .thread().rmw("EAX", "x", 1)
+        .thread().rmw("EAX", "x", 2)
+        .target({{0, "EAX", 0}, {1, "EAX", 0}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+    const auto ordered = outcomeOf(test, "0:EAX=0 /\\ 1:EAX=1");
+    EXPECT_TRUE(allows(test, ordered, MemoryModel::RA));
+    EXPECT_TRUE(allowsAxiomatic(test, ordered, MemoryModel::RA));
+}
+
+TEST(RaModelTest, ReleaseAcquireRmwSynchronizes)
+{
+    // MP where the flag hand-off goes through an acq_rel XCHG: the
+    // sw chain extends through the RMW vertex.
+    const LTest test = TestBuilder("mp-rmw")
+        .thread()
+        .store("x", 1, MemoryOrder::Relaxed)
+        .store("y", 1, MemoryOrder::Release)
+        .thread()
+        .rmw("EAX", "y", 2, MemoryOrder::AcqRel)
+        .load("EBX", "x", MemoryOrder::Relaxed)
+        .target({{1, "EAX", 1}, {1, "EBX", 0}})
+        .build();
+    EXPECT_FALSE(allows(test, test.target, MemoryModel::RA));
+    EXPECT_FALSE(allowsAxiomatic(test, test.target, MemoryModel::RA));
+}
+
+// --------------------- RA vs the x86 family -------------------------
+
+TEST(RaModelTest, RaIsWeakerThanTsoOnPlainTests)
+{
+    // Every TSO-observable outcome of a Plain (un-annotated) test is
+    // RA-observable: Plain degrades to relaxed accesses, which admit
+    // strictly more behaviors.
+    for (const auto &entry : litmus::perpetualSuite()) {
+        const auto tso =
+            allowedRegisterOutcomes(entry.test, MemoryModel::TSO);
+        for (const auto &outcome : tso)
+            EXPECT_TRUE(allows(entry.test, outcome, MemoryModel::RA))
+                << entry.test.name << " outcome "
+                << outcome.toString(entry.test);
+    }
+}
+
+TEST(RaModelTest, X86ModelsIgnoreAnnotations)
+{
+    // Annotations only matter under RA: the TSO enumeration of an
+    // annotated test equals that of its Plain twin.
+    const LTest annotated = mp(MemoryOrder::Release,
+                               MemoryOrder::Acquire);
+    LTest plain = annotated;
+    for (auto &thread : plain.threads)
+        for (auto &instr : thread.instructions)
+            instr.order = MemoryOrder::Plain;
+    for (const MemoryModel model :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::PSO}) {
+        EXPECT_EQ(enumerateFinalStates(annotated, model),
+                  enumerateFinalStates(plain, model));
+    }
+}
+
+TEST(RaModelTest, ShowcaseRegistryShapes)
+{
+    const std::map<std::string, bool> ra_allowed = {
+        {"mp+ra", false},  {"mp+rlx", true}, {"sb+rlx", true},
+        {"iriw+acq", true}, {"lb+rlx", false},
+    };
+    const auto &showcase = litmus::raShowcaseTests();
+    ASSERT_EQ(showcase.size(), ra_allowed.size());
+    for (const auto &entry : showcase) {
+        const auto expected = ra_allowed.find(entry.test.name);
+        ASSERT_NE(expected, ra_allowed.end()) << entry.test.name;
+        EXPECT_EQ(allows(entry.test, entry.test.target,
+                         MemoryModel::RA),
+                  expected->second)
+            << entry.test.name;
+        // The x86 verdict ignores annotations and must match the
+        // recorded grouping.
+        EXPECT_EQ(classifyTarget(entry.test, MemoryModel::TSO),
+                  entry.expected)
+            << entry.test.name;
+        // Annotated tests round-trip through the writer and parser.
+        EXPECT_EQ(litmus::parseTest(litmus::writeTest(entry.test)),
+                  entry.test)
+            << entry.test.name;
+        // findTest resolves showcase names.
+        EXPECT_EQ(litmus::findTest(entry.test.name).test.name,
+                  entry.test.name);
+    }
+}
+
+// ------------------------ name plumbing -----------------------------
+
+TEST(RaModelTest, ModelNames)
+{
+    EXPECT_STREQ(memoryModelName(MemoryModel::RA), "RA");
+    EXPECT_EQ(memoryModelFromName("ra"), MemoryModel::RA);
+    EXPECT_EQ(memoryModelFromName("RA"), MemoryModel::RA);
+    EXPECT_EQ(memoryModelFromName("tso"), MemoryModel::TSO);
+    EXPECT_EQ(memoryModelFromName("sc"), MemoryModel::SC);
+    EXPECT_EQ(memoryModelFromName("pso"), MemoryModel::PSO);
+    EXPECT_THROW(memoryModelFromName("arm"), UserError);
+}
+
+TEST(RaModelTest, ClassifyTargetWorksForRa)
+{
+    const LTest forbidden = mp(MemoryOrder::Release,
+                               MemoryOrder::Acquire);
+    EXPECT_EQ(classifyTarget(forbidden, MemoryModel::RA),
+              litmus::TsoVerdict::Forbidden);
+    const LTest allowed = mp(MemoryOrder::Relaxed,
+                             MemoryOrder::Acquire);
+    EXPECT_EQ(classifyTarget(allowed, MemoryModel::RA),
+              litmus::TsoVerdict::Allowed);
+}
+
+// ----------------- suite-wide checker agreement ---------------------
+
+/**
+ * The acceptance property: on a generated annotated corpus, the
+ * operational view machine and the axiomatic eco-coherence checker
+ * agree on the *entire* allowed register-outcome set of every test.
+ */
+TEST(RaCrossValidationTest, GeneratedAnnotatedCorpusAgrees)
+{
+    generate::GeneratorConfig config;
+    config.annotateProbability = 0.7;
+    const auto suite = generate::generateSuite(50, config, 20260808);
+    ASSERT_EQ(suite.size(), 50u);
+
+    int annotated_tests = 0;
+    for (const auto &generated : suite) {
+        const LTest &test = generated.test;
+        bool has_annotation = false;
+        for (const auto &thread : test.threads)
+            for (const auto &instr : thread.instructions)
+                has_annotation |=
+                    instr.order != MemoryOrder::Plain;
+        annotated_tests += has_annotation ? 1 : 0;
+
+        std::set<std::string> operational, axiomatic;
+        for (const auto &outcome :
+             litmus::enumerateRegisterOutcomes(test)) {
+            if (allows(test, outcome, MemoryModel::RA))
+                operational.insert(outcome.toString(test));
+            if (allowsAxiomatic(test, outcome, MemoryModel::RA))
+                axiomatic.insert(outcome.toString(test));
+        }
+        EXPECT_EQ(operational, axiomatic)
+            << test.name << ":\n" << litmus::writeTest(test);
+        EXPECT_EQ(generated.raVerdict == litmus::TsoVerdict::Allowed,
+                  allows(test, test.target, MemoryModel::RA));
+    }
+    // The draw probability makes an all-Plain corpus implausible.
+    EXPECT_GE(annotated_tests, 40);
+}
+
+TEST(RaCrossValidationTest, RegistryCorpusAgrees)
+{
+    // The legacy (Plain) corpus must agree too: Plain maps to relaxed
+    // accesses plus SC fences for MFENCE and acq_rel RMWs for XCHG.
+    for (const auto &entry : litmus::perpetualSuite()) {
+        for (const auto &outcome :
+             litmus::enumerateRegisterOutcomes(entry.test)) {
+            EXPECT_EQ(allows(entry.test, outcome, MemoryModel::RA),
+                      allowsAxiomatic(entry.test, outcome,
+                                      MemoryModel::RA))
+                << entry.test.name << " outcome "
+                << outcome.toString(entry.test);
+        }
+    }
+}
+
+} // namespace
+} // namespace perple::model

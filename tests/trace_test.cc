@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -149,6 +150,139 @@ TEST(TraceFormatTest, EmptyRunRejected)
     RunInfo info;
     info.iterations = 0;
     EXPECT_THROW(parseRun(serializeRun(info)), UserError);
+}
+
+namespace
+{
+
+/** A valid serialized meta payload for the tamper tests below. */
+std::string
+validMetaPayload()
+{
+    const auto &entry = litmus::findTest("mp");
+    const core::PerpetualTest perpetual = core::convert(entry.test);
+    TraceMeta meta;
+    meta.testName = entry.test.name;
+    meta.testText = litmus::writeTest(entry.test);
+    meta.strides = perpetual.strides;
+    meta.loadsPerIteration = perpetual.loadsPerIteration;
+    meta.machine.storeBufferCapacity = 7;
+    meta.machine.stallProbability = 0.25;
+    return serializeMeta(meta);
+}
+
+/** Replace the value of `key ...` in a serialized meta/run payload. */
+std::string
+tamperLine(const std::string &payload, const std::string &key,
+           const std::string &value)
+{
+    const std::size_t at = payload.find(key + " ");
+    EXPECT_NE(at, std::string::npos) << key;
+    const std::size_t eol = payload.find('\n', at);
+    return payload.substr(0, at + key.size() + 1) + value +
+           payload.substr(eol);
+}
+
+} // namespace
+
+TEST(TraceFormatTest, TamperedMetaLinesRejected)
+{
+    const std::string payload = validMetaPayload();
+    ASSERT_NO_THROW(parseMeta(payload));
+
+    // Non-numeric trailers: atoi would truncate "7abc" to 7.
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.storeBufferCapacity", "7abc")),
+                 UserError);
+    EXPECT_THROW(
+        parseMeta(tamperLine(payload, "machine.opLatency", "x")),
+        UserError);
+    // Overflow: atoi's behavior on INT_MAX+1 is undefined.
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.chunkSize",
+                     "92233720368547758080")),
+                 UserError);
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.storeBufferCapacity",
+                     "2147483648")),
+                 UserError);
+    // Comma-decimal floats: atof under a de_DE locale reads "0,5" as
+    // 0.5 but under "C" as 0 — both silently; reject outright.
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.stallProbability", "0,5")),
+                 UserError);
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.loadMissProbability", "inf")),
+                 UserError);
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.stallProbability", "1.5")),
+                 UserError);
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.stallProbability", "-0.1")),
+                 UserError);
+    // Bools must be exactly "0" or "1".
+    EXPECT_THROW(parseMeta(tamperLine(
+                     payload, "machine.fifoStoreBuffers", "yes")),
+                 UserError);
+    // Embedded-test length: negative or junk lengths must not be
+    // size_t-wrapped into a bogus substr.
+    EXPECT_THROW(parseMeta(tamperLine(payload, "test", "-1")),
+                 UserError);
+    EXPECT_THROW(parseMeta(tamperLine(payload, "test", "12junk")),
+                 UserError);
+    // Stride lists are ints too.
+    EXPECT_THROW(parseMeta(tamperLine(payload, "kmem", "1 2 three")),
+                 UserError);
+}
+
+TEST(TraceFormatTest, TamperedRunLinesRejected)
+{
+    RunInfo info;
+    info.seed = 11;
+    info.iterations = 100;
+    const std::string payload = serializeRun(info);
+    ASSERT_NO_THROW(parseRun(payload));
+
+    EXPECT_THROW(parseRun(tamperLine(payload, "seed", "11abc")),
+                 UserError);
+    EXPECT_THROW(parseRun(tamperLine(payload, "seed", "-11")),
+                 UserError);
+    EXPECT_THROW(parseRun(tamperLine(payload, "iterations", "1e6")),
+                 UserError);
+}
+
+TEST(TraceFormatTest, DoubleFieldsRoundTripUnderCommaLocale)
+{
+    // Force a comma-decimal global locale: printf("%.17g") would now
+    // render 0.3 as "0,29999999999999999", which the strict parser
+    // must never see — serialization goes through std::to_chars.
+    const char *previous = std::setlocale(LC_ALL, nullptr);
+    const std::string saved = previous != nullptr ? previous : "C";
+    bool forced = false;
+    for (const char *name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8"})
+        if (std::setlocale(LC_ALL, name) != nullptr) {
+            forced = true;
+            break;
+        }
+    if (!forced)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    TraceMeta meta;
+    meta.testName = "mp";
+    meta.testText = litmus::writeTest(litmus::findTest("mp").test);
+    meta.strides = {1};
+    meta.loadsPerIteration = {1};
+    meta.machine.stallProbability = 0.3;
+    meta.machine.loadMissProbability = 1.0 / 3.0;
+    const std::string payload = serializeMeta(meta);
+    std::setlocale(LC_ALL, saved.c_str());
+
+    EXPECT_EQ(payload.find(','), std::string::npos)
+        << "locale leaked into serialization";
+    const TraceMeta parsed = parseMeta(payload);
+    EXPECT_EQ(parsed.machine.stallProbability, 0.3);
+    EXPECT_EQ(parsed.machine.loadMissProbability, 1.0 / 3.0);
 }
 
 TEST(TraceWriterTest, FinishWithoutRunsRejected)

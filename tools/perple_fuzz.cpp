@@ -12,6 +12,12 @@
  *
  * Options:
  *   --seed <n>         master seed (default 1)
+ *   --model <m[,m..]>  memory models for the model-agreement oracle,
+ *                    from sc tso pso ra (default: all four). Any list
+ *                    containing ra also turns on release/acquire
+ *                    annotations in the generated tests (annotation
+ *                    probability 0.6) so the RA machinery is
+ *                    actually exercised.
  *   --campaigns <n>    number of campaigns (default 100)
  *   --time-budget <s>  wall-clock budget in seconds (default: none)
  *   --jobs <n>         worker threads, 0 = all cores (default 1)
@@ -57,6 +63,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seed N] [--campaigns N] [--time-budget SEC]\n"
+        "          [--model sc,tso,pso,ra]\n"
         "          [--jobs N] [--out DIR] [--no-shrink]\n"
         "          [--timeout SEC] [--mem-limit BYTES] [--retries N]\n"
         "          [--no-supervise]\n"
@@ -150,6 +157,17 @@ run(int argc, char **argv)
         if (std::strcmp(arg, "--seed") == 0) {
             config.seed =
                 common::parseSeedArg("--seed", flagValue(argc, argv, i));
+        } else if (std::strcmp(arg, "--model") == 0) {
+            config.oracle.agreementModels.clear();
+            for (const std::string &name :
+                 split(flagValue(argc, argv, i), ','))
+                config.oracle.agreementModels.push_back(
+                    model::memoryModelFromName(name));
+            checkUser(!config.oracle.agreementModels.empty(),
+                      "--model needs at least one model name");
+            for (const auto model : config.oracle.agreementModels)
+                if (model == model::MemoryModel::RA)
+                    config.generator.annotateProbability = 0.6;
         } else if (std::strcmp(arg, "--campaigns") == 0) {
             config.campaigns = static_cast<int>(common::parseIntArg(
                 "--campaigns", flagValue(argc, argv, i), 1, 1000000));

@@ -32,6 +32,8 @@
  *
  * info/analyze options:
  *   --salvage           accept a truncated capture (crashed writer)
+ *   --model sc|tso|pso|ra  (info) classify the embedded test's target
+ *                       under this model; repeatable
  *                       and use its recoverable prefix
  *
  * analyze options:
@@ -113,7 +115,7 @@ usage(const char *argv0)
         "          [--encoding varint|raw] [--jobs N]\n"
         "          [--timeout SEC] [--mem-limit BYTES] [--retries N]\n"
         "          [--no-supervise]\n"
-        "       %s info FILE.plt [--salvage]\n"
+        "       %s info FILE.plt [--salvage] [--model M]...\n"
         "       %s verify FILE.plt...\n"
         "       %s analyze FILE.plt [--outcome COND]... [--jobs N]\n"
         "          [--mode first|independent] [--cap N] [--fast]\n"
@@ -322,10 +324,14 @@ cmdInfo(int argc, char **argv)
 {
     std::string path;
     trace::ReaderOptions options;
+    std::vector<model::MemoryModel> models;
     for (int i = 2; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--salvage") == 0)
             options.salvage = true;
+        else if (std::strcmp(arg, "--model") == 0)
+            models.push_back(model::memoryModelFromName(
+                flagValue(argc, argv, i)));
         else if (arg[0] == '-') {
             std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
                          arg);
@@ -358,6 +364,15 @@ cmdInfo(int argc, char **argv)
     for (std::size_t i = 0; i < meta.strides.size(); ++i)
         kmem += format("%s%d", i > 0 ? " " : "", meta.strides[i]);
     std::printf("k_mem:    %s\n", kmem.c_str());
+    if (!models.empty()) {
+        const litmus::Test test = litmus::parseTest(meta.testText);
+        for (const auto model : models)
+            std::printf("target under %-3s: %s\n",
+                        model::memoryModelName(model),
+                        model::allows(test, test.target, model)
+                            ? "allowed"
+                            : "forbidden");
+    }
     if (reader.bufValueBytes() > 0)
         std::printf("bufs:     %.2f MiB raw -> %.2f MiB on disk "
                     "(%.2fx)\n",
